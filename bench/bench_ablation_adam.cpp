@@ -1,0 +1,64 @@
+// Ablation (paper §5.7): modified Adam vs naive two-call Adam under the
+// prior/delayed split, functionally, on the real distributed trainer's
+// optimizer. Shows (a) the modified variant's split update is EXACTLY the
+// one-shot update and (b) the naive variant drifts and how the drift grows
+// with training length.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "nn/optim.h"
+#include "tensor/index_ops.h"
+
+using namespace embrace;
+using namespace embrace::nn;
+
+namespace {
+
+float drift_after(int steps, bool modified) {
+  constexpr int64_t kRows = 64, kDim = 16;
+  Rng rng(5);
+  Tensor whole_table = Tensor::randn({kRows, kDim}, rng);
+  Tensor split_table = whole_table;
+  SparseAdam whole(kRows, kDim, 0.01f, modified);
+  SparseAdam split(kRows, kDim, 0.01f, modified);
+  Rng grng(6);
+  for (int s = 0; s < steps; ++s) {
+    std::vector<int64_t> idx_raw;
+    for (int i = 0; i < 24; ++i) idx_raw.push_back(grng.next_int(0, kRows - 1));
+    const auto idx = unique_sorted(idx_raw);
+    Rng vr = grng.split(static_cast<uint64_t>(s));
+    Tensor vals = Tensor::randn({static_cast<int64_t>(idx.size()), kDim}, vr);
+    SparseRows g(kRows, idx, vals);
+    whole.apply(whole_table, g, SparseStep::kFull);
+    std::vector<int64_t> keep;
+    for (int64_t r = 0; r < kRows; ++r) {
+      if (grng.next_bool(0.5)) keep.push_back(r);
+    }
+    auto [prior, delayed] = g.split_by_membership(keep);
+    split.apply(split_table, prior, SparseStep::kPrior);
+    split.apply(split_table, delayed, SparseStep::kDelayed);
+  }
+  return split_table.max_abs_diff(whole_table);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Ablation: modified vs naive Adam under Algorithm 1's two-part "
+            "update.");
+  std::puts("Value shown: max |split-updated params - one-shot params| "
+            "after N steps.\n");
+  TextTable t({"Steps", "Modified Adam (paper fix)", "Naive two-call Adam"});
+  for (int steps : {1, 5, 20, 50, 100}) {
+    t.add_row({std::to_string(steps),
+               TextTable::num(drift_after(steps, true), 8),
+               TextTable::num(drift_after(steps, false), 6)});
+  }
+  t.print();
+  std::puts("\nConclusion: the step-counter fix makes the split update "
+            "exact (divergence ~float epsilon); the naive variant drifts "
+            "and the drift compounds — the paper's reason for modifying "
+            "Adam's step accounting.");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation (paper §4.2.1's design argument): block-level scheduling vs
+// ByteScheduler-style tensor partitioning.
+//
+// Partitioning tensors into small slices gives the scheduler finer
+// preemption points but pays (a) a per-message launch overhead for every
+// slice and (b) lower bandwidth utilization on small messages. The paper
+// argues blocks (whole attention/LSTM layers) are the right granularity
+// for NLP models because their blocks are naturally uniform. We sweep the
+// partition size for a GNMT-8-sized dense gradient volume and report the
+// total communication time of one step's dense traffic.
+#include <cmath>
+#include <cstdio>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "simnet/cost_model.h"
+#include "simnet/model_specs.h"
+
+using namespace embrace;
+using namespace embrace::simnet;
+
+int main() {
+  std::puts("Ablation: scheduling granularity — time to communicate one "
+            "step of GNMT-8 dense gradients (486.6 MB) on 16 RTX3090 GPUs, "
+            "split into equal slices.\n");
+  const auto model = gnmt8_spec();
+  const ClusterConfig cfg = make_rtx3090_cluster(16);
+  const CollectiveCostModel cost(cfg);
+  const double total_bytes = mb_to_bytes(model.dense_mb());
+  // Per-slice launch overhead: the framework negotiation cost per tensor op.
+  const double per_op_overhead = 1.5e-3;
+
+  TextTable t({"Slice size (MB)", "Slices", "Comm time (ms)",
+               "Overhead share"});
+  for (double slice_mb : {486.6, 64.0, 30.4 /*=1 block*/, 8.0, 4.0, 1.0,
+                          0.25}) {
+    const double slices = std::ceil(model.dense_mb() / slice_mb);
+    const double t_data = cost.allreduce_dense(total_bytes / slices) * slices;
+    const double t_total = t_data + slices * per_op_overhead;
+    t.add_row({TextTable::num(slice_mb, 2), TextTable::num(slices, 0),
+               TextTable::num(1e3 * t_total, 1),
+               TextTable::num(100 * slices * per_op_overhead / t_total, 1) +
+                   "%"});
+  }
+  t.print();
+  std::puts("\nConclusion: below ~block size the per-slice latency and "
+            "launch overhead dominate — matching the paper's choice of "
+            "block-level granularity over tensor partitioning.");
+  return 0;
+}

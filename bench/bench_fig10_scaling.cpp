@@ -1,0 +1,48 @@
+// Reproduces Figure 10: scaling on RTX3090 GPUs from 4 to 16, compared to
+// the approach with the second-best scalability (Horovod-AllReduce for
+// GNMT-8 / Transformer / BERT-base; Parallax for LM) and to ideal linear
+// scaling of each method's own 4-GPU throughput.
+//
+// Paper: scaling 4 -> 16 GPUs, EmbRace achieves 3.14x (LM), 3.42x (GNMT-8),
+// 2.53x (Transformer), 3.94x (BERT-base); competitors 3.06/3.32/2.51/3.81.
+#include <cstdio>
+
+#include "common/table.h"
+#include "simnet/train_sim.h"
+
+using namespace embrace;
+using namespace embrace::simnet;
+
+int main() {
+  std::puts("Figure 10: scaling performance on RTX3090 GPUs (tokens/sec; "
+            "x-factor relative to the method's own 4-GPU throughput).\n");
+  for (const auto& model : all_model_specs()) {
+    const Strategy competitor = model.name == "LM"
+                                    ? Strategy::kParallax
+                                    : Strategy::kHorovodAllReduce;
+    TextTable t({"GPUs", "EmbRace", "EmbRace x", "Ideal (EmbRace)",
+                 std::string(strategy_name(competitor)), "Competitor x"});
+    double embrace4 = 0, comp4 = 0;
+    for (int gpus : {4, 8, 16}) {
+      const ClusterConfig cfg = make_rtx3090_cluster(gpus);
+      const double er = simulate_training(model, cfg, Strategy::kEmbRace)
+                            .stats.tokens_per_second;
+      const double co =
+          simulate_training(model, cfg, competitor).stats.tokens_per_second;
+      if (gpus == 4) {
+        embrace4 = er;
+        comp4 = co;
+      }
+      t.add_row({std::to_string(gpus), TextTable::num(er, 0),
+                 TextTable::num(er / embrace4, 2) + "x",
+                 TextTable::num(embrace4 * gpus / 4.0, 0),
+                 TextTable::num(co, 0),
+                 TextTable::num(co / comp4, 2) + "x"});
+    }
+    std::printf("%s (competitor: %s):\n", model.name.c_str(),
+                strategy_name(competitor));
+    t.print();
+    std::puts("");
+  }
+  return 0;
+}

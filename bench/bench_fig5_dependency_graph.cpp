@@ -1,0 +1,48 @@
+// Reproduces Figure 5: the module dependency graph of a translation model
+// under Sparsity-aware Hybrid Communication, exported from the simulator's
+// actual step DAG as Graphviz DOT plus a text summary of the key edges.
+//
+// Pipe the DOT section into `dot -Tpng` to render.
+#include <cstdio>
+
+#include "simnet/train_sim.h"
+
+using namespace embrace::simnet;
+
+int main() {
+  TrainSimOptions opts;
+  opts.steps = 3;
+  opts.keep_trace = true;
+  auto r = simulate_training(gnmt8_spec(), make_rtx3090_cluster(16),
+                             Strategy::kEmbRace, opts);
+
+  std::puts("Figure 5: module dependency graph (GNMT-8 under hybrid "
+            "communication; one steady-state step shown as DOT).\n");
+
+  // Keep only step 1's ops plus their direct dependencies for readability.
+  // Ops are laid out step-by-step in construction order; find step 1's
+  // range via names containing markers — simpler: print the full graph and
+  // a summary of the structurally interesting edges.
+  std::puts("--- key dependencies (text) ---");
+  for (size_t i = 0; i < r.ops.size(); ++i) {
+    const auto& op = r.ops[i];
+    if (op.deps.empty()) continue;
+    // Show embedding-related edges only (the ones Figure 5 highlights).
+    if (op.name.find("emb") == std::string::npos &&
+        op.name.find("Prio") == std::string::npos &&
+        op.name.find("Vss") == std::string::npos) {
+      continue;
+    }
+    std::printf("  %-14s <- {", op.name.c_str());
+    for (size_t d = 0; d < op.deps.size(); ++d) {
+      std::printf("%s%s", d ? ", " : "",
+                  r.ops[static_cast<size_t>(op.deps[d])].name.c_str());
+    }
+    std::puts("}");
+    if (i > 40) break;  // one step's worth
+  }
+
+  std::puts("\n--- Graphviz DOT (full 3-step DAG) ---");
+  std::fputs(to_dot(r.ops, "embrace_gnmt8_step").c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Figure 7: end-to-end training throughput (tokens/sec) for the
+// four models on 4/8/16 GPUs of both clusters, under the four baselines and
+// EmbRace, with EmbRace's speedup over the best baseline per cell.
+//
+// Paper speedup bands to compare against:
+//   RTX3090: LM 1.18-1.77x | GNMT-8 1.10-1.27x | Transformer 1.12-1.18x |
+//            BERT-base 1.02-1.06x
+//   RTX2080: LM 1.99-2.41x | GNMT-8 1.09-1.30x | Transformer 1.11-1.28x |
+//            BERT-base 1.10-1.40x
+#include <algorithm>
+#include <cstdio>
+
+#include "common/table.h"
+#include "simnet/train_sim.h"
+
+using namespace embrace;
+using namespace embrace::simnet;
+
+int main() {
+  std::puts("Figure 7: end-to-end training throughput (tokens/sec, "
+            "simulated) and EmbRace speedup over the best baseline.\n");
+  for (int cluster_kind = 0; cluster_kind < 2; ++cluster_kind) {
+    const char* cname = cluster_kind == 0 ? "RTX3090" : "RTX2080";
+    std::printf("=== %s cluster ===\n", cname);
+    for (const auto& model : all_model_specs()) {
+      TextTable t({"GPUs", "BytePS", "HVD-AllReduce", "HVD-AllGather",
+                   "Parallax", "EmbRace", "Speedup vs best"});
+      for (int gpus : {4, 8, 16}) {
+        const ClusterConfig cfg = cluster_kind == 0
+                                      ? make_rtx3090_cluster(gpus)
+                                      : make_rtx2080_cluster(gpus);
+        std::vector<std::string> row{std::to_string(gpus)};
+        double best_baseline = 0.0;
+        for (Strategy s : baseline_strategies()) {
+          const auto st = simulate_training(model, cfg, s).stats;
+          best_baseline = std::max(best_baseline, st.tokens_per_second);
+          row.push_back(TextTable::num(st.tokens_per_second, 0));
+        }
+        const auto er =
+            simulate_training(model, cfg, Strategy::kEmbRace).stats;
+        row.push_back(TextTable::num(er.tokens_per_second, 0));
+        row.push_back(
+            TextTable::num(er.tokens_per_second / best_baseline, 2) + "x");
+        t.add_row(std::move(row));
+      }
+      std::printf("%s:\n", model.name.c_str());
+      t.print();
+      std::puts("");
+    }
+  }
+  return 0;
+}

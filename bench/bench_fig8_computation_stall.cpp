@@ -1,0 +1,46 @@
+// Reproduces Figure 8: Computation Stall of each method on 16 GPUs,
+// normalized by EmbRace (values > 1 mean more stall than EmbRace).
+// For EmbRace the stall includes the Vertical Sparse Scheduling
+// computation, per the paper's definition (§5.4).
+//
+// Paper bands: EmbRace reduces stall 1.45-2.56x (RTX3090) and 1.37-3.02x
+// (RTX2080) vs the best baseline; LM's Horovod-AllReduce stall is so large
+// the paper omits it from the plot.
+#include <cstdio>
+
+#include "common/table.h"
+#include "simnet/train_sim.h"
+
+using namespace embrace;
+using namespace embrace::simnet;
+
+int main() {
+  std::puts("Figure 8: Computation Stall on 16 GPUs, normalized by EmbRace "
+            "(EmbRace = 1.00).\n");
+  for (int cluster_kind = 0; cluster_kind < 2; ++cluster_kind) {
+    const ClusterConfig cfg = cluster_kind == 0 ? make_rtx3090_cluster(16)
+                                                : make_rtx2080_cluster(16);
+    std::printf("=== 16 %s GPUs ===\n", cfg.name.c_str());
+    TextTable t({"Model", "BytePS", "HVD-AllReduce", "HVD-AllGather",
+                 "Parallax", "EmbRace", "Best baseline / EmbRace"});
+    for (const auto& model : all_model_specs()) {
+      const double embrace_stall =
+          simulate_training(model, cfg, Strategy::kEmbRace)
+              .stats.computation_stall;
+      std::vector<std::string> row{model.name};
+      double best = 1e100;
+      for (Strategy s : baseline_strategies()) {
+        const double stall =
+            simulate_training(model, cfg, s).stats.computation_stall;
+        best = std::min(best, stall);
+        row.push_back(TextTable::num(stall / embrace_stall, 2));
+      }
+      row.push_back("1.00");
+      row.push_back(TextTable::num(best / embrace_stall, 2) + "x");
+      t.add_row(std::move(row));
+    }
+    t.print();
+    std::puts("");
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// google-benchmark micro-benchmarks of the in-process collective runtime:
+// wall-clock per collective across rank counts and payload sizes. These
+// measure the functional substrate itself (threads + mailboxes), not the
+// modeled cluster — see bench_fig4/7 for modeled network numbers.
+#include <benchmark/benchmark.h>
+
+#include "comm/cluster.h"
+#include "comm/communicator.h"
+#include "comm/sparse_collectives.h"
+#include "common/rng.h"
+
+using namespace embrace;
+using namespace embrace::comm;
+
+namespace {
+
+void BM_AllReduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int64_t len = state.range(1);
+  for (auto _ : state) {
+    run_cluster(ranks, [&](Communicator& c) {
+      std::vector<float> data(static_cast<size_t>(len), 1.0f);
+      c.allreduce(data);
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * ranks *
+                          len * 4);
+}
+BENCHMARK(BM_AllReduce)
+    ->Args({2, 1 << 10})
+    ->Args({4, 1 << 10})
+    ->Args({4, 1 << 16})
+    ->Args({8, 1 << 14});
+
+void BM_AlltoAll(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int64_t chunk = state.range(1);
+  for (auto _ : state) {
+    run_cluster(ranks, [&](Communicator& c) {
+      std::vector<float> send(static_cast<size_t>(chunk) * ranks, 1.0f);
+      auto out = c.alltoall(send, chunk);
+      benchmark::DoNotOptimize(out.data());
+    });
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * ranks *
+                          ranks * chunk * 4);
+}
+BENCHMARK(BM_AlltoAll)->Args({2, 1 << 10})->Args({4, 1 << 12})->Args({8, 1 << 10});
+
+void BM_AllGatherv(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const size_t bytes = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    run_cluster(ranks, [&](Communicator& c) {
+      Bytes mine(bytes);
+      auto out = c.allgatherv(mine);
+      benchmark::DoNotOptimize(out.data());
+    });
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * ranks *
+                          (ranks - 1) * static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_AllGatherv)->Args({2, 4096})->Args({4, 4096})->Args({8, 4096});
+
+void BM_SparseAllgather(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int64_t nnz = state.range(1);
+  constexpr int64_t kVocab = 100000, kDim = 32;
+  Rng rng(1);
+  std::vector<int64_t> ids;
+  for (int64_t i = 0; i < nnz; ++i) ids.push_back(rng.next_int(0, kVocab - 1));
+  Tensor vals = Tensor::randn({nnz, kDim}, rng);
+  SparseRows grad(kVocab, ids, vals);
+  for (auto _ : state) {
+    run_cluster(ranks, [&](Communicator& c) {
+      auto out = sparse_allgather(c, grad);
+      benchmark::DoNotOptimize(out.nnz_rows());
+    });
+  }
+}
+BENCHMARK(BM_SparseAllgather)->Args({2, 256})->Args({4, 256})->Args({4, 2048});
+
+void BM_Barrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    run_cluster(ranks, [&](Communicator& c) {
+      for (int i = 0; i < 10; ++i) c.barrier();
+    });
+  }
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// google-benchmark micro-benchmarks of the sparse-tensor operations on
+// EmbRace's critical path: coalesce, prior/delayed split (Algorithm 1's
+// set machinery), column slicing, pack/unpack, and the sparse Adam apply.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "nn/optim.h"
+#include "sched/vertical.h"
+#include "tensor/index_ops.h"
+#include "tensor/sparse_rows.h"
+
+using namespace embrace;
+
+namespace {
+
+SparseRows make_grad(int64_t vocab, int64_t nnz, int64_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> ids;
+  for (int64_t i = 0; i < nnz; ++i) ids.push_back(rng.next_int(0, vocab - 1));
+  Tensor vals = Tensor::randn({nnz, dim}, rng);
+  return SparseRows(vocab, ids, vals);
+}
+
+void BM_Coalesce(benchmark::State& state) {
+  auto g = make_grad(100000, state.range(0), 64, 7);
+  for (auto _ : state) {
+    auto c = g.coalesced();
+    benchmark::DoNotOptimize(c.nnz_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Coalesce)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_VerticalSchedule(benchmark::State& state) {
+  const int64_t nnz = state.range(0);
+  auto g = make_grad(100000, nnz, 64, 9);
+  Rng rng(11);
+  std::vector<int64_t> next_ids;
+  for (int64_t i = 0; i < nnz; ++i) {
+    next_ids.push_back(rng.next_int(0, 99999));
+  }
+  const auto cur = std::vector<int64_t>(g.indices());
+  for (auto _ : state) {
+    auto split = sched::vertical_sparse_schedule(g, cur, next_ids);
+    benchmark::DoNotOptimize(split.prior.nnz_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * nnz);
+}
+BENCHMARK(BM_VerticalSchedule)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_SliceColumns(benchmark::State& state) {
+  auto g = make_grad(100000, state.range(0), 64, 13).coalesced();
+  for (auto _ : state) {
+    auto s = g.slice_columns(16, 32);
+    benchmark::DoNotOptimize(s.nnz_rows());
+  }
+}
+BENCHMARK(BM_SliceColumns)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_PackUnpack(benchmark::State& state) {
+  auto g = make_grad(100000, state.range(0), 64, 17);
+  for (auto _ : state) {
+    auto buf = g.pack();
+    auto back = SparseRows::unpack(buf);
+    benchmark::DoNotOptimize(back.nnz_rows());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(g.pack().size()));
+}
+BENCHMARK(BM_PackUnpack)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_SparseAdamApply(benchmark::State& state) {
+  constexpr int64_t kVocab = 100000, kDim = 64;
+  auto g = make_grad(kVocab, state.range(0), kDim, 19).coalesced();
+  Rng rng(21);
+  Tensor table = Tensor::randn({kVocab, kDim}, rng);
+  nn::SparseAdam adam(kVocab, kDim, 0.001f);
+  for (auto _ : state) {
+    adam.apply(table, g, nn::SparseStep::kFull);
+    benchmark::DoNotOptimize(table.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.nnz_rows() * kDim);
+}
+BENCHMARK(BM_SparseAdamApply)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_UniqueIntersect(benchmark::State& state) {
+  Rng rng(23);
+  std::vector<int64_t> a, b;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    a.push_back(rng.next_int(0, 1 << 20));
+    b.push_back(rng.next_int(0, 1 << 20));
+  }
+  for (auto _ : state) {
+    auto ua = unique_sorted(a);
+    auto ub = unique_sorted(b);
+    auto both = intersect_sorted(ua, ub);
+    benchmark::DoNotOptimize(both.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_UniqueIntersect)->Arg(1 << 12)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+// Reproduces Table 1: model size and embedding size (MB) of the four
+// benchmark NLP models, and the embedding parameter ratio.
+#include <cstdio>
+
+#include "common/table.h"
+#include "simnet/model_specs.h"
+
+int main() {
+  using namespace embrace;
+  std::puts("Table 1: Model size and embedding size (MB) in popular NLP "
+            "models.");
+  std::puts("Paper reference ratios: LM 97.27%, GNMT-8 34.16%, "
+            "Transformer 24.67%, BERT-base 21.42%.\n");
+  TextTable t({"Model", "Model Size (MB)", "Embedding Size (MB)",
+               "Ratio", "Tables", "Dense Blocks"});
+  for (const auto& spec : simnet::all_model_specs()) {
+    t.add_row({spec.name, TextTable::num(spec.model_mb, 1),
+               TextTable::num(spec.embedding_mb, 1),
+               TextTable::num(100.0 * spec.embedding_ratio(), 2) + "%",
+               std::to_string(spec.embeddings.size()),
+               std::to_string(spec.dense_blocks)});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Checkpoint/resume: train a small sparse model, snapshot all parameters
+// (embedding table + dense head) to disk mid-run, crash-simulate, restore
+// into fresh objects, and verify the resumed run continues bit-identically.
+//
+// Usage: checkpoint_resume [path]   (default: ./embrace_example.ckpt)
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "data/loader.h"
+#include "nn/checkpoint.h"
+#include "nn/embedding.h"
+#include "nn/heads.h"
+#include "nn/optim.h"
+
+using namespace embrace;
+using namespace embrace::nn;
+
+namespace {
+
+struct Model {
+  Rng erng;  // consumed by the embedding constructor below
+  Embedding emb;
+  std::unique_ptr<DenseHead> head;
+  explicit Model(uint64_t seed) : erng(seed), emb(500, 12, erng) {
+    Rng hrng(seed + 1);
+    head = make_head(HeadKind::kPoolMlp, 12, 16, 20, hrng);
+  }
+};
+
+float train_steps(Model& m, data::PrefetchingLoader& loader, int steps,
+                  float lr) {
+  Adam dense_opt(m.head->parameters(), lr);
+  SparseAdagrad sparse_opt(m.emb.vocab(), m.emb.dim(), lr);
+  float last = 0.0f;
+  for (int s = 0; s < steps; ++s) {
+    const auto& batch = loader.current();
+    const auto ids = batch.flat_tokens();
+    std::vector<int64_t> targets;
+    for (const auto& row : batch.rows) targets.push_back(row.front() % 20);
+    Tensor out = m.emb.forward(ids);
+    Tensor d_emb;
+    m.head->zero_grad();
+    last = m.head->forward_backward(out, batch.batch_size(), batch.seq_len(),
+                                    targets, &d_emb);
+    dense_opt.step();
+    sparse_opt.apply(m.emb.table(),
+                     m.emb.sparse_grad(ids, d_emb).coalesced(),
+                     SparseStep::kFull);
+    loader.advance();
+  }
+  return last;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : "./embrace_example.ckpt";
+  data::CorpusConfig corpus;
+  corpus.vocab_size = 500;
+  corpus.seed = 5;
+
+  // Phase 1: train 15 steps and checkpoint.
+  Model m(123);
+  auto loader = data::make_corpus_loader(corpus, 0, 6);
+  const float loss_before = train_steps(m, loader, 15, 0.02f);
+  TensorStore ckpt;
+  ckpt.put("embedding", m.emb.table());
+  for (Parameter* p : m.head->parameters()) ckpt.put(p->name, p->value);
+  ckpt.save(path);
+  std::printf("trained 15 steps (loss %.4f), checkpointed %zu tensors to "
+              "%s\n",
+              loss_before, ckpt.size(), path.c_str());
+
+  // Phase 2: continue directly...
+  const float direct = train_steps(m, loader, 10, 0.02f);
+
+  // ...and, separately, restore into a FRESH model and replay the same 10
+  // steps (same data shard position: rebuild the loader and skip ahead).
+  Model restored(123);
+  TensorStore loaded = TensorStore::load(path);
+  restored.emb.table() = loaded.get("embedding");
+  for (Parameter* p : restored.head->parameters()) {
+    p->value = loaded.get(p->name);
+  }
+  auto loader2 = data::make_corpus_loader(corpus, 0, 6);
+  for (int s = 0; s < 15; ++s) loader2.advance();
+  const float resumed = train_steps(restored, loader2, 10, 0.02f);
+
+  std::printf("after 10 more steps: direct %.6f | resumed-from-checkpoint "
+              "%.6f | diff %.2e\n",
+              direct, resumed, std::abs(direct - resumed));
+  std::puts(direct == resumed
+                ? "resume is bit-identical."
+                : "resume differs (optimizer state was reset — see note).");
+  std::puts("\nNote: this example checkpoints parameters only; both the "
+            "direct and resumed phases start fresh optimizer state, so "
+            "they match exactly. Persisting Adam/Adagrad state works the "
+            "same way via TensorStore.");
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// comm_explorer: "which collective should carry my embedding gradients?"
+//
+// Interactive-ish CLI over the analytic cost model: give it your table
+// size, gradient sparsity and cluster shape, get the predicted cost of
+// every aggregation scheme plus a recommendation — the paper's §4.1.2
+// analysis as a tool.
+//
+// Usage:
+//   comm_explorer [embedding_mb] [sparsity_percent] [nodes] [gpus_per_node]
+// Defaults reproduce the paper's GNMT-8 setting on 2 nodes x 4 GPUs.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.h"
+#include "common/units.h"
+#include "simnet/cost_model.h"
+
+int main(int argc, char** argv) {
+  using namespace embrace;
+  using namespace embrace::simnet;
+
+  const double emb_mb = argc > 1 ? std::atof(argv[1]) : 252.5;
+  const double sparsity = argc > 2 ? std::atof(argv[2]) / 100.0 : 0.897;
+  const int nodes = argc > 3 ? std::atoi(argv[3]) : 2;
+  const int gpn = argc > 4 ? std::atoi(argv[4]) : 4;
+  if (emb_mb <= 0 || sparsity < 0 || sparsity >= 1 || nodes < 1 || gpn < 1) {
+    std::fprintf(stderr,
+                 "usage: %s [embedding_mb] [sparsity%%] [nodes] "
+                 "[gpus_per_node]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  ClusterConfig cfg = make_rtx3090_cluster(4);
+  cfg.topo = {nodes, gpn};
+  CollectiveCostModel model(cfg);
+  const double bytes = mb_to_bytes(emb_mb);
+  const double alpha = 1.0 - sparsity;
+  const int n = cfg.topo.total_gpus();
+
+  std::printf("Embedding %.1f MB | gradient sparsity %.1f%% (alpha %.3f) | "
+              "%d node(s) x %d GPU(s) = N=%d\n\n",
+              emb_mb, 100 * sparsity, alpha, nodes, gpn, n);
+
+  struct Row {
+    std::string name;
+    double seconds;
+  };
+  std::vector<Row> rows{
+      {"AlltoAll (EmbRace hybrid)", model.alltoall_sparse(bytes, alpha)},
+      {"AllReduce (dense format)", model.allreduce_dense(bytes)},
+      {"AllGather (sparse)", model.allgather_sparse(bytes, alpha)},
+      {"Parameter Server (S=nodes)",
+       model.ps_sparse_step(bytes, alpha, nodes)},
+  };
+  if (model.supports_omnireduce()) {
+    rows.push_back({"OmniReduce (block-sparse)", model.omnireduce(bytes, alpha)});
+  }
+
+  TextTable t({"Scheme", "Predicted cost (ms)", "Relative"});
+  double best = 1e100;
+  std::string best_name;
+  for (const auto& r : rows) {
+    if (r.seconds < best) {
+      best = r.seconds;
+      best_name = r.name;
+    }
+  }
+  for (const auto& r : rows) {
+    t.add_row({r.name, TextTable::num(1e3 * r.seconds, 2),
+               TextTable::num(r.seconds / best, 2) + "x"});
+  }
+  t.print();
+  std::printf("\nRecommendation: %s\n", best_name.c_str());
+  if (!model.supports_omnireduce()) {
+    std::puts("(OmniReduce omitted: it supports only 1 GPU per node.)");
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// schedule_visualizer: renders the simulated execution timeline of any
+// (model, cluster, GPUs, strategy) combination — the tool behind the
+// paper's Figure 6, generalized.
+//
+// Usage:
+//   schedule_visualizer [model] [gpus] [cluster] [strategy]
+//     model:    lm | gnmt | transformer | bert        (default gnmt)
+//     gpus:     4 | 8 | 16                            (default 16)
+//     cluster:  3090 | 2080                           (default 3090)
+//     strategy: allreduce|allgather|byteps|parallax|nosched|embrace|all
+//               (default all)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "simnet/train_sim.h"
+
+using namespace embrace::simnet;
+
+namespace {
+
+ModelSpec pick_model(const std::string& name) {
+  if (name == "lm") return lm_spec();
+  if (name == "transformer") return transformer_spec();
+  if (name == "bert") return bert_base_spec();
+  return gnmt8_spec();
+}
+
+void show(const ModelSpec& model, const ClusterConfig& cfg,
+          Strategy strategy) {
+  TrainSimOptions opts;
+  opts.steps = 4;
+  opts.keep_trace = true;
+  const auto r = simulate_training(model, cfg, strategy, opts);
+  std::printf("--- %s | %s | %d GPUs | %s ---\n", model.name.c_str(),
+              cfg.name.c_str(), cfg.topo.total_gpus(),
+              strategy_name(strategy));
+  std::printf("steady-state step %.1f ms | compute %.1f ms | stall %.1f ms "
+              "| %.0f tokens/s\n",
+              1e3 * r.stats.step_seconds, 1e3 * r.stats.compute_seconds,
+              1e3 * r.stats.computation_stall, r.stats.tokens_per_second);
+  const double scale = r.sim.makespan / 160.0;
+  std::fputs(render_timeline(r.ops, r.sim, scale, 170).c_str(), stdout);
+  std::puts("");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string model_name = argc > 1 ? argv[1] : "gnmt";
+  const int gpus = argc > 2 ? std::atoi(argv[2]) : 16;
+  const std::string cluster = argc > 3 ? argv[3] : "3090";
+  const std::string strategy = argc > 4 ? argv[4] : "all";
+
+  const ModelSpec model = pick_model(model_name);
+  const ClusterConfig cfg = cluster == "2080" ? make_rtx2080_cluster(gpus)
+                                              : make_rtx3090_cluster(gpus);
+  std::puts("Two lanes per run: compute stream (top) and communication "
+            "thread (bottom). Tags: F fwd, B bwd, V VSS | G grad comm, "
+            "X emb data, P prior, L delayed.\n");
+  struct Named {
+    const char* key;
+    Strategy s;
+  };
+  const Named all[] = {{"allreduce", Strategy::kHorovodAllReduce},
+                       {"allgather", Strategy::kHorovodAllGather},
+                       {"byteps", Strategy::kBytePS},
+                       {"parallax", Strategy::kParallax},
+                       {"nosched", Strategy::kEmbRaceNoSched},
+                       {"embrace", Strategy::kEmbRace}};
+  bool matched = false;
+  for (const auto& n : all) {
+    if (strategy == "all" || strategy == n.key) {
+      show(model, cfg, n.s);
+      matched = true;
+    }
+  }
+  if (!matched) {
+    std::fprintf(stderr, "unknown strategy '%s'\n", strategy.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Translation-style training (GNMT-flavoured: LSTM head over a BPE-sized
+// vocabulary) comparing all five communication strategies on the same job.
+// Demonstrates: strategy selection, synchronous-training equivalence (every
+// strategy reaches the same losses), and the traffic each one pays.
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "embrace/strategy.h"
+
+int main() {
+  using namespace embrace;
+  using namespace embrace::core;
+
+  TrainConfig cfg;
+  cfg.vocab = 4000;
+  cfg.dim = 32;
+  cfg.hidden = 48;
+  cfg.classes = 64;
+  cfg.head = nn::HeadKind::kLstm;  // recurrent dense part, like GNMT
+  cfg.optim = OptimKind::kSgd;     // lets the PS baseline participate
+  cfg.lr = 0.05f;
+  cfg.batch_per_worker = 6;
+  cfg.steps = 15;
+  cfg.min_sentence_len = 5;
+  cfg.max_sentence_len = 12;
+  cfg.zipf_skew = 1.0;
+  cfg.reuse_prob = 0.4;
+  cfg.seed = 31;
+  constexpr int kWorkers = 4;
+
+  std::puts("Translation-style training, 4 workers, identical data and "
+            "initialization under every strategy:\n");
+  TextTable t({"Strategy", "First loss", "Last loss", "Wire MB", "Wall ms"});
+  for (auto s : {StrategyKind::kHorovodAllReduce,
+                 StrategyKind::kHorovodAllGather, StrategyKind::kBytePsDense,
+                 StrategyKind::kParallaxPs, StrategyKind::kEmbRaceNoVss,
+                 StrategyKind::kEmbRace}) {
+    cfg.strategy = s;
+    Stopwatch watch;
+    const TrainStats stats = run_distributed(cfg, kWorkers);
+    const double wall_ms = watch.millis();
+    t.add_row({strategy_kind_name(s), TextTable::num(stats.losses.front(), 4),
+               TextTable::num(stats.losses.back(), 4),
+               TextTable::num((stats.fabric_bytes + stats.ps_bytes) /
+                                  (1024.0 * 1024.0),
+                              2),
+               TextTable::num(wall_ms, 0)});
+  }
+  t.print();
+  std::puts("\nAll strategies implement the same synchronous SGD, so the "
+            "loss columns agree; only the communication differs. Dense "
+            "AllReduce ships the whole table every step — compare its "
+            "Wire MB column with EmbRace's.");
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "comm/cluster.h"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace embrace::comm {
+
+void run_cluster(Fabric& fabric, const RankFn& fn) {
+  const int n = fabric.num_ranks();
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(n));
+  threads.reserve(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&fabric, &fn, &errors, r] {
+      try {
+        Communicator comm(fabric, r);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void run_cluster(int num_ranks, const RankFn& fn) {
+  Fabric fabric(num_ranks);
+  run_cluster(fabric, fn);
+}
+
+}  // namespace embrace::comm

@@ -1,0 +1,25 @@
+// Spawns N rank threads over a shared Fabric and runs an SPMD function —
+// the in-process equivalent of `mpirun -np N` / horovodrun.
+//
+// Exceptions thrown by any rank are captured and rethrown (first by rank
+// order) from run_cluster after all threads join, so test failures inside
+// workers surface as ordinary gtest failures.
+#pragma once
+
+#include <functional>
+
+#include "comm/communicator.h"
+#include "comm/fabric.h"
+
+namespace embrace::comm {
+
+using RankFn = std::function<void(Communicator&)>;
+
+// Runs `fn` on `num_ranks` threads over a fresh fabric.
+void run_cluster(int num_ranks, const RankFn& fn);
+
+// Same, but over a caller-provided fabric (lets tests inspect traffic
+// counters afterwards).
+void run_cluster(Fabric& fabric, const RankFn& fn);
+
+}  // namespace embrace::comm

@@ -1,0 +1,325 @@
+#include "comm/communicator.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace embrace::comm {
+namespace {
+
+Bytes floats_to_bytes(std::span<const float> data) {
+  Bytes out(data.size() * sizeof(float));
+  std::memcpy(out.data(), data.data(), out.size());
+  return out;
+}
+
+std::vector<float> bytes_to_floats(const Bytes& buf) {
+  EMBRACE_CHECK_EQ(buf.size() % sizeof(float), 0u);
+  std::vector<float> out(buf.size() / sizeof(float));
+  std::memcpy(out.data(), buf.data(), buf.size());
+  return out;
+}
+
+}  // namespace
+
+void reduce_into(std::span<float> acc, std::span<const float> in,
+                 ReduceOp op) {
+  EMBRACE_CHECK_EQ(acc.size(), in.size());
+  switch (op) {
+    case ReduceOp::kSum:
+      for (size_t i = 0; i < acc.size(); ++i) acc[i] += in[i];
+      break;
+    case ReduceOp::kMax:
+      for (size_t i = 0; i < acc.size(); ++i) acc[i] = std::max(acc[i], in[i]);
+      break;
+  }
+}
+
+Communicator::Communicator(Fabric& fabric, int rank, int channel_id)
+    : fabric_(&fabric), rank_(rank), channel_id_(channel_id) {
+  EMBRACE_CHECK(rank >= 0 && rank < fabric.num_ranks());
+  EMBRACE_CHECK(channel_id >= 0 && channel_id < (1 << 8),
+                << "channel id out of range");
+}
+
+Communicator Communicator::channel(int channel_id) const {
+  return Communicator(*fabric_, rank_, channel_id);
+}
+
+uint64_t Communicator::next_tag() {
+  // Tag layout: [channel:8][sequence:40]. The SPMD contract guarantees the
+  // per-channel sequence numbers line up across ranks.
+  const uint64_t tag =
+      (static_cast<uint64_t>(channel_id_) << 40) | (seq_ & ((uint64_t{1} << 40) - 1));
+  ++seq_;
+  return tag;
+}
+
+void Communicator::send_bytes(int dst, Bytes msg) {
+  fabric_->send(rank_, dst, next_tag(), std::move(msg));
+}
+
+Bytes Communicator::recv_bytes(int src) {
+  return fabric_->recv(rank_, src, next_tag());
+}
+
+void Communicator::send_floats(int dst, std::span<const float> data) {
+  send_bytes(dst, floats_to_bytes(data));
+}
+
+std::vector<float> Communicator::recv_floats(int src) {
+  return bytes_to_floats(recv_bytes(src));
+}
+
+namespace {
+constexpr uint64_t kTaggedSpaceBit = uint64_t{1} << 39;
+}
+
+void Communicator::send_bytes_at(int dst, uint64_t user_tag, Bytes msg) {
+  EMBRACE_CHECK_LT(user_tag, kTaggedSpaceBit, << "user tag out of range");
+  const uint64_t tag = (static_cast<uint64_t>(channel_id_) << 40) |
+                       kTaggedSpaceBit | user_tag;
+  fabric_->send(rank_, dst, tag, std::move(msg));
+}
+
+comm::Bytes Communicator::recv_bytes_at(int src, uint64_t user_tag) {
+  EMBRACE_CHECK_LT(user_tag, kTaggedSpaceBit, << "user tag out of range");
+  const uint64_t tag = (static_cast<uint64_t>(channel_id_) << 40) |
+                       kTaggedSpaceBit | user_tag;
+  return fabric_->recv(rank_, src, tag);
+}
+
+std::pair<int64_t, int64_t> Communicator::chunk_range(int64_t total,
+                                                      int chunk_rank) const {
+  const int64_t n = size();
+  const int64_t begin = total * chunk_rank / n;
+  const int64_t end = total * (chunk_rank + 1) / n;
+  return {begin, end};
+}
+
+void Communicator::barrier() {
+  // Dissemination barrier: ceil(log2 N) rounds of token exchange.
+  const int n = size();
+  for (int k = 1; k < n; k <<= 1) {
+    const uint64_t tag = next_tag();
+    const int to = (rank_ + k) % n;
+    const int from = (rank_ - k + n) % n;
+    fabric_->send(rank_, to, tag, Bytes{});
+    (void)fabric_->recv(rank_, from, tag);
+  }
+}
+
+void Communicator::broadcast(std::span<float> data, int root) {
+  // Binomial tree rooted at `root` (ranks relabeled relative to root).
+  const int n = size();
+  const int vrank = (rank_ - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    const uint64_t tag = next_tag();
+    if (vrank < mask) {
+      const int vpeer = vrank + mask;
+      if (vpeer < n) {
+        const int peer = (vpeer + root) % n;
+        fabric_->send(rank_, peer, tag, floats_to_bytes(data));
+      }
+    } else if (vrank < 2 * mask) {
+      const int vpeer = vrank - mask;
+      const int peer = (vpeer + root) % n;
+      const auto msg = bytes_to_floats(fabric_->recv(rank_, peer, tag));
+      EMBRACE_CHECK_EQ(msg.size(), data.size());
+      std::copy(msg.begin(), msg.end(), data.begin());
+    }
+    mask <<= 1;
+  }
+}
+
+std::vector<float> Communicator::reduce_scatter(std::span<float> data,
+                                                ReduceOp op) {
+  const int n = size();
+  const int64_t total = static_cast<int64_t>(data.size());
+  // Ring reduce-scatter: in step s, rank sends chunk (rank - s - 1) and
+  // receives chunk (rank - s - 2), accumulating into its copy. This offset
+  // is chosen so that after N-1 steps rank r holds the full reduction of
+  // chunk r (its own chunk under chunk_range()).
+  for (int s = 0; s < n - 1; ++s) {
+    const uint64_t tag = next_tag();
+    const int send_chunk = (rank_ - s - 1 + 2 * n) % n;
+    const int recv_chunk = (rank_ - s - 2 + 2 * n) % n;
+    const auto [sb, se] = chunk_range(total, send_chunk);
+    const auto [rb, re] = chunk_range(total, recv_chunk);
+    const int to = (rank_ + 1) % n;
+    const int from = (rank_ - 1 + n) % n;
+    fabric_->send(rank_, to, tag,
+                  floats_to_bytes(data.subspan(static_cast<size_t>(sb),
+                                               static_cast<size_t>(se - sb))));
+    const auto incoming = bytes_to_floats(fabric_->recv(rank_, from, tag));
+    EMBRACE_CHECK_EQ(static_cast<int64_t>(incoming.size()), re - rb);
+    reduce_into(data.subspan(static_cast<size_t>(rb),
+                             static_cast<size_t>(re - rb)),
+                incoming, op);
+  }
+  const auto [mb, me] = chunk_range(total, rank_);
+  return std::vector<float>(data.begin() + mb, data.begin() + me);
+}
+
+void Communicator::allreduce(std::span<float> data, ReduceOp op) {
+  const int n = size();
+  if (n == 1) return;
+  const int64_t total = static_cast<int64_t>(data.size());
+  (void)reduce_scatter(data, op);
+  // Ring allgather of the reduced chunks: in step s, rank forwards chunk
+  // (rank - s) and receives chunk (rank - s - 1).
+  for (int s = 0; s < n - 1; ++s) {
+    const uint64_t tag = next_tag();
+    const int send_chunk = (rank_ - s + 2 * n) % n;
+    const int recv_chunk = (rank_ - s - 1 + 2 * n) % n;
+    const auto [sb, se] = chunk_range(total, send_chunk);
+    const auto [rb, re] = chunk_range(total, recv_chunk);
+    const int to = (rank_ + 1) % n;
+    const int from = (rank_ - 1 + n) % n;
+    fabric_->send(rank_, to, tag,
+                  floats_to_bytes(data.subspan(static_cast<size_t>(sb),
+                                               static_cast<size_t>(se - sb))));
+    const auto incoming = bytes_to_floats(fabric_->recv(rank_, from, tag));
+    EMBRACE_CHECK_EQ(static_cast<int64_t>(incoming.size()), re - rb);
+    std::copy(incoming.begin(), incoming.end(),
+              data.begin() + rb);
+  }
+}
+
+void Communicator::reduce(std::span<float> data, int root, ReduceOp op) {
+  // Binomial tree toward `root` (ranks relabeled relative to root):
+  // at round k, vranks with bit k set send their partial sum to vrank-2^k.
+  const int n = size();
+  const int vrank = (rank_ - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    const uint64_t tag = next_tag();
+    if ((vrank & mask) != 0) {
+      const int peer = ((vrank - mask) + root) % n;
+      fabric_->send(rank_, peer, tag, floats_to_bytes(data));
+      // This rank's contribution is merged upstream; it stops participating.
+      while ((mask <<= 1) < n) (void)next_tag();  // keep tag seq aligned
+      return;
+    }
+    if (vrank + mask < n) {
+      const int peer = ((vrank + mask) + root) % n;
+      const auto incoming = bytes_to_floats(fabric_->recv(rank_, peer, tag));
+      EMBRACE_CHECK_EQ(incoming.size(), data.size());
+      reduce_into(data, incoming, op);
+    }
+    mask <<= 1;
+  }
+}
+
+std::vector<Bytes> Communicator::gatherv(const Bytes& mine, int root) {
+  const int n = size();
+  const uint64_t tag = next_tag();
+  if (rank_ != root) {
+    fabric_->send(rank_, root, tag, mine);
+    return {};
+  }
+  std::vector<Bytes> out(static_cast<size_t>(n));
+  out[static_cast<size_t>(root)] = mine;
+  for (int r = 0; r < n; ++r) {
+    if (r == root) continue;
+    out[static_cast<size_t>(r)] = fabric_->recv(rank_, r, tag);
+  }
+  return out;
+}
+
+Bytes Communicator::scatterv(std::vector<Bytes> parts, int root) {
+  const int n = size();
+  const uint64_t tag = next_tag();
+  if (rank_ == root) {
+    EMBRACE_CHECK_EQ(static_cast<int>(parts.size()), n,
+                     << "one payload per rank required at the root");
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      fabric_->send(rank_, r, tag, std::move(parts[static_cast<size_t>(r)]));
+    }
+    return std::move(parts[static_cast<size_t>(root)]);
+  }
+  return fabric_->recv(rank_, root, tag);
+}
+
+std::vector<float> Communicator::allgather(std::span<const float> block) {
+  const int n = size();
+  const int64_t block_size = static_cast<int64_t>(block.size());
+  std::vector<float> out(static_cast<size_t>(block_size) * n);
+  std::copy(block.begin(), block.end(),
+            out.begin() + static_cast<int64_t>(rank_) * block_size);
+  // Ring: in step s, forward the block that originated at rank (rank - s).
+  for (int s = 0; s < n - 1; ++s) {
+    const uint64_t tag = next_tag();
+    const int send_origin = (rank_ - s + n) % n;
+    const int recv_origin = (rank_ - s - 1 + n) % n;
+    const int to = (rank_ + 1) % n;
+    const int from = (rank_ - 1 + n) % n;
+    std::span<const float> send_block{
+        out.data() + static_cast<size_t>(send_origin) * block_size,
+        static_cast<size_t>(block_size)};
+    fabric_->send(rank_, to, tag, floats_to_bytes(send_block));
+    const auto incoming = bytes_to_floats(fabric_->recv(rank_, from, tag));
+    EMBRACE_CHECK_EQ(static_cast<int64_t>(incoming.size()), block_size);
+    std::copy(incoming.begin(), incoming.end(),
+              out.begin() + static_cast<int64_t>(recv_origin) * block_size);
+  }
+  return out;
+}
+
+std::vector<Bytes> Communicator::allgatherv(const Bytes& mine) {
+  const int n = size();
+  std::vector<Bytes> out(static_cast<size_t>(n));
+  out[static_cast<size_t>(rank_)] = mine;
+  // Pairwise exchange: every rank ships its full payload to every peer —
+  // the (N−1)·αM traffic pattern the paper attributes to sparse AllGather.
+  for (int s = 1; s < n; ++s) {
+    const uint64_t tag = next_tag();
+    const int to = (rank_ + s) % n;
+    const int from = (rank_ - s + n) % n;
+    fabric_->send(rank_, to, tag, mine);
+    out[static_cast<size_t>(from)] = fabric_->recv(rank_, from, tag);
+  }
+  return out;
+}
+
+std::vector<float> Communicator::alltoall(std::span<const float> send,
+                                          int64_t chunk) {
+  const int n = size();
+  EMBRACE_CHECK_EQ(static_cast<int64_t>(send.size()), chunk * n);
+  std::vector<Bytes> payloads(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    payloads[static_cast<size_t>(i)] = floats_to_bytes(
+        send.subspan(static_cast<size_t>(i) * chunk, static_cast<size_t>(chunk)));
+  }
+  auto recv = alltoallv(std::move(payloads));
+  std::vector<float> out(static_cast<size_t>(chunk) * n);
+  for (int i = 0; i < n; ++i) {
+    const auto part = bytes_to_floats(recv[static_cast<size_t>(i)]);
+    EMBRACE_CHECK_EQ(static_cast<int64_t>(part.size()), chunk);
+    std::copy(part.begin(), part.end(),
+              out.begin() + static_cast<int64_t>(i) * chunk);
+  }
+  return out;
+}
+
+std::vector<Bytes> Communicator::alltoallv(std::vector<Bytes> send) {
+  const int n = size();
+  EMBRACE_CHECK_EQ(static_cast<int>(send.size()), n);
+  std::vector<Bytes> out(static_cast<size_t>(n));
+  out[static_cast<size_t>(rank_)] = std::move(send[static_cast<size_t>(rank_)]);
+  // Pairwise exchange with N-1 rounds; peer pattern (rank ± s) avoids
+  // hot-spotting any single destination in a given round.
+  for (int s = 1; s < n; ++s) {
+    const uint64_t tag = next_tag();
+    const int to = (rank_ + s) % n;
+    const int from = (rank_ - s + n) % n;
+    fabric_->send(rank_, to, tag, std::move(send[static_cast<size_t>(to)]));
+    out[static_cast<size_t>(from)] = fabric_->recv(rank_, from, tag);
+  }
+  return out;
+}
+
+}  // namespace embrace::comm

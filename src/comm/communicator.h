@@ -1,0 +1,115 @@
+// Rank-local handle to the in-process collective runtime.
+//
+// Mirrors the slice of NCCL/MPI the paper's system uses:
+//   send/recv, Barrier, Broadcast, ring AllReduce, ReduceScatter,
+//   ring AllGather, AllGatherv (variable byte payloads), pairwise
+//   AlltoAll / AlltoAllv.
+//
+// SPMD contract: every rank calls the same collectives in the same order
+// *per channel*. Distinct channels (see channel()) have independent tag
+// namespaces, so e.g. the dense AllReduce stream and the sparse AlltoAll
+// stream of EmbRace can interleave differently on different ranks without
+// cross-talk — exactly the role of separate NCCL communicators in the
+// paper's implementation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "comm/fabric.h"
+
+namespace embrace::comm {
+
+// Reduction operator for AllReduce/ReduceScatter.
+enum class ReduceOp { kSum, kMax };
+
+class Communicator {
+ public:
+  // channel_id selects a disjoint tag namespace on the shared fabric.
+  Communicator(Fabric& fabric, int rank, int channel_id = 0);
+
+  int rank() const { return rank_; }
+  int size() const { return fabric_->num_ranks(); }
+  int channel_id() const { return channel_id_; }
+  Fabric& fabric() { return *fabric_; }
+
+  // A communicator over the same ranks with an independent tag namespace.
+  // All ranks must derive channels with matching ids.
+  Communicator channel(int channel_id) const;
+
+  // --- point to point ---
+  void send_bytes(int dst, Bytes msg);
+  Bytes recv_bytes(int src);
+  void send_floats(int dst, std::span<const float> data);
+  std::vector<float> recv_floats(int src);
+
+  // Explicitly-tagged point-to-point within this channel, for protocols
+  // whose send/recv counts differ per rank (e.g. the negotiated scheduler's
+  // one-to-many announcements). user_tag < 2^39; the tagged space is
+  // disjoint from the sequence-numbered space above.
+  void send_bytes_at(int dst, uint64_t user_tag, Bytes msg);
+  Bytes recv_bytes_at(int src, uint64_t user_tag);
+
+  // --- collectives ---
+  void barrier();
+
+  // In-place broadcast from `root`; data must have equal size on all ranks.
+  void broadcast(std::span<float> data, int root);
+
+  // In-place ring AllReduce (reduce-scatter + allgather), the Horovod/NCCL
+  // algorithm whose cost the paper models as 2(N-1)(M/(N·B) + β).
+  void allreduce(std::span<float> data, ReduceOp op = ReduceOp::kSum);
+
+  // Reduce-scatter: input `data` of equal size on all ranks; on return the
+  // caller's chunk (chunk_range(rank)) holds the reduced values. Returns the
+  // reduced chunk copied out for convenience.
+  std::vector<float> reduce_scatter(std::span<float> data,
+                                    ReduceOp op = ReduceOp::kSum);
+
+  // Ring AllGather of equal-size blocks: result is size*block concatenated
+  // in rank order.
+  std::vector<float> allgather(std::span<const float> block);
+
+  // AllGather of variable-size byte payloads (pairwise exchange; each rank
+  // ships its full payload to every peer — the paper's (N−1)·αM pattern).
+  std::vector<Bytes> allgatherv(const Bytes& mine);
+
+  // AlltoAll of equal float chunks: `send` is size N·chunk, chunk i goes to
+  // rank i; returns N·chunk with chunk j received from rank j.
+  std::vector<float> alltoall(std::span<const float> send, int64_t chunk);
+
+  // AlltoAll of variable byte payloads: send[i] goes to rank i; returns
+  // payloads indexed by source rank. send.size() must equal size().
+  std::vector<Bytes> alltoallv(std::vector<Bytes> send);
+
+  // Reduce to `root`: after the call, root's `data` holds the elementwise
+  // reduction over all ranks (binomial tree); other ranks' buffers are
+  // clobbered with partial sums.
+  void reduce(std::span<float> data, int root, ReduceOp op = ReduceOp::kSum);
+
+  // Gather of variable-size byte payloads to `root`. Returns one payload
+  // per rank on the root, an empty vector elsewhere.
+  std::vector<Bytes> gatherv(const Bytes& mine, int root);
+
+  // Scatter of variable-size byte payloads from `root`: `parts` (root only)
+  // holds one payload per rank; returns this rank's part.
+  Bytes scatterv(std::vector<Bytes> parts, int root);
+
+  // Chunk [begin, end) of a length-`total` vector owned by `rank` under the
+  // ring algorithms' contiguous partitioning.
+  std::pair<int64_t, int64_t> chunk_range(int64_t total, int chunk_rank) const;
+
+ private:
+  uint64_t next_tag();
+
+  Fabric* fabric_;
+  int rank_;
+  int channel_id_;
+  uint64_t seq_ = 0;
+};
+
+// Applies `op` elementwise: acc = op(acc, in).
+void reduce_into(std::span<float> acc, std::span<const float> in, ReduceOp op);
+
+}  // namespace embrace::comm

@@ -1,0 +1,105 @@
+#include "comm/fabric.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.h"
+
+namespace embrace::comm {
+
+Fabric::Fabric(int num_ranks) : num_ranks_(num_ranks) {
+  EMBRACE_CHECK_GE(num_ranks, 1);
+  mailboxes_.reserve(static_cast<size_t>(num_ranks));
+  for (int i = 0; i < num_ranks; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  counters_.reserve(static_cast<size_t>(num_ranks) * num_ranks);
+  for (int i = 0; i < num_ranks * num_ranks; ++i) {
+    counters_.push_back(std::make_unique<PairCounters>());
+  }
+}
+
+uint64_t Fabric::key(int src, uint64_t tag) {
+  EMBRACE_CHECK_LT(tag, (uint64_t{1} << 48), << "tag space exhausted");
+  return (static_cast<uint64_t>(src) << 48) | tag;
+}
+
+void Fabric::set_delivery_jitter(uint64_t max_micros, uint64_t seed) {
+  jitter_state_.store(seed * 0x9e3779b97f4a7c15ULL + 1);
+  jitter_max_micros_.store(max_micros);
+}
+
+void Fabric::send(int src, int dst, uint64_t tag, Bytes msg) {
+  EMBRACE_CHECK(src >= 0 && src < num_ranks_, << "bad src rank " << src);
+  EMBRACE_CHECK(dst >= 0 && dst < num_ranks_, << "bad dst rank " << dst);
+  if (const uint64_t max_us = jitter_max_micros_.load()) {
+    // SplitMix64 step on a shared atomic: deterministic-ish, contention-free
+    // enough for a stress knob.
+    uint64_t z = jitter_state_.fetch_add(0x9e3779b97f4a7c15ULL) +
+                 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds((z ^ (z >> 31)) % (max_us + 1)));
+  }
+  auto& c = *counters_[static_cast<size_t>(src) * num_ranks_ + dst];
+  c.messages.fetch_add(1, std::memory_order_relaxed);
+  c.bytes.fetch_add(static_cast<int64_t>(msg.size()),
+                    std::memory_order_relaxed);
+  Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queues[key(src, tag)].push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+Bytes Fabric::recv(int dst, int src, uint64_t tag) {
+  EMBRACE_CHECK(src >= 0 && src < num_ranks_, << "bad src rank " << src);
+  EMBRACE_CHECK(dst >= 0 && dst < num_ranks_, << "bad dst rank " << dst);
+  Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
+  const uint64_t k = key(src, tag);
+  std::unique_lock<std::mutex> lock(box.mutex);
+  box.cv.wait(lock, [&] {
+    auto it = box.queues.find(k);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  auto& q = box.queues[k];
+  Bytes msg = std::move(q.front());
+  q.pop_front();
+  return msg;
+}
+
+TrafficCounters Fabric::traffic(int src, int dst) const {
+  const auto& c = *counters_[static_cast<size_t>(src) * num_ranks_ + dst];
+  return {c.messages.load(), c.bytes.load()};
+}
+
+TrafficCounters Fabric::traffic_from(int src) const {
+  TrafficCounters out;
+  for (int dst = 0; dst < num_ranks_; ++dst) {
+    const auto t = traffic(src, dst);
+    out.messages += t.messages;
+    out.bytes += t.bytes;
+  }
+  return out;
+}
+
+TrafficCounters Fabric::total_traffic() const {
+  TrafficCounters out;
+  for (int src = 0; src < num_ranks_; ++src) {
+    const auto t = traffic_from(src);
+    out.messages += t.messages;
+    out.bytes += t.bytes;
+  }
+  return out;
+}
+
+void Fabric::reset_traffic() {
+  for (auto& c : counters_) {
+    c->messages.store(0);
+    c->bytes.store(0);
+  }
+}
+
+}  // namespace embrace::comm

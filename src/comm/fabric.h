@@ -1,0 +1,80 @@
+// In-process message fabric: the transport under the Communicator.
+//
+// This is the repo's substitute for NCCL/MPI point-to-point transport
+// (see DESIGN.md §2). Each of the N ranks is a thread; send() enqueues an
+// owned byte buffer into the destination rank's mailbox keyed by
+// (source, tag); recv() blocks until a matching message arrives. Message
+// order is FIFO per (source, tag) pair, matching MPI's non-overtaking rule.
+//
+// The fabric also keeps per-(src,dst) traffic counters. Collective
+// algorithms are validated against the paper's analytic message counts
+// (Table 2) through these counters, and the partitioning ablation uses them
+// to measure load imbalance.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace embrace::comm {
+
+using Bytes = std::vector<std::byte>;
+
+struct TrafficCounters {
+  int64_t messages = 0;
+  int64_t bytes = 0;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(int num_ranks);
+
+  int num_ranks() const { return num_ranks_; }
+
+  // Moves `msg` into dst's mailbox. src/dst in [0, num_ranks).
+  void send(int src, int dst, uint64_t tag, Bytes msg);
+
+  // Blocks until a message with the given (src, tag) arrives at dst.
+  Bytes recv(int dst, int src, uint64_t tag);
+
+  // Failure/latency injection for tests: every send() sleeps a
+  // deterministic pseudo-random duration in [0, max_micros] before
+  // enqueueing. Exposes ordering bugs that only manifest under timing skew
+  // (the negotiated scheduler and the trainer are stress-tested with this).
+  void set_delivery_jitter(uint64_t max_micros, uint64_t seed = 1);
+
+  // Traffic sent from src to dst since construction (or last reset).
+  TrafficCounters traffic(int src, int dst) const;
+  // Aggregate traffic sent by `src` to all peers.
+  TrafficCounters traffic_from(int src) const;
+  TrafficCounters total_traffic() const;
+  void reset_traffic();
+
+ private:
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    // key = (src << 48) | tag
+    std::unordered_map<uint64_t, std::deque<Bytes>> queues;
+  };
+
+  struct PairCounters {
+    std::atomic<int64_t> messages{0};
+    std::atomic<int64_t> bytes{0};
+  };
+
+  static uint64_t key(int src, uint64_t tag);
+
+  int num_ranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<PairCounters>> counters_;  // n*n, row-major
+  std::atomic<uint64_t> jitter_max_micros_{0};
+  std::atomic<uint64_t> jitter_state_{0};
+};
+
+}  // namespace embrace::comm

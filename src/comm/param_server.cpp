@@ -1,0 +1,152 @@
+#include "comm/param_server.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace embrace::comm {
+
+ShardedParameterServer::ShardedParameterServer(const Tensor& params,
+                                               int num_shards, int num_workers,
+                                               float learning_rate)
+    : num_shards_(num_shards),
+      num_workers_(num_workers),
+      lr_(learning_rate),
+      rows_(params.rows()),
+      dim_(params.cols()) {
+  EMBRACE_CHECK_GE(num_shards, 1);
+  EMBRACE_CHECK_GE(num_workers, 1);
+  EMBRACE_CHECK_EQ(params.dim(), 2);
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->row_begin = rows_ * s / num_shards;
+    shard->row_end = rows_ * (s + 1) / num_shards;
+    const int64_t n = shard->row_end - shard->row_begin;
+    shard->params = Tensor({n, dim_});
+    for (int64_t r = 0; r < n; ++r) {
+      auto src = params.row(shard->row_begin + r);
+      auto dst = shard->params.row(r);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    shard->pending_grad = Tensor({n, dim_});
+    shards_.push_back(std::move(shard));
+  }
+}
+
+int ShardedParameterServer::shard_index_for_row(int64_t row) const {
+  EMBRACE_CHECK(row >= 0 && row < rows_);
+  // Inverse of the contiguous partition rows_*s/num_shards.
+  int s = static_cast<int>(row * num_shards_ / std::max<int64_t>(rows_, 1));
+  while (s > 0 && row < shards_[static_cast<size_t>(s)]->row_begin) --s;
+  while (s + 1 < num_shards_ && row >= shards_[static_cast<size_t>(s)]->row_end) ++s;
+  return s;
+}
+
+ShardedParameterServer::Shard& ShardedParameterServer::shard_for_row(
+    int64_t row) {
+  return *shards_[static_cast<size_t>(shard_index_for_row(row))];
+}
+
+Tensor ShardedParameterServer::pull_rows(const std::vector<int64_t>& indices) {
+  Tensor out({static_cast<int64_t>(indices.size()), dim_});
+  for (size_t k = 0; k < indices.size(); ++k) {
+    Shard& shard = shard_for_row(indices[k]);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto src = shard.params.row(indices[k] - shard.row_begin);
+    auto dst = out.row(static_cast<int64_t>(k));
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  pull_bytes_.fetch_add(out.byte_size() +
+                        static_cast<int64_t>(indices.size() * sizeof(int64_t)));
+  return out;
+}
+
+Tensor ShardedParameterServer::pull_all() {
+  Tensor out = snapshot();
+  pull_bytes_.fetch_add(out.byte_size());
+  return out;
+}
+
+void ShardedParameterServer::apply_or_wait(Shard& shard, int num_workers,
+                                           float lr) {
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  const int64_t entry_step = shard.step;
+  if (++shard.pushes_this_step == num_workers) {
+    shard.params.add_scaled_(shard.pending_grad, -lr);
+    shard.pending_grad.fill_(0.0f);
+    shard.pushes_this_step = 0;
+    ++shard.step;
+    shard.cv.notify_all();
+  } else {
+    shard.cv.wait(lock, [&] { return shard.step > entry_step; });
+  }
+}
+
+void ShardedParameterServer::push_sparse(const SparseRows& grad) {
+  EMBRACE_CHECK_EQ(grad.num_total_rows(), rows_);
+  EMBRACE_CHECK_EQ(grad.dim(), dim_);
+  // Accumulate this worker's rows into the owning shards' pending buffers.
+  int64_t bytes = 0;
+  for (int64_t k = 0; k < grad.nnz_rows(); ++k) {
+    const int64_t row = grad.indices()[static_cast<size_t>(k)];
+    Shard& shard = shard_for_row(row);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto src = grad.values().row(k);
+    auto dst = shard.pending_grad.row(row - shard.row_begin);
+    for (size_t c = 0; c < src.size(); ++c) dst[c] += src[c];
+    bytes += static_cast<int64_t>(sizeof(int64_t)) +
+             static_cast<int64_t>(src.size() * sizeof(float));
+    shard.push_bytes.fetch_add(
+        static_cast<int64_t>(sizeof(int64_t) + src.size() * sizeof(float)));
+  }
+  push_bytes_.fetch_add(bytes);
+  // Participate in the synchronous step barrier on every shard (even shards
+  // this worker sent no rows to — a synchronous PS waits for all workers).
+  for (auto& shard : shards_) {
+    apply_or_wait(*shard, num_workers_, lr_);
+  }
+}
+
+void ShardedParameterServer::push_dense(const Tensor& grad) {
+  EMBRACE_CHECK_EQ(grad.rows(), rows_);
+  EMBRACE_CHECK_EQ(grad.cols(), dim_);
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (int64_t r = shard.row_begin; r < shard.row_end; ++r) {
+      auto src = grad.row(r);
+      auto dst = shard.pending_grad.row(r - shard.row_begin);
+      for (size_t c = 0; c < src.size(); ++c) dst[c] += src[c];
+    }
+    shard.push_bytes.fetch_add((shard.row_end - shard.row_begin) * dim_ *
+                               static_cast<int64_t>(sizeof(float)));
+  }
+  push_bytes_.fetch_add(grad.byte_size());
+  for (auto& shard : shards_) {
+    apply_or_wait(*shard, num_workers_, lr_);
+  }
+}
+
+std::vector<int64_t> ShardedParameterServer::per_shard_push_bytes() const {
+  std::vector<int64_t> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) out.push_back(shard->push_bytes.load());
+  return out;
+}
+
+Tensor ShardedParameterServer::snapshot() const {
+  Tensor out({rows_, dim_});
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (int64_t r = shard.row_begin; r < shard.row_end; ++r) {
+      auto src = shard.params.row(r - shard.row_begin);
+      auto dst = out.row(r);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  return out;
+}
+
+}  // namespace embrace::comm

@@ -1,0 +1,88 @@
+// Sharded parameter-server emulation.
+//
+// Functional substrate for the Parallax and BytePS baselines: parameters
+// are row-partitioned across S server shards; workers pull the rows they
+// need and push (sparse or dense) gradients. In-process, a shard is a
+// mutex-protected store shared by the worker threads; the traffic a real PS
+// would put on the wire is tallied explicitly so tests can check it against
+// the paper's 2N(αM/(S·B)+β) analysis and the simulator can price it.
+//
+// Synchronous-training protocol: push_* accumulates into a pending buffer;
+// the update is applied once all `num_workers` pushes for a step arrive
+// (the last pusher applies it), matching a synchronous PS with per-step
+// aggregation.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "tensor/sparse_rows.h"
+#include "tensor/tensor.h"
+
+namespace embrace::comm {
+
+class ShardedParameterServer {
+ public:
+  // Initializes S shards holding a row-partition of `params` (rows × dim).
+  // `learning_rate` is the SGD rate applied server-side on aggregate grads.
+  ShardedParameterServer(const Tensor& params, int num_shards, int num_workers,
+                         float learning_rate);
+
+  int num_shards() const { return num_shards_; }
+  int64_t rows() const { return rows_; }
+  int64_t dim() const { return dim_; }
+
+  // Pulls the given rows (sorted-unique not required). Counts pull traffic.
+  Tensor pull_rows(const std::vector<int64_t>& indices);
+  // Pulls the full table (dense pull, used by the dense-PS baseline).
+  Tensor pull_all();
+
+  // Pushes a sparse gradient; blocks until the step's aggregate update has
+  // been applied on every shard this worker touched (synchronous step).
+  void push_sparse(const SparseRows& grad);
+  // Pushes a dense gradient over the whole table.
+  void push_dense(const Tensor& grad);
+
+  // Bytes that would traverse the network for pulls/pushes so far.
+  int64_t pull_bytes() const { return pull_bytes_.load(); }
+  int64_t push_bytes() const { return push_bytes_.load(); }
+  // Per-shard push traffic (for load-balance measurements).
+  std::vector<int64_t> per_shard_push_bytes() const;
+
+  // Snapshot of the full parameter table (test/verification helper; not
+  // counted as traffic).
+  Tensor snapshot() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    int64_t row_begin = 0;
+    int64_t row_end = 0;
+    Tensor params;        // (row_end-row_begin) × dim
+    Tensor pending_grad;  // same shape, accumulated this step
+    int pushes_this_step = 0;
+    int64_t step = 0;
+    std::atomic<int64_t> push_bytes{0};
+  };
+
+  Shard& shard_for_row(int64_t row);
+  int shard_index_for_row(int64_t row) const;
+  // Waits until `shard` finishes step `step` (i.e. shard.step > step).
+  static void apply_or_wait(Shard& shard, int num_workers, float lr);
+
+  int num_shards_;
+  int num_workers_;
+  float lr_;
+  int64_t rows_ = 0;
+  int64_t dim_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> pull_bytes_{0};
+  std::atomic<int64_t> push_bytes_{0};
+};
+
+}  // namespace embrace::comm

@@ -1,0 +1,36 @@
+#include "comm/sparse_collectives.h"
+
+#include "common/error.h"
+
+namespace embrace::comm {
+
+SparseRows sparse_allgather(Communicator& comm, const SparseRows& mine) {
+  const auto buffers = comm.allgatherv(mine.pack());
+  SparseRows acc = SparseRows::empty(mine.num_total_rows(), mine.dim());
+  for (const auto& buf : buffers) {
+    SparseRows part = SparseRows::unpack(buf);
+    EMBRACE_CHECK_EQ(part.num_total_rows(), mine.num_total_rows());
+    EMBRACE_CHECK_EQ(part.dim(), mine.dim());
+    acc = SparseRows::concat(acc, part);
+  }
+  return acc;
+}
+
+std::vector<SparseRows> sparse_alltoall(Communicator& comm,
+                                        std::vector<SparseRows> send) {
+  EMBRACE_CHECK_EQ(static_cast<int>(send.size()), comm.size());
+  std::vector<Bytes> payloads;
+  payloads.reserve(send.size());
+  for (const auto& s : send) payloads.push_back(s.pack());
+  auto received = comm.alltoallv(std::move(payloads));
+  std::vector<SparseRows> out;
+  out.reserve(received.size());
+  for (const auto& buf : received) out.push_back(SparseRows::unpack(buf));
+  return out;
+}
+
+void tensor_allreduce(Communicator& comm, Tensor& t) {
+  comm.allreduce(t.flat(), ReduceOp::kSum);
+}
+
+}  // namespace embrace::comm

@@ -1,0 +1,32 @@
+// Collective operations over SparseRows payloads.
+//
+// These wrap the byte-level collectives with the pack/unpack discipline the
+// paper's sparse paths need:
+//  * sparse_allgather — Horovod-0.22-style sparse gradient aggregation
+//    (each rank contributes its local sparse gradient; every rank receives
+//    the sum of all of them, still in sparse form).
+//  * sparse_alltoall — EmbRace's hybrid-communication primitive: rank r
+//    sends payload[i] to rank i and receives one payload from every peer.
+#pragma once
+
+#include <vector>
+
+#include "comm/communicator.h"
+#include "tensor/sparse_rows.h"
+
+namespace embrace::comm {
+
+// Gathers every rank's sparse rows and returns their (uncoalesced)
+// concatenation in rank order. Logically equals the elementwise sum of all
+// contributions over the shared row space.
+SparseRows sparse_allgather(Communicator& comm, const SparseRows& mine);
+
+// Sends `send[i]` to rank i; returns the payload received from each rank,
+// indexed by source. All payloads must share row-space dimensions.
+std::vector<SparseRows> sparse_alltoall(Communicator& comm,
+                                        std::vector<SparseRows> send);
+
+// Dense AllReduce of a Tensor in place (sum).
+void tensor_allreduce(Communicator& comm, Tensor& t);
+
+}  // namespace embrace::comm

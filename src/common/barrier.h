@@ -1,0 +1,51 @@
+// Reusable thread barrier.
+//
+// std::barrier exists in C++20 but a hand-rolled generation-counting barrier
+// keeps the dependency surface small and lets the comm runtime reset/resize
+// in tests. Classic two-phase (generation) design: no thread can lap the
+// barrier because the generation token changes before waiters are released.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace embrace {
+
+class ThreadBarrier {
+ public:
+  explicit ThreadBarrier(size_t parties) : parties_(parties) {
+    EMBRACE_CHECK(parties >= 1);
+  }
+
+  ThreadBarrier(const ThreadBarrier&) = delete;
+  ThreadBarrier& operator=(const ThreadBarrier&) = delete;
+
+  // Blocks until `parties` threads have arrived. Returns true for exactly
+  // one thread per cycle (the "serial" thread), mirroring pthread_barrier.
+  bool arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const size_t gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return true;
+    }
+    cv_.wait(lock, [&] { return generation_ != gen; });
+    return false;
+  }
+
+  size_t parties() const { return parties_; }
+
+ private:
+  const size_t parties_;
+  size_t arrived_ = 0;
+  size_t generation_ = 0;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace embrace

@@ -1,0 +1,65 @@
+// Error handling primitives shared across all EmbRace libraries.
+//
+// EMBRACE_CHECK is an always-on invariant check (independent of NDEBUG):
+// distributed runtimes fail in ways that are painful to debug after the
+// fact, so precondition violations throw immediately with file/line context.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace embrace {
+
+// Thrown by EMBRACE_CHECK and by explicit argument validation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_check(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "EMBRACE_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+// Builds the optional streamed message lazily; only materialized on failure.
+class CheckMessage {
+ public:
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace embrace
+
+#define EMBRACE_CHECK(cond, ...)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::embrace::detail::fail_check(                                      \
+          #cond, __FILE__, __LINE__,                                      \
+          (::embrace::detail::CheckMessage{} << "" __VA_ARGS__).str());   \
+    }                                                                     \
+  } while (0)
+
+#define EMBRACE_CHECK_EQ(a, b, ...) \
+  EMBRACE_CHECK((a) == (b), << "(" << (a) << " vs " << (b) << ") " __VA_ARGS__)
+#define EMBRACE_CHECK_LT(a, b, ...) \
+  EMBRACE_CHECK((a) < (b), << "(" << (a) << " vs " << (b) << ") " __VA_ARGS__)
+#define EMBRACE_CHECK_LE(a, b, ...) \
+  EMBRACE_CHECK((a) <= (b), << "(" << (a) << " vs " << (b) << ") " __VA_ARGS__)
+#define EMBRACE_CHECK_GT(a, b, ...) \
+  EMBRACE_CHECK((a) > (b), << "(" << (a) << " vs " << (b) << ") " __VA_ARGS__)
+#define EMBRACE_CHECK_GE(a, b, ...) \
+  EMBRACE_CHECK((a) >= (b), << "(" << (a) << " vs " << (b) << ") " __VA_ARGS__)

@@ -1,0 +1,42 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace embrace {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+namespace detail {
+
+void emit_log_line(LogLevel level, const std::string& line) {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  const double t = std::chrono::duration<double>(clock::now() - start).count();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%9.4f %s] %s\n", t, level_name(level), line.c_str());
+}
+
+LogLine::~LogLine() { emit_log_line(level_, os_.str()); }
+
+}  // namespace detail
+}  // namespace embrace

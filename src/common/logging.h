@@ -1,0 +1,51 @@
+// Minimal leveled logger. Thread-safe line-at-a-time output; a global level
+// filters verbosity. Benches keep the level at kWarn so tables stay clean;
+// tests flip to kDebug when diagnosing scheduler interleavings.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace embrace {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+
+void emit_log_line(LogLevel level, const std::string& line);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace embrace
+
+#define EMBRACE_LOG(level)                       \
+  if (static_cast<int>(level) <                  \
+      static_cast<int>(::embrace::log_level())) {} \
+  else ::embrace::detail::LogLine(level)
+
+#define LOG_DEBUG EMBRACE_LOG(::embrace::LogLevel::kDebug)
+#define LOG_INFO EMBRACE_LOG(::embrace::LogLevel::kInfo)
+#define LOG_WARN EMBRACE_LOG(::embrace::LogLevel::kWarn)
+#define LOG_ERROR EMBRACE_LOG(::embrace::LogLevel::kError)

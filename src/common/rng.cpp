@@ -1,0 +1,135 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace embrace {
+namespace {
+
+uint64_t splitmix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng Rng::split(uint64_t stream_id) const {
+  // Mix the current state with the stream id through SplitMix64 so streams
+  // derived from the same parent are decorrelated.
+  uint64_t sm = s_[0] ^ (stream_id * 0xda942042e4dd58b5ULL);
+  Rng child(0);
+  for (auto& s : child.s_) s = splitmix64(sm);
+  return child;
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::next_below(uint64_t n) {
+  EMBRACE_CHECK(n > 0);
+  // Lemire's nearly-divisionless bounded generation.
+  uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  uint64_t lo = static_cast<uint64_t>(m);
+  if (lo < n) {
+    const uint64_t t = (0 - n) % n;
+    while (lo < t) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_double(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::next_normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+int64_t Rng::next_int(int64_t lo, int64_t hi) {
+  EMBRACE_CHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(next_below(span));
+}
+
+bool Rng::next_bool(double p_true) { return next_double() < p_true; }
+
+// --- ZipfSampler (Hörmann & Derflinger rejection-inversion) ---
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  EMBRACE_CHECK(n >= 1);
+  EMBRACE_CHECK(s >= 0.0);
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n_) + 0.5);
+  threshold_ = 2.0 - h_inv(h(2.5) - std::pow(2.0, -s_));
+}
+
+double ZipfSampler::h(double x) const {
+  // Integral of 1/x^s: log for s == 1, power form otherwise.
+  if (std::abs(s_ - 1.0) < 1e-12) return std::log(x);
+  return std::pow(x, 1.0 - s_) / (1.0 - s_);
+}
+
+double ZipfSampler::h_inv(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow((1.0 - s_) * x, 1.0 / (1.0 - s_));
+}
+
+uint64_t ZipfSampler::sample(Rng& rng) const {
+  if (n_ == 1) return 0;
+  if (s_ == 0.0) return rng.next_below(n_);
+  while (true) {
+    const double u = h_n_ + rng.next_double() * (h_x1_ - h_n_);
+    const double x = h_inv(u);
+    const double k = std::floor(x + 0.5);
+    if (k - x <= threshold_) {
+      return static_cast<uint64_t>(k) - 1;  // shift to 0-based
+    }
+    if (u >= h(k + 0.5) - std::pow(k, -s_)) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+}
+
+}  // namespace embrace

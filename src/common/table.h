@@ -1,0 +1,28 @@
+// Plain-text table printer used by the bench harnesses so every reproduced
+// table/figure prints in a consistent, diff-friendly format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace embrace {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  // Renders with column alignment and a header separator.
+  std::string to_string() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace embrace

@@ -1,0 +1,46 @@
+#include "data/batch.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "data/corpus.h"
+#include "tensor/index_ops.h"
+
+namespace embrace::data {
+
+int64_t Batch::non_pad_tokens() const {
+  int64_t n = 0;
+  for (const auto& row : rows) {
+    for (int64_t tok : row) n += (tok != kPadToken);
+  }
+  return n;
+}
+
+std::vector<int64_t> Batch::flat_tokens() const { return flatten(rows); }
+
+std::vector<int64_t> Batch::unique_tokens() const {
+  return unique_sorted(flat_tokens());
+}
+
+Batch make_padded_batch(std::vector<std::vector<int64_t>> sentences) {
+  EMBRACE_CHECK(!sentences.empty());
+  size_t max_len = 0;
+  for (const auto& s : sentences) max_len = std::max(max_len, s.size());
+  EMBRACE_CHECK_GT(max_len, 0u);
+  for (auto& s : sentences) s.resize(max_len, kPadToken);
+  return Batch{std::move(sentences)};
+}
+
+GradSizeStats grad_size_stats(const Batch& current, const Batch& next,
+                              int64_t embedding_dim) {
+  const int64_t row_bytes = 8 + 4 * embedding_dim;
+  GradSizeStats stats;
+  stats.original = current.total_tokens() * row_bytes;
+  const auto uniq = current.unique_tokens();
+  stats.coalesced = static_cast<int64_t>(uniq.size()) * row_bytes;
+  const auto prior = intersect_sorted(uniq, next.unique_tokens());
+  stats.prioritized = static_cast<int64_t>(prior.size()) * row_bytes;
+  return stats;
+}
+
+}  // namespace embrace::data

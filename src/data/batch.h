@@ -1,0 +1,44 @@
+// Padded token batches and their sparse-gradient statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace embrace::data {
+
+// A rectangular batch of token ids (sentences padded with kPadToken to the
+// longest sentence in the batch), as a tokenizer would produce.
+struct Batch {
+  std::vector<std::vector<int64_t>> rows;  // all rows same length
+
+  int64_t batch_size() const { return static_cast<int64_t>(rows.size()); }
+  int64_t seq_len() const {
+    return rows.empty() ? 0 : static_cast<int64_t>(rows.front().size());
+  }
+  // Total token slots = batch_size * seq_len (includes padding).
+  int64_t total_tokens() const { return batch_size() * seq_len(); }
+  // Tokens that are not padding.
+  int64_t non_pad_tokens() const;
+
+  // All token ids flattened in row-major order (padding included).
+  std::vector<int64_t> flat_tokens() const;
+  // Sorted unique token ids (padding included — its row also gets updated).
+  std::vector<int64_t> unique_tokens() const;
+};
+
+// Pads sentences to the longest one with kPadToken.
+Batch make_padded_batch(std::vector<std::vector<int64_t>> sentences);
+
+// --- Table 3 statistics ---
+// Sizes in bytes of the embedding gradient a batch induces, for a table of
+// the given row dimension (COO: 8-byte index + 4·dim value bytes per row).
+struct GradSizeStats {
+  int64_t original = 0;     // one row per token slot (uncoalesced)
+  int64_t coalesced = 0;    // one row per unique token
+  int64_t prioritized = 0;  // unique tokens also present in the next batch
+};
+
+GradSizeStats grad_size_stats(const Batch& current, const Batch& next,
+                              int64_t embedding_dim);
+
+}  // namespace embrace::data

@@ -1,0 +1,49 @@
+#include "data/corpus.h"
+
+#include "common/error.h"
+
+namespace embrace::data {
+
+SyntheticCorpus::SyntheticCorpus(CorpusConfig config)
+    : config_(config),
+      rng_(config.seed),
+      sampler_(static_cast<uint64_t>(config.vocab_size - 1),
+               config.zipf_skew) {
+  EMBRACE_CHECK_GE(config_.vocab_size, 2, << "need pad + at least one token");
+  EMBRACE_CHECK_GE(config_.min_sentence_len, 1);
+  EMBRACE_CHECK_LE(config_.min_sentence_len, config_.max_sentence_len);
+  EMBRACE_CHECK(config_.reuse_prob >= 0.0 && config_.reuse_prob < 1.0);
+  EMBRACE_CHECK_GE(config_.reuse_window, 1);
+}
+
+int64_t SyntheticCorpus::draw_token() {
+  if (!recent_.empty() && rng_.next_bool(config_.reuse_prob)) {
+    return recent_[rng_.next_below(recent_.size())];
+  }
+  // Zipf over [0, vocab-2] shifted past the pad token.
+  const int64_t tok = static_cast<int64_t>(sampler_.sample(rng_)) + 1;
+  if (recent_.size() < static_cast<size_t>(config_.reuse_window)) {
+    recent_.push_back(tok);
+  } else {
+    recent_[recent_pos_] = tok;
+    recent_pos_ = (recent_pos_ + 1) % recent_.size();
+  }
+  return tok;
+}
+
+std::vector<int64_t> SyntheticCorpus::next_sentence() {
+  const int len = static_cast<int>(rng_.next_int(config_.min_sentence_len,
+                                                 config_.max_sentence_len));
+  std::vector<int64_t> sentence(static_cast<size_t>(len));
+  for (auto& tok : sentence) tok = draw_token();
+  return sentence;
+}
+
+std::vector<std::vector<int64_t>> SyntheticCorpus::next_sentences(int count) {
+  std::vector<std::vector<int64_t>> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(next_sentence());
+  return out;
+}
+
+}  // namespace embrace::data

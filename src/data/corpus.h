@@ -1,0 +1,59 @@
+// Synthetic NLP corpus generation.
+//
+// Stands in for LM1B / WMT / SQuAD (DESIGN.md §2): sentences of Zipf-
+// distributed token ids. What matters for reproducing the paper is not the
+// text but the *statistics* Algorithm 1 feeds on — token duplication inside
+// a batch (coalescing), padding, and vocabulary overlap between consecutive
+// batches (prior/delayed split) — all of which are controlled here by the
+// vocabulary size, Zipf skew, and sentence-length distribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace embrace::data {
+
+// Token id 0 is reserved for padding, matching common tokenizer setups.
+inline constexpr int64_t kPadToken = 0;
+
+struct CorpusConfig {
+  int64_t vocab_size = 10000;  // includes the pad token
+  double zipf_skew = 1.05;     // word-frequency skew
+  int min_sentence_len = 4;
+  int max_sentence_len = 40;
+  // Topical locality: with probability reuse_prob a token repeats a recent
+  // one (uniform over the last reuse_window tokens) instead of a fresh Zipf
+  // draw. Real corpora are bursty — documents span many batches, so
+  // consecutive batches share far more vocabulary than i.i.d. sampling
+  // would give; this is what creates Algorithm 1's prior gradients.
+  double reuse_prob = 0.0;
+  int reuse_window = 20000;
+  uint64_t seed = 1234;
+};
+
+class SyntheticCorpus {
+ public:
+  explicit SyntheticCorpus(CorpusConfig config);
+
+  const CorpusConfig& config() const { return config_; }
+
+  // Draws the next sentence: token ids in [1, vocab_size), variable length.
+  std::vector<int64_t> next_sentence();
+
+  // Draws `count` sentences.
+  std::vector<std::vector<int64_t>> next_sentences(int count);
+
+ private:
+  int64_t draw_token();
+
+  CorpusConfig config_;
+  Rng rng_;
+  ZipfSampler sampler_;
+  // Ring buffer of recently emitted tokens (the reuse pool).
+  std::vector<int64_t> recent_;
+  size_t recent_pos_ = 0;
+};
+
+}  // namespace embrace::data

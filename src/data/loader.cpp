@@ -1,0 +1,34 @@
+#include "data/loader.h"
+
+#include <memory>
+
+#include "common/error.h"
+
+namespace embrace::data {
+
+PrefetchingLoader::PrefetchingLoader(std::function<Batch()> make_batch)
+    : make_batch_(std::move(make_batch)) {
+  EMBRACE_CHECK(static_cast<bool>(make_batch_));
+  current_ = make_batch_();
+  next_ = make_batch_();
+}
+
+void PrefetchingLoader::advance() {
+  current_ = std::move(next_);
+  next_ = make_batch_();
+  ++steps_;
+}
+
+PrefetchingLoader make_corpus_loader(CorpusConfig config, int worker_rank,
+                                     int batch_size) {
+  EMBRACE_CHECK_GE(worker_rank, 0);
+  EMBRACE_CHECK_GE(batch_size, 1);
+  // Each worker gets an independent, deterministic sentence stream.
+  config.seed = config.seed * 1000003 + static_cast<uint64_t>(worker_rank);
+  auto corpus = std::make_shared<SyntheticCorpus>(config);
+  return PrefetchingLoader([corpus, batch_size] {
+    return make_padded_batch(corpus->next_sentences(batch_size));
+  });
+}
+
+}  // namespace embrace::data

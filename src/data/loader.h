@@ -1,0 +1,47 @@
+// Sharded, prefetching batch loader.
+//
+// Workers in data parallelism each see a disjoint shard of every global
+// batch. The loader always holds the *next* batch in memory (the paper's
+// "data prefetch technology"), which is what lets Algorithm 1 compute the
+// prior/delayed split: current() is being trained on while next() is
+// already known.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "data/batch.h"
+#include "data/corpus.h"
+
+namespace embrace::data {
+
+class PrefetchingLoader {
+ public:
+  // `make_batch` produces the next global batch shard for this worker.
+  // The loader immediately prefetches one batch ahead.
+  explicit PrefetchingLoader(std::function<Batch()> make_batch);
+
+  // Batch being trained on this step.
+  const Batch& current() const { return current_; }
+  // Batch for the upcoming step (already in memory).
+  const Batch& next() const { return next_; }
+
+  // Moves to the next step: next() becomes current(), a fresh batch is
+  // prefetched.
+  void advance();
+
+  int64_t steps_taken() const { return steps_; }
+
+ private:
+  std::function<Batch()> make_batch_;
+  Batch current_;
+  Batch next_;
+  int64_t steps_ = 0;
+};
+
+// Convenience: a loader over a SyntheticCorpus shard where each worker
+// draws `batch_size` sentences per step from its own deterministic stream.
+PrefetchingLoader make_corpus_loader(CorpusConfig config, int worker_rank,
+                                     int batch_size);
+
+}  // namespace embrace::data

@@ -1,0 +1,89 @@
+#include "data/model_workloads.h"
+
+#include "common/error.h"
+
+namespace embrace::data {
+
+namespace {
+
+ModelWorkload lm_workload() {
+  ModelWorkload w;
+  w.model_name = "LM";
+  // LM1B: huge vocabulary, so duplication inside a 4.4k-token batch is
+  // mostly padding + stop-words; coalescing trims only ~20%.
+  w.corpus.vocab_size = 793471;
+  w.corpus.zipf_skew = 0.70;
+  w.corpus.min_sentence_len = 32;
+  w.corpus.max_sentence_len = 36;
+  w.corpus.reuse_prob = 0.65;
+  w.corpus.reuse_window = 5300;
+  w.corpus.seed = 101;
+  w.batch_sentences = 128;
+  w.embedding_dim = 512;
+  return w;
+}
+
+ModelWorkload gnmt_workload() {
+  ModelWorkload w;
+  w.model_name = "GNMT-8";
+  // 32k BPE vocabulary: heavy in-batch duplication (~53% coalesce cut).
+  w.corpus.vocab_size = 32000;
+  w.corpus.zipf_skew = 0.85;
+  w.corpus.min_sentence_len = 48;
+  w.corpus.max_sentence_len = 53;
+  w.corpus.reuse_prob = 0.50;
+  w.corpus.reuse_window = 16600;
+  w.corpus.seed = 202;
+  w.batch_sentences = 128;
+  w.embedding_dim = 1024;
+  return w;
+}
+
+ModelWorkload transformer_workload() {
+  ModelWorkload w;
+  w.model_name = "Transformer";
+  w.corpus.vocab_size = 33000;
+  w.corpus.zipf_skew = 0.80;
+  w.corpus.min_sentence_len = 48;
+  w.corpus.max_sentence_len = 54;
+  w.corpus.reuse_prob = 0.50;
+  w.corpus.reuse_window = 22500;
+  w.corpus.seed = 303;
+  w.batch_sentences = 170;  // ~5120 source tokens per batch, src+tgt
+  w.embedding_dim = 1024;
+  return w;
+}
+
+ModelWorkload bert_workload() {
+  ModelWorkload w;
+  w.model_name = "BERT-base";
+  // SQuAD: 32 sequences padded to 384 — extreme duplication (pad + subword
+  // heads), coalescing cuts ~85%.
+  w.corpus.vocab_size = 30522;
+  w.corpus.zipf_skew = 1.20;
+  w.corpus.min_sentence_len = 383;
+  w.corpus.max_sentence_len = 384;
+  w.corpus.reuse_prob = 0.50;
+  w.corpus.reuse_window = 30600;
+  w.corpus.seed = 404;
+  w.batch_sentences = 32;
+  w.embedding_dim = 768;
+  return w;
+}
+
+}  // namespace
+
+ModelWorkload workload_for_model(const std::string& model_name) {
+  for (auto& w : all_model_workloads()) {
+    if (w.model_name == model_name) return w;
+  }
+  EMBRACE_CHECK(false, << "unknown model workload: " << model_name);
+  return {};
+}
+
+std::vector<ModelWorkload> all_model_workloads() {
+  return {lm_workload(), gnmt_workload(), transformer_workload(),
+          bert_workload()};
+}
+
+}  // namespace embrace::data

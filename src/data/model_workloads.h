@@ -1,0 +1,29 @@
+// Calibrated synthetic workloads approximating the paper's four benchmark
+// datasets (Table 3 context): corpus shape + batch geometry per model.
+//
+// Calibration targets are the measured gradient statistics of Table 3
+// (original / coalesced / prioritized sizes at the RTX3090 batch sizes);
+// bench_table3_gradient_sizes regenerates the table from these workloads
+// and prints measured vs paper numbers side by side.
+#pragma once
+
+#include <string>
+
+#include "data/corpus.h"
+
+namespace embrace::data {
+
+struct ModelWorkload {
+  std::string model_name;   // matches simnet::ModelSpec::name
+  CorpusConfig corpus;
+  int batch_sentences = 0;  // sentences per worker batch
+  int64_t embedding_dim = 0;
+};
+
+// Workloads for "LM", "GNMT-8", "Transformer", "BERT-base".
+// Throws on unknown name.
+ModelWorkload workload_for_model(const std::string& model_name);
+
+std::vector<ModelWorkload> all_model_workloads();
+
+}  // namespace embrace::data

@@ -1,0 +1,162 @@
+#include "embrace/partitioned_embedding.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace embrace::core {
+namespace {
+
+comm::Bytes pack_ids(const std::vector<int64_t>& ids) {
+  comm::Bytes b(ids.size() * sizeof(int64_t));
+  std::memcpy(b.data(), ids.data(), b.size());
+  return b;
+}
+
+std::vector<int64_t> unpack_ids(const comm::Bytes& b) {
+  EMBRACE_CHECK_EQ(b.size() % sizeof(int64_t), 0u);
+  std::vector<int64_t> ids(b.size() / sizeof(int64_t));
+  std::memcpy(ids.data(), b.data(), b.size());
+  return ids;
+}
+
+comm::Bytes pack_tensor(const Tensor& t) {
+  comm::Bytes b(static_cast<size_t>(t.byte_size()));
+  std::memcpy(b.data(), t.data(), b.size());
+  return b;
+}
+
+Tensor unpack_tensor(const comm::Bytes& b, int64_t rows, int64_t cols) {
+  EMBRACE_CHECK_EQ(b.size(), static_cast<size_t>(rows * cols * 4));
+  std::vector<float> data(static_cast<size_t>(rows * cols));
+  std::memcpy(data.data(), b.data(), b.size());
+  return Tensor({rows, cols}, std::move(data));
+}
+
+}  // namespace
+
+PartitionedEmbedding::PartitionedEmbedding(int64_t vocab, int64_t dim,
+                                           int rank, int world,
+                                           Rng master_rng)
+    : vocab_(vocab), dim_(dim), rank_(rank), world_(world) {
+  EMBRACE_CHECK(rank >= 0 && rank < world);
+  EMBRACE_CHECK_GE(dim, world, << "need at least one column per rank");
+  // Generate the full table deterministically, keep our columns. (Memory
+  // cost is transient and fine at functional-model scale; a production
+  // implementation would stream-generate the slice.)
+  Tensor full = Tensor::randn({vocab, dim}, master_rng,
+                              1.0f / std::sqrt(static_cast<float>(dim)));
+  const auto [c0, c1] = col_range(rank);
+  shard_ = Tensor({vocab, c1 - c0});
+  for (int64_t r = 0; r < vocab; ++r) {
+    auto src = full.row(r);
+    auto dst = shard_.row(r);
+    for (int64_t c = c0; c < c1; ++c) dst[c - c0] = src[c];
+  }
+}
+
+std::pair<int64_t, int64_t> PartitionedEmbedding::col_range(int r) const {
+  return {dim_ * r / world_, dim_ * (r + 1) / world_};
+}
+
+std::vector<std::vector<int64_t>> PartitionedEmbedding::allgather_ids(
+    comm::Communicator& comm, const std::vector<int64_t>& my_ids) {
+  auto buffers = comm.allgatherv(pack_ids(my_ids));
+  std::vector<std::vector<int64_t>> out;
+  out.reserve(buffers.size());
+  for (const auto& b : buffers) out.push_back(unpack_ids(b));
+  return out;
+}
+
+Tensor PartitionedEmbedding::shard_lookup(
+    const std::vector<int64_t>& ids) const {
+  Tensor out({static_cast<int64_t>(ids.size()), shard_width()});
+  for (size_t k = 0; k < ids.size(); ++k) {
+    EMBRACE_CHECK(ids[k] >= 0 && ids[k] < vocab_, << "id out of vocab");
+    auto src = shard_.row(ids[k]);
+    auto dst = out.row(static_cast<int64_t>(k));
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+Tensor PartitionedEmbedding::distributed_lookup(
+    comm::Communicator& comm, const std::vector<std::vector<int64_t>>& all_ids,
+    const std::vector<int64_t>& my_ids) const {
+  EMBRACE_CHECK_EQ(static_cast<int>(all_ids.size()), world_);
+  EMBRACE_CHECK(all_ids[static_cast<size_t>(rank_)] == my_ids,
+                << "gathered ids inconsistent with my ids");
+  // Look up every worker's ids in my column shard, send each its slice.
+  std::vector<comm::Bytes> payloads(static_cast<size_t>(world_));
+  for (int w = 0; w < world_; ++w) {
+    payloads[static_cast<size_t>(w)] =
+        pack_tensor(shard_lookup(all_ids[static_cast<size_t>(w)]));
+  }
+  auto received = comm.alltoallv(std::move(payloads));
+  // Assemble my batch's full-dim vectors from the column slices.
+  Tensor out({static_cast<int64_t>(my_ids.size()), dim_});
+  for (int r = 0; r < world_; ++r) {
+    const auto [c0, c1] = col_range(r);
+    Tensor slice = unpack_tensor(received[static_cast<size_t>(r)],
+                                 static_cast<int64_t>(my_ids.size()), c1 - c0);
+    for (int64_t k = 0; k < out.rows(); ++k) {
+      auto src = slice.row(k);
+      auto dst = out.row(k);
+      for (int64_t c = c0; c < c1; ++c) dst[c] = src[c - c0];
+    }
+  }
+  return out;
+}
+
+SparseRows PartitionedEmbedding::exchange_grad(comm::Communicator& comm,
+                                               const SparseRows& part) const {
+  EMBRACE_CHECK_EQ(part.num_total_rows(), vocab_);
+  EMBRACE_CHECK_EQ(part.dim(), dim_);
+  // Ship each rank the column slice it owns.
+  std::vector<comm::Bytes> payloads(static_cast<size_t>(world_));
+  for (int r = 0; r < world_; ++r) {
+    const auto [c0, c1] = col_range(r);
+    payloads[static_cast<size_t>(r)] = part.slice_columns(c0, c1).pack();
+  }
+  auto received = comm.alltoallv(std::move(payloads));
+  // Sum the contributions of all workers for my shard.
+  SparseRows acc = SparseRows::empty(vocab_, shard_width());
+  for (const auto& buf : received) {
+    SparseRows piece = SparseRows::unpack(buf);
+    EMBRACE_CHECK_EQ(piece.num_total_rows(), vocab_);
+    EMBRACE_CHECK_EQ(piece.dim(), shard_width());
+    acc = SparseRows::concat(acc, piece);
+  }
+  return acc.coalesced();
+}
+
+// --- RowPartitionedEmbedding ---
+
+RowPartitionedEmbedding::RowPartitionedEmbedding(int64_t vocab, int64_t dim,
+                                                 int world)
+    : vocab_(vocab), dim_(dim), world_(world) {
+  EMBRACE_CHECK_GE(vocab, world);
+  (void)dim_;
+}
+
+std::pair<int64_t, int64_t> RowPartitionedEmbedding::row_range(int r) const {
+  return {vocab_ * r / world_, vocab_ * (r + 1) / world_};
+}
+
+int RowPartitionedEmbedding::owner_of(int64_t row) const {
+  EMBRACE_CHECK(row >= 0 && row < vocab_);
+  int r = static_cast<int>(row * world_ / vocab_);
+  while (r > 0 && row < row_range(r).first) --r;
+  while (r + 1 < world_ && row >= row_range(r).second) ++r;
+  return r;
+}
+
+std::vector<int64_t> RowPartitionedEmbedding::shard_load(
+    const std::vector<int64_t>& ids) const {
+  std::vector<int64_t> load(static_cast<size_t>(world_), 0);
+  for (int64_t id : ids) ++load[static_cast<size_t>(owner_of(id))];
+  return load;
+}
+
+}  // namespace embrace::core

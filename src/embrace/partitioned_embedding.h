@@ -1,0 +1,97 @@
+// Column-wise partitioned embedding table — the model-parallel half of
+// Sparsity-aware Hybrid Communication (paper §4.1.1).
+//
+// Each rank owns columns [col_begin, col_end) of the full (vocab × dim)
+// table. The paper chooses column-wise over row-wise partitioning because
+// Zipf-skewed word frequencies would unbalance row shards, while every
+// column shard serves every lookup equally (the partitioning ablation bench
+// measures exactly this).
+//
+// Per training step:
+//   forward  — every rank looks up ALL workers' token ids in its column
+//              shard, then an AlltoAll redistributes the slices so each
+//              rank assembles full-dim vectors for its own batch;
+//   backward — each rank column-splits the gradient rows produced by its
+//              batch and AlltoAlls them back to the owning shards.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "comm/communicator.h"
+#include "common/rng.h"
+#include "tensor/sparse_rows.h"
+#include "tensor/tensor.h"
+
+namespace embrace::core {
+
+class PartitionedEmbedding {
+ public:
+  // Builds the shard for `rank` of `world`. `master_rng` must be identical
+  // across ranks: the full table is generated deterministically and each
+  // rank keeps its columns, so the ensemble equals one replicated table.
+  PartitionedEmbedding(int64_t vocab, int64_t dim, int rank, int world,
+                       Rng master_rng);
+
+  int64_t vocab() const { return vocab_; }
+  int64_t dim() const { return dim_; }
+  int rank() const { return rank_; }
+  int world() const { return world_; }
+  std::pair<int64_t, int64_t> col_range(int r) const;
+  int64_t shard_width() const { return shard_.cols(); }
+  Tensor& shard() { return shard_; }
+  const Tensor& shard() const { return shard_; }
+
+  // Gathers every worker's flat token ids (metadata exchange preceding the
+  // lookup; also provides Algorithm 1's gathered D_cur / D_next).
+  static std::vector<std::vector<int64_t>> allgather_ids(
+      comm::Communicator& comm, const std::vector<int64_t>& my_ids);
+
+  // Hybrid-communication forward: returns the full-dim lookup result for
+  // my_ids ((my_ids.size() × dim)). `all_ids` must be the gathered ids of
+  // this step (all_ids[comm.rank()] == my_ids).
+  Tensor distributed_lookup(comm::Communicator& comm,
+                            const std::vector<std::vector<int64_t>>& all_ids,
+                            const std::vector<int64_t>& my_ids) const;
+
+  // Hybrid-communication backward for one gradient part: `part` holds
+  // full-dim rows over the vocab (this rank's contribution, coalesced or
+  // not). Exchanges column slices; returns the *coalesced* gradient for
+  // this rank's shard (rows over vocab × shard_width), summed over all
+  // workers' contributions.
+  SparseRows exchange_grad(comm::Communicator& comm,
+                           const SparseRows& part) const;
+
+  // Local-only helpers (used by tests and by exchange/lookup internally).
+  Tensor shard_lookup(const std::vector<int64_t>& ids) const;
+
+ private:
+  int64_t vocab_;
+  int64_t dim_;
+  int rank_;
+  int world_;
+  Tensor shard_;  // (vocab × shard_width)
+};
+
+// Row-wise partitioned embedding — the alternative the paper argues
+// against; implemented for the partitioning ablation. Rank r owns rows
+// [row_begin, row_end). Only the traffic-relevant operation is provided:
+// routing a batch of ids to owning shards (whose balance the ablation
+// measures).
+class RowPartitionedEmbedding {
+ public:
+  RowPartitionedEmbedding(int64_t vocab, int64_t dim, int world);
+
+  std::pair<int64_t, int64_t> row_range(int r) const;
+  int owner_of(int64_t row) const;
+  // Number of lookups each shard serves for this id batch.
+  std::vector<int64_t> shard_load(const std::vector<int64_t>& ids) const;
+
+ private:
+  int64_t vocab_;
+  int64_t dim_;
+  int world_;
+};
+
+}  // namespace embrace::core

@@ -1,0 +1,95 @@
+// Strategy and configuration types for the functional distributed trainer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "nn/heads.h"
+#include "sched/comm_scheduler.h"
+
+namespace embrace::core {
+
+// Functional counterparts of the paper's compared approaches (§5.2.3).
+// BytePS's tensor partitioning and PS placement for *dense* layers are
+// performance-level concerns that live in the simulator; the functional
+// kBytePsDense captures its two defining behaviours for this paper: the
+// embedding gradient travels in DENSE format through a PS, and
+// communication is priority-scheduled (ByteScheduler).
+enum class StrategyKind {
+  kHorovodAllReduce,  // embeddings communicated dense via ring AllReduce
+  kHorovodAllGather,  // sparse AllGather for embedding grads
+  kBytePsDense,       // dense-format PS for embeddings + priority schedule
+  kParallaxPs,        // sharded sparse PS for embeddings (+ AllReduce dense)
+  kEmbRaceNoVss,      // hybrid comm (AlltoAll), FIFO order, whole gradients
+  kEmbRace,           // hybrid comm + 2D scheduling (Algorithm 1 + priority)
+};
+
+const char* strategy_kind_name(StrategyKind s);
+
+enum class OptimKind { kSgd, kAdagrad, kAdam };
+
+struct TrainConfig {
+  StrategyKind strategy = StrategyKind::kEmbRace;
+
+  // Model geometry (functional scale).
+  int64_t vocab = 400;
+  int64_t dim = 16;  // must be >= number of workers (column partitioning)
+  int64_t hidden = 24;
+  int64_t classes = 30;
+  nn::HeadKind head = nn::HeadKind::kPoolMlp;
+  // Number of embedding tables. With T > 1, each sentence is split into T
+  // contiguous segments and segment t is embedded by table t — the
+  // functional analogue of GNMT/Transformer's separate encoder/decoder
+  // embeddings. Every table gets its own communication stream (its own
+  // AlltoAll / prior / delayed ops under EmbRace, as in paper Fig. 6).
+  int num_tables = 1;
+
+  OptimKind optim = OptimKind::kAdam;
+  float lr = 0.01f;
+
+  // Workload.
+  int batch_per_worker = 4;
+  int steps = 10;
+  int min_sentence_len = 3;
+  int max_sentence_len = 8;
+  double zipf_skew = 1.0;
+  double reuse_prob = 0.3;
+
+  uint64_t seed = 42;
+
+  // Horovod-style tensor fusion for the dense gradients: when > 0, dense
+  // parameter gradients are packed into fusion buffers of at most this many
+  // bytes and one collective carries each buffer (0 = one op per tensor).
+  int64_t dense_fusion_bytes = 0;
+
+  // Test/stress knob: per-message delivery jitter injected into the fabric
+  // (microseconds). Correctness must be timing-independent; the stress
+  // tests train with jitter and still require oracle-equal losses.
+  uint64_t fabric_jitter_us = 0;
+};
+
+struct TrainStats {
+  std::vector<float> losses;  // global mean loss per step
+  // Wire traffic over the whole run (in-process fabric bytes; excludes the
+  // PS emulation, which is accounted separately).
+  int64_t fabric_bytes = 0;
+  int64_t fabric_messages = 0;
+  int64_t ps_bytes = 0;  // Parallax only: push+pull volume
+  // Rank 0's comm-thread execution log (op name + timing).
+  std::vector<sched::ExecRecord> comm_log;
+  // Wall-clock seconds for the whole run and rank 0's comm-thread busy
+  // time (sum of op durations) — a coarse overlap indicator.
+  double wall_seconds = 0.0;
+  double comm_busy_seconds = 0.0;
+};
+
+// Runs synchronous data-parallel training with `workers` in-process ranks.
+TrainStats run_distributed(const TrainConfig& config, int workers);
+
+// Single-process reference: mathematically identical synchronous training
+// (sum of per-worker gradients / N applied once per step).
+TrainStats run_oracle(const TrainConfig& config, int workers);
+
+}  // namespace embrace::core

@@ -1,0 +1,556 @@
+// Functional distributed trainer: real worker threads, real tensors, real
+// collectives. Implements the five strategies of strategy.h over the
+// in-process cluster runtime, with EmbRace's hybrid communication and 2D
+// scheduling exactly as the paper describes them (paper §4, §5.1):
+//   * column-partitioned embeddings with two AlltoAll passes per step,
+//   * a negotiated priority queue + communication thread,
+//   * Algorithm 1's prior/delayed gradient split with the modified Adam.
+//
+// Synchronous-training contract: every strategy applies, per step, the
+// average of all workers' gradients — so all five produce (up to float
+// summation order) identical loss curves, which equivalence tests pin
+// against the single-process oracle.
+#include "embrace/strategy.h"
+
+#include <mutex>
+
+#include "comm/cluster.h"
+#include "common/stopwatch.h"
+#include "comm/param_server.h"
+#include "comm/sparse_collectives.h"
+#include "common/error.h"
+#include "data/loader.h"
+#include "embrace/partitioned_embedding.h"
+#include "nn/embedding.h"
+#include "nn/optim.h"
+#include "sched/negotiated_scheduler.h"
+#include "sched/vertical.h"
+#include "tensor/fusion.h"
+#include "tensor/index_ops.h"
+
+namespace embrace::core {
+namespace {
+
+// Channel layout on the shared fabric.
+constexpr int kControlChannel = 0;  // scheduler negotiation
+constexpr int kCommChannel = 1;     // collectives run by the comm thread
+constexpr int kMainChannel = 2;     // inline metadata from the main thread
+
+std::unique_ptr<nn::SparseOptimizer> make_sparse_optim(const TrainConfig& c,
+                                                       int64_t rows,
+                                                       int64_t dim) {
+  switch (c.optim) {
+    case OptimKind::kSgd: return std::make_unique<nn::SparseSgd>(c.lr);
+    case OptimKind::kAdagrad:
+      return std::make_unique<nn::SparseAdagrad>(rows, dim, c.lr);
+    case OptimKind::kAdam:
+      return std::make_unique<nn::SparseAdam>(rows, dim, c.lr,
+                                              /*modified=*/true);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<nn::DenseOptimizer> make_dense_optim(
+    const TrainConfig& c, std::vector<nn::Parameter*> params) {
+  switch (c.optim) {
+    case OptimKind::kSgd:
+      return std::make_unique<nn::Sgd>(std::move(params), c.lr);
+    case OptimKind::kAdagrad:
+      return std::make_unique<nn::Adagrad>(std::move(params), c.lr);
+    case OptimKind::kAdam:
+      return std::make_unique<nn::Adam>(std::move(params), c.lr);
+  }
+  return nullptr;
+}
+
+data::CorpusConfig corpus_config(const TrainConfig& c) {
+  data::CorpusConfig cfg;
+  cfg.vocab_size = c.vocab;
+  cfg.zipf_skew = c.zipf_skew;
+  cfg.min_sentence_len = c.min_sentence_len;
+  cfg.max_sentence_len = c.max_sentence_len;
+  cfg.reuse_prob = c.reuse_prob;
+  cfg.seed = c.seed;
+  return cfg;
+}
+
+std::vector<int64_t> targets_of(const data::Batch& batch, int64_t classes) {
+  std::vector<int64_t> targets;
+  targets.reserve(static_cast<size_t>(batch.batch_size()));
+  for (const auto& row : batch.rows) {
+    targets.push_back(row.front() % classes);
+  }
+  return targets;
+}
+
+float global_mean_loss(comm::Communicator& main_ch, float local_loss,
+                       int workers) {
+  std::vector<float> v{local_loss};
+  main_ch.allreduce(v);
+  return v[0] / static_cast<float>(workers);
+}
+
+// Per-step op names (unique across steps for the scheduler's backlog).
+std::string dense_op(int step, size_t param) {
+  return "dense/s" + std::to_string(step) + "/" + std::to_string(param);
+}
+std::string emb_op(const char* kind, int step, int table) {
+  return std::string(kind) + "/s" + std::to_string(step) + "/t" +
+         std::to_string(table);
+}
+
+// Sentence segmentation for multi-table models: table t embeds columns
+// [S*t/T, S*(t+1)/T) of every sentence. Returns per-table token ids and
+// their flat positions within the (B*S x dim) embedding-output block.
+struct Segmented {
+  std::vector<std::vector<int64_t>> ids;  // per table
+  std::vector<std::vector<int64_t>> pos;  // per table, flat row positions
+};
+
+Segmented segment_batch(const data::Batch& batch, int tables) {
+  Segmented out;
+  out.ids.resize(static_cast<size_t>(tables));
+  out.pos.resize(static_cast<size_t>(tables));
+  const int64_t seq = batch.seq_len();
+  for (int t = 0; t < tables; ++t) {
+    const int64_t c0 = seq * t / tables;
+    const int64_t c1 = seq * (t + 1) / tables;
+    for (int64_t b = 0; b < batch.batch_size(); ++b) {
+      for (int64_t c = c0; c < c1; ++c) {
+        out.ids[static_cast<size_t>(t)].push_back(
+            batch.rows[static_cast<size_t>(b)][static_cast<size_t>(c)]);
+        out.pos[static_cast<size_t>(t)].push_back(b * seq + c);
+      }
+    }
+  }
+  return out;
+}
+
+// Scatters looked-up rows for one table into the shared embedding output.
+void scatter_rows(const Tensor& rows, const std::vector<int64_t>& pos,
+                  Tensor& emb_out) {
+  EMBRACE_CHECK_EQ(rows.rows(), static_cast<int64_t>(pos.size()));
+  for (size_t k = 0; k < pos.size(); ++k) {
+    auto src = rows.row(static_cast<int64_t>(k));
+    auto dst = emb_out.row(pos[k]);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+}
+
+// Gathers one table's slice of the embedding-output gradient.
+Tensor gather_rows(const Tensor& d_emb, const std::vector<int64_t>& pos) {
+  Tensor out({static_cast<int64_t>(pos.size()), d_emb.cols()});
+  for (size_t k = 0; k < pos.size(); ++k) {
+    auto src = d_emb.row(pos[k]);
+    auto dst = out.row(static_cast<int64_t>(k));
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+// Step-scoped priorities: ops of step s always precede ops of step s+1 in
+// the priority order (required for the modified Adam's prior/delayed
+// sequencing); within a step the 2D order is prior < embdata < dense
+// (FP-order) < delayed.
+struct Priorities {
+  static double base(int step) { return 1e6 * step; }
+  static double prior(int step, int table) {
+    return base(step) + 0.01 * table;
+  }
+  static double embdata(int step, int table) {
+    return base(step) + 1 + 0.01 * table;
+  }
+  static double dense(int step, size_t fp_index) {
+    return base(step) + 10 + static_cast<double>(fp_index);
+  }
+  static double delayed(int step, int table) {
+    return base(step) + 1e5 + table;
+  }
+  // FIFO strategies: priority == submission order.
+  static double fifo(uint64_t seq) { return static_cast<double>(seq); }
+};
+
+struct SharedState {
+  // Parallax only: one sharded PS per embedding table.
+  std::vector<std::unique_ptr<comm::ShardedParameterServer>> ps;
+  std::mutex result_mutex;
+  std::vector<float> losses;
+  std::vector<sched::ExecRecord> comm_log;
+};
+
+bool is_hybrid(StrategyKind s) {
+  return s == StrategyKind::kEmbRace || s == StrategyKind::kEmbRaceNoVss;
+}
+
+bool uses_ps(StrategyKind s) {
+  return s == StrategyKind::kParallaxPs || s == StrategyKind::kBytePsDense;
+}
+
+// ---------------------------------------------------------------------------
+// The per-rank training function.
+// ---------------------------------------------------------------------------
+void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
+                 comm::Communicator& comm) {
+  const int rank = comm.rank();
+  const float inv_n = 1.0f / static_cast<float>(workers);
+  // EmbRace and BytePS (ByteScheduler) use priority scheduling; the rest
+  // drain their queues FIFO.
+  const bool fifo = cfg.strategy != StrategyKind::kEmbRace &&
+                    cfg.strategy != StrategyKind::kBytePsDense;
+
+  comm::Communicator comm_ch = comm.channel(kCommChannel);
+  comm::Communicator main_ch = comm.channel(kMainChannel);
+  sched::NegotiatedScheduler scheduler(comm.channel(kControlChannel));
+  uint64_t fifo_seq = 0;
+  auto fifo_priority = [&] { return Priorities::fifo(fifo_seq++); };
+
+  // --- model state (identical initialization on every rank) ---
+  // The master RNG stream is consumed in a fixed order: embedding tables
+  // in index order first, then the head, so every strategy (and the
+  // oracle) sees the same initial parameters.
+  const int tables = cfg.num_tables;
+  Rng emb_rng(cfg.seed);
+  Rng head_rng(cfg.seed + 1);
+  std::vector<std::unique_ptr<nn::Embedding>> replicas;       // baselines
+  std::vector<std::unique_ptr<PartitionedEmbedding>> shards;  // hybrid
+  std::vector<std::unique_ptr<nn::SparseOptimizer>> sparse_opts;
+  for (int t = 0; t < tables; ++t) {
+    // Table t's parameters come from the deterministic substream
+    // emb_rng.split(t) — identical across ranks and in the oracle.
+    Rng table_rng = emb_rng.split(static_cast<uint64_t>(t));
+    if (is_hybrid(cfg.strategy)) {
+      shards.push_back(std::make_unique<PartitionedEmbedding>(
+          cfg.vocab, cfg.dim, rank, workers, table_rng));
+      sparse_opts.push_back(
+          make_sparse_optim(cfg, cfg.vocab, shards.back()->shard_width()));
+    } else {
+      if (!uses_ps(cfg.strategy)) {
+        replicas.push_back(
+            std::make_unique<nn::Embedding>(cfg.vocab, cfg.dim, table_rng));
+      }
+      sparse_opts.push_back(make_sparse_optim(cfg, cfg.vocab, cfg.dim));
+    }
+  }
+  auto head = nn::make_head(cfg.head, cfg.dim, cfg.hidden, cfg.classes,
+                            head_rng);
+  auto head_params = head->parameters();
+  auto dense_opt = make_dense_optim(cfg, head_params);
+
+  auto loader = data::make_corpus_loader(corpus_config(cfg), rank,
+                                         cfg.batch_per_worker);
+
+  std::vector<float> local_losses;
+  for (int step = 0; step < cfg.steps; ++step) {
+    const data::Batch& cur = loader.current();
+    const data::Batch& nxt = loader.next();
+    const Segmented seg = segment_batch(cur, tables);
+    const Segmented seg_next = segment_batch(nxt, tables);
+    const auto targets = targets_of(cur, cfg.classes);
+
+    // --- embedding forward ---
+    Tensor emb_out({cur.total_tokens(), cfg.dim});
+    // Gathered current/next data per table (Algorithm 1's D_cur / D_next).
+    std::vector<std::vector<std::vector<int64_t>>> all_cur(
+        static_cast<size_t>(tables)),
+        all_next(static_cast<size_t>(tables));
+    if (is_hybrid(cfg.strategy)) {
+      for (int t = 0; t < tables; ++t) {
+        all_cur[t] = PartitionedEmbedding::allgather_ids(main_ch, seg.ids[t]);
+        all_next[t] =
+            PartitionedEmbedding::allgather_ids(main_ch, seg_next.ids[t]);
+      }
+      // Each table's lookup AlltoAll runs as its own scheduled comm op
+      // ("Emb Data"), ordered after the previous step's prior/delayed ops —
+      // the dependency the paper's Figure 6(c) encodes.
+      std::vector<sched::NegotiatedScheduler::Handle> handles;
+      for (int t = 0; t < tables; ++t) {
+        handles.push_back(scheduler.submit(
+            fifo ? fifo_priority() : Priorities::embdata(step, t),
+            emb_op("embdata", step, t), [&, t] {
+              Tensor rows = shards[t]->distributed_lookup(
+                  comm_ch, all_cur[t], seg.ids[t]);
+              scatter_rows(rows, seg.pos[t], emb_out);
+            }));
+      }
+      for (auto& h : handles) h.wait();
+    } else if (uses_ps(cfg.strategy)) {
+      for (int t = 0; t < tables; ++t) {
+        scatter_rows(shared.ps[t]->pull_rows(seg.ids[t]), seg.pos[t],
+                     emb_out);
+      }
+    } else {
+      for (int t = 0; t < tables; ++t) {
+        scatter_rows(replicas[t]->forward(seg.ids[t]), seg.pos[t], emb_out);
+      }
+    }
+
+    // --- dense forward + backward ---
+    head->zero_grad();
+    Tensor d_emb;
+    const float local_loss = head->forward_backward(
+        emb_out, cur.batch_size(), cur.seq_len(), targets, &d_emb);
+
+    // --- dense gradient communication (wait-free: submitted in
+    // BP-emission order = reverse parameter order; optionally fused) ---
+    std::vector<sched::NegotiatedScheduler::Handle> dense_handles;
+    if (cfg.dense_fusion_bytes > 0) {
+      std::vector<Tensor*> grads;
+      for (size_t i = head_params.size(); i-- > 0;) {
+        grads.push_back(&head_params[i]->grad);
+      }
+      auto groups = std::make_shared<std::vector<FusionGroup>>(
+          plan_fusion_groups(grads, cfg.dense_fusion_bytes));
+      for (size_t g = 0; g < groups->size(); ++g) {
+        // Groups are in BP order; the last group holds the first FP
+        // parameters, so it gets the most urgent dense priority.
+        const size_t fp_index = groups->size() - 1 - g;
+        dense_handles.push_back(scheduler.submit(
+            fifo ? fifo_priority() : Priorities::dense(step, fp_index),
+            dense_op(step, g), [groups, g, &comm_ch, inv_n] {
+              auto flat = (*groups)[g].flatten();
+              comm_ch.allreduce(flat);
+              for (float& v : flat) v *= inv_n;
+              (*groups)[g].unflatten(flat);
+            }));
+      }
+    } else {
+      for (size_t i = head_params.size(); i-- > 0;) {
+        nn::Parameter* p = head_params[i];
+        dense_handles.push_back(scheduler.submit(
+            fifo ? fifo_priority() : Priorities::dense(step, i),
+            dense_op(step, i), [p, &comm_ch, inv_n] {
+              comm_ch.allreduce(p->grad.flat());
+              p->grad.scale_(inv_n);
+            }));
+      }
+    }
+
+    // --- sparse gradient communication, one stream per table ---
+    std::vector<sched::NegotiatedScheduler::Handle> emb_handles;
+    for (int t = 0; t < tables; ++t) {
+      SparseRows my_grad(cfg.vocab, seg.ids[t],
+                         gather_rows(d_emb, seg.pos[t]));
+      my_grad.scale_(inv_n);
+      switch (cfg.strategy) {
+        case StrategyKind::kHorovodAllReduce: {
+          emb_handles.push_back(scheduler.submit(
+              fifo_priority(), emb_op("embgrad", step, t),
+              [&, t, my_grad] {
+                // Dense-format aggregation of the (sparse) gradient.
+                Tensor dense = my_grad.to_dense();
+                comm_ch.allreduce(dense.flat());
+                const auto rows = unique_sorted(flatten(
+                    PartitionedEmbedding::allgather_ids(comm_ch,
+                                                        seg.ids[t])));
+                sparse_opts[t]->apply(replicas[t]->table(),
+                                      SparseRows::gather(dense, rows),
+                                      nn::SparseStep::kFull);
+              }));
+          break;
+        }
+        case StrategyKind::kHorovodAllGather: {
+          emb_handles.push_back(scheduler.submit(
+              fifo_priority(), emb_op("embgrad", step, t),
+              [&, t, my_grad] {
+                SparseRows total = comm::sparse_allgather(comm_ch, my_grad);
+                sparse_opts[t]->apply(replicas[t]->table(), total.coalesced(),
+                                      nn::SparseStep::kFull);
+              }));
+          break;
+        }
+        case StrategyKind::kParallaxPs: {
+          emb_handles.push_back(scheduler.submit(
+              fifo_priority(), emb_op("embgrad", step, t),
+              [&, t, my_grad] { shared.ps[t]->push_sparse(my_grad); }));
+          break;
+        }
+        case StrategyKind::kBytePsDense: {
+          // ByteScheduler priority: the embedding is what the next FP needs
+          // first, so its (dense-format) push jumps the dense-block queue.
+          emb_handles.push_back(scheduler.submit(
+              Priorities::prior(step, t), emb_op("embgrad", step, t),
+              [&, t, my_grad] {
+                shared.ps[t]->push_dense(my_grad.to_dense());
+              }));
+          break;
+        }
+        case StrategyKind::kEmbRaceNoVss: {
+          emb_handles.push_back(scheduler.submit(
+              fifo_priority(), emb_op("embgrad", step, t),
+              [&, t, my_grad] {
+                // No VSS -> no coalescing pass: the uncoalesced gradient
+                // goes on the wire; the shard coalesces before applying.
+                SparseRows g = shards[t]->exchange_grad(comm_ch, my_grad);
+                sparse_opts[t]->apply(shards[t]->shard(), g,
+                                      nn::SparseStep::kFull);
+              }));
+          break;
+        }
+        case StrategyKind::kEmbRace: {
+          // Algorithm 1 on the GPU-idle window after BP, per table.
+          auto split = sched::vertical_sparse_schedule(
+              my_grad, seg.ids[t], flatten(all_next[t]));
+          emb_handles.push_back(scheduler.submit(
+              Priorities::prior(step, t), emb_op("prior", step, t),
+              [&, t, prior = std::move(split.prior)] {
+                SparseRows g = shards[t]->exchange_grad(comm_ch, prior);
+                sparse_opts[t]->apply(shards[t]->shard(), g,
+                                      nn::SparseStep::kPrior);
+              }));
+          // The delayed part fills the queue's tail; its step-scoped
+          // priority keeps it ahead of the next step's ops (the modified
+          // Adam requires delayed(s) to land before prior(s+1)).
+          scheduler.submit(
+              Priorities::delayed(step, t), emb_op("delayed", step, t),
+              [&, t, delayed = std::move(split.delayed)] {
+                SparseRows g = shards[t]->exchange_grad(comm_ch, delayed);
+                sparse_opts[t]->apply(shards[t]->shard(), g,
+                                      nn::SparseStep::kDelayed);
+              });
+          break;
+        }
+      }
+    }
+
+    // --- finish the step ---
+    for (auto& h : dense_handles) h.wait();
+    dense_opt->step();
+    for (auto& h : emb_handles) h.wait();
+    local_losses.push_back(global_mean_loss(main_ch, local_loss, workers));
+    loader.advance();
+  }
+
+  scheduler.shutdown();
+  if (rank == 0) {
+    std::lock_guard<std::mutex> lock(shared.result_mutex);
+    shared.losses = std::move(local_losses);
+    shared.comm_log = scheduler.records();
+  }
+}
+
+}  // namespace
+
+const char* strategy_kind_name(StrategyKind s) {
+  switch (s) {
+    case StrategyKind::kHorovodAllReduce: return "horovod-allreduce";
+    case StrategyKind::kHorovodAllGather: return "horovod-allgather";
+    case StrategyKind::kBytePsDense: return "byteps-dense";
+    case StrategyKind::kParallaxPs: return "parallax-ps";
+    case StrategyKind::kEmbRaceNoVss: return "embrace-novss";
+    case StrategyKind::kEmbRace: return "embrace";
+  }
+  return "?";
+}
+
+TrainStats run_distributed(const TrainConfig& cfg, int workers) {
+  EMBRACE_CHECK_GE(workers, 1);
+  EMBRACE_CHECK_GE(cfg.dim, workers, << "column partition needs dim >= world");
+  EMBRACE_CHECK((cfg.strategy != StrategyKind::kParallaxPs &&
+                 cfg.strategy != StrategyKind::kBytePsDense) ||
+                    cfg.optim == OptimKind::kSgd,
+                << "the PS emulation applies SGD server-side; use kSgd");
+  EMBRACE_CHECK_GE(cfg.num_tables, 1);
+  SharedState shared;
+  if (cfg.strategy == StrategyKind::kParallaxPs ||
+      cfg.strategy == StrategyKind::kBytePsDense) {
+    Rng emb_rng(cfg.seed);
+    // Server-side SGD must apply the same averaged gradient: workers push
+    // grads already scaled by 1/N, so the server lr equals cfg.lr.
+    for (int t = 0; t < cfg.num_tables; ++t) {
+      Rng table_rng = emb_rng.split(static_cast<uint64_t>(t));
+      Tensor init = nn::Embedding(cfg.vocab, cfg.dim, table_rng).table();
+      shared.ps.push_back(std::make_unique<comm::ShardedParameterServer>(
+          init, std::max(1, workers / 2), workers, cfg.lr));
+    }
+  }
+
+  comm::Fabric fabric(workers);
+  if (cfg.fabric_jitter_us > 0) {
+    fabric.set_delivery_jitter(cfg.fabric_jitter_us, cfg.seed);
+  }
+  Stopwatch wall;
+  comm::run_cluster(fabric, [&](comm::Communicator& comm) {
+    worker_main(cfg, workers, shared, comm);
+  });
+
+  TrainStats stats;
+  stats.wall_seconds = wall.seconds();
+  stats.losses = std::move(shared.losses);
+  stats.comm_log = std::move(shared.comm_log);
+  const auto total = fabric.total_traffic();
+  stats.fabric_bytes = total.bytes;
+  stats.fabric_messages = total.messages;
+  for (const auto& ps : shared.ps) {
+    stats.ps_bytes += ps->pull_bytes() + ps->push_bytes();
+  }
+  for (const auto& rec : stats.comm_log) {
+    stats.comm_busy_seconds += rec.end - rec.start;
+  }
+  return stats;
+}
+
+TrainStats run_oracle(const TrainConfig& cfg, int workers) {
+  EMBRACE_CHECK_GE(workers, 1);
+  EMBRACE_CHECK_GE(cfg.num_tables, 1);
+  const int tables = cfg.num_tables;
+  const float inv_n = 1.0f / static_cast<float>(workers);
+  Rng emb_rng(cfg.seed);
+  Rng head_rng(cfg.seed + 1);
+  std::vector<std::unique_ptr<nn::Embedding>> embs;
+  std::vector<std::unique_ptr<nn::SparseOptimizer>> sparse_opts;
+  for (int t = 0; t < tables; ++t) {
+    Rng table_rng = emb_rng.split(static_cast<uint64_t>(t));
+    embs.push_back(
+        std::make_unique<nn::Embedding>(cfg.vocab, cfg.dim, table_rng));
+    sparse_opts.push_back(make_sparse_optim(cfg, cfg.vocab, cfg.dim));
+  }
+  auto head = nn::make_head(cfg.head, cfg.dim, cfg.hidden, cfg.classes,
+                            head_rng);
+  auto dense_opt = make_dense_optim(cfg, head->parameters());
+
+  std::vector<data::PrefetchingLoader> loaders;
+  for (int w = 0; w < workers; ++w) {
+    loaders.push_back(data::make_corpus_loader(corpus_config(cfg), w,
+                                               cfg.batch_per_worker));
+  }
+
+  TrainStats stats;
+  for (int step = 0; step < cfg.steps; ++step) {
+    head->zero_grad();
+    std::vector<SparseRows> grad_sums;
+    for (int t = 0; t < tables; ++t) {
+      grad_sums.push_back(SparseRows::empty(cfg.vocab, cfg.dim));
+    }
+    float loss_sum = 0.0f;
+    for (int w = 0; w < workers; ++w) {
+      const data::Batch& cur = loaders[static_cast<size_t>(w)].current();
+      const Segmented seg = segment_batch(cur, tables);
+      Tensor emb_out({cur.total_tokens(), cfg.dim});
+      for (int t = 0; t < tables; ++t) {
+        scatter_rows(embs[t]->forward(seg.ids[t]), seg.pos[t], emb_out);
+      }
+      Tensor d_emb;
+      loss_sum += head->forward_backward(emb_out, cur.batch_size(),
+                                         cur.seq_len(),
+                                         targets_of(cur, cfg.classes),
+                                         &d_emb);
+      for (int t = 0; t < tables; ++t) {
+        grad_sums[t] = SparseRows::concat(
+            grad_sums[t],
+            SparseRows(cfg.vocab, seg.ids[t], gather_rows(d_emb, seg.pos[t])));
+      }
+      loaders[static_cast<size_t>(w)].advance();
+    }
+    for (nn::Parameter* p : head->parameters()) p->grad.scale_(inv_n);
+    dense_opt->step();
+    for (int t = 0; t < tables; ++t) {
+      grad_sums[t].scale_(inv_n);
+      sparse_opts[t]->apply(embs[t]->table(), grad_sums[t].coalesced(),
+                            nn::SparseStep::kFull);
+    }
+    stats.losses.push_back(loss_sum * inv_n);
+  }
+  return stats;
+}
+
+}  // namespace embrace::core

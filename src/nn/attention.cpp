@@ -1,0 +1,74 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/linalg.h"
+
+namespace embrace::nn {
+namespace {
+
+Tensor init_proj(int64_t dim, Rng& rng) {
+  const float bound = std::sqrt(3.0f / static_cast<float>(dim));
+  return Tensor::rand_uniform({dim, dim}, rng, -bound, bound);
+}
+
+}  // namespace
+
+SelfAttention::SelfAttention(int64_t dim, Rng& rng, std::string name)
+    : name_(std::move(name)),
+      dim_(dim),
+      wq_(name_ + ".wq", init_proj(dim, rng)),
+      wk_(name_ + ".wk", init_proj(dim, rng)),
+      wv_(name_ + ".wv", init_proj(dim, rng)),
+      wo_(name_ + ".wo", init_proj(dim, rng)) {}
+
+Tensor SelfAttention::forward(const Tensor& x) {
+  EMBRACE_CHECK_EQ(x.dim(), 2);
+  EMBRACE_CHECK_EQ(x.cols(), dim_);
+  last_x_ = x;
+  last_q_ = matmul(x, wq_.value);
+  last_k_ = matmul(x, wk_.value);
+  last_v_ = matmul(x, wv_.value);
+  Tensor scores = matmul_nt(last_q_, last_k_);
+  scores.scale_(1.0f / std::sqrt(static_cast<float>(dim_)));
+  last_attn_ = softmax_rows(scores);
+  last_ctx_ = matmul(last_attn_, last_v_);
+  return matmul(last_ctx_, wo_.value);
+}
+
+Tensor SelfAttention::backward(const Tensor& grad_out) {
+  EMBRACE_CHECK(!last_x_.empty(), << "backward before forward");
+  // Through output projection.
+  wo_.grad.add_(matmul_tn(last_ctx_, grad_out));
+  Tensor dctx = matmul_nt(grad_out, wo_.value);
+  // Through ctx = attn · V.
+  Tensor dattn = matmul_nt(dctx, last_v_);
+  Tensor dv = matmul_tn(last_attn_, dctx);
+  // Through the row softmax: ds = attn ⊙ (dattn - rowsum(dattn ⊙ attn)).
+  Tensor dscores(last_attn_.shape());
+  for (int64_t r = 0; r < last_attn_.rows(); ++r) {
+    auto a = last_attn_.row(r);
+    auto da = dattn.row(r);
+    auto ds = dscores.row(r);
+    double dot = 0.0;
+    for (size_t c = 0; c < a.size(); ++c) dot += a[c] * da[c];
+    for (size_t c = 0; c < a.size(); ++c) {
+      ds[c] = a[c] * (da[c] - static_cast<float>(dot));
+    }
+  }
+  dscores.scale_(1.0f / std::sqrt(static_cast<float>(dim_)));
+  // scores = Q·K^T: dQ = ds·K, dK = ds^T·Q.
+  Tensor dq = matmul(dscores, last_k_);
+  Tensor dk = matmul_tn(dscores, last_q_);
+  // Projections.
+  wq_.grad.add_(matmul_tn(last_x_, dq));
+  wk_.grad.add_(matmul_tn(last_x_, dk));
+  wv_.grad.add_(matmul_tn(last_x_, dv));
+  Tensor dx = matmul_nt(dq, wq_.value);
+  dx.add_(matmul_nt(dk, wk_.value));
+  dx.add_(matmul_nt(dv, wv_.value));
+  return dx;
+}
+
+}  // namespace embrace::nn

@@ -1,0 +1,29 @@
+// Single-head scaled dot-product self-attention — the Transformer/BERT
+// building block for the functional models.
+#pragma once
+
+#include "nn/module.h"
+
+namespace embrace::nn {
+
+// y = softmax(QK^T / sqrt(d)) V with Q = xWq, K = xWk, V = xWv, followed by
+// an output projection Wo. Operates on one sequence: x is (seq × dim).
+class SelfAttention : public Module {
+ public:
+  SelfAttention(int64_t dim, Rng& rng, std::string name = "attention");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override {
+    return {&wq_, &wk_, &wv_, &wo_};
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  int64_t dim_;
+  Parameter wq_, wk_, wv_, wo_;
+  Tensor last_x_, last_q_, last_k_, last_v_, last_attn_, last_ctx_;
+};
+
+}  // namespace embrace::nn

@@ -1,0 +1,135 @@
+#include "nn/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace embrace::nn {
+namespace {
+
+constexpr char kMagic[8] = {'E', 'M', 'B', 'R', 'C', 'K', 'P', 'T'};
+constexpr uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  void raw(const void* p, size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  template <typename T>
+  void num(T v) {
+    raw(&v, sizeof(T));
+  }
+  std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const std::byte* data, size_t size) : data_(data), size_(size) {}
+  void raw(void* p, size_t n) {
+    EMBRACE_CHECK_LE(pos_ + n, size_, << "truncated checkpoint");
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+  }
+  template <typename T>
+  T num() {
+    T v;
+    raw(&v, sizeof(T));
+    return v;
+  }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  const std::byte* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+void TensorStore::put(const std::string& name, Tensor t) {
+  EMBRACE_CHECK(!name.empty(), << "tensor name must be non-empty");
+  entries_.insert_or_assign(name, std::move(t));
+}
+
+bool TensorStore::contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+const Tensor& TensorStore::get(const std::string& name) const {
+  auto it = entries_.find(name);
+  EMBRACE_CHECK(it != entries_.end(), << "no tensor named '" << name << "'");
+  return it->second;
+}
+
+std::vector<std::byte> TensorStore::serialize() const {
+  Writer w;
+  w.raw(kMagic, sizeof(kMagic));
+  w.num<uint32_t>(kVersion);
+  w.num<uint32_t>(static_cast<uint32_t>(entries_.size()));
+  for (const auto& [name, t] : entries_) {
+    w.num<uint32_t>(static_cast<uint32_t>(name.size()));
+    w.raw(name.data(), name.size());
+    w.num<uint32_t>(static_cast<uint32_t>(t.shape().size()));
+    for (int64_t d : t.shape()) w.num<int64_t>(d);
+    w.raw(t.data(), static_cast<size_t>(t.byte_size()));
+  }
+  return w.take();
+}
+
+TensorStore TensorStore::deserialize(const std::byte* data, size_t size) {
+  Reader r(data, size);
+  char magic[8];
+  r.raw(magic, sizeof(magic));
+  EMBRACE_CHECK(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                << "not an EmbRace checkpoint");
+  const uint32_t version = r.num<uint32_t>();
+  EMBRACE_CHECK_EQ(version, kVersion, << "unsupported checkpoint version");
+  const uint32_t count = r.num<uint32_t>();
+  TensorStore store;
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t name_len = r.num<uint32_t>();
+    std::string name(name_len, '\0');
+    r.raw(name.data(), name_len);
+    const uint32_t ndim = r.num<uint32_t>();
+    std::vector<int64_t> shape(ndim);
+    int64_t numel = 1;
+    for (auto& d : shape) {
+      d = r.num<int64_t>();
+      EMBRACE_CHECK_GE(d, 0, << "negative dim in checkpoint");
+      numel *= d;
+    }
+    std::vector<float> values(static_cast<size_t>(numel));
+    r.raw(values.data(), values.size() * sizeof(float));
+    store.put(name, Tensor(std::move(shape), std::move(values)));
+  }
+  EMBRACE_CHECK(r.done(), << "trailing bytes in checkpoint");
+  return store;
+}
+
+void TensorStore::save(const std::string& path) const {
+  const auto buf = serialize();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  EMBRACE_CHECK(out.good(), << "cannot open '" << path << "' for writing");
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+  EMBRACE_CHECK(out.good(), << "write failed for '" << path << "'");
+}
+
+TensorStore TensorStore::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EMBRACE_CHECK(in.good(), << "cannot open '" << path << "'");
+  const auto size = static_cast<size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::byte> buf(size);
+  in.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(size));
+  EMBRACE_CHECK(in.good(), << "read failed for '" << path << "'");
+  return deserialize(buf);
+}
+
+}  // namespace embrace::nn

@@ -1,0 +1,44 @@
+// Checkpointing: a named-tensor store with a simple binary file format.
+//
+// Format (little-endian):
+//   magic "EMBRCKPT" | u32 version | u32 count |
+//   per entry: u32 name_len | name bytes | u32 ndim | i64 dims... | f32 data
+//
+// Used to persist model parameters and optimizer state between runs; the
+// distributed trainer snapshots through it, and tests round-trip every
+// module's parameters.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace embrace::nn {
+
+class TensorStore {
+ public:
+  TensorStore() = default;
+
+  void put(const std::string& name, Tensor t);
+  bool contains(const std::string& name) const;
+  // Throws if absent.
+  const Tensor& get(const std::string& name) const;
+  size_t size() const { return entries_.size(); }
+  const std::map<std::string, Tensor>& entries() const { return entries_; }
+
+  // Binary (de)serialization to an in-memory buffer and to disk.
+  std::vector<std::byte> serialize() const;
+  static TensorStore deserialize(const std::byte* data, size_t size);
+  static TensorStore deserialize(const std::vector<std::byte>& buf) {
+    return deserialize(buf.data(), buf.size());
+  }
+
+  void save(const std::string& path) const;
+  static TensorStore load(const std::string& path);
+
+ private:
+  std::map<std::string, Tensor> entries_;
+};
+
+}  // namespace embrace::nn

@@ -1,0 +1,71 @@
+#include "nn/cross_attention.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/linalg.h"
+
+namespace embrace::nn {
+namespace {
+
+Tensor init_proj(int64_t dim, Rng& rng) {
+  const float bound = std::sqrt(3.0f / static_cast<float>(dim));
+  return Tensor::rand_uniform({dim, dim}, rng, -bound, bound);
+}
+
+}  // namespace
+
+CrossAttention::CrossAttention(int64_t dim, Rng& rng, std::string name)
+    : name_(std::move(name)),
+      dim_(dim),
+      wq_(name_ + ".wq", init_proj(dim, rng)),
+      wk_(name_ + ".wk", init_proj(dim, rng)),
+      wv_(name_ + ".wv", init_proj(dim, rng)),
+      wo_(name_ + ".wo", init_proj(dim, rng)) {}
+
+Tensor CrossAttention::forward(const Tensor& q_in, const Tensor& kv_in) {
+  EMBRACE_CHECK_EQ(q_in.cols(), dim_);
+  EMBRACE_CHECK_EQ(kv_in.cols(), dim_);
+  last_q_in_ = q_in;
+  last_kv_in_ = kv_in;
+  last_q_ = matmul(q_in, wq_.value);
+  last_k_ = matmul(kv_in, wk_.value);
+  last_v_ = matmul(kv_in, wv_.value);
+  Tensor scores = matmul_nt(last_q_, last_k_);  // (q_len × kv_len)
+  scores.scale_(1.0f / std::sqrt(static_cast<float>(dim_)));
+  last_attn_ = softmax_rows(scores);
+  last_ctx_ = matmul(last_attn_, last_v_);
+  return matmul(last_ctx_, wo_.value);
+}
+
+std::pair<Tensor, Tensor> CrossAttention::backward(const Tensor& grad_out) {
+  EMBRACE_CHECK(!last_q_in_.empty(), << "backward before forward");
+  wo_.grad.add_(matmul_tn(last_ctx_, grad_out));
+  Tensor dctx = matmul_nt(grad_out, wo_.value);
+  Tensor dattn = matmul_nt(dctx, last_v_);
+  Tensor dv = matmul_tn(last_attn_, dctx);
+  // Row softmax backward.
+  Tensor dscores(last_attn_.shape());
+  for (int64_t r = 0; r < last_attn_.rows(); ++r) {
+    auto a = last_attn_.row(r);
+    auto da = dattn.row(r);
+    auto ds = dscores.row(r);
+    double dot = 0.0;
+    for (size_t c = 0; c < a.size(); ++c) dot += a[c] * da[c];
+    for (size_t c = 0; c < a.size(); ++c) {
+      ds[c] = a[c] * (da[c] - static_cast<float>(dot));
+    }
+  }
+  dscores.scale_(1.0f / std::sqrt(static_cast<float>(dim_)));
+  Tensor dq = matmul(dscores, last_k_);
+  Tensor dk = matmul_tn(dscores, last_q_);
+  wq_.grad.add_(matmul_tn(last_q_in_, dq));
+  wk_.grad.add_(matmul_tn(last_kv_in_, dk));
+  wv_.grad.add_(matmul_tn(last_kv_in_, dv));
+  Tensor d_q_in = matmul_nt(dq, wq_.value);
+  Tensor d_kv_in = matmul_nt(dk, wk_.value);
+  d_kv_in.add_(matmul_nt(dv, wv_.value));
+  return {std::move(d_q_in), std::move(d_kv_in)};
+}
+
+}  // namespace embrace::nn

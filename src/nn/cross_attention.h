@@ -1,0 +1,34 @@
+// Cross-attention: queries from one sequence attend over another —
+// the encoder-decoder coupling of GNMT/Transformer decoders.
+#pragma once
+
+#include "nn/module.h"
+
+namespace embrace::nn {
+
+// y = softmax(Q K^T / sqrt(d)) V with Q = q_in·Wq, K = kv_in·Wk,
+// V = kv_in·Wv, then an output projection Wo.
+// q_in: (q_len × dim), kv_in: (kv_len × dim) -> y: (q_len × dim).
+class CrossAttention {
+ public:
+  CrossAttention(int64_t dim, Rng& rng, std::string name = "xattn");
+
+  Tensor forward(const Tensor& q_in, const Tensor& kv_in);
+  // Returns (d_q_in, d_kv_in); accumulates parameter grads.
+  std::pair<Tensor, Tensor> backward(const Tensor& grad_out);
+
+  std::vector<Parameter*> parameters() { return {&wq_, &wk_, &wv_, &wo_}; }
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->zero_grad();
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  int64_t dim_;
+  Parameter wq_, wk_, wv_, wo_;
+  Tensor last_q_in_, last_kv_in_, last_q_, last_k_, last_v_, last_attn_,
+      last_ctx_;
+};
+
+}  // namespace embrace::nn

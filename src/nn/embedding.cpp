@@ -1,0 +1,38 @@
+#include "nn/embedding.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace embrace::nn {
+
+Embedding::Embedding(int64_t vocab, int64_t dim, Rng& rng, std::string name)
+    : name_(std::move(name)),
+      table_(Tensor::randn({vocab, dim}, rng,
+                           1.0f / std::sqrt(static_cast<float>(dim)))) {}
+
+Tensor Embedding::forward(const std::vector<int64_t>& ids) const {
+  Tensor out({static_cast<int64_t>(ids.size()), dim()});
+  for (size_t k = 0; k < ids.size(); ++k) {
+    EMBRACE_CHECK(ids[k] >= 0 && ids[k] < vocab(),
+                  << "token id " << ids[k] << " out of vocab");
+    auto src = table_.row(ids[k]);
+    auto dst = out.row(static_cast<int64_t>(k));
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+SparseRows Embedding::sparse_grad(const std::vector<int64_t>& ids,
+                                  const Tensor& grad_out) const {
+  EMBRACE_CHECK_EQ(grad_out.rows(), static_cast<int64_t>(ids.size()));
+  EMBRACE_CHECK_EQ(grad_out.cols(), dim());
+  return SparseRows(vocab(), ids, grad_out);
+}
+
+Tensor Embedding::dense_grad(const std::vector<int64_t>& ids,
+                             const Tensor& grad_out) const {
+  return sparse_grad(ids, grad_out).to_dense();
+}
+
+}  // namespace embrace::nn

@@ -1,0 +1,49 @@
+// Embedding table with sparse gradients — the module whose communication
+// the whole paper is about.
+//
+// forward() maps a flat list of token ids to a (tokens × dim) matrix;
+// backward() turns the output gradient into a row-sparse COO gradient
+// (one row per token occurrence, duplicates uncoalesced — exactly what
+// PyTorch's sparse embedding grad looks like before COALESCE).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/sparse_rows.h"
+#include "tensor/tensor.h"
+
+namespace embrace::nn {
+
+class Embedding {
+ public:
+  Embedding(int64_t vocab, int64_t dim, Rng& rng, std::string name = "embedding");
+
+  int64_t vocab() const { return table_.rows(); }
+  int64_t dim() const { return table_.cols(); }
+  const std::string& name() const { return name_; }
+
+  Tensor& table() { return table_; }
+  const Tensor& table() const { return table_; }
+
+  // Gathers rows for the given token ids -> (ids.size() × dim).
+  Tensor forward(const std::vector<int64_t>& ids) const;
+
+  // Builds the sparse gradient for the last forward's ids: row k of
+  // grad_out contributes to table row ids[k]. Stateless — the caller passes
+  // the ids back (distributed strategies route grads through comm between
+  // forward and backward, so the module cannot cache them reliably).
+  SparseRows sparse_grad(const std::vector<int64_t>& ids,
+                         const Tensor& grad_out) const;
+
+  // Dense gradient materialization (what dense baselines transmit).
+  Tensor dense_grad(const std::vector<int64_t>& ids,
+                    const Tensor& grad_out) const;
+
+ private:
+  std::string name_;
+  Tensor table_;
+};
+
+}  // namespace embrace::nn

@@ -1,0 +1,332 @@
+#include "nn/heads.h"
+
+#include "common/error.h"
+#include "tensor/linalg.h"
+
+namespace embrace::nn {
+namespace {
+
+void check_shapes(const Tensor& emb, int64_t batch_size, int64_t seq_len,
+                  const std::vector<int64_t>& targets) {
+  EMBRACE_CHECK_EQ(emb.rows(), batch_size * seq_len);
+  EMBRACE_CHECK_EQ(static_cast<int64_t>(targets.size()), batch_size);
+}
+
+// Mean over each sentence's rows: (B·S × d) -> (B × d).
+Tensor pool_mean(const Tensor& emb, int64_t batch_size, int64_t seq_len) {
+  Tensor pooled({batch_size, emb.cols()});
+  const float inv = 1.0f / static_cast<float>(seq_len);
+  for (int64_t b = 0; b < batch_size; ++b) {
+    auto dst = pooled.row(b);
+    for (int64_t s = 0; s < seq_len; ++s) {
+      auto src = emb.row(b * seq_len + s);
+      for (size_t c = 0; c < src.size(); ++c) dst[c] += src[c] * inv;
+    }
+  }
+  return pooled;
+}
+
+// Distributes a pooled gradient back over sentence rows (accumulating).
+void unpool_mean(const Tensor& d_pooled, int64_t seq_len, Tensor& d_emb) {
+  const float inv = 1.0f / static_cast<float>(seq_len);
+  for (int64_t b = 0; b < d_pooled.rows(); ++b) {
+    auto src = d_pooled.row(b);
+    for (int64_t s = 0; s < seq_len; ++s) {
+      auto dst = d_emb.row(b * seq_len + s);
+      for (size_t c = 0; c < src.size(); ++c) dst[c] += src[c] * inv;
+    }
+  }
+}
+
+}  // namespace
+
+// --- PoolMlpHead ---
+
+PoolMlpHead::PoolMlpHead(int64_t dim, int64_t hidden, int64_t num_classes,
+                         Rng& rng)
+    : dim_(dim), mlp_("pool-mlp") {
+  mlp_.add(std::make_unique<Linear>(dim, hidden, rng, "mlp.fc1"));
+  mlp_.add(std::make_unique<Activation>(ActKind::kTanh));
+  mlp_.add(std::make_unique<Linear>(hidden, num_classes, rng, "mlp.fc2"));
+}
+
+float PoolMlpHead::forward_backward(const Tensor& emb, int64_t batch_size,
+                                    int64_t seq_len,
+                                    const std::vector<int64_t>& targets,
+                                    Tensor* d_emb) {
+  check_shapes(emb, batch_size, seq_len, targets);
+  Tensor pooled = pool_mean(emb, batch_size, seq_len);
+  Tensor logits = mlp_.forward(pooled);
+  Tensor dlogits;
+  const float loss = cross_entropy_with_grad(logits, targets, &dlogits);
+  Tensor d_pooled = mlp_.backward(dlogits);
+  *d_emb = Tensor(emb.shape());
+  unpool_mean(d_pooled, seq_len, *d_emb);
+  return loss;
+}
+
+std::vector<Parameter*> PoolMlpHead::parameters() { return mlp_.parameters(); }
+
+// --- LstmHead ---
+
+LstmHead::LstmHead(int64_t dim, int64_t hidden, int64_t num_classes, Rng& rng)
+    : dim_(dim), lstm_(dim, hidden, rng, "head.lstm"),
+      out_(hidden, num_classes, rng, "head.out") {}
+
+float LstmHead::forward_backward(const Tensor& emb, int64_t batch_size,
+                                 int64_t seq_len,
+                                 const std::vector<int64_t>& targets,
+                                 Tensor* d_emb) {
+  check_shapes(emb, batch_size, seq_len, targets);
+  // Re-layout into per-step (batch × dim) tensors.
+  std::vector<Tensor> xs(static_cast<size_t>(seq_len));
+  for (int64_t s = 0; s < seq_len; ++s) {
+    Tensor x({batch_size, dim_});
+    for (int64_t b = 0; b < batch_size; ++b) {
+      auto src = emb.row(b * seq_len + s);
+      auto dst = x.row(b);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    xs[static_cast<size_t>(s)] = std::move(x);
+  }
+  auto hs = lstm_.forward(xs);
+  Tensor logits = out_.forward(hs.back());
+  Tensor dlogits;
+  const float loss = cross_entropy_with_grad(logits, targets, &dlogits);
+  Tensor d_last = out_.backward(dlogits);
+  std::vector<Tensor> dhs(static_cast<size_t>(seq_len),
+                          Tensor({batch_size, lstm_.hidden()}));
+  dhs.back() = d_last;
+  auto dxs = lstm_.backward(dhs);
+  *d_emb = Tensor(emb.shape());
+  for (int64_t s = 0; s < seq_len; ++s) {
+    for (int64_t b = 0; b < batch_size; ++b) {
+      auto src = dxs[static_cast<size_t>(s)].row(b);
+      auto dst = d_emb->row(b * seq_len + s);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  return loss;
+}
+
+std::vector<Parameter*> LstmHead::parameters() {
+  auto ps = lstm_.parameters();
+  for (Parameter* p : out_.parameters()) ps.push_back(p);
+  return ps;
+}
+
+// --- AttentionHead ---
+
+AttentionHead::AttentionHead(int64_t dim, int64_t num_classes, Rng& rng)
+    : dim_(dim), attn_(dim, rng, "head.attn"),
+      norm_(dim, rng, "head.norm"),
+      out_(dim, num_classes, rng, "head.out") {}
+
+float AttentionHead::forward_backward(const Tensor& emb, int64_t batch_size,
+                                      int64_t seq_len,
+                                      const std::vector<int64_t>& targets,
+                                      Tensor* d_emb) {
+  check_shapes(emb, batch_size, seq_len, targets);
+  // Attention runs over the whole (B·S) token block at once (a deliberate
+  // simplification: one global attention instead of per-sentence masking —
+  // differentiable, deterministic, and shape-compatible).
+  Tensor y = attn_.forward(emb);
+  Tensor z = norm_.forward(y);
+  Tensor pooled = pool_mean(z, batch_size, seq_len);
+  Tensor logits = out_.forward(pooled);
+  Tensor dlogits;
+  const float loss = cross_entropy_with_grad(logits, targets, &dlogits);
+  Tensor d_pooled = out_.backward(dlogits);
+  Tensor dz(z.shape());
+  unpool_mean(d_pooled, seq_len, dz);
+  Tensor dy = norm_.backward(dz);
+  *d_emb = attn_.backward(dy);
+  return loss;
+}
+
+std::vector<Parameter*> AttentionHead::parameters() {
+  std::vector<Parameter*> ps = attn_.parameters();
+  for (Parameter* p : norm_.parameters()) ps.push_back(p);
+  for (Parameter* p : out_.parameters()) ps.push_back(p);
+  return ps;
+}
+
+// --- TransformerHead ---
+
+TransformerHead::TransformerHead(int64_t dim, int64_t ffn_hidden,
+                                 int64_t num_classes, Rng& rng)
+    : dim_(dim),
+      trunk_(make_transformer_trunk(2, dim, ffn_hidden, rng)),
+      out_(dim, num_classes, rng, "head.out") {}
+
+float TransformerHead::forward_backward(const Tensor& emb, int64_t batch_size,
+                                        int64_t seq_len,
+                                        const std::vector<int64_t>& targets,
+                                        Tensor* d_emb) {
+  check_shapes(emb, batch_size, seq_len, targets);
+  // As with AttentionHead, attention spans the whole (B*S) token block.
+  Tensor z = trunk_.forward(emb);
+  Tensor pooled = pool_mean(z, batch_size, seq_len);
+  Tensor logits = out_.forward(pooled);
+  Tensor dlogits;
+  const float loss = cross_entropy_with_grad(logits, targets, &dlogits);
+  Tensor d_pooled = out_.backward(dlogits);
+  Tensor dz(z.shape());
+  unpool_mean(d_pooled, seq_len, dz);
+  *d_emb = trunk_.backward(dz);
+  (void)dim_;
+  return loss;
+}
+
+std::vector<Parameter*> TransformerHead::parameters() {
+  auto ps = trunk_.parameters();
+  for (Parameter* p : out_.parameters()) ps.push_back(p);
+  return ps;
+}
+
+// --- Seq2SeqHead ---
+
+namespace {
+
+// Re-layouts a column range of each sentence into per-step (B x dim)
+// tensors for the LSTM.
+std::vector<Tensor> to_steps(const Tensor& emb, int64_t batch, int64_t seq,
+                             int64_t c0, int64_t c1) {
+  std::vector<Tensor> xs(static_cast<size_t>(c1 - c0));
+  for (int64_t c = c0; c < c1; ++c) {
+    Tensor x({batch, emb.cols()});
+    for (int64_t b = 0; b < batch; ++b) {
+      auto src = emb.row(b * seq + c);
+      auto dst = x.row(b);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    xs[static_cast<size_t>(c - c0)] = std::move(x);
+  }
+  return xs;
+}
+
+// Inverse of to_steps: writes per-step gradients back into d_emb rows.
+void from_steps(const std::vector<Tensor>& dxs, int64_t batch, int64_t seq,
+                int64_t c0, Tensor& d_emb) {
+  for (size_t t = 0; t < dxs.size(); ++t) {
+    for (int64_t b = 0; b < batch; ++b) {
+      auto src = dxs[t].row(b);
+      auto dst = d_emb.row(b * seq + c0 + static_cast<int64_t>(t));
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+}
+
+// Flattens per-step (B x H) states into (B*T x H), sentence-major.
+Tensor flatten_states(const std::vector<Tensor>& hs, int64_t batch) {
+  const int64_t steps = static_cast<int64_t>(hs.size());
+  Tensor out({batch * steps, hs.front().cols()});
+  for (int64_t t = 0; t < steps; ++t) {
+    for (int64_t b = 0; b < batch; ++b) {
+      auto src = hs[static_cast<size_t>(t)].row(b);
+      auto dst = out.row(b * steps + t);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  return out;
+}
+
+// Inverse of flatten_states.
+std::vector<Tensor> unflatten_states(const Tensor& flat, int64_t batch,
+                                     int64_t steps) {
+  std::vector<Tensor> out(static_cast<size_t>(steps),
+                          Tensor({batch, flat.cols()}));
+  for (int64_t t = 0; t < steps; ++t) {
+    for (int64_t b = 0; b < batch; ++b) {
+      auto src = flat.row(b * steps + t);
+      auto dst = out[static_cast<size_t>(t)].row(b);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Seq2SeqHead::Seq2SeqHead(int64_t dim, int64_t hidden, int64_t num_classes,
+                         Rng& rng)
+    : dim_(dim),
+      hidden_(hidden),
+      encoder_(dim, hidden, rng, "head.encoder"),
+      decoder_(dim, hidden, rng, "head.decoder"),
+      xattn_(hidden, rng, "head.xattn"),
+      out_(hidden, num_classes, rng, "head.out") {}
+
+float Seq2SeqHead::forward_backward(const Tensor& emb, int64_t batch_size,
+                                    int64_t seq_len,
+                                    const std::vector<int64_t>& targets,
+                                    Tensor* d_emb) {
+  check_shapes(emb, batch_size, seq_len, targets);
+  EMBRACE_CHECK_GE(seq_len, 2, << "seq2seq needs a source and a target half");
+  const int64_t src_len = seq_len / 2;
+  const int64_t tgt_len = seq_len - src_len;
+
+  auto xs_src = to_steps(emb, batch_size, seq_len, 0, src_len);
+  auto xs_tgt = to_steps(emb, batch_size, seq_len, src_len, seq_len);
+  auto hs_enc = encoder_.forward(xs_src);
+  auto hs_dec = decoder_.forward(xs_tgt);
+
+  // Cross-attention over the flattened state blocks (as with the other
+  // attention heads, attention spans the whole batch block).
+  Tensor enc_flat = flatten_states(hs_enc, batch_size);
+  Tensor dec_flat = flatten_states(hs_dec, batch_size);
+  Tensor ctx = xattn_.forward(dec_flat, enc_flat);
+  ctx.add_(dec_flat);  // residual
+
+  Tensor pooled = pool_mean(ctx, batch_size, tgt_len);
+  Tensor logits = out_.forward(pooled);
+  Tensor dlogits;
+  const float loss = cross_entropy_with_grad(logits, targets, &dlogits);
+
+  // Backward.
+  Tensor d_pooled = out_.backward(dlogits);
+  Tensor d_ctx(ctx.shape());
+  unpool_mean(d_pooled, tgt_len, d_ctx);
+  auto [d_dec_flat, d_enc_flat] = xattn_.backward(d_ctx);
+  d_dec_flat.add_(d_ctx);  // residual path
+  auto d_hs_dec = unflatten_states(d_dec_flat, batch_size, tgt_len);
+  auto d_hs_enc = unflatten_states(d_enc_flat, batch_size, src_len);
+  auto dxs_tgt = decoder_.backward(d_hs_dec);
+  auto dxs_src = encoder_.backward(d_hs_enc);
+
+  *d_emb = Tensor(emb.shape());
+  from_steps(dxs_src, batch_size, seq_len, 0, *d_emb);
+  from_steps(dxs_tgt, batch_size, seq_len, src_len, *d_emb);
+  (void)dim_;
+  (void)hidden_;
+  return loss;
+}
+
+std::vector<Parameter*> Seq2SeqHead::parameters() {
+  std::vector<Parameter*> ps = encoder_.parameters();
+  for (Parameter* p : decoder_.parameters()) ps.push_back(p);
+  for (Parameter* p : xattn_.parameters()) ps.push_back(p);
+  for (Parameter* p : out_.parameters()) ps.push_back(p);
+  return ps;
+}
+
+std::unique_ptr<DenseHead> make_head(HeadKind kind, int64_t dim,
+                                     int64_t hidden, int64_t num_classes,
+                                     Rng& rng) {
+  switch (kind) {
+    case HeadKind::kPoolMlp:
+      return std::make_unique<PoolMlpHead>(dim, hidden, num_classes, rng);
+    case HeadKind::kLstm:
+      return std::make_unique<LstmHead>(dim, hidden, num_classes, rng);
+    case HeadKind::kAttention:
+      return std::make_unique<AttentionHead>(dim, num_classes, rng);
+    case HeadKind::kTransformer:
+      return std::make_unique<TransformerHead>(dim, hidden, num_classes, rng);
+    case HeadKind::kSeq2Seq:
+      return std::make_unique<Seq2SeqHead>(dim, hidden, num_classes, rng);
+  }
+  EMBRACE_CHECK(false, << "unknown head kind");
+  return nullptr;
+}
+
+}  // namespace embrace::nn

@@ -1,0 +1,136 @@
+// Dense "heads" — the non-embedding part of the functional tiny models.
+//
+// A head consumes the embedding output of a padded batch, produces a
+// scalar loss against per-sentence targets, and returns the gradient wrt
+// the embedding output. The split at exactly this boundary is what lets
+// the distributed strategies (src/embrace) own the embedding side:
+// baselines look up a local replica; EmbRace injects its column-partitioned
+// AlltoAll lookup. The head itself is pure dense data-parallel state.
+//
+// Three heads mirror the paper's model families:
+//   PoolMlpHead     — mean-pool + MLP (LM-flavoured, cheap)
+//   LstmHead        — LSTM over the sequence (GNMT-flavoured)
+//   AttentionHead   — single attention + pool (light Transformer flavour)
+//   TransformerHead — a stack of full TransformerBlocks (BERT-flavoured)
+//   Seq2SeqHead     — LSTM encoder/decoder + cross-attention (true
+//                     GNMT shape; pairs with the trainer's two-table mode,
+//                     where table 0 embeds the source half and table 1 the
+//                     target half of each sentence)
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/lstm.h"
+#include "nn/module.h"
+#include "nn/cross_attention.h"
+#include "nn/transformer.h"
+
+namespace embrace::nn {
+
+class DenseHead {
+ public:
+  virtual ~DenseHead() = default;
+
+  // emb: (batch·seq × dim), row-major by sentence. targets: one class id
+  // per sentence. Returns the mean loss and fills *d_emb with the gradient
+  // wrt emb (same shape). Accumulates parameter gradients.
+  virtual float forward_backward(const Tensor& emb, int64_t batch_size,
+                                 int64_t seq_len,
+                                 const std::vector<int64_t>& targets,
+                                 Tensor* d_emb) = 0;
+
+  virtual std::vector<Parameter*> parameters() = 0;
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->zero_grad();
+  }
+};
+
+// mean-pool over each sentence -> Linear -> Tanh -> Linear(num_classes).
+class PoolMlpHead : public DenseHead {
+ public:
+  PoolMlpHead(int64_t dim, int64_t hidden, int64_t num_classes, Rng& rng);
+  float forward_backward(const Tensor& emb, int64_t batch_size,
+                         int64_t seq_len, const std::vector<int64_t>& targets,
+                         Tensor* d_emb) override;
+  std::vector<Parameter*> parameters() override;
+
+ private:
+  int64_t dim_;
+  Sequential mlp_;
+};
+
+// LSTM over the sequence; last hidden state -> Linear(num_classes).
+class LstmHead : public DenseHead {
+ public:
+  LstmHead(int64_t dim, int64_t hidden, int64_t num_classes, Rng& rng);
+  float forward_backward(const Tensor& emb, int64_t batch_size,
+                         int64_t seq_len, const std::vector<int64_t>& targets,
+                         Tensor* d_emb) override;
+  std::vector<Parameter*> parameters() override;
+
+ private:
+  int64_t dim_;
+  LstmLayer lstm_;
+  Linear out_;
+};
+
+// Per-sentence self-attention + LayerNorm; mean-pool -> Linear(num_classes).
+class AttentionHead : public DenseHead {
+ public:
+  AttentionHead(int64_t dim, int64_t num_classes, Rng& rng);
+  float forward_backward(const Tensor& emb, int64_t batch_size,
+                         int64_t seq_len, const std::vector<int64_t>& targets,
+                         Tensor* d_emb) override;
+  std::vector<Parameter*> parameters() override;
+
+ private:
+  int64_t dim_;
+  SelfAttention attn_;
+  LayerNorm norm_;
+  Linear out_;
+};
+
+// Two full pre-LN Transformer blocks; mean-pool -> Linear(num_classes).
+class TransformerHead : public DenseHead {
+ public:
+  TransformerHead(int64_t dim, int64_t ffn_hidden, int64_t num_classes,
+                  Rng& rng);
+  float forward_backward(const Tensor& emb, int64_t batch_size,
+                         int64_t seq_len, const std::vector<int64_t>& targets,
+                         Tensor* d_emb) override;
+  std::vector<Parameter*> parameters() override;
+
+ private:
+  int64_t dim_;
+  Sequential trunk_;
+  Linear out_;
+};
+
+// Encoder-decoder: LSTM over the source half, LSTM over the target half,
+// cross-attention from decoder states over encoder states, residual add,
+// mean-pool of the target side -> Linear(num_classes). Requires seq >= 2.
+class Seq2SeqHead : public DenseHead {
+ public:
+  Seq2SeqHead(int64_t dim, int64_t hidden, int64_t num_classes, Rng& rng);
+  float forward_backward(const Tensor& emb, int64_t batch_size,
+                         int64_t seq_len, const std::vector<int64_t>& targets,
+                         Tensor* d_emb) override;
+  std::vector<Parameter*> parameters() override;
+
+ private:
+  int64_t dim_, hidden_;
+  LstmLayer encoder_;
+  LstmLayer decoder_;
+  CrossAttention xattn_;
+  Linear out_;
+};
+
+enum class HeadKind { kPoolMlp, kLstm, kAttention, kTransformer, kSeq2Seq };
+
+std::unique_ptr<DenseHead> make_head(HeadKind kind, int64_t dim,
+                                     int64_t hidden, int64_t num_classes,
+                                     Rng& rng);
+
+}  // namespace embrace::nn

@@ -1,0 +1,128 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/linalg.h"
+
+namespace embrace::nn {
+namespace {
+
+float sigmoidf(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+LstmLayer::LstmLayer(int64_t in, int64_t hidden, Rng& rng, std::string name)
+    : name_(std::move(name)),
+      in_(in),
+      hidden_(hidden),
+      wx_(name_ + ".wx",
+          Tensor::rand_uniform({in, 4 * hidden}, rng,
+                               -std::sqrt(1.0f / static_cast<float>(hidden)),
+                               std::sqrt(1.0f / static_cast<float>(hidden)))),
+      wh_(name_ + ".wh",
+          Tensor::rand_uniform({hidden, 4 * hidden}, rng,
+                               -std::sqrt(1.0f / static_cast<float>(hidden)),
+                               std::sqrt(1.0f / static_cast<float>(hidden)))),
+      b_(name_ + ".b", Tensor({4 * hidden})) {
+  // Forget-gate bias starts at 1 (standard trick for gradient flow).
+  for (int64_t j = hidden; j < 2 * hidden; ++j) b_.value[j] = 1.0f;
+}
+
+std::vector<Tensor> LstmLayer::forward(const std::vector<Tensor>& xs) {
+  EMBRACE_CHECK(!xs.empty());
+  const int64_t batch = xs.front().rows();
+  cache_.clear();
+  cache_.reserve(xs.size());
+  Tensor h({batch, hidden_});
+  Tensor c({batch, hidden_});
+  std::vector<Tensor> hs;
+  hs.reserve(xs.size());
+  for (const Tensor& x : xs) {
+    EMBRACE_CHECK_EQ(x.rows(), batch);
+    EMBRACE_CHECK_EQ(x.cols(), in_);
+    StepCache sc;
+    sc.x = x;
+    sc.h_prev = h;
+    sc.c_prev = c;
+    // Pre-activations: (batch × 4H).
+    Tensor pre = add_row_broadcast(matmul(x, wx_.value), b_.value);
+    matmul_acc(h, wh_.value, pre);
+    sc.i = Tensor({batch, hidden_});
+    sc.f = Tensor({batch, hidden_});
+    sc.g = Tensor({batch, hidden_});
+    sc.o = Tensor({batch, hidden_});
+    sc.c = Tensor({batch, hidden_});
+    sc.tanh_c = Tensor({batch, hidden_});
+    Tensor h_new({batch, hidden_});
+    for (int64_t r = 0; r < batch; ++r) {
+      auto p = pre.row(r);
+      for (int64_t j = 0; j < hidden_; ++j) {
+        const float iv = sigmoidf(p[j]);
+        const float fv = sigmoidf(p[hidden_ + j]);
+        const float gv = std::tanh(p[2 * hidden_ + j]);
+        const float ov = sigmoidf(p[3 * hidden_ + j]);
+        const float cv = fv * sc.c_prev.row(r)[j] + iv * gv;
+        const float tc = std::tanh(cv);
+        sc.i.row(r)[j] = iv;
+        sc.f.row(r)[j] = fv;
+        sc.g.row(r)[j] = gv;
+        sc.o.row(r)[j] = ov;
+        sc.c.row(r)[j] = cv;
+        sc.tanh_c.row(r)[j] = tc;
+        h_new.row(r)[j] = ov * tc;
+      }
+    }
+    h = h_new;
+    c = sc.c;
+    hs.push_back(h);
+    cache_.push_back(std::move(sc));
+  }
+  return hs;
+}
+
+std::vector<Tensor> LstmLayer::backward(const std::vector<Tensor>& dhs) {
+  EMBRACE_CHECK_EQ(dhs.size(), cache_.size(), << "one grad per step required");
+  const int64_t steps = static_cast<int64_t>(cache_.size());
+  const int64_t batch = cache_.front().x.rows();
+  std::vector<Tensor> dxs(static_cast<size_t>(steps));
+  Tensor dh_next({batch, hidden_});
+  Tensor dc_next({batch, hidden_});
+  for (int64_t t = steps - 1; t >= 0; --t) {
+    const StepCache& sc = cache_[static_cast<size_t>(t)];
+    // Total gradient into h_t: external + recurrent.
+    Tensor dh = dhs[static_cast<size_t>(t)];
+    dh.add_(dh_next);
+    // Gate pre-activation gradients (batch × 4H).
+    Tensor dpre({batch, 4 * hidden_});
+    Tensor dc_prev({batch, hidden_});
+    for (int64_t r = 0; r < batch; ++r) {
+      auto dhr = dh.row(r);
+      auto dcn = dc_next.row(r);
+      auto dp = dpre.row(r);
+      auto dcp = dc_prev.row(r);
+      for (int64_t j = 0; j < hidden_; ++j) {
+        const float iv = sc.i.row(r)[j], fv = sc.f.row(r)[j];
+        const float gv = sc.g.row(r)[j], ov = sc.o.row(r)[j];
+        const float tc = sc.tanh_c.row(r)[j];
+        const float dc = dhr[j] * ov * (1.0f - tc * tc) + dcn[j];
+        dp[j] = dc * gv * iv * (1.0f - iv);                       // d i_pre
+        dp[hidden_ + j] = dc * sc.c_prev.row(r)[j] * fv * (1.0f - fv);  // d f_pre
+        dp[2 * hidden_ + j] = dc * iv * (1.0f - gv * gv);         // d g_pre
+        dp[3 * hidden_ + j] = dhr[j] * tc * ov * (1.0f - ov);     // d o_pre
+        dcp[j] = dc * fv;
+      }
+    }
+    // Parameter gradients.
+    wx_.grad.add_(matmul_tn(sc.x, dpre));
+    wh_.grad.add_(matmul_tn(sc.h_prev, dpre));
+    b_.grad.add_(sum_rows(dpre));
+    // Input and recurrent gradients.
+    dxs[static_cast<size_t>(t)] = matmul_nt(dpre, wx_.value);
+    dh_next = matmul_nt(dpre, wh_.value);
+    dc_next = dc_prev;
+  }
+  return dxs;
+}
+
+}  // namespace embrace::nn

@@ -1,0 +1,48 @@
+// LSTM cell and sequence layer with full backward-through-time —
+// the recurrent substrate for the GNMT-style functional models.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace embrace::nn {
+
+// A single LSTM layer unrolled over a sequence of inputs.
+// Inputs: xs[t] is (batch × in); outputs hs[t] is (batch × hidden).
+// Initial h/c are zero. backward() must be called with one gradient per
+// output step (zeros where a step's output is unused).
+class LstmLayer {
+ public:
+  LstmLayer(int64_t in, int64_t hidden, Rng& rng, std::string name = "lstm");
+
+  std::vector<Tensor> forward(const std::vector<Tensor>& xs);
+  // dhs[t] = dLoss/dhs[t]; returns dxs[t]. Accumulates parameter grads.
+  std::vector<Tensor> backward(const std::vector<Tensor>& dhs);
+
+  std::vector<Parameter*> parameters() { return {&wx_, &wh_, &b_}; }
+  void zero_grad() {
+    for (auto* p : parameters()) p->zero_grad();
+  }
+  int64_t hidden() const { return hidden_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct StepCache {
+    Tensor x;      // input
+    Tensor h_prev; // previous hidden
+    Tensor c_prev; // previous cell
+    Tensor i, f, g, o;  // post-activation gates
+    Tensor c;      // new cell
+    Tensor tanh_c; // tanh(c)
+  };
+
+  std::string name_;
+  int64_t in_, hidden_;
+  Parameter wx_;  // (in × 4H) gate order [i f g o]
+  Parameter wh_;  // (hidden × 4H)
+  Parameter b_;   // (4H)
+  std::vector<StepCache> cache_;
+};
+
+}  // namespace embrace::nn

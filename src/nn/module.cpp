@@ -1,0 +1,164 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/linalg.h"
+
+namespace embrace::nn {
+
+// --- Linear ---
+
+Linear::Linear(int64_t in, int64_t out, Rng& rng, std::string name)
+    : name_(std::move(name)),
+      // Xavier-uniform initialization.
+      w_(name_ + ".w",
+         Tensor::rand_uniform({in, out}, rng,
+                              -std::sqrt(6.0f / static_cast<float>(in + out)),
+                              std::sqrt(6.0f / static_cast<float>(in + out)))),
+      b_(name_ + ".b", Tensor({out})) {}
+
+Tensor Linear::forward(const Tensor& x) {
+  EMBRACE_CHECK_EQ(x.dim(), 2);
+  EMBRACE_CHECK_EQ(x.cols(), w_.value.rows());
+  last_input_ = x;
+  return add_row_broadcast(matmul(x, w_.value), b_.value);
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  EMBRACE_CHECK(!last_input_.empty(), << "backward before forward");
+  // dW = x^T · dy ; db = sum_rows(dy) ; dx = dy · W^T.
+  w_.grad.add_(matmul_tn(last_input_, grad_out));
+  b_.grad.add_(sum_rows(grad_out));
+  return matmul_nt(grad_out, w_.value);
+}
+
+// --- Activation ---
+
+Tensor Activation::forward(const Tensor& x) {
+  switch (kind_) {
+    case ActKind::kTanh: last_output_ = tanh_map(x); break;
+    case ActKind::kRelu: last_output_ = relu_map(x); break;
+    case ActKind::kSigmoid: last_output_ = sigmoid_map(x); break;
+  }
+  return last_output_;
+}
+
+Tensor Activation::backward(const Tensor& grad_out) {
+  EMBRACE_CHECK(grad_out.same_shape(last_output_));
+  Tensor grad_in = grad_out;
+  auto y = last_output_.flat();
+  auto g = grad_in.flat();
+  switch (kind_) {
+    case ActKind::kTanh:
+      for (size_t i = 0; i < g.size(); ++i) g[i] *= 1.0f - y[i] * y[i];
+      break;
+    case ActKind::kRelu:
+      for (size_t i = 0; i < g.size(); ++i) g[i] *= (y[i] > 0.0f) ? 1.0f : 0.0f;
+      break;
+    case ActKind::kSigmoid:
+      for (size_t i = 0; i < g.size(); ++i) g[i] *= y[i] * (1.0f - y[i]);
+      break;
+  }
+  return grad_in;
+}
+
+std::string Activation::name() const {
+  switch (kind_) {
+    case ActKind::kTanh: return "tanh";
+    case ActKind::kRelu: return "relu";
+    case ActKind::kSigmoid: return "sigmoid";
+  }
+  return "activation";
+}
+
+// --- LayerNorm ---
+
+LayerNorm::LayerNorm(int64_t dim, Rng& rng, std::string name)
+    : name_(std::move(name)),
+      gain_(name_ + ".gain", Tensor::full({dim}, 1.0f)),
+      bias_(name_ + ".bias", Tensor({dim})) {
+  (void)rng;
+}
+
+Tensor LayerNorm::forward(const Tensor& x) {
+  EMBRACE_CHECK_EQ(x.dim(), 2);
+  EMBRACE_CHECK_EQ(x.cols(), gain_.value.numel());
+  last_input_ = x;
+  last_norm_ = Tensor(x.shape());
+  inv_std_.resize(static_cast<size_t>(x.rows()));
+  Tensor out(x.shape());
+  const int64_t d = x.cols();
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    auto row = x.row(r);
+    double mean = 0.0;
+    for (float v : row) mean += v;
+    mean /= d;
+    double var = 0.0;
+    for (float v : row) var += (v - mean) * (v - mean);
+    var /= d;
+    const float inv = 1.0f / std::sqrt(static_cast<float>(var) + kEps);
+    inv_std_[static_cast<size_t>(r)] = inv;
+    auto norm = last_norm_.row(r);
+    auto dst = out.row(r);
+    for (int64_t c = 0; c < d; ++c) {
+      norm[c] = (row[c] - static_cast<float>(mean)) * inv;
+      dst[c] = norm[c] * gain_.value[c] + bias_.value[c];
+    }
+  }
+  return out;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_out) {
+  EMBRACE_CHECK(grad_out.same_shape(last_input_));
+  const int64_t d = last_input_.cols();
+  Tensor grad_in(last_input_.shape());
+  for (int64_t r = 0; r < last_input_.rows(); ++r) {
+    auto gy = grad_out.row(r);
+    auto norm = last_norm_.row(r);
+    const float inv = inv_std_[static_cast<size_t>(r)];
+    // Accumulate parameter grads.
+    double sum_gxhat = 0.0, sum_gxhat_xhat = 0.0;
+    for (int64_t c = 0; c < d; ++c) {
+      gain_.grad[c] += gy[c] * norm[c];
+      bias_.grad[c] += gy[c];
+      const float gxhat = gy[c] * gain_.value[c];
+      sum_gxhat += gxhat;
+      sum_gxhat_xhat += gxhat * norm[c];
+    }
+    auto gx = grad_in.row(r);
+    const float mean_gxhat = static_cast<float>(sum_gxhat / d);
+    const float mean_gxhat_xhat = static_cast<float>(sum_gxhat_xhat / d);
+    for (int64_t c = 0; c < d; ++c) {
+      const float gxhat = gy[c] * gain_.value[c];
+      gx[c] = inv * (gxhat - mean_gxhat - norm[c] * mean_gxhat_xhat);
+    }
+  }
+  return grad_in;
+}
+
+// --- Sequential ---
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor cur = x;
+  for (auto& m : modules_) cur = m->forward(cur);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
+    cur = (*it)->backward(cur);
+  }
+  return cur;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> out;
+  for (auto& m : modules_) {
+    for (Parameter* p : m->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace embrace::nn

@@ -1,0 +1,120 @@
+// Minimal neural-network substrate with explicit forward/backward passes.
+//
+// This is the stand-in for PyTorch autograd (DESIGN.md §2). Modules cache
+// what their backward needs during forward; backward() consumes the output
+// gradient, accumulates parameter gradients, and returns the input
+// gradient. That mirrors wait-free backpropagation: a caller walks modules
+// in reverse and can hand each parameter gradient to the communication
+// layer the moment backward() returns (per-block hooks, paper §5.1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace embrace::nn {
+
+// A dense trainable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;  // same shape; zeroed by zero_grad()
+
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+  void zero_grad() { grad.fill_(0.0f); }
+  int64_t numel() const { return value.numel(); }
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  // x: (batch × in_features) for feed-forward modules.
+  virtual Tensor forward(const Tensor& x) = 0;
+  // grad_out: gradient wrt the last forward() output. Accumulates into
+  // parameter grads and returns the gradient wrt the input.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  virtual std::vector<Parameter*> parameters() { return {}; }
+  virtual std::string name() const = 0;
+
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->zero_grad();
+  }
+  int64_t param_count() {
+    int64_t n = 0;
+    for (Parameter* p : parameters()) n += p->numel();
+    return n;
+  }
+};
+
+// Fully connected layer: y = x·W + b, W (in × out).
+class Linear : public Module {
+ public:
+  Linear(int64_t in, int64_t out, Rng& rng, std::string name = "linear");
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&w_, &b_}; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Parameter w_, b_;
+  Tensor last_input_;
+};
+
+// Elementwise activations.
+enum class ActKind { kTanh, kRelu, kSigmoid };
+
+class Activation : public Module {
+ public:
+  explicit Activation(ActKind kind) : kind_(kind) {}
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override;
+
+ private:
+  ActKind kind_;
+  Tensor last_output_;
+};
+
+// Layer normalization over the last dimension with learned gain/bias.
+class LayerNorm : public Module {
+ public:
+  LayerNorm(int64_t dim, Rng& rng, std::string name = "layernorm");
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override { return {&gain_, &bias_}; }
+  std::string name() const override { return name_; }
+
+ private:
+  static constexpr float kEps = 1e-5f;
+  std::string name_;
+  Parameter gain_, bias_;
+  Tensor last_input_;
+  Tensor last_norm_;  // normalized pre-gain activations
+  std::vector<float> inv_std_;
+};
+
+// Runs a list of modules in order.
+class Sequential : public Module {
+ public:
+  explicit Sequential(std::string name = "sequential") : name_(std::move(name)) {}
+  void add(std::unique_ptr<Module> m) { modules_.push_back(std::move(m)); }
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return name_; }
+  size_t size() const { return modules_.size(); }
+  Module& at(size_t i) { return *modules_[i]; }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Module>> modules_;
+};
+
+}  // namespace embrace::nn

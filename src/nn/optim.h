@@ -1,0 +1,143 @@
+// Optimizers: dense (SGD / Adagrad / Adam over Parameters) and sparse
+// (row-wise over an embedding table given SparseRows gradients), including
+// the paper's modified Adam (§5.7).
+//
+// The modification: with Vertical Sparse Scheduling each sparse gradient is
+// split into a prior and a delayed part, applied by two optimizer calls.
+// SGD/Adagrad are fully element-wise, so two calls on disjoint row sets
+// equal one call on their union. Adam's `step` state is global: a naive
+// second call would advance it twice and skew the bias correction. The
+// modified Adam applies the prior part with the upcoming step's bias
+// correction WITHOUT advancing the counter, and advances it only when the
+// delayed part lands — making the split update exactly equal to a one-shot
+// update on disjoint row sets (tested in optim_test / embrace tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/sparse_rows.h"
+
+namespace embrace::nn {
+
+// --- dense optimizers ---
+
+class DenseOptimizer {
+ public:
+  explicit DenseOptimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~DenseOptimizer() = default;
+  // Applies accumulated grads and zeroes them.
+  virtual void step() = 0;
+
+  // Multiplier on the base learning rate (driven by an LrSchedule).
+  void set_lr_scale(float scale) { lr_scale_ = scale; }
+  float lr_scale() const { return lr_scale_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+  float lr_scale_ = 1.0f;
+};
+
+class Sgd : public DenseOptimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, float lr)
+      : DenseOptimizer(std::move(params)), lr_(lr) {}
+  void step() override;
+
+ private:
+  float lr_;
+};
+
+class Adagrad : public DenseOptimizer {
+ public:
+  Adagrad(std::vector<Parameter*> params, float lr, float eps = 1e-10f);
+  void step() override;
+
+ private:
+  float lr_, eps_;
+  std::vector<Tensor> accum_;
+};
+
+class Adam : public DenseOptimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void step() override;
+  int64_t steps() const { return step_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  int64_t step_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+// --- sparse (row-wise) optimizers over an embedding table ---
+
+// How a sparse apply() interacts with Adam's step counter (Algorithm 1's
+// two-part updates). Irrelevant for the element-wise optimizers.
+enum class SparseStep {
+  kFull,     // ordinary call: advance step, then apply
+  kPrior,    // EmbRace prior part: apply with next step's correction,
+             // do NOT advance
+  kDelayed,  // EmbRace delayed part: advance step, apply with the same
+             // correction the prior part used
+};
+
+class SparseOptimizer {
+ public:
+  virtual ~SparseOptimizer() = default;
+
+  // Multiplier on the base learning rate (driven by an LrSchedule). For the
+  // EmbRace split update, set the SAME scale for the prior and delayed
+  // applications of a step (both belong to that step's update).
+  void set_lr_scale(float scale) { lr_scale_ = scale; }
+  float lr_scale() const { return lr_scale_; }
+
+  // `grad` must be coalesced (disjoint row updates are what makes the
+  // two-part application exact). `table` is the (rows × dim) parameter.
+  virtual void apply(Tensor& table, const SparseRows& grad,
+                     SparseStep mode = SparseStep::kFull) = 0;
+
+ protected:
+  float lr_scale_ = 1.0f;
+};
+
+class SparseSgd : public SparseOptimizer {
+ public:
+  explicit SparseSgd(float lr) : lr_(lr) {}
+  void apply(Tensor& table, const SparseRows& grad, SparseStep mode) override;
+
+ private:
+  float lr_;
+};
+
+class SparseAdagrad : public SparseOptimizer {
+ public:
+  SparseAdagrad(int64_t rows, int64_t dim, float lr, float eps = 1e-10f);
+  void apply(Tensor& table, const SparseRows& grad, SparseStep mode) override;
+
+ private:
+  float lr_, eps_;
+  Tensor accum_;
+};
+
+// PyTorch-style sparse Adam. `modified` selects the paper's step-counter
+// fix; with modified = false, kPrior/kDelayed behave like kFull (the naive
+// two-call variant the paper warns about — kept for the ablation).
+class SparseAdam : public SparseOptimizer {
+ public:
+  SparseAdam(int64_t rows, int64_t dim, float lr, bool modified = true,
+             float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+  void apply(Tensor& table, const SparseRows& grad, SparseStep mode) override;
+  int64_t steps() const { return step_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  bool modified_;
+  int64_t step_ = 0;
+  Tensor m_, v_;  // (rows × dim) first/second moment state
+};
+
+}  // namespace embrace::nn

@@ -1,0 +1,59 @@
+#include "nn/schedule.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace embrace::nn {
+
+float ConstantLr::factor(int64_t step) const {
+  EMBRACE_CHECK_GE(step, 1);
+  return 1.0f;
+}
+
+WarmupInverseSqrtLr::WarmupInverseSqrtLr(int64_t warmup_steps)
+    : warmup_(warmup_steps) {
+  EMBRACE_CHECK_GE(warmup_steps, 1);
+}
+
+float WarmupInverseSqrtLr::factor(int64_t step) const {
+  EMBRACE_CHECK_GE(step, 1);
+  if (step <= warmup_) {
+    return static_cast<float>(step) / static_cast<float>(warmup_);
+  }
+  return std::sqrt(static_cast<float>(warmup_) / static_cast<float>(step));
+}
+
+StepDecayLr::StepDecayLr(int64_t period, float gamma)
+    : period_(period), gamma_(gamma) {
+  EMBRACE_CHECK_GE(period, 1);
+  EMBRACE_CHECK(gamma > 0.0f && gamma <= 1.0f);
+}
+
+float StepDecayLr::factor(int64_t step) const {
+  EMBRACE_CHECK_GE(step, 1);
+  return std::pow(gamma_, static_cast<float>((step - 1) / period_));
+}
+
+float global_grad_norm(const std::vector<Parameter*>& params,
+                       const std::vector<const SparseRows*>& sparse) {
+  double acc = 0.0;
+  for (const Parameter* p : params) acc += p->grad.squared_norm();
+  for (const SparseRows* s : sparse) acc += s->values().squared_norm();
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float clip_grad_norm(const std::vector<Parameter*>& params, float max_norm,
+                     const std::vector<SparseRows*>& sparse) {
+  EMBRACE_CHECK_GT(max_norm, 0.0f);
+  std::vector<const SparseRows*> view(sparse.begin(), sparse.end());
+  const float norm = global_grad_norm(params, view);
+  if (norm > max_norm) {
+    const float scale = max_norm / norm;
+    for (Parameter* p : params) p->grad.scale_(scale);
+    for (SparseRows* s : sparse) s->scale_(scale);
+  }
+  return norm;
+}
+
+}  // namespace embrace::nn

@@ -1,0 +1,62 @@
+// Learning-rate schedules and gradient clipping — the training utilities
+// the paper's workloads use (GNMT/Transformer train with warmup +
+// inverse-sqrt decay and global-norm clipping).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/sparse_rows.h"
+
+namespace embrace::nn {
+
+// Multiplicative LR factor as a function of the (1-based) step number.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  // Factor applied to the base learning rate at `step` (>= 1).
+  virtual float factor(int64_t step) const = 0;
+};
+
+// Constant factor 1.
+class ConstantLr : public LrSchedule {
+ public:
+  float factor(int64_t step) const override;
+};
+
+// Linear warmup to 1.0 over `warmup_steps`, then inverse square-root decay
+// (the Transformer schedule, normalized so factor(warmup_steps) == 1).
+class WarmupInverseSqrtLr : public LrSchedule {
+ public:
+  explicit WarmupInverseSqrtLr(int64_t warmup_steps);
+  float factor(int64_t step) const override;
+
+ private:
+  int64_t warmup_;
+};
+
+// Step decay: factor = gamma^(step / period).
+class StepDecayLr : public LrSchedule {
+ public:
+  StepDecayLr(int64_t period, float gamma);
+  float factor(int64_t step) const override;
+
+ private:
+  int64_t period_;
+  float gamma_;
+};
+
+// --- gradient clipping ---
+
+// Global L2 norm over all parameter gradients plus any sparse gradients.
+float global_grad_norm(const std::vector<Parameter*>& params,
+                       const std::vector<const SparseRows*>& sparse = {});
+
+// Scales every gradient by min(1, max_norm / global_norm). Returns the
+// pre-clip norm. Element-wise and shared across dense and sparse parts, so
+// clipping commutes with gradient communication order.
+float clip_grad_norm(const std::vector<Parameter*>& params, float max_norm,
+                     const std::vector<SparseRows*>& sparse = {});
+
+}  // namespace embrace::nn

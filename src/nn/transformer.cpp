@@ -1,0 +1,56 @@
+#include "nn/transformer.h"
+
+namespace embrace::nn {
+
+TransformerBlock::TransformerBlock(int64_t dim, int64_t ffn_hidden, Rng& rng,
+                                   std::string name)
+    : name_(std::move(name)),
+      ln1_(dim, rng, name_ + ".ln1"),
+      attn_(dim, rng, name_ + ".attn"),
+      ln2_(dim, rng, name_ + ".ln2"),
+      ffn1_(dim, ffn_hidden, rng, name_ + ".ffn1"),
+      act_(ActKind::kRelu),
+      ffn2_(ffn_hidden, dim, rng, name_ + ".ffn2") {}
+
+Tensor TransformerBlock::forward(const Tensor& x) {
+  // Attention sublayer with residual.
+  Tensor y = attn_.forward(ln1_.forward(x));
+  y.add_(x);
+  // Feed-forward sublayer with residual.
+  Tensor z = ffn2_.forward(act_.forward(ffn1_.forward(ln2_.forward(y))));
+  z.add_(y);
+  return z;
+}
+
+Tensor TransformerBlock::backward(const Tensor& grad_out) {
+  // Through the FFN sublayer: dz flows both into the residual and the
+  // ffn path.
+  Tensor dy = ln2_.backward(
+      ffn1_.backward(act_.backward(ffn2_.backward(grad_out))));
+  dy.add_(grad_out);
+  // Through the attention sublayer.
+  Tensor dx = ln1_.backward(attn_.backward(dy));
+  dx.add_(dy);
+  return dx;
+}
+
+std::vector<Parameter*> TransformerBlock::parameters() {
+  std::vector<Parameter*> ps;
+  for (Module* m :
+       std::initializer_list<Module*>{&ln1_, &attn_, &ln2_, &ffn1_, &ffn2_}) {
+    for (Parameter* p : m->parameters()) ps.push_back(p);
+  }
+  return ps;
+}
+
+Sequential make_transformer_trunk(int blocks, int64_t dim, int64_t ffn_hidden,
+                                  Rng& rng) {
+  Sequential trunk("transformer-trunk");
+  for (int b = 0; b < blocks; ++b) {
+    trunk.add(std::make_unique<TransformerBlock>(
+        dim, ffn_hidden, rng, "block" + std::to_string(b)));
+  }
+  return trunk;
+}
+
+}  // namespace embrace::nn

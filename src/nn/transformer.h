@@ -1,0 +1,41 @@
+// Transformer encoder block: pre-LayerNorm self-attention and feed-forward
+// sublayers with residual connections —
+//   y = x + Attn(LN1(x));  z = y + W2·act(W1·LN2(y))
+// This is the dense "block" unit the paper's horizontal scheduling operates
+// on for Transformer/BERT (§4.2.1: "12 self-attention blocks ... each holds
+// a similar number of parameters"), implemented as a Module so Sequential
+// can stack them.
+#pragma once
+
+#include "nn/attention.h"
+#include "nn/module.h"
+
+namespace embrace::nn {
+
+class TransformerBlock : public Module {
+ public:
+  // dim: model width; ffn_hidden: inner feed-forward width.
+  TransformerBlock(int64_t dim, int64_t ffn_hidden, Rng& rng,
+                   std::string name = "block");
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  LayerNorm ln1_;
+  SelfAttention attn_;
+  LayerNorm ln2_;
+  Linear ffn1_;
+  Activation act_;
+  Linear ffn2_;
+};
+
+// Stacks `blocks` TransformerBlocks (the dense trunk of a BERT-style
+// functional model).
+Sequential make_transformer_trunk(int blocks, int64_t dim, int64_t ffn_hidden,
+                                  Rng& rng);
+
+}  // namespace embrace::nn

@@ -1,0 +1,109 @@
+#include "sched/comm_scheduler.h"
+
+#include <chrono>
+
+#include "common/error.h"
+
+namespace embrace::sched {
+
+struct CommScheduler::Handle::State {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+};
+
+void CommScheduler::Handle::wait() const {
+  EMBRACE_CHECK(state_ != nullptr, << "waiting on an invalid handle");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->done; });
+}
+
+struct CommScheduler::Op {
+  std::string name;
+  std::function<void()> fn;  // empty until submitted
+  std::shared_ptr<Handle::State> state = std::make_shared<Handle::State>();
+};
+
+CommScheduler::CommScheduler()
+    : epoch_(std::chrono::steady_clock::now()), thread_([this] { run(); }) {}
+
+CommScheduler::~CommScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void CommScheduler::begin_step(const std::vector<std::string>& ordered_ops) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& name : ordered_ops) {
+    EMBRACE_CHECK(pending_.find(name) == pending_.end(),
+                  << "duplicate op in backlog: " << name);
+    auto op = std::make_shared<Op>();
+    op->name = name;
+    plan_.push_back(op);
+    pending_.emplace(name, op);
+  }
+  cv_.notify_all();
+}
+
+CommScheduler::Handle CommScheduler::submit(const std::string& name,
+                                            std::function<void()> fn) {
+  std::shared_ptr<Op> op;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(name);
+    EMBRACE_CHECK(it != pending_.end(), << "op not declared: " << name);
+    op = it->second;
+    EMBRACE_CHECK(!op->fn, << "op already submitted: " << name);
+    op->fn = std::move(fn);
+  }
+  cv_.notify_all();
+  return Handle(op->state);
+}
+
+void CommScheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return plan_.empty(); });
+}
+
+std::vector<ExecRecord> CommScheduler::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+void CommScheduler::run() {
+  while (true) {
+    std::shared_ptr<Op> op;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // Wait until the front of the plan is runnable (or shutdown).
+      cv_.wait(lock, [&] {
+        return stop_ || (!plan_.empty() && static_cast<bool>(plan_.front()->fn));
+      });
+      if (stop_) return;
+      op = plan_.front();
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    op->fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      records_.push_back(
+          {op->name, std::chrono::duration<double>(t0 - epoch_).count(),
+           std::chrono::duration<double>(t1 - epoch_).count()});
+      plan_.pop_front();
+      pending_.erase(op->name);
+    }
+    cv_.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(op->state->mutex);
+      op->state->done = true;
+    }
+    op->state->cv.notify_all();
+  }
+}
+
+}  // namespace embrace::sched

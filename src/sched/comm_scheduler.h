@@ -1,0 +1,90 @@
+// Communication scheduler: a dedicated comm thread executing communication
+// ops in a declared order (paper §4.2 / §5.1: "we hold a priority queue and
+// a communication thread. Communications are performed in the communication
+// thread according to the priority queue").
+//
+// Determinism note. Collectives must be issued in the same order on every
+// rank or they deadlock (a property of NCCL that this repo's in-process
+// runtime shares — see Communicator's SPMD contract). EmbRace assigns all
+// priorities *before training starts* from the dependency graph, so the
+// executed order per step is a fixed function of those priorities. We make
+// that explicit: each step declares its ordered op list (the sorted
+// priority queue); the comm thread walks the list, blocking until each op's
+// body has been submitted by the training thread's hooks. Ops of
+// consecutive steps are processed back-to-back, so a low-priority op
+// (delayed gradients) naturally overlaps the next step's computation.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace embrace::sched {
+
+// Completion record for tests and timeline rendering (seconds since
+// scheduler construction).
+struct ExecRecord {
+  std::string name;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+class CommScheduler {
+ public:
+  CommScheduler();
+  ~CommScheduler();
+
+  CommScheduler(const CommScheduler&) = delete;
+  CommScheduler& operator=(const CommScheduler&) = delete;
+
+  // Waitable completion token for one op.
+  class Handle {
+   public:
+    Handle() = default;
+    // Blocks until the op has been executed by the comm thread.
+    void wait() const;
+    bool valid() const { return state_ != nullptr; }
+
+   private:
+    friend class CommScheduler;
+    struct State;
+    explicit Handle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+    std::shared_ptr<State> state_;
+  };
+
+  // Appends a step plan: op names in the exact order the comm thread must
+  // execute them (i.e. the priority queue already sorted). Names must be
+  // unique within the scheduler's unexecuted backlog.
+  void begin_step(const std::vector<std::string>& ordered_ops);
+
+  // Provides the body of a declared op; may be called before or after the
+  // comm thread reaches it. Returns a waitable handle.
+  Handle submit(const std::string& name, std::function<void()> fn);
+
+  // Blocks until every declared op so far has executed.
+  void drain();
+
+  // Execution log in completion order.
+  std::vector<ExecRecord> records() const;
+
+ private:
+  struct Op;
+  void run();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Op>> plan_;      // unexecuted, in order
+  std::unordered_map<std::string, std::shared_ptr<Op>> pending_;
+  std::vector<ExecRecord> records_;
+  bool stop_ = false;
+  std::chrono::steady_clock::time_point epoch_;
+  std::thread thread_;
+};
+
+}  // namespace embrace::sched

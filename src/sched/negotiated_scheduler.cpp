@@ -1,0 +1,161 @@
+#include "sched/negotiated_scheduler.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace embrace::sched {
+namespace {
+
+// Announcement sentinel that stops every comm thread.
+const char kStopToken[] = "\x01__stop__";
+
+comm::Bytes to_bytes(const std::string& s) {
+  comm::Bytes b(s.size());
+  std::memcpy(b.data(), s.data(), s.size());
+  return b;
+}
+
+std::string from_bytes(const comm::Bytes& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+}  // namespace
+
+struct NegotiatedScheduler::Handle::State {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+};
+
+void NegotiatedScheduler::Handle::wait() const {
+  EMBRACE_CHECK(state_ != nullptr, << "waiting on an invalid handle");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->done; });
+}
+
+struct NegotiatedScheduler::Op {
+  std::string name;
+  double priority = 0.0;
+  uint64_t seq = 0;
+  std::function<void()> fn;
+  std::shared_ptr<Handle::State> state = std::make_shared<Handle::State>();
+};
+
+NegotiatedScheduler::NegotiatedScheduler(comm::Communicator control)
+    : control_(control),
+      epoch_(std::chrono::steady_clock::now()),
+      thread_([this] { run(); }) {}
+
+NegotiatedScheduler::~NegotiatedScheduler() {
+  if (thread_.joinable()) shutdown();
+}
+
+NegotiatedScheduler::Handle NegotiatedScheduler::submit(
+    double priority, const std::string& name, std::function<void()> fn) {
+  EMBRACE_CHECK(name != kStopToken, << "reserved op name");
+  std::shared_ptr<Op> op = std::make_shared<Op>();
+  op->name = name;
+  op->priority = priority;
+  op->fn = std::move(fn);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    EMBRACE_CHECK(!shutdown_requested_, << "submit after shutdown");
+    EMBRACE_CHECK(submitted_.find(name) == submitted_.end(),
+                  << "duplicate unexecuted op: " << name);
+    op->seq = next_seq_++;
+    submitted_.emplace(name, op);
+  }
+  cv_.notify_all();
+  return Handle(op->state);
+}
+
+void NegotiatedScheduler::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::vector<ExecRecord> NegotiatedScheduler::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+void NegotiatedScheduler::announce(const std::string& name) {
+  static_assert(sizeof(uint64_t) == 8);
+  // One tagged message per peer; the tag is the per-rank announcement index
+  // maintained implicitly by both sides walking the same sequence.
+  for (int r = 1; r < control_.size(); ++r) {
+    control_.send_bytes_at(r, announce_seq_, to_bytes(name));
+  }
+  ++announce_seq_;
+}
+
+std::string NegotiatedScheduler::receive_announcement() {
+  std::string name = from_bytes(control_.recv_bytes_at(0, announce_seq_));
+  ++announce_seq_;
+  return name;
+}
+
+void NegotiatedScheduler::run() {
+  const bool leader = control_.rank() == 0;
+  while (true) {
+    std::shared_ptr<Op> op;
+    if (leader) {
+      std::string chosen;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] {
+          return !submitted_.empty() || shutdown_requested_;
+        });
+        if (submitted_.empty()) {
+          // shutdown with a drained queue: stop everyone.
+          chosen = kStopToken;
+        } else {
+          // Highest priority = smallest (priority, seq).
+          const Op* best = nullptr;
+          for (const auto& [name, candidate] : submitted_) {
+            if (best == nullptr || candidate->priority < best->priority ||
+                (candidate->priority == best->priority &&
+                 candidate->seq < best->seq)) {
+              best = candidate.get();
+            }
+          }
+          chosen = best->name;
+          op = submitted_.at(chosen);
+        }
+      }
+      if (control_.size() > 1) announce(chosen);
+      if (chosen == kStopToken) return;
+    } else {
+      const std::string chosen = receive_announcement();
+      if (chosen == kStopToken) return;
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return submitted_.count(chosen) > 0; });
+      op = submitted_.at(chosen);
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    op->fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      records_.push_back(
+          {op->name, std::chrono::duration<double>(t0 - epoch_).count(),
+           std::chrono::duration<double>(t1 - epoch_).count()});
+      submitted_.erase(op->name);
+    }
+    cv_.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(op->state->mutex);
+      op->state->done = true;
+    }
+    op->state->cv.notify_all();
+  }
+}
+
+}  // namespace embrace::sched

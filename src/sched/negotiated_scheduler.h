@@ -1,0 +1,93 @@
+// Negotiated priority scheduler: the distributed form of the comm thread.
+//
+// Problem: collectives must execute in the same order on every rank or they
+// deadlock, but a work-conserving priority queue pops whatever is ready
+// *locally* — thread timing could diverge across ranks. Horovod solves this
+// with a coordinator that globally orders tensor operations; EmbRace
+// "is integrated with Horovod ... but takes control of the communication
+// operations" (§5.1) and inherits that coordination. We implement it
+// directly: rank 0's comm thread picks the highest-priority submitted op
+// from its own queue and announces the choice on a dedicated control
+// channel; every rank's comm thread executes the announced op (waiting, if
+// needed, for its local training thread to submit it). SPMD symmetry makes
+// rank 0's readiness representative, and the announced order is identical
+// everywhere by construction.
+//
+// FIFO mode is the same machinery with priority = submission sequence.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/communicator.h"
+#include "sched/comm_scheduler.h"  // reuses ExecRecord
+
+namespace embrace::sched {
+
+class NegotiatedScheduler {
+ public:
+  // `control` must be a dedicated channel of the cluster's fabric (no other
+  // traffic may use its tag namespace). All ranks must construct their
+  // scheduler with matching channels.
+  explicit NegotiatedScheduler(comm::Communicator control);
+  // Joins the comm thread. All ranks must have called shutdown() (or have
+  // joined every handle and then destroy simultaneously via shutdown()).
+  ~NegotiatedScheduler();
+
+  NegotiatedScheduler(const NegotiatedScheduler&) = delete;
+  NegotiatedScheduler& operator=(const NegotiatedScheduler&) = delete;
+
+  class Handle {
+   public:
+    Handle() = default;
+    void wait() const;
+    bool valid() const { return state_ != nullptr; }
+
+   private:
+    friend class NegotiatedScheduler;
+    struct State;
+    explicit Handle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+    std::shared_ptr<State> state_;
+  };
+
+  // Enqueues a communication op. Lower priority value = more urgent; ties
+  // break by submission order. `name` must be unique among unexecuted ops
+  // and identical across ranks for the same logical op.
+  Handle submit(double priority, const std::string& name,
+                std::function<void()> fn);
+
+  // Collective shutdown: blocks until every submitted op has executed, then
+  // stops the comm threads on all ranks. Must be called by all ranks.
+  void shutdown();
+
+  std::vector<ExecRecord> records() const;
+
+ private:
+  struct Op;
+  void run();
+  void announce(const std::string& name);
+  std::string receive_announcement();
+
+  comm::Communicator control_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  // Submitted, not yet executed; keyed by name.
+  std::unordered_map<std::string, std::shared_ptr<Op>> submitted_;
+  uint64_t next_seq_ = 0;
+  bool shutdown_requested_ = false;
+  // Announcement index; only touched by the comm thread.
+  uint64_t announce_seq_ = 0;
+  std::vector<ExecRecord> records_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::thread thread_;
+};
+
+}  // namespace embrace::sched

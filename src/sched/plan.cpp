@@ -1,0 +1,55 @@
+#include "sched/plan.h"
+
+namespace embrace::sched {
+namespace {
+
+std::string op(const char* kind, int step, int index) {
+  return std::string(kind) + "/s" + std::to_string(step) + "/" +
+         std::to_string(index);
+}
+
+}  // namespace
+
+std::string dense_op_name(int step, int block) {
+  return op("dense", step, block);
+}
+std::string emb_grad_op_name(int step, int table) {
+  return op("embgrad", step, table);
+}
+std::string emb_prior_op_name(int step, int table) {
+  return op("prior", step, table);
+}
+std::string emb_delayed_op_name(int step, int table) {
+  return op("delayed", step, table);
+}
+std::string emb_data_op_name(int step, int table) {
+  return op("embdata", step, table);
+}
+
+std::vector<std::string> fifo_plan(int step, int dense_blocks, int tables,
+                                   bool hybrid) {
+  std::vector<std::string> plan;
+  for (int b = dense_blocks - 1; b >= 0; --b) {
+    plan.push_back(dense_op_name(step, b));
+  }
+  for (int t = 0; t < tables; ++t) plan.push_back(emb_grad_op_name(step, t));
+  if (hybrid) {
+    for (int t = 0; t < tables; ++t) plan.push_back(emb_data_op_name(step, t));
+  }
+  return plan;
+}
+
+std::vector<std::string> embrace_plan(int step, int dense_blocks, int tables) {
+  std::vector<std::string> plan;
+  for (int t = 0; t < tables; ++t) plan.push_back(emb_prior_op_name(step, t));
+  for (int t = 0; t < tables; ++t) plan.push_back(emb_data_op_name(step, t));
+  for (int b = 0; b < dense_blocks; ++b) {
+    plan.push_back(dense_op_name(step, b));
+  }
+  for (int t = 0; t < tables; ++t) {
+    plan.push_back(emb_delayed_op_name(step, t));
+  }
+  return plan;
+}
+
+}  // namespace embrace::sched

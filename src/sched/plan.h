@@ -1,0 +1,36 @@
+// Step-plan builders: the executed comm order per training step for each
+// scheduling policy.
+//
+//  * FIFO (default frameworks, Fig 6(a)): gradient ops in BP-emission order
+//    — dense blocks from the output end backwards, then the embedding
+//    gradients, which are produced last.
+//  * Block-level Horizontal / 2D (EmbRace, Fig 6(b,c)): priority order —
+//    prior embedding gradients first (they gate the hoisted embedding FP),
+//    then the embedding-data AlltoAll, then dense blocks in FP order (each
+//    unblocks its block's forward), delayed embedding gradients last.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace embrace::sched {
+
+// Canonical op names for step `step` of a model with `dense_blocks` dense
+// blocks and `tables` embedding tables.
+std::string dense_op_name(int step, int block);
+std::string emb_grad_op_name(int step, int table);       // full gradient
+std::string emb_prior_op_name(int step, int table);      // Algorithm 1 prior
+std::string emb_delayed_op_name(int step, int table);    // Algorithm 1 delayed
+std::string emb_data_op_name(int step, int table);       // lookup AlltoAll
+
+// FIFO order (baselines): dense blocks in BP order, then embedding grads.
+// When `hybrid` the plan also contains the embedding-data AlltoAll ops
+// (after the gradient ops, as they are requested by the next FP).
+std::vector<std::string> fifo_plan(int step, int dense_blocks, int tables,
+                                   bool hybrid);
+
+// EmbRace 2D order: prior grads, embedding data, dense blocks in FP order,
+// delayed grads.
+std::vector<std::string> embrace_plan(int step, int dense_blocks, int tables);
+
+}  // namespace embrace::sched

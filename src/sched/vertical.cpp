@@ -1,0 +1,34 @@
+#include "sched/vertical.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "tensor/index_ops.h"
+
+namespace embrace::sched {
+
+VerticalSplit vertical_sparse_schedule(
+    const SparseRows& grad, const std::vector<int64_t>& current_ids,
+    const std::vector<int64_t>& next_ids_gathered) {
+  // Line 2: coalesce the duplicate rows.
+  SparseRows coalesced = grad.coalesced();
+  // Line 3: D_u <- UNIQUE(D_cur[n]).
+  const auto d_u = unique_sorted(current_ids);
+  // The gradient's rows must come from this worker's data.
+  for (int64_t r : coalesced.indices()) {
+    EMBRACE_CHECK(std::binary_search(d_u.begin(), d_u.end(), r),
+                  << "gradient row " << r << " not in current batch data");
+  }
+  // Lines 4-5: i_prior <- D_u ∩ D_next ; i_delayed <- D_u \ i_prior.
+  const auto d_next = unique_sorted(next_ids_gathered);
+  VerticalSplit out;
+  out.prior_rows = intersect_sorted(d_u, d_next);
+  out.delayed_rows = difference_sorted(d_u, out.prior_rows);
+  // Lines 6-7: INDEX_SELECT the prior and delayed gradients.
+  auto [prior, delayed] = coalesced.split_by_membership(out.prior_rows);
+  out.prior = std::move(prior);
+  out.delayed = std::move(delayed);
+  return out;
+}
+
+}  // namespace embrace::sched

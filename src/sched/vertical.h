@@ -1,0 +1,35 @@
+// Vertical Sparse Scheduling — the paper's Algorithm 1.
+//
+// After BP, the (uncoalesced) sparse embedding gradient G of this worker is
+// coalesced and split by row into:
+//   prior   — rows also appearing in the *next* iteration's (gathered)
+//             training data: the minimum dependency of the next embedding
+//             FP; communicated with the highest priority;
+//   delayed — all remaining rows; their communication can be deferred past
+//             the next forward pass.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/sparse_rows.h"
+
+namespace embrace::sched {
+
+struct VerticalSplit {
+  SparseRows prior;
+  SparseRows delayed;
+  // The split row sets (sorted unique), exposed for tests/inspection.
+  std::vector<int64_t> prior_rows;
+  std::vector<int64_t> delayed_rows;
+};
+
+// Algorithm 1. `grad` is this rank's sparse gradient (any duplication);
+// `current_ids` the training data that produced it (D_cur[n], duplicates
+// allowed); `next_ids_gathered` the next iteration's training data gathered
+// from all workers (D_next). Returns the coalesced prior/delayed parts.
+VerticalSplit vertical_sparse_schedule(
+    const SparseRows& grad, const std::vector<int64_t>& current_ids,
+    const std::vector<int64_t>& next_ids_gathered);
+
+}  // namespace embrace::sched

@@ -1,0 +1,177 @@
+#include "simnet/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/table.h"
+
+namespace embrace::simnet {
+namespace {
+
+constexpr double kUnscheduled = -1.0;
+
+// True when every dependency of op `i` has a finish time.
+bool deps_done(const std::vector<SimOp>& ops, const std::vector<double>& fin,
+               int i) {
+  for (int d : ops[static_cast<size_t>(i)].deps) {
+    EMBRACE_CHECK(d >= 0 && d < static_cast<int>(ops.size()),
+                  << "dep index out of range");
+    if (fin[static_cast<size_t>(d)] == kUnscheduled) return false;
+  }
+  return true;
+}
+
+double deps_finish_time(const std::vector<SimOp>& ops,
+                        const std::vector<double>& fin, int i) {
+  double t = 0.0;
+  for (int d : ops[static_cast<size_t>(i)].deps) {
+    t = std::max(t, fin[static_cast<size_t>(d)]);
+  }
+  return t;
+}
+
+}  // namespace
+
+SimResult SimEngine::run(const std::vector<SimOp>& ops, CommOrder order) {
+  const int n = static_cast<int>(ops.size());
+  SimResult result;
+  result.finish.assign(static_cast<size_t>(n), kUnscheduled);
+  result.trace.assign(static_cast<size_t>(n), OpTrace{});
+
+  // Compute ops in program order; comm ops with their enqueue order.
+  std::vector<int> compute_order, comm_pending;
+  for (int i = 0; i < n; ++i) {
+    if (ops[static_cast<size_t>(i)].resource == SimResource::kCompute) {
+      compute_order.push_back(i);
+    } else {
+      comm_pending.push_back(i);
+    }
+  }
+
+  size_t next_compute = 0;
+  double compute_free = 0.0, comm_free = 0.0;
+
+  auto schedule = [&](int i, double start) {
+    const SimOp& op = ops[static_cast<size_t>(i)];
+    const double end = start + op.duration;
+    result.finish[static_cast<size_t>(i)] = end;
+    result.trace[static_cast<size_t>(i)] = {i, start, end};
+    result.makespan = std::max(result.makespan, end);
+    if (op.resource == SimResource::kCompute) {
+      compute_free = end;
+      (op.overhead_compute ? result.overhead_busy : result.compute_busy) +=
+          op.duration;
+    } else {
+      comm_free = end;
+      result.comm_busy += op.duration;
+    }
+  };
+
+  while (next_compute < compute_order.size() || !comm_pending.empty()) {
+    // Candidate compute action: the next op in stream order, if ready.
+    double compute_start = std::numeric_limits<double>::infinity();
+    if (next_compute < compute_order.size()) {
+      const int c = compute_order[next_compute];
+      if (deps_done(ops, result.finish, c)) {
+        compute_start =
+            std::max(compute_free, deps_finish_time(ops, result.finish, c));
+      }
+    }
+
+    // Candidate comm action: earliest-available ready op; among ops tied at
+    // that time pick by priority (or enqueue order in FIFO mode).
+    double comm_start = std::numeric_limits<double>::infinity();
+    int comm_choice = -1;
+    size_t comm_choice_pos = 0;
+    for (size_t p = 0; p < comm_pending.size(); ++p) {
+      const int c = comm_pending[p];
+      if (!deps_done(ops, result.finish, c)) continue;
+      const double avail =
+          std::max(comm_free, deps_finish_time(ops, result.finish, c));
+      const bool better =
+          avail < comm_start ||
+          (avail == comm_start && comm_choice >= 0 &&
+           order == CommOrder::kPriority &&
+           ops[static_cast<size_t>(c)].priority <
+               ops[static_cast<size_t>(comm_choice)].priority);
+      // In FIFO mode ties resolve to the earlier pending position, which is
+      // the loop's natural first-hit behaviour.
+      if (better) {
+        comm_start = avail;
+        comm_choice = c;
+        comm_choice_pos = p;
+      }
+    }
+
+    EMBRACE_CHECK(std::isfinite(compute_start) || comm_choice >= 0,
+                  << "dependency cycle: no schedulable op");
+
+    // Commit whichever action starts first (compute wins ties so newly
+    // finished compute deps are visible to the comm decision).
+    if (compute_start <= comm_start) {
+      schedule(compute_order[next_compute], compute_start);
+      ++next_compute;
+    } else {
+      schedule(comm_choice, comm_start);
+      comm_pending.erase(comm_pending.begin() +
+                         static_cast<std::ptrdiff_t>(comm_choice_pos));
+    }
+  }
+  return result;
+}
+
+std::string render_timeline(const std::vector<SimOp>& ops,
+                            const SimResult& result, double scale,
+                            int max_width, double t_begin) {
+  EMBRACE_CHECK_GT(scale, 0.0);
+  const int width = std::min(
+      max_width,
+      static_cast<int>(std::ceil((result.makespan - t_begin) / scale)) + 1);
+  EMBRACE_CHECK_GT(width, 0, << "window starts past the makespan");
+  std::string compute_lane(static_cast<size_t>(width), '.');
+  std::string comm_lane(static_cast<size_t>(width), '.');
+  // Each op paints its first-letter tag across its time span.
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const auto& tr = result.trace[i];
+    if (tr.end <= tr.start || tr.end <= t_begin) continue;
+    const int b = std::max(
+        0, std::min(width - 1,
+                    static_cast<int>((tr.start - t_begin) / scale)));
+    const int e = std::min(
+        width, static_cast<int>(std::ceil((tr.end - t_begin) / scale)));
+    const char tag = ops[i].name.empty() ? '?' : ops[i].name[0];
+    auto& lane = ops[i].resource == SimResource::kCompute ? compute_lane
+                                                          : comm_lane;
+    for (int x = b; x < e; ++x) lane[static_cast<size_t>(x)] = tag;
+  }
+  std::ostringstream os;
+  os << "compute | " << compute_lane << "\n";
+  os << "comm    | " << comm_lane << "\n";
+  return os.str();
+}
+
+std::string to_dot(const std::vector<SimOp>& ops,
+                   const std::string& graph_name) {
+  std::ostringstream os;
+  os << "digraph \"" << graph_name << "\" {\n";
+  os << "  rankdir=LR;\n  node [fontsize=10];\n";
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const bool compute = ops[i].resource == SimResource::kCompute;
+    os << "  n" << i << " [label=\"" << ops[i].name << "\\n"
+       << TextTable::num(ops[i].duration * 1e3, 2) << " ms\" shape="
+       << (compute ? "box" : "ellipse")
+       << (ops[i].overhead_compute ? " style=dashed" : "") << "];\n";
+  }
+  for (size_t i = 0; i < ops.size(); ++i) {
+    for (int d : ops[i].deps) {
+      os << "  n" << d << " -> n" << i << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace embrace::simnet

@@ -1,0 +1,86 @@
+// Discrete-event simulator of one worker's training timeline.
+//
+// Data-parallel training is SPMD with symmetric workers, so (as in the
+// paper's Figure 6 timelines) one representative worker's schedule captures
+// the whole cluster: collective durations already include all network
+// effects via the cost model.
+//
+// Two serial resources, matching the paper's execution model:
+//  * the compute stream — runs compute ops strictly in the order given
+//    (a CUDA stream; the order encodes the strategy's chosen FP/BP order);
+//  * the communication thread — runs comm ops one at a time, picking the
+//    next op from the set whose dependencies have finished, either in FIFO
+//    (enqueue) order or by priority (paper §4.2's priority queue).
+//
+// Stall accounting follows the paper's Computation Stall definition (§5.4):
+// the time the training-critical computation is not running, which for
+// EmbRace includes the Vertical Sparse Scheduling computation (ops can be
+// tagged `overhead_compute` to count against stall even though they occupy
+// the compute stream).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace embrace::simnet {
+
+enum class SimResource { kCompute, kComm };
+
+struct SimOp {
+  std::string name;
+  SimResource resource = SimResource::kCompute;
+  double duration = 0.0;
+  // Comm only: lower value = higher urgency. Ignored in FIFO mode.
+  double priority = 0.0;
+  // Indices into the op vector; all must finish before this op starts.
+  std::vector<int> deps;
+  // Compute ops that are scheduling overhead (e.g. Algorithm 1's set ops),
+  // not model FP/BP work: counted as stall, not as useful compute.
+  bool overhead_compute = false;
+  // Optional marker used by callers to delimit steps in a multi-step DAG.
+  int step_marker = -1;
+};
+
+enum class CommOrder { kFifo, kPriority };
+
+struct OpTrace {
+  int op = -1;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct SimResult {
+  double makespan = 0.0;
+  double compute_busy = 0.0;   // useful compute time
+  double overhead_busy = 0.0;  // overhead compute time (counts as stall)
+  double comm_busy = 0.0;
+  // makespan - compute_busy: all time the model computation was stalled.
+  double computation_stall() const { return makespan - compute_busy; }
+  std::vector<OpTrace> trace;  // one entry per op, indexed like the input
+  // finish time of each op (same order as input ops).
+  std::vector<double> finish;
+};
+
+class SimEngine {
+ public:
+  // Simulates the DAG. Compute ops execute in their order of appearance in
+  // `ops` (in-order stream); comm ops are chosen per `order`. Throws on
+  // dependency cycles (detected as lack of progress).
+  static SimResult run(const std::vector<SimOp>& ops, CommOrder order);
+};
+
+// Renders a two-lane ASCII timeline of a SimResult (compute lane + comm
+// lane), used by the Figure 6 bench. `scale` is seconds per character;
+// only the window starting at `t_begin` is painted.
+std::string render_timeline(const std::vector<SimOp>& ops,
+                            const SimResult& result, double scale,
+                            int max_width = 2000, double t_begin = 0.0);
+
+// Exports the op DAG as Graphviz DOT (compute ops as boxes, comm ops as
+// ellipses; edges are dependencies). Regenerates the paper's Figure 5
+// module-dependency diagram from an actual step DAG.
+std::string to_dot(const std::vector<SimOp>& ops,
+                   const std::string& graph_name = "step");
+
+}  // namespace embrace::simnet

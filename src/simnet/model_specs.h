@@ -1,0 +1,80 @@
+// Size-accurate specifications of the paper's four benchmark models
+// (Table 1) plus the measured sparse-gradient statistics (Table 3) and the
+// calibrated compute profiles that drive the performance simulator.
+//
+// Two layers of fidelity exist in this repo:
+//  * These ModelSpecs — exact parameter/embedding byte sizes, batch
+//    geometry and gradient densities of the paper's models; consumed by the
+//    simulator and the Table 1/2/3 + Figure 4/6–10 benches.
+//  * The runnable Tiny* models in src/nn — scaled-down versions used by the
+//    functional convergence experiments (Figure 11).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simnet/topology.h"
+
+namespace embrace::simnet {
+
+struct EmbeddingSpec {
+  std::string name;   // e.g. "encoder-embedding"
+  double mb = 0.0;    // parameter bytes (MB, 2^20)
+  int64_t vocab = 0;  // rows
+  int64_t dim = 0;    // columns
+};
+
+// Per-GPU-type workload point: the paper trains each model with a different
+// batch size per cluster, which changes both compute time and gradient
+// density.
+struct WorkloadPoint {
+  int batch_size = 0;        // per worker (tokens for Transformer)
+  double tokens_per_batch = 0;  // total token occurrences per worker batch
+  double grad_density = 0;   // α of the *uncoalesced* embedding gradient
+  double fp_seconds = 0;     // forward compute at compute_speed = 1.0
+  double bp_seconds = 0;     // backward compute at compute_speed = 1.0
+  // True when replicated embedding tables do not fit in GPU memory and must
+  // live in host RAM (paper §5.3: LM on the 8 GB RTX2080s). Only affects
+  // strategies that replicate the table; EmbRace's column partition keeps
+  // the per-GPU shard small enough to stay on the GPU.
+  bool emb_on_host = false;
+};
+
+struct ModelSpec {
+  std::string name;
+  double model_mb = 0.0;      // Table 1 "Model Size"
+  double embedding_mb = 0.0;  // Table 1 "Embedding Size"
+  std::vector<EmbeddingSpec> embeddings;
+  int dense_blocks = 0;       // schedulable dense units (paper §4.2.1)
+  WorkloadPoint rtx3090;
+  WorkloadPoint rtx2080;
+
+  // Vertical Sparse Scheduling statistics at the RTX3090 batch size
+  // (Table 3): sizes of the per-worker embedding gradient in MB.
+  double original_grad_mb = 0.0;
+  double coalesced_grad_mb = 0.0;
+  double prioritized_grad_mb = 0.0;
+
+  double dense_mb() const { return model_mb - embedding_mb; }
+  double embedding_ratio() const { return embedding_mb / model_mb; }
+  // Fraction surviving coalescing, and the prior fraction of the coalesced
+  // gradient (Algorithm 1's two reductions).
+  double coalesce_ratio() const { return coalesced_grad_mb / original_grad_mb; }
+  double prior_ratio() const { return prioritized_grad_mb / coalesced_grad_mb; }
+
+  const WorkloadPoint& workload(GpuKind gpu) const {
+    return gpu == GpuKind::kRTX3090 ? rtx3090 : rtx2080;
+  }
+  // COO index overhead factor for this model's embedding rows.
+  double sparse_overhead() const;
+};
+
+// The four paper models.
+ModelSpec lm_spec();           // LM (Jozefowicz et al.) on LM1B
+ModelSpec gnmt8_spec();        // GNMT-8 on WMT-16 En-De
+ModelSpec transformer_spec();  // Transformer on WMT-14 En-De
+ModelSpec bert_base_spec();    // BERT-base on SQuAD
+
+std::vector<ModelSpec> all_model_specs();
+
+}  // namespace embrace::simnet

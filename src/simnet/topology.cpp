@@ -1,0 +1,45 @@
+#include "simnet/topology.h"
+
+#include "common/error.h"
+
+namespace embrace::simnet {
+namespace {
+
+ClusterTopology topo_for(int gpus) {
+  EMBRACE_CHECK(gpus >= 1, << "need at least one GPU");
+  if (gpus <= 4) return {1, gpus};
+  EMBRACE_CHECK_EQ(gpus % 4, 0, << "paper clusters use 4-GPU nodes");
+  return {gpus / 4, 4};
+}
+
+}  // namespace
+
+ClusterConfig make_rtx3090_cluster(int gpus) {
+  ClusterConfig c;
+  c.name = "RTX3090";
+  c.topo = topo_for(gpus);
+  c.gpu = GpuKind::kRTX3090;
+  c.compute_speed = 1.0;
+  return c;
+}
+
+ClusterConfig make_rtx2080_cluster(int gpus) {
+  ClusterConfig c;
+  c.name = "RTX2080";
+  c.topo = topo_for(gpus);
+  c.gpu = GpuKind::kRTX2080;
+  c.compute_speed = 0.45;
+  // The 2080 nodes have fewer/slower RAM channels; BytePS-style shared
+  // memory staging suffers (paper §5.3). Modeled via intra-node bandwidth.
+  c.net.intra_node_bw = 10e9;
+  return c;
+}
+
+ClusterConfig make_fig4_four_single_gpu_nodes() {
+  ClusterConfig c = make_rtx3090_cluster(4);
+  c.name = "4x1-RTX3090";
+  c.topo = {4, 1};
+  return c;
+}
+
+}  // namespace embrace::simnet

@@ -1,0 +1,71 @@
+// Cluster topology and hardware presets for the performance simulator.
+//
+// The paper evaluates on two 16-GPU clusters (4 nodes × 4 GPUs):
+//   * RTX3090 nodes (24 GB GPUs, six 16G DDR4) — faster compute
+//   * RTX2080 nodes (8 GB GPUs, three 32G DDR4) — slower compute, smaller
+//     batches, so communication dominates
+// connected by 100 Gbps InfiniBand; GPUs within a node share the NIC and
+// communicate over PCIe.
+//
+// We do not have that hardware (see DESIGN.md §2): these presets feed the
+// α–β network model and per-model compute profiles that stand in for it.
+#pragma once
+
+#include <string>
+
+namespace embrace::simnet {
+
+struct ClusterTopology {
+  int nodes = 1;
+  int gpus_per_node = 1;
+  int total_gpus() const { return nodes * gpus_per_node; }
+};
+
+enum class GpuKind { kRTX3090, kRTX2080 };
+
+inline const char* gpu_name(GpuKind g) {
+  return g == GpuKind::kRTX3090 ? "RTX3090" : "RTX2080";
+}
+
+// Network characteristics (bytes/sec and seconds).
+struct NetworkParams {
+  // Per-flow bandwidth across nodes before NIC sharing (100 Gbps IB).
+  double inter_node_bw = 100e9 / 8.0;
+  // Intra-node GPU-to-GPU bandwidth (PCIe 3.0 x16-ish effective).
+  double intra_node_bw = 11e9;
+  // Message start latency β (collective launch + rendezvous).
+  double latency = 30e-6;
+  // Per-message software overhead for fragmented transfers (used by the
+  // OmniReduce model and the tensor-partitioning ablation).
+  double per_message_overhead = 0.5e-6;
+  // Host-memory staging bandwidth for CPU-resident endpoints. PS servers
+  // (BytePS shared-memory workers, Parallax sparse servers) copy every
+  // payload GPU↔host; the paper attributes both baselines' losses to this
+  // ("the speed of RAMs is slow and would damage the performance of
+  // BytePS"; "frequent memory copy between GPU and CPU" for Parallax).
+  double host_staging_bw = 3.5e9;
+  // Server-side handling time per worker request at a PS shard (sparse row
+  // indexing, response assembly on CPU). Each PS step issues one push and
+  // one pull request per worker per tensor.
+  double ps_request_overhead = 2.5e-3;
+};
+
+struct ClusterConfig {
+  std::string name;
+  ClusterTopology topo;
+  GpuKind gpu = GpuKind::kRTX3090;
+  NetworkParams net;
+  // Relative compute speed (1.0 = RTX3090). RTX2080 ≈ 0.45 of a 3090 on
+  // these mixed fp32 NLP workloads.
+  double compute_speed = 1.0;
+};
+
+// Paper cluster presets. `gpus` must be expressible on 4-GPU nodes, i.e.
+// 4 -> 1 node, 8 -> 2 nodes, 16 -> 4 nodes (matching the paper's scaling
+// experiments), except fig4_four_singles which is 4 nodes × 1 GPU.
+ClusterConfig make_rtx3090_cluster(int gpus);
+ClusterConfig make_rtx2080_cluster(int gpus);
+// Figure 4(b): 4 nodes with 1 RTX3090 each.
+ClusterConfig make_fig4_four_single_gpu_nodes();
+
+}  // namespace embrace::simnet

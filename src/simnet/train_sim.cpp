@@ -1,0 +1,361 @@
+#include "simnet/train_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace embrace::simnet {
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kHorovodAllReduce: return "Horovod-AllReduce";
+    case Strategy::kHorovodAllGather: return "Horovod-AllGather";
+    case Strategy::kBytePS: return "BytePS";
+    case Strategy::kParallax: return "Parallax";
+    case Strategy::kEmbRaceNoSched: return "EmbRace-noSched";
+    case Strategy::kEmbRace: return "EmbRace";
+  }
+  return "?";
+}
+
+std::vector<Strategy> baseline_strategies() {
+  return {Strategy::kBytePS, Strategy::kHorovodAllReduce,
+          Strategy::kHorovodAllGather, Strategy::kParallax};
+}
+
+namespace {
+
+bool uses_hybrid_comm(Strategy s) {
+  return s == Strategy::kEmbRace || s == Strategy::kEmbRaceNoSched;
+}
+
+bool uses_priority_comm(Strategy s) {
+  return s == Strategy::kEmbRace || s == Strategy::kBytePS;
+}
+
+// FP must wait for the completion of *all* of the previous step's gradient
+// communication (paper Fig. 6(a), default DAG of PyTorch/TensorFlow/Horovod).
+bool fp_waits_for_all_comm(Strategy s) {
+  return s == Strategy::kHorovodAllReduce ||
+         s == Strategy::kHorovodAllGather || s == Strategy::kParallax ||
+         s == Strategy::kEmbRaceNoSched;
+}
+
+// Ids of the ops built for one step that later steps depend on.
+struct StepOps {
+  std::vector<int> dense_comm;      // per dense block, FP order
+  std::vector<int> emb_grad_comm;   // per table (prior part for EmbRace)
+  std::vector<int> emb_delayed;     // per table (EmbRace only)
+  std::vector<int> emb_data;        // per table (hybrid strategies only)
+  std::vector<int> all_grad_comm;   // everything FP must wait on (FIFO mode)
+  int vss = -1;
+  int emb_bp = -1;
+  int last_fp = -1;                 // steady-state step marker
+};
+
+struct Builder {
+  const ModelSpec& model;
+  const ClusterConfig& cluster;
+  const Strategy strategy;
+  const CollectiveCostModel cost;
+  const WorkloadPoint& wl;
+  std::vector<SimOp> ops;
+
+  Builder(const ModelSpec& m, const ClusterConfig& c, Strategy s)
+      : model(m), cluster(c), strategy(s), cost(c), wl(m.workload(c.gpu)) {}
+
+  int add(SimOp op) {
+    ops.push_back(std::move(op));
+    return static_cast<int>(ops.size()) - 1;
+  }
+
+  double compute_scale() const { return 1.0 / cluster.compute_speed; }
+  int gpus() const { return cluster.topo.total_gpus(); }
+
+  // Whether this strategy keeps a full embedding replica that is forced
+  // into host memory on this workload (LM on RTX2080).
+  bool emb_hosted() const {
+    return wl.emb_on_host && !uses_hybrid_comm(strategy);
+  }
+  // CPU embedding lookup / scatter-add runs roughly an order of magnitude
+  // slower than on-GPU (plus PCIe activation traffic).
+  static constexpr double kHostEmbPenalty = 20.0;
+
+  // Per-operation launch overhead of the communication runtime. Horovod's
+  // negotiation cycle (and BytePS's scheduler RPC) costs ~1.5 ms per tensor;
+  // EmbRace bypasses it with its own queue + comm thread (§5.1).
+  double comm_op_overhead() const {
+    return uses_hybrid_comm(strategy) ? 0.3e-3 : 1.5e-3;
+  }
+
+  // --- per-op durations ---
+  double fp_block_seconds() const {
+    return wl.fp_seconds / model.dense_blocks * compute_scale();
+  }
+  double bp_block_seconds() const {
+    return wl.bp_seconds / model.dense_blocks * compute_scale();
+  }
+  // Embedding lookup / gradient scatter are a few percent of the pass.
+  double emb_fp_seconds() const {
+    return 0.03 * wl.fp_seconds * compute_scale() *
+           (emb_hosted() ? kHostEmbPenalty : 1.0);
+  }
+  double emb_bp_seconds() const {
+    return 0.03 * wl.bp_seconds * compute_scale() *
+           (emb_hosted() ? kHostEmbPenalty : 1.0);
+  }
+  // Algorithm 1's set computations: coalesce + unique + intersect over the
+  // batch's token ids; linear in tokens, run on the (otherwise idle) GPU.
+  double vss_seconds() const {
+    return std::max(0.3e-3, wl.tokens_per_batch * 0.15e-6) * compute_scale();
+  }
+
+  double dense_block_bytes() const {
+    return mb_to_bytes(model.dense_mb()) / model.dense_blocks;
+  }
+
+  double dense_comm_seconds() const {
+    const double bytes = dense_block_bytes();
+    if (strategy == Strategy::kBytePS) {
+      return cost.ps_dense_step(bytes, cluster.topo.nodes);
+    }
+    return cost.allreduce_dense(bytes);
+  }
+
+  // Extra transfer cost when the embedding replica lives in host memory:
+  // the gradient payload crosses PCIe out of and back into host RAM around
+  // the collective (gloo-style CPU tensors instead of NCCL).
+  double host_staging_seconds(double payload_bytes) const {
+    if (!emb_hosted()) return 0.0;
+    return 2.0 * payload_bytes / cluster.net.host_staging_bw;
+  }
+
+  // Gradient communication for one embedding table, full (non-split) form.
+  double emb_grad_comm_seconds(const EmbeddingSpec& table) const {
+    const double bytes = mb_to_bytes(table.mb);
+    const double ovh = model.sparse_overhead();
+    switch (strategy) {
+      case Strategy::kHorovodAllReduce:
+        return cost.allreduce_dense(bytes) + host_staging_seconds(bytes);
+      case Strategy::kBytePS:
+        return cost.ps_dense_step(bytes, cluster.topo.nodes);
+      case Strategy::kHorovodAllGather: {
+        // Ships the uncoalesced COO gradient as produced by autograd.
+        // Horovod gathers the indices and values tensors as two separate
+        // collectives, and the worker then applies the gathered gradient of
+        // all N workers (expensive when the table lives in host memory).
+        const double payload = bytes * wl.grad_density * ovh;
+        const double second_collective =
+            (gpus() - 1) * cluster.net.latency + comm_op_overhead();
+        const double apply_gathered =
+            emb_hosted() ? gpus() * payload / cluster.net.host_staging_bw
+                         : 0.0;
+        return cost.allgather_sparse(bytes, wl.grad_density, ovh) +
+               second_collective + host_staging_seconds(payload) +
+               apply_gathered;
+      }
+      case Strategy::kParallax:
+        // PS push/pull of the deduplicated rows.
+        return cost.ps_sparse_step(bytes,
+                                   wl.grad_density * model.coalesce_ratio(),
+                                   cluster.topo.nodes, ovh);
+      case Strategy::kEmbRaceNoSched: {
+        // Without Vertical Sparse Scheduling there is no coalescing pass
+        // (Table 3 attributes it to VSS): the gradient travels as autograd
+        // produced it, one row per token occurrence.
+        const double original = bytes * wl.grad_density * ovh;
+        return cost.alltoall_pairwise(original / gpus());
+      }
+      case Strategy::kEmbRace: {
+        // AlltoAll of the coalesced gradient, column-partitioned over N.
+        const double coalesced =
+            bytes * wl.grad_density * model.coalesce_ratio() * ovh;
+        return cost.alltoall_pairwise(coalesced / gpus());
+      }
+    }
+    return 0.0;
+  }
+
+  // EmbRace's Algorithm 1 split of one table's coalesced gradient.
+  std::pair<double, double> emb_prior_delayed_seconds(
+      const EmbeddingSpec& table) const {
+    const double coalesced = mb_to_bytes(table.mb) * wl.grad_density *
+                             model.coalesce_ratio() * model.sparse_overhead();
+    const double prior = coalesced * model.prior_ratio();
+    return {cost.alltoall_pairwise(prior / gpus()),
+            cost.alltoall_pairwise((coalesced - prior) / gpus())};
+  }
+
+  // AlltoAll redistributing embedding lookup results (and, symmetrically,
+  // their output gradients — folded into the same op) for one table.
+  double emb_data_comm_seconds(const EmbeddingSpec& table) const {
+    const double tokens =
+        wl.tokens_per_batch / static_cast<double>(model.embeddings.size());
+    const double bytes = tokens * static_cast<double>(table.dim) * 4.0;
+    return cost.alltoall_pairwise(bytes / gpus());
+  }
+
+  // Builds one training step; `prev` is the previous step's ops (or nullptr).
+  StepOps build_step(int step, const StepOps* prev, const StepOps* prev2) {
+    StepOps out;
+    const int blocks = model.dense_blocks;
+    const bool hybrid = uses_hybrid_comm(strategy);
+
+    // ---- forward pass ----
+    // Embedding FP. Dependencies encode which part of the previous step's
+    // communication blocks it (the heart of the strategies' differences).
+    SimOp emb_fp{"Fwd-emb", SimResource::kCompute, emb_fp_seconds()};
+    if (prev != nullptr) {
+      if (fp_waits_for_all_comm(strategy)) {
+        emb_fp.deps = prev->all_grad_comm;
+      } else if (strategy == Strategy::kBytePS) {
+        emb_fp.deps = prev->emb_grad_comm;
+      } else {  // kEmbRace
+        emb_fp.deps = prev->emb_grad_comm;  // prior parts only
+        if (prev2 != nullptr) {
+          // Delayed rows must be applied before they can be touched again;
+          // one full step of slack (Algorithm 1's "unhurried part").
+          for (int d : prev2->emb_delayed) emb_fp.deps.push_back(d);
+        }
+      }
+    }
+    const int emb_fp_id = add(std::move(emb_fp));
+
+    // Hybrid strategies redistribute lookup results before dense FP.
+    if (hybrid) {
+      for (const auto& table : model.embeddings) {
+        SimOp data{"Xchg-embdata", SimResource::kComm,
+                   emb_data_comm_seconds(table) + comm_op_overhead()};
+        data.deps = {emb_fp_id};
+        data.priority = 1.0;  // right behind the prior gradients
+        out.emb_data.push_back(add(std::move(data)));
+      }
+    }
+
+    // Dense FP blocks.
+    std::vector<int> fp_ids;
+    for (int b = 0; b < blocks; ++b) {
+      SimOp fp{"Fwd-block", SimResource::kCompute, fp_block_seconds()};
+      if (hybrid && b == 0) fp.deps = out.emb_data;  // need activations
+      if (prev != nullptr && !fp_waits_for_all_comm(strategy)) {
+        // Scheduled strategies: each block waits only for its own params.
+        fp.deps.push_back(prev->dense_comm[static_cast<size_t>(b)]);
+      }
+      fp_ids.push_back(add(std::move(fp)));
+    }
+    out.last_fp = fp_ids.back();
+
+    // ---- backward pass (reverse block order) ----
+    std::vector<int> bp_ids(static_cast<size_t>(blocks), -1);
+    for (int b = blocks - 1; b >= 0; --b) {
+      SimOp bp{"Bwd-block", SimResource::kCompute, bp_block_seconds()};
+      bp_ids[static_cast<size_t>(b)] = add(std::move(bp));
+    }
+    out.emb_bp = add({"Bwd-emb", SimResource::kCompute, emb_bp_seconds()});
+
+    // ---- gradient communication (enqueued in BP-emission order) ----
+    out.dense_comm.assign(static_cast<size_t>(blocks), -1);
+    for (int b = blocks - 1; b >= 0; --b) {
+      SimOp c{"Grad-dense", SimResource::kComm,
+              dense_comm_seconds() + comm_op_overhead()};
+      c.deps = {bp_ids[static_cast<size_t>(b)]};
+      // Priority = FP-order position: the first block the next forward pass
+      // needs communicates first (paper §4.2.1).
+      c.priority = 10.0 + b;
+      out.dense_comm[static_cast<size_t>(b)] = add(std::move(c));
+    }
+
+    if (strategy == Strategy::kEmbRace) {
+      // Vertical Sparse Scheduling computation on the idle GPU after BP.
+      SimOp vss{"Vss-compute", SimResource::kCompute, vss_seconds()};
+      vss.deps = {out.emb_bp};
+      vss.overhead_compute = true;
+      out.vss = add(std::move(vss));
+      for (const auto& table : model.embeddings) {
+        const auto [prior_s, delayed_s] = emb_prior_delayed_seconds(table);
+        SimOp prior{"Prio-embgrad", SimResource::kComm,
+                    prior_s + comm_op_overhead()};
+        prior.deps = {out.vss};
+        prior.priority = 0.0;  // highest: gates the next embedding FP
+        out.emb_grad_comm.push_back(add(std::move(prior)));
+        SimOp delayed{"Late-embgrad", SimResource::kComm,
+                      delayed_s + comm_op_overhead()};
+        delayed.deps = {out.vss};
+        delayed.priority = 1000.0;  // lowest: fills leftover bandwidth
+        out.emb_delayed.push_back(add(std::move(delayed)));
+      }
+    } else {
+      for (const auto& table : model.embeddings) {
+        SimOp g{"Grad-emb", SimResource::kComm,
+                emb_grad_comm_seconds(table) + comm_op_overhead()};
+        g.deps = {out.emb_bp};
+        g.priority = 0.0;  // BytePS prioritizes it; FIFO ignores priority
+        out.emb_grad_comm.push_back(add(std::move(g)));
+      }
+    }
+
+    out.all_grad_comm = out.dense_comm;
+    for (int id : out.emb_grad_comm) out.all_grad_comm.push_back(id);
+    for (int id : out.emb_delayed) out.all_grad_comm.push_back(id);
+
+    // Step marker for steady-state timing.
+    ops[static_cast<size_t>(out.last_fp)].step_marker = step;
+    return out;
+  }
+};
+
+}  // namespace
+
+TrainSimResult simulate_training(const ModelSpec& model,
+                                 const ClusterConfig& cluster,
+                                 Strategy strategy,
+                                 const TrainSimOptions& opts) {
+  EMBRACE_CHECK_GE(opts.steps, 3, << "need >=3 steps for a steady state");
+  Builder b(model, cluster, strategy);
+  std::vector<StepOps> steps;
+  steps.reserve(static_cast<size_t>(opts.steps));
+  for (int s = 0; s < opts.steps; ++s) {
+    const StepOps* prev = s >= 1 ? &steps[static_cast<size_t>(s - 1)] : nullptr;
+    const StepOps* prev2 = s >= 2 ? &steps[static_cast<size_t>(s - 2)] : nullptr;
+    steps.push_back(b.build_step(s, prev, prev2));
+  }
+
+  const CommOrder order = uses_priority_comm(strategy) ? CommOrder::kPriority
+                                                       : CommOrder::kFifo;
+  SimResult sim = SimEngine::run(b.ops, order);
+
+  // Steady-state step time: average of marker deltas over the tail
+  // (skip the first two warm-up steps).
+  std::vector<double> markers;
+  for (const auto& st : steps) {
+    markers.push_back(sim.finish[static_cast<size_t>(st.last_fp)]);
+  }
+  double total = 0.0;
+  int count = 0;
+  for (size_t s = 2; s < markers.size(); ++s) {
+    total += markers[s] - markers[s - 1];
+    ++count;
+  }
+  EMBRACE_CHECK_GT(count, 0);
+
+  const WorkloadPoint& wl = model.workload(cluster.gpu);
+  TrainSimResult out;
+  out.stats.step_seconds = total / count;
+  const double useful_per_step =
+      (wl.fp_seconds * 1.03 + wl.bp_seconds * 1.03) / cluster.compute_speed;
+  out.stats.compute_seconds = useful_per_step;
+  out.stats.computation_stall =
+      std::max(0.0, out.stats.step_seconds - useful_per_step);
+  out.stats.tokens_per_second = cluster.topo.total_gpus() *
+                                wl.tokens_per_batch /
+                                out.stats.step_seconds;
+  if (opts.keep_trace) {
+    out.ops = std::move(b.ops);
+    out.sim = std::move(sim);
+  }
+  return out;
+}
+
+}  // namespace embrace::simnet

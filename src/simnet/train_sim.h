@@ -1,0 +1,66 @@
+// Builds per-strategy training-step DAGs for the discrete-event engine and
+// extracts steady-state metrics. Regenerates Figures 6–10.
+//
+// Strategy → communication pattern mapping (paper §5.2.3):
+//   kHorovodAllReduce  dense ring AllReduce for everything (embeddings in
+//                      dense format), FIFO order, FP waits for all comm.
+//   kHorovodAllGather  sparse AllGather for embedding grads + AllReduce for
+//                      dense, FIFO, FP waits for all comm.
+//   kBytePS            PS (dense, embeddings too) with ByteScheduler-style
+//                      priority scheduling: per-tensor FP dependencies.
+//   kParallax          sparse PS for embeddings + AllReduce dense, FIFO.
+//   kEmbRaceNoSched    Sparsity-aware Hybrid Communication (AlltoAll sparse
+//                      + AllReduce dense) without 2D scheduling.
+//   kEmbRace           Hybrid Communication + 2D Communication Scheduling
+//                      (priority comm thread, hoisted embedding FP,
+//                      Algorithm 1 prior/delayed split, VSS compute op).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simnet/cost_model.h"
+#include "simnet/engine.h"
+#include "simnet/model_specs.h"
+
+namespace embrace::simnet {
+
+enum class Strategy {
+  kHorovodAllReduce,
+  kHorovodAllGather,
+  kBytePS,
+  kParallax,
+  kEmbRaceNoSched,
+  kEmbRace,
+};
+
+const char* strategy_name(Strategy s);
+std::vector<Strategy> baseline_strategies();  // the four paper baselines
+
+struct StepStats {
+  double step_seconds = 0.0;        // steady-state time per training step
+  double computation_stall = 0.0;   // per step, paper §5.4 definition
+  double compute_seconds = 0.0;     // useful FP+BP compute per step
+  double tokens_per_second = 0.0;   // cluster-wide throughput
+};
+
+struct TrainSimOptions {
+  int steps = 6;           // simulated steps; steady state taken from the tail
+  bool keep_trace = false; // retain ops/trace for timeline rendering
+};
+
+struct TrainSimResult {
+  StepStats stats;
+  // Populated when keep_trace: the full DAG and engine result.
+  std::vector<SimOp> ops;
+  SimResult sim;
+};
+
+// Simulates `opts.steps` consecutive training steps of `model` on `cluster`
+// under `strategy` and returns steady-state per-step statistics.
+TrainSimResult simulate_training(const ModelSpec& model,
+                                 const ClusterConfig& cluster,
+                                 Strategy strategy,
+                                 const TrainSimOptions& opts = {});
+
+}  // namespace embrace::simnet

@@ -1,0 +1,59 @@
+#include "tensor/fusion.h"
+
+#include "common/error.h"
+
+namespace embrace {
+
+FusionGroup::FusionGroup(std::vector<Tensor*> tensors)
+    : tensors_(std::move(tensors)) {
+  EMBRACE_CHECK(!tensors_.empty(), << "empty fusion group");
+  for (const Tensor* t : tensors_) {
+    EMBRACE_CHECK(t != nullptr);
+    elems_ += t->numel();
+    bytes_ += t->byte_size();
+  }
+}
+
+std::vector<float> FusionGroup::flatten() const {
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(elems_));
+  for (const Tensor* t : tensors_) {
+    out.insert(out.end(), t->flat().begin(), t->flat().end());
+  }
+  return out;
+}
+
+void FusionGroup::unflatten(const std::vector<float>& flat) {
+  EMBRACE_CHECK_EQ(static_cast<int64_t>(flat.size()), elems_,
+                   << "flat buffer size mismatch");
+  size_t pos = 0;
+  for (Tensor* t : tensors_) {
+    auto dst = t->flat();
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(pos),
+              flat.begin() + static_cast<std::ptrdiff_t>(pos + dst.size()),
+              dst.begin());
+    pos += dst.size();
+  }
+}
+
+std::vector<FusionGroup> plan_fusion_groups(const std::vector<Tensor*>& tensors,
+                                            int64_t budget_bytes) {
+  EMBRACE_CHECK_GT(budget_bytes, 0);
+  std::vector<FusionGroup> groups;
+  std::vector<Tensor*> current;
+  int64_t current_bytes = 0;
+  for (Tensor* t : tensors) {
+    EMBRACE_CHECK(t != nullptr);
+    if (!current.empty() && current_bytes + t->byte_size() > budget_bytes) {
+      groups.emplace_back(std::move(current));
+      current.clear();
+      current_bytes = 0;
+    }
+    current.push_back(t);
+    current_bytes += t->byte_size();
+  }
+  if (!current.empty()) groups.emplace_back(std::move(current));
+  return groups;
+}
+
+}  // namespace embrace

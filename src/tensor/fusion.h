@@ -1,0 +1,41 @@
+// Tensor fusion: grouping many small tensors into one flat buffer so a
+// single collective carries them (Horovod's fusion buffer; also PACE's
+// "tensor fusion for better bandwidth usage", paper §6).
+//
+// Groups are formed greedily in input order up to a byte budget; a tensor
+// larger than the budget forms its own group. flatten() concatenates the
+// group's current values; unflatten() writes a modified flat buffer back.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace embrace {
+
+// One fused group of tensors (non-owning).
+class FusionGroup {
+ public:
+  explicit FusionGroup(std::vector<Tensor*> tensors);
+
+  int64_t byte_size() const { return bytes_; }
+  size_t tensor_count() const { return tensors_.size(); }
+
+  // Concatenation of all member tensors' contents.
+  std::vector<float> flatten() const;
+  // Writes `flat` (must have exactly the group's element count) back into
+  // the member tensors.
+  void unflatten(const std::vector<float>& flat);
+
+ private:
+  std::vector<Tensor*> tensors_;
+  int64_t elems_ = 0;
+  int64_t bytes_ = 0;
+};
+
+// Greedy grouping in input order with a per-group byte budget (> 0).
+std::vector<FusionGroup> plan_fusion_groups(const std::vector<Tensor*>& tensors,
+                                            int64_t budget_bytes);
+
+}  // namespace embrace

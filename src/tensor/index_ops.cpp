@@ -1,0 +1,56 @@
+#include "tensor/index_ops.h"
+
+#include <algorithm>
+
+namespace embrace {
+
+std::vector<int64_t> unique_sorted(std::vector<int64_t> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+std::vector<int64_t> intersect_sorted(const std::vector<int64_t>& a,
+                                      const std::vector<int64_t>& b) {
+  std::vector<int64_t> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<int64_t> difference_sorted(const std::vector<int64_t>& a,
+                                       const std::vector<int64_t>& b) {
+  std::vector<int64_t> out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+std::vector<int64_t> union_sorted(const std::vector<int64_t>& a,
+                                  const std::vector<int64_t>& b) {
+  std::vector<int64_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+bool is_sorted_unique(const std::vector<int64_t>& v) {
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i - 1] >= v[i]) return false;
+  }
+  return true;
+}
+
+std::vector<int64_t> flatten(const std::vector<std::vector<int64_t>>& batch) {
+  std::vector<int64_t> out;
+  size_t total = 0;
+  for (const auto& seq : batch) total += seq.size();
+  out.reserve(total);
+  for (const auto& seq : batch) out.insert(out.end(), seq.begin(), seq.end());
+  return out;
+}
+
+}  // namespace embrace

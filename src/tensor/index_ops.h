@@ -1,0 +1,32 @@
+// Integer index-set operations underlying Algorithm 1 (Vertical Sparse
+// Scheduling): UNIQUE, intersection, difference, and batch flattening.
+// All functions return sorted vectors; inputs are copied, never mutated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace embrace {
+
+// Sorted unique elements of `v`.
+std::vector<int64_t> unique_sorted(std::vector<int64_t> v);
+
+// Sorted intersection of two sorted-unique sets.
+std::vector<int64_t> intersect_sorted(const std::vector<int64_t>& a,
+                                      const std::vector<int64_t>& b);
+
+// Sorted set difference a \ b of two sorted-unique sets.
+std::vector<int64_t> difference_sorted(const std::vector<int64_t>& a,
+                                       const std::vector<int64_t>& b);
+
+// Sorted union of two sorted-unique sets.
+std::vector<int64_t> union_sorted(const std::vector<int64_t>& a,
+                                  const std::vector<int64_t>& b);
+
+// True iff `v` is sorted ascending with no duplicates.
+bool is_sorted_unique(const std::vector<int64_t>& v);
+
+// Flattens a batch of token-id sequences into one id vector (order kept).
+std::vector<int64_t> flatten(const std::vector<std::vector<int64_t>>& batch);
+
+}  // namespace embrace

@@ -1,0 +1,186 @@
+#include "tensor/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace embrace {
+
+namespace {
+// Blocked inner kernel: out(MxN) += A(MxK) * B(KxN). Loop order i-k-j keeps
+// B rows streaming and the innermost loop vectorizable.
+void gemm_acc(const float* a, const float* b, float* out, int64_t m,
+              int64_t k, int64_t n) {
+  constexpr int64_t kBlock = 64;
+  for (int64_t i0 = 0; i0 < m; i0 += kBlock) {
+    const int64_t i1 = std::min(i0 + kBlock, m);
+    for (int64_t kk0 = 0; kk0 < k; kk0 += kBlock) {
+      const int64_t kk1 = std::min(kk0 + kBlock, k);
+      for (int64_t i = i0; i < i1; ++i) {
+        float* out_row = out + i * n;
+        const float* a_row = a + i * k;
+        for (int64_t kk = kk0; kk < kk1; ++kk) {
+          const float aval = a_row[kk];
+          if (aval == 0.0f) continue;
+          const float* b_row = b + kk * n;
+          for (int64_t j = 0; j < n; ++j) out_row[j] += aval * b_row[j];
+        }
+      }
+    }
+  }
+}
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  EMBRACE_CHECK_EQ(a.dim(), 2);
+  EMBRACE_CHECK_EQ(b.dim(), 2);
+  EMBRACE_CHECK_EQ(a.cols(), b.rows(), << "matmul inner dims");
+  Tensor out({a.rows(), b.cols()});
+  gemm_acc(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.cols());
+  return out;
+}
+
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& out) {
+  EMBRACE_CHECK_EQ(a.cols(), b.rows());
+  EMBRACE_CHECK_EQ(out.rows(), a.rows());
+  EMBRACE_CHECK_EQ(out.cols(), b.cols());
+  gemm_acc(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.cols());
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  EMBRACE_CHECK_EQ(a.dim(), 2);
+  EMBRACE_CHECK_EQ(b.dim(), 2);
+  EMBRACE_CHECK_EQ(a.rows(), b.rows(), << "matmul_tn shared dim");
+  // (A^T B)(i,j) = sum_m A(m,i) B(m,j): accumulate outer products row by row.
+  Tensor out({a.cols(), b.cols()});
+  const int64_t m = a.rows(), i_dim = a.cols(), j_dim = b.cols();
+  for (int64_t mm = 0; mm < m; ++mm) {
+    const float* a_row = a.data() + mm * i_dim;
+    const float* b_row = b.data() + mm * j_dim;
+    for (int64_t i = 0; i < i_dim; ++i) {
+      const float aval = a_row[i];
+      if (aval == 0.0f) continue;
+      float* out_row = out.data() + i * j_dim;
+      for (int64_t j = 0; j < j_dim; ++j) out_row[j] += aval * b_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  EMBRACE_CHECK_EQ(a.dim(), 2);
+  EMBRACE_CHECK_EQ(b.dim(), 2);
+  EMBRACE_CHECK_EQ(a.cols(), b.cols(), << "matmul_nt shared dim");
+  Tensor out({a.rows(), b.rows()});
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* a_row = a.data() + i * a.cols();
+    float* out_row = out.data() + i * b.rows();
+    for (int64_t j = 0; j < b.rows(); ++j) {
+      const float* b_row = b.data() + j * b.cols();
+      double acc = 0.0;
+      for (int64_t c = 0; c < a.cols(); ++c) {
+        acc += static_cast<double>(a_row[c]) * b_row[c];
+      }
+      out_row[j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& a) {
+  EMBRACE_CHECK_EQ(a.dim(), 2);
+  Tensor out({a.cols(), a.rows()});
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      out.data()[j * a.rows() + i] = a.data()[i * a.cols() + j];
+    }
+  }
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  EMBRACE_CHECK_EQ(logits.dim(), 2);
+  Tensor out({logits.rows(), logits.cols()});
+  for (int64_t r = 0; r < logits.rows(); ++r) {
+    auto src = logits.row(r);
+    auto dst = out.row(r);
+    float mx = src[0];
+    for (float v : src) mx = std::max(mx, v);
+    double denom = 0.0;
+    for (size_t c = 0; c < src.size(); ++c) {
+      dst[c] = std::exp(src[c] - mx);
+      denom += dst[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (size_t c = 0; c < src.size(); ++c) dst[c] *= inv;
+  }
+  return out;
+}
+
+float cross_entropy_with_grad(const Tensor& logits,
+                              const std::vector<int64_t>& targets,
+                              Tensor* dlogits) {
+  EMBRACE_CHECK_EQ(logits.rows(), static_cast<int64_t>(targets.size()));
+  Tensor probs = softmax_rows(logits);
+  const int64_t rows = logits.rows();
+  double loss = 0.0;
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t t = targets[static_cast<size_t>(r)];
+    EMBRACE_CHECK(t >= 0 && t < logits.cols(), << "target out of range");
+    loss -= std::log(std::max(probs.row(r)[static_cast<size_t>(t)], 1e-30f));
+  }
+  loss /= static_cast<double>(rows);
+  if (dlogits != nullptr) {
+    *dlogits = probs;
+    const float scale = 1.0f / static_cast<float>(rows);
+    for (int64_t r = 0; r < rows; ++r) {
+      auto g = dlogits->row(r);
+      for (size_t c = 0; c < g.size(); ++c) g[c] *= scale;
+      g[static_cast<size_t>(targets[static_cast<size_t>(r)])] -= scale;
+    }
+  }
+  return static_cast<float>(loss);
+}
+
+Tensor tanh_map(const Tensor& x) {
+  Tensor out = x;
+  for (auto& v : out.flat()) v = std::tanh(v);
+  return out;
+}
+
+Tensor relu_map(const Tensor& x) {
+  Tensor out = x;
+  for (auto& v : out.flat()) v = std::max(v, 0.0f);
+  return out;
+}
+
+Tensor sigmoid_map(const Tensor& x) {
+  Tensor out = x;
+  for (auto& v : out.flat()) v = 1.0f / (1.0f + std::exp(-v));
+  return out;
+}
+
+Tensor add_row_broadcast(const Tensor& x, const Tensor& bias) {
+  EMBRACE_CHECK_EQ(x.dim(), 2);
+  EMBRACE_CHECK_EQ(bias.dim(), 1);
+  EMBRACE_CHECK_EQ(x.cols(), bias.numel());
+  Tensor out = x;
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    auto dst = out.row(r);
+    for (size_t c = 0; c < dst.size(); ++c) dst[c] += bias[static_cast<int64_t>(c)];
+  }
+  return out;
+}
+
+Tensor sum_rows(const Tensor& x) {
+  EMBRACE_CHECK_EQ(x.dim(), 2);
+  Tensor out({x.cols()});
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    auto src = x.row(r);
+    for (size_t c = 0; c < src.size(); ++c) out[static_cast<int64_t>(c)] += src[c];
+  }
+  return out;
+}
+
+}  // namespace embrace

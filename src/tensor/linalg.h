@@ -1,0 +1,44 @@
+// Dense linear-algebra kernels for the NN substrate.
+//
+// Single-threaded, cache-blocked where it matters (matmul). The functional
+// models in this repo are deliberately small — performance claims are made
+// by the simulator, not by these kernels — but the kernels are still written
+// so the functional convergence experiments run in seconds.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace embrace {
+
+// C = A(BxM) * B(MxN). Allocates the result.
+Tensor matmul(const Tensor& a, const Tensor& b);
+// C = A^T * B, with A (MxB), B (MxN) -> C (BxN).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+// C = A * B^T, with A (BxM), B (NxM) -> C (BxN).
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+// out(MxN) += A(MxK) * B(KxN); accumulating form used by backward passes.
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& out);
+
+Tensor transpose(const Tensor& a);
+
+// Row-wise softmax of a 2-D tensor (numerically stabilized).
+Tensor softmax_rows(const Tensor& logits);
+
+// Mean cross-entropy over rows given integer targets; also returns dlogits
+// (gradient wrt logits of the *mean* loss) through the out-parameter.
+float cross_entropy_with_grad(const Tensor& logits,
+                              const std::vector<int64_t>& targets,
+                              Tensor* dlogits);
+
+// Elementwise maps returning new tensors.
+Tensor tanh_map(const Tensor& x);
+Tensor relu_map(const Tensor& x);
+Tensor sigmoid_map(const Tensor& x);
+
+// Broadcast helpers for bias terms: out(r,c) = x(r,c) + bias(c).
+Tensor add_row_broadcast(const Tensor& x, const Tensor& bias);
+// Sums a 2-D tensor over rows -> 1-D tensor of length cols.
+Tensor sum_rows(const Tensor& x);
+
+}  // namespace embrace

@@ -1,0 +1,219 @@
+#include "tensor/sparse_rows.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace embrace {
+
+SparseRows::SparseRows(int64_t num_total_rows, std::vector<int64_t> indices,
+                       Tensor values)
+    : num_total_rows_(num_total_rows),
+      indices_(std::move(indices)),
+      values_(std::move(values)) {
+  EMBRACE_CHECK_GE(num_total_rows_, 0);
+  EMBRACE_CHECK_EQ(values_.dim(), 2, << "values must be 2-D");
+  EMBRACE_CHECK_EQ(values_.rows(), static_cast<int64_t>(indices_.size()),
+                   << "one value row per index required");
+  for (int64_t idx : indices_) {
+    EMBRACE_CHECK(idx >= 0 && idx < num_total_rows_,
+                  << "row index " << idx << " outside [0, " << num_total_rows_
+                  << ")");
+  }
+}
+
+SparseRows SparseRows::empty(int64_t num_total_rows, int64_t dim) {
+  return SparseRows(num_total_rows, {}, Tensor({0, dim}));
+}
+
+SparseRows SparseRows::gather(const Tensor& dense,
+                              const std::vector<int64_t>& indices) {
+  EMBRACE_CHECK_EQ(dense.dim(), 2);
+  Tensor values({static_cast<int64_t>(indices.size()), dense.cols()});
+  for (size_t k = 0; k < indices.size(); ++k) {
+    auto src = dense.row(indices[k]);
+    auto dst = values.row(static_cast<int64_t>(k));
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return SparseRows(dense.rows(), indices, std::move(values));
+}
+
+int64_t SparseRows::byte_size() const {
+  return nnz_rows() * static_cast<int64_t>(sizeof(int64_t)) +
+         values_.byte_size();
+}
+
+int64_t SparseRows::dense_byte_size() const {
+  return num_total_rows_ * dim() * static_cast<int64_t>(sizeof(float));
+}
+
+double SparseRows::row_density() const {
+  if (num_total_rows_ == 0) return 0.0;
+  // Density counts *distinct* touched rows, as the paper's α does.
+  std::vector<int64_t> uniq = indices_;
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  return static_cast<double>(uniq.size()) /
+         static_cast<double>(num_total_rows_);
+}
+
+SparseRows SparseRows::coalesced() const {
+  const int64_t d = dim();
+  // Sort a permutation of positions by index, stably, so accumulation order
+  // is deterministic.
+  std::vector<size_t> order(indices_.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return indices_[a] < indices_[b];
+  });
+
+  std::vector<int64_t> out_idx;
+  out_idx.reserve(indices_.size());
+  std::vector<float> out_vals;
+  out_vals.reserve(indices_.size() * static_cast<size_t>(d));
+
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    const int64_t idx = indices_[order[pos]];
+    auto src = values_.row(static_cast<int64_t>(order[pos]));
+    if (!out_idx.empty() && out_idx.back() == idx) {
+      float* dst = out_vals.data() + (out_idx.size() - 1) * static_cast<size_t>(d);
+      for (int64_t c = 0; c < d; ++c) dst[c] += src[static_cast<size_t>(c)];
+    } else {
+      out_idx.push_back(idx);
+      out_vals.insert(out_vals.end(), src.begin(), src.end());
+    }
+  }
+
+  Tensor values({static_cast<int64_t>(out_idx.size()), d}, std::move(out_vals));
+  return SparseRows(num_total_rows_, std::move(out_idx), std::move(values));
+}
+
+bool SparseRows::is_coalesced() const {
+  for (size_t i = 1; i < indices_.size(); ++i) {
+    if (indices_[i - 1] >= indices_[i]) return false;
+  }
+  return true;
+}
+
+Tensor SparseRows::to_dense() const {
+  Tensor dense({num_total_rows_, dim()});
+  add_to_dense(dense);
+  return dense;
+}
+
+std::pair<SparseRows, SparseRows> SparseRows::split_by_membership(
+    const std::vector<int64_t>& keep_sorted) const {
+  EMBRACE_CHECK(std::is_sorted(keep_sorted.begin(), keep_sorted.end()),
+                << "keep set must be sorted");
+  const int64_t d = dim();
+  std::vector<int64_t> kept_idx, rest_idx;
+  std::vector<float> kept_vals, rest_vals;
+  for (size_t k = 0; k < indices_.size(); ++k) {
+    const bool member = std::binary_search(keep_sorted.begin(),
+                                           keep_sorted.end(), indices_[k]);
+    auto src = values_.row(static_cast<int64_t>(k));
+    if (member) {
+      kept_idx.push_back(indices_[k]);
+      kept_vals.insert(kept_vals.end(), src.begin(), src.end());
+    } else {
+      rest_idx.push_back(indices_[k]);
+      rest_vals.insert(rest_vals.end(), src.begin(), src.end());
+    }
+  }
+  const int64_t kept_rows = static_cast<int64_t>(kept_idx.size());
+  const int64_t rest_rows = static_cast<int64_t>(rest_idx.size());
+  SparseRows kept(num_total_rows_, std::move(kept_idx),
+                  Tensor({kept_rows, d}, std::move(kept_vals)));
+  SparseRows rest(num_total_rows_, std::move(rest_idx),
+                  Tensor({rest_rows, d}, std::move(rest_vals)));
+  return {std::move(kept), std::move(rest)};
+}
+
+SparseRows SparseRows::concat(const SparseRows& a, const SparseRows& b) {
+  EMBRACE_CHECK_EQ(a.num_total_rows_, b.num_total_rows_);
+  EMBRACE_CHECK_EQ(a.dim(), b.dim());
+  std::vector<int64_t> idx = a.indices_;
+  idx.insert(idx.end(), b.indices_.begin(), b.indices_.end());
+  std::vector<float> vals(a.values_.flat().begin(), a.values_.flat().end());
+  vals.insert(vals.end(), b.values_.flat().begin(), b.values_.flat().end());
+  Tensor values({static_cast<int64_t>(idx.size()), a.dim()}, std::move(vals));
+  return SparseRows(a.num_total_rows_, std::move(idx), std::move(values));
+}
+
+SparseRows SparseRows::slice_columns(int64_t col_begin, int64_t col_end) const {
+  EMBRACE_CHECK(col_begin >= 0 && col_begin <= col_end && col_end <= dim(),
+                << "bad column range [" << col_begin << ", " << col_end << ")");
+  const int64_t width = col_end - col_begin;
+  Tensor vals({nnz_rows(), width});
+  for (int64_t k = 0; k < nnz_rows(); ++k) {
+    auto src = values_.row(k);
+    auto dst = vals.row(k);
+    for (int64_t c = 0; c < width; ++c) {
+      dst[static_cast<size_t>(c)] = src[static_cast<size_t>(col_begin + c)];
+    }
+  }
+  return SparseRows(num_total_rows_, indices_, std::move(vals));
+}
+
+SparseRows& SparseRows::scale_(float alpha) {
+  values_.scale_(alpha);
+  return *this;
+}
+
+void SparseRows::add_to_dense(Tensor& dense) const {
+  EMBRACE_CHECK_EQ(dense.dim(), 2);
+  EMBRACE_CHECK_EQ(dense.rows(), num_total_rows_);
+  EMBRACE_CHECK_EQ(dense.cols(), dim());
+  for (size_t k = 0; k < indices_.size(); ++k) {
+    auto src = values_.row(static_cast<int64_t>(k));
+    auto dst = dense.row(indices_[k]);
+    for (size_t c = 0; c < src.size(); ++c) dst[c] += src[c];
+  }
+}
+
+bool SparseRows::logically_equal(const SparseRows& other, float tol) const {
+  if (num_total_rows_ != other.num_total_rows_ || dim() != other.dim()) {
+    return false;
+  }
+  return to_dense().max_abs_diff(other.to_dense()) <= tol;
+}
+
+std::vector<std::byte> SparseRows::pack() const {
+  const int64_t header[3] = {num_total_rows_, dim(), nnz_rows()};
+  const size_t idx_bytes = indices_.size() * sizeof(int64_t);
+  const size_t val_bytes = static_cast<size_t>(values_.byte_size());
+  std::vector<std::byte> buf(sizeof(header) + idx_bytes + val_bytes);
+  std::byte* p = buf.data();
+  std::memcpy(p, header, sizeof(header));
+  p += sizeof(header);
+  std::memcpy(p, indices_.data(), idx_bytes);
+  p += idx_bytes;
+  std::memcpy(p, values_.data(), val_bytes);
+  return buf;
+}
+
+SparseRows SparseRows::unpack(const std::byte* data, size_t size) {
+  EMBRACE_CHECK_GE(size, 3 * sizeof(int64_t), << "truncated SparseRows buffer");
+  int64_t header[3];
+  std::memcpy(header, data, sizeof(header));
+  const int64_t num_total_rows = header[0];
+  const int64_t d = header[1];
+  const int64_t nnz = header[2];
+  const size_t idx_bytes = static_cast<size_t>(nnz) * sizeof(int64_t);
+  const size_t val_bytes = static_cast<size_t>(nnz) * static_cast<size_t>(d) * sizeof(float);
+  EMBRACE_CHECK_EQ(size, sizeof(header) + idx_bytes + val_bytes,
+                   << "corrupt SparseRows buffer");
+  const std::byte* p = data + sizeof(header);
+  std::vector<int64_t> indices(static_cast<size_t>(nnz));
+  std::memcpy(indices.data(), p, idx_bytes);
+  p += idx_bytes;
+  std::vector<float> vals(static_cast<size_t>(nnz) * static_cast<size_t>(d));
+  std::memcpy(vals.data(), p, val_bytes);
+  Tensor values({nnz, d}, std::move(vals));
+  return SparseRows(num_total_rows, std::move(indices), std::move(values));
+}
+
+}  // namespace embrace

@@ -1,0 +1,95 @@
+// Row-sparse tensor in COO layout: the representation of embedding
+// gradients and embedding lookup results.
+//
+// A SparseRows value logically denotes a (num_total_rows × dim) matrix that
+// is zero except on `indices()`, where row k of `values()` supplies the row
+// for index `indices()[k]`. Duplicate indices are allowed and denote
+// summation (exactly PyTorch's uncoalesced COO semantics) — that is what
+// makes Algorithm 1's COALESCE step meaningful.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace embrace {
+
+class SparseRows {
+ public:
+  SparseRows() = default;
+  // `values` must be (indices.size() × dim); every index in [0, num_total_rows).
+  SparseRows(int64_t num_total_rows, std::vector<int64_t> indices,
+             Tensor values);
+
+  // An empty sparse tensor over a (num_total_rows × dim) space.
+  static SparseRows empty(int64_t num_total_rows, int64_t dim);
+  // Gathers the given rows out of a dense (num_total_rows × dim) matrix.
+  static SparseRows gather(const Tensor& dense,
+                           const std::vector<int64_t>& indices);
+
+  int64_t num_total_rows() const { return num_total_rows_; }
+  int64_t dim() const { return values_.dim() == 2 ? values_.cols() : 0; }
+  int64_t nnz_rows() const { return static_cast<int64_t>(indices_.size()); }
+  bool empty() const { return indices_.empty(); }
+
+  const std::vector<int64_t>& indices() const { return indices_; }
+  const Tensor& values() const { return values_; }
+  Tensor& mutable_values() { return values_; }
+
+  // Payload size if shipped in sparse format: indices (8B) + values (4B).
+  int64_t byte_size() const;
+  // Payload size if the same logical tensor were shipped dense.
+  int64_t dense_byte_size() const;
+  // Fraction of logical rows present (the paper's gradient density α).
+  double row_density() const;
+
+  // Sums rows with duplicate indices and sorts indices ascending.
+  // Idempotent; preserves the logical tensor exactly.
+  SparseRows coalesced() const;
+  bool is_coalesced() const;  // sorted, unique indices
+
+  // Dense materialization (num_total_rows × dim), duplicates summed.
+  Tensor to_dense() const;
+
+  // Splits this (coalesced or not) tensor into (kept, rest) by membership of
+  // the row index in `keep` (which must be sorted & unique). This is the
+  // INDEX_SELECT pair in Algorithm 1.
+  std::pair<SparseRows, SparseRows> split_by_membership(
+      const std::vector<int64_t>& keep_sorted) const;
+
+  // Concatenation of two tensors over the same row space (duplicates allowed;
+  // the result is generally uncoalesced).
+  static SparseRows concat(const SparseRows& a, const SparseRows& b);
+
+  // Column slice [col_begin, col_end): same row indices, values restricted
+  // to those columns. Used by column-wise embedding partitioning — each
+  // rank ships every peer the slice of the gradient that peer owns.
+  SparseRows slice_columns(int64_t col_begin, int64_t col_end) const;
+
+  // Elementwise scale of all stored values.
+  SparseRows& scale_(float alpha);
+
+  // Accumulates into a dense (num_total_rows × dim) matrix: dense[i] += row.
+  void add_to_dense(Tensor& dense) const;
+
+  // Logical equality of the *dense meaning* within tolerance. Expensive;
+  // test helper.
+  bool logically_equal(const SparseRows& other, float tol = 0.0f) const;
+
+  // --- wire format (used by the comm runtime) ---
+  // Layout: [num_total_rows:int64][dim:int64][nnz:int64][indices][values].
+  std::vector<std::byte> pack() const;
+  static SparseRows unpack(const std::byte* data, size_t size);
+  static SparseRows unpack(const std::vector<std::byte>& buf) {
+    return unpack(buf.data(), buf.size());
+  }
+
+ private:
+  int64_t num_total_rows_ = 0;
+  std::vector<int64_t> indices_;
+  Tensor values_;  // (nnz_rows × dim)
+};
+
+}  // namespace embrace

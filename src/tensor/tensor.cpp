@@ -1,0 +1,178 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace embrace {
+namespace {
+
+int64_t shape_numel(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    EMBRACE_CHECK_GE(d, 0, << "negative dimension");
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)), numel_(shape_numel(shape_)) {
+  data_.assign(static_cast<size_t>(numel_), 0.0f);
+}
+
+Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)),
+      numel_(shape_numel(shape_)) {
+  EMBRACE_CHECK_EQ(static_cast<int64_t>(data_.size()), numel_,
+                   << "data size does not match shape");
+}
+
+Tensor Tensor::zeros(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill_(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<int64_t> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = stddev * static_cast<float>(rng.next_normal());
+  }
+  return t;
+}
+
+Tensor Tensor::rand_uniform(std::vector<int64_t> shape, Rng& rng, float lo,
+                            float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.next_double(lo, hi));
+  }
+  return t;
+}
+
+int64_t Tensor::size(int64_t axis) const {
+  EMBRACE_CHECK(axis >= 0 && axis < dim(), << "axis " << axis << " out of range");
+  return shape_[static_cast<size_t>(axis)];
+}
+
+float& Tensor::at(std::initializer_list<int64_t> idx) {
+  EMBRACE_CHECK_EQ(static_cast<int64_t>(idx.size()), dim());
+  int64_t flat = 0;
+  size_t axis = 0;
+  for (int64_t i : idx) {
+    EMBRACE_CHECK(i >= 0 && i < shape_[axis], << "index out of range");
+    flat = flat * shape_[axis] + i;
+    ++axis;
+  }
+  return data_[static_cast<size_t>(flat)];
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  return const_cast<Tensor*>(this)->at(idx);
+}
+
+std::span<float> Tensor::row(int64_t r) {
+  EMBRACE_CHECK_EQ(dim(), 2, << "row() requires a 2-D tensor");
+  EMBRACE_CHECK(r >= 0 && r < shape_[0], << "row " << r << " out of range");
+  const size_t c = static_cast<size_t>(shape_[1]);
+  return {data_.data() + static_cast<size_t>(r) * c, c};
+}
+
+std::span<const float> Tensor::row(int64_t r) const {
+  auto s = const_cast<Tensor*>(this)->row(r);
+  return {s.data(), s.size()};
+}
+
+Tensor& Tensor::fill_(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+  return *this;
+}
+
+Tensor& Tensor::add_(const Tensor& other) {
+  EMBRACE_CHECK(same_shape(other), << shape_str() << " vs " << other.shape_str());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::add_scaled_(const Tensor& other, float alpha) {
+  EMBRACE_CHECK(same_shape(other), << shape_str() << " vs " << other.shape_str());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::sub_(const Tensor& other) {
+  EMBRACE_CHECK(same_shape(other), << shape_str() << " vs " << other.shape_str());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(const Tensor& other) {
+  EMBRACE_CHECK(same_shape(other), << shape_str() << " vs " << other.shape_str());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::scale_(float alpha) {
+  for (auto& v : data_) v *= alpha;
+  return *this;
+}
+
+Tensor Tensor::reshaped(std::vector<int64_t> new_shape) const {
+  EMBRACE_CHECK_EQ(shape_numel(new_shape), numel_, << "reshape numel mismatch");
+  return Tensor(std::move(new_shape), data_);
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  EMBRACE_CHECK_GT(numel_, 0);
+  return sum() / static_cast<float>(numel_);
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+float Tensor::squared_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::max_abs_diff(const Tensor& other) const {
+  EMBRACE_CHECK(same_shape(other), << shape_str() << " vs " << other.shape_str());
+  float m = 0.0f;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace embrace

@@ -1,0 +1,89 @@
+// Dense float32 tensor, row-major, owning its storage.
+//
+// This is the dense substrate under the NN library and the comm runtime.
+// Scope is deliberate: float32 only (what the paper trains with), contiguous
+// row-major storage, explicit shapes. No views/striding — the sparse path
+// (SparseRows) is where the paper's interesting behaviour lives.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace embrace {
+
+class Rng;
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int64_t> shape);
+  Tensor(std::vector<int64_t> shape, std::vector<float> data);
+
+  static Tensor zeros(std::vector<int64_t> shape);
+  static Tensor full(std::vector<int64_t> shape, float value);
+  // i.i.d. N(0, stddev^2) entries; deterministic given the Rng.
+  static Tensor randn(std::vector<int64_t> shape, Rng& rng,
+                      float stddev = 1.0f);
+  // Uniform in [lo, hi).
+  static Tensor rand_uniform(std::vector<int64_t> shape, Rng& rng, float lo,
+                             float hi);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t size(int64_t axis) const;
+  int64_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
+  // Size of the payload in bytes (what a dense transport must move).
+  int64_t byte_size() const { return numel_ * static_cast<int64_t>(sizeof(float)); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  // Element access for tests and small kernels.
+  float& at(std::initializer_list<int64_t> idx);
+  float at(std::initializer_list<int64_t> idx) const;
+  float& operator[](int64_t flat_idx) { return data_[static_cast<size_t>(flat_idx)]; }
+  float operator[](int64_t flat_idx) const { return data_[static_cast<size_t>(flat_idx)]; }
+
+  // Row view for 2-D tensors (rows × cols).
+  std::span<float> row(int64_t r);
+  std::span<const float> row(int64_t r) const;
+  int64_t rows() const { return size(0); }
+  int64_t cols() const { return size(1); }
+
+  // In-place arithmetic (shapes must match exactly for the binary ops).
+  Tensor& fill_(float value);
+  Tensor& add_(const Tensor& other);
+  Tensor& add_scaled_(const Tensor& other, float alpha);  // this += alpha*other
+  Tensor& sub_(const Tensor& other);
+  Tensor& mul_(const Tensor& other);  // elementwise
+  Tensor& scale_(float alpha);
+
+  // Returns a tensor with the same data and a new compatible shape.
+  Tensor reshaped(std::vector<int64_t> new_shape) const;
+
+  // Reductions.
+  float sum() const;
+  float mean() const;
+  float abs_max() const;
+  // Squared L2 norm (used by grad-clipping and test tolerances).
+  float squared_norm() const;
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+  // Max elementwise absolute difference; shapes must match.
+  float max_abs_diff(const Tensor& other) const;
+
+  std::string shape_str() const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+  int64_t numel_ = 0;
+};
+
+}  // namespace embrace

@@ -1,0 +1,119 @@
+// Tests for the checkpoint TensorStore: round trips, corruption handling,
+// and resuming a model exactly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "nn/checkpoint.h"
+#include "nn/heads.h"
+#include "nn/optim.h"
+
+namespace embrace::nn {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Checkpoint, PutGetContains) {
+  TensorStore s;
+  s.put("a", Tensor({2}, {1, 2}));
+  EXPECT_TRUE(s.contains("a"));
+  EXPECT_FALSE(s.contains("b"));
+  EXPECT_EQ(s.get("a")[1], 2.0f);
+  EXPECT_THROW(s.get("b"), Error);
+  EXPECT_THROW(s.put("", Tensor({1})), Error);
+  // Overwrite replaces.
+  s.put("a", Tensor({1}, {9}));
+  EXPECT_EQ(s.get("a").numel(), 1);
+}
+
+TEST(Checkpoint, SerializeRoundTrip) {
+  Rng rng(3);
+  TensorStore s;
+  s.put("weights", Tensor::randn({4, 5}, rng));
+  s.put("bias", Tensor::randn({5}, rng));
+  s.put("scalar-ish", Tensor({1}, {3.25f}));
+  s.put("empty", Tensor({0, 7}));
+  const auto buf = s.serialize();
+  TensorStore back = TensorStore::deserialize(buf);
+  ASSERT_EQ(back.size(), 4u);
+  EXPECT_LT(back.get("weights").max_abs_diff(s.get("weights")), 0.0f + 1e-9f);
+  EXPECT_EQ(back.get("empty").shape(), (std::vector<int64_t>{0, 7}));
+  EXPECT_FLOAT_EQ(back.get("scalar-ish")[0], 3.25f);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  Rng rng(5);
+  TensorStore s;
+  s.put("t", Tensor::randn({3, 3}, rng));
+  const std::string path = temp_path("embrace_ckpt_test.bin");
+  s.save(path);
+  TensorStore back = TensorStore::load(path);
+  EXPECT_LT(back.get("t").max_abs_diff(s.get("t")), 1e-9f);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsCorruptData) {
+  TensorStore s;
+  s.put("x", Tensor({2}, {1, 2}));
+  auto buf = s.serialize();
+  // Truncated.
+  EXPECT_THROW(TensorStore::deserialize(buf.data(), buf.size() - 1), Error);
+  // Bad magic.
+  auto bad = buf;
+  bad[0] = std::byte{0x00};
+  EXPECT_THROW(TensorStore::deserialize(bad), Error);
+  // Trailing garbage.
+  auto extra = buf;
+  extra.push_back(std::byte{0x42});
+  EXPECT_THROW(TensorStore::deserialize(extra), Error);
+}
+
+TEST(Checkpoint, RejectsMissingFile) {
+  EXPECT_THROW(TensorStore::load("/nonexistent/embrace.ckpt"), Error);
+}
+
+TEST(Checkpoint, ResumesModelExactly) {
+  // Train a head for 10 steps, checkpoint, train 10 more; versus restoring
+  // the checkpoint into a fresh head and training the same 10 — identical.
+  Rng rng(7);
+  auto make = [&](uint64_t seed) {
+    Rng r(seed);
+    return make_head(HeadKind::kPoolMlp, 6, 8, 5, r);
+  };
+  auto train = [](DenseHead& head, int steps, uint64_t data_seed) {
+    Rng r(data_seed);
+    Adam opt(head.parameters(), 0.05f);
+    float last = 0;
+    for (int s = 0; s < steps; ++s) {
+      Tensor emb = Tensor::randn({8, 6}, r);
+      Tensor d;
+      last = head.forward_backward(emb, 2, 4, {1, 3}, &d);
+      opt.step();
+    }
+    return last;
+  };
+
+  auto head_a = make(11);
+  (void)train(*head_a, 10, 100);
+  // Snapshot parameters.
+  TensorStore ckpt;
+  for (Parameter* p : head_a->parameters()) ckpt.put(p->name, p->value);
+  const auto buf = ckpt.serialize();
+  const float direct = train(*head_a, 10, 200);
+
+  auto head_b = make(11);
+  TensorStore restored = TensorStore::deserialize(buf);
+  for (Parameter* p : head_b->parameters()) {
+    p->value = restored.get(p->name);
+  }
+  const float resumed = train(*head_b, 10, 200);
+  EXPECT_FLOAT_EQ(direct, resumed);
+}
+
+}  // namespace
+}  // namespace embrace::nn

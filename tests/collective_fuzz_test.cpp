@@ -1,0 +1,179 @@
+// Randomized property tests (fuzz-style) for the collective runtime:
+// random rank counts, payload sizes (including empty), and values, all
+// checked against sequential oracles; plus a mixed-collective soak run
+// that exercises tag discipline across many operations, and jittered
+// variants that perturb thread timing.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "comm/cluster.h"
+#include "comm/sparse_collectives.h"
+#include "common/rng.h"
+
+namespace embrace::comm {
+namespace {
+
+class CollectiveFuzz : public ::testing::TestWithParam<int> {
+ protected:
+  uint64_t seed() const { return static_cast<uint64_t>(GetParam()) * 7919 + 3; }
+};
+
+TEST_P(CollectiveFuzz, AllReduceRandomShapes) {
+  Rng rng(seed());
+  const int ranks = static_cast<int>(rng.next_int(1, 6));
+  const int64_t len = rng.next_int(0, 300);
+  std::vector<std::vector<float>> inputs(static_cast<size_t>(ranks));
+  std::vector<float> expected(static_cast<size_t>(len), 0.0f);
+  for (auto& v : inputs) {
+    v.resize(static_cast<size_t>(len));
+    for (size_t i = 0; i < v.size(); ++i) {
+      v[i] = static_cast<float>(rng.next_int(-100, 100));
+      expected[i] += v[i];
+    }
+  }
+  run_cluster(ranks, [&](Communicator& comm) {
+    auto data = inputs[static_cast<size_t>(comm.rank())];
+    comm.allreduce(data);
+    for (size_t i = 0; i < data.size(); ++i) {
+      ASSERT_FLOAT_EQ(data[i], expected[i]);
+    }
+  });
+}
+
+TEST_P(CollectiveFuzz, AllgathervRandomPayloads) {
+  Rng rng(seed() + 1);
+  const int ranks = static_cast<int>(rng.next_int(1, 6));
+  std::vector<Bytes> payloads(static_cast<size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    const int64_t sz = rng.next_int(0, 500);
+    payloads[static_cast<size_t>(r)] =
+        Bytes(static_cast<size_t>(sz), static_cast<std::byte>(r + 1));
+  }
+  run_cluster(ranks, [&](Communicator& comm) {
+    auto all = comm.allgatherv(payloads[static_cast<size_t>(comm.rank())]);
+    ASSERT_EQ(static_cast<int>(all.size()), ranks);
+    for (int r = 0; r < ranks; ++r) {
+      ASSERT_EQ(all[r], payloads[static_cast<size_t>(r)]);
+    }
+  });
+}
+
+TEST_P(CollectiveFuzz, AlltoAllvRandomMatrix) {
+  Rng rng(seed() + 2);
+  const int ranks = static_cast<int>(rng.next_int(1, 5));
+  // payload[src][dst]
+  std::vector<std::vector<Bytes>> matrix(static_cast<size_t>(ranks));
+  for (int src = 0; src < ranks; ++src) {
+    matrix[static_cast<size_t>(src)].resize(static_cast<size_t>(ranks));
+    for (int dst = 0; dst < ranks; ++dst) {
+      const int64_t sz = rng.next_int(0, 200);
+      Bytes b(static_cast<size_t>(sz));
+      for (auto& x : b) {
+        x = static_cast<std::byte>(rng.next_below(256));
+      }
+      matrix[static_cast<size_t>(src)][static_cast<size_t>(dst)] = b;
+    }
+  }
+  run_cluster(ranks, [&](Communicator& comm) {
+    auto send = matrix[static_cast<size_t>(comm.rank())];
+    auto recv = comm.alltoallv(std::move(send));
+    for (int src = 0; src < ranks; ++src) {
+      ASSERT_EQ(recv[static_cast<size_t>(src)],
+                matrix[static_cast<size_t>(src)]
+                      [static_cast<size_t>(comm.rank())]);
+    }
+  });
+}
+
+TEST_P(CollectiveFuzz, SparseAllgatherRandomGradients) {
+  Rng rng(seed() + 3);
+  const int ranks = static_cast<int>(rng.next_int(1, 5));
+  const int64_t vocab = rng.next_int(5, 60);
+  const int64_t dim = rng.next_int(1, 8);
+  std::vector<SparseRows> grads;
+  Tensor oracle({vocab, dim});
+  for (int r = 0; r < ranks; ++r) {
+    const int64_t nnz = rng.next_int(0, 20);
+    std::vector<int64_t> ids;
+    for (int64_t i = 0; i < nnz; ++i) ids.push_back(rng.next_int(0, vocab - 1));
+    Rng vr = rng.split(static_cast<uint64_t>(r) + 17);
+    SparseRows g(vocab, ids, Tensor::randn({nnz, dim}, vr));
+    g.add_to_dense(oracle);
+    grads.push_back(std::move(g));
+  }
+  run_cluster(ranks, [&](Communicator& comm) {
+    SparseRows sum =
+        sparse_allgather(comm, grads[static_cast<size_t>(comm.rank())]);
+    ASSERT_LT(sum.to_dense().max_abs_diff(oracle), 1e-4f);
+  });
+}
+
+TEST_P(CollectiveFuzz, MixedCollectiveSoakKeepsTagDiscipline) {
+  // A random program of collectives executed identically on all ranks;
+  // every operation's result is checked against its oracle.
+  Rng program_rng(seed() + 4);
+  const int ranks = static_cast<int>(program_rng.next_int(2, 5));
+  constexpr int kOps = 25;
+  std::vector<int> program;
+  for (int i = 0; i < kOps; ++i) {
+    program.push_back(static_cast<int>(program_rng.next_int(0, 3)));
+  }
+  run_cluster(ranks, [&](Communicator& comm) {
+    for (int i = 0; i < kOps; ++i) {
+      const float fi = static_cast<float>(i);
+      switch (program[static_cast<size_t>(i)]) {
+        case 0: {
+          std::vector<float> v(7, fi + comm.rank());
+          comm.allreduce(v);
+          const float rank_sum =
+              static_cast<float>(ranks * (ranks - 1)) / 2.0f;
+          for (float x : v) ASSERT_FLOAT_EQ(x, fi * ranks + rank_sum);
+          break;
+        }
+        case 1: {
+          std::vector<float> v{fi};
+          comm.broadcast(v, i % ranks);
+          ASSERT_FLOAT_EQ(v[0], fi);
+          break;
+        }
+        case 2: {
+          comm.barrier();
+          break;
+        }
+        case 3: {
+          std::vector<float> block{static_cast<float>(comm.rank()), fi};
+          auto all = comm.allgather(block);
+          for (int r = 0; r < ranks; ++r) {
+            ASSERT_FLOAT_EQ(all[2 * r], static_cast<float>(r));
+            ASSERT_FLOAT_EQ(all[2 * r + 1], fi);
+          }
+          break;
+        }
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveFuzz, AllReduceCorrectUnderJitter) {
+  Rng rng(seed() + 5);
+  const int ranks = static_cast<int>(rng.next_int(2, 4));
+  Fabric fabric(ranks);
+  fabric.set_delivery_jitter(80, seed());
+  run_cluster(fabric, [&](Communicator& comm) {
+    for (int iter = 0; iter < 5; ++iter) {
+      std::vector<float> v(11, static_cast<float>(comm.rank() + iter));
+      comm.allreduce(v);
+      const float expected =
+          static_cast<float>(ranks * (ranks - 1)) / 2.0f +
+          static_cast<float>(iter * ranks);
+      for (float x : v) ASSERT_FLOAT_EQ(x, expected);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollectiveFuzz, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace embrace::comm

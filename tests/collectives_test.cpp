@@ -1,0 +1,351 @@
+// Collective correctness tests, parameterized over rank counts (TEST_P):
+// every collective is checked against a sequential oracle, and the ring
+// AllReduce's wire traffic is checked against the paper's
+// 2(N-1)·(M/N)-per-rank analysis (Table 2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "comm/cluster.h"
+#include "comm/communicator.h"
+#include "comm/fabric.h"
+#include "common/rng.h"
+
+namespace embrace::comm {
+namespace {
+
+class CollectivesP : public ::testing::TestWithParam<int> {
+ protected:
+  int n() const { return GetParam(); }
+};
+
+TEST_P(CollectivesP, BarrierCompletes) {
+  std::atomic<int> before{0}, after{0};
+  run_cluster(n(), [&](Communicator& comm) {
+    before.fetch_add(1);
+    comm.barrier();
+    // After the barrier every rank must observe all arrivals.
+    EXPECT_EQ(before.load(), n());
+    comm.barrier();
+    after.fetch_add(1);
+  });
+  EXPECT_EQ(after.load(), n());
+}
+
+TEST_P(CollectivesP, BroadcastFromEveryRoot) {
+  for (int root = 0; root < n(); ++root) {
+    run_cluster(n(), [&](Communicator& comm) {
+      std::vector<float> data(17, static_cast<float>(comm.rank()));
+      if (comm.rank() == root) {
+        for (size_t i = 0; i < data.size(); ++i) {
+          data[i] = static_cast<float>(100 + i);
+        }
+      }
+      comm.broadcast(data, root);
+      for (size_t i = 0; i < data.size(); ++i) {
+        ASSERT_FLOAT_EQ(data[i], static_cast<float>(100 + i))
+            << "rank " << comm.rank() << " root " << root;
+      }
+    });
+  }
+}
+
+TEST_P(CollectivesP, AllReduceSumMatchesOracle) {
+  constexpr int64_t kLen = 37;  // deliberately not divisible by rank counts
+  std::vector<std::vector<float>> inputs(static_cast<size_t>(n()));
+  Rng rng(5);
+  for (auto& v : inputs) {
+    v.resize(kLen);
+    for (auto& x : v) x = static_cast<float>(rng.next_int(-50, 50));
+  }
+  std::vector<float> expected(kLen, 0.0f);
+  for (const auto& v : inputs) {
+    for (int64_t i = 0; i < kLen; ++i) expected[i] += v[i];
+  }
+  run_cluster(n(), [&](Communicator& comm) {
+    auto data = inputs[static_cast<size_t>(comm.rank())];
+    comm.allreduce(data);
+    for (int64_t i = 0; i < kLen; ++i) {
+      ASSERT_FLOAT_EQ(data[i], expected[i]) << "rank " << comm.rank();
+    }
+  });
+}
+
+TEST_P(CollectivesP, AllReduceMax) {
+  run_cluster(n(), [&](Communicator& comm) {
+    std::vector<float> data{static_cast<float>(comm.rank()),
+                            static_cast<float>(-comm.rank())};
+    comm.allreduce(data, ReduceOp::kMax);
+    EXPECT_FLOAT_EQ(data[0], static_cast<float>(n() - 1));
+    EXPECT_FLOAT_EQ(data[1], 0.0f);
+  });
+}
+
+TEST_P(CollectivesP, AllReduceTinyVector) {
+  // Vector shorter than rank count: some ring chunks are empty.
+  run_cluster(n(), [&](Communicator& comm) {
+    std::vector<float> data{1.0f};
+    comm.allreduce(data);
+    EXPECT_FLOAT_EQ(data[0], static_cast<float>(n()));
+  });
+}
+
+TEST_P(CollectivesP, ReduceScatterReturnsOwnReducedChunk) {
+  constexpr int64_t kLen = 23;
+  run_cluster(n(), [&](Communicator& comm) {
+    std::vector<float> data(kLen);
+    // input[i] = i + rank; reduced chunk value should be N*i + sum(ranks).
+    for (int64_t i = 0; i < kLen; ++i) {
+      data[i] = static_cast<float>(i + comm.rank());
+    }
+    auto chunk = comm.reduce_scatter(data);
+    const auto [b, e] = comm.chunk_range(kLen, comm.rank());
+    ASSERT_EQ(static_cast<int64_t>(chunk.size()), e - b);
+    const float rank_sum = static_cast<float>(n() * (n() - 1)) / 2.0f;
+    for (int64_t i = b; i < e; ++i) {
+      ASSERT_FLOAT_EQ(chunk[i - b],
+                      static_cast<float>(n()) * static_cast<float>(i) + rank_sum);
+    }
+  });
+}
+
+TEST_P(CollectivesP, AllGatherConcatenatesInRankOrder) {
+  constexpr int64_t kBlock = 5;
+  run_cluster(n(), [&](Communicator& comm) {
+    std::vector<float> block(kBlock);
+    for (int64_t i = 0; i < kBlock; ++i) {
+      block[i] = static_cast<float>(comm.rank() * 1000 + i);
+    }
+    auto all = comm.allgather(block);
+    ASSERT_EQ(static_cast<int64_t>(all.size()), kBlock * n());
+    for (int r = 0; r < n(); ++r) {
+      for (int64_t i = 0; i < kBlock; ++i) {
+        ASSERT_FLOAT_EQ(all[r * kBlock + i],
+                        static_cast<float>(r * 1000 + i));
+      }
+    }
+  });
+}
+
+TEST_P(CollectivesP, AllGathervVariableSizes) {
+  run_cluster(n(), [&](Communicator& comm) {
+    // Rank r contributes r+1 bytes of value r.
+    Bytes mine(static_cast<size_t>(comm.rank() + 1),
+               static_cast<std::byte>(comm.rank()));
+    auto all = comm.allgatherv(mine);
+    ASSERT_EQ(static_cast<int>(all.size()), n());
+    for (int r = 0; r < n(); ++r) {
+      ASSERT_EQ(all[r].size(), static_cast<size_t>(r + 1));
+      for (auto b : all[r]) ASSERT_EQ(b, static_cast<std::byte>(r));
+    }
+  });
+}
+
+TEST_P(CollectivesP, AlltoAllTransposesChunks) {
+  constexpr int64_t kChunk = 3;
+  run_cluster(n(), [&](Communicator& comm) {
+    // send[dst*kChunk + j] encodes (me, dst, j).
+    std::vector<float> send(static_cast<size_t>(kChunk) * n());
+    for (int dst = 0; dst < n(); ++dst) {
+      for (int64_t j = 0; j < kChunk; ++j) {
+        send[dst * kChunk + j] =
+            static_cast<float>(comm.rank() * 10000 + dst * 100 + j);
+      }
+    }
+    auto recv = comm.alltoall(send, kChunk);
+    for (int src = 0; src < n(); ++src) {
+      for (int64_t j = 0; j < kChunk; ++j) {
+        ASSERT_FLOAT_EQ(recv[src * kChunk + j],
+                        static_cast<float>(src * 10000 + comm.rank() * 100 + j));
+      }
+    }
+  });
+}
+
+TEST_P(CollectivesP, AlltoAllvVariablePayloads) {
+  run_cluster(n(), [&](Communicator& comm) {
+    std::vector<Bytes> send(static_cast<size_t>(n()));
+    for (int dst = 0; dst < n(); ++dst) {
+      // Size encodes the pair (me, dst) uniquely.
+      send[dst] = Bytes(static_cast<size_t>(comm.rank() * n() + dst + 1),
+                        static_cast<std::byte>(comm.rank()));
+    }
+    auto recv = comm.alltoallv(std::move(send));
+    for (int src = 0; src < n(); ++src) {
+      ASSERT_EQ(recv[src].size(),
+                static_cast<size_t>(src * n() + comm.rank() + 1));
+      for (auto b : recv[src]) ASSERT_EQ(b, static_cast<std::byte>(src));
+    }
+  });
+}
+
+TEST_P(CollectivesP, ChannelsDoNotCrossTalk) {
+  // Two channels driven by concurrent threads per rank must not interfere
+  // (the EmbRace dense/sparse stream split relies on this). Note: as with
+  // real NCCL communicators, each channel's collectives must be issued in
+  // the same order on every rank, but the two channels may make progress
+  // in any interleaving — hence one thread per channel.
+  run_cluster(n(), [&](Communicator& comm) {
+    Communicator dense = comm.channel(1);
+    Communicator sparse = comm.channel(2);
+    std::vector<float> a(11, 1.0f);
+    std::vector<float> b(11, 2.0f);
+    std::thread dense_thread([&] {
+      for (int i = 0; i < 5; ++i) dense.allreduce(a);
+    });
+    std::thread sparse_thread([&] {
+      for (int i = 0; i < 5; ++i) sparse.allreduce(b);
+    });
+    dense_thread.join();
+    sparse_thread.join();
+    const double nn = n();
+    for (float v : a) ASSERT_FLOAT_EQ(v, static_cast<float>(std::pow(nn, 5)));
+    for (float v : b) {
+      ASSERT_FLOAT_EQ(v, static_cast<float>(2.0 * std::pow(nn, 5)));
+    }
+  });
+}
+
+TEST_P(CollectivesP, RepeatedCollectivesKeepTagDiscipline) {
+  run_cluster(n(), [&](Communicator& comm) {
+    for (int iter = 0; iter < 20; ++iter) {
+      std::vector<float> data(7, static_cast<float>(iter));
+      comm.allreduce(data);
+      for (float v : data) {
+        ASSERT_FLOAT_EQ(v, static_cast<float>(iter * n()));
+      }
+    }
+  });
+}
+
+
+TEST_P(CollectivesP, ReduceToEveryRoot) {
+  constexpr int64_t kLen = 9;
+  for (int root = 0; root < n(); ++root) {
+    run_cluster(n(), [&](Communicator& comm) {
+      std::vector<float> data(kLen);
+      for (int64_t i = 0; i < kLen; ++i) {
+        data[i] = static_cast<float>(comm.rank() + i);
+      }
+      comm.reduce(data, root);
+      if (comm.rank() == root) {
+        const float rank_sum = static_cast<float>(n() * (n() - 1)) / 2.0f;
+        for (int64_t i = 0; i < kLen; ++i) {
+          ASSERT_FLOAT_EQ(data[i], rank_sum + static_cast<float>(n()) * i)
+              << "root " << root;
+        }
+      }
+    });
+  }
+}
+
+TEST_P(CollectivesP, ReduceMaxToRoot) {
+  run_cluster(n(), [&](Communicator& comm) {
+    std::vector<float> data{static_cast<float>(comm.rank())};
+    comm.reduce(data, 0, ReduceOp::kMax);
+    if (comm.rank() == 0) {
+      ASSERT_FLOAT_EQ(data[0], static_cast<float>(n() - 1));
+    }
+  });
+}
+
+TEST_P(CollectivesP, ReduceKeepsTagDisciplineAcrossCalls) {
+  // A reduce followed by an allreduce must not cross-talk even though
+  // non-root ranks exit the reduce early.
+  run_cluster(n(), [&](Communicator& comm) {
+    std::vector<float> a{1.0f};
+    comm.reduce(a, n() - 1);
+    std::vector<float> b{2.0f};
+    comm.allreduce(b);
+    ASSERT_FLOAT_EQ(b[0], 2.0f * n());
+  });
+}
+
+TEST_P(CollectivesP, GathervCollectsAtRoot) {
+  run_cluster(n(), [&](Communicator& comm) {
+    Bytes mine(static_cast<size_t>(comm.rank() + 1),
+               static_cast<std::byte>(comm.rank()));
+    auto all = comm.gatherv(mine, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(static_cast<int>(all.size()), n());
+      for (int r = 0; r < n(); ++r) {
+        ASSERT_EQ(all[r].size(), static_cast<size_t>(r + 1));
+      }
+    } else {
+      ASSERT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(CollectivesP, ScattervDistributesFromRoot) {
+  run_cluster(n(), [&](Communicator& comm) {
+    std::vector<Bytes> parts;
+    if (comm.rank() == 1 % n()) {
+      for (int r = 0; r < n(); ++r) {
+        parts.emplace_back(static_cast<size_t>(r + 2),
+                           static_cast<std::byte>(r * 3));
+      }
+    }
+    Bytes mine = comm.scatterv(std::move(parts), 1 % n());
+    ASSERT_EQ(mine.size(), static_cast<size_t>(comm.rank() + 2));
+    for (auto b : mine) ASSERT_EQ(b, static_cast<std::byte>(comm.rank() * 3));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankSweep, CollectivesP,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(CollectivesTraffic, RingAllReduceMatchesAnalyticVolume) {
+  // Table 2: ring AllReduce moves 2(N-1) chunks of M/N floats per rank.
+  constexpr int kN = 4;
+  constexpr int64_t kLen = 1024;  // divisible by kN so chunks are exact
+  Fabric fabric(kN);
+  run_cluster(fabric, [&](Communicator& comm) {
+    std::vector<float> data(kLen, 1.0f);
+    comm.allreduce(data);
+  });
+  const int64_t expected_bytes_per_rank =
+      2 * (kN - 1) * (kLen / kN) * static_cast<int64_t>(sizeof(float));
+  for (int r = 0; r < kN; ++r) {
+    EXPECT_EQ(fabric.traffic_from(r).bytes, expected_bytes_per_rank);
+    EXPECT_EQ(fabric.traffic_from(r).messages, 2 * (kN - 1));
+  }
+}
+
+TEST(CollectivesTraffic, AllGathervMatchesAnalyticVolume) {
+  // Table 2: AllGather ships the full payload to each of N-1 peers.
+  constexpr int kN = 4;
+  constexpr size_t kBytes = 1000;
+  Fabric fabric(kN);
+  run_cluster(fabric, [&](Communicator& comm) {
+    Bytes mine(kBytes);
+    (void)comm.allgatherv(mine);
+  });
+  for (int r = 0; r < kN; ++r) {
+    EXPECT_EQ(fabric.traffic_from(r).bytes,
+              static_cast<int64_t>((kN - 1) * kBytes));
+  }
+}
+
+TEST(CollectivesTraffic, AlltoAllMatchesAnalyticVolume) {
+  // Table 2: AlltoAll exchanges one chunk with each of N-1 peers
+  // (the self-chunk stays local).
+  constexpr int kN = 4;
+  constexpr int64_t kChunk = 250;
+  Fabric fabric(kN);
+  run_cluster(fabric, [&](Communicator& comm) {
+    std::vector<float> send(static_cast<size_t>(kChunk) * kN, 1.0f);
+    (void)comm.alltoall(send, kChunk);
+  });
+  for (int r = 0; r < kN; ++r) {
+    EXPECT_EQ(fabric.traffic_from(r).bytes,
+              static_cast<int64_t>((kN - 1) * kChunk * sizeof(float)));
+    EXPECT_EQ(fabric.traffic_from(r).messages, kN - 1);
+  }
+}
+
+}  // namespace
+}  // namespace embrace::comm

@@ -1,0 +1,220 @@
+// Tests for the analytic collective cost model: Table 2 scaling laws,
+// Figure 4 shape claims, and internal consistency.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "simnet/cost_model.h"
+#include "simnet/model_specs.h"
+
+namespace embrace::simnet {
+namespace {
+
+constexpr double kEmbBytes = 252.5 * 1024 * 1024;  // GNMT-8 embedding (Fig 4)
+
+CollectiveCostModel model_8gpu() {
+  return CollectiveCostModel(make_rtx3090_cluster(8));  // 2 nodes x 4
+}
+
+CollectiveCostModel model_4x1() {
+  return CollectiveCostModel(make_fig4_four_single_gpu_nodes());
+}
+
+TEST(Topology, Presets) {
+  auto c4 = make_rtx3090_cluster(4);
+  EXPECT_EQ(c4.topo.nodes, 1);
+  EXPECT_EQ(c4.topo.gpus_per_node, 4);
+  auto c16 = make_rtx3090_cluster(16);
+  EXPECT_EQ(c16.topo.nodes, 4);
+  EXPECT_EQ(c16.topo.total_gpus(), 16);
+  auto c2080 = make_rtx2080_cluster(8);
+  EXPECT_LT(c2080.compute_speed, 1.0);
+  auto f4 = make_fig4_four_single_gpu_nodes();
+  EXPECT_EQ(f4.topo.nodes, 4);
+  EXPECT_EQ(f4.topo.gpus_per_node, 1);
+  EXPECT_THROW(make_rtx3090_cluster(6), Error);
+  EXPECT_THROW(make_rtx3090_cluster(0), Error);
+}
+
+TEST(CostModel, SingleGpuCostsAreZero) {
+  CollectiveCostModel m(make_rtx3090_cluster(1));
+  EXPECT_DOUBLE_EQ(m.allreduce_dense(kEmbBytes), 0.0);
+  EXPECT_DOUBLE_EQ(m.alltoall_sparse(kEmbBytes, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(m.allgather_sparse(kEmbBytes, 0.5), 0.0);
+}
+
+TEST(CostModel, AllReduceIndependentOfDensity) {
+  auto m = model_8gpu();
+  // Dense AllReduce always moves the full tensor — the paper's core
+  // complaint about treating sparse tensors as dense.
+  EXPECT_DOUBLE_EQ(m.allreduce_dense(kEmbBytes), m.allreduce_dense(kEmbBytes));
+  const double t = m.allreduce_dense(kEmbBytes);
+  EXPECT_GT(t, 0.0);
+}
+
+TEST(CostModel, SparseCostsScaleWithDensity) {
+  auto m = model_8gpu();
+  const double a2a_lo = m.alltoall_sparse(kEmbBytes, 0.1);
+  const double a2a_hi = m.alltoall_sparse(kEmbBytes, 0.8);
+  EXPECT_LT(a2a_lo, a2a_hi);
+  const double ag_lo = m.allgather_sparse(kEmbBytes, 0.1);
+  const double ag_hi = m.allgather_sparse(kEmbBytes, 0.8);
+  EXPECT_LT(ag_lo, ag_hi);
+  const double ps_lo = m.ps_sparse_step(kEmbBytes, 0.1, 2);
+  const double ps_hi = m.ps_sparse_step(kEmbBytes, 0.8, 2);
+  EXPECT_LT(ps_lo, ps_hi);
+}
+
+TEST(CostModel, Table2ScalingLaws) {
+  // With a flat network (same bw everywhere, no NIC sharing effects beyond
+  // the formulas), costs must follow Table 2's N-dependence.
+  ClusterConfig flat = make_fig4_four_single_gpu_nodes();
+  // AllGather transmission grows ~linearly with N at fixed alpha*M.
+  ClusterConfig flat8 = flat;
+  flat8.topo = {8, 1};
+  ClusterConfig flat16 = flat;
+  flat16.topo = {16, 1};
+  CollectiveCostModel m4(flat), m8(flat8), m16(flat16);
+  const double alpha = 0.3;
+  const double ag4 = m4.allgather_sparse(kEmbBytes, alpha);
+  const double ag8 = m8.allgather_sparse(kEmbBytes, alpha);
+  const double ag16 = m16.allgather_sparse(kEmbBytes, alpha);
+  // (N-1) scaling: ratios ~ 7/3 and 15/7.
+  EXPECT_NEAR(ag8 / ag4, 7.0 / 3.0, 0.05);
+  EXPECT_NEAR(ag16 / ag8, 15.0 / 7.0, 0.05);
+
+  // AlltoAll per-pair chunk shrinks with N: (N-1)/N scaling, near-flat.
+  const double a2a4 = m4.alltoall_sparse(kEmbBytes, alpha);
+  const double a2a16 = m16.alltoall_sparse(kEmbBytes, alpha);
+  EXPECT_NEAR(a2a16 / a2a4, (15.0 / 16.0) / (3.0 / 4.0), 0.05);
+
+  // Ring AllReduce also near-flat in N: 2(N-1)M/N.
+  const double ar4 = m4.allreduce_dense(kEmbBytes);
+  const double ar16 = m16.allreduce_dense(kEmbBytes);
+  EXPECT_NEAR(ar16 / ar4, (15.0 / 16.0) / (3.0 / 4.0), 0.05);
+}
+
+TEST(CostModel, Fig4aCrossoverNearFortyPercentSparsity) {
+  // Paper §4.1.2: on 2 nodes x 4 RTX3090, "AlltoAll outperforms other
+  // methods when the sparsity is greater than 40%".
+  auto m = model_8gpu();
+  const double ar = m.allreduce_dense(kEmbBytes);
+  // At sparsity 30% (alpha .7) dense AllReduce should still win...
+  EXPECT_GT(m.alltoall_sparse(kEmbBytes, 0.70), ar);
+  // ...and by sparsity 50% (alpha .5) AlltoAll must win.
+  EXPECT_LT(m.alltoall_sparse(kEmbBytes, 0.50), ar);
+}
+
+TEST(CostModel, Fig4bAlltoAllBestAtAllSparsities) {
+  // Paper: on 4 nodes x 1 GPU "AlltoAll is the best method in all sparsity".
+  auto m = model_4x1();
+  for (double alpha : {1.0, 0.8, 0.6, 0.4, 0.2, 0.05, 0.01}) {
+    const double a2a = m.alltoall_sparse(kEmbBytes, alpha);
+    EXPECT_LT(a2a, m.allreduce_dense(kEmbBytes)) << "alpha " << alpha;
+    EXPECT_LT(a2a, m.allgather_sparse(kEmbBytes, alpha)) << "alpha " << alpha;
+    EXPECT_LT(a2a, m.ps_sparse_step(kEmbBytes, alpha, 4)) << "alpha " << alpha;
+    EXPECT_LT(a2a, m.omnireduce(kEmbBytes, alpha)) << "alpha " << alpha;
+  }
+}
+
+TEST(CostModel, AllGatherScalesWorstWithGpuCount) {
+  // Paper: "the transmission time of AllGather is approximately linear to
+  // the GPU number N with poor scalability".
+  CollectiveCostModel m8 = model_8gpu();
+  CollectiveCostModel m16(make_rtx3090_cluster(16));
+  const double alpha = 0.1;
+  const double growth_ag = m16.allgather_sparse(kEmbBytes, alpha) /
+                           m8.allgather_sparse(kEmbBytes, alpha);
+  const double growth_a2a = m16.alltoall_sparse(kEmbBytes, alpha) /
+                            m8.alltoall_sparse(kEmbBytes, alpha);
+  EXPECT_GT(growth_ag, 1.5);
+  EXPECT_LT(growth_a2a, growth_ag);
+}
+
+TEST(CostModel, OmniReduceRequiresSingleGpuNodes) {
+  auto m = model_8gpu();
+  EXPECT_FALSE(m.supports_omnireduce());
+  EXPECT_THROW(m.omnireduce(kEmbBytes, 0.5), Error);
+  auto f = model_4x1();
+  EXPECT_TRUE(f.supports_omnireduce());
+  EXPECT_GT(f.omnireduce(kEmbBytes, 0.5), 0.0);
+}
+
+TEST(CostModel, OmniReduceImprovesWithSparsityButPaysFragmentation) {
+  auto m = model_4x1();
+  // Improves with sparsity...
+  EXPECT_LT(m.omnireduce(kEmbBytes, 0.2), m.omnireduce(kEmbBytes, 0.8));
+  // ...but at full density it is worse than plain ring AllReduce because of
+  // per-block message overhead (paper: "insufficient bandwidth usage with
+  // excessive divided messages").
+  EXPECT_GT(m.omnireduce(kEmbBytes, 1.0), m.allreduce_dense(kEmbBytes));
+}
+
+TEST(CostModel, SparseOverheadIncreasesPayload) {
+  auto m = model_8gpu();
+  EXPECT_GT(m.alltoall_sparse(kEmbBytes, 0.5, 1.2),
+            m.alltoall_sparse(kEmbBytes, 0.5, 1.0));
+}
+
+TEST(CostModel, PsServerCountBounds) {
+  auto m = model_8gpu();  // 2 nodes
+  EXPECT_NO_THROW(m.ps_sparse_step(kEmbBytes, 0.5, 2));
+  EXPECT_THROW(m.ps_sparse_step(kEmbBytes, 0.5, 3), Error);  // S <= nodes
+  EXPECT_THROW(m.ps_sparse_step(kEmbBytes, 0.5, 0), Error);
+  // More servers shard the load: cheaper.
+  EXPECT_LT(m.ps_sparse_step(kEmbBytes, 0.5, 2),
+            m.ps_sparse_step(kEmbBytes, 0.5, 1));
+}
+
+TEST(CostModel, P2pLatencyAndBandwidth) {
+  auto m = model_8gpu();
+  const double small = m.p2p(1.0, true);
+  EXPECT_NEAR(small, m.cluster().net.latency, 1e-6);
+  EXPECT_GT(m.p2p(1e9, false), m.p2p(1e9, true) * 0.5);  // both finite
+  EXPECT_GT(m.p2p(2e9, false), m.p2p(1e9, false));
+}
+
+TEST(ModelSpecs, Table1SizesMatchPaper) {
+  auto specs = all_model_specs();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].name, "LM");
+  EXPECT_NEAR(specs[0].model_mb, 3186.5, 1e-9);
+  EXPECT_NEAR(specs[0].embedding_mb, 3099.5, 1e-9);
+  EXPECT_NEAR(specs[0].embedding_ratio(), 0.9727, 5e-4);
+  EXPECT_NEAR(specs[1].embedding_ratio(), 0.3416, 5e-4);
+  EXPECT_NEAR(specs[2].embedding_ratio(), 0.2467, 5e-4);
+  EXPECT_NEAR(specs[3].embedding_ratio(), 0.2142, 5e-4);
+}
+
+TEST(ModelSpecs, Table3RatiosMatchPaper) {
+  // Paper: coalescing reduces grads by 20.4% / 53.1% / 52.9% / 84.7%;
+  // prioritization drops another 61.8% / 52.5% / 46.3% / 41.9%.
+  auto specs = all_model_specs();
+  EXPECT_NEAR(1.0 - specs[0].coalesce_ratio(), 0.204, 0.01);
+  EXPECT_NEAR(1.0 - specs[1].coalesce_ratio(), 0.531, 0.01);
+  EXPECT_NEAR(1.0 - specs[2].coalesce_ratio(), 0.529, 0.01);
+  EXPECT_NEAR(1.0 - specs[3].coalesce_ratio(), 0.847, 0.01);
+  EXPECT_NEAR(1.0 - specs[0].prior_ratio(), 0.618, 0.01);
+  EXPECT_NEAR(1.0 - specs[1].prior_ratio(), 0.525, 0.01);
+  EXPECT_NEAR(1.0 - specs[2].prior_ratio(), 0.463, 0.01);
+  EXPECT_NEAR(1.0 - specs[3].prior_ratio(), 0.419, 0.01);
+}
+
+TEST(ModelSpecs, GradDensityConsistentWithTable3) {
+  // alpha * embedding_mb must equal the original grad size (Table 3).
+  for (const auto& spec : all_model_specs()) {
+    EXPECT_NEAR(spec.rtx3090.grad_density * spec.embedding_mb,
+                spec.original_grad_mb, 0.1)
+        << spec.name;
+  }
+}
+
+TEST(ModelSpecs, SparseOverheadSmallForWideEmbeddings) {
+  for (const auto& spec : all_model_specs()) {
+    EXPECT_GT(spec.sparse_overhead(), 1.0);
+    EXPECT_LT(spec.sparse_overhead(), 1.01) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace embrace::simnet

@@ -1,0 +1,180 @@
+// Tests for the synthetic data substrate: corpus statistics, batching,
+// padding, gradient-size stats (Table 3 machinery), and the prefetching
+// loader contract that Algorithm 1 relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+#include "data/batch.h"
+#include "data/corpus.h"
+#include "data/loader.h"
+#include "data/model_workloads.h"
+
+namespace embrace::data {
+namespace {
+
+TEST(Corpus, SentencesRespectConfig) {
+  CorpusConfig cfg;
+  cfg.vocab_size = 100;
+  cfg.min_sentence_len = 3;
+  cfg.max_sentence_len = 7;
+  SyntheticCorpus corpus(cfg);
+  for (int i = 0; i < 200; ++i) {
+    auto s = corpus.next_sentence();
+    EXPECT_GE(s.size(), 3u);
+    EXPECT_LE(s.size(), 7u);
+    for (int64_t tok : s) {
+      EXPECT_GE(tok, 1);  // pad token never sampled
+      EXPECT_LT(tok, 100);
+    }
+  }
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  CorpusConfig cfg;
+  cfg.seed = 42;
+  SyntheticCorpus a(cfg), b(cfg);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.next_sentence(), b.next_sentence());
+}
+
+TEST(Corpus, SkewConcentratesTokens) {
+  CorpusConfig low, high;
+  low.vocab_size = high.vocab_size = 50000;
+  low.zipf_skew = 0.8;
+  high.zipf_skew = 1.4;
+  SyntheticCorpus cl(low), ch(high);
+  auto distinct_frac = [](SyntheticCorpus& c) {
+    std::set<int64_t> seen;
+    int total = 0;
+    for (int i = 0; i < 100; ++i) {
+      for (int64_t t : c.next_sentence()) {
+        seen.insert(t);
+        ++total;
+      }
+    }
+    return static_cast<double>(seen.size()) / total;
+  };
+  EXPECT_GT(distinct_frac(cl), distinct_frac(ch));
+}
+
+TEST(Corpus, RejectsBadConfig) {
+  CorpusConfig cfg;
+  cfg.vocab_size = 1;
+  EXPECT_THROW(SyntheticCorpus{cfg}, Error);
+  cfg.vocab_size = 100;
+  cfg.min_sentence_len = 9;
+  cfg.max_sentence_len = 3;
+  EXPECT_THROW(SyntheticCorpus{cfg}, Error);
+}
+
+TEST(Batch, PaddingMakesRectangular) {
+  Batch b = make_padded_batch({{1, 2, 3}, {4}, {5, 6}});
+  EXPECT_EQ(b.batch_size(), 3);
+  EXPECT_EQ(b.seq_len(), 3);
+  EXPECT_EQ(b.rows[1], (std::vector<int64_t>{4, kPadToken, kPadToken}));
+  EXPECT_EQ(b.total_tokens(), 9);
+  EXPECT_EQ(b.non_pad_tokens(), 6);
+}
+
+TEST(Batch, FlatAndUniqueTokens) {
+  Batch b = make_padded_batch({{5, 5, 7}, {7}});
+  EXPECT_EQ(b.flat_tokens(), (std::vector<int64_t>{5, 5, 7, 7, 0, 0}));
+  EXPECT_EQ(b.unique_tokens(), (std::vector<int64_t>{0, 5, 7}));
+}
+
+TEST(Batch, RejectsEmpty) {
+  EXPECT_THROW(make_padded_batch({}), Error);
+}
+
+TEST(GradStats, KnownSmallExample) {
+  // current: tokens {1,1,2,0}; unique {0,1,2}; next unique {2,3}.
+  Batch cur = make_padded_batch({{1, 1}, {2}});
+  Batch nxt = make_padded_batch({{2, 3}});
+  auto stats = grad_size_stats(cur, nxt, /*embedding_dim=*/10);
+  const int64_t row = 8 + 40;
+  EXPECT_EQ(stats.original, 4 * row);
+  EXPECT_EQ(stats.coalesced, 3 * row);   // {0, 1, 2}
+  EXPECT_EQ(stats.prioritized, 1 * row); // {2}
+}
+
+TEST(GradStats, OrderingInvariant) {
+  // original >= coalesced >= prioritized for any batches.
+  CorpusConfig cfg;
+  cfg.vocab_size = 2000;
+  SyntheticCorpus corpus(cfg);
+  for (int i = 0; i < 20; ++i) {
+    Batch a = make_padded_batch(corpus.next_sentences(8));
+    Batch b = make_padded_batch(corpus.next_sentences(8));
+    auto stats = grad_size_stats(a, b, 16);
+    EXPECT_GE(stats.original, stats.coalesced);
+    EXPECT_GE(stats.coalesced, stats.prioritized);
+    EXPECT_GE(stats.prioritized, 0);
+  }
+}
+
+TEST(Loader, PrefetchContract) {
+  int counter = 0;
+  PrefetchingLoader loader([&] {
+    ++counter;
+    return make_padded_batch({{counter}});
+  });
+  // Construction prefetches current + next.
+  EXPECT_EQ(counter, 2);
+  EXPECT_EQ(loader.current().rows[0][0], 1);
+  EXPECT_EQ(loader.next().rows[0][0], 2);
+  loader.advance();
+  EXPECT_EQ(loader.current().rows[0][0], 2);
+  EXPECT_EQ(loader.next().rows[0][0], 3);
+  EXPECT_EQ(loader.steps_taken(), 1);
+}
+
+TEST(Loader, CorpusLoaderShardsAreDistinctPerWorker) {
+  CorpusConfig cfg;
+  cfg.vocab_size = 50000;
+  auto l0 = make_corpus_loader(cfg, 0, 4);
+  auto l1 = make_corpus_loader(cfg, 1, 4);
+  EXPECT_NE(l0.current().flat_tokens(), l1.current().flat_tokens());
+  // And deterministic per rank.
+  auto l0b = make_corpus_loader(cfg, 0, 4);
+  EXPECT_EQ(l0.current().flat_tokens(), l0b.current().flat_tokens());
+}
+
+TEST(Workloads, AllFourModelsPresent) {
+  auto all = all_model_workloads();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_NO_THROW(workload_for_model("LM"));
+  EXPECT_NO_THROW(workload_for_model("GNMT-8"));
+  EXPECT_NO_THROW(workload_for_model("Transformer"));
+  EXPECT_NO_THROW(workload_for_model("BERT-base"));
+  EXPECT_THROW(workload_for_model("GPT-17"), Error);
+}
+
+// Property sweep: the prior/delayed machinery of Algorithm 1 applied to
+// real loader batches — prior tokens always appear in the next batch.
+class LoaderOverlapP : public ::testing::TestWithParam<int> {};
+
+TEST_P(LoaderOverlapP, PriorTokensSubsetOfNextBatch) {
+  CorpusConfig cfg;
+  cfg.vocab_size = 5000;
+  cfg.seed = static_cast<uint64_t>(GetParam());
+  auto loader = make_corpus_loader(cfg, 0, 8);
+  for (int step = 0; step < 5; ++step) {
+    const auto cur = loader.current().unique_tokens();
+    const auto nxt = loader.next().unique_tokens();
+    auto stats = grad_size_stats(loader.current(), loader.next(), 4);
+    // prioritized counts exactly |cur ∩ nxt| rows.
+    int64_t overlap = 0;
+    for (int64_t t : cur) {
+      overlap += std::binary_search(nxt.begin(), nxt.end(), t) ? 1 : 0;
+    }
+    EXPECT_EQ(stats.prioritized, overlap * (8 + 16));
+    loader.advance();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoaderOverlapP, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace embrace::data

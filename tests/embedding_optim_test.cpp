@@ -1,0 +1,267 @@
+// Tests for the Embedding module and the sparse/dense optimizers, including
+// the paper's §5.7 claim: with the modified Adam, applying a coalesced
+// gradient as two disjoint parts (prior + delayed) is EXACTLY equivalent to
+// one-shot application — while the naive two-call Adam drifts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "nn/embedding.h"
+#include "nn/optim.h"
+#include "tensor/index_ops.h"
+
+namespace embrace::nn {
+namespace {
+
+TEST(Embedding, ForwardGathersRows) {
+  Rng rng(1);
+  Embedding emb(5, 3, rng);
+  const auto ids = std::vector<int64_t>{2, 0, 2};
+  Tensor out = emb.forward(ids);
+  EXPECT_EQ(out.rows(), 3);
+  for (int64_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(out.at({0, c}), emb.table().at({2, c}));
+    EXPECT_EQ(out.at({1, c}), emb.table().at({0, c}));
+    EXPECT_EQ(out.at({2, c}), emb.table().at({2, c}));
+  }
+}
+
+TEST(Embedding, ForwardRejectsBadIds) {
+  Rng rng(2);
+  Embedding emb(5, 3, rng);
+  EXPECT_THROW(emb.forward({5}), Error);
+  EXPECT_THROW(emb.forward({-1}), Error);
+}
+
+TEST(Embedding, SparseGradMatchesDenseGrad) {
+  Rng rng(3);
+  Embedding emb(6, 2, rng);
+  const std::vector<int64_t> ids{1, 4, 1};
+  Tensor gout = Tensor::randn({3, 2}, rng);
+  SparseRows sg = emb.sparse_grad(ids, gout);
+  Tensor dg = emb.dense_grad(ids, gout);
+  EXPECT_LT(sg.to_dense().max_abs_diff(dg), 1e-7f);
+  // Duplicate id 1 must sum in the dense view.
+  EXPECT_FLOAT_EQ(dg.at({1, 0}), gout.at({0, 0}) + gout.at({2, 0}));
+}
+
+TEST(Embedding, GradCheckThroughLookup) {
+  // d(sum(w ⊙ emb.forward(ids)))/d(table[r]) equals the summed w rows of
+  // occurrences of r.
+  Rng rng(4);
+  Embedding emb(4, 2, rng);
+  const std::vector<int64_t> ids{3, 3, 0};
+  Rng wrng(5);
+  Tensor w = Tensor::randn({3, 2}, wrng);
+  SparseRows grad = emb.sparse_grad(ids, w);
+  Tensor dense = grad.to_dense();
+  const float eps = 1e-3f;
+  for (int64_t r = 0; r < 4; ++r) {
+    for (int64_t c = 0; c < 2; ++c) {
+      const float orig = emb.table().at({r, c});
+      auto loss = [&] {
+        Tensor out = emb.forward(ids);
+        float l = 0.0f;
+        for (int64_t i = 0; i < out.numel(); ++i) l += out[i] * w[i];
+        return l;
+      };
+      emb.table().at({r, c}) = orig + eps;
+      const float up = loss();
+      emb.table().at({r, c}) = orig - eps;
+      const float down = loss();
+      emb.table().at({r, c}) = orig;
+      EXPECT_NEAR(dense.at({r, c}), (up - down) / (2 * eps), 1e-2f);
+    }
+  }
+}
+
+// --- dense optimizers ---
+
+TEST(DenseOptim, SgdStep) {
+  Parameter p("p", Tensor::full({2}, 1.0f));
+  p.grad = Tensor({2}, {1.0f, -2.0f});
+  Sgd opt({&p}, 0.5f);
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 0.5f);
+  EXPECT_FLOAT_EQ(p.value[1], 2.0f);
+  // grads zeroed
+  EXPECT_FLOAT_EQ(p.grad[0], 0.0f);
+}
+
+TEST(DenseOptim, AdagradAccumulates) {
+  Parameter p("p", Tensor::full({1}, 0.0f));
+  Adagrad opt({&p}, 1.0f);
+  p.grad = Tensor({1}, {2.0f});
+  opt.step();
+  // First step: -1 * 2/sqrt(4) = -1.
+  EXPECT_NEAR(p.value[0], -1.0f, 1e-5f);
+  p.grad = Tensor({1}, {2.0f});
+  opt.step();
+  // accumulated 8 -> -2/sqrt(8).
+  EXPECT_NEAR(p.value[0], -1.0f - 2.0f / std::sqrt(8.0f), 1e-5f);
+}
+
+TEST(DenseOptim, AdamFirstStepIsLrSizedSignedStep) {
+  // With bias correction, the first Adam step ≈ lr * sign(g).
+  Parameter p("p", Tensor::full({1}, 0.0f));
+  Adam opt({&p}, 0.1f);
+  p.grad = Tensor({1}, {3.0f});
+  opt.step();
+  EXPECT_NEAR(p.value[0], -0.1f, 1e-4f);
+  EXPECT_EQ(opt.steps(), 1);
+}
+
+TEST(DenseOptim, AdamConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 — Adam should land near 3.
+  Parameter p("p", Tensor::full({1}, 0.0f));
+  Adam opt({&p}, 0.2f);
+  for (int i = 0; i < 300; ++i) {
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    opt.step();
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 0.1f);
+}
+
+// --- sparse optimizers ---
+
+SparseRows make_coalesced(int64_t total, std::vector<int64_t> idx,
+                          std::vector<float> vals, int64_t dim) {
+  Tensor v({static_cast<int64_t>(idx.size()), dim}, std::move(vals));
+  return SparseRows(total, std::move(idx), std::move(v));
+}
+
+TEST(SparseOptim, RequireCoalescedGrads) {
+  Rng rng(6);
+  Tensor table = Tensor::randn({4, 2}, rng);
+  SparseSgd opt(0.1f);
+  SparseRows dup = make_coalesced(4, {1, 1}, {1, 1, 2, 2}, 2);
+  EXPECT_THROW(opt.apply(table, dup, SparseStep::kFull), Error);
+}
+
+TEST(SparseOptim, SgdUpdatesOnlyTouchedRows) {
+  Tensor table = Tensor::full({3, 2}, 1.0f);
+  SparseSgd opt(0.5f);
+  opt.apply(table, make_coalesced(3, {2}, {2.0f, 4.0f}, 2),
+            SparseStep::kFull);
+  EXPECT_FLOAT_EQ(table.at({2, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(table.at({2, 1}), -1.0f);
+  EXPECT_FLOAT_EQ(table.at({0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(table.at({1, 1}), 1.0f);
+}
+
+TEST(SparseOptim, AdagradMatchesDenseOnSameSchedule) {
+  // Row-wise Adagrad on sparse grads == dense Adagrad restricted to rows.
+  Rng rng(7);
+  Tensor table = Tensor::randn({3, 2}, rng);
+  Parameter dense_p("p", table);
+  Adagrad dense_opt({&dense_p}, 0.1f);
+  SparseAdagrad sparse_opt(3, 2, 0.1f);
+  for (int step = 0; step < 4; ++step) {
+    Rng gr(static_cast<uint64_t>(step) + 50);
+    Tensor g = Tensor::randn({3, 2}, gr);
+    dense_p.grad.add_(g);
+    dense_opt.step();
+    sparse_opt.apply(table, make_coalesced(3, {0, 1, 2},
+                                           {g[0], g[1], g[2], g[3], g[4], g[5]},
+                                           2),
+                     SparseStep::kFull);
+  }
+  EXPECT_LT(table.max_abs_diff(dense_p.value), 1e-5f);
+}
+
+TEST(SparseOptim, ModifiedAdamSplitEqualsOneShot) {
+  // THE §5.7 equivalence. Same initial state, same per-step coalesced
+  // gradients; one run applies each whole, the other splits into disjoint
+  // prior/delayed parts with the modified step handling.
+  Rng rng(8);
+  Tensor whole_table = Tensor::randn({6, 3}, rng);
+  Tensor split_table = whole_table;
+  SparseAdam whole(6, 3, 0.05f, /*modified=*/true);
+  SparseAdam split(6, 3, 0.05f, /*modified=*/true);
+  Rng grng(9);
+  for (int step = 0; step < 10; ++step) {
+    // Coalesced gradient over 4 rows.
+    std::vector<int64_t> idx{0, 2, 3, 5};
+    Tensor vals = Tensor::randn({4, 3}, grng);
+    SparseRows g(6, idx, vals);
+    whole.apply(whole_table, g, SparseStep::kFull);
+    auto [prior, delayed] = g.split_by_membership({2, 5});
+    split.apply(split_table, prior, SparseStep::kPrior);
+    split.apply(split_table, delayed, SparseStep::kDelayed);
+  }
+  EXPECT_EQ(whole.steps(), split.steps());
+  EXPECT_LT(split_table.max_abs_diff(whole_table), 1e-7f);
+}
+
+TEST(SparseOptim, NaiveAdamSplitDrifts) {
+  // Without the modification the step counter advances twice per training
+  // step, skewing the bias correction — the split run diverges.
+  Rng rng(10);
+  Tensor whole_table = Tensor::randn({6, 3}, rng);
+  Tensor split_table = whole_table;
+  SparseAdam whole(6, 3, 0.05f, /*modified=*/false);
+  SparseAdam naive(6, 3, 0.05f, /*modified=*/false);
+  Rng grng(11);
+  for (int step = 0; step < 10; ++step) {
+    std::vector<int64_t> idx{0, 2, 3, 5};
+    Tensor vals = Tensor::randn({4, 3}, grng);
+    SparseRows g(6, idx, vals);
+    whole.apply(whole_table, g, SparseStep::kFull);
+    auto [prior, delayed] = g.split_by_membership({2, 5});
+    naive.apply(split_table, prior, SparseStep::kPrior);
+    naive.apply(split_table, delayed, SparseStep::kDelayed);
+  }
+  EXPECT_NE(whole.steps(), naive.steps());
+  EXPECT_GT(split_table.max_abs_diff(whole_table), 1e-5f);
+}
+
+TEST(SparseOptim, ModifiedAdamEmptyPartsAreHarmless) {
+  Rng rng(12);
+  Tensor table = Tensor::randn({4, 2}, rng);
+  Tensor ref = table;
+  SparseAdam a(4, 2, 0.1f), b(4, 2, 0.1f);
+  Tensor vals = Tensor::randn({2, 2}, rng);
+  SparseRows g(4, {1, 3}, vals);
+  a.apply(table, g.split_by_membership({1, 3}).first, SparseStep::kPrior);
+  a.apply(table, SparseRows::empty(4, 2), SparseStep::kDelayed);
+  b.apply(ref, g, SparseStep::kFull);
+  EXPECT_LT(table.max_abs_diff(ref), 1e-7f);
+}
+
+// Property sweep: split-equivalence holds for random prior sets and sizes.
+class AdamSplitProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdamSplitProperty, HoldsForRandomSplits) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 7);
+  const int64_t rows = rng.next_int(2, 20);
+  const int64_t dim = rng.next_int(1, 6);
+  Tensor t1 = Tensor::randn({rows, dim}, rng);
+  Tensor t2 = t1;
+  SparseAdam whole(rows, dim, 0.03f), split(rows, dim, 0.03f);
+  for (int step = 0; step < 6; ++step) {
+    std::vector<int64_t> idx_raw;
+    const int64_t nnz = rng.next_int(0, rows);
+    for (int64_t i = 0; i < nnz; ++i) idx_raw.push_back(rng.next_int(0, rows - 1));
+    auto idx = unique_sorted(idx_raw);
+    Rng vr = rng.split(static_cast<uint64_t>(step));
+    Tensor vals = Tensor::randn({static_cast<int64_t>(idx.size()), dim}, vr);
+    SparseRows g(rows, idx, vals);
+    std::vector<int64_t> keep;
+    for (int64_t r = 0; r < rows; ++r) {
+      if (rng.next_bool(0.5)) keep.push_back(r);
+    }
+    whole.apply(t1, g, SparseStep::kFull);
+    auto [prior, delayed] = g.split_by_membership(keep);
+    split.apply(t2, prior, SparseStep::kPrior);
+    split.apply(t2, delayed, SparseStep::kDelayed);
+  }
+  EXPECT_LT(t2.max_abs_diff(t1), 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomizedSweep, AdamSplitProperty,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace embrace::nn

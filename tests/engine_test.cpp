@@ -1,0 +1,183 @@
+// Tests for the discrete-event engine: serial streams, dependencies,
+// FIFO vs priority comm ordering, overlap, stall accounting, cycle
+// detection, and the timeline renderer.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "simnet/engine.h"
+
+namespace embrace::simnet {
+namespace {
+
+SimOp compute(const std::string& name, double dur, std::vector<int> deps = {}) {
+  SimOp op;
+  op.name = name;
+  op.resource = SimResource::kCompute;
+  op.duration = dur;
+  op.deps = std::move(deps);
+  return op;
+}
+
+SimOp comm(const std::string& name, double dur, std::vector<int> deps = {},
+           double priority = 0.0) {
+  SimOp op;
+  op.name = name;
+  op.resource = SimResource::kComm;
+  op.duration = dur;
+  op.deps = std::move(deps);
+  op.priority = priority;
+  return op;
+}
+
+TEST(Engine, SerialComputeOpsRunBackToBack) {
+  std::vector<SimOp> ops{compute("a", 1.0), compute("b", 2.0),
+                         compute("c", 3.0)};
+  auto r = SimEngine::run(ops, CommOrder::kFifo);
+  EXPECT_DOUBLE_EQ(r.makespan, 6.0);
+  EXPECT_DOUBLE_EQ(r.compute_busy, 6.0);
+  EXPECT_DOUBLE_EQ(r.computation_stall(), 0.0);
+  EXPECT_DOUBLE_EQ(r.trace[1].start, 1.0);
+  EXPECT_DOUBLE_EQ(r.trace[2].end, 6.0);
+}
+
+TEST(Engine, ComputeAndCommOverlap) {
+  // Comm has no deps: runs concurrently with compute.
+  std::vector<SimOp> ops{compute("a", 5.0), comm("x", 3.0)};
+  auto r = SimEngine::run(ops, CommOrder::kFifo);
+  EXPECT_DOUBLE_EQ(r.makespan, 5.0);
+  EXPECT_DOUBLE_EQ(r.trace[1].start, 0.0);
+  EXPECT_DOUBLE_EQ(r.comm_busy, 3.0);
+}
+
+TEST(Engine, DependencyDelaysStart) {
+  std::vector<SimOp> ops{compute("a", 2.0), comm("x", 1.0, {0}),
+                         compute("b", 1.0, {1})};
+  auto r = SimEngine::run(ops, CommOrder::kFifo);
+  EXPECT_DOUBLE_EQ(r.trace[1].start, 2.0);
+  EXPECT_DOUBLE_EQ(r.trace[2].start, 3.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 4.0);
+  // Compute stalled waiting for comm: 4 - 3 useful compute.
+  EXPECT_DOUBLE_EQ(r.computation_stall(), 1.0);
+}
+
+TEST(Engine, FifoRunsCommInReadyOrder) {
+  // Two comm ops ready at t=0; FIFO keeps list order even though the
+  // second has better priority.
+  std::vector<SimOp> ops{comm("low", 2.0, {}, /*priority=*/10.0),
+                         comm("high", 1.0, {}, /*priority=*/0.0)};
+  auto r = SimEngine::run(ops, CommOrder::kFifo);
+  EXPECT_DOUBLE_EQ(r.trace[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(r.trace[1].start, 2.0);
+}
+
+TEST(Engine, PriorityReordersReadyComm) {
+  std::vector<SimOp> ops{comm("low", 2.0, {}, 10.0),
+                         comm("high", 1.0, {}, 0.0)};
+  auto r = SimEngine::run(ops, CommOrder::kPriority);
+  EXPECT_DOUBLE_EQ(r.trace[1].start, 0.0);  // high priority first
+  EXPECT_DOUBLE_EQ(r.trace[0].start, 1.0);
+}
+
+TEST(Engine, PriorityIsNotPreemptive) {
+  // A running low-priority transfer is never preempted (paper's scheduler
+  // is a priority queue, not PACE's preemptive queue).
+  std::vector<SimOp> ops{
+      comm("low", 10.0, {}, 10.0),
+      compute("a", 1.0),
+      comm("high", 1.0, {1}, 0.0),  // becomes ready at t=1
+  };
+  auto r = SimEngine::run(ops, CommOrder::kPriority);
+  EXPECT_DOUBLE_EQ(r.trace[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(r.trace[2].start, 10.0);
+}
+
+TEST(Engine, WorkConservingCommDoesNotIdleForPriority)  {
+  // Comm free at t=0, only the low-priority op is ready; it must run now
+  // rather than waiting for the high-priority one that arrives later.
+  std::vector<SimOp> ops{
+      compute("a", 5.0),
+      comm("high", 1.0, {0}, 0.0),
+      comm("low", 2.0, {}, 10.0),
+  };
+  auto r = SimEngine::run(ops, CommOrder::kPriority);
+  EXPECT_DOUBLE_EQ(r.trace[2].start, 0.0);
+  EXPECT_DOUBLE_EQ(r.trace[1].start, 5.0);
+}
+
+TEST(Engine, InOrderComputeStreamBlocksSuccessors) {
+  // Compute op b depends on comm that finishes late; compute op c has no
+  // deps but must still wait behind b (in-order stream).
+  std::vector<SimOp> ops{
+      comm("x", 4.0),
+      compute("b", 1.0, {0}),
+      compute("c", 1.0),
+  };
+  auto r = SimEngine::run(ops, CommOrder::kFifo);
+  EXPECT_DOUBLE_EQ(r.trace[1].start, 4.0);
+  EXPECT_DOUBLE_EQ(r.trace[2].start, 5.0);
+}
+
+TEST(Engine, OverheadComputeCountsAsStall) {
+  SimOp vss = compute("vss", 2.0);
+  vss.overhead_compute = true;
+  std::vector<SimOp> ops{compute("a", 3.0), vss};
+  auto r = SimEngine::run(ops, CommOrder::kFifo);
+  EXPECT_DOUBLE_EQ(r.makespan, 5.0);
+  EXPECT_DOUBLE_EQ(r.compute_busy, 3.0);
+  EXPECT_DOUBLE_EQ(r.overhead_busy, 2.0);
+  EXPECT_DOUBLE_EQ(r.computation_stall(), 2.0);
+}
+
+TEST(Engine, DetectsDependencyCycle) {
+  std::vector<SimOp> ops{comm("x", 1.0, {1}), comm("y", 1.0, {0})};
+  EXPECT_THROW(SimEngine::run(ops, CommOrder::kFifo), Error);
+}
+
+TEST(Engine, RejectsBadDepIndex) {
+  std::vector<SimOp> ops{comm("x", 1.0, {5})};
+  EXPECT_THROW(SimEngine::run(ops, CommOrder::kFifo), Error);
+}
+
+TEST(Engine, ZeroDurationOpsComplete) {
+  std::vector<SimOp> ops{compute("a", 0.0), comm("x", 0.0, {0}),
+                         compute("b", 1.0, {1})};
+  auto r = SimEngine::run(ops, CommOrder::kFifo);
+  EXPECT_DOUBLE_EQ(r.makespan, 1.0);
+}
+
+TEST(Engine, MakespanAtLeastCriticalPath) {
+  // Diamond: a -> {x, y} -> b; critical path = 1 + max(2,3) + 1.
+  std::vector<SimOp> ops{
+      compute("a", 1.0),
+      comm("x", 2.0, {0}),
+      comm("y", 3.0, {0}),
+      compute("b", 1.0, {1, 2}),
+  };
+  auto r = SimEngine::run(ops, CommOrder::kFifo);
+  // Comm serialized: x then y -> b at 1+2+3 = 6.
+  EXPECT_DOUBLE_EQ(r.makespan, 7.0);
+  EXPECT_GE(r.makespan, 1.0 + 3.0 + 1.0);
+}
+
+TEST(Engine, TimelineRendererPaintsLanes) {
+  std::vector<SimOp> ops{compute("FwdA", 2.0), comm("Xfer", 1.0, {0})};
+  auto r = SimEngine::run(ops, CommOrder::kFifo);
+  const std::string tl = render_timeline(ops, r, 0.5);
+  EXPECT_NE(tl.find("compute |"), std::string::npos);
+  EXPECT_NE(tl.find("comm    |"), std::string::npos);
+  EXPECT_NE(tl.find("FFFF"), std::string::npos);  // 2.0s at 0.5s/char
+  EXPECT_NE(tl.find("XX"), std::string::npos);
+}
+
+TEST(Engine, TimelineRendererClampsWidth) {
+  std::vector<SimOp> ops{compute("a", 100.0)};
+  auto r = SimEngine::run(ops, CommOrder::kFifo);
+  const std::string tl = render_timeline(ops, r, 1e-6, /*max_width=*/40);
+  // Two lanes, each at most 40 chars of body.
+  for (const auto& line : {tl.substr(0, tl.find('\n'))}) {
+    EXPECT_LE(line.size(), 40u + 10u);
+  }
+}
+
+}  // namespace
+}  // namespace embrace::simnet

@@ -1,0 +1,123 @@
+// Tests for the point-to-point fabric: delivery, FIFO ordering per
+// (src, tag), tag isolation, blocking receive, and traffic accounting.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "comm/fabric.h"
+#include "common/error.h"
+
+namespace embrace::comm {
+namespace {
+
+Bytes msg_of(const std::string& s) {
+  Bytes b(s.size());
+  std::memcpy(b.data(), s.data(), s.size());
+  return b;
+}
+
+std::string str_of(const Bytes& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+TEST(Fabric, DeliversMessage) {
+  Fabric f(2);
+  f.send(0, 1, 7, msg_of("hello"));
+  EXPECT_EQ(str_of(f.recv(1, 0, 7)), "hello");
+}
+
+TEST(Fabric, SelfSendWorks) {
+  Fabric f(1);
+  f.send(0, 0, 1, msg_of("loop"));
+  EXPECT_EQ(str_of(f.recv(0, 0, 1)), "loop");
+}
+
+TEST(Fabric, FifoOrderPerSourceAndTag) {
+  Fabric f(2);
+  f.send(0, 1, 3, msg_of("first"));
+  f.send(0, 1, 3, msg_of("second"));
+  EXPECT_EQ(str_of(f.recv(1, 0, 3)), "first");
+  EXPECT_EQ(str_of(f.recv(1, 0, 3)), "second");
+}
+
+TEST(Fabric, TagsIsolateMessages) {
+  Fabric f(2);
+  f.send(0, 1, 1, msg_of("tag1"));
+  f.send(0, 1, 2, msg_of("tag2"));
+  // Receive in opposite tag order.
+  EXPECT_EQ(str_of(f.recv(1, 0, 2)), "tag2");
+  EXPECT_EQ(str_of(f.recv(1, 0, 1)), "tag1");
+}
+
+TEST(Fabric, SourcesIsolateMessages) {
+  Fabric f(3);
+  f.send(0, 2, 5, msg_of("from0"));
+  f.send(1, 2, 5, msg_of("from1"));
+  EXPECT_EQ(str_of(f.recv(2, 1, 5)), "from1");
+  EXPECT_EQ(str_of(f.recv(2, 0, 5)), "from0");
+}
+
+TEST(Fabric, RecvBlocksUntilSend) {
+  Fabric f(2);
+  std::string got;
+  std::thread receiver([&] { got = str_of(f.recv(1, 0, 9)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  f.send(0, 1, 9, msg_of("late"));
+  receiver.join();
+  EXPECT_EQ(got, "late");
+}
+
+TEST(Fabric, RejectsBadRanks) {
+  Fabric f(2);
+  EXPECT_THROW(f.send(2, 0, 0, {}), Error);
+  EXPECT_THROW(f.send(0, -1, 0, {}), Error);
+  EXPECT_THROW(f.recv(0, 5, 0), Error);
+}
+
+TEST(Fabric, RejectsOversizedTag) {
+  Fabric f(2);
+  EXPECT_THROW(f.send(0, 1, uint64_t{1} << 48, {}), Error);
+}
+
+TEST(Fabric, TrafficCountersTrackBytesAndMessages) {
+  Fabric f(3);
+  f.send(0, 1, 0, Bytes(100));
+  f.send(0, 1, 1, Bytes(50));
+  f.send(0, 2, 0, Bytes(25));
+  auto t01 = f.traffic(0, 1);
+  EXPECT_EQ(t01.messages, 2);
+  EXPECT_EQ(t01.bytes, 150);
+  auto from0 = f.traffic_from(0);
+  EXPECT_EQ(from0.messages, 3);
+  EXPECT_EQ(from0.bytes, 175);
+  auto total = f.total_traffic();
+  EXPECT_EQ(total.bytes, 175);
+  f.reset_traffic();
+  EXPECT_EQ(f.total_traffic().bytes, 0);
+}
+
+TEST(Fabric, ConcurrentSendersDoNotLoseMessages) {
+  Fabric f(4);
+  constexpr int kPerSender = 200;
+  std::vector<std::thread> senders;
+  for (int s = 0; s < 3; ++s) {
+    senders.emplace_back([&, s] {
+      for (int i = 0; i < kPerSender; ++i) {
+        f.send(s, 3, 0, Bytes(8));
+      }
+    });
+  }
+  int received = 0;
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < kPerSender; ++i) {
+      (void)f.recv(3, s, 0);
+      ++received;
+    }
+  }
+  for (auto& t : senders) t.join();
+  EXPECT_EQ(received, 3 * kPerSender);
+}
+
+}  // namespace
+}  // namespace embrace::comm

@@ -1,0 +1,114 @@
+// Tests for the dense heads: shapes, loss behaviour, gradient checks
+// through the full head (embedding-output gradient), and trainability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "nn/heads.h"
+#include "nn/optim.h"
+
+namespace embrace::nn {
+namespace {
+
+struct Fixture {
+  int64_t dim = 4, hidden = 6, classes = 5, batch = 3, seq = 4;
+  std::vector<int64_t> targets{1, 4, 0};
+};
+
+std::unique_ptr<DenseHead> build(HeadKind kind, const Fixture& f, Rng& rng) {
+  return make_head(kind, f.dim, f.hidden, f.classes, rng);
+}
+
+class HeadKindP : public ::testing::TestWithParam<int> {
+ protected:
+  HeadKind kind() const { return static_cast<HeadKind>(GetParam()); }
+};
+
+TEST_P(HeadKindP, LossFiniteAndGradShaped) {
+  Fixture f;
+  Rng rng(1);
+  auto head = build(kind(), f, rng);
+  Tensor emb = Tensor::randn({f.batch * f.seq, f.dim}, rng);
+  Tensor d_emb;
+  const float loss =
+      head->forward_backward(emb, f.batch, f.seq, f.targets, &d_emb);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0f);
+  EXPECT_TRUE(d_emb.same_shape(emb));
+  EXPECT_GT(d_emb.abs_max(), 0.0f);
+}
+
+TEST_P(HeadKindP, EmbeddingGradMatchesFiniteDifference) {
+  Fixture f;
+  Rng rng(2);
+  auto head = build(kind(), f, rng);
+  Tensor emb = Tensor::randn({f.batch * f.seq, f.dim}, rng);
+  Tensor d_emb;
+  head->zero_grad();
+  (void)head->forward_backward(emb, f.batch, f.seq, f.targets, &d_emb);
+  const float eps = 1e-2f;
+  Tensor scratch;
+  for (int64_t i = 0; i < emb.numel(); i += 5) {
+    Tensor bumped = emb;
+    bumped[i] += eps;
+    const float up =
+        head->forward_backward(bumped, f.batch, f.seq, f.targets, &scratch);
+    bumped[i] -= 2 * eps;
+    const float down =
+        head->forward_backward(bumped, f.batch, f.seq, f.targets, &scratch);
+    const float fd = (up - down) / (2 * eps);
+    EXPECT_NEAR(d_emb[i], fd, 2e-2f * std::max(1.0f, std::abs(fd)))
+        << "emb grad " << i;
+  }
+}
+
+TEST_P(HeadKindP, TrainsToLowLossOnFixedBatch) {
+  // Overfit a single batch: loss must drop substantially.
+  Fixture f;
+  Rng rng(3);
+  auto head = build(kind(), f, rng);
+  Tensor emb = Tensor::randn({f.batch * f.seq, f.dim}, rng);
+  Adam opt(head->parameters(), 0.02f);
+  Tensor d_emb;
+  const float first =
+      head->forward_backward(emb, f.batch, f.seq, f.targets, &d_emb);
+  opt.step();
+  float last = first;
+  for (int i = 0; i < 200; ++i) {
+    last = head->forward_backward(emb, f.batch, f.seq, f.targets, &d_emb);
+    opt.step();
+  }
+  EXPECT_LT(last, 0.5f * first);
+}
+
+TEST_P(HeadKindP, RejectsShapeMismatch) {
+  Fixture f;
+  Rng rng(4);
+  auto head = build(kind(), f, rng);
+  Tensor emb = Tensor::randn({f.batch * f.seq + 1, f.dim}, rng);
+  Tensor d_emb;
+  EXPECT_THROW(
+      head->forward_backward(emb, f.batch, f.seq, f.targets, &d_emb),
+      Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHeads, HeadKindP,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(Heads, ParameterCountsDifferByKind) {
+  Fixture f;
+  Rng rng(5);
+  auto pool = build(HeadKind::kPoolMlp, f, rng);
+  auto lstm = build(HeadKind::kLstm, f, rng);
+  auto attn = build(HeadKind::kAttention, f, rng);
+  auto xfmr = build(HeadKind::kTransformer, f, rng);
+  EXPECT_EQ(pool->parameters().size(), 4u);   // 2 linears
+  EXPECT_EQ(lstm->parameters().size(), 5u);   // lstm(3) + out(2)
+  EXPECT_EQ(attn->parameters().size(), 8u);   // attn(4) + norm(2) + out(2)
+  EXPECT_EQ(xfmr->parameters().size(), 26u);  // 2 blocks(12 each) + out(2)
+}
+
+}  // namespace
+}  // namespace embrace::nn

@@ -1,0 +1,80 @@
+// Tests for the index-set operations used by Algorithm 1.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/index_ops.h"
+
+namespace embrace {
+namespace {
+
+TEST(IndexOps, UniqueSorted) {
+  EXPECT_EQ(unique_sorted({3, 1, 3, 2, 1}), (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(unique_sorted({}), (std::vector<int64_t>{}));
+  EXPECT_EQ(unique_sorted({5}), (std::vector<int64_t>{5}));
+}
+
+TEST(IndexOps, Intersect) {
+  EXPECT_EQ(intersect_sorted({1, 2, 3}, {2, 3, 4}),
+            (std::vector<int64_t>{2, 3}));
+  EXPECT_EQ(intersect_sorted({1, 2}, {3, 4}), (std::vector<int64_t>{}));
+  EXPECT_EQ(intersect_sorted({}, {1}), (std::vector<int64_t>{}));
+}
+
+TEST(IndexOps, Difference) {
+  EXPECT_EQ(difference_sorted({1, 2, 3}, {2}), (std::vector<int64_t>{1, 3}));
+  EXPECT_EQ(difference_sorted({1, 2}, {1, 2}), (std::vector<int64_t>{}));
+  EXPECT_EQ(difference_sorted({}, {1}), (std::vector<int64_t>{}));
+}
+
+TEST(IndexOps, Union) {
+  EXPECT_EQ(union_sorted({1, 3}, {2, 3}), (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(IndexOps, IsSortedUnique) {
+  EXPECT_TRUE(is_sorted_unique({}));
+  EXPECT_TRUE(is_sorted_unique({1}));
+  EXPECT_TRUE(is_sorted_unique({1, 2, 9}));
+  EXPECT_FALSE(is_sorted_unique({1, 1}));
+  EXPECT_FALSE(is_sorted_unique({2, 1}));
+}
+
+TEST(IndexOps, Flatten) {
+  EXPECT_EQ(flatten({{1, 2}, {}, {3}}), (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(flatten({}), (std::vector<int64_t>{}));
+}
+
+// Property: Algorithm 1's partition identity — for any D_u and D_next,
+// prior = D_u ∩ D_next and delayed = D_u \ prior satisfy
+// prior ∪ delayed = D_u with prior ∩ delayed = ∅.
+class SetPartitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SetPartitionProperty, PriorDelayedPartitionIdentity) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 977 + 13);
+  std::vector<int64_t> du_raw, dn_raw;
+  const int64_t n = rng.next_int(0, 60);
+  const int64_t m = rng.next_int(0, 60);
+  for (int64_t i = 0; i < n; ++i) du_raw.push_back(rng.next_int(0, 30));
+  for (int64_t i = 0; i < m; ++i) dn_raw.push_back(rng.next_int(0, 30));
+  const auto du = unique_sorted(du_raw);
+  const auto dn = unique_sorted(dn_raw);
+
+  const auto prior = intersect_sorted(du, dn);
+  const auto delayed = difference_sorted(du, prior);
+
+  EXPECT_EQ(union_sorted(prior, delayed), du);
+  EXPECT_TRUE(intersect_sorted(prior, delayed).empty());
+  // Every prior element is in the next batch (minimum-dependency claim).
+  for (int64_t p : prior) {
+    EXPECT_TRUE(std::binary_search(dn.begin(), dn.end(), p));
+  }
+  // No delayed element is needed by the next batch.
+  for (int64_t d : delayed) {
+    EXPECT_FALSE(std::binary_search(dn.begin(), dn.end(), d));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomizedSweep, SetPartitionProperty,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace embrace

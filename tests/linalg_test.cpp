@@ -1,0 +1,171 @@
+// Tests for dense linear-algebra kernels, including consistency of the
+// transposed-product kernels with explicit transpose + matmul.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "tensor/linalg.h"
+
+namespace embrace {
+namespace {
+
+TEST(Linalg, MatmulSmallKnown) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at({0, 0}), 58.0f);
+  EXPECT_FLOAT_EQ(c.at({0, 1}), 64.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 0}), 139.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 1}), 154.0f);
+}
+
+TEST(Linalg, MatmulIdentity) {
+  Rng rng(1);
+  Tensor a = Tensor::randn({4, 4}, rng);
+  Tensor eye({4, 4});
+  for (int64_t i = 0; i < 4; ++i) eye.at({i, i}) = 1.0f;
+  EXPECT_LT(matmul(a, eye).max_abs_diff(a), 1e-6f);
+  EXPECT_LT(matmul(eye, a).max_abs_diff(a), 1e-6f);
+}
+
+TEST(Linalg, MatmulRejectsBadShapes) {
+  Tensor a({2, 3});
+  Tensor b({2, 3});
+  EXPECT_THROW(matmul(a, b), Error);
+}
+
+TEST(Linalg, MatmulAccAccumulates) {
+  Tensor a({1, 2}, {1, 1});
+  Tensor b({2, 1}, {2, 3});
+  Tensor out = Tensor::full({1, 1}, 10.0f);
+  matmul_acc(a, b, out);
+  EXPECT_FLOAT_EQ(out[0], 15.0f);
+}
+
+TEST(Linalg, TransposedKernelsMatchExplicitTranspose) {
+  Rng rng(42);
+  Tensor a = Tensor::randn({5, 7}, rng);
+  Tensor b = Tensor::randn({5, 3}, rng);
+  // A^T(7x5) * B(5x3)
+  Tensor via_tn = matmul_tn(a, b);
+  Tensor ref_tn = matmul(transpose(a), b);
+  EXPECT_LT(via_tn.max_abs_diff(ref_tn), 1e-4f);
+
+  Tensor c = Tensor::randn({4, 7}, rng);
+  // A(5x7) * C^T(7x4)
+  Tensor via_nt = matmul_nt(a, c);
+  Tensor ref_nt = matmul(a, transpose(c));
+  EXPECT_LT(via_nt.max_abs_diff(ref_nt), 1e-4f);
+}
+
+TEST(Linalg, TransposeRoundTrip) {
+  Rng rng(3);
+  Tensor a = Tensor::randn({6, 2}, rng);
+  EXPECT_LT(transpose(transpose(a)).max_abs_diff(a), 1e-7f);
+}
+
+TEST(Linalg, SoftmaxRowsSumToOne) {
+  Rng rng(5);
+  Tensor logits = Tensor::randn({8, 16}, rng, 3.0f);
+  Tensor p = softmax_rows(logits);
+  for (int64_t r = 0; r < p.rows(); ++r) {
+    double s = 0.0;
+    for (float v : p.row(r)) {
+      EXPECT_GE(v, 0.0f);
+      s += v;
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Linalg, SoftmaxNumericallyStableForLargeLogits) {
+  Tensor logits({1, 3}, {1000.0f, 1000.0f, 500.0f});
+  Tensor p = softmax_rows(logits);
+  EXPECT_NEAR(p[0], 0.5f, 1e-5f);
+  EXPECT_NEAR(p[1], 0.5f, 1e-5f);
+  EXPECT_NEAR(p[2], 0.0f, 1e-5f);
+}
+
+TEST(Linalg, CrossEntropyKnownValue) {
+  // Uniform logits over 4 classes: loss = log(4).
+  Tensor logits({2, 4});
+  float loss = cross_entropy_with_grad(logits, {0, 3}, nullptr);
+  EXPECT_NEAR(loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(Linalg, CrossEntropyGradMatchesFiniteDifference) {
+  Rng rng(7);
+  Tensor logits = Tensor::randn({3, 5}, rng);
+  const std::vector<int64_t> targets{1, 4, 0};
+  Tensor grad;
+  const float base = cross_entropy_with_grad(logits, targets, &grad);
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor bumped = logits;
+    bumped[i] += eps;
+    const float up = cross_entropy_with_grad(bumped, targets, nullptr);
+    bumped[i] -= 2 * eps;
+    const float down = cross_entropy_with_grad(bumped, targets, nullptr);
+    const float fd = (up - down) / (2 * eps);
+    EXPECT_NEAR(grad[i], fd, 5e-3f) << "logit index " << i;
+    (void)base;
+  }
+}
+
+TEST(Linalg, CrossEntropyRejectsBadTargets) {
+  Tensor logits({1, 3});
+  EXPECT_THROW(cross_entropy_with_grad(logits, {3}, nullptr), Error);
+  EXPECT_THROW(cross_entropy_with_grad(logits, {0, 1}, nullptr), Error);
+}
+
+TEST(Linalg, ElementwiseMaps) {
+  Tensor x({4}, {-1.0f, 0.0f, 0.5f, 2.0f});
+  Tensor t = tanh_map(x);
+  EXPECT_NEAR(t[0], std::tanh(-1.0f), 1e-6f);
+  Tensor r = relu_map(x);
+  EXPECT_EQ(r[0], 0.0f);
+  EXPECT_EQ(r[3], 2.0f);
+  Tensor s = sigmoid_map(x);
+  EXPECT_NEAR(s[1], 0.5f, 1e-6f);
+  EXPECT_GT(s[3], 0.8f);
+}
+
+TEST(Linalg, AddRowBroadcast) {
+  Tensor x({2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor bias({3}, {10, 20, 30});
+  Tensor y = add_row_broadcast(x, bias);
+  EXPECT_FLOAT_EQ(y.at({0, 1}), 20.0f);
+  EXPECT_FLOAT_EQ(y.at({1, 2}), 31.0f);
+}
+
+TEST(Linalg, SumRows) {
+  Tensor x({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor s = sum_rows(x);
+  EXPECT_FLOAT_EQ(s[0], 9.0f);
+  EXPECT_FLOAT_EQ(s[1], 12.0f);
+}
+
+// Property: (A·B)·C == A·(B·C) within fp tolerance for random shapes.
+class MatmulAssociativity : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatmulAssociativity, HoldsForRandomShapes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+  const int64_t m = rng.next_int(1, 12);
+  const int64_t k = rng.next_int(1, 12);
+  const int64_t l = rng.next_int(1, 12);
+  const int64_t n = rng.next_int(1, 12);
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, l}, rng);
+  Tensor c = Tensor::randn({l, n}, rng);
+  Tensor left = matmul(matmul(a, b), c);
+  Tensor right = matmul(a, matmul(b, c));
+  EXPECT_LT(left.max_abs_diff(right), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomizedSweep, MatmulAssociativity,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace embrace

@@ -1,0 +1,161 @@
+// Gradient checks and behaviour tests for the dense NN modules.
+//
+// Scheme: loss(x) = sum(W ⊙ module.forward(x)) with a fixed random weight
+// tensor W. backward(W) then yields dloss/dx and parameter grads, both
+// compared against central finite differences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/error.h"
+#include "nn/module.h"
+
+namespace embrace::nn {
+namespace {
+
+// Computes loss = sum(W ⊙ f(x)).
+float weighted_loss(Module& m, const Tensor& x, const Tensor& w) {
+  Tensor y = m.forward(x);
+  EXPECT_TRUE(y.same_shape(w));
+  float loss = 0.0f;
+  for (int64_t i = 0; i < y.numel(); ++i) loss += y[i] * w[i];
+  return loss;
+}
+
+// Checks dloss/dx and all parameter grads via finite differences.
+void grad_check(Module& m, Tensor x, const std::vector<int64_t>& out_shape,
+                float tol = 2e-2f) {
+  Rng wrng(99);
+  Tensor w = Tensor::randn(out_shape, wrng);
+  m.zero_grad();
+  (void)m.forward(x);
+  Tensor dx = m.backward(w);
+  ASSERT_TRUE(dx.same_shape(x));
+
+  const float eps = 1e-2f;
+  // Input gradient.
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    Tensor xp = x;
+    xp[i] += eps;
+    const float up = weighted_loss(m, xp, w);
+    xp[i] -= 2 * eps;
+    const float down = weighted_loss(m, xp, w);
+    const float fd = (up - down) / (2 * eps);
+    EXPECT_NEAR(dx[i], fd, tol * std::max(1.0f, std::abs(fd)))
+        << "input grad " << i;
+  }
+  // Parameter gradients (recompute analytic grads once more for clean state).
+  m.zero_grad();
+  (void)m.forward(x);
+  (void)m.backward(w);
+  for (Parameter* p : m.parameters()) {
+    for (int64_t i = 0; i < p->numel(); ++i) {
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const float up = weighted_loss(m, x, w);
+      p->value[i] = orig - eps;
+      const float down = weighted_loss(m, x, w);
+      p->value[i] = orig;
+      const float fd = (up - down) / (2 * eps);
+      EXPECT_NEAR(p->grad[i], fd, tol * std::max(1.0f, std::abs(fd)))
+          << p->name << " grad " << i;
+    }
+  }
+}
+
+TEST(Linear, ForwardKnownValues) {
+  Rng rng(1);
+  Linear lin(2, 2, rng);
+  // Overwrite with known weights.
+  lin.parameters()[0]->value = Tensor({2, 2}, {1, 2, 3, 4});
+  lin.parameters()[1]->value = Tensor({2}, {10, 20});
+  Tensor y = lin.forward(Tensor({1, 2}, {1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 1 + 3 + 10);
+  EXPECT_FLOAT_EQ(y[1], 2 + 4 + 20);
+}
+
+TEST(Linear, GradCheck) {
+  Rng rng(2);
+  Linear lin(3, 4, rng);
+  grad_check(lin, Tensor::randn({5, 3}, rng), {5, 4});
+}
+
+TEST(Linear, BackwardBeforeForwardThrows) {
+  Rng rng(3);
+  Linear lin(2, 2, rng);
+  EXPECT_THROW(lin.backward(Tensor({1, 2})), Error);
+}
+
+TEST(Activation, TanhGradCheck) {
+  Rng rng(4);
+  Activation act(ActKind::kTanh);
+  grad_check(act, Tensor::randn({4, 3}, rng), {4, 3});
+}
+
+TEST(Activation, SigmoidGradCheck) {
+  Rng rng(5);
+  Activation act(ActKind::kSigmoid);
+  grad_check(act, Tensor::randn({4, 3}, rng), {4, 3});
+}
+
+TEST(Activation, ReluForwardAndMask) {
+  Activation act(ActKind::kRelu);
+  Tensor y = act.forward(Tensor({1, 4}, {-1, 2, -3, 4}));
+  EXPECT_FLOAT_EQ(y[0], 0);
+  EXPECT_FLOAT_EQ(y[1], 2);
+  Tensor g = act.backward(Tensor({1, 4}, {1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(g[0], 0);
+  EXPECT_FLOAT_EQ(g[1], 1);
+  EXPECT_FLOAT_EQ(g[2], 0);
+  EXPECT_FLOAT_EQ(g[3], 1);
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  Rng rng(6);
+  LayerNorm ln(8, rng);
+  Tensor x = Tensor::randn({3, 8}, rng, 5.0f);
+  Tensor y = ln.forward(x);
+  for (int64_t r = 0; r < 3; ++r) {
+    double mean = 0, var = 0;
+    for (float v : y.row(r)) mean += v;
+    mean /= 8;
+    for (float v : y.row(r)) var += (v - mean) * (v - mean);
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNorm, GradCheck) {
+  Rng rng(7);
+  LayerNorm ln(5, rng);
+  // Move gain/bias off their init so their grads are nontrivial.
+  Rng prng(8);
+  ln.parameters()[0]->value = Tensor::rand_uniform({5}, prng, 0.5f, 1.5f);
+  ln.parameters()[1]->value = Tensor::rand_uniform({5}, prng, -0.5f, 0.5f);
+  grad_check(ln, Tensor::randn({4, 5}, rng), {4, 5}, 3e-2f);
+}
+
+TEST(Sequential, ComposesAndGradChecks) {
+  Rng rng(9);
+  Sequential seq;
+  seq.add(std::make_unique<Linear>(3, 6, rng, "fc1"));
+  seq.add(std::make_unique<Activation>(ActKind::kTanh));
+  seq.add(std::make_unique<Linear>(6, 2, rng, "fc2"));
+  EXPECT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq.parameters().size(), 4u);
+  EXPECT_EQ(seq.param_count(), 3 * 6 + 6 + 6 * 2 + 2);
+  grad_check(seq, Tensor::randn({4, 3}, rng), {4, 2});
+}
+
+TEST(Parameter, ZeroGradResets) {
+  Parameter p("p", Tensor::full({3}, 1.0f));
+  p.grad.fill_(5.0f);
+  p.zero_grad();
+  for (float v : p.grad.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+}  // namespace
+}  // namespace embrace::nn

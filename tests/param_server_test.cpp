@@ -1,0 +1,138 @@
+// Tests for the sharded parameter-server emulation (Parallax/BytePS
+// substrate): synchronous aggregation semantics, sharding, traffic
+// accounting, and equivalence with a single-process SGD oracle.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "comm/param_server.h"
+#include "common/rng.h"
+
+namespace embrace::comm {
+namespace {
+
+TEST(ParamServer, PullAllReturnsInitialParams) {
+  Rng rng(1);
+  Tensor params = Tensor::randn({10, 4}, rng);
+  ShardedParameterServer ps(params, 3, 1, 0.1f);
+  EXPECT_LT(ps.pull_all().max_abs_diff(params), 1e-7f);
+}
+
+TEST(ParamServer, PullRowsGathersAcrossShards) {
+  Tensor params({6, 2}, {0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5});
+  ShardedParameterServer ps(params, 3, 1, 0.1f);
+  Tensor rows = ps.pull_rows({5, 0, 3});
+  EXPECT_FLOAT_EQ(rows.at({0, 0}), 5.0f);
+  EXPECT_FLOAT_EQ(rows.at({1, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(rows.at({2, 0}), 3.0f);
+}
+
+TEST(ParamServer, SingleWorkerSparsePushAppliesSgd) {
+  Tensor params = Tensor::full({4, 2}, 1.0f);
+  ShardedParameterServer ps(params, 2, 1, 0.5f);
+  Tensor grad_vals({1, 2}, {2.0f, 4.0f});
+  SparseRows grad(4, {3}, grad_vals);
+  ps.push_sparse(grad);
+  Tensor after = ps.snapshot();
+  EXPECT_FLOAT_EQ(after.at({3, 0}), 0.0f);   // 1 - 0.5*2
+  EXPECT_FLOAT_EQ(after.at({3, 1}), -1.0f);  // 1 - 0.5*4
+  EXPECT_FLOAT_EQ(after.at({0, 0}), 1.0f);   // untouched rows unchanged
+}
+
+TEST(ParamServer, DensePushAppliesSgd) {
+  Tensor params = Tensor::full({4, 2}, 2.0f);
+  ShardedParameterServer ps(params, 2, 1, 0.25f);
+  Tensor grad = Tensor::full({4, 2}, 4.0f);
+  ps.push_dense(grad);
+  EXPECT_LT(ps.snapshot().max_abs_diff(Tensor::full({4, 2}, 1.0f)), 1e-7f);
+}
+
+TEST(ParamServer, MultiWorkerPushesAggregateSynchronously) {
+  // Two workers each push a gradient; the applied update must be the sum.
+  Tensor params = Tensor::full({6, 2}, 0.0f);
+  ShardedParameterServer ps(params, 3, 2, 1.0f);
+  auto worker = [&](int rank) {
+    Tensor vals({2, 2});
+    vals.fill_(static_cast<float>(rank + 1));
+    SparseRows grad(6, {1, 4}, vals);
+    ps.push_sparse(grad);
+  };
+  std::thread t0(worker, 0), t1(worker, 1);
+  t0.join();
+  t1.join();
+  Tensor after = ps.snapshot();
+  // Update = -(1+2) on rows 1 and 4.
+  EXPECT_FLOAT_EQ(after.at({1, 0}), -3.0f);
+  EXPECT_FLOAT_EQ(after.at({4, 1}), -3.0f);
+  EXPECT_FLOAT_EQ(after.at({0, 0}), 0.0f);
+}
+
+TEST(ParamServer, MultiStepMatchesSgdOracle) {
+  Rng rng(3);
+  Tensor params = Tensor::randn({8, 3}, rng);
+  Tensor oracle = params;
+  constexpr float kLr = 0.1f;
+  constexpr int kWorkers = 3;
+  ShardedParameterServer ps(params, 2, kWorkers, kLr);
+  for (int step = 0; step < 5; ++step) {
+    // Deterministic per-worker sparse grads.
+    std::vector<SparseRows> grads;
+    Tensor dense_sum({8, 3});
+    for (int w = 0; w < kWorkers; ++w) {
+      std::vector<int64_t> idx{(step + w) % 8, (step + 2 * w + 1) % 8};
+      Rng vr(static_cast<uint64_t>(step * 10 + w));
+      Tensor vals = Tensor::randn({2, 3}, vr);
+      SparseRows g(8, idx, vals);
+      g.add_to_dense(dense_sum);
+      grads.push_back(std::move(g));
+    }
+    oracle.add_scaled_(dense_sum, -kLr);
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWorkers; ++w) {
+      threads.emplace_back(
+          [&ps, g = grads[static_cast<size_t>(w)]] { ps.push_sparse(g); });
+    }
+    for (auto& t : threads) t.join();
+  }
+  EXPECT_LT(ps.snapshot().max_abs_diff(oracle), 1e-4f);
+}
+
+TEST(ParamServer, TrafficAccounting) {
+  Tensor params({10, 4});
+  ShardedParameterServer ps(params, 2, 1, 0.1f);
+  (void)ps.pull_rows({1, 2});
+  // 2 rows * 4 floats * 4B + 2 indices * 8B = 48.
+  EXPECT_EQ(ps.pull_bytes(), 2 * 4 * 4 + 2 * 8);
+  Tensor vals({2, 4});
+  ps.push_sparse(SparseRows(10, {0, 9}, vals));
+  // 2 rows * (8B index + 16B values) = 48.
+  EXPECT_EQ(ps.push_bytes(), 48);
+  (void)ps.pull_all();
+  EXPECT_EQ(ps.pull_bytes(), 48 + 10 * 4 * 4);
+}
+
+TEST(ParamServer, PerShardPushBytesReflectSkew) {
+  // Pushing only low rows must put traffic on shard 0 only.
+  Tensor params({10, 2});
+  ShardedParameterServer ps(params, 2, 1, 0.1f);
+  Tensor vals({3, 2});
+  ps.push_sparse(SparseRows(10, {0, 1, 2}, vals));
+  auto per_shard = ps.per_shard_push_bytes();
+  ASSERT_EQ(per_shard.size(), 2u);
+  EXPECT_GT(per_shard[0], 0);
+  EXPECT_EQ(per_shard[1], 0);
+}
+
+TEST(ParamServer, ShardRowRangesCoverAllRows) {
+  // Uneven split: 7 rows over 3 shards must still route every row.
+  Tensor params({7, 1});
+  for (int64_t r = 0; r < 7; ++r) params.at({r, 0}) = static_cast<float>(r);
+  ShardedParameterServer ps(params, 3, 1, 0.0f);
+  Tensor all = ps.pull_rows({0, 1, 2, 3, 4, 5, 6});
+  for (int64_t r = 0; r < 7; ++r) {
+    EXPECT_FLOAT_EQ(all.at({r, 0}), static_cast<float>(r));
+  }
+}
+
+}  // namespace
+}  // namespace embrace::comm

@@ -1,0 +1,154 @@
+// Tests for column-wise partitioned embedding: shard construction,
+// distributed lookup == replicated lookup, gradient exchange == summed
+// gradient, and the row-vs-column load-balance claim (§4.1.1).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "comm/cluster.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "data/corpus.h"
+#include "embrace/partitioned_embedding.h"
+#include "nn/embedding.h"
+#include "tensor/index_ops.h"
+
+namespace embrace::core {
+namespace {
+
+class PartitionedP : public ::testing::TestWithParam<int> {
+ protected:
+  int world() const { return GetParam(); }
+};
+
+TEST_P(PartitionedP, ColumnRangesTileTheDim) {
+  constexpr int64_t kDim = 13;
+  Rng rng(1);
+  PartitionedEmbedding pe(10, kDim, 0, world(), rng);
+  int64_t covered = 0;
+  for (int r = 0; r < world(); ++r) {
+    const auto [c0, c1] = pe.col_range(r);
+    EXPECT_LE(c0, c1);
+    covered += c1 - c0;
+  }
+  EXPECT_EQ(covered, kDim);
+  EXPECT_EQ(pe.col_range(0).first, 0);
+  EXPECT_EQ(pe.col_range(world() - 1).second, kDim);
+}
+
+TEST_P(PartitionedP, ShardsReassembleTheReplicatedTable) {
+  // The shards of all ranks, concatenated by columns, must equal the
+  // replicated nn::Embedding built from the same RNG.
+  constexpr int64_t kVocab = 20, kDim = 8;
+  Rng ref_rng(7);
+  nn::Embedding replica(kVocab, kDim, ref_rng);
+  for (int r = 0; r < world(); ++r) {
+    Rng rng(7);
+    PartitionedEmbedding pe(kVocab, kDim, r, world(), rng);
+    const auto [c0, c1] = pe.col_range(r);
+    for (int64_t row = 0; row < kVocab; ++row) {
+      for (int64_t c = c0; c < c1; ++c) {
+        ASSERT_FLOAT_EQ(pe.shard().at({row, c - c0}),
+                        replica.table().at({row, c}));
+      }
+    }
+  }
+}
+
+TEST_P(PartitionedP, DistributedLookupEqualsReplicatedLookup) {
+  constexpr int64_t kVocab = 30, kDim = 12;
+  Rng ref_rng(9);
+  nn::Embedding replica(kVocab, kDim, ref_rng);
+  comm::run_cluster(world(), [&](comm::Communicator& comm) {
+    Rng rng(9);
+    PartitionedEmbedding pe(kVocab, kDim, comm.rank(), world(), rng);
+    // Each rank has its own id list.
+    std::vector<int64_t> my_ids;
+    for (int i = 0; i < 5 + comm.rank(); ++i) {
+      my_ids.push_back((comm.rank() * 7 + i * 3) % kVocab);
+    }
+    auto all_ids = PartitionedEmbedding::allgather_ids(comm, my_ids);
+    Tensor out = pe.distributed_lookup(comm, all_ids, my_ids);
+    Tensor expected = replica.forward(my_ids);
+    EXPECT_LT(out.max_abs_diff(expected), 1e-6f) << "rank " << comm.rank();
+  });
+}
+
+TEST_P(PartitionedP, ExchangeGradEqualsSummedColumnSlice) {
+  constexpr int64_t kVocab = 25, kDim = 8;
+  // Oracle: sum of all workers' full-dim gradients.
+  std::vector<SparseRows> grads;
+  Tensor dense_sum({kVocab, kDim});
+  Rng grng(11);
+  for (int w = 0; w < world(); ++w) {
+    std::vector<int64_t> ids{(w * 3) % kVocab, (w * 3 + 5) % kVocab,
+                             (w * 3) % kVocab};
+    Rng vr = grng.split(static_cast<uint64_t>(w));
+    Tensor vals = Tensor::randn({3, kDim}, vr);
+    SparseRows g(kVocab, ids, vals);
+    g.add_to_dense(dense_sum);
+    grads.push_back(std::move(g));
+  }
+  comm::run_cluster(world(), [&](comm::Communicator& comm) {
+    Rng rng(11);
+    PartitionedEmbedding pe(kVocab, kDim, comm.rank(), world(), rng);
+    SparseRows shard_grad =
+        pe.exchange_grad(comm, grads[static_cast<size_t>(comm.rank())]);
+    EXPECT_TRUE(shard_grad.is_coalesced());
+    const auto [c0, c1] = pe.col_range(comm.rank());
+    Tensor expected({kVocab, c1 - c0});
+    for (int64_t r = 0; r < kVocab; ++r) {
+      for (int64_t c = c0; c < c1; ++c) {
+        expected.at({r, c - c0}) = dense_sum.at({r, c});
+      }
+    }
+    EXPECT_LT(shard_grad.to_dense().max_abs_diff(expected), 1e-5f)
+        << "rank " << comm.rank();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, PartitionedP, ::testing::Values(1, 2, 4));
+
+TEST(Partitioned, RejectsTooNarrowDim) {
+  Rng rng(1);
+  EXPECT_THROW(PartitionedEmbedding(10, 2, 0, 4, rng), embrace::Error);
+}
+
+TEST(RowPartitioned, RowRangesTileVocab) {
+  RowPartitionedEmbedding rp(11, 4, 3);
+  int64_t covered = 0;
+  for (int r = 0; r < 3; ++r) {
+    const auto [b, e] = rp.row_range(r);
+    covered += e - b;
+    for (int64_t row = b; row < e; ++row) EXPECT_EQ(rp.owner_of(row), r);
+  }
+  EXPECT_EQ(covered, 11);
+}
+
+TEST(RowPartitioned, ZipfSkewUnbalancesRowShardsNotColumnShards) {
+  // §4.1.1: under Zipf-skewed access, row partitioning concentrates load on
+  // the shard owning the head words; column partitioning is uniform by
+  // construction. Quantify with max/mean shard load.
+  constexpr int64_t kVocab = 10000;
+  constexpr int kWorld = 4;
+  data::CorpusConfig cfg;
+  cfg.vocab_size = kVocab;
+  cfg.zipf_skew = 1.2;
+  data::SyntheticCorpus corpus(cfg);
+  std::vector<int64_t> ids;
+  for (int i = 0; i < 400; ++i) {
+    for (int64_t t : corpus.next_sentence()) ids.push_back(t);
+  }
+  RowPartitionedEmbedding rp(kVocab, 16, kWorld);
+  const auto load = rp.shard_load(ids);
+  const double total = static_cast<double>(
+      std::accumulate(load.begin(), load.end(), int64_t{0}));
+  const double max_load = static_cast<double>(
+      *std::max_element(load.begin(), load.end()));
+  const double row_imbalance = max_load / (total / kWorld);
+  // Column partitioning serves every lookup from every shard: imbalance 1.
+  EXPECT_GT(row_imbalance, 1.5);
+}
+
+}  // namespace
+}  // namespace embrace::core

@@ -1,0 +1,187 @@
+// Gradient checks for the LSTM layer and self-attention module.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "nn/attention.h"
+#include "nn/lstm.h"
+
+namespace embrace::nn {
+namespace {
+
+// Scalar loss over an LSTM's outputs: sum over steps of W_t ⊙ h_t.
+float lstm_loss(LstmLayer& lstm, const std::vector<Tensor>& xs,
+                const std::vector<Tensor>& ws) {
+  auto hs = lstm.forward(xs);
+  float loss = 0.0f;
+  for (size_t t = 0; t < hs.size(); ++t) {
+    for (int64_t i = 0; i < hs[t].numel(); ++i) loss += hs[t][i] * ws[t][i];
+  }
+  return loss;
+}
+
+TEST(Lstm, OutputShapes) {
+  Rng rng(1);
+  LstmLayer lstm(3, 5, rng);
+  std::vector<Tensor> xs(4, Tensor::randn({2, 3}, rng));
+  auto hs = lstm.forward(xs);
+  ASSERT_EQ(hs.size(), 4u);
+  for (auto& h : hs) {
+    EXPECT_EQ(h.rows(), 2);
+    EXPECT_EQ(h.cols(), 5);
+  }
+}
+
+TEST(Lstm, ForgetBiasInitializedToOne) {
+  Rng rng(2);
+  LstmLayer lstm(2, 3, rng);
+  auto* b = lstm.parameters()[2];
+  for (int64_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(b->value[j], 0.0f);       // input gate
+    EXPECT_EQ(b->value[3 + j], 1.0f);   // forget gate
+    EXPECT_EQ(b->value[6 + j], 0.0f);   // cell gate
+    EXPECT_EQ(b->value[9 + j], 0.0f);   // output gate
+  }
+}
+
+TEST(Lstm, GradCheckInputsAndParams) {
+  Rng rng(3);
+  constexpr int64_t kIn = 2, kHidden = 3, kBatch = 2;
+  constexpr int kSteps = 3;
+  LstmLayer lstm(kIn, kHidden, rng);
+  std::vector<Tensor> xs, ws;
+  for (int t = 0; t < kSteps; ++t) {
+    xs.push_back(Tensor::randn({kBatch, kIn}, rng));
+    ws.push_back(Tensor::randn({kBatch, kHidden}, rng));
+  }
+  lstm.zero_grad();
+  (void)lstm.forward(xs);
+  auto dxs = lstm.backward(ws);
+  ASSERT_EQ(dxs.size(), xs.size());
+
+  const float eps = 1e-2f;
+  const float tol = 3e-2f;
+  // Input grads.
+  for (size_t t = 0; t < xs.size(); ++t) {
+    for (int64_t i = 0; i < xs[t].numel(); ++i) {
+      auto bumped = xs;
+      bumped[t][i] += eps;
+      const float up = lstm_loss(lstm, bumped, ws);
+      bumped[t][i] -= 2 * eps;
+      const float down = lstm_loss(lstm, bumped, ws);
+      const float fd = (up - down) / (2 * eps);
+      EXPECT_NEAR(dxs[t][i], fd, tol * std::max(1.0f, std::abs(fd)))
+          << "step " << t << " input " << i;
+    }
+  }
+  // Parameter grads (analytic state recomputed for the unbumped xs).
+  lstm.zero_grad();
+  (void)lstm.forward(xs);
+  (void)lstm.backward(ws);
+  for (Parameter* p : lstm.parameters()) {
+    for (int64_t i = 0; i < p->numel(); i += 7) {  // sample every 7th entry
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const float up = lstm_loss(lstm, xs, ws);
+      p->value[i] = orig - eps;
+      const float down = lstm_loss(lstm, xs, ws);
+      p->value[i] = orig;
+      const float fd = (up - down) / (2 * eps);
+      EXPECT_NEAR(p->grad[i], fd, tol * std::max(1.0f, std::abs(fd)))
+          << p->name << " " << i;
+    }
+  }
+}
+
+TEST(Lstm, BackwardRequiresMatchingStepCount) {
+  Rng rng(4);
+  LstmLayer lstm(2, 2, rng);
+  std::vector<Tensor> xs(3, Tensor::randn({1, 2}, rng));
+  (void)lstm.forward(xs);
+  std::vector<Tensor> dhs(2, Tensor({1, 2}));
+  EXPECT_THROW(lstm.backward(dhs), Error);
+}
+
+float attn_loss(SelfAttention& attn, const Tensor& x, const Tensor& w) {
+  Tensor y = attn.forward(x);
+  float loss = 0.0f;
+  for (int64_t i = 0; i < y.numel(); ++i) loss += y[i] * w[i];
+  return loss;
+}
+
+TEST(Attention, OutputShapeMatchesInput) {
+  Rng rng(5);
+  SelfAttention attn(6, rng);
+  Tensor x = Tensor::randn({4, 6}, rng);
+  Tensor y = attn.forward(x);
+  EXPECT_TRUE(y.same_shape(x));
+}
+
+TEST(Attention, RowsAttendAndMix) {
+  // With nontrivial weights, each output row depends on every input row:
+  // bumping one input row changes all outputs.
+  Rng rng(6);
+  SelfAttention attn(4, rng);
+  Tensor x = Tensor::randn({3, 4}, rng);
+  Tensor y0 = attn.forward(x);
+  x.row(2)[0] += 1.0f;
+  Tensor y1 = attn.forward(x);
+  EXPECT_GT(y1.max_abs_diff(y0), 0.0f);
+  // Row 0's output moved even though only row 2's input changed.
+  float moved = 0.0f;
+  for (size_t c = 0; c < 4; ++c) {
+    moved += std::abs(y1.row(0)[c] - y0.row(0)[c]);
+  }
+  EXPECT_GT(moved, 0.0f);
+}
+
+TEST(Attention, GradCheck) {
+  Rng rng(7);
+  constexpr int64_t kDim = 4, kSeq = 3;
+  SelfAttention attn(kDim, rng);
+  Tensor x = Tensor::randn({kSeq, kDim}, rng);
+  Rng wrng(8);
+  Tensor w = Tensor::randn({kSeq, kDim}, wrng);
+  attn.zero_grad();
+  (void)attn.forward(x);
+  Tensor dx = attn.backward(w);
+
+  const float eps = 1e-2f;
+  const float tol = 3e-2f;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    Tensor xp = x;
+    xp[i] += eps;
+    const float up = attn_loss(attn, xp, w);
+    xp[i] -= 2 * eps;
+    const float down = attn_loss(attn, xp, w);
+    const float fd = (up - down) / (2 * eps);
+    EXPECT_NEAR(dx[i], fd, tol * std::max(1.0f, std::abs(fd))) << "x " << i;
+  }
+  attn.zero_grad();
+  (void)attn.forward(x);
+  (void)attn.backward(w);
+  for (Parameter* p : attn.parameters()) {
+    for (int64_t i = 0; i < p->numel(); i += 3) {
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const float up = attn_loss(attn, x, w);
+      p->value[i] = orig - eps;
+      const float down = attn_loss(attn, x, w);
+      p->value[i] = orig;
+      const float fd = (up - down) / (2 * eps);
+      EXPECT_NEAR(p->grad[i], fd, tol * std::max(1.0f, std::abs(fd)))
+          << p->name << " " << i;
+    }
+  }
+}
+
+TEST(Attention, BackwardBeforeForwardThrows) {
+  Rng rng(9);
+  SelfAttention attn(4, rng);
+  EXPECT_THROW(attn.backward(Tensor({2, 4})), Error);
+}
+
+}  // namespace
+}  // namespace embrace::nn

@@ -1,0 +1,237 @@
+// Tests for the communication scheduler, step plans, and Algorithm 1.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "sched/comm_scheduler.h"
+#include "sched/plan.h"
+#include "sched/vertical.h"
+#include "tensor/index_ops.h"
+
+namespace embrace::sched {
+namespace {
+
+TEST(Scheduler, ExecutesInPlanOrderRegardlessOfSubmitOrder) {
+  CommScheduler sched;
+  sched.begin_step({"a", "b", "c"});
+  std::vector<std::string> executed;
+  std::mutex m;
+  auto body = [&](const char* n) {
+    return [&, n] {
+      std::lock_guard<std::mutex> lock(m);
+      executed.push_back(n);
+    };
+  };
+  // Submit out of order: c first.
+  sched.submit("c", body("c"));
+  sched.submit("a", body("a"));
+  sched.submit("b", body("b"));
+  sched.drain();
+  EXPECT_EQ(executed, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Scheduler, BlocksUntilHeadIsSubmitted) {
+  CommScheduler sched;
+  sched.begin_step({"first", "second"});
+  std::atomic<bool> second_ran{false};
+  sched.submit("second", [&] { second_ran.store(true); });
+  // Second cannot run before first even though it was submitted.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(second_ran.load());
+  auto h1 = sched.submit("first", [] {});
+  h1.wait();
+  sched.drain();
+  EXPECT_TRUE(second_ran.load());
+}
+
+TEST(Scheduler, HandleWaitBlocksUntilDone) {
+  CommScheduler sched;
+  sched.begin_step({"slow"});
+  std::atomic<bool> finished{false};
+  auto h = sched.submit("slow", [&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    finished.store(true);
+  });
+  h.wait();
+  EXPECT_TRUE(finished.load());
+}
+
+TEST(Scheduler, MultipleStepsRunBackToBack) {
+  CommScheduler sched;
+  std::vector<std::string> executed;
+  std::mutex m;
+  auto body = [&](std::string n) {
+    return [&, n] {
+      std::lock_guard<std::mutex> lock(m);
+      executed.push_back(n);
+    };
+  };
+  sched.begin_step({"s0/x", "s0/y"});
+  sched.begin_step({"s1/x"});
+  sched.submit("s1/x", body("s1/x"));
+  sched.submit("s0/y", body("s0/y"));
+  sched.submit("s0/x", body("s0/x"));
+  sched.drain();
+  EXPECT_EQ(executed,
+            (std::vector<std::string>{"s0/x", "s0/y", "s1/x"}));
+}
+
+TEST(Scheduler, RecordsExecutionTimes) {
+  CommScheduler sched;
+  sched.begin_step({"op"});
+  sched.submit("op", [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  });
+  sched.drain();
+  auto recs = sched.records();
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].name, "op");
+  EXPECT_GE(recs[0].end - recs[0].start, 0.004);
+}
+
+TEST(Scheduler, RejectsUndeclaredAndDuplicateOps) {
+  CommScheduler sched;
+  sched.begin_step({"a"});
+  EXPECT_THROW(sched.submit("ghost", [] {}), Error);
+  sched.submit("a", [] {});
+  EXPECT_THROW(sched.submit("a", [] {}), Error);
+  sched.drain();
+  // Same name may be declared again once executed.
+  EXPECT_NO_THROW(sched.begin_step({"a"}));
+  sched.submit("a", [] {});
+  sched.drain();
+}
+
+TEST(Scheduler, RejectsDuplicateDeclarationInBacklog) {
+  CommScheduler sched;
+  sched.begin_step({"a"});
+  EXPECT_THROW(sched.begin_step({"a"}), Error);
+  sched.submit("a", [] {});
+  sched.drain();
+}
+
+TEST(Scheduler, OverlapsWithMainThread) {
+  // The comm thread must run concurrently: total wall time for a 40ms comm
+  // op + 40ms of main-thread work should be well under 80ms.
+  CommScheduler sched;
+  sched.begin_step({"comm"});
+  const auto t0 = std::chrono::steady_clock::now();
+  auto h = sched.submit("comm", [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));  // "compute"
+  h.wait();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 0.075);
+}
+
+TEST(Plans, FifoOrderIsBpEmissionOrder) {
+  auto plan = fifo_plan(/*step=*/3, /*dense_blocks=*/3, /*tables=*/2,
+                        /*hybrid=*/false);
+  EXPECT_EQ(plan, (std::vector<std::string>{
+                      "dense/s3/2", "dense/s3/1", "dense/s3/0",
+                      "embgrad/s3/0", "embgrad/s3/1"}));
+}
+
+TEST(Plans, EmbRaceOrderPutsPriorFirstDelayedLast) {
+  auto plan = embrace_plan(/*step=*/0, /*dense_blocks=*/2, /*tables=*/1);
+  EXPECT_EQ(plan, (std::vector<std::string>{
+                      "prior/s0/0", "embdata/s0/0", "dense/s0/0",
+                      "dense/s0/1", "delayed/s0/0"}));
+}
+
+TEST(Plans, HybridFifoIncludesDataOps) {
+  auto plan = fifo_plan(1, 1, 1, /*hybrid=*/true);
+  EXPECT_EQ(plan, (std::vector<std::string>{"dense/s1/0", "embgrad/s1/0",
+                                            "embdata/s1/0"}));
+}
+
+// --- Algorithm 1 ---
+
+SparseRows grad_from_ids(int64_t vocab, const std::vector<int64_t>& ids,
+                         int64_t dim, Rng& rng) {
+  Tensor vals = Tensor::randn({static_cast<int64_t>(ids.size()), dim}, rng);
+  return SparseRows(vocab, ids, vals);
+}
+
+TEST(Vertical, SplitsExactlyPerAlgorithm1) {
+  Rng rng(1);
+  // Current data (with duplicates): {3, 5, 3, 9}; next: {5, 9, 11}.
+  const std::vector<int64_t> cur{3, 5, 3, 9};
+  const std::vector<int64_t> next{5, 9, 11};
+  SparseRows g = grad_from_ids(20, cur, 2, rng);
+  auto split = vertical_sparse_schedule(g, cur, next);
+  EXPECT_EQ(split.prior_rows, (std::vector<int64_t>{5, 9}));
+  EXPECT_EQ(split.delayed_rows, (std::vector<int64_t>{3}));
+  EXPECT_EQ(split.prior.indices(), split.prior_rows);
+  EXPECT_EQ(split.delayed.indices(), split.delayed_rows);
+  EXPECT_TRUE(split.prior.is_coalesced());
+  EXPECT_TRUE(split.delayed.is_coalesced());
+  // Reassembled parts equal the coalesced gradient.
+  EXPECT_TRUE(SparseRows::concat(split.prior, split.delayed)
+                  .logically_equal(g.coalesced(), 1e-5f));
+}
+
+TEST(Vertical, AllRowsDelayedWhenNoOverlap) {
+  Rng rng(2);
+  const std::vector<int64_t> cur{1, 2};
+  SparseRows g = grad_from_ids(10, cur, 3, rng);
+  auto split = vertical_sparse_schedule(g, cur, {7, 8});
+  EXPECT_TRUE(split.prior.empty());
+  EXPECT_EQ(split.delayed.nnz_rows(), 2);
+}
+
+TEST(Vertical, AllRowsPriorWhenFullOverlap) {
+  Rng rng(3);
+  const std::vector<int64_t> cur{1, 2, 1};
+  SparseRows g = grad_from_ids(10, cur, 3, rng);
+  auto split = vertical_sparse_schedule(g, cur, {1, 2, 3});
+  EXPECT_EQ(split.prior.nnz_rows(), 2);
+  EXPECT_TRUE(split.delayed.empty());
+}
+
+TEST(Vertical, RejectsGradRowsOutsideCurrentData) {
+  Rng rng(4);
+  SparseRows g = grad_from_ids(10, {4}, 2, rng);
+  EXPECT_THROW(vertical_sparse_schedule(g, {1, 2}, {1}), Error);
+}
+
+// Property: for random data, prior rows ⊆ D_next, delayed ∩ D_next = ∅,
+// and the two parts partition the coalesced gradient.
+class VerticalProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(VerticalProperty, InvariantsHold) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 131 + 5);
+  const int64_t vocab = 40;
+  std::vector<int64_t> cur, next;
+  const int64_t nc = rng.next_int(1, 30);
+  const int64_t nn = rng.next_int(0, 30);
+  for (int64_t i = 0; i < nc; ++i) cur.push_back(rng.next_int(0, vocab - 1));
+  for (int64_t i = 0; i < nn; ++i) next.push_back(rng.next_int(0, vocab - 1));
+  Rng vr = rng.split(1);
+  SparseRows g = grad_from_ids(vocab, cur, 2, vr);
+  auto split = vertical_sparse_schedule(g, cur, next);
+  const auto d_next = unique_sorted(next);
+  for (int64_t r : split.prior.indices()) {
+    EXPECT_TRUE(std::binary_search(d_next.begin(), d_next.end(), r));
+  }
+  for (int64_t r : split.delayed.indices()) {
+    EXPECT_FALSE(std::binary_search(d_next.begin(), d_next.end(), r));
+  }
+  EXPECT_EQ(split.prior.nnz_rows() + split.delayed.nnz_rows(),
+            g.coalesced().nnz_rows());
+  EXPECT_TRUE(SparseRows::concat(split.prior, split.delayed)
+                  .logically_equal(g.coalesced(), 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomizedSweep, VerticalProperty,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace embrace::sched

@@ -1,0 +1,133 @@
+// Tests for LR schedules, gradient clipping, and the optimizers' LR-scale
+// hook (including its interaction with the EmbRace split update).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "nn/optim.h"
+#include "nn/schedule.h"
+#include "tensor/index_ops.h"
+
+namespace embrace::nn {
+namespace {
+
+TEST(LrSchedules, ConstantIsOne) {
+  ConstantLr s;
+  EXPECT_FLOAT_EQ(s.factor(1), 1.0f);
+  EXPECT_FLOAT_EQ(s.factor(1000), 1.0f);
+  EXPECT_THROW(s.factor(0), Error);
+}
+
+TEST(LrSchedules, WarmupInverseSqrt) {
+  WarmupInverseSqrtLr s(10);
+  EXPECT_FLOAT_EQ(s.factor(1), 0.1f);
+  EXPECT_FLOAT_EQ(s.factor(5), 0.5f);
+  EXPECT_FLOAT_EQ(s.factor(10), 1.0f);
+  EXPECT_FLOAT_EQ(s.factor(40), std::sqrt(10.0f / 40.0f));
+  // Monotone up then down; continuous at the boundary.
+  EXPECT_GT(s.factor(10), s.factor(9));
+  EXPECT_GT(s.factor(10), s.factor(11));
+  EXPECT_NEAR(s.factor(11), 1.0f, 0.06f);
+  EXPECT_THROW(WarmupInverseSqrtLr(0), Error);
+}
+
+TEST(LrSchedules, StepDecay) {
+  StepDecayLr s(5, 0.5f);
+  EXPECT_FLOAT_EQ(s.factor(1), 1.0f);
+  EXPECT_FLOAT_EQ(s.factor(5), 1.0f);
+  EXPECT_FLOAT_EQ(s.factor(6), 0.5f);
+  EXPECT_FLOAT_EQ(s.factor(11), 0.25f);
+  EXPECT_THROW(StepDecayLr(0, 0.5f), Error);
+  EXPECT_THROW(StepDecayLr(5, 0.0f), Error);
+}
+
+TEST(GradClip, NormComputation) {
+  Parameter a("a", Tensor({2}, {3, 4}));
+  a.grad = Tensor({2}, {3, 4});  // norm 5
+  Parameter b("b", Tensor({1}, {0}));
+  b.grad = Tensor({1}, {12});  // combined: sqrt(25+144)=13
+  EXPECT_FLOAT_EQ(global_grad_norm({&a, &b}), 13.0f);
+}
+
+TEST(GradClip, NoOpBelowThreshold) {
+  Parameter p("p", Tensor({2}));
+  p.grad = Tensor({2}, {0.3f, 0.4f});  // norm 0.5
+  const float norm = clip_grad_norm({&p}, 1.0f);
+  EXPECT_FLOAT_EQ(norm, 0.5f);
+  EXPECT_FLOAT_EQ(p.grad[0], 0.3f);
+}
+
+TEST(GradClip, ScalesAboveThreshold) {
+  Parameter p("p", Tensor({2}));
+  p.grad = Tensor({2}, {3.0f, 4.0f});  // norm 5
+  const float norm = clip_grad_norm({&p}, 1.0f);
+  EXPECT_FLOAT_EQ(norm, 5.0f);
+  EXPECT_NEAR(p.grad[0], 0.6f, 1e-6f);
+  EXPECT_NEAR(p.grad[1], 0.8f, 1e-6f);
+  EXPECT_NEAR(global_grad_norm({&p}), 1.0f, 1e-5f);
+}
+
+TEST(GradClip, IncludesSparseParts) {
+  Parameter p("p", Tensor({1}));
+  p.grad = Tensor({1}, {3.0f});
+  Tensor vals({1, 1}, {4.0f});
+  SparseRows s(10, {2}, vals);
+  SparseRows* sp = &s;
+  const float norm = clip_grad_norm({&p}, 1.0f, {sp});
+  EXPECT_FLOAT_EQ(norm, 5.0f);
+  EXPECT_NEAR(p.grad[0], 0.6f, 1e-6f);
+  EXPECT_NEAR(s.values()[0], 0.8f, 1e-6f);
+}
+
+TEST(LrScale, SgdScalesStep) {
+  Parameter p("p", Tensor({1}, {0.0f}));
+  Sgd opt({&p}, 1.0f);
+  opt.set_lr_scale(0.25f);
+  p.grad = Tensor({1}, {4.0f});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], -1.0f);
+}
+
+TEST(LrScale, AdamFollowsSchedule) {
+  // With a warmup schedule, early steps move less.
+  auto run = [](bool scheduled) {
+    Parameter p("p", Tensor({1}, {0.0f}));
+    Adam opt({&p}, 0.1f);
+    WarmupInverseSqrtLr sched(10);
+    p.grad = Tensor({1}, {1.0f});
+    if (scheduled) opt.set_lr_scale(sched.factor(1));
+    opt.step();
+    return p.value[0];
+  };
+  EXPECT_LT(std::abs(run(true)), std::abs(run(false)));
+  EXPECT_NEAR(run(true), 0.1f * run(false), 1e-6f);
+}
+
+TEST(LrScale, SplitAdamStaysExactWithSchedule) {
+  // The schedule multiplies the step's lr; as long as prior and delayed use
+  // the same scale, the split update stays exactly one-shot-equal.
+  Rng rng(9);
+  Tensor t1 = Tensor::randn({8, 3}, rng);
+  Tensor t2 = t1;
+  SparseAdam whole(8, 3, 0.05f), split(8, 3, 0.05f);
+  WarmupInverseSqrtLr sched(4);
+  Rng grng(10);
+  for (int step = 1; step <= 8; ++step) {
+    std::vector<int64_t> idx{0, 2, 5, 7};
+    Rng vr = grng.split(static_cast<uint64_t>(step));
+    Tensor vals = Tensor::randn({4, 3}, vr);
+    SparseRows g(8, idx, vals);
+    whole.set_lr_scale(sched.factor(step));
+    split.set_lr_scale(sched.factor(step));
+    whole.apply(t1, g, SparseStep::kFull);
+    auto [prior, delayed] = g.split_by_membership({2, 7});
+    split.apply(t2, prior, SparseStep::kPrior);
+    split.apply(t2, delayed, SparseStep::kDelayed);
+  }
+  EXPECT_LT(t2.max_abs_diff(t1), 1e-7f);
+}
+
+}  // namespace
+}  // namespace embrace::nn

@@ -1,0 +1,129 @@
+// Property sweeps over the performance simulator: monotonicity in the
+// physical knobs (bandwidth, latency, compute speed, GPU count) and
+// cross-strategy dominance relations that must hold for any calibration.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "simnet/train_sim.h"
+
+namespace embrace::simnet {
+namespace {
+
+// (model index, strategy index) grid.
+class SimGrid : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  ModelSpec model() const {
+    return all_model_specs()[static_cast<size_t>(std::get<0>(GetParam()))];
+  }
+  Strategy strategy() const {
+    return static_cast<Strategy>(std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(SimGrid, FasterNetworkNeverHurts) {
+  ClusterConfig slow = make_rtx3090_cluster(16);
+  slow.net.inter_node_bw = gbps_to_bytes_per_sec(25);
+  ClusterConfig fast = make_rtx3090_cluster(16);
+  fast.net.inter_node_bw = gbps_to_bytes_per_sec(400);
+  const double t_slow =
+      simulate_training(model(), slow, strategy()).stats.step_seconds;
+  const double t_fast =
+      simulate_training(model(), fast, strategy()).stats.step_seconds;
+  EXPECT_LE(t_fast, t_slow * 1.0001);
+}
+
+TEST_P(SimGrid, LowerLatencyNeverHurts) {
+  ClusterConfig high = make_rtx3090_cluster(16);
+  high.net.latency = 200e-6;
+  ClusterConfig low = make_rtx3090_cluster(16);
+  low.net.latency = 5e-6;
+  const double t_high =
+      simulate_training(model(), high, strategy()).stats.step_seconds;
+  const double t_low =
+      simulate_training(model(), low, strategy()).stats.step_seconds;
+  EXPECT_LE(t_low, t_high * 1.0001);
+}
+
+TEST_P(SimGrid, FasterComputeNeverHurts) {
+  ClusterConfig slow = make_rtx3090_cluster(8);
+  slow.compute_speed = 0.5;
+  ClusterConfig fast = make_rtx3090_cluster(8);
+  fast.compute_speed = 2.0;
+  const double t_slow =
+      simulate_training(model(), slow, strategy()).stats.step_seconds;
+  const double t_fast =
+      simulate_training(model(), fast, strategy()).stats.step_seconds;
+  EXPECT_LT(t_fast, t_slow);
+}
+
+TEST_P(SimGrid, ThroughputGrowsWithGpus) {
+  const double t4 = simulate_training(model(), make_rtx3090_cluster(4),
+                                      strategy())
+                        .stats.tokens_per_second;
+  const double t16 = simulate_training(model(), make_rtx3090_cluster(16),
+                                       strategy())
+                         .stats.tokens_per_second;
+  EXPECT_GT(t16, t4);
+  // Never super-linear — except for PS strategies, whose server count grows
+  // with the node count (1 shard at 4 GPUs, 4 shards at 16), a legitimate
+  // super-linear resource effect.
+  const bool ps_based =
+      strategy() == Strategy::kBytePS || strategy() == Strategy::kParallax;
+  if (!ps_based) {
+    EXPECT_LT(t16, 4.0 * t4 * 1.0001);
+  }
+}
+
+TEST_P(SimGrid, StallIdentityHolds) {
+  for (int gpus : {4, 16}) {
+    const auto st =
+        simulate_training(model(), make_rtx2080_cluster(gpus), strategy())
+            .stats;
+    EXPECT_NEAR(st.step_seconds, st.compute_seconds + st.computation_stall,
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsByStrategies, SimGrid,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Range(0, 6)));
+
+TEST(SimDominance, EmbRaceNeverSlowerThanNoSched) {
+  // 2D scheduling can only remove stall in this simulator (same comm
+  // volume, better order + the coalescing cut) — check across the grid.
+  for (const auto& model : all_model_specs()) {
+    for (int gpus : {4, 8, 16}) {
+      for (auto cluster :
+           {make_rtx3090_cluster(gpus), make_rtx2080_cluster(gpus)}) {
+        const double full =
+            simulate_training(model, cluster, Strategy::kEmbRace)
+                .stats.step_seconds;
+        const double nosched =
+            simulate_training(model, cluster, Strategy::kEmbRaceNoSched)
+                .stats.step_seconds;
+        EXPECT_LE(full, nosched * 1.001)
+            << model.name << " " << cluster.name << " " << gpus;
+      }
+    }
+  }
+}
+
+TEST(SimDominance, BytePsAlwaysWorstForSparseModels) {
+  // Dense-format PS pays both the dense volume and the PS architecture —
+  // the paper's plots show it uniformly last.
+  for (const auto& model : all_model_specs()) {
+    const auto cluster = make_rtx3090_cluster(16);
+    const double byteps =
+        simulate_training(model, cluster, Strategy::kBytePS)
+            .stats.step_seconds;
+    for (Strategy s : {Strategy::kHorovodAllReduce,
+                       Strategy::kHorovodAllGather, Strategy::kParallax,
+                       Strategy::kEmbRace}) {
+      EXPECT_GT(byteps, simulate_training(model, cluster, s).stats.step_seconds)
+          << model.name << " vs " << strategy_name(s);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace embrace::simnet

@@ -1,0 +1,259 @@
+// Tests for the row-sparse COO tensor, including property-style sweeps of
+// the invariants Algorithm 1 relies on (coalesce preserves the logical
+// tensor; split partitions it exactly).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "tensor/index_ops.h"
+#include "tensor/sparse_rows.h"
+
+namespace embrace {
+namespace {
+
+SparseRows make(int64_t total, std::vector<int64_t> idx,
+                std::vector<float> vals, int64_t dim) {
+  Tensor v({static_cast<int64_t>(idx.size()), dim}, std::move(vals));
+  return SparseRows(total, std::move(idx), std::move(v));
+}
+
+TEST(SparseRows, EmptyConstruction) {
+  SparseRows s = SparseRows::empty(10, 4);
+  EXPECT_EQ(s.num_total_rows(), 10);
+  EXPECT_EQ(s.dim(), 4);
+  EXPECT_EQ(s.nnz_rows(), 0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.is_coalesced());
+  EXPECT_EQ(s.byte_size(), 0);
+}
+
+TEST(SparseRows, ValidatesIndicesInRange) {
+  EXPECT_THROW(make(3, {3}, {1.0f, 2.0f}, 2), Error);
+  EXPECT_THROW(make(3, {-1}, {1.0f, 2.0f}, 2), Error);
+  EXPECT_NO_THROW(make(3, {2}, {1.0f, 2.0f}, 2));
+}
+
+TEST(SparseRows, ValidatesValueRowCount) {
+  Tensor vals({2, 2}, {1, 2, 3, 4});
+  EXPECT_THROW(SparseRows(5, {1}, vals), Error);
+}
+
+TEST(SparseRows, ToDenseSumsDuplicates) {
+  // Two entries on row 1 must sum (uncoalesced COO semantics).
+  SparseRows s = make(3, {1, 1, 0}, {1, 2, 10, 20, 5, 6}, 2);
+  Tensor d = s.to_dense();
+  EXPECT_FLOAT_EQ(d.at({0, 0}), 5.0f);
+  EXPECT_FLOAT_EQ(d.at({0, 1}), 6.0f);
+  EXPECT_FLOAT_EQ(d.at({1, 0}), 11.0f);
+  EXPECT_FLOAT_EQ(d.at({1, 1}), 22.0f);
+  EXPECT_FLOAT_EQ(d.at({2, 0}), 0.0f);
+}
+
+TEST(SparseRows, CoalescePreservesLogicalTensor) {
+  SparseRows s = make(5, {4, 1, 4, 1, 1}, {1, 1, 2, 2, 3, 3, 4, 4, 5, 5}, 2);
+  SparseRows c = s.coalesced();
+  EXPECT_TRUE(c.is_coalesced());
+  EXPECT_EQ(c.nnz_rows(), 2);
+  EXPECT_EQ(c.indices(), (std::vector<int64_t>{1, 4}));
+  EXPECT_TRUE(s.logically_equal(c));
+  // Row 1 = (2+4+5, 2+4+5), row 4 = (1+3, 1+3).
+  EXPECT_FLOAT_EQ(c.values().at({0, 0}), 11.0f);
+  EXPECT_FLOAT_EQ(c.values().at({1, 1}), 4.0f);
+}
+
+TEST(SparseRows, CoalesceIsIdempotent) {
+  SparseRows s = make(5, {2, 0, 2}, {1, 2, 3, 4, 5, 6}, 2);
+  SparseRows once = s.coalesced();
+  SparseRows twice = once.coalesced();
+  EXPECT_EQ(once.indices(), twice.indices());
+  EXPECT_FLOAT_EQ(once.values().max_abs_diff(twice.values()), 0.0f);
+}
+
+TEST(SparseRows, IsCoalescedDetectsUnsortedAndDuplicates) {
+  EXPECT_FALSE(make(5, {2, 1}, {1, 1, 2, 2}, 2).is_coalesced());
+  EXPECT_FALSE(make(5, {1, 1}, {1, 1, 2, 2}, 2).is_coalesced());
+  EXPECT_TRUE(make(5, {1, 2}, {1, 1, 2, 2}, 2).is_coalesced());
+}
+
+TEST(SparseRows, GatherFromDense) {
+  Tensor dense({4, 2}, {0, 1, 10, 11, 20, 21, 30, 31});
+  SparseRows s = SparseRows::gather(dense, {2, 0, 2});
+  EXPECT_EQ(s.nnz_rows(), 3);
+  EXPECT_FLOAT_EQ(s.values().at({0, 0}), 20.0f);
+  EXPECT_FLOAT_EQ(s.values().at({1, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(s.values().at({2, 1}), 21.0f);
+}
+
+TEST(SparseRows, ByteSizeAccounting) {
+  SparseRows s = make(100, {1, 2, 3}, std::vector<float>(12, 1.0f), 4);
+  EXPECT_EQ(s.byte_size(), 3 * 8 + 12 * 4);
+  EXPECT_EQ(s.dense_byte_size(), 100 * 4 * 4);
+}
+
+TEST(SparseRows, RowDensityCountsDistinctRows) {
+  SparseRows s = make(10, {1, 1, 2}, std::vector<float>(6, 1.0f), 2);
+  EXPECT_DOUBLE_EQ(s.row_density(), 0.2);
+}
+
+TEST(SparseRows, SplitByMembershipPartitions) {
+  SparseRows s = make(10, {1, 3, 5, 7}, {1, 1, 3, 3, 5, 5, 7, 7}, 2);
+  auto [kept, rest] = s.split_by_membership({3, 7, 9});
+  EXPECT_EQ(kept.indices(), (std::vector<int64_t>{3, 7}));
+  EXPECT_EQ(rest.indices(), (std::vector<int64_t>{1, 5}));
+  // Partition property: concat(kept, rest) == original logically.
+  EXPECT_TRUE(SparseRows::concat(kept, rest).logically_equal(s));
+}
+
+TEST(SparseRows, SplitRequiresSortedKeepSet) {
+  SparseRows s = make(10, {1}, {1, 1}, 2);
+  EXPECT_THROW(s.split_by_membership({5, 3}), Error);
+}
+
+TEST(SparseRows, SplitWithEmptyKeepSet) {
+  SparseRows s = make(10, {1, 2}, {1, 1, 2, 2}, 2);
+  auto [kept, rest] = s.split_by_membership({});
+  EXPECT_TRUE(kept.empty());
+  EXPECT_EQ(rest.nnz_rows(), 2);
+}
+
+TEST(SparseRows, ConcatRequiresMatchingSpace) {
+  SparseRows a = SparseRows::empty(10, 4);
+  SparseRows b = SparseRows::empty(11, 4);
+  SparseRows c = SparseRows::empty(10, 5);
+  EXPECT_THROW(SparseRows::concat(a, b), Error);
+  EXPECT_THROW(SparseRows::concat(a, c), Error);
+}
+
+TEST(SparseRows, ScaleScalesValues) {
+  SparseRows s = make(4, {1, 2}, {1, 2, 3, 4}, 2);
+  s.scale_(0.5f);
+  EXPECT_FLOAT_EQ(s.values().at({0, 0}), 0.5f);
+  EXPECT_FLOAT_EQ(s.values().at({1, 1}), 2.0f);
+}
+
+TEST(SparseRows, AddToDenseAccumulates) {
+  SparseRows s = make(3, {0, 0}, {1, 1, 2, 2}, 2);
+  Tensor dense = Tensor::full({3, 2}, 1.0f);
+  s.add_to_dense(dense);
+  EXPECT_FLOAT_EQ(dense.at({0, 0}), 4.0f);
+  EXPECT_FLOAT_EQ(dense.at({1, 0}), 1.0f);
+}
+
+TEST(SparseRows, PackUnpackRoundTrip) {
+  SparseRows s = make(100, {7, 3, 7}, {1, 2, 3, 4, 5, 6}, 2);
+  auto buf = s.pack();
+  SparseRows r = SparseRows::unpack(buf);
+  EXPECT_EQ(r.num_total_rows(), 100);
+  EXPECT_EQ(r.dim(), 2);
+  EXPECT_EQ(r.indices(), s.indices());
+  EXPECT_FLOAT_EQ(r.values().max_abs_diff(s.values()), 0.0f);
+}
+
+TEST(SparseRows, PackUnpackEmptyRoundTrip) {
+  SparseRows s = SparseRows::empty(42, 8);
+  SparseRows r = SparseRows::unpack(s.pack());
+  EXPECT_EQ(r.num_total_rows(), 42);
+  EXPECT_EQ(r.dim(), 8);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(SparseRows, UnpackRejectsCorruptBuffers) {
+  SparseRows s = make(10, {1}, {1, 2}, 2);
+  auto buf = s.pack();
+  buf.pop_back();
+  EXPECT_THROW(SparseRows::unpack(buf), Error);
+  EXPECT_THROW(SparseRows::unpack(buf.data(), 4), Error);
+}
+
+
+TEST(SparseRows, SliceColumnsExtractsRange) {
+  SparseRows s = make(6, {1, 4}, {10, 11, 12, 13, 20, 21, 22, 23}, 4);
+  SparseRows slice = s.slice_columns(1, 3);
+  EXPECT_EQ(slice.dim(), 2);
+  EXPECT_EQ(slice.indices(), s.indices());
+  EXPECT_FLOAT_EQ(slice.values().at({0, 0}), 11.0f);
+  EXPECT_FLOAT_EQ(slice.values().at({0, 1}), 12.0f);
+  EXPECT_FLOAT_EQ(slice.values().at({1, 0}), 21.0f);
+}
+
+TEST(SparseRows, SliceColumnsEdgeCases) {
+  SparseRows s = make(6, {2}, {1, 2, 3}, 3);
+  // Full range is an identity.
+  EXPECT_TRUE(s.slice_columns(0, 3).logically_equal(s));
+  // Empty range yields zero-width values.
+  SparseRows empty = s.slice_columns(1, 1);
+  EXPECT_EQ(empty.dim(), 0);
+  EXPECT_EQ(empty.nnz_rows(), 1);
+  EXPECT_THROW(s.slice_columns(-1, 2), Error);
+  EXPECT_THROW(s.slice_columns(2, 1), Error);
+  EXPECT_THROW(s.slice_columns(0, 4), Error);
+}
+
+TEST(SparseRows, ColumnSlicesTileTheTensor) {
+  // Concatenating all ranks' column slices reassembles every value —
+  // the invariant the partitioned-embedding AlltoAll relies on.
+  Rng rng(77);
+  const int64_t dim = 10;
+  SparseRows s = make(20, {3, 7, 3}, std::vector<float>(30, 0.0f), dim);
+  Rng vr(78);
+  s.mutable_values() = Tensor::randn({3, dim}, vr);
+  for (int world : {1, 2, 3, 4}) {
+    Tensor rebuilt({3, dim});
+    for (int r = 0; r < world; ++r) {
+      const int64_t c0 = dim * r / world;
+      const int64_t c1 = dim * (r + 1) / world;
+      SparseRows slice = s.slice_columns(c0, c1);
+      for (int64_t k = 0; k < 3; ++k) {
+        for (int64_t c = c0; c < c1; ++c) {
+          rebuilt.at({k, c}) = slice.values().at({k, c - c0});
+        }
+      }
+    }
+    EXPECT_LT(rebuilt.max_abs_diff(s.values()), 1e-7f) << "world " << world;
+  }
+}
+
+// Property sweep: coalesce + split invariants over randomized tensors.
+class SparseRowsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseRowsProperty, CoalesceAndSplitInvariants) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const int64_t total = rng.next_int(1, 50);
+  const int64_t dim = rng.next_int(1, 8);
+  const int64_t nnz = rng.next_int(0, 80);
+  std::vector<int64_t> idx;
+  for (int64_t i = 0; i < nnz; ++i) idx.push_back(rng.next_int(0, total - 1));
+  Rng vr = rng.split(1);
+  Tensor vals = Tensor::randn({nnz, dim}, vr);
+  SparseRows s(total, idx, vals);
+
+  // Coalesce preserves logical meaning and produces sorted-unique indices.
+  SparseRows c = s.coalesced();
+  EXPECT_TRUE(c.is_coalesced());
+  EXPECT_TRUE(is_sorted_unique(c.indices()));
+  EXPECT_TRUE(s.logically_equal(c, 1e-4f));
+  EXPECT_LE(c.nnz_rows(), s.nnz_rows());
+
+  // Random keep set: split partitions rows exactly.
+  std::vector<int64_t> keep;
+  for (int64_t i = 0; i < total; ++i) {
+    if (rng.next_bool(0.4)) keep.push_back(i);
+  }
+  auto [kept, rest] = c.split_by_membership(keep);
+  EXPECT_EQ(kept.nnz_rows() + rest.nnz_rows(), c.nnz_rows());
+  for (int64_t i : kept.indices()) {
+    EXPECT_TRUE(std::binary_search(keep.begin(), keep.end(), i));
+  }
+  for (int64_t i : rest.indices()) {
+    EXPECT_FALSE(std::binary_search(keep.begin(), keep.end(), i));
+  }
+  EXPECT_TRUE(SparseRows::concat(kept, rest).logically_equal(c, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomizedSweep, SparseRowsProperty,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace embrace

@@ -1,0 +1,148 @@
+// Unit tests for the dense Tensor type.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace embrace {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Tensor, ShapeAndNumel) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(), 3);
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.size(0), 2);
+  EXPECT_EQ(t.size(1), 3);
+  EXPECT_EQ(t.size(2), 4);
+  EXPECT_EQ(t.byte_size(), 24 * 4);
+  EXPECT_EQ(t.shape_str(), "[2, 3, 4]");
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({5, 5});
+  for (float v : t.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, ConstructFromDataValidatesSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), Error);
+}
+
+TEST(Tensor, AtIndexing) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at({0, 0}), 0.0f);
+  EXPECT_EQ(t.at({0, 2}), 2.0f);
+  EXPECT_EQ(t.at({1, 0}), 3.0f);
+  EXPECT_EQ(t.at({1, 2}), 5.0f);
+  t.at({1, 1}) = 9.0f;
+  EXPECT_EQ(t[4], 9.0f);
+}
+
+TEST(Tensor, AtRejectsOutOfRange) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.at({2, 0}), Error);
+  EXPECT_THROW(t.at({0, 3}), Error);
+  EXPECT_THROW(t.at({0}), Error);
+}
+
+TEST(Tensor, RowView) {
+  Tensor t({3, 2}, {1, 2, 3, 4, 5, 6});
+  auto r1 = t.row(1);
+  ASSERT_EQ(r1.size(), 2u);
+  EXPECT_EQ(r1[0], 3.0f);
+  EXPECT_EQ(r1[1], 4.0f);
+  r1[0] = -1.0f;
+  EXPECT_EQ(t.at({1, 0}), -1.0f);
+  EXPECT_THROW(t.row(3), Error);
+}
+
+TEST(Tensor, FillAndScale) {
+  Tensor t({4});
+  t.fill_(2.0f).scale_(3.0f);
+  for (float v : t.flat()) EXPECT_EQ(v, 6.0f);
+}
+
+TEST(Tensor, AddSubMul) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {10, 20, 30, 40});
+  Tensor c = a;
+  c.add_(b);
+  EXPECT_EQ(c[0], 11.0f);
+  EXPECT_EQ(c[3], 44.0f);
+  c.sub_(b);
+  EXPECT_FLOAT_EQ(c.max_abs_diff(a), 0.0f);
+  c.mul_(b);
+  EXPECT_EQ(c[1], 40.0f);
+}
+
+TEST(Tensor, AddScaled) {
+  Tensor a({3}, {1, 1, 1});
+  Tensor g({3}, {2, 4, 6});
+  a.add_scaled_(g, -0.5f);
+  EXPECT_FLOAT_EQ(a[0], 0.0f);
+  EXPECT_FLOAT_EQ(a[1], -1.0f);
+  EXPECT_FLOAT_EQ(a[2], -2.0f);
+}
+
+TEST(Tensor, BinaryOpsRejectShapeMismatch) {
+  Tensor a({2, 2});
+  Tensor b({4});
+  EXPECT_THROW(a.add_(b), Error);
+  EXPECT_THROW(a.sub_(b), Error);
+  EXPECT_THROW(a.mul_(b), Error);
+  EXPECT_THROW(a.max_abs_diff(b), Error);
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.rows(), 3);
+  EXPECT_EQ(r.at({2, 1}), 5.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), Error);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, {1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(t.sum(), -2.0f);
+  EXPECT_FLOAT_EQ(t.mean(), -0.5f);
+  EXPECT_FLOAT_EQ(t.abs_max(), 4.0f);
+  EXPECT_FLOAT_EQ(t.squared_norm(), 1 + 4 + 9 + 16);
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng(99);
+  Tensor t = Tensor::randn({100, 100}, rng, 2.0f);
+  EXPECT_NEAR(t.mean(), 0.0f, 0.05f);
+  EXPECT_NEAR(t.squared_norm() / static_cast<float>(t.numel()), 4.0f, 0.3f);
+}
+
+TEST(Tensor, RandUniformRange) {
+  Rng rng(7);
+  Tensor t = Tensor::rand_uniform({1000}, rng, -1.0f, 1.0f);
+  for (float v : t.flat()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+  EXPECT_NEAR(t.mean(), 0.0f, 0.1f);
+}
+
+TEST(Tensor, FullFactory) {
+  Tensor t = Tensor::full({2, 2}, 7.5f);
+  for (float v : t.flat()) EXPECT_EQ(v, 7.5f);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {1, 2.5, 2});
+  EXPECT_FLOAT_EQ(a.max_abs_diff(b), 1.0f);
+}
+
+}  // namespace
+}  // namespace embrace

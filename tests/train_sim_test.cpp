@@ -1,0 +1,179 @@
+// Tests for the training-step simulator: structural invariants plus the
+// paper's qualitative evaluation claims (§5.3–§5.6) that the calibrated
+// model must preserve.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "simnet/train_sim.h"
+
+namespace embrace::simnet {
+namespace {
+
+StepStats run(const ModelSpec& m, const ClusterConfig& c, Strategy s) {
+  return simulate_training(m, c, s).stats;
+}
+
+double best_baseline_step(const ModelSpec& m, const ClusterConfig& c) {
+  double best = 1e100;
+  for (Strategy s : baseline_strategies()) {
+    best = std::min(best, run(m, c, s).step_seconds);
+  }
+  return best;
+}
+
+class AllModelsP : public ::testing::TestWithParam<int> {
+ protected:
+  ModelSpec model() const {
+    return all_model_specs()[static_cast<size_t>(GetParam())];
+  }
+};
+
+TEST_P(AllModelsP, StatsAreSane) {
+  const auto m = model();
+  for (int gpus : {4, 8, 16}) {
+    for (Strategy s :
+         {Strategy::kHorovodAllReduce, Strategy::kHorovodAllGather,
+          Strategy::kBytePS, Strategy::kParallax, Strategy::kEmbRaceNoSched,
+          Strategy::kEmbRace}) {
+      const auto st = run(m, make_rtx3090_cluster(gpus), s);
+      EXPECT_GT(st.step_seconds, 0.0);
+      EXPECT_GE(st.computation_stall, 0.0);
+      // Identity: step time = useful compute + stall.
+      EXPECT_NEAR(st.step_seconds, st.compute_seconds + st.computation_stall,
+                  1e-9);
+      EXPECT_GT(st.tokens_per_second, 0.0);
+    }
+  }
+}
+
+TEST_P(AllModelsP, StepTimeAtLeastComputeTime) {
+  const auto m = model();
+  const auto st = run(m, make_rtx3090_cluster(16), Strategy::kEmbRace);
+  EXPECT_GE(st.step_seconds, st.compute_seconds - 1e-12);
+}
+
+TEST_P(AllModelsP, EmbRaceBeatsEveryBaselineAt16Gpus) {
+  // Figure 7: EmbRace achieves >= 1.02x over the best baseline everywhere.
+  const auto m = model();
+  for (auto cluster :
+       {make_rtx3090_cluster(16), make_rtx2080_cluster(16)}) {
+    const double embrace = run(m, cluster, Strategy::kEmbRace).step_seconds;
+    const double best = best_baseline_step(m, cluster);
+    EXPECT_LT(embrace, best * 1.0)
+        << m.name << " on " << cluster.name;
+  }
+}
+
+TEST_P(AllModelsP, SchedulingHelpsOnTopOfHybridComm) {
+  // Figure 9 ablation: 2D scheduling adds speedup over hybrid comm alone.
+  const auto m = model();
+  const auto cluster = make_rtx3090_cluster(16);
+  const double with = run(m, cluster, Strategy::kEmbRace).step_seconds;
+  const double without =
+      run(m, cluster, Strategy::kEmbRaceNoSched).step_seconds;
+  EXPECT_LT(with, without) << m.name;
+}
+
+TEST_P(AllModelsP, EmbRaceStallLowestAt16Gpus) {
+  // Figure 8: EmbRace has the smallest Computation Stall on 16 GPUs.
+  const auto m = model();
+  for (auto cluster :
+       {make_rtx3090_cluster(16), make_rtx2080_cluster(16)}) {
+    const double embrace_stall =
+        run(m, cluster, Strategy::kEmbRace).computation_stall;
+    for (Strategy s : baseline_strategies()) {
+      EXPECT_LT(embrace_stall, run(m, cluster, s).computation_stall)
+          << m.name << " vs " << strategy_name(s) << " on " << cluster.name;
+    }
+  }
+}
+
+TEST_P(AllModelsP, EmbRaceThroughputScalesWithGpus) {
+  const auto m = model();
+  const double t4 =
+      run(m, make_rtx3090_cluster(4), Strategy::kEmbRace).tokens_per_second;
+  const double t8 =
+      run(m, make_rtx3090_cluster(8), Strategy::kEmbRace).tokens_per_second;
+  const double t16 =
+      run(m, make_rtx3090_cluster(16), Strategy::kEmbRace).tokens_per_second;
+  EXPECT_GT(t8, t4);
+  EXPECT_GT(t16, t8);
+  // Sub-linear (communication is not free).
+  EXPECT_LT(t16, 4.0 * t4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, AllModelsP, ::testing::Range(0, 4));
+
+TEST(TrainSim, DenseAllReduceHopelessForLM) {
+  // §5.3: "the LM model has the largest sparse parameter ratio ... dense
+  // communication methods (Horovod AllReduce and BytePS) are too slow."
+  const auto m = lm_spec();
+  const auto cluster = make_rtx3090_cluster(16);
+  const double ar = run(m, cluster, Strategy::kHorovodAllReduce).step_seconds;
+  const double ag = run(m, cluster, Strategy::kHorovodAllGather).step_seconds;
+  EXPECT_GT(ar, 3.0 * ag);
+}
+
+TEST(TrainSim, EmbRaceGainSmallestForBertOn3090) {
+  // §5.3: BERT on RTX3090 has BP long enough to cover the dense-format
+  // embedding transfer, so EmbRace's edge is small (1.02–1.06x).
+  const auto cluster = make_rtx3090_cluster(16);
+  const auto bert = bert_base_spec();
+  const double speedup_bert =
+      best_baseline_step(bert, cluster) /
+      run(bert, cluster, Strategy::kEmbRace).step_seconds;
+  const auto lm = lm_spec();
+  const double speedup_lm = best_baseline_step(lm, cluster) /
+                            run(lm, cluster, Strategy::kEmbRace).step_seconds;
+  EXPECT_LT(speedup_bert, speedup_lm);
+  EXPECT_LT(speedup_bert, 1.30);
+}
+
+TEST(TrainSim, Rtx2080GainsExceedRtx3090ForBert) {
+  // §5.3: communication dominates on the slower cluster with tiny batches,
+  // so EmbRace gains more on RTX2080 (BERT: 1.10-1.40x vs 1.02-1.06x).
+  const auto bert = bert_base_spec();
+  const double s3090 =
+      best_baseline_step(bert, make_rtx3090_cluster(16)) /
+      run(bert, make_rtx3090_cluster(16), Strategy::kEmbRace).step_seconds;
+  const double s2080 =
+      best_baseline_step(bert, make_rtx2080_cluster(16)) /
+      run(bert, make_rtx2080_cluster(16), Strategy::kEmbRace).step_seconds;
+  EXPECT_GT(s2080, s3090);
+}
+
+TEST(TrainSim, TraceRetainedOnRequest) {
+  TrainSimOptions opts;
+  opts.keep_trace = true;
+  auto r = simulate_training(gnmt8_spec(), make_rtx3090_cluster(8),
+                             Strategy::kEmbRace, opts);
+  EXPECT_FALSE(r.ops.empty());
+  EXPECT_EQ(r.ops.size(), r.sim.trace.size());
+  const std::string tl = render_timeline(r.ops, r.sim, 1e-3);
+  EXPECT_NE(tl.find("compute |"), std::string::npos);
+}
+
+TEST(TrainSim, RequiresAtLeastThreeSteps) {
+  TrainSimOptions opts;
+  opts.steps = 2;
+  EXPECT_THROW(simulate_training(lm_spec(), make_rtx3090_cluster(4),
+                                 Strategy::kEmbRace, opts),
+               Error);
+}
+
+TEST(TrainSim, MoreStepsDoNotChangeSteadyState) {
+  TrainSimOptions opt6, opt10;
+  opt6.steps = 6;
+  opt10.steps = 10;
+  const auto a = simulate_training(gnmt8_spec(), make_rtx3090_cluster(8),
+                                   Strategy::kEmbRace, opt6);
+  const auto b = simulate_training(gnmt8_spec(), make_rtx3090_cluster(8),
+                                   Strategy::kEmbRace, opt10);
+  EXPECT_NEAR(a.stats.step_seconds, b.stats.step_seconds,
+              0.02 * a.stats.step_seconds);
+}
+
+}  // namespace
+}  // namespace embrace::simnet
