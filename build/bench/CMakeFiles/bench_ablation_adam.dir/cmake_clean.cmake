@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_adam.dir/bench_ablation_adam.cpp.o"
+  "CMakeFiles/bench_ablation_adam.dir/bench_ablation_adam.cpp.o.d"
+  "bench_ablation_adam"
+  "bench_ablation_adam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_adam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

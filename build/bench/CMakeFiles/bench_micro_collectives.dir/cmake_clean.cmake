@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_collectives.dir/bench_micro_collectives.cpp.o"
+  "CMakeFiles/bench_micro_collectives.dir/bench_micro_collectives.cpp.o.d"
+  "bench_micro_collectives"
+  "bench_micro_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_visualizer.dir/schedule_visualizer.cpp.o"
+  "CMakeFiles/schedule_visualizer.dir/schedule_visualizer.cpp.o.d"
+  "schedule_visualizer"
+  "schedule_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

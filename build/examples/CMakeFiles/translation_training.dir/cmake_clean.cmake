@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translation_training.dir/translation_training.cpp.o"
+  "CMakeFiles/translation_training.dir/translation_training.cpp.o.d"
+  "translation_training"
+  "translation_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translation_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

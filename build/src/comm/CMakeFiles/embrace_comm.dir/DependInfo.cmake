@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/cluster.cpp" "src/comm/CMakeFiles/embrace_comm.dir/cluster.cpp.o" "gcc" "src/comm/CMakeFiles/embrace_comm.dir/cluster.cpp.o.d"
+  "/root/repo/src/comm/communicator.cpp" "src/comm/CMakeFiles/embrace_comm.dir/communicator.cpp.o" "gcc" "src/comm/CMakeFiles/embrace_comm.dir/communicator.cpp.o.d"
+  "/root/repo/src/comm/fabric.cpp" "src/comm/CMakeFiles/embrace_comm.dir/fabric.cpp.o" "gcc" "src/comm/CMakeFiles/embrace_comm.dir/fabric.cpp.o.d"
+  "/root/repo/src/comm/param_server.cpp" "src/comm/CMakeFiles/embrace_comm.dir/param_server.cpp.o" "gcc" "src/comm/CMakeFiles/embrace_comm.dir/param_server.cpp.o.d"
+  "/root/repo/src/comm/sparse_collectives.cpp" "src/comm/CMakeFiles/embrace_comm.dir/sparse_collectives.cpp.o" "gcc" "src/comm/CMakeFiles/embrace_comm.dir/sparse_collectives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/embrace_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/embrace_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embrace_comm.dir/cluster.cpp.o"
+  "CMakeFiles/embrace_comm.dir/cluster.cpp.o.d"
+  "CMakeFiles/embrace_comm.dir/communicator.cpp.o"
+  "CMakeFiles/embrace_comm.dir/communicator.cpp.o.d"
+  "CMakeFiles/embrace_comm.dir/fabric.cpp.o"
+  "CMakeFiles/embrace_comm.dir/fabric.cpp.o.d"
+  "CMakeFiles/embrace_comm.dir/param_server.cpp.o"
+  "CMakeFiles/embrace_comm.dir/param_server.cpp.o.d"
+  "CMakeFiles/embrace_comm.dir/sparse_collectives.cpp.o"
+  "CMakeFiles/embrace_comm.dir/sparse_collectives.cpp.o.d"
+  "libembrace_comm.a"
+  "libembrace_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embrace_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

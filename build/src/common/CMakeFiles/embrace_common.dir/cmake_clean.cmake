@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embrace_common.dir/logging.cpp.o"
+  "CMakeFiles/embrace_common.dir/logging.cpp.o.d"
+  "CMakeFiles/embrace_common.dir/rng.cpp.o"
+  "CMakeFiles/embrace_common.dir/rng.cpp.o.d"
+  "CMakeFiles/embrace_common.dir/table.cpp.o"
+  "CMakeFiles/embrace_common.dir/table.cpp.o.d"
+  "libembrace_common.a"
+  "libembrace_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embrace_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

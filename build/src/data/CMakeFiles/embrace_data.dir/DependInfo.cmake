@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/batch.cpp" "src/data/CMakeFiles/embrace_data.dir/batch.cpp.o" "gcc" "src/data/CMakeFiles/embrace_data.dir/batch.cpp.o.d"
+  "/root/repo/src/data/corpus.cpp" "src/data/CMakeFiles/embrace_data.dir/corpus.cpp.o" "gcc" "src/data/CMakeFiles/embrace_data.dir/corpus.cpp.o.d"
+  "/root/repo/src/data/loader.cpp" "src/data/CMakeFiles/embrace_data.dir/loader.cpp.o" "gcc" "src/data/CMakeFiles/embrace_data.dir/loader.cpp.o.d"
+  "/root/repo/src/data/model_workloads.cpp" "src/data/CMakeFiles/embrace_data.dir/model_workloads.cpp.o" "gcc" "src/data/CMakeFiles/embrace_data.dir/model_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/embrace_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/embrace_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embrace_data.dir/batch.cpp.o"
+  "CMakeFiles/embrace_data.dir/batch.cpp.o.d"
+  "CMakeFiles/embrace_data.dir/corpus.cpp.o"
+  "CMakeFiles/embrace_data.dir/corpus.cpp.o.d"
+  "CMakeFiles/embrace_data.dir/loader.cpp.o"
+  "CMakeFiles/embrace_data.dir/loader.cpp.o.d"
+  "CMakeFiles/embrace_data.dir/model_workloads.cpp.o"
+  "CMakeFiles/embrace_data.dir/model_workloads.cpp.o.d"
+  "libembrace_data.a"
+  "libembrace_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embrace_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

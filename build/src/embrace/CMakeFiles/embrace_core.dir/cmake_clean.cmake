@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embrace_core.dir/partitioned_embedding.cpp.o"
+  "CMakeFiles/embrace_core.dir/partitioned_embedding.cpp.o.d"
+  "CMakeFiles/embrace_core.dir/trainer.cpp.o"
+  "CMakeFiles/embrace_core.dir/trainer.cpp.o.d"
+  "libembrace_core.a"
+  "libembrace_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embrace_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/embrace_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/embrace_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/embrace_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/embrace_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/cross_attention.cpp" "src/nn/CMakeFiles/embrace_nn.dir/cross_attention.cpp.o" "gcc" "src/nn/CMakeFiles/embrace_nn.dir/cross_attention.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/nn/CMakeFiles/embrace_nn.dir/embedding.cpp.o" "gcc" "src/nn/CMakeFiles/embrace_nn.dir/embedding.cpp.o.d"
+  "/root/repo/src/nn/heads.cpp" "src/nn/CMakeFiles/embrace_nn.dir/heads.cpp.o" "gcc" "src/nn/CMakeFiles/embrace_nn.dir/heads.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/embrace_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/embrace_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/embrace_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/embrace_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/nn/CMakeFiles/embrace_nn.dir/optim.cpp.o" "gcc" "src/nn/CMakeFiles/embrace_nn.dir/optim.cpp.o.d"
+  "/root/repo/src/nn/schedule.cpp" "src/nn/CMakeFiles/embrace_nn.dir/schedule.cpp.o" "gcc" "src/nn/CMakeFiles/embrace_nn.dir/schedule.cpp.o.d"
+  "/root/repo/src/nn/transformer.cpp" "src/nn/CMakeFiles/embrace_nn.dir/transformer.cpp.o" "gcc" "src/nn/CMakeFiles/embrace_nn.dir/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/embrace_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/embrace_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

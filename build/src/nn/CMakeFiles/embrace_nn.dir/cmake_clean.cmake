@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embrace_nn.dir/attention.cpp.o"
+  "CMakeFiles/embrace_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/embrace_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/embrace_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/embrace_nn.dir/cross_attention.cpp.o"
+  "CMakeFiles/embrace_nn.dir/cross_attention.cpp.o.d"
+  "CMakeFiles/embrace_nn.dir/embedding.cpp.o"
+  "CMakeFiles/embrace_nn.dir/embedding.cpp.o.d"
+  "CMakeFiles/embrace_nn.dir/heads.cpp.o"
+  "CMakeFiles/embrace_nn.dir/heads.cpp.o.d"
+  "CMakeFiles/embrace_nn.dir/lstm.cpp.o"
+  "CMakeFiles/embrace_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/embrace_nn.dir/module.cpp.o"
+  "CMakeFiles/embrace_nn.dir/module.cpp.o.d"
+  "CMakeFiles/embrace_nn.dir/optim.cpp.o"
+  "CMakeFiles/embrace_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/embrace_nn.dir/schedule.cpp.o"
+  "CMakeFiles/embrace_nn.dir/schedule.cpp.o.d"
+  "CMakeFiles/embrace_nn.dir/transformer.cpp.o"
+  "CMakeFiles/embrace_nn.dir/transformer.cpp.o.d"
+  "libembrace_nn.a"
+  "libembrace_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embrace_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

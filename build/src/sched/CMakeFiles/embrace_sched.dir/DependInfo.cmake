@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/comm_scheduler.cpp" "src/sched/CMakeFiles/embrace_sched.dir/comm_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/embrace_sched.dir/comm_scheduler.cpp.o.d"
+  "/root/repo/src/sched/negotiated_scheduler.cpp" "src/sched/CMakeFiles/embrace_sched.dir/negotiated_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/embrace_sched.dir/negotiated_scheduler.cpp.o.d"
+  "/root/repo/src/sched/plan.cpp" "src/sched/CMakeFiles/embrace_sched.dir/plan.cpp.o" "gcc" "src/sched/CMakeFiles/embrace_sched.dir/plan.cpp.o.d"
+  "/root/repo/src/sched/vertical.cpp" "src/sched/CMakeFiles/embrace_sched.dir/vertical.cpp.o" "gcc" "src/sched/CMakeFiles/embrace_sched.dir/vertical.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/embrace_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/embrace_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/embrace_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embrace_sched.dir/comm_scheduler.cpp.o"
+  "CMakeFiles/embrace_sched.dir/comm_scheduler.cpp.o.d"
+  "CMakeFiles/embrace_sched.dir/negotiated_scheduler.cpp.o"
+  "CMakeFiles/embrace_sched.dir/negotiated_scheduler.cpp.o.d"
+  "CMakeFiles/embrace_sched.dir/plan.cpp.o"
+  "CMakeFiles/embrace_sched.dir/plan.cpp.o.d"
+  "CMakeFiles/embrace_sched.dir/vertical.cpp.o"
+  "CMakeFiles/embrace_sched.dir/vertical.cpp.o.d"
+  "libembrace_sched.a"
+  "libembrace_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embrace_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

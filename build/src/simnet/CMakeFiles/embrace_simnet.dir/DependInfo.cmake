@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/cost_model.cpp" "src/simnet/CMakeFiles/embrace_simnet.dir/cost_model.cpp.o" "gcc" "src/simnet/CMakeFiles/embrace_simnet.dir/cost_model.cpp.o.d"
+  "/root/repo/src/simnet/engine.cpp" "src/simnet/CMakeFiles/embrace_simnet.dir/engine.cpp.o" "gcc" "src/simnet/CMakeFiles/embrace_simnet.dir/engine.cpp.o.d"
+  "/root/repo/src/simnet/model_specs.cpp" "src/simnet/CMakeFiles/embrace_simnet.dir/model_specs.cpp.o" "gcc" "src/simnet/CMakeFiles/embrace_simnet.dir/model_specs.cpp.o.d"
+  "/root/repo/src/simnet/topology.cpp" "src/simnet/CMakeFiles/embrace_simnet.dir/topology.cpp.o" "gcc" "src/simnet/CMakeFiles/embrace_simnet.dir/topology.cpp.o.d"
+  "/root/repo/src/simnet/train_sim.cpp" "src/simnet/CMakeFiles/embrace_simnet.dir/train_sim.cpp.o" "gcc" "src/simnet/CMakeFiles/embrace_simnet.dir/train_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/embrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

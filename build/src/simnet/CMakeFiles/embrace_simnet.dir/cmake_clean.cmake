@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embrace_simnet.dir/cost_model.cpp.o"
+  "CMakeFiles/embrace_simnet.dir/cost_model.cpp.o.d"
+  "CMakeFiles/embrace_simnet.dir/engine.cpp.o"
+  "CMakeFiles/embrace_simnet.dir/engine.cpp.o.d"
+  "CMakeFiles/embrace_simnet.dir/model_specs.cpp.o"
+  "CMakeFiles/embrace_simnet.dir/model_specs.cpp.o.d"
+  "CMakeFiles/embrace_simnet.dir/topology.cpp.o"
+  "CMakeFiles/embrace_simnet.dir/topology.cpp.o.d"
+  "CMakeFiles/embrace_simnet.dir/train_sim.cpp.o"
+  "CMakeFiles/embrace_simnet.dir/train_sim.cpp.o.d"
+  "libembrace_simnet.a"
+  "libembrace_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embrace_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/fusion.cpp" "src/tensor/CMakeFiles/embrace_tensor.dir/fusion.cpp.o" "gcc" "src/tensor/CMakeFiles/embrace_tensor.dir/fusion.cpp.o.d"
+  "/root/repo/src/tensor/index_ops.cpp" "src/tensor/CMakeFiles/embrace_tensor.dir/index_ops.cpp.o" "gcc" "src/tensor/CMakeFiles/embrace_tensor.dir/index_ops.cpp.o.d"
+  "/root/repo/src/tensor/linalg.cpp" "src/tensor/CMakeFiles/embrace_tensor.dir/linalg.cpp.o" "gcc" "src/tensor/CMakeFiles/embrace_tensor.dir/linalg.cpp.o.d"
+  "/root/repo/src/tensor/sparse_rows.cpp" "src/tensor/CMakeFiles/embrace_tensor.dir/sparse_rows.cpp.o" "gcc" "src/tensor/CMakeFiles/embrace_tensor.dir/sparse_rows.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/tensor/CMakeFiles/embrace_tensor.dir/tensor.cpp.o" "gcc" "src/tensor/CMakeFiles/embrace_tensor.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/embrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

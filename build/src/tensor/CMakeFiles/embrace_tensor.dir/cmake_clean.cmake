@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embrace_tensor.dir/fusion.cpp.o"
+  "CMakeFiles/embrace_tensor.dir/fusion.cpp.o.d"
+  "CMakeFiles/embrace_tensor.dir/index_ops.cpp.o"
+  "CMakeFiles/embrace_tensor.dir/index_ops.cpp.o.d"
+  "CMakeFiles/embrace_tensor.dir/linalg.cpp.o"
+  "CMakeFiles/embrace_tensor.dir/linalg.cpp.o.d"
+  "CMakeFiles/embrace_tensor.dir/sparse_rows.cpp.o"
+  "CMakeFiles/embrace_tensor.dir/sparse_rows.cpp.o.d"
+  "CMakeFiles/embrace_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/embrace_tensor.dir/tensor.cpp.o.d"
+  "libembrace_tensor.a"
+  "libembrace_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embrace_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_fuzz_test.dir/collective_fuzz_test.cpp.o"
+  "CMakeFiles/collective_fuzz_test.dir/collective_fuzz_test.cpp.o.d"
+  "collective_fuzz_test"
+  "collective_fuzz_test.pdb"
+  "collective_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heads_test.dir/heads_test.cpp.o"
+  "CMakeFiles/heads_test.dir/heads_test.cpp.o.d"
+  "heads_test"
+  "heads_test.pdb"
+  "heads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

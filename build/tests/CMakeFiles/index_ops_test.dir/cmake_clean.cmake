@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_ops_test.dir/index_ops_test.cpp.o"
+  "CMakeFiles/index_ops_test.dir/index_ops_test.cpp.o.d"
+  "index_ops_test"
+  "index_ops_test.pdb"
+  "index_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

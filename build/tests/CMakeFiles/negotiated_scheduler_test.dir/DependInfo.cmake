@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/negotiated_scheduler_test.cpp" "tests/CMakeFiles/negotiated_scheduler_test.dir/negotiated_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/negotiated_scheduler_test.dir/negotiated_scheduler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/embrace_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/embrace_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/embrace_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/embrace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

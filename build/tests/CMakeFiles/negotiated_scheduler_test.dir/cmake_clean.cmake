@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/negotiated_scheduler_test.dir/negotiated_scheduler_test.cpp.o"
+  "CMakeFiles/negotiated_scheduler_test.dir/negotiated_scheduler_test.cpp.o.d"
+  "negotiated_scheduler_test"
+  "negotiated_scheduler_test.pdb"
+  "negotiated_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/negotiated_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_embedding_test.dir/partitioned_embedding_test.cpp.o"
+  "CMakeFiles/partitioned_embedding_test.dir/partitioned_embedding_test.cpp.o.d"
+  "partitioned_embedding_test"
+  "partitioned_embedding_test.pdb"
+  "partitioned_embedding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_embedding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_rows_test.dir/sparse_rows_test.cpp.o"
+  "CMakeFiles/sparse_rows_test.dir/sparse_rows_test.cpp.o.d"
+  "sparse_rows_test"
+  "sparse_rows_test.pdb"
+  "sparse_rows_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_rows_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

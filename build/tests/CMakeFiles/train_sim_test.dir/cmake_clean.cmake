@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_sim_test.dir/train_sim_test.cpp.o"
+  "CMakeFiles/train_sim_test.dir/train_sim_test.cpp.o.d"
+  "train_sim_test"
+  "train_sim_test.pdb"
+  "train_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse_rows_test[1]_include.cmake")
+include("/root/repo/build/tests/index_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/fusion_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/collective_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/param_server_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_modules_test[1]_include.cmake")
+include("/root/repo/build/tests/recurrent_test[1]_include.cmake")
+include("/root/repo/build/tests/embedding_optim_test[1]_include.cmake")
+include("/root/repo/build/tests/heads_test[1]_include.cmake")
+include("/root/repo/build/tests/checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/transformer_test[1]_include.cmake")
+include("/root/repo/build/tests/seq2seq_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_test[1]_include.cmake")
+include("/root/repo/build/tests/negotiated_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/train_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/partitioned_embedding_test[1]_include.cmake")
+include("/root/repo/build/tests/trainer_test[1]_include.cmake")
