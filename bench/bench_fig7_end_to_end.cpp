@@ -9,14 +9,32 @@
 //            BERT-base 1.10-1.40x
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
+#include "common/error.h"
 #include "common/table.h"
+#include "obs/metrics.h"
 #include "simnet/train_sim.h"
 
 using namespace embrace;
 using namespace embrace::simnet;
 
+namespace {
+
+// Every cell lands in a dedicated metrics registry as a labeled gauge, and
+// the whole registry snapshot is dumped to BENCH_fig7.json — so the perf
+// trajectory of this figure is machine-diffable across PRs.
+std::string cell_label(const char* metric, const char* cluster,
+                       const std::string& model, int gpus,
+                       const char* strategy) {
+  return std::string(metric) + "{cluster=" + cluster + ",model=" + model +
+         ",gpus=" + std::to_string(gpus) + ",strategy=" + strategy + "}";
+}
+
+}  // namespace
+
 int main() {
+  obs::MetricsRegistry fig7;
   std::puts("Figure 7: end-to-end training throughput (tokens/sec, "
             "simulated) and EmbRace speedup over the best baseline.\n");
   for (int cluster_kind = 0; cluster_kind < 2; ++cluster_kind) {
@@ -34,10 +52,19 @@ int main() {
         for (Strategy s : baseline_strategies()) {
           const auto st = simulate_training(model, cfg, s).stats;
           best_baseline = std::max(best_baseline, st.tokens_per_second);
+          fig7.gauge(cell_label("fig7.tokens_per_sec", cname, model.name,
+                                gpus, strategy_name(s)))
+              .set(st.tokens_per_second);
           row.push_back(TextTable::num(st.tokens_per_second, 0));
         }
         const auto er =
             simulate_training(model, cfg, Strategy::kEmbRace).stats;
+        fig7.gauge(cell_label("fig7.tokens_per_sec", cname, model.name, gpus,
+                              strategy_name(Strategy::kEmbRace)))
+            .set(er.tokens_per_second);
+        fig7.gauge(cell_label("fig7.speedup_vs_best", cname, model.name,
+                              gpus, strategy_name(Strategy::kEmbRace)))
+            .set(er.tokens_per_second / best_baseline);
         row.push_back(TextTable::num(er.tokens_per_second, 0));
         row.push_back(
             TextTable::num(er.tokens_per_second / best_baseline, 2) + "x");
@@ -48,5 +75,11 @@ int main() {
       std::puts("");
     }
   }
+  const std::string json = fig7.json();
+  std::FILE* f = std::fopen("BENCH_fig7.json", "w");
+  EMBRACE_CHECK(f != nullptr, << "cannot open BENCH_fig7.json");
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::puts("wrote BENCH_fig7.json (metrics snapshot of every cell)");
   return 0;
 }

@@ -4,6 +4,22 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+// One span per collective call (tagged with payload bytes and channel) plus
+// an always-on per-collective byte counter. The static locals pin the
+// registry lookup cost to the first call per site.
+#define EMBRACE_COLLECTIVE_PROLOGUE(opname, payload_bytes)            \
+  static obs::Counter& obs_bytes_counter =                            \
+      obs::counter("comm.bytes{collective=" opname "}");              \
+  static obs::Counter& obs_calls_counter =                            \
+      obs::counter("comm.calls{collective=" opname "}");              \
+  const int64_t obs_payload = (payload_bytes);                        \
+  obs_bytes_counter.add(obs_payload);                                 \
+  obs_calls_counter.increment();                                      \
+  obs::ScopedSpan obs_span(opname, "bytes", obs_payload, "channel",   \
+                           channel_id_)
 
 namespace embrace::comm {
 namespace {
@@ -99,6 +115,7 @@ std::pair<int64_t, int64_t> Communicator::chunk_range(int64_t total,
 }
 
 void Communicator::barrier() {
+  EMBRACE_COLLECTIVE_PROLOGUE("barrier", 0);
   // Dissemination barrier: ceil(log2 N) rounds of token exchange.
   const int n = size();
   for (int k = 1; k < n; k <<= 1) {
@@ -111,6 +128,8 @@ void Communicator::barrier() {
 }
 
 void Communicator::broadcast(std::span<float> data, int root) {
+  EMBRACE_COLLECTIVE_PROLOGUE(
+      "broadcast", static_cast<int64_t>(data.size() * sizeof(float)));
   // Binomial tree rooted at `root` (ranks relabeled relative to root).
   const int n = size();
   const int vrank = (rank_ - root + n) % n;
@@ -136,6 +155,13 @@ void Communicator::broadcast(std::span<float> data, int root) {
 
 std::vector<float> Communicator::reduce_scatter(std::span<float> data,
                                                 ReduceOp op) {
+  EMBRACE_COLLECTIVE_PROLOGUE(
+      "reduce_scatter", static_cast<int64_t>(data.size() * sizeof(float)));
+  return reduce_scatter_impl(data, op);
+}
+
+std::vector<float> Communicator::reduce_scatter_impl(std::span<float> data,
+                                                     ReduceOp op) {
   const int n = size();
   const int64_t total = static_cast<int64_t>(data.size());
   // Ring reduce-scatter: in step s, rank sends chunk (rank - s - 1) and
@@ -164,10 +190,12 @@ std::vector<float> Communicator::reduce_scatter(std::span<float> data,
 }
 
 void Communicator::allreduce(std::span<float> data, ReduceOp op) {
+  EMBRACE_COLLECTIVE_PROLOGUE(
+      "allreduce", static_cast<int64_t>(data.size() * sizeof(float)));
   const int n = size();
   if (n == 1) return;
   const int64_t total = static_cast<int64_t>(data.size());
-  (void)reduce_scatter(data, op);
+  (void)reduce_scatter_impl(data, op);
   // Ring allgather of the reduced chunks: in step s, rank forwards chunk
   // (rank - s) and receives chunk (rank - s - 1).
   for (int s = 0; s < n - 1; ++s) {
@@ -189,6 +217,8 @@ void Communicator::allreduce(std::span<float> data, ReduceOp op) {
 }
 
 void Communicator::reduce(std::span<float> data, int root, ReduceOp op) {
+  EMBRACE_COLLECTIVE_PROLOGUE(
+      "reduce", static_cast<int64_t>(data.size() * sizeof(float)));
   // Binomial tree toward `root` (ranks relabeled relative to root):
   // at round k, vranks with bit k set send their partial sum to vrank-2^k.
   const int n = size();
@@ -214,6 +244,7 @@ void Communicator::reduce(std::span<float> data, int root, ReduceOp op) {
 }
 
 std::vector<Bytes> Communicator::gatherv(const Bytes& mine, int root) {
+  EMBRACE_COLLECTIVE_PROLOGUE("gatherv", static_cast<int64_t>(mine.size()));
   const int n = size();
   const uint64_t tag = next_tag();
   if (rank_ != root) {
@@ -230,6 +261,9 @@ std::vector<Bytes> Communicator::gatherv(const Bytes& mine, int root) {
 }
 
 Bytes Communicator::scatterv(std::vector<Bytes> parts, int root) {
+  int64_t parts_bytes = 0;
+  for (const Bytes& p : parts) parts_bytes += static_cast<int64_t>(p.size());
+  EMBRACE_COLLECTIVE_PROLOGUE("scatterv", parts_bytes);
   const int n = size();
   const uint64_t tag = next_tag();
   if (rank_ == root) {
@@ -245,6 +279,8 @@ Bytes Communicator::scatterv(std::vector<Bytes> parts, int root) {
 }
 
 std::vector<float> Communicator::allgather(std::span<const float> block) {
+  EMBRACE_COLLECTIVE_PROLOGUE(
+      "allgather", static_cast<int64_t>(block.size() * sizeof(float)));
   const int n = size();
   const int64_t block_size = static_cast<int64_t>(block.size());
   std::vector<float> out(static_cast<size_t>(block_size) * n);
@@ -270,6 +306,8 @@ std::vector<float> Communicator::allgather(std::span<const float> block) {
 }
 
 std::vector<Bytes> Communicator::allgatherv(const Bytes& mine) {
+  EMBRACE_COLLECTIVE_PROLOGUE("allgatherv",
+                              static_cast<int64_t>(mine.size()));
   const int n = size();
   std::vector<Bytes> out(static_cast<size_t>(n));
   out[static_cast<size_t>(rank_)] = mine;
@@ -287,6 +325,8 @@ std::vector<Bytes> Communicator::allgatherv(const Bytes& mine) {
 
 std::vector<float> Communicator::alltoall(std::span<const float> send,
                                           int64_t chunk) {
+  EMBRACE_COLLECTIVE_PROLOGUE(
+      "alltoall", static_cast<int64_t>(send.size() * sizeof(float)));
   const int n = size();
   EMBRACE_CHECK_EQ(static_cast<int64_t>(send.size()), chunk * n);
   std::vector<Bytes> payloads(static_cast<size_t>(n));
@@ -294,7 +334,7 @@ std::vector<float> Communicator::alltoall(std::span<const float> send,
     payloads[static_cast<size_t>(i)] = floats_to_bytes(
         send.subspan(static_cast<size_t>(i) * chunk, static_cast<size_t>(chunk)));
   }
-  auto recv = alltoallv(std::move(payloads));
+  auto recv = alltoallv_impl(std::move(payloads));
   std::vector<float> out(static_cast<size_t>(chunk) * n);
   for (int i = 0; i < n; ++i) {
     const auto part = bytes_to_floats(recv[static_cast<size_t>(i)]);
@@ -306,6 +346,13 @@ std::vector<float> Communicator::alltoall(std::span<const float> send,
 }
 
 std::vector<Bytes> Communicator::alltoallv(std::vector<Bytes> send) {
+  int64_t send_bytes = 0;
+  for (const Bytes& p : send) send_bytes += static_cast<int64_t>(p.size());
+  EMBRACE_COLLECTIVE_PROLOGUE("alltoallv", send_bytes);
+  return alltoallv_impl(std::move(send));
+}
+
+std::vector<Bytes> Communicator::alltoallv_impl(std::vector<Bytes> send) {
   const int n = size();
   EMBRACE_CHECK_EQ(static_cast<int>(send.size()), n);
   std::vector<Bytes> out(static_cast<size_t>(n));

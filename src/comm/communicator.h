@@ -102,6 +102,11 @@ class Communicator {
 
  private:
   uint64_t next_tag();
+  // Uninstrumented bodies shared by the public entry points, so a collective
+  // built on another (allreduce -> reduce_scatter, alltoall -> alltoallv)
+  // traces one span and counts its payload bytes exactly once.
+  std::vector<float> reduce_scatter_impl(std::span<float> data, ReduceOp op);
+  std::vector<Bytes> alltoallv_impl(std::vector<Bytes> send);
 
   Fabric* fabric_;
   int rank_;

@@ -4,8 +4,17 @@
 #include <thread>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace embrace::comm {
+namespace {
+
+// Bucket edges for recv-side blocking time (microseconds).
+constexpr double kWaitEdgesUs[] = {1.0,   10.0,   100.0,   1000.0,
+                                   1e4,   1e5,    1e6};
+
+}  // namespace
 
 Fabric::Fabric(int num_ranks) : num_ranks_(num_ranks) {
   EMBRACE_CHECK_GE(num_ranks, 1);
@@ -46,6 +55,10 @@ void Fabric::send(int src, int dst, uint64_t tag, Bytes msg) {
   c.messages.fetch_add(1, std::memory_order_relaxed);
   c.bytes.fetch_add(static_cast<int64_t>(msg.size()),
                     std::memory_order_relaxed);
+  static obs::Counter& send_messages = obs::counter("fabric.send.messages");
+  static obs::Counter& send_bytes = obs::counter("fabric.send.bytes");
+  send_messages.increment();
+  send_bytes.add(static_cast<int64_t>(msg.size()));
   Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
   {
     std::lock_guard<std::mutex> lock(box.mutex);
@@ -59,6 +72,7 @@ Bytes Fabric::recv(int dst, int src, uint64_t tag) {
   EMBRACE_CHECK(dst >= 0 && dst < num_ranks_, << "bad dst rank " << dst);
   Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
   const uint64_t k = key(src, tag);
+  const auto t0 = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(box.mutex);
   box.cv.wait(lock, [&] {
     auto it = box.queues.find(k);
@@ -67,6 +81,16 @@ Bytes Fabric::recv(int dst, int src, uint64_t tag) {
   auto& q = box.queues[k];
   Bytes msg = std::move(q.front());
   q.pop_front();
+  lock.unlock();
+  const auto t1 = std::chrono::steady_clock::now();
+  static obs::Counter& recv_messages = obs::counter("fabric.recv.messages");
+  static obs::Counter& recv_bytes = obs::counter("fabric.recv.bytes");
+  static obs::Histogram& wait_us =
+      obs::histogram("fabric.recv.wait_us", kWaitEdgesUs);
+  recv_messages.increment();
+  recv_bytes.add(static_cast<int64_t>(msg.size()));
+  wait_us.observe(
+      std::chrono::duration<double, std::micro>(t1 - t0).count());
   return msg;
 }
 

@@ -9,6 +9,7 @@ namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_mutex;
+thread_local int t_log_rank = -1;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,6 +27,10 @@ LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
+void set_log_rank(int rank) { t_log_rank = rank; }
+
+int log_rank() { return t_log_rank; }
+
 namespace detail {
 
 void emit_log_line(LogLevel level, const std::string& line) {
@@ -33,7 +38,13 @@ void emit_log_line(LogLevel level, const std::string& line) {
   static const clock::time_point start = clock::now();
   const double t = std::chrono::duration<double>(clock::now() - start).count();
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%9.4f %s] %s\n", t, level_name(level), line.c_str());
+  if (t_log_rank >= 0) {
+    std::fprintf(stderr, "[%9.4f %s r%d] %s\n", t, level_name(level),
+                 t_log_rank, line.c_str());
+  } else {
+    std::fprintf(stderr, "[%9.4f %s] %s\n", t, level_name(level),
+                 line.c_str());
+  }
 }
 
 LogLine::~LogLine() { emit_log_line(level_, os_.str()); }

@@ -15,6 +15,13 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
+// Optional per-thread rank tag: when set (>= 0), log lines from this thread
+// carry an "rN" marker after the monotonic timestamp, making interleaved
+// multi-worker output attributable. Negative clears the tag.
+// obs::bind_thread() sets this automatically for worker/comm threads.
+void set_log_rank(int rank);
+int log_rank();
+
 namespace detail {
 
 void emit_log_line(LogLevel level, const std::string& line);

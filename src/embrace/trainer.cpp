@@ -12,9 +12,13 @@
 // against the single-process oracle.
 #include "embrace/strategy.h"
 
+#include <chrono>
 #include <mutex>
+#include <string>
 
 #include "comm/cluster.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "common/stopwatch.h"
 #include "comm/param_server.h"
 #include "comm/sparse_collectives.h"
@@ -192,6 +196,15 @@ bool uses_ps(StrategyKind s) {
 void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
                  comm::Communicator& comm) {
   const int rank = comm.rank();
+  // Tag this thread's trace events and log lines with the rank; the comm
+  // thread tags itself inside NegotiatedScheduler::run().
+  obs::bind_thread(rank, "train");
+  // Per-step wall time this rank's training thread spends blocked on
+  // communication handles (the paper's "computation stall").
+  obs::Histogram& stall_hist =
+      obs::histogram("trainer.stall_ms{rank=" + std::to_string(rank) + "}",
+                     obs::default_latency_edges_ms());
+  static obs::Counter& steps_done = obs::counter("trainer.steps");
   const float inv_n = 1.0f / static_cast<float>(workers);
   // EmbRace and BytePS (ByteScheduler) use priority scheduling; the rest
   // drain their queues FIFO.
@@ -241,6 +254,17 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
 
   std::vector<float> local_losses;
   for (int step = 0; step < cfg.steps; ++step) {
+    obs::ScopedSpan step_span("step", "step", step);
+    // Accumulates this step's blocked-on-comm wall time across the three
+    // wait sites (embedding data, dense grads, sparse grads).
+    double stall_ms = 0.0;
+    auto timed_wait = [&](auto& handle_vec, const char* phase) {
+      const auto w0 = std::chrono::steady_clock::now();
+      for (auto& h : handle_vec) h.wait();
+      const auto w1 = std::chrono::steady_clock::now();
+      obs::emit_complete(phase, w0, w1, "step", step);
+      stall_ms += std::chrono::duration<double, std::milli>(w1 - w0).count();
+    };
     const data::Batch& cur = loader.current();
     const data::Batch& nxt = loader.next();
     const Segmented seg = segment_batch(cur, tables);
@@ -248,6 +272,7 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
     const auto targets = targets_of(cur, cfg.classes);
 
     // --- embedding forward ---
+    const auto fp_emb_start = std::chrono::steady_clock::now();
     Tensor emb_out({cur.total_tokens(), cfg.dim});
     // Gathered current/next data per table (Algorithm 1's D_cur / D_next).
     std::vector<std::vector<std::vector<int64_t>>> all_cur(
@@ -272,7 +297,7 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
               scatter_rows(rows, seg.pos[t], emb_out);
             }));
       }
-      for (auto& h : handles) h.wait();
+      timed_wait(handles, "stall.embdata");
     } else if (uses_ps(cfg.strategy)) {
       for (int t = 0; t < tables; ++t) {
         scatter_rows(shared.ps[t]->pull_rows(seg.ids[t]), seg.pos[t],
@@ -284,11 +309,17 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
       }
     }
 
+    obs::emit_complete("fp.embedding", fp_emb_start,
+                       std::chrono::steady_clock::now(), "step", step);
+
     // --- dense forward + backward ---
+    const auto fp_bp_start = std::chrono::steady_clock::now();
     head->zero_grad();
     Tensor d_emb;
     const float local_loss = head->forward_backward(
         emb_out, cur.batch_size(), cur.seq_len(), targets, &d_emb);
+    obs::emit_complete("fp_bp.dense", fp_bp_start,
+                       std::chrono::steady_clock::now(), "step", step);
 
     // --- dense gradient communication (wait-free: submitted in
     // BP-emission order = reverse parameter order; optionally fused) ---
@@ -413,9 +444,11 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
     }
 
     // --- finish the step ---
-    for (auto& h : dense_handles) h.wait();
+    timed_wait(dense_handles, "stall.dense");
     dense_opt->step();
-    for (auto& h : emb_handles) h.wait();
+    timed_wait(emb_handles, "stall.sparse");
+    stall_hist.observe(stall_ms);
+    steps_done.increment();
     local_losses.push_back(global_mean_loss(main_ch, local_loss, workers));
     loader.advance();
   }

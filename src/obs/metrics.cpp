@@ -1,0 +1,226 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace embrace::obs {
+namespace {
+
+// CAS loop: atomic<double>::fetch_add is C++20 but not universally lock-free;
+// packing through uint64 bits keeps the histogram header-only-simple.
+void atomic_add_double(std::atomic<uint64_t>& bits, double v) {
+  uint64_t old_bits = bits.load(std::memory_order_relaxed);
+  while (!bits.compare_exchange_weak(
+      old_bits, std::bit_cast<uint64_t>(std::bit_cast<double>(old_bits) + v),
+      std::memory_order_relaxed)) {
+  }
+}
+
+void append_double_json(std::string& out, double v) {
+  char buf[48];
+  // %.17g round-trips; trim the noise for whole numbers.
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(v)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out += buf;
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_edges)
+    : edges_(std::move(upper_edges)), buckets_(edges_.size() + 1) {
+  EMBRACE_CHECK(!edges_.empty(), << "histogram needs at least one edge");
+  EMBRACE_CHECK(std::is_sorted(edges_.begin(), edges_.end()) &&
+                    std::adjacent_find(edges_.begin(), edges_.end()) ==
+                        edges_.end(),
+                << "histogram edges must be strictly increasing");
+}
+
+void Histogram::observe(double v) {
+  // First bucket with v <= edge; everything above goes to the +Inf bucket.
+  const size_t i = static_cast<size_t>(
+      std::lower_bound(edges_.begin(), edges_.end(), v) - edges_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_bits_, v);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.upper_edges = edges_;
+  s.bucket_counts.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    s.bucket_counts.push_back(b.load(std::memory_order_relaxed));
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter()))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge()))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> upper_edges) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram(
+                          {upper_edges.begin(), upper_edges.end()})))
+             .first;
+  } else {
+    EMBRACE_CHECK(std::equal(upper_edges.begin(), upper_edges.end(),
+                             it->second->edges_.begin(),
+                             it->second->edges_.end()),
+                  << "histogram " << std::string(name)
+                  << " re-registered with different bucket edges");
+  }
+  return *it->second;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->snapshot();
+  return s;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string MetricsRegistry::json() const {
+  const Snapshot s = snapshot();
+  std::string out = "{\n\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : s.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n\"";
+    append_json_escaped(out, name);
+    out += "\":" + std::to_string(v);
+  }
+  out += "\n},\n\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : s.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n\"";
+    append_json_escaped(out, name);
+    out += "\":";
+    append_double_json(out, v);
+  }
+  out += "\n},\n\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : s.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n\"";
+    append_json_escaped(out, name);
+    out += "\":{\"count\":" + std::to_string(h.count) + ",\"sum\":";
+    append_double_json(out, h.sum);
+    out += ",\"buckets\":[";
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "{\"le\":";
+      if (i < h.upper_edges.size()) {
+        append_double_json(out, h.upper_edges[i]);
+      } else {
+        out += "\"+Inf\"";
+      }
+      out += ",\"count\":" + std::to_string(h.bucket_counts[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n}\n}\n";
+  return out;
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* g = new MetricsRegistry();  // leaked, exit-safe
+  return *g;
+}
+
+Counter& counter(std::string_view name) { return metrics().counter(name); }
+Gauge& gauge(std::string_view name) { return metrics().gauge(name); }
+Histogram& histogram(std::string_view name,
+                     std::span<const double> upper_edges) {
+  return metrics().histogram(name, upper_edges);
+}
+
+std::span<const double> default_latency_edges_ms() {
+  static const double kEdges[] = {0.01, 0.03, 0.1,  0.3,  1.0,   3.0,
+                                  10.0, 30.0, 100.0, 300.0, 1000.0};
+  return kEdges;
+}
+
+MetricsRegistry::Snapshot metrics_snapshot() { return metrics().snapshot(); }
+std::string metrics_json() { return metrics().json(); }
+
+void write_metrics_json(const std::string& path) {
+  const std::string json = metrics_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  EMBRACE_CHECK(f != nullptr, << "cannot open metrics output " << path);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
+
+void reset_metrics() { metrics().reset(); }
+
+}  // namespace embrace::obs

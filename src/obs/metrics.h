@@ -1,0 +1,133 @@
+// Process-wide metrics registry: counters, gauges, and fixed-bucket
+// histograms, snapshottable at any point and dumpable as JSON.
+//
+// Unlike tracing, metrics are always on: an update is a relaxed atomic
+// operation on a pre-resolved handle. Name lookup takes the registry mutex,
+// so hot paths resolve their handle once (a function-local static works):
+//
+//   static obs::Counter& c = obs::counter("fabric.send.bytes");
+//   c.add(msg.size());
+//
+// Handles stay valid for the process lifetime; reset() zeroes values but
+// keeps every registration, so cached references never dangle. Label
+// conventions follow Prometheus: labels are baked into the name, e.g.
+// "comm.bytes{collective=alltoallv}".
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace embrace::obs {
+
+class Counter {
+ public:
+  void add(int64_t v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  void increment() { add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) {
+    bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+  }
+  double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  void reset() { set(0.0); }
+  std::atomic<uint64_t> bits_{0};  // 0 bits == 0.0
+};
+
+// Fixed-bucket histogram. An observation v lands in the first bucket with
+// v <= upper_edges[i]; values above the last edge land in the implicit
+// +Inf overflow bucket.
+class Histogram {
+ public:
+  void observe(double v);
+
+  struct Snapshot {
+    std::vector<double> upper_edges;
+    std::vector<int64_t> bucket_counts;  // upper_edges.size() + 1 (+Inf last)
+    int64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> upper_edges);
+  void reset();
+
+  std::vector<double> edges_;  // strictly increasing
+  std::vector<std::atomic<int64_t>> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};
+};
+
+class MetricsRegistry {
+ public:
+  // Find-or-create by name. For histograms the bucket edges of the first
+  // registration win; later calls must pass matching edges (checked).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> upper_edges);
+
+  struct Snapshot {
+    std::map<std::string, int64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, Histogram::Snapshot> histograms;
+  };
+  Snapshot snapshot() const;
+
+  // Zeroes every metric; registrations (and handles) survive.
+  void reset();
+
+  // The snapshot serialized as JSON:
+  //   {"counters":{...},"gauges":{...},
+  //    "histograms":{"name":{"count":N,"sum":S,
+  //                          "buckets":[{"le":1,"count":3},...,
+  //                                     {"le":"+Inf","count":7}]}}}
+  std::string json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// The process-global default registry and convenience accessors on it.
+MetricsRegistry& metrics();
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name,
+                     std::span<const double> upper_edges);
+
+// Exponential default edges for millisecond-scale latency histograms.
+std::span<const double> default_latency_edges_ms();
+
+MetricsRegistry::Snapshot metrics_snapshot();
+std::string metrics_json();
+void write_metrics_json(const std::string& path);
+void reset_metrics();
+
+}  // namespace embrace::obs

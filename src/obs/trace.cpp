@@ -1,0 +1,323 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace embrace::obs {
+namespace {
+
+// Per-thread ring capacity. Must be a power of two (slot = head & mask).
+constexpr uint64_t kRingCapacity = 1 << 14;
+
+struct Event {
+  char name[48];
+  const char* arg1_name;  // static strings (or null)
+  const char* arg2_name;
+  int64_t ts_ns;   // since the trace epoch
+  int64_t dur_ns;  // 0 for instants
+  int64_t arg1;
+  int64_t arg2;
+  int32_t rank;
+  char phase;  // 'X' or 'i'
+};
+
+struct ThreadBuffer {
+  std::vector<Event> events;  // ring storage, allocated on first event
+  // Total events ever pushed; slot = head % capacity. Written by the owner
+  // thread (release), read by the exporter (acquire).
+  std::atomic<uint64_t> head{0};
+  int rank = -1;
+  char thread_name[32] = "";
+  int tid = 0;  // registration index
+};
+
+struct Global {
+  std::atomic<bool> enabled{false};
+  std::atomic<int64_t> dropped{0};
+  std::mutex mutex;  // guards `buffers` membership and epoch swaps
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  SteadyTime epoch = std::chrono::steady_clock::now();
+};
+
+Global& global() {
+  // Leaked intentionally: thread buffers may be flushed at process exit
+  // after static destruction would have run.
+  static Global* g = new Global();
+  return *g;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> t_buffer;
+  if (!t_buffer) {
+    auto buf = std::make_shared<ThreadBuffer>();
+    Global& g = global();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    buf->tid = static_cast<int>(g.buffers.size());
+    g.buffers.push_back(buf);
+    t_buffer = std::move(buf);
+  }
+  return *t_buffer;
+}
+
+void copy_name(char (&dst)[48], std::string_view src) {
+  const size_t n = std::min(src.size(), sizeof(dst) - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+void push_event(std::string_view name, char phase, SteadyTime t0, int64_t dur_ns,
+                const char* arg1_name, int64_t arg1, const char* arg2_name,
+                int64_t arg2) {
+  ThreadBuffer& buf = thread_buffer();
+  if (buf.events.empty()) buf.events.resize(kRingCapacity);
+  const uint64_t head = buf.head.load(std::memory_order_relaxed);
+  if (head >= kRingCapacity) {
+    global().dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+  Event& e = buf.events[head % kRingCapacity];
+  copy_name(e.name, name);
+  e.phase = phase;
+  e.ts_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                t0 - global().epoch)
+                .count();
+  e.dur_ns = dur_ns;
+  e.arg1_name = arg1_name;
+  e.arg1 = arg1;
+  e.arg2_name = arg2_name;
+  e.arg2 = arg2;
+  e.rank = buf.rank;
+  buf.head.store(head + 1, std::memory_order_release);
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_args_json(std::string& out, const char* arg1_name, int64_t arg1,
+                      const char* arg2_name, int64_t arg2) {
+  out += ",\"args\":{";
+  bool first = true;
+  for (const auto& [k, v] : {std::pair{arg1_name, arg1}, {arg2_name, arg2}}) {
+    if (k == nullptr) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, k);
+    out += "\":";
+    out += std::to_string(v);
+  }
+  out += '}';
+}
+
+// Snapshot of the published events of one buffer, oldest first.
+std::vector<Event> drain_buffer(const ThreadBuffer& buf) {
+  const uint64_t head = buf.head.load(std::memory_order_acquire);
+  const uint64_t n = std::min(head, kRingCapacity);
+  std::vector<Event> out;
+  out.reserve(n);
+  for (uint64_t i = head - n; i < head; ++i) {
+    out.push_back(buf.events[i % kRingCapacity]);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool tracing_enabled() {
+  return global().enabled.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool enabled) {
+  global().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void reset_tracing() {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  for (auto& buf : g.buffers) {
+    buf->head.store(0, std::memory_order_release);
+  }
+  g.dropped.store(0, std::memory_order_relaxed);
+  g.epoch = std::chrono::steady_clock::now();
+}
+
+void bind_thread(int rank, const char* thread_name) {
+  ThreadBuffer& buf = thread_buffer();
+  buf.rank = rank;
+  std::snprintf(buf.thread_name, sizeof(buf.thread_name), "%s",
+                thread_name == nullptr ? "" : thread_name);
+  set_log_rank(rank);
+}
+
+int thread_rank() { return thread_buffer().rank; }
+
+void emit_complete(std::string_view name, SteadyTime t0, SteadyTime t1,
+                   const char* arg1_name, int64_t arg1, const char* arg2_name,
+                   int64_t arg2) {
+  if (!tracing_enabled()) return;
+  const int64_t dur_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  push_event(name, 'X', t0, std::max<int64_t>(dur_ns, 0), arg1_name, arg1,
+             arg2_name, arg2);
+}
+
+void emit_instant(std::string_view name, const char* arg1_name, int64_t arg1,
+                  const char* arg2_name, int64_t arg2) {
+  if (!tracing_enabled()) return;
+  push_event(name, 'i', std::chrono::steady_clock::now(), 0, arg1_name, arg1,
+             arg2_name, arg2);
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, const char* arg1_name,
+                       int64_t arg1, const char* arg2_name, int64_t arg2)
+    : active_(tracing_enabled()) {
+  if (!active_) return;
+  copy_name(name_, name);
+  arg1_name_ = arg1_name;
+  arg1_ = arg1;
+  arg2_name_ = arg2_name;
+  arg2_ = arg2;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const auto end = std::chrono::steady_clock::now();
+  const int64_t dur_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+          .count();
+  push_event(name_, 'X', start_, std::max<int64_t>(dur_ns, 0), arg1_name_,
+             arg1_, arg2_name_, arg2_);
+}
+
+std::vector<ExportedEvent> exported_events() {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  std::vector<ExportedEvent> out;
+  for (const auto& buf : g.buffers) {
+    for (const Event& e : drain_buffer(*buf)) {
+      ExportedEvent x;
+      x.name = e.name;
+      x.phase = e.phase;
+      x.ts_us = static_cast<double>(e.ts_ns) / 1e3;
+      x.dur_us = static_cast<double>(e.dur_ns) / 1e3;
+      x.pid = e.rank >= 0 ? e.rank : 0;
+      x.tid = buf->tid;
+      x.arg1_name = e.arg1_name;
+      x.arg1 = e.arg1;
+      x.arg2_name = e.arg2_name;
+      x.arg2 = e.arg2;
+      out.push_back(std::move(x));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ExportedEvent& a, const ExportedEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  return out;
+}
+
+std::string chrome_trace_json() {
+  Global& g = global();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto append = [&](const std::string& record) {
+    if (!first) out += ',';
+    first = false;
+    out += '\n';
+    out += record;
+  };
+  std::lock_guard<std::mutex> lock(g.mutex);
+  // Metadata: one process per rank, one named lane per thread.
+  std::set<int> ranks;
+  for (const auto& buf : g.buffers) {
+    const int pid = buf->rank >= 0 ? buf->rank : 0;
+    if (ranks.insert(pid).second) {
+      append("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+             std::to_string(pid) + ",\"args\":{\"name\":\"rank " +
+             std::to_string(pid) + "\"}}");
+    }
+    if (buf->thread_name[0] != '\0') {
+      std::string rec = "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+                        std::to_string(pid) +
+                        ",\"tid\":" + std::to_string(buf->tid) +
+                        ",\"args\":{\"name\":\"";
+      append_json_escaped(rec, buf->thread_name);
+      rec += "\"}}";
+      append(rec);
+    }
+  }
+  for (const auto& buf : g.buffers) {
+    for (const Event& e : drain_buffer(*buf)) {
+      char num[64];
+      std::string rec = "{\"name\":\"";
+      append_json_escaped(rec, e.name);
+      rec += "\",\"ph\":\"";
+      rec += e.phase;
+      rec += '"';
+      std::snprintf(num, sizeof(num), ",\"ts\":%.3f",
+                    static_cast<double>(e.ts_ns) / 1e3);
+      rec += num;
+      if (e.phase == 'X') {
+        std::snprintf(num, sizeof(num), ",\"dur\":%.3f",
+                      static_cast<double>(e.dur_ns) / 1e3);
+        rec += num;
+      } else if (e.phase == 'i') {
+        rec += ",\"s\":\"t\"";  // thread-scoped instant
+      }
+      rec += ",\"pid\":" + std::to_string(e.rank >= 0 ? e.rank : 0);
+      rec += ",\"tid\":" + std::to_string(buf->tid);
+      append_args_json(rec, e.arg1_name, e.arg1, e.arg2_name, e.arg2);
+      rec += '}';
+      append(rec);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+  const std::string json = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  EMBRACE_CHECK(f != nullptr, << "cannot open trace output " << path);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
+
+int64_t trace_event_count() {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  int64_t n = 0;
+  for (const auto& buf : g.buffers) {
+    n += static_cast<int64_t>(
+        std::min(buf->head.load(std::memory_order_acquire), kRingCapacity));
+  }
+  return n;
+}
+
+int64_t trace_dropped_count() {
+  return global().dropped.load(std::memory_order_relaxed);
+}
+
+}  // namespace embrace::obs

@@ -1,0 +1,109 @@
+// Low-overhead per-thread tracing with Chrome trace_event JSON export.
+//
+// Each thread owns a fixed-capacity ring buffer of fixed-size events.
+// Emitting is lock-free: a thread-local slot write plus a release store of
+// the head index — no mutex is ever taken on the hot path. Tracing is
+// compiled in but gated by a process-wide relaxed atomic flag; when
+// disabled, a ScopedSpan construction is a single relaxed load.
+//
+// Buffers are registered globally on first use and outlive their threads,
+// so a merged trace can be exported after worker threads join (the normal
+// flow: run a training job, then write_chrome_trace()). Export while other
+// threads are still emitting is safe for the already-published prefix but
+// may miss in-flight events; export after joining the workers.
+//
+// Events carry the emitting thread's rank tag (bind_thread), which becomes
+// the Chrome trace `pid`, so chrome://tracing and Perfetto render one lane
+// group per rank with the training thread and the comm thread as separate
+// rows — exactly the two-lane view of the paper's Figure 6.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace embrace::obs {
+
+using SteadyTime = std::chrono::steady_clock::time_point;
+
+bool tracing_enabled();
+void set_tracing_enabled(bool enabled);
+
+// Clears every registered thread buffer and restarts the trace clock at
+// zero. Call while no other thread is emitting.
+void reset_tracing();
+
+// Tags events (and log lines) emitted by this thread: `rank` becomes the
+// Chrome `pid`; `thread_name` labels the lane ("train", "comm", ...).
+void bind_thread(int rank, const char* thread_name);
+
+// The rank bound to this thread, or -1 if unbound.
+int thread_rank();
+
+// --- event emission ---
+// Argument *names* must be string literals (or otherwise outlive the
+// trace); argument values and the event name are copied.
+
+// Complete event ('X') with explicit endpoints, for callers that already
+// measured the interval (the schedulers' ExecRecord path uses this so the
+// trace and the test-visible records share one pair of clock reads).
+void emit_complete(std::string_view name, SteadyTime t0, SteadyTime t1,
+                   const char* arg1_name = nullptr, int64_t arg1 = 0,
+                   const char* arg2_name = nullptr, int64_t arg2 = 0);
+
+// Instant event ('i').
+void emit_instant(std::string_view name, const char* arg1_name = nullptr,
+                  int64_t arg1 = 0, const char* arg2_name = nullptr,
+                  int64_t arg2 = 0);
+
+// RAII complete event spanning construction..destruction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name, const char* arg1_name = nullptr,
+                      int64_t arg1 = 0, const char* arg2_name = nullptr,
+                      int64_t arg2 = 0);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_;
+  SteadyTime start_;
+  char name_[48];
+  const char* arg1_name_;
+  const char* arg2_name_;
+  int64_t arg1_;
+  int64_t arg2_;
+};
+
+// --- export ---
+
+// Merged Chrome trace_event JSON: {"traceEvents":[...]}. Loadable in
+// chrome://tracing and ui.perfetto.dev. Includes process_name (rank N) and
+// thread_name metadata records.
+std::string chrome_trace_json();
+void write_chrome_trace(const std::string& path);
+
+// Structured view of the merged trace for tests and programmatic checks
+// (same data the JSON serializes, metadata records excluded).
+struct ExportedEvent {
+  std::string name;
+  char phase = 'X';     // 'X' complete, 'i' instant
+  double ts_us = 0.0;   // since the trace epoch
+  double dur_us = 0.0;  // 0 for instants
+  int pid = 0;          // rank (0 if the thread was unbound)
+  int tid = 0;          // buffer registration index, unique per thread
+  const char* arg1_name = nullptr;
+  const char* arg2_name = nullptr;
+  int64_t arg1 = 0;
+  int64_t arg2 = 0;
+};
+std::vector<ExportedEvent> exported_events();
+
+// Events currently buffered across all threads / dropped to ring wrap.
+int64_t trace_event_count();
+int64_t trace_dropped_count();
+
+}  // namespace embrace::obs

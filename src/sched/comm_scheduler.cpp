@@ -3,8 +3,15 @@
 #include <chrono>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace embrace::sched {
+namespace {
+
+constexpr double kQueueDepthEdges[] = {0, 1, 2, 4, 8, 16, 32, 64};
+
+}  // namespace
 
 struct CommScheduler::Handle::State {
   std::mutex mutex;
@@ -85,10 +92,18 @@ void CommScheduler::run() {
       });
       if (stop_) return;
       op = plan_.front();
+      static obs::Histogram& depth =
+          obs::histogram("sched.queue_depth", kQueueDepthEdges);
+      depth.observe(static_cast<double>(plan_.size()));
     }
     const auto t0 = std::chrono::steady_clock::now();
     op->fn();
     const auto t1 = std::chrono::steady_clock::now();
+    // The trace span and the test-visible ExecRecord share one pair of
+    // clock reads, so span timelines and records() agree exactly.
+    obs::emit_complete(op->name, t0, t1);
+    static obs::Counter& executed = obs::counter("sched.ops_executed");
+    executed.increment();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       records_.push_back(

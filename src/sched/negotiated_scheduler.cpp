@@ -4,9 +4,13 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace embrace::sched {
 namespace {
+
+constexpr double kQueueDepthEdges[] = {0, 1, 2, 4, 8, 16, 32, 64};
 
 // Announcement sentinel that stops every comm thread.
 const char kStopToken[] = "\x01__stop__";
@@ -103,6 +107,9 @@ std::string NegotiatedScheduler::receive_announcement() {
 
 void NegotiatedScheduler::run() {
   const bool leader = control_.rank() == 0;
+  // The comm thread inherits its rank's identity so its trace events land
+  // in the right per-rank lane group (paper Fig. 6's bottom lane).
+  obs::bind_thread(control_.rank(), "comm");
   while (true) {
     std::shared_ptr<Op> op;
     if (leader) {
@@ -142,12 +149,21 @@ void NegotiatedScheduler::run() {
     const auto t0 = std::chrono::steady_clock::now();
     op->fn();
     const auto t1 = std::chrono::steady_clock::now();
+    // One pair of clock reads feeds both the trace span and the
+    // test-visible ExecRecord, so the two timelines agree exactly.
+    obs::emit_complete(op->name, t0, t1, "priority",
+                       static_cast<int64_t>(op->priority));
+    static obs::Counter& executed = obs::counter("sched.ops_executed");
+    executed.increment();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       records_.push_back(
           {op->name, std::chrono::duration<double>(t0 - epoch_).count(),
            std::chrono::duration<double>(t1 - epoch_).count()});
       submitted_.erase(op->name);
+      static obs::Histogram& depth =
+          obs::histogram("sched.queue_depth", kQueueDepthEdges);
+      depth.observe(static_cast<double>(submitted_.size()));
     }
     cv_.notify_all();
     {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/index_ops.h"
 
 namespace embrace::sched {
@@ -28,6 +30,16 @@ VerticalSplit vertical_sparse_schedule(
   auto [prior, delayed] = coalesced.split_by_membership(out.prior_rows);
   out.prior = std::move(prior);
   out.delayed = std::move(delayed);
+  static obs::Counter& prior_rows = obs::counter("vertical.prior_rows");
+  static obs::Counter& delayed_rows = obs::counter("vertical.delayed_rows");
+  static obs::Counter& splits = obs::counter("vertical.splits");
+  prior_rows.add(static_cast<int64_t>(out.prior_rows.size()));
+  delayed_rows.add(static_cast<int64_t>(out.delayed_rows.size()));
+  splits.increment();
+  obs::emit_instant("vss.split", "prior_rows",
+                    static_cast<int64_t>(out.prior_rows.size()),
+                    "delayed_rows",
+                    static_cast<int64_t>(out.delayed_rows.size()));
   return out;
 }
 

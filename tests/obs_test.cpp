@@ -1,0 +1,273 @@
+// Tests for the observability subsystem: tracer (span nesting, concurrent
+// merged export, ring overflow), metrics (histogram bucket edges, reset
+// semantics, JSON dump), and the scheduler span / ExecRecord agreement.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sched/comm_scheduler.h"
+
+namespace embrace::obs {
+namespace {
+
+std::vector<ExportedEvent> events_named(const std::string& name) {
+  std::vector<ExportedEvent> out;
+  for (auto& e : exported_events()) {
+    if (e.name == name) out.push_back(e);
+  }
+  return out;
+}
+
+// Structural JSON sanity: balanced braces/brackets outside strings, string
+// state closed at the end. Catches broken escaping and truncated output.
+bool json_structurally_valid(const std::string& s) {
+  int depth = 0, bracket = 0;
+  bool in_str = false, esc = false;
+  for (char c : s) {
+    if (in_str) {
+      if (esc) {
+        esc = false;
+      } else if (c == '\\') {
+        esc = true;
+      } else if (c == '"') {
+        in_str = false;
+      }
+      continue;
+    }
+    if (c == '"') in_str = true;
+    else if (c == '{') ++depth;
+    else if (c == '}' && --depth < 0) return false;
+    else if (c == '[') ++bracket;
+    else if (c == ']' && --bracket < 0) return false;
+  }
+  return depth == 0 && bracket == 0 && !in_str;
+}
+
+class TracingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_tracing_enabled(true);
+    reset_tracing();
+  }
+  void TearDown() override { set_tracing_enabled(false); }
+};
+
+TEST_F(TracingTest, DisabledEmitsNothing) {
+  set_tracing_enabled(false);
+  { ScopedSpan span("invisible"); }
+  emit_instant("also-invisible");
+  EXPECT_TRUE(events_named("invisible").empty());
+  EXPECT_TRUE(events_named("also-invisible").empty());
+}
+
+TEST_F(TracingTest, SpanNestingAndOrdering) {
+  {
+    ScopedSpan outer("outer");
+    {
+      ScopedSpan inner("inner1");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    {
+      ScopedSpan inner("inner2");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  const auto outer = events_named("outer");
+  const auto inner1 = events_named("inner1");
+  const auto inner2 = events_named("inner2");
+  ASSERT_EQ(outer.size(), 1u);
+  ASSERT_EQ(inner1.size(), 1u);
+  ASSERT_EQ(inner2.size(), 1u);
+  // Children are contained in the parent and ordered.
+  EXPECT_GE(inner1[0].ts_us, outer[0].ts_us);
+  EXPECT_LE(inner1[0].ts_us + inner1[0].dur_us, inner2[0].ts_us);
+  EXPECT_LE(inner2[0].ts_us + inner2[0].dur_us,
+            outer[0].ts_us + outer[0].dur_us);
+  EXPECT_GE(inner1[0].dur_us, 1000.0);
+}
+
+TEST_F(TracingTest, InstantEventCarriesArgs) {
+  emit_instant("split", "prior", 7, "delayed", 9);
+  const auto evs = events_named("split");
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].phase, 'i');
+  ASSERT_NE(evs[0].arg1_name, nullptr);
+  EXPECT_STREQ(evs[0].arg1_name, "prior");
+  EXPECT_EQ(evs[0].arg1, 7);
+  ASSERT_NE(evs[0].arg2_name, nullptr);
+  EXPECT_STREQ(evs[0].arg2_name, "delayed");
+  EXPECT_EQ(evs[0].arg2, 9);
+}
+
+TEST_F(TracingTest, BindThreadTagsEventsAndLogLines) {
+  std::thread t([] {
+    bind_thread(3, "worker");
+    EXPECT_EQ(thread_rank(), 3);
+    EXPECT_EQ(log_rank(), 3);
+    emit_instant("tagged");
+  });
+  t.join();
+  const auto evs = events_named("tagged");
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].pid, 3);
+}
+
+TEST_F(TracingTest, ConcurrentEmissionProducesValidMergedTrace) {
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([i] {
+      bind_thread(i % 4, "stress");
+      for (int k = 0; k < kSpansPerThread; ++k) {
+        ScopedSpan span("w", "k", k);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto evs = events_named("w");
+  EXPECT_EQ(evs.size(), static_cast<size_t>(kThreads * kSpansPerThread));
+  std::set<int> tids;
+  for (const auto& e : evs) tids.insert(e.tid);
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+  // Export is sorted by timestamp.
+  const auto all = exported_events();
+  EXPECT_TRUE(std::is_sorted(
+      all.begin(), all.end(),
+      [](const auto& a, const auto& b) { return a.ts_us < b.ts_us; }));
+  EXPECT_TRUE(json_structurally_valid(chrome_trace_json()));
+}
+
+TEST_F(TracingTest, RingKeepsNewestEventsOnOverflow) {
+  constexpr int kEmit = 20000;  // exceeds the per-thread ring capacity
+  std::thread t([] {
+    bind_thread(0, "flood");
+    for (int k = 0; k < kEmit; ++k) emit_instant("flood", "k", k);
+  });
+  t.join();
+  const auto evs = events_named("flood");
+  ASSERT_FALSE(evs.empty());
+  EXPECT_LT(evs.size(), static_cast<size_t>(kEmit));
+  EXPECT_GT(trace_dropped_count(), 0);
+  EXPECT_EQ(static_cast<int64_t>(evs.size()) + trace_dropped_count(), kEmit);
+  // Drop-oldest: the latest event must survive.
+  int64_t max_k = -1;
+  for (const auto& e : evs) max_k = std::max(max_k, e.arg1);
+  EXPECT_EQ(max_k, kEmit - 1);
+}
+
+TEST_F(TracingTest, NamesAreJsonEscaped) {
+  emit_instant("quote\"and\\slash");
+  const std::string json = chrome_trace_json();
+  EXPECT_TRUE(json_structurally_valid(json));
+  EXPECT_NE(json.find("quote\\\"and\\\\slash"), std::string::npos);
+}
+
+// --- metrics ---
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  Counter& c = counter("test.counter.basics");
+  const int64_t before = c.value();
+  c.add(5);
+  c.increment();
+  EXPECT_EQ(c.value(), before + 6);
+  // Same name resolves to the same instance.
+  EXPECT_EQ(&counter("test.counter.basics"), &c);
+
+  Gauge& g = gauge("test.gauge.basics");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+}
+
+TEST(Metrics, HistogramBucketEdges) {
+  const double edges[] = {1.0, 2.0, 4.0};
+  Histogram& h = histogram("test.hist.edges", edges);
+  metrics().reset();  // isolate from any earlier run in this binary
+  // le-semantics: v lands in the first bucket with v <= edge.
+  for (double v : {0.5, 1.0}) h.observe(v);   // -> le=1
+  for (double v : {1.5, 2.0}) h.observe(v);   // -> le=2
+  for (double v : {3.0, 4.0}) h.observe(v);   // -> le=4
+  h.observe(5.0);                             // -> +Inf
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.upper_edges, (std::vector<double>{1.0, 2.0, 4.0}));
+  EXPECT_EQ(s.bucket_counts, (std::vector<int64_t>{2, 2, 2, 1}));
+  EXPECT_EQ(s.count, 7);
+  EXPECT_DOUBLE_EQ(s.sum, 17.0);
+}
+
+TEST(Metrics, ResetZeroesButKeepsHandles) {
+  Counter& c = counter("test.counter.reset");
+  c.add(41);
+  metrics().reset();
+  EXPECT_EQ(c.value(), 0);
+  c.increment();
+  EXPECT_EQ(c.value(), 1);
+  EXPECT_EQ(metrics_snapshot().counters.at("test.counter.reset"), 1);
+}
+
+TEST(Metrics, JsonDumpIsValidAndComplete) {
+  counter("test.json.counter{label=x}").add(3);
+  gauge("test.json.gauge").set(1.25);
+  const double edges[] = {10.0};
+  histogram("test.json.hist", edges).observe(99.0);
+  const std::string json = metrics_json();
+  EXPECT_TRUE(json_structurally_valid(json));
+  EXPECT_NE(json.find("test.json.counter{label=x}"), std::string::npos);
+  EXPECT_NE(json.find("test.json.gauge"), std::string::npos);
+  EXPECT_NE(json.find("\"+Inf\""), std::string::npos);
+}
+
+TEST(Metrics, HistogramRejectsMismatchedEdges) {
+  const double edges[] = {1.0, 2.0};
+  histogram("test.hist.mismatch", edges);
+  const double other[] = {3.0};
+  EXPECT_THROW(histogram("test.hist.mismatch", other), Error);
+}
+
+// --- scheduler integration ---
+
+TEST(SchedulerTrace, SpansMatchExecRecordTimeline) {
+  set_tracing_enabled(true);
+  reset_tracing();
+  sched::CommScheduler sched;
+  sched.begin_step({"t/a", "t/b", "t/c"});
+  for (const char* name : {"t/a", "t/b", "t/c"}) {
+    sched.submit(name, [] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    });
+  }
+  sched.drain();
+  const auto records = sched.records();
+  ASSERT_EQ(records.size(), 3u);
+
+  std::vector<ExportedEvent> spans;
+  for (const auto& e : exported_events()) {
+    if (e.name.rfind("t/", 0) == 0) spans.push_back(e);
+  }
+  ASSERT_EQ(spans.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    // Same completion order.
+    EXPECT_EQ(spans[i].name, records[i].name);
+    // Same duration: both views are fed by one pair of clock reads, so they
+    // agree to rounding (records are seconds, spans microseconds).
+    EXPECT_NEAR(spans[i].dur_us, (records[i].end - records[i].start) * 1e6,
+                1.0);
+    if (i > 0) {
+      // Same inter-op gaps, modulo the different epochs.
+      EXPECT_NEAR(spans[i].ts_us - spans[i - 1].ts_us,
+                  (records[i].start - records[i - 1].start) * 1e6, 1.0);
+    }
+  }
+  set_tracing_enabled(false);
+}
+
+}  // namespace
+}  // namespace embrace::obs
