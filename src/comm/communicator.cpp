@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <sstream>
 
 #include "common/error.h"
 #include "obs/metrics.h"
@@ -26,14 +27,16 @@ namespace {
 
 Bytes floats_to_bytes(std::span<const float> data) {
   Bytes out(data.size() * sizeof(float));
-  std::memcpy(out.data(), data.data(), out.size());
+  // Empty spans may carry a null data(); memcpy's pointer args must be
+  // non-null even for size 0.
+  if (!out.empty()) std::memcpy(out.data(), data.data(), out.size());
   return out;
 }
 
 std::vector<float> bytes_to_floats(const Bytes& buf) {
   EMBRACE_CHECK_EQ(buf.size() % sizeof(float), 0u);
   std::vector<float> out(buf.size() / sizeof(float));
-  std::memcpy(out.data(), buf.data(), buf.size());
+  if (!out.empty()) std::memcpy(out.data(), buf.data(), buf.size());
   return out;
 }
 
@@ -63,6 +66,48 @@ Communicator Communicator::channel(int channel_id) const {
   return Communicator(*fabric_, rank_, channel_id);
 }
 
+Bytes Communicator::checked_recv(int src, uint64_t tag) {
+  using std::chrono::microseconds;
+  const microseconds budget = fabric_->recv_timeout();
+  if (budget.count() <= 0 && !fabric_->faults_enabled()) {
+    // Fast path: reliable links, no deadline policy — block forever.
+    return fabric_->recv(rank_, src, tag);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  // Poll slices grow exponentially (backoff) between recovery attempts so a
+  // healthy-but-slow link is not hammered, capped to keep the deadline
+  // reasonably tight.
+  microseconds slice{200};
+  constexpr microseconds kMaxSlice{5000};
+  while (true) {
+    microseconds wait = slice;
+    if (budget.count() > 0) {
+      const auto elapsed = std::chrono::duration_cast<microseconds>(
+          std::chrono::steady_clock::now() - start);
+      const microseconds remaining = budget - elapsed;
+      if (remaining.count() <= 0) {
+        static obs::Counter& timeouts = obs::counter("comm.timeouts");
+        timeouts.increment();
+        obs::emit_instant("comm.timeout", "src", src, "dst", rank_);
+        std::ostringstream os;
+        os << "recv deadline exceeded after " << budget.count()
+           << "us waiting on edge (src=" << src << " -> dst=" << rank_
+           << ", tag=" << tag << ", channel=" << channel_id_
+           << "): peer dead, link black-holed, or deadline too tight";
+        throw TimeoutError(src, rank_, tag, os.str());
+      }
+      wait = std::min(wait, remaining);
+    }
+    if (auto msg = fabric_->try_recv_for(rank_, src, tag, wait)) {
+      return std::move(*msg);
+    }
+    // Retryable fault: a recoverably-dropped message can be "retransmitted".
+    // Immediately retry the receive after recovery; otherwise back off.
+    if (fabric_->recover(rank_, src, tag)) continue;
+    slice = std::min(slice * 2, kMaxSlice);
+  }
+}
+
 uint64_t Communicator::next_tag() {
   // Tag layout: [channel:8][sequence:40]. The SPMD contract guarantees the
   // per-channel sequence numbers line up across ranks.
@@ -77,7 +122,7 @@ void Communicator::send_bytes(int dst, Bytes msg) {
 }
 
 Bytes Communicator::recv_bytes(int src) {
-  return fabric_->recv(rank_, src, next_tag());
+  return checked_recv(src, next_tag());
 }
 
 void Communicator::send_floats(int dst, std::span<const float> data) {
@@ -103,7 +148,21 @@ comm::Bytes Communicator::recv_bytes_at(int src, uint64_t user_tag) {
   EMBRACE_CHECK_LT(user_tag, kTaggedSpaceBit, << "user tag out of range");
   const uint64_t tag = (static_cast<uint64_t>(channel_id_) << 40) |
                        kTaggedSpaceBit | user_tag;
-  return fabric_->recv(rank_, src, tag);
+  return checked_recv(src, tag);
+}
+
+std::optional<Bytes> Communicator::try_recv_bytes_at(
+    int src, uint64_t user_tag, std::chrono::microseconds timeout) {
+  EMBRACE_CHECK_LT(user_tag, kTaggedSpaceBit, << "user tag out of range");
+  const uint64_t tag = (static_cast<uint64_t>(channel_id_) << 40) |
+                       kTaggedSpaceBit | user_tag;
+  if (auto msg = fabric_->try_recv_for(rank_, src, tag, timeout)) return msg;
+  // One recovery attempt per poll so recoverable drops cannot starve a
+  // polling receiver that never exceeds a global deadline.
+  if (fabric_->recover(rank_, src, tag)) {
+    return fabric_->try_recv_for(rank_, src, tag, timeout);
+  }
+  return std::nullopt;
 }
 
 std::pair<int64_t, int64_t> Communicator::chunk_range(int64_t total,
@@ -123,7 +182,7 @@ void Communicator::barrier() {
     const int to = (rank_ + k) % n;
     const int from = (rank_ - k + n) % n;
     fabric_->send(rank_, to, tag, Bytes{});
-    (void)fabric_->recv(rank_, from, tag);
+    (void)checked_recv(from, tag);
   }
 }
 
@@ -145,7 +204,7 @@ void Communicator::broadcast(std::span<float> data, int root) {
     } else if (vrank < 2 * mask) {
       const int vpeer = vrank - mask;
       const int peer = (vpeer + root) % n;
-      const auto msg = bytes_to_floats(fabric_->recv(rank_, peer, tag));
+      const auto msg = bytes_to_floats(checked_recv(peer, tag));
       EMBRACE_CHECK_EQ(msg.size(), data.size());
       std::copy(msg.begin(), msg.end(), data.begin());
     }
@@ -179,7 +238,7 @@ std::vector<float> Communicator::reduce_scatter_impl(std::span<float> data,
     fabric_->send(rank_, to, tag,
                   floats_to_bytes(data.subspan(static_cast<size_t>(sb),
                                                static_cast<size_t>(se - sb))));
-    const auto incoming = bytes_to_floats(fabric_->recv(rank_, from, tag));
+    const auto incoming = bytes_to_floats(checked_recv(from, tag));
     EMBRACE_CHECK_EQ(static_cast<int64_t>(incoming.size()), re - rb);
     reduce_into(data.subspan(static_cast<size_t>(rb),
                              static_cast<size_t>(re - rb)),
@@ -209,7 +268,7 @@ void Communicator::allreduce(std::span<float> data, ReduceOp op) {
     fabric_->send(rank_, to, tag,
                   floats_to_bytes(data.subspan(static_cast<size_t>(sb),
                                                static_cast<size_t>(se - sb))));
-    const auto incoming = bytes_to_floats(fabric_->recv(rank_, from, tag));
+    const auto incoming = bytes_to_floats(checked_recv(from, tag));
     EMBRACE_CHECK_EQ(static_cast<int64_t>(incoming.size()), re - rb);
     std::copy(incoming.begin(), incoming.end(),
               data.begin() + rb);
@@ -235,7 +294,7 @@ void Communicator::reduce(std::span<float> data, int root, ReduceOp op) {
     }
     if (vrank + mask < n) {
       const int peer = ((vrank + mask) + root) % n;
-      const auto incoming = bytes_to_floats(fabric_->recv(rank_, peer, tag));
+      const auto incoming = bytes_to_floats(checked_recv(peer, tag));
       EMBRACE_CHECK_EQ(incoming.size(), data.size());
       reduce_into(data, incoming, op);
     }
@@ -255,7 +314,7 @@ std::vector<Bytes> Communicator::gatherv(const Bytes& mine, int root) {
   out[static_cast<size_t>(root)] = mine;
   for (int r = 0; r < n; ++r) {
     if (r == root) continue;
-    out[static_cast<size_t>(r)] = fabric_->recv(rank_, r, tag);
+    out[static_cast<size_t>(r)] = checked_recv(r, tag);
   }
   return out;
 }
@@ -275,7 +334,7 @@ Bytes Communicator::scatterv(std::vector<Bytes> parts, int root) {
     }
     return std::move(parts[static_cast<size_t>(root)]);
   }
-  return fabric_->recv(rank_, root, tag);
+  return checked_recv(root, tag);
 }
 
 std::vector<float> Communicator::allgather(std::span<const float> block) {
@@ -297,7 +356,7 @@ std::vector<float> Communicator::allgather(std::span<const float> block) {
         out.data() + static_cast<size_t>(send_origin) * block_size,
         static_cast<size_t>(block_size)};
     fabric_->send(rank_, to, tag, floats_to_bytes(send_block));
-    const auto incoming = bytes_to_floats(fabric_->recv(rank_, from, tag));
+    const auto incoming = bytes_to_floats(checked_recv(from, tag));
     EMBRACE_CHECK_EQ(static_cast<int64_t>(incoming.size()), block_size);
     std::copy(incoming.begin(), incoming.end(),
               out.begin() + static_cast<int64_t>(recv_origin) * block_size);
@@ -318,7 +377,7 @@ std::vector<Bytes> Communicator::allgatherv(const Bytes& mine) {
     const int to = (rank_ + s) % n;
     const int from = (rank_ - s + n) % n;
     fabric_->send(rank_, to, tag, mine);
-    out[static_cast<size_t>(from)] = fabric_->recv(rank_, from, tag);
+    out[static_cast<size_t>(from)] = checked_recv(from, tag);
   }
   return out;
 }
@@ -364,7 +423,7 @@ std::vector<Bytes> Communicator::alltoallv_impl(std::vector<Bytes> send) {
     const int to = (rank_ + s) % n;
     const int from = (rank_ - s + n) % n;
     fabric_->send(rank_, to, tag, std::move(send[static_cast<size_t>(to)]));
-    out[static_cast<size_t>(from)] = fabric_->recv(rank_, from, tag);
+    out[static_cast<size_t>(from)] = checked_recv(from, tag);
   }
   return out;
 }

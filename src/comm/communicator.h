@@ -13,7 +13,9 @@
 // paper's implementation.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -50,6 +52,10 @@ class Communicator {
   // disjoint from the sequence-numbered space above.
   void send_bytes_at(int dst, uint64_t user_tag, Bytes msg);
   Bytes recv_bytes_at(int src, uint64_t user_tag);
+  // Bounded variant: std::nullopt on timeout (no TimeoutError, no retry) —
+  // lets pollers interleave the wait with their own cancellation checks.
+  std::optional<Bytes> try_recv_bytes_at(int src, uint64_t user_tag,
+                                         std::chrono::microseconds timeout);
 
   // --- collectives ---
   void barrier();
@@ -102,6 +108,12 @@ class Communicator {
 
  private:
   uint64_t next_tag();
+  // Every collective receive funnels through here. When the fabric has a
+  // recv deadline configured, the wait is sliced: each timeout slice first
+  // tries to recover a recoverably-dropped message (retry-with-backoff for
+  // retryable faults); an exhausted deadline throws TimeoutError naming the
+  // blocked (src, dst, tag) edge and bumps the "comm.timeouts" metric.
+  Bytes checked_recv(int src, uint64_t tag);
   // Uninstrumented bodies shared by the public entry points, so a collective
   // built on another (allreduce -> reduce_scatter, alltoall -> alltoallv)
   // traces one span and counts its payload bytes exactly once.

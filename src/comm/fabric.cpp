@@ -14,6 +14,18 @@ namespace {
 constexpr double kWaitEdgesUs[] = {1.0,   10.0,   100.0,   1000.0,
                                    1e4,   1e5,    1e6};
 
+uint64_t splitmix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Uniform double in [0, 1) from a 64-bit hash.
+double to_unit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
 }  // namespace
 
 Fabric::Fabric(int num_ranks) : num_ranks_(num_ranks) {
@@ -22,10 +34,14 @@ Fabric::Fabric(int num_ranks) : num_ranks_(num_ranks) {
   for (int i = 0; i < num_ranks; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
   }
-  counters_.reserve(static_cast<size_t>(num_ranks) * num_ranks);
-  for (int i = 0; i < num_ranks * num_ranks; ++i) {
+  const size_t links = static_cast<size_t>(num_ranks) * num_ranks;
+  counters_.reserve(links);
+  link_msg_counter_.reserve(links);
+  for (size_t i = 0; i < links; ++i) {
     counters_.push_back(std::make_unique<PairCounters>());
+    link_msg_counter_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
   }
+  link_cfg_.resize(links);
 }
 
 uint64_t Fabric::key(int src, uint64_t tag) {
@@ -33,23 +49,64 @@ uint64_t Fabric::key(int src, uint64_t tag) {
   return (static_cast<uint64_t>(src) << 48) | tag;
 }
 
+void Fabric::set_fault_config(const FaultConfig& cfg, uint64_t seed) {
+  fault_seed_ = seed;
+  for (auto& link : link_cfg_) link = cfg;
+  for (auto& c : link_msg_counter_) c->store(0);
+  faults_enabled_.store(cfg.any(), std::memory_order_relaxed);
+}
+
+void Fabric::set_link_faults(int src, int dst, const FaultConfig& cfg) {
+  EMBRACE_CHECK(src >= 0 && src < num_ranks_, << "bad src rank " << src);
+  EMBRACE_CHECK(dst >= 0 && dst < num_ranks_, << "bad dst rank " << dst);
+  link_cfg_[static_cast<size_t>(src) * num_ranks_ + dst] = cfg;
+  bool any = false;
+  for (const auto& link : link_cfg_) any = any || link.any();
+  faults_enabled_.store(any, std::memory_order_relaxed);
+}
+
 void Fabric::set_delivery_jitter(uint64_t max_micros, uint64_t seed) {
-  jitter_state_.store(seed * 0x9e3779b97f4a7c15ULL + 1);
-  jitter_max_micros_.store(max_micros);
+  FaultConfig cfg;
+  cfg.delay_max_us = max_micros;
+  set_fault_config(cfg, seed);
+}
+
+void Fabric::set_recv_timeout(std::chrono::microseconds timeout) {
+  recv_timeout_us_.store(timeout.count(), std::memory_order_relaxed);
+}
+
+const FaultConfig& Fabric::link_config(int src, int dst) const {
+  return link_cfg_[static_cast<size_t>(src) * num_ranks_ + dst];
+}
+
+Fabric::FaultDecision Fabric::roll_faults(int src, int dst) {
+  FaultDecision d;
+  const FaultConfig& cfg = link_config(src, dst);
+  if (!cfg.any()) return d;
+  const size_t link = static_cast<size_t>(src) * num_ranks_ + dst;
+  const uint64_t k = link_msg_counter_[link]->fetch_add(1);
+  // Four independent draws from the (seed, link, k) stream.
+  const uint64_t base =
+      splitmix64(fault_seed_ ^ (static_cast<uint64_t>(link) << 32) ^ k);
+  d.drop = to_unit(splitmix64(base ^ 0x1)) < cfg.drop_prob;
+  d.dup = to_unit(splitmix64(base ^ 0x2)) < cfg.dup_prob;
+  d.reorder = to_unit(splitmix64(base ^ 0x3)) < cfg.reorder_prob;
+  if (cfg.delay_max_us > 0) {
+    d.delay_us = splitmix64(base ^ 0x4) % (cfg.delay_max_us + 1);
+  }
+  d.recoverable = cfg.recoverable;
+  return d;
 }
 
 void Fabric::send(int src, int dst, uint64_t tag, Bytes msg) {
   EMBRACE_CHECK(src >= 0 && src < num_ranks_, << "bad src rank " << src);
   EMBRACE_CHECK(dst >= 0 && dst < num_ranks_, << "bad dst rank " << dst);
-  if (const uint64_t max_us = jitter_max_micros_.load()) {
-    // SplitMix64 step on a shared atomic: deterministic-ish, contention-free
-    // enough for a stress knob.
-    uint64_t z = jitter_state_.fetch_add(0x9e3779b97f4a7c15ULL) +
-                 0x9e3779b97f4a7c15ULL;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    std::this_thread::sleep_for(
-        std::chrono::microseconds((z ^ (z >> 31)) % (max_us + 1)));
+  FaultDecision fault;
+  if (faults_enabled()) {
+    fault = roll_faults(src, dst);
+    if (fault.delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(fault.delay_us));
+    }
   }
   auto& c = *counters_[static_cast<size_t>(src) * num_ranks_ + dst];
   c.messages.fetch_add(1, std::memory_order_relaxed);
@@ -59,12 +116,51 @@ void Fabric::send(int src, int dst, uint64_t tag, Bytes msg) {
   static obs::Counter& send_bytes = obs::counter("fabric.send.bytes");
   send_messages.increment();
   send_bytes.add(static_cast<int64_t>(msg.size()));
+  Envelope env{next_envelope_id_.fetch_add(1, std::memory_order_relaxed),
+               std::move(msg)};
   Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
+  const uint64_t k = key(src, tag);
+  if (fault.drop) {
+    static obs::Counter& dropped = obs::counter("fabric.dropped");
+    dropped.increment();
+    obs::emit_instant("fabric.drop", "src", src, "dst", dst);
+    if (!fault.recoverable) return;  // black hole
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.lost[k].push_back(std::move(env));
+    return;  // no notify: the message is invisible until recover()
+  }
   {
     std::lock_guard<std::mutex> lock(box.mutex);
-    box.queues[key(src, tag)].push_back(std::move(msg));
+    auto& q = box.queues[k];
+    if (fault.dup) {
+      static obs::Counter& duplicated = obs::counter("fabric.duplicated");
+      duplicated.increment();
+      q.push_back(Envelope{env.id, env.payload});
+    }
+    if (fault.reorder && !q.empty()) {
+      static obs::Counter& reordered = obs::counter("fabric.reordered");
+      reordered.increment();
+      q.push_front(std::move(env));
+    } else {
+      q.push_back(std::move(env));
+    }
   }
   box.cv.notify_all();
+}
+
+Bytes Fabric::pop_locked(Mailbox& box, uint64_t k) {
+  auto it = box.queues.find(k);
+  auto& q = it->second;
+  Envelope env = std::move(q.front());
+  q.pop_front();
+  // Exactly-once delivery under duplicate faults: discard other copies.
+  for (auto qi = q.begin(); qi != q.end();) {
+    qi = (qi->id == env.id) ? q.erase(qi) : qi + 1;
+  }
+  // Erase drained keys: per-op tags are unique, so keeping empty deques
+  // would grow the map without bound over long runs.
+  if (q.empty()) box.queues.erase(it);
+  return std::move(env.payload);
 }
 
 Bytes Fabric::recv(int dst, int src, uint64_t tag) {
@@ -78,9 +174,7 @@ Bytes Fabric::recv(int dst, int src, uint64_t tag) {
     auto it = box.queues.find(k);
     return it != box.queues.end() && !it->second.empty();
   });
-  auto& q = box.queues[k];
-  Bytes msg = std::move(q.front());
-  q.pop_front();
+  Bytes msg = pop_locked(box, k);
   lock.unlock();
   const auto t1 = std::chrono::steady_clock::now();
   static obs::Counter& recv_messages = obs::counter("fabric.recv.messages");
@@ -92,6 +186,52 @@ Bytes Fabric::recv(int dst, int src, uint64_t tag) {
   wait_us.observe(
       std::chrono::duration<double, std::micro>(t1 - t0).count());
   return msg;
+}
+
+std::optional<Bytes> Fabric::try_recv_for(int dst, int src, uint64_t tag,
+                                          std::chrono::microseconds timeout) {
+  EMBRACE_CHECK(src >= 0 && src < num_ranks_, << "bad src rank " << src);
+  EMBRACE_CHECK(dst >= 0 && dst < num_ranks_, << "bad dst rank " << dst);
+  Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
+  const uint64_t k = key(src, tag);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(box.mutex);
+  const bool got = box.cv.wait_for(lock, timeout, [&] {
+    auto it = box.queues.find(k);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  if (!got) return std::nullopt;
+  Bytes msg = pop_locked(box, k);
+  lock.unlock();
+  const auto t1 = std::chrono::steady_clock::now();
+  static obs::Counter& recv_messages = obs::counter("fabric.recv.messages");
+  static obs::Counter& recv_bytes = obs::counter("fabric.recv.bytes");
+  static obs::Histogram& wait_us =
+      obs::histogram("fabric.recv.wait_us", kWaitEdgesUs);
+  recv_messages.increment();
+  recv_bytes.add(static_cast<int64_t>(msg.size()));
+  wait_us.observe(
+      std::chrono::duration<double, std::micro>(t1 - t0).count());
+  return msg;
+}
+
+bool Fabric::recover(int dst, int src, uint64_t tag) {
+  EMBRACE_CHECK(src >= 0 && src < num_ranks_, << "bad src rank " << src);
+  EMBRACE_CHECK(dst >= 0 && dst < num_ranks_, << "bad dst rank " << dst);
+  Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
+  const uint64_t k = key(src, tag);
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    auto it = box.lost.find(k);
+    if (it == box.lost.end() || it->second.empty()) return false;
+    box.queues[k].push_back(std::move(it->second.front()));
+    it->second.pop_front();
+    if (it->second.empty()) box.lost.erase(it);
+  }
+  static obs::Counter& retries = obs::counter("fabric.retries");
+  retries.increment();
+  box.cv.notify_all();
+  return true;
 }
 
 TrafficCounters Fabric::traffic(int src, int dst) const {
@@ -124,6 +264,22 @@ void Fabric::reset_traffic() {
     c->messages.store(0);
     c->bytes.store(0);
   }
+}
+
+size_t Fabric::mailbox_keys(int dst) const {
+  EMBRACE_CHECK(dst >= 0 && dst < num_ranks_, << "bad dst rank " << dst);
+  Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  return box.queues.size();
+}
+
+size_t Fabric::lost_messages(int dst) const {
+  EMBRACE_CHECK(dst >= 0 && dst < num_ranks_, << "bad dst rank " << dst);
+  Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  size_t n = 0;
+  for (const auto& [k, q] : box.lost) n += q.size();
+  return n;
 }
 
 }  // namespace embrace::comm

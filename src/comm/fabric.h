@@ -10,16 +10,30 @@
 // algorithms are validated against the paper's analytic message counts
 // (Table 2) through these counters, and the partitioning ablation uses them
 // to measure load imbalance.
+//
+// Fault model (DESIGN.md §8). Each link (src,dst) can be configured with a
+// deterministic, seeded FaultConfig: per-message drop / duplicate / reorder
+// probabilities and a uniform delay distribution. A recoverable drop parks
+// the message in the destination's `lost` queue; the receive side recovers
+// it on demand (recover()), emulating a retransmission after a receiver
+// timeout. An unrecoverable drop is a black hole: the message is gone and
+// the receiver's deadline (try_recv_for) is the only way out. Duplicates
+// are delivered exactly once to the application: every send gets a unique
+// envelope id and the pop path discards stale copies.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
+
+#include "common/error.h"
 
 namespace embrace::comm {
 
@@ -28,6 +42,41 @@ using Bytes = std::vector<std::byte>;
 struct TrafficCounters {
   int64_t messages = 0;
   int64_t bytes = 0;
+};
+
+// Thrown when a receive misses its deadline. Names the blocked edge so a
+// dead peer surfaces as a diagnosable error instead of a silent hang.
+class TimeoutError : public Error {
+ public:
+  TimeoutError(int src, int dst, uint64_t tag, const std::string& what)
+      : Error(what), src_(src), dst_(dst), tag_(tag) {}
+  int src() const { return src_; }
+  int dst() const { return dst_; }
+  uint64_t tag() const { return tag_; }
+
+ private:
+  int src_;
+  int dst_;
+  uint64_t tag_;
+};
+
+// Per-link fault injection parameters. All decisions for the k-th message
+// on a link are a pure function of (seed, src, dst, k), so a fixed seed
+// replays the same chaos regardless of wall-clock timing (per-link message
+// order is still up to the sending threads).
+struct FaultConfig {
+  double drop_prob = 0.0;     // P(first transmission is dropped)
+  double dup_prob = 0.0;      // P(message enqueued twice)
+  double reorder_prob = 0.0;  // P(message jumps the per-(src,tag) queue)
+  uint64_t delay_max_us = 0;  // uniform extra delivery delay in [0, max]
+  // true: dropped messages are recoverable via recover() — models a
+  // retransmission. false: dropped messages are lost forever (dead link).
+  bool recoverable = true;
+
+  bool any() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || reorder_prob > 0.0 ||
+           delay_max_us > 0;
+  }
 };
 
 class Fabric {
@@ -42,11 +91,44 @@ class Fabric {
   // Blocks until a message with the given (src, tag) arrives at dst.
   Bytes recv(int dst, int src, uint64_t tag);
 
-  // Failure/latency injection for tests: every send() sleeps a
-  // deterministic pseudo-random duration in [0, max_micros] before
-  // enqueueing. Exposes ordering bugs that only manifest under timing skew
-  // (the negotiated scheduler and the trainer are stress-tested with this).
+  // Bounded receive: returns std::nullopt if no matching message arrived
+  // within `timeout`. Never throws on timeout — callers that want a typed
+  // failure wrap this (Communicator turns an exhausted deadline into
+  // TimeoutError naming the edge).
+  std::optional<Bytes> try_recv_for(int dst, int src, uint64_t tag,
+                                    std::chrono::microseconds timeout);
+
+  // Moves one recoverably-dropped message for (src, tag) back into dst's
+  // live queue — the in-process stand-in for "receiver timed out, sender
+  // retransmits". Returns false if nothing was parked for that key.
+  // Counts into the "fabric.retries" metric.
+  bool recover(int dst, int src, uint64_t tag);
+
+  // --- fault injection ---
+
+  // Applies `cfg` to every link. Seeds the deterministic per-link fault
+  // streams. Call before traffic starts (not thread-safe vs in-flight
+  // send/recv).
+  void set_fault_config(const FaultConfig& cfg, uint64_t seed = 1);
+  // Overrides the config for one directed link (src -> dst).
+  void set_link_faults(int src, int dst, const FaultConfig& cfg);
+  // True if any link has faults configured (hot-path gate).
+  bool faults_enabled() const {
+    return faults_enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Back-compat stress knob: uniform delivery delay on every link
+  // (equivalent to set_fault_config with only delay_max_us set).
   void set_delivery_jitter(uint64_t max_micros, uint64_t seed = 1);
+
+  // Default receive budget for deadline-aware callers (the Communicator).
+  // 0 = block forever. Stored here so every rank/channel sharing the
+  // fabric inherits one policy.
+  void set_recv_timeout(std::chrono::microseconds timeout);
+  std::chrono::microseconds recv_timeout() const {
+    return std::chrono::microseconds(
+        recv_timeout_us_.load(std::memory_order_relaxed));
+  }
 
   // Traffic sent from src to dst since construction (or last reset).
   TrafficCounters traffic(int src, int dst) const;
@@ -55,12 +137,28 @@ class Fabric {
   TrafficCounters total_traffic() const;
   void reset_traffic();
 
+  // Number of live (src,tag) keys in dst's mailbox (tests assert the
+  // footprint stays bounded: drained queues must be erased, not kept as
+  // empty deques).
+  size_t mailbox_keys(int dst) const;
+  // Number of messages parked as recoverable losses at dst.
+  size_t lost_messages(int dst) const;
+
  private:
+  // One transmission. `id` is unique per send() call; duplicates share the
+  // id so the pop path can deliver exactly once.
+  struct Envelope {
+    uint64_t id = 0;
+    Bytes payload;
+  };
+
   struct Mailbox {
     std::mutex mutex;
     std::condition_variable cv;
     // key = (src << 48) | tag
-    std::unordered_map<uint64_t, std::deque<Bytes>> queues;
+    std::unordered_map<uint64_t, std::deque<Envelope>> queues;
+    // Recoverably dropped messages, same keying.
+    std::unordered_map<uint64_t, std::deque<Envelope>> lost;
   };
 
   struct PairCounters {
@@ -68,13 +166,33 @@ class Fabric {
     std::atomic<int64_t> bytes{0};
   };
 
+  // Outcome of the fault roll for one message.
+  struct FaultDecision {
+    bool drop = false;
+    bool recoverable = true;
+    bool dup = false;
+    bool reorder = false;
+    uint64_t delay_us = 0;
+  };
+
   static uint64_t key(int src, uint64_t tag);
+  const FaultConfig& link_config(int src, int dst) const;
+  FaultDecision roll_faults(int src, int dst);
+  // Pops the front message for `k`, discarding duplicate envelopes and
+  // erasing the queue when drained. Caller holds box.mutex.
+  Bytes pop_locked(Mailbox& box, uint64_t k);
 
   int num_ranks_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<PairCounters>> counters_;  // n*n, row-major
-  std::atomic<uint64_t> jitter_max_micros_{0};
-  std::atomic<uint64_t> jitter_state_{0};
+  // Fault state: per-link configs (n*n, row-major) + per-link message
+  // counters feeding the deterministic fault stream.
+  std::vector<FaultConfig> link_cfg_;
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> link_msg_counter_;
+  std::atomic<bool> faults_enabled_{false};
+  uint64_t fault_seed_ = 1;
+  std::atomic<int64_t> recv_timeout_us_{0};
+  std::atomic<uint64_t> next_envelope_id_{1};
 };
 
 }  // namespace embrace::comm

@@ -8,29 +8,32 @@
 namespace embrace::core {
 namespace {
 
+// Empty id slices / tensors are normal (a rank may own no rows of a batch);
+// empty vectors may hand memcpy a null pointer, which is UB even at size 0.
+
 comm::Bytes pack_ids(const std::vector<int64_t>& ids) {
   comm::Bytes b(ids.size() * sizeof(int64_t));
-  std::memcpy(b.data(), ids.data(), b.size());
+  if (!b.empty()) std::memcpy(b.data(), ids.data(), b.size());
   return b;
 }
 
 std::vector<int64_t> unpack_ids(const comm::Bytes& b) {
   EMBRACE_CHECK_EQ(b.size() % sizeof(int64_t), 0u);
   std::vector<int64_t> ids(b.size() / sizeof(int64_t));
-  std::memcpy(ids.data(), b.data(), b.size());
+  if (!b.empty()) std::memcpy(ids.data(), b.data(), b.size());
   return ids;
 }
 
 comm::Bytes pack_tensor(const Tensor& t) {
   comm::Bytes b(static_cast<size_t>(t.byte_size()));
-  std::memcpy(b.data(), t.data(), b.size());
+  if (!b.empty()) std::memcpy(b.data(), t.data(), b.size());
   return b;
 }
 
 Tensor unpack_tensor(const comm::Bytes& b, int64_t rows, int64_t cols) {
   EMBRACE_CHECK_EQ(b.size(), static_cast<size_t>(rows * cols * 4));
   std::vector<float> data(static_cast<size_t>(rows * cols));
-  std::memcpy(data.data(), b.data(), b.size());
+  if (!b.empty()) std::memcpy(data.data(), b.data(), b.size());
   return Tensor({rows, cols}, std::move(data));
 }
 

@@ -68,6 +68,20 @@ struct TrainConfig {
   // (microseconds). Correctness must be timing-independent; the stress
   // tests train with jitter and still require oracle-equal losses.
   uint64_t fabric_jitter_us = 0;
+
+  // Fault injection (DESIGN.md §8). Per-message probabilities applied on
+  // every link, deterministic given `seed`. With recoverable drops the run
+  // must still produce oracle-equal losses (the collectives retry lost
+  // messages); with unrecoverable drops the affected link is black-holed
+  // and the run fails with a TimeoutError naming the edge — provided
+  // recv_timeout_ms arms a deadline (0 = wait forever, faults off the
+  // clock).
+  double fault_drop_prob = 0.0;
+  double fault_dup_prob = 0.0;
+  double fault_reorder_prob = 0.0;
+  uint64_t fault_delay_max_us = 0;
+  bool fault_recoverable = true;
+  uint64_t recv_timeout_ms = 0;
 };
 
 struct TrainStats {

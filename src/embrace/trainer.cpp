@@ -12,6 +12,7 @@
 // against the single-process oracle.
 #include "embrace/strategy.h"
 
+#include <algorithm>
 #include <chrono>
 #include <mutex>
 #include <string>
@@ -39,6 +40,7 @@ namespace {
 constexpr int kControlChannel = 0;  // scheduler negotiation
 constexpr int kCommChannel = 1;     // collectives run by the comm thread
 constexpr int kMainChannel = 2;     // inline metadata from the main thread
+constexpr int kAbortChannel = 3;    // best-effort rendezvous on failure
 
 std::unique_ptr<nn::SparseOptimizer> make_sparse_optim(const TrainConfig& c,
                                                        int64_t rows,
@@ -253,6 +255,7 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
                                          cfg.batch_per_worker);
 
   std::vector<float> local_losses;
+  try {
   for (int step = 0; step < cfg.steps; ++step) {
     obs::ScopedSpan step_span("step", "step", step);
     // Accumulates this step's blocked-on-comm wall time across the three
@@ -452,6 +455,26 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
     local_losses.push_back(global_mean_loss(main_ch, local_loss, workers));
     loader.advance();
   }
+  } catch (...) {
+    // Failure path (DESIGN.md §8): a collective timed out or an op body
+    // threw. Tear down the local scheduler without negotiating with
+    // (possibly dead) peers, then attempt a bounded rendezvous so surviving
+    // ranks leave together instead of wedging in half-finished collectives.
+    // The barrier is only attempted when a recv deadline is armed — without
+    // one it could hang exactly like the collective that failed.
+    static obs::Counter& aborts = obs::counter("trainer.aborts");
+    aborts.increment();
+    obs::emit_instant("trainer.abort", "rank", rank);
+    scheduler.abort();
+    if (comm.fabric().recv_timeout().count() > 0) {
+      try {
+        comm.channel(kAbortChannel).barrier();
+      } catch (...) {
+        // Peers may be dead; run_cluster's join is the real sync point.
+      }
+    }
+    throw;  // run_cluster rethrows the first (lowest-rank) error
+  }
 
   scheduler.shutdown();
   if (rank == 0) {
@@ -498,8 +521,18 @@ TrainStats run_distributed(const TrainConfig& cfg, int workers) {
   }
 
   comm::Fabric fabric(workers);
-  if (cfg.fabric_jitter_us > 0) {
-    fabric.set_delivery_jitter(cfg.fabric_jitter_us, cfg.seed);
+  comm::FaultConfig faults;
+  faults.drop_prob = cfg.fault_drop_prob;
+  faults.dup_prob = cfg.fault_dup_prob;
+  faults.reorder_prob = cfg.fault_reorder_prob;
+  faults.delay_max_us = std::max(cfg.fault_delay_max_us, cfg.fabric_jitter_us);
+  faults.recoverable = cfg.fault_recoverable;
+  if (faults.any()) {
+    fabric.set_fault_config(faults, cfg.seed);
+  }
+  if (cfg.recv_timeout_ms > 0) {
+    fabric.set_recv_timeout(
+        std::chrono::milliseconds(static_cast<int64_t>(cfg.recv_timeout_ms)));
   }
   Stopwatch wall;
   comm::run_cluster(fabric, [&](comm::Communicator& comm) {

@@ -32,7 +32,9 @@ class Reader {
   Reader(const std::byte* data, size_t size) : data_(data), size_(size) {}
   void raw(void* p, size_t n) {
     EMBRACE_CHECK_LE(pos_ + n, size_, << "truncated checkpoint");
-    std::memcpy(p, data_ + pos_, n);
+    // Zero-length tensors deserialize into empty vectors whose data() may be
+    // null; memcpy's pointer args must be non-null even for size 0.
+    if (n > 0) std::memcpy(p, data_ + pos_, n);
     pos_ += n;
   }
   template <typename T>

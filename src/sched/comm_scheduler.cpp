@@ -11,18 +11,42 @@ namespace {
 
 constexpr double kQueueDepthEdges[] = {0, 1, 2, 4, 8, 16, 32, 64};
 
+std::string describe(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
 }  // namespace
 
 struct CommScheduler::Handle::State {
   std::mutex mutex;
   std::condition_variable cv;
   bool done = false;
+  std::exception_ptr error;  // set iff the op failed or was abandoned
 };
 
 void CommScheduler::Handle::wait() const {
   EMBRACE_CHECK(state_ != nullptr, << "waiting on an invalid handle");
   std::unique_lock<std::mutex> lock(state_->mutex);
   state_->cv.wait(lock, [&] { return state_->done; });
+  if (state_->error) std::rethrow_exception(state_->error);
+}
+
+bool CommScheduler::Handle::done() const {
+  EMBRACE_CHECK(state_ != nullptr, << "querying an invalid handle");
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+bool CommScheduler::Handle::failed() const {
+  EMBRACE_CHECK(state_ != nullptr, << "querying an invalid handle");
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done && state_->error != nullptr;
 }
 
 struct CommScheduler::Op {
@@ -31,20 +55,52 @@ struct CommScheduler::Op {
   std::shared_ptr<Handle::State> state = std::make_shared<Handle::State>();
 };
 
+void CommScheduler::fail_op(const std::shared_ptr<Op>& op,
+                            std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(op->state->mutex);
+    if (op->state->done) return;
+    op->state->done = true;
+    op->state->error = std::move(error);
+  }
+  op->state->cv.notify_all();
+}
+
+void CommScheduler::fail_backlog_locked(std::exception_ptr error) {
+  for (const auto& op : plan_) {
+    fail_op(op, error);
+    pending_.erase(op->name);
+  }
+  plan_.clear();
+}
+
 CommScheduler::CommScheduler()
     : epoch_(std::chrono::steady_clock::now()), thread_([this] { run(); }) {}
 
 CommScheduler::~CommScheduler() {
+  std::deque<std::shared_ptr<Op>> undone;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
+    undone.swap(plan_);
+    for (const auto& op : undone) pending_.erase(op->name);
   }
   cv_.notify_all();
+  // Anyone blocked in Handle::wait() on an undone op would hang forever
+  // once the comm thread is gone — fail those handles instead.
+  for (const auto& op : undone) {
+    fail_op(op, std::make_exception_ptr(SchedulerError(
+                    "scheduler shut down before op executed: " + op->name)));
+  }
   thread_.join();
 }
 
 void CommScheduler::begin_step(const std::vector<std::string>& ordered_ops) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (failed_) {
+    throw SchedulerError("begin_step on a failed scheduler: " +
+                         describe(failed_));
+  }
   for (const auto& name : ordered_ops) {
     EMBRACE_CHECK(pending_.find(name) == pending_.end(),
                   << "duplicate op in backlog: " << name);
@@ -61,6 +117,11 @@ CommScheduler::Handle CommScheduler::submit(const std::string& name,
   std::shared_ptr<Op> op;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (failed_) {
+      // Fail fast: the backlog was abandoned, this body will never run.
+      throw SchedulerError("submit('" + name + "') on a failed scheduler: " +
+                           describe(failed_));
+    }
     auto it = pending_.find(name);
     EMBRACE_CHECK(it != pending_.end(), << "op not declared: " << name);
     op = it->second;
@@ -73,7 +134,10 @@ CommScheduler::Handle CommScheduler::submit(const std::string& name,
 
 void CommScheduler::drain() {
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return plan_.empty(); });
+  cv_.wait(lock, [&] {
+    return (plan_.empty() && in_flight_ == 0) || failed_ != nullptr;
+  });
+  if (failed_) std::rethrow_exception(failed_);
 }
 
 std::vector<ExecRecord> CommScheduler::records() const {
@@ -92,13 +156,42 @@ void CommScheduler::run() {
       });
       if (stop_) return;
       op = plan_.front();
+      // Pop before executing so a destructor-time backlog sweep cannot fail
+      // the handle of an op that is actually running; drain() accounts for
+      // the gap via in_flight_.
+      plan_.pop_front();
+      ++in_flight_;
       static obs::Histogram& depth =
           obs::histogram("sched.queue_depth", kQueueDepthEdges);
-      depth.observe(static_cast<double>(plan_.size()));
+      depth.observe(static_cast<double>(plan_.size() + 1));
     }
     const auto t0 = std::chrono::steady_clock::now();
-    op->fn();
+    std::exception_ptr error;
+    try {
+      op->fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
     const auto t1 = std::chrono::steady_clock::now();
+    if (error) {
+      static obs::Counter& failures = obs::counter("sched.ops_failed");
+      failures.increment();
+      obs::emit_complete(op->name, t0, t1);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        failed_ = error;
+        pending_.erase(op->name);
+        --in_flight_;
+        // Fail the whole backlog fast: ops after a failed one will never
+        // run (SPMD order is broken), so waiting on them must not wedge.
+        fail_backlog_locked(std::make_exception_ptr(SchedulerError(
+            "op abandoned: scheduler failed in '" + op->name +
+            "': " + describe(error))));
+      }
+      cv_.notify_all();
+      fail_op(op, error);
+      continue;  // park until destruction; submit/begin_step now throw
+    }
     // The trace span and the test-visible ExecRecord share one pair of
     // clock reads, so span timelines and records() agree exactly.
     obs::emit_complete(op->name, t0, t1);
@@ -109,8 +202,8 @@ void CommScheduler::run() {
       records_.push_back(
           {op->name, std::chrono::duration<double>(t0 - epoch_).count(),
            std::chrono::duration<double>(t1 - epoch_).count()});
-      plan_.pop_front();
       pending_.erase(op->name);
+      --in_flight_;
     }
     cv_.notify_all();
     {

@@ -13,10 +13,20 @@
 // body has been submitted by the training thread's hooks. Ops of
 // consecutive steps are processed back-to-back, so a low-priority op
 // (delayed gradients) naturally overlaps the next step's computation.
+//
+// Failure propagation (DESIGN.md §8). An op body that throws does not kill
+// the comm thread: the exception is captured into the op's handle (rethrown
+// from Handle::wait()), every not-yet-executed op is failed fast with a
+// SchedulerError naming the culprit, and the scheduler enters a terminal
+// failed state where submit()/begin_step() throw and drain() rethrows —
+// nothing can wedge waiting on ops that will never run. Destroying a
+// scheduler with undone ops likewise fails their handles ("scheduler shut
+// down") instead of leaving waiters blocked forever.
 #pragma once
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -25,7 +35,17 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/error.h"
+
 namespace embrace::sched {
+
+// Thrown for scheduler-lifecycle failures: an op abandoned because an
+// earlier op threw, a handle orphaned by scheduler destruction, or a
+// submission into a failed/stopped scheduler.
+class SchedulerError : public Error {
+ public:
+  explicit SchedulerError(const std::string& what) : Error(what) {}
+};
 
 // Completion record for tests and timeline rendering (seconds since
 // scheduler construction).
@@ -47,9 +67,15 @@ class CommScheduler {
   class Handle {
    public:
     Handle() = default;
-    // Blocks until the op has been executed by the comm thread.
+    // Blocks until the op has been executed by the comm thread. Rethrows
+    // the op's exception if its body threw (or a SchedulerError if the op
+    // was abandoned before running).
     void wait() const;
     bool valid() const { return state_ != nullptr; }
+    // True once the op finished (successfully or not). Never blocks.
+    bool done() const;
+    // True if the op failed; wait() would rethrow. Never blocks.
+    bool failed() const;
 
    private:
     friend class CommScheduler;
@@ -67,7 +93,9 @@ class CommScheduler {
   // comm thread reaches it. Returns a waitable handle.
   Handle submit(const std::string& name, std::function<void()> fn);
 
-  // Blocks until every declared op so far has executed.
+  // Blocks until every declared op so far has executed. Rethrows the first
+  // op failure if the scheduler failed (the backlog is failed fast, so this
+  // cannot wedge on ops that will never run).
   void drain();
 
   // Execution log in completion order.
@@ -76,6 +104,10 @@ class CommScheduler {
  private:
   struct Op;
   void run();
+  // Fails `op`'s handle with `error`. Caller must not hold op->state->mutex.
+  static void fail_op(const std::shared_ptr<Op>& op, std::exception_ptr error);
+  // Fails everything in plan_/pending_ with `error`. Caller holds mutex_.
+  void fail_backlog_locked(std::exception_ptr error);
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
@@ -83,6 +115,11 @@ class CommScheduler {
   std::unordered_map<std::string, std::shared_ptr<Op>> pending_;
   std::vector<ExecRecord> records_;
   bool stop_ = false;
+  // Set once an op body throws; terminal. Guarded by mutex_.
+  std::exception_ptr failed_;
+  // 1 while the comm thread is inside an op body (the op is no longer in
+  // plan_ then); drain() waits for plan_.empty() && in_flight_ == 0.
+  int in_flight_ = 0;
   std::chrono::steady_clock::time_point epoch_;
   std::thread thread_;
 };

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <sstream>
 
 #include "common/error.h"
 #include "obs/metrics.h"
@@ -15,6 +16,11 @@ constexpr double kQueueDepthEdges[] = {0, 1, 2, 4, 8, 16, 32, 64};
 // Announcement sentinel that stops every comm thread.
 const char kStopToken[] = "\x01__stop__";
 
+// Slice length for the follower's abortable announcement poll. Latency is
+// unaffected (the wait wakes as soon as a message lands); the slice only
+// bounds how fast abort() and the pending-deadline check are noticed.
+constexpr std::chrono::microseconds kAnnouncePollSlice{10000};
+
 comm::Bytes to_bytes(const std::string& s) {
   comm::Bytes b(s.size());
   std::memcpy(b.data(), s.data(), s.size());
@@ -25,18 +31,42 @@ std::string from_bytes(const comm::Bytes& b) {
   return std::string(reinterpret_cast<const char*>(b.data()), b.size());
 }
 
+std::string describe(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
 }  // namespace
 
 struct NegotiatedScheduler::Handle::State {
   std::mutex mutex;
   std::condition_variable cv;
   bool done = false;
+  std::exception_ptr error;  // set iff the op failed or was abandoned
 };
 
 void NegotiatedScheduler::Handle::wait() const {
   EMBRACE_CHECK(state_ != nullptr, << "waiting on an invalid handle");
   std::unique_lock<std::mutex> lock(state_->mutex);
   state_->cv.wait(lock, [&] { return state_->done; });
+  if (state_->error) std::rethrow_exception(state_->error);
+}
+
+bool NegotiatedScheduler::Handle::done() const {
+  EMBRACE_CHECK(state_ != nullptr, << "querying an invalid handle");
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+bool NegotiatedScheduler::Handle::failed() const {
+  EMBRACE_CHECK(state_ != nullptr, << "querying an invalid handle");
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done && state_->error != nullptr;
 }
 
 struct NegotiatedScheduler::Op {
@@ -47,13 +77,35 @@ struct NegotiatedScheduler::Op {
   std::shared_ptr<Handle::State> state = std::make_shared<Handle::State>();
 };
 
+void NegotiatedScheduler::fail_op(const std::shared_ptr<Op>& op,
+                                  std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(op->state->mutex);
+    if (op->state->done) return;
+    op->state->done = true;
+    op->state->error = std::move(error);
+  }
+  op->state->cv.notify_all();
+}
+
 NegotiatedScheduler::NegotiatedScheduler(comm::Communicator control)
     : control_(control),
       epoch_(std::chrono::steady_clock::now()),
       thread_([this] { run(); }) {}
 
 NegotiatedScheduler::~NegotiatedScheduler() {
-  if (thread_.joinable()) shutdown();
+  if (!thread_.joinable()) return;
+  if (failed()) {
+    abort();
+  } else {
+    shutdown();
+  }
+}
+
+bool NegotiatedScheduler::failed() const {
+  if (abort_.load(std::memory_order_relaxed)) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failed_ != nullptr;
 }
 
 NegotiatedScheduler::Handle NegotiatedScheduler::submit(
@@ -65,6 +117,13 @@ NegotiatedScheduler::Handle NegotiatedScheduler::submit(
   op->fn = std::move(fn);
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (failed_ || abort_.load(std::memory_order_relaxed)) {
+      // Fail fast: this op would never be announced or executed.
+      throw SchedulerError(
+          "submit('" + name + "') on a " +
+          (failed_ ? "failed scheduler: " + describe(failed_)
+                   : std::string("scheduler that was aborted")));
+    }
     EMBRACE_CHECK(!shutdown_requested_, << "submit after shutdown");
     EMBRACE_CHECK(submitted_.find(name) == submitted_.end(),
                   << "duplicate unexecuted op: " << name);
@@ -84,6 +143,35 @@ void NegotiatedScheduler::shutdown() {
   if (thread_.joinable()) thread_.join();
 }
 
+void NegotiatedScheduler::abort() {
+  abort_.store(true, std::memory_order_relaxed);
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  fail_all(std::make_exception_ptr(
+      SchedulerError("scheduler aborted on rank " +
+                     std::to_string(control_.rank()))));
+  static obs::Counter& aborts = obs::counter("sched.aborts");
+  aborts.increment();
+}
+
+void NegotiatedScheduler::fail_all(std::exception_ptr cause) {
+  std::vector<std::shared_ptr<Op>> victims;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!failed_) failed_ = cause;
+    victims.reserve(submitted_.size());
+    for (auto& [name, op] : submitted_) victims.push_back(op);
+    submitted_.clear();
+  }
+  const std::string why = describe(cause);
+  for (const auto& op : victims) {
+    fail_op(op, std::make_exception_ptr(SchedulerError(
+                    "op abandoned: '" + op->name + "' never executed (" +
+                    why + ")")));
+  }
+  cv_.notify_all();
+}
+
 std::vector<ExecRecord> NegotiatedScheduler::records() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return records_;
@@ -100,9 +188,43 @@ void NegotiatedScheduler::announce(const std::string& name) {
 }
 
 std::string NegotiatedScheduler::receive_announcement() {
-  std::string name = from_bytes(control_.recv_bytes_at(0, announce_seq_));
-  ++announce_seq_;
-  return name;
+  using std::chrono::steady_clock;
+  auto waiting_since = steady_clock::now();
+  bool was_pending = false;
+  while (true) {
+    if (abort_.load(std::memory_order_relaxed)) return {};
+    if (auto msg =
+            control_.try_recv_bytes_at(0, announce_seq_, kAnnouncePollSlice)) {
+      ++announce_seq_;
+      return from_bytes(*msg);
+    }
+    // The fabric's recv deadline applies only while ops are pending (or a
+    // collective shutdown awaits its stop token): in both cases the leader
+    // owes us an announcement. An idle scheduler may wait forever.
+    bool pending;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pending = !submitted_.empty() || shutdown_requested_;
+    }
+    if (!pending) {
+      was_pending = false;
+      continue;
+    }
+    if (!was_pending) {
+      was_pending = true;
+      waiting_since = steady_clock::now();
+    }
+    const auto budget = control_.fabric().recv_timeout();
+    if (budget.count() > 0 &&
+        steady_clock::now() - waiting_since > budget) {
+      std::ostringstream os;
+      os << "no announcement from leader within " << budget.count()
+         << "us while ops are pending on rank " << control_.rank()
+         << " (announce seq " << announce_seq_
+         << "): leader dead or control link down";
+      throw comm::TimeoutError(0, control_.rank(), announce_seq_, os.str());
+    }
+  }
 }
 
 void NegotiatedScheduler::run() {
@@ -110,67 +232,103 @@ void NegotiatedScheduler::run() {
   // The comm thread inherits its rank's identity so its trace events land
   // in the right per-rank lane group (paper Fig. 6's bottom lane).
   obs::bind_thread(control_.rank(), "comm");
-  while (true) {
-    std::shared_ptr<Op> op;
-    if (leader) {
-      std::string chosen;
-      {
+  try {
+    while (true) {
+      std::shared_ptr<Op> op;
+      if (leader) {
+        std::string chosen;
+        {
+          std::unique_lock<std::mutex> lock(mutex_);
+          cv_.wait(lock, [&] {
+            return !submitted_.empty() || shutdown_requested_ ||
+                   abort_.load(std::memory_order_relaxed);
+          });
+          if (abort_.load(std::memory_order_relaxed)) return;
+          if (submitted_.empty()) {
+            // shutdown with a drained queue: stop everyone.
+            chosen = kStopToken;
+          } else {
+            // Highest priority = smallest (priority, seq).
+            const Op* best = nullptr;
+            for (const auto& [name, candidate] : submitted_) {
+              if (best == nullptr || candidate->priority < best->priority ||
+                  (candidate->priority == best->priority &&
+                   candidate->seq < best->seq)) {
+                best = candidate.get();
+              }
+            }
+            chosen = best->name;
+            op = submitted_.at(chosen);
+          }
+        }
+        if (control_.size() > 1) announce(chosen);
+        if (chosen == kStopToken) return;
+      } else {
+        const std::string chosen = receive_announcement();
+        if (chosen.empty()) return;  // aborted
+        if (chosen == kStopToken) return;
         std::unique_lock<std::mutex> lock(mutex_);
         cv_.wait(lock, [&] {
-          return !submitted_.empty() || shutdown_requested_;
+          return submitted_.count(chosen) > 0 ||
+                 abort_.load(std::memory_order_relaxed);
         });
-        if (submitted_.empty()) {
-          // shutdown with a drained queue: stop everyone.
-          chosen = kStopToken;
-        } else {
-          // Highest priority = smallest (priority, seq).
-          const Op* best = nullptr;
-          for (const auto& [name, candidate] : submitted_) {
-            if (best == nullptr || candidate->priority < best->priority ||
-                (candidate->priority == best->priority &&
-                 candidate->seq < best->seq)) {
-              best = candidate.get();
-            }
-          }
-          chosen = best->name;
-          op = submitted_.at(chosen);
-        }
+        if (abort_.load(std::memory_order_relaxed)) return;
+        op = submitted_.at(chosen);
       }
-      if (control_.size() > 1) announce(chosen);
-      if (chosen == kStopToken) return;
-    } else {
-      const std::string chosen = receive_announcement();
-      if (chosen == kStopToken) return;
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] { return submitted_.count(chosen) > 0; });
-      op = submitted_.at(chosen);
-    }
 
-    const auto t0 = std::chrono::steady_clock::now();
-    op->fn();
-    const auto t1 = std::chrono::steady_clock::now();
-    // One pair of clock reads feeds both the trace span and the
-    // test-visible ExecRecord, so the two timelines agree exactly.
-    obs::emit_complete(op->name, t0, t1, "priority",
-                       static_cast<int64_t>(op->priority));
-    static obs::Counter& executed = obs::counter("sched.ops_executed");
-    executed.increment();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      records_.push_back(
-          {op->name, std::chrono::duration<double>(t0 - epoch_).count(),
-           std::chrono::duration<double>(t1 - epoch_).count()});
-      submitted_.erase(op->name);
-      static obs::Histogram& depth =
-          obs::histogram("sched.queue_depth", kQueueDepthEdges);
-      depth.observe(static_cast<double>(submitted_.size()));
+      const auto t0 = std::chrono::steady_clock::now();
+      std::exception_ptr error;
+      try {
+        op->fn();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      if (error) {
+        static obs::Counter& failures = obs::counter("sched.ops_failed");
+        failures.increment();
+        obs::emit_complete(op->name, t0, t1, "priority",
+                           static_cast<int64_t>(op->priority));
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (!failed_) failed_ = error;
+          submitted_.erase(op->name);
+        }
+        // The culprit's handle carries the original exception; everything
+        // else pending is abandoned fast so no waiter can wedge.
+        fail_op(op, error);
+        fail_all(std::make_exception_ptr(SchedulerError(
+            "op abandoned: scheduler failed in '" + op->name +
+            "': " + describe(error))));
+        return;  // comm thread retires; submit() now fails fast
+      }
+      // One pair of clock reads feeds both the trace span and the
+      // test-visible ExecRecord, so the two timelines agree exactly.
+      obs::emit_complete(op->name, t0, t1, "priority",
+                         static_cast<int64_t>(op->priority));
+      static obs::Counter& executed = obs::counter("sched.ops_executed");
+      executed.increment();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        records_.push_back(
+            {op->name, std::chrono::duration<double>(t0 - epoch_).count(),
+             std::chrono::duration<double>(t1 - epoch_).count()});
+        submitted_.erase(op->name);
+        static obs::Histogram& depth =
+            obs::histogram("sched.queue_depth", kQueueDepthEdges);
+        depth.observe(static_cast<double>(submitted_.size()));
+      }
+      cv_.notify_all();
+      {
+        std::lock_guard<std::mutex> lock(op->state->mutex);
+        op->state->done = true;
+      }
+      op->state->cv.notify_all();
     }
-    cv_.notify_all();
-    {
-      std::lock_guard<std::mutex> lock(op->state->mutex);
-      op->state->done = true;
-    }
-    op->state->cv.notify_all();
+  } catch (...) {
+    // announce()/receive_announcement() threw — dead peer or control-link
+    // deadline. Everything pending is failed; waiters see the cause.
+    fail_all(std::current_exception());
   }
 }
 

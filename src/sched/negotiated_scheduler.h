@@ -14,10 +14,22 @@
 // everywhere by construction.
 //
 // FIFO mode is the same machinery with priority = submission sequence.
+//
+// Failure propagation (DESIGN.md §8). An op body that throws (e.g. a
+// TimeoutError from a faulted collective) fails its own handle with the
+// original exception, fails every other pending handle fast with a
+// SchedulerError, and retires the comm thread — Handle::wait() rethrows
+// instead of hanging. A follower whose leader stops announcing while ops
+// are pending times out against the fabric's recv deadline and fails the
+// same way. abort() is the non-collective teardown for error paths: it
+// stops the comm thread without the stop-token negotiation (which would
+// need live peers) and fails all pending handles.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <map>
 #include <memory>
@@ -28,7 +40,7 @@
 #include <vector>
 
 #include "comm/communicator.h"
-#include "sched/comm_scheduler.h"  // reuses ExecRecord
+#include "sched/comm_scheduler.h"  // reuses ExecRecord + SchedulerError
 
 namespace embrace::sched {
 
@@ -39,7 +51,8 @@ class NegotiatedScheduler {
   // scheduler with matching channels.
   explicit NegotiatedScheduler(comm::Communicator control);
   // Joins the comm thread. All ranks must have called shutdown() (or have
-  // joined every handle and then destroy simultaneously via shutdown()).
+  // joined every handle and then destroy simultaneously via shutdown());
+  // a failed/aborted scheduler is torn down locally via abort().
   ~NegotiatedScheduler();
 
   NegotiatedScheduler(const NegotiatedScheduler&) = delete;
@@ -48,8 +61,15 @@ class NegotiatedScheduler {
   class Handle {
    public:
     Handle() = default;
+    // Blocks until the op executed; rethrows the op's exception if its body
+    // threw, or SchedulerError if it was abandoned (peer op failure, abort,
+    // scheduler destruction).
     void wait() const;
     bool valid() const { return state_ != nullptr; }
+    // True once the op finished (successfully or not). Never blocks.
+    bool done() const;
+    // True if the op failed; wait() would rethrow. Never blocks.
+    bool failed() const;
 
    private:
     friend class NegotiatedScheduler;
@@ -60,7 +80,8 @@ class NegotiatedScheduler {
 
   // Enqueues a communication op. Lower priority value = more urgent; ties
   // break by submission order. `name` must be unique among unexecuted ops
-  // and identical across ranks for the same logical op.
+  // and identical across ranks for the same logical op. Throws
+  // SchedulerError once the scheduler has failed or been aborted.
   Handle submit(double priority, const std::string& name,
                 std::function<void()> fn);
 
@@ -68,13 +89,31 @@ class NegotiatedScheduler {
   // stops the comm threads on all ranks. Must be called by all ranks.
   void shutdown();
 
+  // Local, non-collective teardown for error paths: stops this rank's comm
+  // thread without announcing (peers may be dead), joins it, and fails all
+  // pending handles with SchedulerError. Idempotent; safe after failure.
+  void abort();
+
+  // True once an op body threw or abort() was called; submit() will throw.
+  bool failed() const;
+
   std::vector<ExecRecord> records() const;
 
  private:
   struct Op;
   void run();
   void announce(const std::string& name);
+  // Polls for the leader's announcement in abortable slices. Applies the
+  // fabric's recv deadline only while ops are pending locally (the leader
+  // should be announcing then); an idle scheduler may wait forever.
+  // Returns empty if aborted.
   std::string receive_announcement();
+  // Fails every pending handle and marks the scheduler failed. Records the
+  // first failure cause. Caller must not hold mutex_.
+  void fail_all(std::exception_ptr cause);
+  // Fails `op`'s handle with `error` (no-op if already finished). Caller
+  // must not hold op->state->mutex.
+  static void fail_op(const std::shared_ptr<Op>& op, std::exception_ptr error);
 
   comm::Communicator control_;
   mutable std::mutex mutex_;
@@ -83,6 +122,8 @@ class NegotiatedScheduler {
   std::unordered_map<std::string, std::shared_ptr<Op>> submitted_;
   uint64_t next_seq_ = 0;
   bool shutdown_requested_ = false;
+  std::atomic<bool> abort_{false};
+  std::exception_ptr failed_;  // guarded by mutex_; terminal once set
   // Announcement index; only touched by the comm thread.
   uint64_t announce_seq_ = 0;
   std::vector<ExecRecord> records_;

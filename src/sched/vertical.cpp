@@ -1,6 +1,7 @@
 #include "sched/vertical.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/error.h"
 #include "obs/metrics.h"
@@ -8,6 +9,25 @@
 #include "tensor/index_ops.h"
 
 namespace embrace::sched {
+namespace {
+
+std::atomic<bool> g_vertical_verify{
+#ifdef NDEBUG
+    false
+#else
+    true
+#endif
+};
+
+}  // namespace
+
+bool set_vertical_verify(bool enabled) {
+  return g_vertical_verify.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool vertical_verify_enabled() {
+  return g_vertical_verify.load(std::memory_order_relaxed);
+}
 
 VerticalSplit vertical_sparse_schedule(
     const SparseRows& grad, const std::vector<int64_t>& current_ids,
@@ -16,10 +36,13 @@ VerticalSplit vertical_sparse_schedule(
   SparseRows coalesced = grad.coalesced();
   // Line 3: D_u <- UNIQUE(D_cur[n]).
   const auto d_u = unique_sorted(current_ids);
-  // The gradient's rows must come from this worker's data.
-  for (int64_t r : coalesced.indices()) {
-    EMBRACE_CHECK(std::binary_search(d_u.begin(), d_u.end(), r),
-                  << "gradient row " << r << " not in current batch data");
+  // The gradient's rows must come from this worker's data. Verification
+  // only (gated: O(nnz·log n) on the per-step critical path).
+  if (vertical_verify_enabled()) {
+    for (int64_t r : coalesced.indices()) {
+      EMBRACE_CHECK(std::binary_search(d_u.begin(), d_u.end(), r),
+                    << "gradient row " << r << " not in current batch data");
+    }
   }
   // Lines 4-5: i_prior <- D_u ∩ D_next ; i_delayed <- D_u \ i_prior.
   const auto d_next = unique_sorted(next_ids_gathered);

@@ -32,4 +32,12 @@ VerticalSplit vertical_sparse_schedule(
     const SparseRows& grad, const std::vector<int64_t>& current_ids,
     const std::vector<int64_t>& next_ids_gathered);
 
+// Toggles the O(nnz·log n) row-membership invariant check inside
+// vertical_sparse_schedule ("every gradient row came from this batch").
+// The check is pure verification — it never changes the computed split —
+// so it defaults to on in debug builds and off in release (NDEBUG), where
+// it would tax every step's critical path. Returns the previous value.
+bool set_vertical_verify(bool enabled);
+bool vertical_verify_enabled();
+
 }  // namespace embrace::sched

@@ -189,9 +189,11 @@ std::vector<std::byte> SparseRows::pack() const {
   std::byte* p = buf.data();
   std::memcpy(p, header, sizeof(header));
   p += sizeof(header);
-  std::memcpy(p, indices_.data(), idx_bytes);
+  // An all-zero gradient packs to nnz == 0; empty vectors may hand memcpy a
+  // null pointer, which is UB even at size 0.
+  if (idx_bytes > 0) std::memcpy(p, indices_.data(), idx_bytes);
   p += idx_bytes;
-  std::memcpy(p, values_.data(), val_bytes);
+  if (val_bytes > 0) std::memcpy(p, values_.data(), val_bytes);
   return buf;
 }
 
@@ -208,10 +210,10 @@ SparseRows SparseRows::unpack(const std::byte* data, size_t size) {
                    << "corrupt SparseRows buffer");
   const std::byte* p = data + sizeof(header);
   std::vector<int64_t> indices(static_cast<size_t>(nnz));
-  std::memcpy(indices.data(), p, idx_bytes);
+  if (idx_bytes > 0) std::memcpy(indices.data(), p, idx_bytes);
   p += idx_bytes;
   std::vector<float> vals(static_cast<size_t>(nnz) * static_cast<size_t>(d));
-  std::memcpy(vals.data(), p, val_bytes);
+  if (val_bytes > 0) std::memcpy(vals.data(), p, val_bytes);
   Tensor values({nnz, d}, std::move(vals));
   return SparseRows(num_total_rows, std::move(indices), std::move(values));
 }

@@ -5,8 +5,10 @@
 // variants that perturb thread timing.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <numeric>
+#include <string>
 
 #include "comm/cluster.h"
 #include "comm/sparse_collectives.h"
@@ -171,6 +173,168 @@ TEST_P(CollectiveFuzz, AllReduceCorrectUnderJitter) {
       for (float x : v) ASSERT_FLOAT_EQ(x, expected);
     }
   });
+}
+
+// --- fault-injected variants (DESIGN.md §8) ---
+//
+// Under recoverable faults every collective must still produce the exact
+// oracle result: drops are recovered via the fabric's retransmission path,
+// duplicates are deduplicated by envelope id, reorder/delay only perturb
+// timing. A generous recv deadline is armed as an in-test watchdog so a
+// retry bug surfaces as a typed TimeoutError, never as a hang (ctest's
+// per-test TIMEOUT is the backstop of last resort).
+
+FaultConfig chaos_config() {
+  FaultConfig cfg;
+  cfg.drop_prob = 0.2;
+  cfg.dup_prob = 0.2;
+  cfg.reorder_prob = 0.2;
+  cfg.delay_max_us = 50;
+  cfg.recoverable = true;
+  return cfg;
+}
+
+TEST_P(CollectiveFuzz, MixedCollectivesCorrectUnderRecoverableFaults) {
+  Rng program_rng(seed() + 6);
+  const int ranks = static_cast<int>(program_rng.next_int(2, 5));
+  constexpr int kOps = 15;
+  std::vector<int> program;
+  for (int i = 0; i < kOps; ++i) {
+    program.push_back(static_cast<int>(program_rng.next_int(0, 4)));
+  }
+  Fabric fabric(ranks);
+  fabric.set_fault_config(chaos_config(), seed());
+  fabric.set_recv_timeout(std::chrono::seconds(20));
+  run_cluster(fabric, [&](Communicator& comm) {
+    for (int i = 0; i < kOps; ++i) {
+      const float fi = static_cast<float>(i);
+      switch (program[static_cast<size_t>(i)]) {
+        case 0: {
+          std::vector<float> v(7, fi + comm.rank());
+          comm.allreduce(v);
+          const float rank_sum =
+              static_cast<float>(ranks * (ranks - 1)) / 2.0f;
+          for (float x : v) ASSERT_FLOAT_EQ(x, fi * ranks + rank_sum);
+          break;
+        }
+        case 1: {
+          std::vector<float> v{fi};
+          comm.broadcast(v, i % ranks);
+          ASSERT_FLOAT_EQ(v[0], fi);
+          break;
+        }
+        case 2: {
+          comm.barrier();
+          break;
+        }
+        case 3: {
+          std::vector<float> block{static_cast<float>(comm.rank()), fi};
+          auto all = comm.allgather(block);
+          for (int r = 0; r < ranks; ++r) {
+            ASSERT_FLOAT_EQ(all[2 * r], static_cast<float>(r));
+            ASSERT_FLOAT_EQ(all[2 * r + 1], fi);
+          }
+          break;
+        }
+        case 4: {
+          auto all = comm.allgatherv(
+              Bytes(static_cast<size_t>(comm.rank() + i % 3),
+                    static_cast<std::byte>(comm.rank() + 1)));
+          for (int r = 0; r < ranks; ++r) {
+            ASSERT_EQ(all[static_cast<size_t>(r)],
+                      Bytes(static_cast<size_t>(r + i % 3),
+                            static_cast<std::byte>(r + 1)));
+          }
+          break;
+        }
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveFuzz, AlltoAllvCorrectUnderRecoverableFaults) {
+  Rng rng(seed() + 7);
+  const int ranks = static_cast<int>(rng.next_int(2, 5));
+  std::vector<std::vector<Bytes>> matrix(static_cast<size_t>(ranks));
+  for (int src = 0; src < ranks; ++src) {
+    matrix[static_cast<size_t>(src)].resize(static_cast<size_t>(ranks));
+    for (int dst = 0; dst < ranks; ++dst) {
+      Bytes b(static_cast<size_t>(rng.next_int(0, 100)));
+      for (auto& x : b) x = static_cast<std::byte>(rng.next_below(256));
+      matrix[static_cast<size_t>(src)][static_cast<size_t>(dst)] = b;
+    }
+  }
+  Fabric fabric(ranks);
+  fabric.set_fault_config(chaos_config(), seed() + 1);
+  fabric.set_recv_timeout(std::chrono::seconds(20));
+  run_cluster(fabric, [&](Communicator& comm) {
+    for (int iter = 0; iter < 3; ++iter) {
+      auto send = matrix[static_cast<size_t>(comm.rank())];
+      auto recv = comm.alltoallv(std::move(send));
+      for (int src = 0; src < ranks; ++src) {
+        ASSERT_EQ(recv[static_cast<size_t>(src)],
+                  matrix[static_cast<size_t>(src)]
+                        [static_cast<size_t>(comm.rank())]);
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveFuzz, SparseAllgatherCorrectUnderRecoverableFaults) {
+  Rng rng(seed() + 8);
+  const int ranks = static_cast<int>(rng.next_int(2, 4));
+  const int64_t vocab = rng.next_int(5, 40);
+  const int64_t dim = rng.next_int(1, 6);
+  std::vector<SparseRows> grads;
+  Tensor oracle({vocab, dim});
+  for (int r = 0; r < ranks; ++r) {
+    const int64_t nnz = rng.next_int(0, 15);
+    std::vector<int64_t> ids;
+    for (int64_t i = 0; i < nnz; ++i) ids.push_back(rng.next_int(0, vocab - 1));
+    Rng vr = rng.split(static_cast<uint64_t>(r) + 29);
+    SparseRows g(vocab, ids, Tensor::randn({nnz, dim}, vr));
+    g.add_to_dense(oracle);
+    grads.push_back(std::move(g));
+  }
+  Fabric fabric(ranks);
+  fabric.set_fault_config(chaos_config(), seed() + 2);
+  fabric.set_recv_timeout(std::chrono::seconds(20));
+  run_cluster(fabric, [&](Communicator& comm) {
+    SparseRows sum =
+        sparse_allgather(comm, grads[static_cast<size_t>(comm.rank())]);
+    ASSERT_LT(sum.to_dense().max_abs_diff(oracle), 1e-4f);
+  });
+}
+
+// An unrecoverable (black-holed) link must surface as a typed TimeoutError
+// naming the dead edge within the configured deadline — never as a hang.
+TEST(CollectiveFaults, DeadLinkSurfacesAsTypedTimeout) {
+  Fabric fabric(2);
+  FaultConfig dead;
+  dead.drop_prob = 1.0;
+  dead.recoverable = false;
+  fabric.set_link_faults(0, 1, dead);
+  fabric.set_recv_timeout(std::chrono::milliseconds(200));
+  // Capture per rank: the rank behind the dead link must name the faulty
+  // edge; the healthy rank may cascade-timeout on the silent peer (its
+  // error then names the edge *it* is blocked on). Neither may hang.
+  std::vector<std::string> errors(2);
+  std::vector<std::pair<int, int>> edges(2, {-1, -1});
+  const auto t0 = std::chrono::steady_clock::now();
+  run_cluster(fabric, [&](Communicator& comm) {
+    try {
+      std::vector<float> v(4, static_cast<float>(comm.rank()));
+      comm.allreduce(v);
+    } catch (const TimeoutError& e) {
+      errors[static_cast<size_t>(comm.rank())] = e.what();
+      edges[static_cast<size_t>(comm.rank())] = {e.src(), e.dst()};
+    }
+  });
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(10));
+  ASSERT_FALSE(errors[1].empty()) << "rank 1 must time out on the dead link";
+  EXPECT_EQ(edges[1], (std::pair<int, int>{0, 1}));
+  EXPECT_NE(errors[1].find("src=0"), std::string::npos) << errors[1];
+  EXPECT_NE(errors[1].find("dst=1"), std::string::npos) << errors[1];
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CollectiveFuzz, ::testing::Range(0, 10));

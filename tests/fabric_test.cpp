@@ -2,8 +2,13 @@
 // (src, tag), tag isolation, blocking receive, and traffic accounting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <optional>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "comm/fabric.h"
 #include "common/error.h"
@@ -117,6 +122,117 @@ TEST(Fabric, ConcurrentSendersDoNotLoseMessages) {
   }
   for (auto& t : senders) t.join();
   EXPECT_EQ(received, 3 * kPerSender);
+}
+
+// Regression: recv used to leave an empty deque behind for every drained
+// (src, tag) key, so tagged traffic (one tag per message, as the sparse
+// collectives' user-tagged space produces) grew the mailbox map without
+// bound. The footprint must stay flat across many distinct tags.
+TEST(Fabric, MailboxFootprintStableAcrossManyTaggedSends) {
+  Fabric f(2);
+  constexpr uint64_t kMessages = 10000;
+  for (uint64_t i = 0; i < kMessages; ++i) {
+    f.send(0, 1, /*tag=*/i, Bytes(8));
+    (void)f.recv(1, 0, /*tag=*/i);
+    ASSERT_LE(f.mailbox_keys(1), 1u) << "at message " << i;
+  }
+  EXPECT_EQ(f.mailbox_keys(1), 0u);
+}
+
+TEST(Fabric, TryRecvForTimesOutWithoutMessage) {
+  Fabric f(2);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(f.try_recv_for(1, 0, 7, std::chrono::microseconds(2000)),
+            std::nullopt);
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::microseconds(2000));
+  f.send(0, 1, 7, msg_of("eventually"));
+  auto got = f.try_recv_for(1, 0, 7, std::chrono::microseconds(2000));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(str_of(*got), "eventually");
+}
+
+TEST(Fabric, RecoverableDropIsInvisibleUntilRecovered) {
+  Fabric f(2);
+  FaultConfig cfg;
+  cfg.drop_prob = 1.0;
+  cfg.recoverable = true;
+  f.set_fault_config(cfg, /*seed=*/7);
+  f.send(0, 1, 3, msg_of("dropped"));
+  EXPECT_EQ(f.try_recv_for(1, 0, 3, std::chrono::microseconds(1000)),
+            std::nullopt);
+  EXPECT_EQ(f.lost_messages(1), 1u);
+  ASSERT_TRUE(f.recover(1, 0, 3));
+  EXPECT_EQ(str_of(f.recv(1, 0, 3)), "dropped");
+  EXPECT_EQ(f.lost_messages(1), 0u);
+  EXPECT_FALSE(f.recover(1, 0, 3));
+}
+
+TEST(Fabric, UnrecoverableDropIsABlackHole) {
+  Fabric f(2);
+  FaultConfig cfg;
+  cfg.drop_prob = 1.0;
+  cfg.recoverable = false;
+  f.set_fault_config(cfg, /*seed=*/7);
+  f.send(0, 1, 3, msg_of("gone"));
+  EXPECT_EQ(f.lost_messages(1), 0u);
+  EXPECT_FALSE(f.recover(1, 0, 3));
+  EXPECT_EQ(f.try_recv_for(1, 0, 3, std::chrono::microseconds(1000)),
+            std::nullopt);
+}
+
+TEST(Fabric, DuplicatesAreDeliveredExactlyOnce) {
+  Fabric f(2);
+  FaultConfig cfg;
+  cfg.dup_prob = 1.0;
+  f.set_fault_config(cfg, /*seed=*/7);
+  for (int i = 0; i < 5; ++i) {
+    f.send(0, 1, 0, msg_of("m" + std::to_string(i)));
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(str_of(f.recv(1, 0, 0)), "m" + std::to_string(i));
+  }
+  // The duplicate copies must not surface as extra messages or leak keys.
+  EXPECT_EQ(f.try_recv_for(1, 0, 0, std::chrono::microseconds(1000)),
+            std::nullopt);
+  EXPECT_EQ(f.mailbox_keys(1), 0u);
+}
+
+TEST(Fabric, FaultStreamIsDeterministicPerSeed) {
+  auto lost_pattern = [](uint64_t seed) {
+    Fabric f(2);
+    FaultConfig cfg;
+    cfg.drop_prob = 0.5;
+    cfg.recoverable = true;
+    f.set_fault_config(cfg, seed);
+    std::vector<bool> dropped;
+    for (int i = 0; i < 64; ++i) {
+      const size_t before = f.lost_messages(1);
+      f.send(0, 1, /*tag=*/static_cast<uint64_t>(i), Bytes(4));
+      dropped.push_back(f.lost_messages(1) > before);
+    }
+    return dropped;
+  };
+  const auto a = lost_pattern(42);
+  EXPECT_EQ(a, lost_pattern(42)) << "same seed must replay the same chaos";
+  EXPECT_NE(a, lost_pattern(43)) << "different seed should differ (64 coin "
+                                    "flips at p=0.5 colliding is ~2^-64)";
+  // Sanity: p=0.5 over 64 messages should produce both outcomes.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 64);
+}
+
+TEST(Fabric, PerLinkFaultOverride) {
+  Fabric f(3);
+  FaultConfig dead;
+  dead.drop_prob = 1.0;
+  dead.recoverable = false;
+  f.set_link_faults(0, 2, dead);
+  f.send(0, 2, 1, msg_of("into the void"));
+  f.send(1, 2, 1, msg_of("healthy"));
+  EXPECT_EQ(str_of(f.recv(2, 1, 1)), "healthy");
+  EXPECT_EQ(f.try_recv_for(2, 0, 1, std::chrono::microseconds(1000)),
+            std::nullopt);
 }
 
 }  // namespace

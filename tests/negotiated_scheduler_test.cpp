@@ -189,5 +189,113 @@ TEST(Negotiated, StepScopedPrioritiesKeepCrossStepOrder) {
                                              "delayed/s1"}));
 }
 
+// --- failure propagation (DESIGN.md §8) ---
+
+TEST(NegotiatedFailure, OpExceptionFailsPendingOpsOnAllRanks) {
+  constexpr int kRanks = 3;
+  run_cluster(kRanks, [&](Communicator& comm) {
+    NegotiatedScheduler sched(comm.channel(0));
+    // Park the comm thread so boom/after are both queued when it picks.
+    (void)sched.submit(0.0, "warmup", [] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    });
+    auto h_boom =
+        sched.submit(1.0, "boom", [] { throw Error("kaput"); });
+    auto h_after =
+        sched.submit(2.0, "after", [] { FAIL() << "must never run"; });
+    // The culprit's handle rethrows the original exception...
+    EXPECT_THROW(
+        {
+          try {
+            h_boom.wait();
+          } catch (const Error& e) {
+            EXPECT_NE(std::string(e.what()).find("kaput"), std::string::npos);
+            throw;
+          }
+        },
+        Error);
+    // ...and the abandoned op fails fast with a SchedulerError naming it,
+    // instead of leaving the waiter hung on an op that will never be
+    // announced again.
+    EXPECT_THROW(
+        {
+          try {
+            h_after.wait();
+          } catch (const SchedulerError& e) {
+            EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+            throw;
+          }
+        },
+        SchedulerError);
+    EXPECT_TRUE(sched.failed());
+    EXPECT_THROW(sched.submit(3.0, "more", [] {}), SchedulerError);
+    // Destructor uses the local abort path (peers' schedulers are failed
+    // too; no stop-token negotiation is possible).
+  });
+}
+
+TEST(NegotiatedFailure, AbortFailsPendingOpsWithoutPeerNegotiation) {
+  comm::Fabric fabric(1);
+  Communicator control(fabric, 0);
+  NegotiatedScheduler sched(control);
+  std::atomic<bool> warmup_started{false};
+  std::atomic<bool> warmup_ran{false};
+  (void)sched.submit(0.0, "warmup", [&] {
+    warmup_started.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    warmup_ran.store(true);
+  });
+  auto h = sched.submit(100.0, "never", [] { FAIL() << "must never run"; });
+  // Abort only once the comm thread is provably inside the op body, so the
+  // "abort joins mid-op" claim below is deterministic.
+  while (!warmup_started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sched.abort();
+  EXPECT_TRUE(warmup_ran.load()) << "abort joins mid-op, it does not kill it";
+  EXPECT_THROW(h.wait(), SchedulerError);
+  EXPECT_TRUE(sched.failed());
+  EXPECT_THROW(sched.submit(0.0, "post", [] {}), SchedulerError);
+  // Idempotent.
+  sched.abort();
+}
+
+TEST(NegotiatedFailure, FollowerTimesOutWhenLeaderStopsAnnouncing) {
+  // Rank 1 submits an op; rank 0 (the leader) never does, so no
+  // announcement ever arrives. With the fabric deadline armed, rank 1's
+  // comm thread must fail all pending ops within the budget instead of
+  // waiting forever.
+  constexpr int kRanks = 2;
+  comm::Fabric fabric(kRanks);
+  fabric.set_recv_timeout(std::chrono::milliseconds(100));
+  run_cluster(fabric, [&](Communicator& comm) {
+    NegotiatedScheduler sched(comm.channel(0));
+    if (comm.rank() == 1) {
+      auto h = sched.submit(1.0, "orphan", [] { FAIL() << "never announced"; });
+      const auto t0 = std::chrono::steady_clock::now();
+      EXPECT_THROW(
+          {
+            try {
+              h.wait();
+            } catch (const SchedulerError& e) {
+              EXPECT_NE(std::string(e.what()).find("leader"),
+                        std::string::npos);
+              throw;
+            }
+          },
+          SchedulerError);
+      EXPECT_LT(std::chrono::steady_clock::now() - t0,
+                std::chrono::seconds(5));
+      EXPECT_TRUE(sched.failed());
+      sched.abort();
+    } else {
+      // Give the follower time to hit its deadline, then shut down the idle
+      // leader (announces a stop token nobody will read — harmless).
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      sched.shutdown();
+    }
+  });
+}
+
 }  // namespace
 }  // namespace embrace::sched

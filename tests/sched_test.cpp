@@ -131,6 +131,93 @@ TEST(Scheduler, OverlapsWithMainThread) {
   EXPECT_LT(elapsed, 0.075);
 }
 
+// --- failure propagation (DESIGN.md §8) ---
+
+TEST(SchedulerFailure, OpExceptionRethrownFromWait) {
+  CommScheduler sched;
+  sched.begin_step({"boom"});
+  auto h = sched.submit("boom", [] { throw Error("op body failed"); });
+  EXPECT_THROW(
+      {
+        try {
+          h.wait();
+        } catch (const Error& e) {
+          EXPECT_NE(std::string(e.what()).find("op body failed"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      Error);
+  EXPECT_TRUE(h.done());
+  EXPECT_TRUE(h.failed());
+}
+
+TEST(SchedulerFailure, BacklogFailsFastAfterOpThrows) {
+  CommScheduler sched;
+  sched.begin_step({"boom", "after1", "after2"});
+  auto h_after1 = sched.submit("after1", [] { FAIL() << "must never run"; });
+  auto h_boom = sched.submit("boom", [] { throw Error("kaput"); });
+  // The abandoned op's waiter must not hang: it gets a SchedulerError
+  // naming the culprit, well before any watchdog.
+  EXPECT_THROW(
+      {
+        try {
+          h_after1.wait();
+        } catch (const SchedulerError& e) {
+          EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+          throw;
+        }
+      },
+      SchedulerError);
+  EXPECT_THROW(h_boom.wait(), Error);
+  // drain() rethrows the original failure instead of wedging on "after2"
+  // (declared, never submitted, never runnable).
+  EXPECT_THROW(sched.drain(), Error);
+  // The scheduler is terminally failed: new work is refused.
+  EXPECT_THROW(sched.submit("after2", [] {}), SchedulerError);
+  EXPECT_THROW(sched.begin_step({"next"}), SchedulerError);
+}
+
+// Regression: destroying a scheduler with ops still in the plan used to
+// join the comm thread and leave Handle::wait() blocked forever. Now the
+// undone handles fail with "scheduler shut down".
+TEST(SchedulerFailure, DestructorFailsUndoneHandlesInsteadOfHangingWaiters) {
+  CommScheduler::Handle h;
+  std::thread waiter;
+  std::atomic<bool> waiter_threw{false};
+  {
+    CommScheduler sched;
+    // "tail" is runnable but blocked behind the never-submitted "head", so
+    // it is still in the plan at destruction time.
+    sched.begin_step({"head", "tail"});
+    h = sched.submit("tail", [] { FAIL() << "must never run"; });
+    waiter = std::thread([&] {
+      try {
+        h.wait();
+      } catch (const SchedulerError& e) {
+        EXPECT_NE(std::string(e.what()).find("scheduler shut down"),
+                  std::string::npos);
+        waiter_threw.store(true);
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(waiter_threw.load());
+  }
+  waiter.join();
+  EXPECT_TRUE(waiter_threw.load());
+  EXPECT_TRUE(h.failed());
+}
+
+TEST(SchedulerFailure, DrainDoesNotWedgeWhenOpFailsMidDrain) {
+  CommScheduler sched;
+  sched.begin_step({"slow_boom", "abandoned"});
+  sched.submit("slow_boom", [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    throw Error("late failure");
+  });
+  EXPECT_THROW(sched.drain(), Error);
+}
+
 TEST(Plans, FifoOrderIsBpEmissionOrder) {
   auto plan = fifo_plan(/*step=*/3, /*dense_blocks=*/3, /*tables=*/2,
                         /*hybrid=*/false);
@@ -196,10 +283,53 @@ TEST(Vertical, AllRowsPriorWhenFullOverlap) {
   EXPECT_TRUE(split.delayed.empty());
 }
 
+// RAII save/restore for the global verify switch so tests can't leak state.
+struct ScopedVerticalVerify {
+  explicit ScopedVerticalVerify(bool enabled)
+      : prev_(set_vertical_verify(enabled)) {}
+  ~ScopedVerticalVerify() { set_vertical_verify(prev_); }
+  bool prev_;
+};
+
 TEST(Vertical, RejectsGradRowsOutsideCurrentData) {
+  ScopedVerticalVerify verify(true);
   Rng rng(4);
   SparseRows g = grad_from_ids(10, {4}, 2, rng);
   EXPECT_THROW(vertical_sparse_schedule(g, {1, 2}, {1}), Error);
+}
+
+TEST(Vertical, MembershipCheckIsGatedByVerifyFlag) {
+  ScopedVerticalVerify verify(false);
+  Rng rng(4);
+  // Out-of-batch gradient row: invalid input, but with verification off the
+  // O(nnz log n) check is skipped and the split proceeds.
+  SparseRows g = grad_from_ids(10, {4}, 2, rng);
+  EXPECT_NO_THROW(vertical_sparse_schedule(g, {1, 2, 4}, {1}));
+}
+
+// Pin: the verify flag is observation-only — the computed prior/delayed
+// split is bit-identical with the check on and off.
+TEST(Vertical, VerifyFlagDoesNotChangeSplit) {
+  const std::vector<int64_t> cur{3, 5, 3, 9, 12, 5};
+  const std::vector<int64_t> next{5, 9, 11, 12};
+  Rng rng_a(17);
+  Rng rng_b(17);
+  SparseRows g_a = grad_from_ids(20, cur, 4, rng_a);
+  SparseRows g_b = grad_from_ids(20, cur, 4, rng_b);
+  VerticalSplit with_check, without_check;
+  {
+    ScopedVerticalVerify verify(true);
+    with_check = vertical_sparse_schedule(g_a, cur, next);
+  }
+  {
+    ScopedVerticalVerify verify(false);
+    without_check = vertical_sparse_schedule(g_b, cur, next);
+  }
+  EXPECT_EQ(with_check.prior_rows, without_check.prior_rows);
+  EXPECT_EQ(with_check.delayed_rows, without_check.delayed_rows);
+  EXPECT_TRUE(with_check.prior.logically_equal(without_check.prior, 0.0f));
+  EXPECT_TRUE(
+      with_check.delayed.logically_equal(without_check.delayed, 0.0f));
 }
 
 // Property: for random data, prior rows ⊆ D_next, delayed ∩ D_next = ∅,
