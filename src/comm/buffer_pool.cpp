@@ -1,0 +1,92 @@
+#include "comm/buffer_pool.h"
+
+#include <bit>
+
+#include "obs/metrics.h"
+
+namespace embrace::comm {
+
+int BufferPool::class_for_size(size_t size) {
+  if (size <= 1) return 0;
+  const int c = std::bit_width(size - 1);  // smallest c with 2^c >= size
+  return c < kClasses ? c : -1;
+}
+
+int BufferPool::class_for_capacity(size_t cap) {
+  if (cap == 0) return -1;
+  const int c = std::bit_width(cap) - 1;  // largest c with 2^c <= cap
+  return c < kClasses ? c : kClasses - 1;
+}
+
+Bytes BufferPool::acquire(size_t size) {
+  static obs::Counter& hits = obs::counter("comm.pool.hits");
+  static obs::Counter& misses = obs::counter("comm.pool.misses");
+  static obs::Counter& bytes_reused = obs::counter("comm.pool.bytes_reused");
+  const int c = class_for_size(size);
+  if (c >= 0) {
+    Bytes buf;
+    bool hit = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!free_[c].empty()) {
+        buf = std::move(free_[c].back());
+        free_[c].pop_back();
+        stats_.cached_buffers--;
+        stats_.cached_bytes -= buf.capacity();
+        stats_.hits++;
+        hit = true;
+      } else {
+        stats_.misses++;
+      }
+    }
+    if (hit) {
+      hits.increment();
+      bytes_reused.add(static_cast<int64_t>(size));
+      buf.resize(size);  // capacity >= 2^c >= size: no reallocation
+      return buf;
+    }
+    misses.increment();
+    buf.reserve(size_t{1} << c);  // full class size, so it recycles cleanly
+    buf.resize(size);
+    return buf;
+  }
+  // Oversized request: plain allocation, never pooled.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.misses++;
+  }
+  misses.increment();
+  return Bytes(size);
+}
+
+void BufferPool::release(Bytes buf) {
+  const int c = class_for_capacity(buf.capacity());
+  if (c < 0) return;
+  buf.clear();  // keeps capacity
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (free_[c].size() >= kMaxFreePerClass) {
+    stats_.dropped++;
+    return;  // buf freed on scope exit
+  }
+  stats_.recycled++;
+  stats_.cached_buffers++;
+  stats_.cached_bytes += buf.capacity();
+  free_[c].push_back(std::move(buf));
+}
+
+void BufferPool::trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& cls : free_) {
+    cls.clear();
+    cls.shrink_to_fit();
+  }
+  stats_.cached_buffers = 0;
+  stats_.cached_bytes = 0;
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace embrace::comm

@@ -1,0 +1,93 @@
+// Reusable wire-buffer pool: size-classed free lists for the comm hot path.
+//
+// Every ring hop of the dense collectives and every pack of a sparse
+// gradient needs an owned byte buffer to hand to the fabric. Allocating
+// those fresh per message is exactly the memory churn SparCML identifies as
+// the difference between a sparse collective that wins and one that loses
+// to dense AllReduce. The pool turns the steady state into: sender
+// acquire() hits a free list, receiver release()s the consumed buffer back,
+// and the allocator is only visited during warm-up (or when a new size
+// class appears).
+//
+// Design:
+//   - Power-of-two size classes. acquire(n) returns a buffer with
+//     size() == n drawn from the smallest class that can hold n; release()
+//     files a buffer under the largest class its capacity fully serves, so
+//     a recycled buffer is always usable for any request of its class.
+//   - Per-class free lists are capped (kMaxFreePerClass) so a burst cannot
+//     pin unbounded memory; overflow buffers are simply freed.
+//   - Thread-safe. The Fabric owns one pool per rank so steady-state
+//     traffic does not serialize all ranks on one mutex; buffers migrate
+//     between per-rank pools as messages flow (a ring peer releases what
+//     its upstream acquired), which is fine — a pool is just a free list.
+//
+// Ownership discipline (DESIGN.md §9): a buffer may be release()d only by
+// code that holds *exclusive* ownership of it. The fabric never releases:
+// in-flight payloads — including recoverably-dropped messages parked for
+// retransmission and duplicated deliveries — own their bytes until the
+// receiver consumes them, so a recovered drop can never alias a buffer the
+// pool has already handed to someone else.
+//
+// Observability: global counters "comm.pool.hits", "comm.pool.misses",
+// "comm.pool.bytes_reused" aggregate across all pools (the per-step
+// steady-state ratio hits ≫ misses is the bench acceptance signal).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace embrace::comm {
+
+// Owned wire payload (also the Fabric's message type).
+using Bytes = std::vector<std::byte>;
+
+// Shared wire payload for zero-copy fan-out (one physical buffer read by
+// many receivers). Treat the pointee as immutable once shared.
+using SharedBytes = std::shared_ptr<Bytes>;
+
+class BufferPool {
+ public:
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Returns a buffer with size() == size. Reuses a pooled buffer when one
+  // of the right size class is free (hit); otherwise allocates (miss).
+  Bytes acquire(size_t size);
+
+  // Recycles a consumed buffer. Safe to pass buffers that did not come from
+  // this pool (class is keyed on capacity); moved-from/empty-capacity
+  // buffers are ignored.
+  void release(Bytes buf);
+
+  // Drops every cached buffer (memory back to the allocator).
+  void trim();
+
+  struct Stats {
+    int64_t hits = 0;       // acquire served from a free list
+    int64_t misses = 0;     // acquire fell through to the allocator
+    int64_t recycled = 0;   // buffers accepted by release()
+    int64_t dropped = 0;    // buffers rejected by release() (class full)
+    size_t cached_buffers = 0;
+    size_t cached_bytes = 0;  // sum of capacities currently pooled
+  };
+  Stats stats() const;
+
+ private:
+  // Class c holds buffers whose capacity is >= 2^c; acquire(n) maps n to
+  // the smallest such class. Requests above 2^(kClasses-1) bypass pooling.
+  static constexpr int kClasses = 31;
+  static constexpr size_t kMaxFreePerClass = 64;
+
+  static int class_for_size(size_t size);      // ceil: smallest serving class
+  static int class_for_capacity(size_t cap);   // floor: largest served class
+
+  mutable std::mutex mutex_;
+  std::vector<Bytes> free_[kClasses];
+  Stats stats_;
+};
+
+}  // namespace embrace::comm

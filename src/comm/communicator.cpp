@@ -25,19 +25,61 @@
 namespace embrace::comm {
 namespace {
 
-Bytes floats_to_bytes(std::span<const float> data) {
-  Bytes out(data.size() * sizeof(float));
-  // Empty spans may carry a null data(); memcpy's pointer args must be
-  // non-null even for size 0.
-  if (!out.empty()) std::memcpy(out.data(), data.data(), out.size());
-  return out;
+// Read-only float view over a wire buffer. Wire payloads live in
+// std::vector<std::byte> storage (allocator-aligned to max_align_t) and are
+// filled by memcpy from float arrays, so the reinterpret is well-aligned.
+std::span<const float> float_view(const Bytes& buf) {
+  EMBRACE_CHECK_EQ(buf.size() % sizeof(float), 0u);
+  return {reinterpret_cast<const float*>(buf.data()),
+          buf.size() / sizeof(float)};
 }
 
-std::vector<float> bytes_to_floats(const Bytes& buf) {
-  EMBRACE_CHECK_EQ(buf.size() % sizeof(float), 0u);
-  std::vector<float> out(buf.size() / sizeof(float));
-  if (!out.empty()) std::memcpy(out.data(), buf.data(), buf.size());
-  return out;
+// The deadline/recovery receive loop, shared by the owning and the shared
+// (zero-copy) receive paths. `try_recv(wait)` returns an optional message;
+// `block_recv()` blocks forever (reliable fast path).
+template <typename TryFn, typename BlockFn>
+auto checked_recv_loop(Fabric& fabric, int rank, int channel, int src,
+                       uint64_t tag, TryFn try_recv, BlockFn block_recv)
+    -> decltype(block_recv()) {
+  using std::chrono::microseconds;
+  const microseconds budget = fabric.recv_timeout();
+  if (budget.count() <= 0 && !fabric.faults_enabled()) {
+    // Fast path: reliable links, no deadline policy — block forever.
+    return block_recv();
+  }
+  const auto start = std::chrono::steady_clock::now();
+  // Poll slices grow exponentially (backoff) between recovery attempts so a
+  // healthy-but-slow link is not hammered, capped to keep the deadline
+  // reasonably tight.
+  microseconds slice{200};
+  constexpr microseconds kMaxSlice{5000};
+  while (true) {
+    microseconds wait = slice;
+    if (budget.count() > 0) {
+      const auto elapsed = std::chrono::duration_cast<microseconds>(
+          std::chrono::steady_clock::now() - start);
+      const microseconds remaining = budget - elapsed;
+      if (remaining.count() <= 0) {
+        static obs::Counter& timeouts = obs::counter("comm.timeouts");
+        timeouts.increment();
+        obs::emit_instant("comm.timeout", "src", src, "dst", rank);
+        std::ostringstream os;
+        os << "recv deadline exceeded after " << budget.count()
+           << "us waiting on edge (src=" << src << " -> dst=" << rank
+           << ", tag=" << tag << ", channel=" << channel
+           << "): peer dead, link black-holed, or deadline too tight";
+        throw TimeoutError(src, rank, tag, os.str());
+      }
+      wait = std::min(wait, remaining);
+    }
+    if (auto msg = try_recv(wait)) {
+      return std::move(*msg);
+    }
+    // Retryable fault: a recoverably-dropped message can be "retransmitted".
+    // Immediately retry the receive after recovery; otherwise back off.
+    if (fabric.recover(rank, src, tag)) continue;
+    slice = std::min(slice * 2, kMaxSlice);
+  }
 }
 
 }  // namespace
@@ -67,45 +109,48 @@ Communicator Communicator::channel(int channel_id) const {
 }
 
 Bytes Communicator::checked_recv(int src, uint64_t tag) {
-  using std::chrono::microseconds;
-  const microseconds budget = fabric_->recv_timeout();
-  if (budget.count() <= 0 && !fabric_->faults_enabled()) {
-    // Fast path: reliable links, no deadline policy — block forever.
-    return fabric_->recv(rank_, src, tag);
-  }
-  const auto start = std::chrono::steady_clock::now();
-  // Poll slices grow exponentially (backoff) between recovery attempts so a
-  // healthy-but-slow link is not hammered, capped to keep the deadline
-  // reasonably tight.
-  microseconds slice{200};
-  constexpr microseconds kMaxSlice{5000};
-  while (true) {
-    microseconds wait = slice;
-    if (budget.count() > 0) {
-      const auto elapsed = std::chrono::duration_cast<microseconds>(
-          std::chrono::steady_clock::now() - start);
-      const microseconds remaining = budget - elapsed;
-      if (remaining.count() <= 0) {
-        static obs::Counter& timeouts = obs::counter("comm.timeouts");
-        timeouts.increment();
-        obs::emit_instant("comm.timeout", "src", src, "dst", rank_);
-        std::ostringstream os;
-        os << "recv deadline exceeded after " << budget.count()
-           << "us waiting on edge (src=" << src << " -> dst=" << rank_
-           << ", tag=" << tag << ", channel=" << channel_id_
-           << "): peer dead, link black-holed, or deadline too tight";
-        throw TimeoutError(src, rank_, tag, os.str());
-      }
-      wait = std::min(wait, remaining);
-    }
-    if (auto msg = fabric_->try_recv_for(rank_, src, tag, wait)) {
-      return std::move(*msg);
-    }
-    // Retryable fault: a recoverably-dropped message can be "retransmitted".
-    // Immediately retry the receive after recovery; otherwise back off.
-    if (fabric_->recover(rank_, src, tag)) continue;
-    slice = std::min(slice * 2, kMaxSlice);
-  }
+  return checked_recv_loop(
+      *fabric_, rank_, channel_id_, src, tag,
+      [&](std::chrono::microseconds wait) {
+        return fabric_->try_recv_for(rank_, src, tag, wait);
+      },
+      [&] { return fabric_->recv(rank_, src, tag); });
+}
+
+SharedBytes Communicator::checked_recv_shared(int src, uint64_t tag) {
+  return checked_recv_loop(
+      *fabric_, rank_, channel_id_, src, tag,
+      [&](std::chrono::microseconds wait) {
+        return fabric_->try_recv_shared_for(rank_, src, tag, wait);
+      },
+      [&] { return fabric_->recv_shared(rank_, src, tag); });
+}
+
+void Communicator::send_float_block(int dst, uint64_t tag,
+                                    std::span<const float> data) {
+  Bytes buf = pool().acquire(data.size() * sizeof(float));
+  // Empty spans may carry a null data(); memcpy's pointer args must be
+  // non-null even for size 0.
+  if (!buf.empty()) std::memcpy(buf.data(), data.data(), buf.size());
+  fabric_->send(rank_, dst, tag, std::move(buf));
+}
+
+void Communicator::recv_copy_block(int src, uint64_t tag,
+                                   std::span<float> dst) {
+  Bytes buf = checked_recv(src, tag);
+  EMBRACE_CHECK_EQ(buf.size(), dst.size() * sizeof(float),
+                   << "float payload size mismatch");
+  if (!buf.empty()) std::memcpy(dst.data(), buf.data(), buf.size());
+  pool().release(std::move(buf));
+}
+
+void Communicator::recv_reduce_block(int src, uint64_t tag,
+                                     std::span<float> acc, ReduceOp op) {
+  Bytes buf = checked_recv(src, tag);
+  EMBRACE_CHECK_EQ(buf.size(), acc.size() * sizeof(float),
+                   << "float payload size mismatch");
+  reduce_into(acc, float_view(buf), op);
+  pool().release(std::move(buf));
 }
 
 uint64_t Communicator::next_tag() {
@@ -126,11 +171,15 @@ Bytes Communicator::recv_bytes(int src) {
 }
 
 void Communicator::send_floats(int dst, std::span<const float> data) {
-  send_bytes(dst, floats_to_bytes(data));
+  send_float_block(dst, next_tag(), data);
 }
 
 std::vector<float> Communicator::recv_floats(int src) {
-  return bytes_to_floats(recv_bytes(src));
+  Bytes buf = recv_bytes(src);
+  const auto view = float_view(buf);
+  std::vector<float> out(view.begin(), view.end());
+  pool().release(std::move(buf));
+  return out;
 }
 
 namespace {
@@ -168,9 +217,14 @@ std::optional<Bytes> Communicator::try_recv_bytes_at(
 std::pair<int64_t, int64_t> Communicator::chunk_range(int64_t total,
                                                       int chunk_rank) const {
   const int64_t n = size();
-  const int64_t begin = total * chunk_rank / n;
-  const int64_t end = total * (chunk_rank + 1) / n;
-  return {begin, end};
+  // floor(total * k / n) computed division-first so `total * k` never
+  // overflows int64 for large tensors × high rank counts:
+  //   total = q·n + r  =>  floor(total·k/n) = q·k + floor(r·k/n)
+  // with r < n and k <= n, so r·k fits comfortably (ranks are ints).
+  const int64_t q = total / n;
+  const int64_t r = total % n;
+  const auto bound = [&](int64_t k) { return q * k + (r * k) / n; };
+  return {bound(chunk_rank), bound(chunk_rank + 1)};
 }
 
 void Communicator::barrier() {
@@ -199,14 +253,12 @@ void Communicator::broadcast(std::span<float> data, int root) {
       const int vpeer = vrank + mask;
       if (vpeer < n) {
         const int peer = (vpeer + root) % n;
-        fabric_->send(rank_, peer, tag, floats_to_bytes(data));
+        send_float_block(peer, tag, data);
       }
     } else if (vrank < 2 * mask) {
       const int vpeer = vrank - mask;
       const int peer = (vpeer + root) % n;
-      const auto msg = bytes_to_floats(checked_recv(peer, tag));
-      EMBRACE_CHECK_EQ(msg.size(), data.size());
-      std::copy(msg.begin(), msg.end(), data.begin());
+      recv_copy_block(peer, tag, data);
     }
     mask <<= 1;
   }
@@ -235,14 +287,13 @@ std::vector<float> Communicator::reduce_scatter_impl(std::span<float> data,
     const auto [rb, re] = chunk_range(total, recv_chunk);
     const int to = (rank_ + 1) % n;
     const int from = (rank_ - 1 + n) % n;
-    fabric_->send(rank_, to, tag,
-                  floats_to_bytes(data.subspan(static_cast<size_t>(sb),
-                                               static_cast<size_t>(se - sb))));
-    const auto incoming = bytes_to_floats(checked_recv(from, tag));
-    EMBRACE_CHECK_EQ(static_cast<int64_t>(incoming.size()), re - rb);
-    reduce_into(data.subspan(static_cast<size_t>(rb),
-                             static_cast<size_t>(re - rb)),
-                incoming, op);
+    send_float_block(to, tag,
+                     data.subspan(static_cast<size_t>(sb),
+                                  static_cast<size_t>(se - sb)));
+    recv_reduce_block(from, tag,
+                      data.subspan(static_cast<size_t>(rb),
+                                   static_cast<size_t>(re - rb)),
+                      op);
   }
   const auto [mb, me] = chunk_range(total, rank_);
   return std::vector<float>(data.begin() + mb, data.begin() + me);
@@ -265,13 +316,12 @@ void Communicator::allreduce(std::span<float> data, ReduceOp op) {
     const auto [rb, re] = chunk_range(total, recv_chunk);
     const int to = (rank_ + 1) % n;
     const int from = (rank_ - 1 + n) % n;
-    fabric_->send(rank_, to, tag,
-                  floats_to_bytes(data.subspan(static_cast<size_t>(sb),
-                                               static_cast<size_t>(se - sb))));
-    const auto incoming = bytes_to_floats(checked_recv(from, tag));
-    EMBRACE_CHECK_EQ(static_cast<int64_t>(incoming.size()), re - rb);
-    std::copy(incoming.begin(), incoming.end(),
-              data.begin() + rb);
+    send_float_block(to, tag,
+                     data.subspan(static_cast<size_t>(sb),
+                                  static_cast<size_t>(se - sb)));
+    recv_copy_block(from, tag,
+                    data.subspan(static_cast<size_t>(rb),
+                                 static_cast<size_t>(re - rb)));
   }
 }
 
@@ -287,16 +337,14 @@ void Communicator::reduce(std::span<float> data, int root, ReduceOp op) {
     const uint64_t tag = next_tag();
     if ((vrank & mask) != 0) {
       const int peer = ((vrank - mask) + root) % n;
-      fabric_->send(rank_, peer, tag, floats_to_bytes(data));
+      send_float_block(peer, tag, data);
       // This rank's contribution is merged upstream; it stops participating.
       while ((mask <<= 1) < n) (void)next_tag();  // keep tag seq aligned
       return;
     }
     if (vrank + mask < n) {
       const int peer = ((vrank + mask) + root) % n;
-      const auto incoming = bytes_to_floats(checked_recv(peer, tag));
-      EMBRACE_CHECK_EQ(incoming.size(), data.size());
-      reduce_into(data, incoming, op);
+      recv_reduce_block(peer, tag, data, op);
     }
     mask <<= 1;
   }
@@ -355,11 +403,12 @@ std::vector<float> Communicator::allgather(std::span<const float> block) {
     std::span<const float> send_block{
         out.data() + static_cast<size_t>(send_origin) * block_size,
         static_cast<size_t>(block_size)};
-    fabric_->send(rank_, to, tag, floats_to_bytes(send_block));
-    const auto incoming = bytes_to_floats(checked_recv(from, tag));
-    EMBRACE_CHECK_EQ(static_cast<int64_t>(incoming.size()), block_size);
-    std::copy(incoming.begin(), incoming.end(),
-              out.begin() + static_cast<int64_t>(recv_origin) * block_size);
+    send_float_block(to, tag, send_block);
+    recv_copy_block(from, tag,
+                    std::span<float>{
+                        out.data() + static_cast<size_t>(recv_origin) *
+                                         static_cast<size_t>(block_size),
+                        static_cast<size_t>(block_size)});
   }
   return out;
 }
@@ -367,17 +416,35 @@ std::vector<float> Communicator::allgather(std::span<const float> block) {
 std::vector<Bytes> Communicator::allgatherv(const Bytes& mine) {
   EMBRACE_COLLECTIVE_PROLOGUE("allgatherv",
                               static_cast<int64_t>(mine.size()));
+  // Compatibility wrapper: run the zero-copy exchange, then materialize an
+  // owned copy per peer for callers that want to mutate or keep the bytes.
+  auto shared = allgatherv_shared_impl(mine);
+  std::vector<Bytes> out(shared.size());
+  for (size_t r = 0; r < shared.size(); ++r) out[r] = *shared[r];
+  return out;
+}
+
+std::vector<SharedBytes> Communicator::allgatherv_shared(Bytes mine) {
+  EMBRACE_COLLECTIVE_PROLOGUE("allgatherv",
+                              static_cast<int64_t>(mine.size()));
+  return allgatherv_shared_impl(std::move(mine));
+}
+
+std::vector<SharedBytes> Communicator::allgatherv_shared_impl(Bytes mine) {
   const int n = size();
-  std::vector<Bytes> out(static_cast<size_t>(n));
-  out[static_cast<size_t>(rank_)] = mine;
+  std::vector<SharedBytes> out(static_cast<size_t>(n));
+  auto shared = std::make_shared<Bytes>(std::move(mine));
+  out[static_cast<size_t>(rank_)] = shared;
   // Pairwise exchange: every rank ships its full payload to every peer —
   // the (N−1)·αM traffic pattern the paper attributes to sparse AllGather.
+  // All N−1 sends alias one buffer and every receiver reads the sender's
+  // bytes in place, so the pattern costs zero host-side copies.
   for (int s = 1; s < n; ++s) {
     const uint64_t tag = next_tag();
     const int to = (rank_ + s) % n;
     const int from = (rank_ - s + n) % n;
-    fabric_->send(rank_, to, tag, mine);
-    out[static_cast<size_t>(from)] = checked_recv(from, tag);
+    fabric_->send_shared(rank_, to, tag, shared);
+    out[static_cast<size_t>(from)] = checked_recv_shared(from, tag);
   }
   return out;
 }
@@ -388,18 +455,27 @@ std::vector<float> Communicator::alltoall(std::span<const float> send,
       "alltoall", static_cast<int64_t>(send.size() * sizeof(float)));
   const int n = size();
   EMBRACE_CHECK_EQ(static_cast<int64_t>(send.size()), chunk * n);
+  const size_t chunk_bytes = static_cast<size_t>(chunk) * sizeof(float);
   std::vector<Bytes> payloads(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    payloads[static_cast<size_t>(i)] = floats_to_bytes(
-        send.subspan(static_cast<size_t>(i) * chunk, static_cast<size_t>(chunk)));
+    Bytes buf = pool().acquire(chunk_bytes);
+    if (!buf.empty()) {
+      std::memcpy(buf.data(),
+                  send.data() + static_cast<size_t>(i) * static_cast<size_t>(chunk),
+                  chunk_bytes);
+    }
+    payloads[static_cast<size_t>(i)] = std::move(buf);
   }
   auto recv = alltoallv_impl(std::move(payloads));
   std::vector<float> out(static_cast<size_t>(chunk) * n);
   for (int i = 0; i < n; ++i) {
-    const auto part = bytes_to_floats(recv[static_cast<size_t>(i)]);
-    EMBRACE_CHECK_EQ(static_cast<int64_t>(part.size()), chunk);
-    std::copy(part.begin(), part.end(),
-              out.begin() + static_cast<int64_t>(i) * chunk);
+    Bytes& buf = recv[static_cast<size_t>(i)];
+    EMBRACE_CHECK_EQ(buf.size(), chunk_bytes);
+    if (!buf.empty()) {
+      std::memcpy(out.data() + static_cast<size_t>(i) * static_cast<size_t>(chunk),
+                  buf.data(), chunk_bytes);
+    }
+    pool().release(std::move(buf));
   }
   return out;
 }

@@ -35,6 +35,10 @@ class Communicator {
   int size() const { return fabric_->num_ranks(); }
   int channel_id() const { return channel_id_; }
   Fabric& fabric() { return *fabric_; }
+  // This rank's wire-buffer pool. Collectives draw their send buffers from
+  // here and recycle consumed receive buffers into it; callers that own a
+  // received Bytes (alltoallv, recv_bytes) may do the same once done.
+  BufferPool& pool() { return fabric_->pool(rank_); }
 
   // A communicator over the same ranks with an independent tag namespace.
   // All ranks must derive channels with matching ids.
@@ -79,7 +83,14 @@ class Communicator {
 
   // AllGather of variable-size byte payloads (pairwise exchange; each rank
   // ships its full payload to every peer — the paper's (N−1)·αM pattern).
+  // Copies each received payload out; prefer allgatherv_shared on hot paths.
   std::vector<Bytes> allgatherv(const Bytes& mine);
+
+  // Zero-copy AllGatherv: `mine` is moved into a shared buffer that every
+  // peer reads in place, so the (N−1)·αM traffic costs zero host-side
+  // copies. Result holds one immutable view per source rank (entry rank()
+  // is this rank's own payload). Do not mutate the viewed bytes.
+  std::vector<SharedBytes> allgatherv_shared(Bytes mine);
 
   // AlltoAll of equal float chunks: `send` is size N·chunk, chunk i goes to
   // rank i; returns N·chunk with chunk j received from rank j.
@@ -114,11 +125,24 @@ class Communicator {
   // retryable faults); an exhausted deadline throws TimeoutError naming the
   // blocked (src, dst, tag) edge and bumps the "comm.timeouts" metric.
   Bytes checked_recv(int src, uint64_t tag);
+  // Same deadline/recovery discipline, returning a shared (zero-copy) view.
+  SharedBytes checked_recv_shared(int src, uint64_t tag);
+  // --- pooled float-block plumbing (the ring collectives' hot path) ---
+  // Packs `data` into a wire buffer acquired from this rank's pool and
+  // sends it: one copy (host -> wire), no allocation in steady state.
+  void send_float_block(int dst, uint64_t tag, std::span<const float> data);
+  // Receives a float payload of exactly dst.size()/acc.size() elements,
+  // applies it in place (no intermediate std::vector<float>), and recycles
+  // the wire buffer into this rank's pool.
+  void recv_copy_block(int src, uint64_t tag, std::span<float> dst);
+  void recv_reduce_block(int src, uint64_t tag, std::span<float> acc,
+                         ReduceOp op);
   // Uninstrumented bodies shared by the public entry points, so a collective
   // built on another (allreduce -> reduce_scatter, alltoall -> alltoallv)
   // traces one span and counts its payload bytes exactly once.
   std::vector<float> reduce_scatter_impl(std::span<float> data, ReduceOp op);
   std::vector<Bytes> alltoallv_impl(std::vector<Bytes> send);
+  std::vector<SharedBytes> allgatherv_shared_impl(Bytes mine);
 
   Fabric* fabric_;
   int rank_;

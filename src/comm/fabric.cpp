@@ -1,6 +1,7 @@
 #include "comm/fabric.h"
 
 #include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "common/error.h"
@@ -31,8 +32,10 @@ double to_unit(uint64_t h) {
 Fabric::Fabric(int num_ranks) : num_ranks_(num_ranks) {
   EMBRACE_CHECK_GE(num_ranks, 1);
   mailboxes_.reserve(static_cast<size_t>(num_ranks));
+  pools_.reserve(static_cast<size_t>(num_ranks));
   for (int i = 0; i < num_ranks; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
+    pools_.push_back(std::make_unique<BufferPool>());
   }
   const size_t links = static_cast<size_t>(num_ranks) * num_ranks;
   counters_.reserve(links);
@@ -99,6 +102,21 @@ Fabric::FaultDecision Fabric::roll_faults(int src, int dst) {
 }
 
 void Fabric::send(int src, int dst, uint64_t tag, Bytes msg) {
+  Envelope env;
+  env.id = next_envelope_id_.fetch_add(1, std::memory_order_relaxed);
+  env.owned = std::move(msg);
+  deliver(src, dst, tag, std::move(env));
+}
+
+void Fabric::send_shared(int src, int dst, uint64_t tag, SharedBytes msg) {
+  EMBRACE_CHECK(msg != nullptr, << "null shared payload");
+  Envelope env;
+  env.id = next_envelope_id_.fetch_add(1, std::memory_order_relaxed);
+  env.shared = std::move(msg);
+  deliver(src, dst, tag, std::move(env));
+}
+
+void Fabric::deliver(int src, int dst, uint64_t tag, Envelope env) {
   EMBRACE_CHECK(src >= 0 && src < num_ranks_, << "bad src rank " << src);
   EMBRACE_CHECK(dst >= 0 && dst < num_ranks_, << "bad dst rank " << dst);
   FaultDecision fault;
@@ -110,14 +128,12 @@ void Fabric::send(int src, int dst, uint64_t tag, Bytes msg) {
   }
   auto& c = *counters_[static_cast<size_t>(src) * num_ranks_ + dst];
   c.messages.fetch_add(1, std::memory_order_relaxed);
-  c.bytes.fetch_add(static_cast<int64_t>(msg.size()),
+  c.bytes.fetch_add(static_cast<int64_t>(env.size()),
                     std::memory_order_relaxed);
   static obs::Counter& send_messages = obs::counter("fabric.send.messages");
   static obs::Counter& send_bytes = obs::counter("fabric.send.bytes");
   send_messages.increment();
-  send_bytes.add(static_cast<int64_t>(msg.size()));
-  Envelope env{next_envelope_id_.fetch_add(1, std::memory_order_relaxed),
-               std::move(msg)};
+  send_bytes.add(static_cast<int64_t>(env.size()));
   Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
   const uint64_t k = key(src, tag);
   if (fault.drop) {
@@ -125,6 +141,8 @@ void Fabric::send(int src, int dst, uint64_t tag, Bytes msg) {
     dropped.increment();
     obs::emit_instant("fabric.drop", "src", src, "dst", dst);
     if (!fault.recoverable) return;  // black hole
+    // The parked envelope keeps owning (or aliasing) its payload until the
+    // receiver recovers it — never handed to a pool in the meantime.
     std::lock_guard<std::mutex> lock(box.mutex);
     box.lost[k].push_back(std::move(env));
     return;  // no notify: the message is invisible until recover()
@@ -135,7 +153,12 @@ void Fabric::send(int src, int dst, uint64_t tag, Bytes msg) {
     if (fault.dup) {
       static obs::Counter& duplicated = obs::counter("fabric.duplicated");
       duplicated.increment();
-      q.push_back(Envelope{env.id, env.payload});
+      // Duplicates of owned payloads deep-copy; shared ones just alias.
+      Envelope dup;
+      dup.id = env.id;
+      dup.owned = env.owned;
+      dup.shared = env.shared;
+      q.push_back(std::move(dup));
     }
     if (fault.reorder && !q.empty()) {
       static obs::Counter& reordered = obs::counter("fabric.reordered");
@@ -148,7 +171,7 @@ void Fabric::send(int src, int dst, uint64_t tag, Bytes msg) {
   box.cv.notify_all();
 }
 
-Bytes Fabric::pop_locked(Mailbox& box, uint64_t k) {
+Fabric::Envelope Fabric::pop_locked(Mailbox& box, uint64_t k) {
   auto it = box.queues.find(k);
   auto& q = it->second;
   Envelope env = std::move(q.front());
@@ -160,7 +183,33 @@ Bytes Fabric::pop_locked(Mailbox& box, uint64_t k) {
   // Erase drained keys: per-op tags are unique, so keeping empty deques
   // would grow the map without bound over long runs.
   if (q.empty()) box.queues.erase(it);
-  return std::move(env.payload);
+  return env;
+}
+
+Bytes Fabric::unwrap(Envelope&& env, int dst) {
+  if (!env.shared) return std::move(env.owned);
+  // Shared payloads are strictly read-only: even holding the apparent last
+  // reference, `use_count()` is a relaxed load, so claiming the buffer for
+  // mutation would race with the originator's post-send reads. Take a pooled
+  // copy and let the shared_ptr's (properly synchronized) final release free
+  // the original.
+  const Bytes& src = *env.shared;
+  Bytes out = pool(dst).acquire(src.size());
+  if (!out.empty()) std::memcpy(out.data(), src.data(), out.size());
+  return out;
+}
+
+void Fabric::record_recv(size_t bytes,
+                         std::chrono::steady_clock::time_point t0) {
+  const auto t1 = std::chrono::steady_clock::now();
+  static obs::Counter& recv_messages = obs::counter("fabric.recv.messages");
+  static obs::Counter& recv_bytes = obs::counter("fabric.recv.bytes");
+  static obs::Histogram& wait_us =
+      obs::histogram("fabric.recv.wait_us", kWaitEdgesUs);
+  recv_messages.increment();
+  recv_bytes.add(static_cast<int64_t>(bytes));
+  wait_us.observe(
+      std::chrono::duration<double, std::micro>(t1 - t0).count());
 }
 
 Bytes Fabric::recv(int dst, int src, uint64_t tag) {
@@ -174,18 +223,28 @@ Bytes Fabric::recv(int dst, int src, uint64_t tag) {
     auto it = box.queues.find(k);
     return it != box.queues.end() && !it->second.empty();
   });
-  Bytes msg = pop_locked(box, k);
+  Envelope env = pop_locked(box, k);
   lock.unlock();
-  const auto t1 = std::chrono::steady_clock::now();
-  static obs::Counter& recv_messages = obs::counter("fabric.recv.messages");
-  static obs::Counter& recv_bytes = obs::counter("fabric.recv.bytes");
-  static obs::Histogram& wait_us =
-      obs::histogram("fabric.recv.wait_us", kWaitEdgesUs);
-  recv_messages.increment();
-  recv_bytes.add(static_cast<int64_t>(msg.size()));
-  wait_us.observe(
-      std::chrono::duration<double, std::micro>(t1 - t0).count());
-  return msg;
+  record_recv(env.size(), t0);
+  return unwrap(std::move(env), dst);
+}
+
+SharedBytes Fabric::recv_shared(int dst, int src, uint64_t tag) {
+  EMBRACE_CHECK(src >= 0 && src < num_ranks_, << "bad src rank " << src);
+  EMBRACE_CHECK(dst >= 0 && dst < num_ranks_, << "bad dst rank " << dst);
+  Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
+  const uint64_t k = key(src, tag);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(box.mutex);
+  box.cv.wait(lock, [&] {
+    auto it = box.queues.find(k);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  Envelope env = pop_locked(box, k);
+  lock.unlock();
+  record_recv(env.size(), t0);
+  if (env.shared) return std::move(env.shared);
+  return std::make_shared<Bytes>(std::move(env.owned));
 }
 
 std::optional<Bytes> Fabric::try_recv_for(int dst, int src, uint64_t tag,
@@ -201,18 +260,35 @@ std::optional<Bytes> Fabric::try_recv_for(int dst, int src, uint64_t tag,
     return it != box.queues.end() && !it->second.empty();
   });
   if (!got) return std::nullopt;
-  Bytes msg = pop_locked(box, k);
+  Envelope env = pop_locked(box, k);
   lock.unlock();
-  const auto t1 = std::chrono::steady_clock::now();
-  static obs::Counter& recv_messages = obs::counter("fabric.recv.messages");
-  static obs::Counter& recv_bytes = obs::counter("fabric.recv.bytes");
-  static obs::Histogram& wait_us =
-      obs::histogram("fabric.recv.wait_us", kWaitEdgesUs);
-  recv_messages.increment();
-  recv_bytes.add(static_cast<int64_t>(msg.size()));
-  wait_us.observe(
-      std::chrono::duration<double, std::micro>(t1 - t0).count());
-  return msg;
+  record_recv(env.size(), t0);
+  return unwrap(std::move(env), dst);
+}
+
+std::optional<SharedBytes> Fabric::try_recv_shared_for(
+    int dst, int src, uint64_t tag, std::chrono::microseconds timeout) {
+  EMBRACE_CHECK(src >= 0 && src < num_ranks_, << "bad src rank " << src);
+  EMBRACE_CHECK(dst >= 0 && dst < num_ranks_, << "bad dst rank " << dst);
+  Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
+  const uint64_t k = key(src, tag);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(box.mutex);
+  const bool got = box.cv.wait_for(lock, timeout, [&] {
+    auto it = box.queues.find(k);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  if (!got) return std::nullopt;
+  Envelope env = pop_locked(box, k);
+  lock.unlock();
+  record_recv(env.size(), t0);
+  if (env.shared) return std::move(env.shared);
+  return std::make_shared<Bytes>(std::move(env.owned));
+}
+
+BufferPool& Fabric::pool(int rank) {
+  EMBRACE_CHECK(rank >= 0 && rank < num_ranks_, << "bad rank " << rank);
+  return *pools_[static_cast<size_t>(rank)];
 }
 
 bool Fabric::recover(int dst, int src, uint64_t tag) {

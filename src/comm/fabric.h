@@ -11,6 +11,24 @@
 // (Table 2) through these counters, and the partitioning ablation uses them
 // to measure load imbalance.
 //
+// Zero-copy fan-out (DESIGN.md §9). A payload may be sent as a SharedBytes
+// (send_shared): the fabric enqueues aliases of one physical buffer instead
+// of copies, and receivers that call recv_shared read the sender's bytes
+// directly — this is what makes AllGatherv's (N−1)·αM traffic pattern cost
+// zero host-side copies. The owning recv()/try_recv_for() still return
+// owned Bytes: a shared payload is always copied out (drawing the copy from
+// the destination rank's BufferPool). It is never moved out or recycled,
+// even by the apparent last owner — use_count() is a relaxed load, so
+// claiming the buffer for mutation would race with the originator's
+// post-send reads; only the shared_ptr's final release may free it.
+//
+// Buffer pooling (DESIGN.md §9). The fabric owns one BufferPool per rank
+// (pool(rank)); the Communicator's collectives acquire their wire buffers
+// from the sender's pool and release consumed receive buffers into the
+// receiver's. The fabric itself never releases a buffer to a pool: parked
+// (recoverably dropped) and duplicated envelopes own their payloads until
+// the receive side consumes them, so recovery can never alias pooled memory.
+//
 // Fault model (DESIGN.md §8). Each link (src,dst) can be configured with a
 // deterministic, seeded FaultConfig: per-message drop / duplicate / reorder
 // probabilities and a uniform delay distribution. A recoverable drop parks
@@ -33,11 +51,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "comm/buffer_pool.h"
 #include "common/error.h"
 
 namespace embrace::comm {
-
-using Bytes = std::vector<std::byte>;
 
 struct TrafficCounters {
   int64_t messages = 0;
@@ -88,8 +105,20 @@ class Fabric {
   // Moves `msg` into dst's mailbox. src/dst in [0, num_ranks).
   void send(int src, int dst, uint64_t tag, Bytes msg);
 
+  // Enqueues an alias of `msg` (no payload copy). The caller and all other
+  // receivers share one physical buffer; it must not be mutated after this
+  // call. Sending the same SharedBytes to many peers is the zero-copy
+  // fan-out primitive under AllGatherv.
+  void send_shared(int src, int dst, uint64_t tag, SharedBytes msg);
+
   // Blocks until a message with the given (src, tag) arrives at dst.
+  // Shared payloads are always copied out via dst's BufferPool (see the
+  // zero-copy notes above: they may never be claimed for mutation).
   Bytes recv(int dst, int src, uint64_t tag);
+
+  // Blocking receive of a shared view: never copies the payload. For
+  // owned sends the payload is wrapped (moved, not copied) into the handle.
+  SharedBytes recv_shared(int dst, int src, uint64_t tag);
 
   // Bounded receive: returns std::nullopt if no matching message arrived
   // within `timeout`. Never throws on timeout — callers that want a typed
@@ -97,6 +126,14 @@ class Fabric {
   // TimeoutError naming the edge).
   std::optional<Bytes> try_recv_for(int dst, int src, uint64_t tag,
                                     std::chrono::microseconds timeout);
+  // Bounded variant of recv_shared.
+  std::optional<SharedBytes> try_recv_shared_for(
+      int dst, int src, uint64_t tag, std::chrono::microseconds timeout);
+
+  // The per-rank wire-buffer pool (see buffer_pool.h). Collectives acquire
+  // send buffers from their own rank's pool and release consumed receive
+  // buffers into it.
+  BufferPool& pool(int rank);
 
   // Moves one recoverably-dropped message for (src, tag) back into dst's
   // live queue — the in-process stand-in for "receiver timed out, sender
@@ -146,10 +183,15 @@ class Fabric {
 
  private:
   // One transmission. `id` is unique per send() call; duplicates share the
-  // id so the pop path can deliver exactly once.
+  // id so the pop path can deliver exactly once. The payload is either
+  // owned (the common point-to-point case, no control-block allocation) or
+  // shared (zero-copy fan-out: duplicates and peers alias one buffer).
   struct Envelope {
     uint64_t id = 0;
-    Bytes payload;
+    Bytes owned;
+    SharedBytes shared;  // non-null iff sent via send_shared
+
+    size_t size() const { return shared ? shared->size() : owned.size(); }
   };
 
   struct Mailbox {
@@ -178,11 +220,19 @@ class Fabric {
   static uint64_t key(int src, uint64_t tag);
   const FaultConfig& link_config(int src, int dst) const;
   FaultDecision roll_faults(int src, int dst);
+  // Shared delivery path under send()/send_shared(): fault roll, traffic
+  // accounting, enqueue.
+  void deliver(int src, int dst, uint64_t tag, Envelope env);
   // Pops the front message for `k`, discarding duplicate envelopes and
   // erasing the queue when drained. Caller holds box.mutex.
-  Bytes pop_locked(Mailbox& box, uint64_t k);
+  Envelope pop_locked(Mailbox& box, uint64_t k);
+  // Converts a popped envelope into an owned buffer: move for owned or
+  // last-reference shared payloads, pooled copy otherwise.
+  Bytes unwrap(Envelope&& env, int dst);
+  void record_recv(size_t bytes, std::chrono::steady_clock::time_point t0);
 
   int num_ranks_;
+  std::vector<std::unique_ptr<BufferPool>> pools_;  // one per rank
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<PairCounters>> counters_;  // n*n, row-major
   // Fault state: per-link configs (n*n, row-major) + per-link message

@@ -3,17 +3,37 @@
 #include "common/error.h"
 
 namespace embrace::comm {
+namespace {
+
+// Packs `rows` into a wire buffer drawn from the communicator's pool: one
+// serialization copy, no allocation in steady state.
+Bytes pack_pooled(Communicator& comm, const SparseRows& rows) {
+  Bytes buf = comm.pool().acquire(rows.packed_byte_size());
+  rows.pack_into(buf.data(), buf.size());
+  return buf;
+}
+
+}  // namespace
 
 SparseRows sparse_allgather(Communicator& comm, const SparseRows& mine) {
-  const auto buffers = comm.allgatherv(mine.pack());
-  SparseRows acc = SparseRows::empty(mine.num_total_rows(), mine.dim());
+  // Zero-copy exchange: peers read this rank's packed payload in place, and
+  // the received views are parsed without materializing per-peer SparseRows.
+  auto buffers = comm.allgatherv_shared(pack_pooled(comm, mine));
+  std::vector<SparseRows::WireView> views;
+  views.reserve(buffers.size());
   for (const auto& buf : buffers) {
-    SparseRows part = SparseRows::unpack(buf);
-    EMBRACE_CHECK_EQ(part.num_total_rows(), mine.num_total_rows());
-    EMBRACE_CHECK_EQ(part.dim(), mine.dim());
-    acc = SparseRows::concat(acc, part);
+    views.push_back(SparseRows::parse_packed(buf->data(), buf->size()));
   }
-  return acc;
+  // Single-pass assemble: total nnz summed up front, every payload copied
+  // exactly once (the old pairwise concat re-copied the accumulated prefix
+  // per peer).
+  SparseRows out =
+      SparseRows::concat_views(mine.num_total_rows(), mine.dim(), views);
+  // Shared payloads are read-only for everyone; dropping the reference lets
+  // the shared_ptr's final release free them. Recycling them into the pool
+  // keyed on use_count() would race with the originator's post-send reads.
+  for (SharedBytes& buf : buffers) buf.reset();
+  return out;
 }
 
 std::vector<SparseRows> sparse_alltoall(Communicator& comm,
@@ -21,11 +41,14 @@ std::vector<SparseRows> sparse_alltoall(Communicator& comm,
   EMBRACE_CHECK_EQ(static_cast<int>(send.size()), comm.size());
   std::vector<Bytes> payloads;
   payloads.reserve(send.size());
-  for (const auto& s : send) payloads.push_back(s.pack());
+  for (const auto& s : send) payloads.push_back(pack_pooled(comm, s));
   auto received = comm.alltoallv(std::move(payloads));
   std::vector<SparseRows> out;
   out.reserve(received.size());
-  for (const auto& buf : received) out.push_back(SparseRows::unpack(buf));
+  for (Bytes& buf : received) {
+    out.push_back(SparseRows::unpack(buf));
+    comm.pool().release(std::move(buf));
+  }
   return out;
 }
 

@@ -17,6 +17,15 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+// Thrown when a wire buffer fails structural validation (truncated payload,
+// negative or overflowing header fields, size mismatch). Distinct from Error
+// so the comm runtime can treat a malformed peer message as a protocol
+// failure rather than a local invariant violation.
+class WireFormatError : public Error {
+ public:
+  explicit WireFormatError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 
 [[noreturn]] inline void fail_check(const char* expr, const char* file,

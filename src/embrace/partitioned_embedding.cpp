@@ -11,8 +11,9 @@ namespace {
 // Empty id slices / tensors are normal (a rank may own no rows of a batch);
 // empty vectors may hand memcpy a null pointer, which is UB even at size 0.
 
-comm::Bytes pack_ids(const std::vector<int64_t>& ids) {
-  comm::Bytes b(ids.size() * sizeof(int64_t));
+comm::Bytes pack_ids(comm::Communicator& comm,
+                     const std::vector<int64_t>& ids) {
+  comm::Bytes b = comm.pool().acquire(ids.size() * sizeof(int64_t));
   if (!b.empty()) std::memcpy(b.data(), ids.data(), b.size());
   return b;
 }
@@ -24,8 +25,8 @@ std::vector<int64_t> unpack_ids(const comm::Bytes& b) {
   return ids;
 }
 
-comm::Bytes pack_tensor(const Tensor& t) {
-  comm::Bytes b(static_cast<size_t>(t.byte_size()));
+comm::Bytes pack_tensor(comm::Communicator& comm, const Tensor& t) {
+  comm::Bytes b = comm.pool().acquire(static_cast<size_t>(t.byte_size()));
   if (!b.empty()) std::memcpy(b.data(), t.data(), b.size());
   return b;
 }
@@ -65,10 +66,16 @@ std::pair<int64_t, int64_t> PartitionedEmbedding::col_range(int r) const {
 
 std::vector<std::vector<int64_t>> PartitionedEmbedding::allgather_ids(
     comm::Communicator& comm, const std::vector<int64_t>& my_ids) {
-  auto buffers = comm.allgatherv(pack_ids(my_ids));
+  // Zero-copy fan-out: peers read this rank's id payload in place.
+  auto buffers = comm.allgatherv_shared(pack_ids(comm, my_ids));
   std::vector<std::vector<int64_t>> out;
   out.reserve(buffers.size());
-  for (const auto& b : buffers) out.push_back(unpack_ids(b));
+  for (auto& b : buffers) {
+    out.push_back(unpack_ids(*b));
+    // Shared payloads are read-only; the shared_ptr's final release frees
+    // them (recycling via use_count() would race with the originator).
+    b.reset();
+  }
   return out;
 }
 
@@ -94,15 +101,18 @@ Tensor PartitionedEmbedding::distributed_lookup(
   std::vector<comm::Bytes> payloads(static_cast<size_t>(world_));
   for (int w = 0; w < world_; ++w) {
     payloads[static_cast<size_t>(w)] =
-        pack_tensor(shard_lookup(all_ids[static_cast<size_t>(w)]));
+        pack_tensor(comm, shard_lookup(all_ids[static_cast<size_t>(w)]));
   }
   auto received = comm.alltoallv(std::move(payloads));
-  // Assemble my batch's full-dim vectors from the column slices.
+  // Assemble my batch's full-dim vectors from the column slices, reading the
+  // wire buffers in place and recycling them once consumed.
   Tensor out({static_cast<int64_t>(my_ids.size()), dim_});
   for (int r = 0; r < world_; ++r) {
     const auto [c0, c1] = col_range(r);
-    Tensor slice = unpack_tensor(received[static_cast<size_t>(r)],
-                                 static_cast<int64_t>(my_ids.size()), c1 - c0);
+    comm::Bytes& buf = received[static_cast<size_t>(r)];
+    Tensor slice = unpack_tensor(buf, static_cast<int64_t>(my_ids.size()),
+                                 c1 - c0);
+    comm.pool().release(std::move(buf));
     for (int64_t k = 0; k < out.rows(); ++k) {
       auto src = slice.row(k);
       auto dst = out.row(k);
@@ -116,21 +126,26 @@ SparseRows PartitionedEmbedding::exchange_grad(comm::Communicator& comm,
                                                const SparseRows& part) const {
   EMBRACE_CHECK_EQ(part.num_total_rows(), vocab_);
   EMBRACE_CHECK_EQ(part.dim(), dim_);
-  // Ship each rank the column slice it owns.
+  // Ship each rank the column slice it owns, serialized straight into
+  // pooled wire buffers.
   std::vector<comm::Bytes> payloads(static_cast<size_t>(world_));
   for (int r = 0; r < world_; ++r) {
     const auto [c0, c1] = col_range(r);
-    payloads[static_cast<size_t>(r)] = part.slice_columns(c0, c1).pack();
+    const SparseRows slice = part.slice_columns(c0, c1);
+    comm::Bytes buf = comm.pool().acquire(slice.packed_byte_size());
+    slice.pack_into(buf.data(), buf.size());
+    payloads[static_cast<size_t>(r)] = std::move(buf);
   }
   auto received = comm.alltoallv(std::move(payloads));
-  // Sum the contributions of all workers for my shard.
-  SparseRows acc = SparseRows::empty(vocab_, shard_width());
-  for (const auto& buf : received) {
-    SparseRows piece = SparseRows::unpack(buf);
-    EMBRACE_CHECK_EQ(piece.num_total_rows(), vocab_);
-    EMBRACE_CHECK_EQ(piece.dim(), shard_width());
-    acc = SparseRows::concat(acc, piece);
+  // Sum the contributions of all workers for my shard: parse every payload
+  // in place, assemble in one pass, coalesce once.
+  std::vector<SparseRows::WireView> views;
+  views.reserve(received.size());
+  for (const comm::Bytes& buf : received) {
+    views.push_back(SparseRows::parse_packed(buf.data(), buf.size()));
   }
+  SparseRows acc = SparseRows::concat_views(vocab_, shard_width(), views);
+  for (comm::Bytes& buf : received) comm.pool().release(std::move(buf));
   return acc.coalesced();
 }
 

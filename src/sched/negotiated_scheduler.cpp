@@ -21,9 +21,11 @@ const char kStopToken[] = "\x01__stop__";
 // bounds how fast abort() and the pending-deadline check are noticed.
 constexpr std::chrono::microseconds kAnnouncePollSlice{10000};
 
-comm::Bytes to_bytes(const std::string& s) {
-  comm::Bytes b(s.size());
-  std::memcpy(b.data(), s.data(), s.size());
+// Announcement payloads cycle through the rank's wire-buffer pool: the
+// comm thread sends one per peer per op, so steady state allocates nothing.
+comm::Bytes to_bytes(comm::BufferPool& pool, const std::string& s) {
+  comm::Bytes b = pool.acquire(s.size());
+  if (!b.empty()) std::memcpy(b.data(), s.data(), s.size());
   return b;
 }
 
@@ -182,7 +184,7 @@ void NegotiatedScheduler::announce(const std::string& name) {
   // One tagged message per peer; the tag is the per-rank announcement index
   // maintained implicitly by both sides walking the same sequence.
   for (int r = 1; r < control_.size(); ++r) {
-    control_.send_bytes_at(r, announce_seq_, to_bytes(name));
+    control_.send_bytes_at(r, announce_seq_, to_bytes(control_.pool(), name));
   }
   ++announce_seq_;
 }
@@ -196,7 +198,9 @@ std::string NegotiatedScheduler::receive_announcement() {
     if (auto msg =
             control_.try_recv_bytes_at(0, announce_seq_, kAnnouncePollSlice)) {
       ++announce_seq_;
-      return from_bytes(*msg);
+      std::string name = from_bytes(*msg);
+      control_.pool().release(std::move(*msg));
+      return name;
     }
     // The fabric's recv deadline applies only while ops are pending (or a
     // collective shutdown awaits its stop token): in both cases the leader

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 #include <numeric>
+#include <sstream>
+#include <string>
 
 #include "common/error.h"
 
@@ -52,42 +54,107 @@ int64_t SparseRows::dense_byte_size() const {
 
 double SparseRows::row_density() const {
   if (num_total_rows_ == 0) return 0.0;
-  // Density counts *distinct* touched rows, as the paper's α does.
-  std::vector<int64_t> uniq = indices_;
-  std::sort(uniq.begin(), uniq.end());
-  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
-  return static_cast<double>(uniq.size()) /
+  // Density counts *distinct* touched rows, as the paper's α does. The
+  // common case — coalesced (or at least sorted) indices — is one pass with
+  // no allocation; only genuinely unsorted inputs pay for a copy + sort.
+  size_t distinct = 0;
+  bool sorted = true;
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    if (i > 0 && indices_[i] < indices_[i - 1]) {
+      sorted = false;
+      break;
+    }
+    if (i == 0 || indices_[i] != indices_[i - 1]) ++distinct;
+  }
+  if (!sorted) {
+    std::vector<int64_t> uniq = indices_;
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    distinct = uniq.size();
+  }
+  return static_cast<double>(distinct) /
          static_cast<double>(num_total_rows_);
 }
 
+namespace {
+
+// Below this size the comparison sort's constant factor wins over the radix
+// passes (each pass touches the whole permutation plus a 256-slot histogram).
+constexpr size_t kRadixThreshold = 64;
+
+// Stable LSD radix sort of `order` keyed by keys[order[i]], 8 bits per pass;
+// passes stop at the highest set bit of the largest key. Stability makes the
+// resulting permutation identical to std::stable_sort's, so downstream float
+// accumulation happens in exactly the same order either way.
+void radix_sort_positions(std::vector<size_t>& order,
+                          const std::vector<int64_t>& keys) {
+  std::vector<size_t> scratch(order.size());
+  int64_t max_key = 0;
+  for (int64_t k : keys) max_key = std::max(max_key, k);
+  const uint64_t mk = static_cast<uint64_t>(max_key);
+  for (int shift = 0; shift < 64 && (mk >> shift) != 0; shift += 8) {
+    size_t count[256] = {};
+    for (size_t p : order) {
+      ++count[(static_cast<uint64_t>(keys[p]) >> shift) & 0xff];
+    }
+    size_t sum = 0;
+    for (size_t& c : count) {
+      const size_t n = c;
+      c = sum;
+      sum += n;
+    }
+    for (size_t p : order) {
+      scratch[count[(static_cast<uint64_t>(keys[p]) >> shift) & 0xff]++] = p;
+    }
+    order.swap(scratch);
+  }
+}
+
+}  // namespace
+
 SparseRows SparseRows::coalesced() const {
   const int64_t d = dim();
+  const size_t n = indices_.size();
   // Sort a permutation of positions by index, stably, so accumulation order
-  // is deterministic.
-  std::vector<size_t> order(indices_.size());
+  // is deterministic. Row indices are bounded non-negative ints, so large
+  // inputs take the O(n · bytes) radix path instead of O(n log n).
+  std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), size_t{0});
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return indices_[a] < indices_[b];
-  });
+  if (n >= kRadixThreshold) {
+    radix_sort_positions(order, indices_);
+  } else {
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return indices_[a] < indices_[b];
+    });
+  }
 
-  std::vector<int64_t> out_idx;
-  out_idx.reserve(indices_.size());
-  std::vector<float> out_vals;
-  out_vals.reserve(indices_.size() * static_cast<size_t>(d));
-
-  for (size_t pos = 0; pos < order.size(); ++pos) {
-    const int64_t idx = indices_[order[pos]];
-    auto src = values_.row(static_cast<int64_t>(order[pos]));
-    if (!out_idx.empty() && out_idx.back() == idx) {
-      float* dst = out_vals.data() + (out_idx.size() - 1) * static_cast<size_t>(d);
-      for (int64_t c = 0; c < d; ++c) dst[c] += src[static_cast<size_t>(c)];
-    } else {
-      out_idx.push_back(idx);
-      out_vals.insert(out_vals.end(), src.begin(), src.end());
+  // Count distinct indices so both outputs are sized exactly (no growth
+  // reallocation, no shrink copy).
+  size_t distinct = 0;
+  for (size_t pos = 0; pos < n; ++pos) {
+    if (pos == 0 || indices_[order[pos]] != indices_[order[pos - 1]]) {
+      ++distinct;
     }
   }
 
-  Tensor values({static_cast<int64_t>(out_idx.size()), d}, std::move(out_vals));
+  std::vector<int64_t> out_idx(distinct);
+  std::vector<float> out_vals(distinct * static_cast<size_t>(d));
+  size_t w = 0;
+  for (size_t pos = 0; pos < n; ++pos) {
+    const int64_t idx = indices_[order[pos]];
+    auto src = values_.row(static_cast<int64_t>(order[pos]));
+    if (pos == 0 || out_idx[w - 1] != idx) {
+      out_idx[w] = idx;
+      float* dst = out_vals.data() + w * static_cast<size_t>(d);
+      std::copy(src.begin(), src.end(), dst);
+      ++w;
+    } else {
+      float* dst = out_vals.data() + (w - 1) * static_cast<size_t>(d);
+      for (int64_t c = 0; c < d; ++c) dst[c] += src[static_cast<size_t>(c)];
+    }
+  }
+
+  Tensor values({static_cast<int64_t>(distinct), d}, std::move(out_vals));
   return SparseRows(num_total_rows_, std::move(out_idx), std::move(values));
 }
 
@@ -109,26 +176,57 @@ std::pair<SparseRows, SparseRows> SparseRows::split_by_membership(
   EMBRACE_CHECK(std::is_sorted(keep_sorted.begin(), keep_sorted.end()),
                 << "keep set must be sorted");
   const int64_t d = dim();
-  std::vector<int64_t> kept_idx, rest_idx;
-  std::vector<float> kept_vals, rest_vals;
-  for (size_t k = 0; k < indices_.size(); ++k) {
-    const bool member = std::binary_search(keep_sorted.begin(),
-                                           keep_sorted.end(), indices_[k]);
-    auto src = values_.row(static_cast<int64_t>(k));
-    if (member) {
-      kept_idx.push_back(indices_[k]);
-      kept_vals.insert(kept_vals.end(), src.begin(), src.end());
-    } else {
-      rest_idx.push_back(indices_[k]);
-      rest_vals.insert(rest_vals.end(), src.begin(), src.end());
+  const size_t n = indices_.size();
+  // Membership pass. Coalesced inputs (the common case: Algorithm 1 splits
+  // right after COALESCE) have sorted indices, so a two-pointer merge
+  // resolves all n memberships in O(n + |keep|); unsorted inputs fall back
+  // to per-row binary search. Recording the flags first also lets both
+  // outputs be allocated exactly once.
+  std::vector<uint8_t> member(n, 0);
+  size_t kept_count = 0;
+  if (std::is_sorted(indices_.begin(), indices_.end())) {
+    size_t j = 0;
+    for (size_t k = 0; k < n; ++k) {
+      while (j < keep_sorted.size() && keep_sorted[j] < indices_[k]) ++j;
+      if (j < keep_sorted.size() && keep_sorted[j] == indices_[k]) {
+        member[k] = 1;
+        ++kept_count;
+      }
+    }
+  } else {
+    for (size_t k = 0; k < n; ++k) {
+      if (std::binary_search(keep_sorted.begin(), keep_sorted.end(),
+                             indices_[k])) {
+        member[k] = 1;
+        ++kept_count;
+      }
     }
   }
-  const int64_t kept_rows = static_cast<int64_t>(kept_idx.size());
-  const int64_t rest_rows = static_cast<int64_t>(rest_idx.size());
+  const size_t rest_count = n - kept_count;
+  std::vector<int64_t> kept_idx(kept_count), rest_idx(rest_count);
+  std::vector<float> kept_vals(kept_count * static_cast<size_t>(d));
+  std::vector<float> rest_vals(rest_count * static_cast<size_t>(d));
+  size_t kw = 0, rw = 0;
+  for (size_t k = 0; k < n; ++k) {
+    auto src = values_.row(static_cast<int64_t>(k));
+    if (member[k]) {
+      kept_idx[kw] = indices_[k];
+      std::copy(src.begin(), src.end(),
+                kept_vals.data() + kw * static_cast<size_t>(d));
+      ++kw;
+    } else {
+      rest_idx[rw] = indices_[k];
+      std::copy(src.begin(), src.end(),
+                rest_vals.data() + rw * static_cast<size_t>(d));
+      ++rw;
+    }
+  }
   SparseRows kept(num_total_rows_, std::move(kept_idx),
-                  Tensor({kept_rows, d}, std::move(kept_vals)));
+                  Tensor({static_cast<int64_t>(kept_count), d},
+                         std::move(kept_vals)));
   SparseRows rest(num_total_rows_, std::move(rest_idx),
-                  Tensor({rest_rows, d}, std::move(rest_vals)));
+                  Tensor({static_cast<int64_t>(rest_count), d},
+                         std::move(rest_vals)));
   return {std::move(kept), std::move(rest)};
 }
 
@@ -181,12 +279,18 @@ bool SparseRows::logically_equal(const SparseRows& other, float tol) const {
   return to_dense().max_abs_diff(other.to_dense()) <= tol;
 }
 
-std::vector<std::byte> SparseRows::pack() const {
+size_t SparseRows::packed_byte_size() const {
+  return 3 * sizeof(int64_t) + indices_.size() * sizeof(int64_t) +
+         static_cast<size_t>(values_.byte_size());
+}
+
+void SparseRows::pack_into(std::byte* dst, size_t size) const {
+  EMBRACE_CHECK_EQ(size, packed_byte_size(),
+                   << "pack_into buffer size mismatch");
   const int64_t header[3] = {num_total_rows_, dim(), nnz_rows()};
   const size_t idx_bytes = indices_.size() * sizeof(int64_t);
   const size_t val_bytes = static_cast<size_t>(values_.byte_size());
-  std::vector<std::byte> buf(sizeof(header) + idx_bytes + val_bytes);
-  std::byte* p = buf.data();
+  std::byte* p = dst;
   std::memcpy(p, header, sizeof(header));
   p += sizeof(header);
   // An all-zero gradient packs to nnz == 0; empty vectors may hand memcpy a
@@ -194,28 +298,117 @@ std::vector<std::byte> SparseRows::pack() const {
   if (idx_bytes > 0) std::memcpy(p, indices_.data(), idx_bytes);
   p += idx_bytes;
   if (val_bytes > 0) std::memcpy(p, values_.data(), val_bytes);
+}
+
+std::vector<std::byte> SparseRows::pack() const {
+  std::vector<std::byte> buf(packed_byte_size());
+  pack_into(buf.data(), buf.size());
   return buf;
 }
 
-SparseRows SparseRows::unpack(const std::byte* data, size_t size) {
-  EMBRACE_CHECK_GE(size, 3 * sizeof(int64_t), << "truncated SparseRows buffer");
+namespace {
+
+[[noreturn]] void fail_wire(const char* what, int64_t rows, int64_t d,
+                            int64_t nnz, size_t size) {
+  std::ostringstream os;
+  os << "malformed SparseRows wire buffer: " << what
+     << " (num_total_rows=" << rows << ", dim=" << d << ", nnz=" << nnz
+     << ", bytes=" << size << ")";
+  throw WireFormatError(os.str());
+}
+
+}  // namespace
+
+SparseRows::WireView SparseRows::parse_packed(const std::byte* data,
+                                              size_t size) {
+  constexpr size_t kHeaderBytes = 3 * sizeof(int64_t);
+  if (size < kHeaderBytes) {
+    throw WireFormatError(
+        "malformed SparseRows wire buffer: truncated header (" +
+        std::to_string(size) + " bytes)");
+  }
   int64_t header[3];
   std::memcpy(header, data, sizeof(header));
-  const int64_t num_total_rows = header[0];
-  const int64_t d = header[1];
-  const int64_t nnz = header[2];
-  const size_t idx_bytes = static_cast<size_t>(nnz) * sizeof(int64_t);
-  const size_t val_bytes = static_cast<size_t>(nnz) * static_cast<size_t>(d) * sizeof(float);
-  EMBRACE_CHECK_EQ(size, sizeof(header) + idx_bytes + val_bytes,
-                   << "corrupt SparseRows buffer");
-  const std::byte* p = data + sizeof(header);
-  std::vector<int64_t> indices(static_cast<size_t>(nnz));
-  if (idx_bytes > 0) std::memcpy(indices.data(), p, idx_bytes);
-  p += idx_bytes;
-  std::vector<float> vals(static_cast<size_t>(nnz) * static_cast<size_t>(d));
-  if (val_bytes > 0) std::memcpy(vals.data(), p, val_bytes);
-  Tensor values({nnz, d}, std::move(vals));
-  return SparseRows(num_total_rows, std::move(indices), std::move(values));
+  WireView v;
+  v.num_total_rows = header[0];
+  v.dim = header[1];
+  v.nnz = header[2];
+  // Header fields come off the wire untrusted. A negative nnz/dim cast to
+  // size_t wraps to a huge value, and `nnz * dim * 4` can wrap back into a
+  // small one that happens to match `size` — so validate sign first and use
+  // division-based bounds instead of multiplying attacker-chosen fields.
+  if (v.num_total_rows < 0 || v.dim < 0 || v.nnz < 0) {
+    fail_wire("negative header field", v.num_total_rows, v.dim, v.nnz, size);
+  }
+  const size_t body = size - kHeaderBytes;
+  const size_t nnz = static_cast<size_t>(v.nnz);
+  if (nnz > body / sizeof(int64_t)) {
+    fail_wire("index section exceeds buffer", v.num_total_rows, v.dim, v.nnz,
+              size);
+  }
+  const size_t idx_bytes = nnz * sizeof(int64_t);
+  const size_t val_bytes = body - idx_bytes;
+  if (nnz == 0) {
+    if (val_bytes != 0) {
+      fail_wire("trailing bytes after empty payload", v.num_total_rows, v.dim,
+                v.nnz, size);
+    }
+  } else {
+    // val_bytes must factor exactly as nnz * dim * sizeof(float); comparing
+    // per-row sizes keeps every operand within the buffer's byte range.
+    if (val_bytes % nnz != 0) {
+      fail_wire("value section does not divide by nnz", v.num_total_rows,
+                v.dim, v.nnz, size);
+    }
+    const size_t per_row = val_bytes / nnz;
+    if (per_row % sizeof(float) != 0 ||
+        per_row / sizeof(float) != static_cast<size_t>(v.dim)) {
+      fail_wire("value section size does not match dim", v.num_total_rows,
+                v.dim, v.nnz, size);
+    }
+  }
+  v.indices = data + kHeaderBytes;
+  v.values = v.indices + idx_bytes;
+  return v;
+}
+
+SparseRows SparseRows::unpack(const std::byte* data, size_t size) {
+  const WireView v = parse_packed(data, size);
+  const size_t nnz = static_cast<size_t>(v.nnz);
+  const size_t idx_bytes = nnz * sizeof(int64_t);
+  const size_t val_bytes = nnz * static_cast<size_t>(v.dim) * sizeof(float);
+  std::vector<int64_t> indices(nnz);
+  if (idx_bytes > 0) std::memcpy(indices.data(), v.indices, idx_bytes);
+  std::vector<float> vals(nnz * static_cast<size_t>(v.dim));
+  if (val_bytes > 0) std::memcpy(vals.data(), v.values, val_bytes);
+  Tensor values({v.nnz, v.dim}, std::move(vals));
+  return SparseRows(v.num_total_rows, std::move(indices), std::move(values));
+}
+
+SparseRows SparseRows::concat_views(int64_t num_total_rows, int64_t dim,
+                                    std::span<const WireView> views) {
+  size_t total_nnz = 0;
+  for (const WireView& v : views) {
+    EMBRACE_CHECK_EQ(v.num_total_rows, num_total_rows,
+                     << "row-space mismatch across payloads");
+    EMBRACE_CHECK(v.nnz == 0 || v.dim == dim,
+                  << "dim mismatch across payloads (" << v.dim << " vs " << dim
+                  << ")");
+    total_nnz += static_cast<size_t>(v.nnz);
+  }
+  std::vector<int64_t> idx(total_nnz);
+  std::vector<float> vals(total_nnz * static_cast<size_t>(dim));
+  size_t row = 0;
+  for (const WireView& v : views) {
+    const size_t n = static_cast<size_t>(v.nnz);
+    if (n == 0) continue;
+    std::memcpy(idx.data() + row, v.indices, n * sizeof(int64_t));
+    std::memcpy(vals.data() + row * static_cast<size_t>(dim), v.values,
+                n * static_cast<size_t>(dim) * sizeof(float));
+    row += n;
+  }
+  Tensor values({static_cast<int64_t>(total_nnz), dim}, std::move(vals));
+  return SparseRows(num_total_rows, std::move(idx), std::move(values));
 }
 
 }  // namespace embrace

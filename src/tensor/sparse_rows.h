@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -80,11 +81,41 @@ class SparseRows {
 
   // --- wire format (used by the comm runtime) ---
   // Layout: [num_total_rows:int64][dim:int64][nnz:int64][indices][values].
+
+  // Exact serialized size of this tensor.
+  size_t packed_byte_size() const;
+  // Serializes into a caller-provided buffer of exactly packed_byte_size()
+  // bytes (e.g. one acquired from a comm::BufferPool) — no allocation here.
+  void pack_into(std::byte* dst, size_t size) const;
   std::vector<std::byte> pack() const;
+
+  // A validated, zero-copy view over one packed payload. The pointers alias
+  // the wire buffer; the view must not outlive it.
+  struct WireView {
+    int64_t num_total_rows = 0;
+    int64_t dim = 0;
+    int64_t nnz = 0;
+    const std::byte* indices = nullptr;  // nnz int64s
+    const std::byte* values = nullptr;   // nnz*dim floats
+  };
+  // Structural validation of a wire buffer. Throws WireFormatError on a
+  // truncated buffer, negative header fields, or section sizes that do not
+  // factor exactly — the checks are division-based so hostile nnz/dim values
+  // cannot wrap the byte counts through size_t.
+  static WireView parse_packed(const std::byte* data, size_t size);
+
   static SparseRows unpack(const std::byte* data, size_t size);
   static SparseRows unpack(const std::vector<std::byte>& buf) {
     return unpack(buf.data(), buf.size());
   }
+
+  // Single-pass concatenation of several packed payloads over a common
+  // (num_total_rows × dim) space: total nnz is summed up front, then every
+  // view is copied exactly once into the result (generally uncoalesced).
+  // Replaces repeated pairwise concat (which re-copies the accumulated
+  // prefix on every step) on the sparse-collective assemble path.
+  static SparseRows concat_views(int64_t num_total_rows, int64_t dim,
+                                 std::span<const WireView> views);
 
  private:
   int64_t num_total_rows_ = 0;

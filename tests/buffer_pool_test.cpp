@@ -1,0 +1,108 @@
+#include "comm/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace embrace::comm {
+namespace {
+
+TEST(BufferPool, AcquireReturnsRequestedSizeZeroed) {
+  BufferPool pool;
+  Bytes b = pool.acquire(100);
+  EXPECT_EQ(b.size(), 100u);
+  for (std::byte x : b) EXPECT_EQ(x, std::byte{0});
+  EXPECT_EQ(pool.stats().misses, 1);
+  EXPECT_EQ(pool.stats().hits, 0);
+}
+
+TEST(BufferPool, ReleaseThenAcquireHitsFreeList) {
+  BufferPool pool;
+  Bytes b = pool.acquire(1000);
+  const std::byte* data = b.data();
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.stats().recycled, 1);
+  EXPECT_EQ(pool.stats().cached_buffers, 1u);
+  // Same size class (1000 -> 1024) must reuse the same allocation.
+  Bytes again = pool.acquire(700);
+  EXPECT_EQ(again.data(), data);
+  EXPECT_EQ(again.size(), 700u);
+  EXPECT_EQ(pool.stats().hits, 1);
+  EXPECT_EQ(pool.stats().misses, 1);
+}
+
+TEST(BufferPool, ReusedBufferIsRezeroed) {
+  // Wire buffers must not leak a previous payload: acquire() contracts a
+  // value-initialized buffer.
+  BufferPool pool;
+  Bytes b = pool.acquire(64);
+  std::memset(b.data(), 0xAB, b.size());
+  pool.release(std::move(b));
+  Bytes again = pool.acquire(64);
+  for (std::byte x : again) EXPECT_EQ(x, std::byte{0});
+}
+
+TEST(BufferPool, SmallerClassDoesNotServeLargerRequest) {
+  BufferPool pool;
+  pool.release(pool.acquire(512));  // lands in the 512 class
+  Bytes big = pool.acquire(513);    // needs the 1024 class
+  EXPECT_EQ(big.size(), 513u);
+  EXPECT_EQ(pool.stats().hits, 0);
+  EXPECT_EQ(pool.stats().misses, 2);
+}
+
+TEST(BufferPool, BytesReusedCounterCounts) {
+  BufferPool pool;
+  pool.release(pool.acquire(256));
+  (void)pool.acquire(256);
+  EXPECT_EQ(pool.stats().hits, 1);
+}
+
+TEST(BufferPool, ZeroSizeAcquireWorks) {
+  BufferPool pool;
+  Bytes b = pool.acquire(0);
+  EXPECT_TRUE(b.empty());
+  pool.release(std::move(b));
+}
+
+TEST(BufferPool, FreeListIsCapped) {
+  BufferPool pool;
+  std::vector<Bytes> bufs;
+  for (int i = 0; i < 100; ++i) bufs.push_back(pool.acquire(128));
+  for (auto& b : bufs) pool.release(std::move(b));
+  const auto s = pool.stats();
+  EXPECT_GT(s.dropped, 0);
+  EXPECT_LE(s.cached_buffers, 64u);
+}
+
+TEST(BufferPool, TrimReleasesCachedMemory) {
+  BufferPool pool;
+  pool.release(pool.acquire(4096));
+  EXPECT_GT(pool.stats().cached_bytes, 0u);
+  pool.trim();
+  EXPECT_EQ(pool.stats().cached_bytes, 0u);
+  EXPECT_EQ(pool.stats().cached_buffers, 0u);
+}
+
+TEST(BufferPool, ConcurrentAcquireReleaseIsSafe) {
+  BufferPool pool;
+  constexpr int kThreads = 4, kIters = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      for (int i = 0; i < kIters; ++i) {
+        Bytes b = pool.acquire(static_cast<size_t>(64 + 64 * t + i % 32));
+        std::memset(b.data(), t, b.size());
+        pool.release(std::move(b));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = pool.stats();
+  EXPECT_EQ(s.hits + s.misses, kThreads * kIters);
+}
+
+}  // namespace
+}  // namespace embrace::comm

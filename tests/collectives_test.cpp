@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -140,6 +141,20 @@ TEST_P(CollectivesP, AllGathervVariableSizes) {
     for (int r = 0; r < n(); ++r) {
       ASSERT_EQ(all[r].size(), static_cast<size_t>(r + 1));
       for (auto b : all[r]) ASSERT_EQ(b, static_cast<std::byte>(r));
+    }
+  });
+}
+
+TEST_P(CollectivesP, AllGathervSharedMatchesOwnedVariant) {
+  run_cluster(n(), [&](Communicator& comm) {
+    Bytes mine(static_cast<size_t>(comm.rank() + 1),
+               static_cast<std::byte>(comm.rank()));
+    auto all = comm.allgatherv_shared(std::move(mine));
+    ASSERT_EQ(static_cast<int>(all.size()), n());
+    for (int r = 0; r < n(); ++r) {
+      ASSERT_TRUE(all[r] != nullptr);
+      ASSERT_EQ(all[r]->size(), static_cast<size_t>(r + 1));
+      for (auto b : *all[r]) ASSERT_EQ(b, static_cast<std::byte>(r));
     }
   });
 }
@@ -344,6 +359,63 @@ TEST(CollectivesTraffic, AlltoAllMatchesAnalyticVolume) {
     EXPECT_EQ(fabric.traffic_from(r).bytes,
               static_cast<int64_t>((kN - 1) * kChunk * sizeof(float)));
     EXPECT_EQ(fabric.traffic_from(r).messages, kN - 1);
+  }
+}
+
+TEST(CollectivesPool, RingAllReduceReusesWireBuffers) {
+  // After a warmup round, every ring step's send buffer must come from the
+  // free lists — the allocation-lean property the hotpath bench guards.
+  constexpr int kN = 4;
+  Fabric fabric(kN);
+  run_cluster(fabric, [&](Communicator& comm) {
+    for (int iter = 0; iter < 5; ++iter) {
+      std::vector<float> data(4096, 1.0f);
+      comm.allreduce(data);
+    }
+  });
+  int64_t hits = 0, misses = 0;
+  for (int r = 0; r < kN; ++r) {
+    const auto s = fabric.pool(r).stats();
+    hits += s.hits;
+    misses += s.misses;
+  }
+  EXPECT_GE(hits, 2 * misses)
+      << "pool hits " << hits << " vs misses " << misses;
+}
+
+TEST(ChunkRange, MatchesNaiveFormulaAtModerateSizes) {
+  for (const int n : {1, 2, 5, 8}) {
+    Fabric f(n);
+    Communicator comm(f, 0);
+    for (const int64_t total :
+         {int64_t{0}, int64_t{1}, int64_t{7}, int64_t{37}, int64_t{65536}}) {
+      for (int k = 0; k < n; ++k) {
+        const auto [b, e] = comm.chunk_range(total, k);
+        EXPECT_EQ(b, total * k / n) << "n=" << n << " k=" << k;
+        EXPECT_EQ(e, total * (k + 1) / n) << "n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(ChunkRange, ExtremeSizesDoNotOverflow) {
+  // total * (k+1) overflows int64 for totals near the type's limit; the
+  // division-first form must still produce an exact contiguous partition.
+  for (const int n : {1, 3, 7, 64, 255}) {
+    Fabric f(n);
+    Communicator comm(f, 0);
+    for (const int64_t total : {std::numeric_limits<int64_t>::max(),
+                                std::numeric_limits<int64_t>::max() - 7,
+                                int64_t{1} << 62}) {
+      int64_t prev_end = 0;
+      for (int k = 0; k < n; ++k) {
+        const auto [b, e] = comm.chunk_range(total, k);
+        EXPECT_EQ(b, prev_end) << "gap/overlap at n=" << n << " k=" << k;
+        EXPECT_LE(b, e);
+        prev_end = e;
+      }
+      EXPECT_EQ(prev_end, total) << "partition must cover total at n=" << n;
+    }
   }
 }
 

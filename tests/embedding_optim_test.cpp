@@ -230,6 +230,56 @@ TEST(SparseOptim, ModifiedAdamEmptyPartsAreHarmless) {
   EXPECT_LT(table.max_abs_diff(ref), 1e-7f);
 }
 
+TEST(SparseOptim, ModifiedAdamEmptyDelayedSplitMatchesOneShot) {
+  // Degenerate split where every touched row is "prior": the delayed half is
+  // empty. effective_step bookkeeping must still advance exactly once per
+  // training step and the result must be bit-close to the one-shot run.
+  Rng rng(13);
+  Tensor table = Tensor::randn({6, 3}, rng);
+  Tensor ref = table;
+  SparseAdam split(6, 3, 0.05f, /*modified=*/true);
+  SparseAdam whole(6, 3, 0.05f, /*modified=*/true);
+  Rng grng(14);
+  for (int step = 0; step < 8; ++step) {
+    std::vector<int64_t> idx{0, 1, 4};
+    Tensor vals = Tensor::randn({3, 3}, grng);
+    SparseRows g(6, idx, vals);
+    whole.apply(ref, g, SparseStep::kFull);
+    // All touched rows belong to the prior set -> delayed split is empty.
+    auto [prior, delayed] = g.split_by_membership({0, 1, 4});
+    EXPECT_EQ(delayed.nnz_rows(), 0);
+    split.apply(table, prior, SparseStep::kPrior);
+    split.apply(table, delayed, SparseStep::kDelayed);
+  }
+  EXPECT_EQ(whole.steps(), split.steps());
+  EXPECT_LT(table.max_abs_diff(ref), 1e-7f);
+}
+
+TEST(SparseOptim, ModifiedAdamEmptyPriorSplitMatchesOneShot) {
+  // Mirror case: no touched row is in the prior set, so the kPrior call sees
+  // an empty gradient. The kDelayed call must still use the step the empty
+  // prior call set up, not skip or double-advance it.
+  Rng rng(15);
+  Tensor table = Tensor::randn({6, 3}, rng);
+  Tensor ref = table;
+  SparseAdam split(6, 3, 0.05f, /*modified=*/true);
+  SparseAdam whole(6, 3, 0.05f, /*modified=*/true);
+  Rng grng(16);
+  for (int step = 0; step < 8; ++step) {
+    std::vector<int64_t> idx{1, 3, 5};
+    Tensor vals = Tensor::randn({3, 3}, grng);
+    SparseRows g(6, idx, vals);
+    whole.apply(ref, g, SparseStep::kFull);
+    // Prior membership misses every touched row -> prior split is empty.
+    auto [prior, delayed] = g.split_by_membership({0, 2});
+    EXPECT_EQ(prior.nnz_rows(), 0);
+    split.apply(table, prior, SparseStep::kPrior);
+    split.apply(table, delayed, SparseStep::kDelayed);
+  }
+  EXPECT_EQ(whole.steps(), split.steps());
+  EXPECT_LT(table.max_abs_diff(ref), 1e-7f);
+}
+
 // Property sweep: split-equivalence holds for random prior sets and sizes.
 class AdamSplitProperty : public ::testing::TestWithParam<int> {};
 

@@ -235,5 +235,96 @@ TEST(Fabric, PerLinkFaultOverride) {
             std::nullopt);
 }
 
+// --- zero-copy fan-out (send_shared / recv_shared) ---
+
+TEST(FabricShared, FanOutAliasesOneBufferAcrossPeers) {
+  Fabric f(3);
+  auto payload = std::make_shared<Bytes>(msg_of("shared"));
+  const std::byte* data = payload->data();
+  f.send_shared(0, 1, 9, payload);
+  f.send_shared(0, 2, 9, payload);
+  SharedBytes a = f.recv_shared(1, 0, 9);
+  SharedBytes b = f.recv_shared(2, 0, 9);
+  // Both receivers read the sender's physical buffer: zero copies.
+  EXPECT_EQ(a->data(), data);
+  EXPECT_EQ(b->data(), data);
+  EXPECT_EQ(str_of(*a), "shared");
+}
+
+TEST(FabricShared, OwningRecvCopiesEvenWhenLastReference) {
+  Fabric f(2);
+  auto payload = std::make_shared<Bytes>(msg_of("mine"));
+  const std::byte* data = payload->data();
+  f.send_shared(0, 1, 1, std::move(payload));
+  Bytes out = f.recv(1, 0, 1);
+  // Shared payloads are read-only even for the apparent sole owner:
+  // use_count() is a relaxed load, so moving the buffer out would race with
+  // the originator's post-send reads. The owning recv takes a pooled copy.
+  EXPECT_NE(out.data(), data);
+  EXPECT_EQ(str_of(out), "mine");
+}
+
+TEST(FabricShared, OwningRecvCopiesWhileSenderHoldsReference) {
+  Fabric f(2);
+  auto payload = std::make_shared<Bytes>(msg_of("copy"));
+  f.send_shared(0, 1, 2, payload);  // sender keeps its reference
+  Bytes out = f.recv(1, 0, 2);
+  EXPECT_NE(out.data(), payload->data());
+  EXPECT_EQ(str_of(out), "copy");
+}
+
+TEST(FabricShared, RecvSharedOfOwnedSendReusesBuffer) {
+  Fabric f(2);
+  Bytes b = msg_of("owned");
+  const std::byte* data = b.data();
+  f.send(0, 1, 5, std::move(b));
+  SharedBytes out = f.recv_shared(1, 0, 5);
+  // Owned payloads are wrapped (moved), never copied, into the handle.
+  EXPECT_EQ(out->data(), data);
+  EXPECT_EQ(str_of(*out), "owned");
+}
+
+TEST(FabricShared, SharedPayloadSurvivesRecoverableDrop) {
+  Fabric f(2);
+  FaultConfig cfg;
+  cfg.drop_prob = 1.0;
+  cfg.recoverable = true;
+  f.set_link_faults(0, 1, cfg);
+  f.send_shared(0, 1, 3, std::make_shared<Bytes>(msg_of("dropped")));
+  auto miss = f.try_recv_shared_for(1, 0, 3, std::chrono::microseconds(1000));
+  EXPECT_FALSE(miss.has_value());
+  EXPECT_EQ(f.lost_messages(1), 1u);
+  // The parked envelope kept the payload alive; recovery redelivers it
+  // intact (the buffer was never returned to any pool while parked).
+  EXPECT_TRUE(f.recover(1, 0, 3));
+  SharedBytes out = f.recv_shared(1, 0, 3);
+  EXPECT_EQ(str_of(*out), "dropped");
+}
+
+TEST(FabricShared, DuplicatedSharedPayloadDeliveredExactlyOnce) {
+  Fabric f(2);
+  FaultConfig cfg;
+  cfg.dup_prob = 1.0;
+  f.set_link_faults(0, 1, cfg);
+  auto payload = std::make_shared<Bytes>(msg_of("dup"));
+  f.send_shared(0, 1, 4, payload);
+  SharedBytes out = f.recv_shared(1, 0, 4);
+  EXPECT_EQ(str_of(*out), "dup");
+  auto second = f.try_recv_shared_for(1, 0, 4, std::chrono::microseconds(500));
+  EXPECT_FALSE(second.has_value());
+  EXPECT_EQ(f.mailbox_keys(1), 0u);
+}
+
+TEST(FabricPool, PerRankPoolRecyclesBuffers) {
+  Fabric f(2);
+  Bytes b = f.pool(0).acquire(256);
+  const std::byte* data = b.data();
+  f.pool(0).release(std::move(b));
+  Bytes again = f.pool(0).acquire(200);
+  EXPECT_EQ(again.data(), data);
+  // Pools are per rank: rank 1's pool has seen no traffic.
+  EXPECT_EQ(f.pool(1).stats().hits + f.pool(1).stats().misses, 0);
+}
+
 }  // namespace
 }  // namespace embrace::comm

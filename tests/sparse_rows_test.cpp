@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
+#include <limits>
+#include <map>
 
 #include "common/error.h"
 #include "common/rng.h"
@@ -213,6 +216,190 @@ TEST(SparseRows, ColumnSlicesTileTheTensor) {
     }
     EXPECT_LT(rebuilt.max_abs_diff(s.values()), 1e-7f) << "world " << world;
   }
+}
+
+// --- hardened wire-format validation ---
+
+// Returns `buf` with 8-byte header field `field` (0 = num_total_rows,
+// 1 = dim, 2 = nnz) overwritten with `val`.
+std::vector<std::byte> corrupt_header(std::vector<std::byte> buf, size_t field,
+                                      int64_t val) {
+  std::memcpy(buf.data() + field * sizeof(int64_t), &val, sizeof(val));
+  return buf;
+}
+
+TEST(SparseRows, UnpackRejectsNegativeHeaderFields) {
+  const auto buf = make(10, {1, 2}, {1, 2, 3, 4}, 2).pack();
+  EXPECT_THROW(SparseRows::unpack(corrupt_header(buf, 0, -1)),
+               WireFormatError);
+  EXPECT_THROW(SparseRows::unpack(corrupt_header(buf, 1, -4)),
+               WireFormatError);
+  EXPECT_THROW(SparseRows::unpack(corrupt_header(buf, 2, -2)),
+               WireFormatError);
+}
+
+TEST(SparseRows, UnpackRejectsOverflowingNnz) {
+  // Hostile nnz values whose byte counts wrap through size_t: a naive
+  // `size == header + nnz*8 + nnz*dim*4` comparison can wrap back around and
+  // accept them, then the copy reads far out of bounds.
+  const auto buf = make(10, {1}, {1, 2}, 2).pack();
+  for (const int64_t evil :
+       {int64_t{1} << 61, (int64_t{1} << 61) + 3,
+        std::numeric_limits<int64_t>::max()}) {
+    EXPECT_THROW(SparseRows::unpack(corrupt_header(buf, 2, evil)),
+                 WireFormatError)
+        << "nnz=" << evil;
+  }
+}
+
+TEST(SparseRows, UnpackRejectsOverflowingDim) {
+  const auto buf = make(10, {1}, {1, 2}, 2).pack();
+  for (const int64_t evil :
+       {int64_t{1} << 61, std::numeric_limits<int64_t>::max()}) {
+    EXPECT_THROW(SparseRows::unpack(corrupt_header(buf, 1, evil)),
+                 WireFormatError)
+        << "dim=" << evil;
+  }
+}
+
+TEST(SparseRows, UnpackRejectsTruncationAndTrailingBytes) {
+  auto buf = make(10, {1, 2}, {1, 2, 3, 4}, 2).pack();
+  auto longer = buf;
+  longer.push_back(std::byte{0});
+  EXPECT_THROW(SparseRows::unpack(longer), WireFormatError);
+  buf.pop_back();
+  EXPECT_THROW(SparseRows::unpack(buf), WireFormatError);
+  EXPECT_THROW(SparseRows::unpack(buf.data(), 4), WireFormatError);
+  // Empty payload with trailing garbage after the header.
+  auto empty_plus = SparseRows::empty(5, 3).pack();
+  empty_plus.push_back(std::byte{1});
+  EXPECT_THROW(SparseRows::unpack(empty_plus), WireFormatError);
+}
+
+TEST(SparseRows, MalformedBufferErrorIsTypedAndDescriptive) {
+  const auto buf = make(10, {1}, {1, 2}, 2).pack();
+  try {
+    SparseRows::unpack(corrupt_header(buf, 2, int64_t{1} << 61));
+    FAIL() << "expected WireFormatError";
+  } catch (const WireFormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("SparseRows"), std::string::npos);
+  }
+}
+
+TEST(SparseRows, PackIntoMatchesPackExactly) {
+  SparseRows s = make(50, {9, 4, 9}, {1, 2, 3, 4, 5, 6}, 2);
+  const auto reference = s.pack();
+  ASSERT_EQ(reference.size(), s.packed_byte_size());
+  std::vector<std::byte> buf(s.packed_byte_size());
+  s.pack_into(buf.data(), buf.size());
+  EXPECT_EQ(buf, reference);
+  // Wrong-size destination is an invariant violation, not silent corruption.
+  std::vector<std::byte> wrong(buf.size() + 1);
+  EXPECT_THROW(s.pack_into(wrong.data(), wrong.size()), Error);
+}
+
+TEST(SparseRows, ConcatViewsAssemblesPayloadsInOrder) {
+  SparseRows a = make(20, {3, 1}, {1, 2, 3, 4}, 2);
+  SparseRows b = make(20, {3}, {10, 20}, 2);
+  SparseRows c = SparseRows::empty(20, 2);
+  const auto pa = a.pack(), pb = b.pack(), pc = c.pack();
+  const std::vector<SparseRows::WireView> views = {
+      SparseRows::parse_packed(pa.data(), pa.size()),
+      SparseRows::parse_packed(pb.data(), pb.size()),
+      SparseRows::parse_packed(pc.data(), pc.size()),
+  };
+  SparseRows out = SparseRows::concat_views(20, 2, views);
+  EXPECT_EQ(out.indices(), (std::vector<int64_t>{3, 1, 3}));
+  EXPECT_TRUE(out.logically_equal(SparseRows::concat(a, b)));
+  // Row-space mismatch across payloads is rejected.
+  EXPECT_THROW(SparseRows::concat_views(21, 2, views), Error);
+}
+
+// --- allocation-lean kernel equivalence ---
+
+TEST(SparseRows, RadixCoalesceMatchesReferenceExactly) {
+  // Large enough to take the radix path; duplicate-heavy. The oracle
+  // accumulates rows per index in input order — the same operation order the
+  // stable sort guarantees — so equality must be bit-exact, not approximate.
+  Rng rng(123);
+  const int64_t total = 100000, dim = 7, nnz = 4096;
+  std::vector<int64_t> idx;
+  for (int64_t i = 0; i < nnz; ++i) {
+    idx.push_back(rng.next_int(0, total - 1) % 997);
+  }
+  Rng vr = rng.split(2);
+  Tensor vals = Tensor::randn({nnz, dim}, vr);
+  SparseRows s(total, idx, vals);
+  SparseRows c = s.coalesced();
+
+  std::map<int64_t, std::vector<float>> oracle;
+  for (int64_t k = 0; k < nnz; ++k) {
+    auto row = vals.row(k);
+    auto [it, fresh] = oracle.try_emplace(
+        idx[static_cast<size_t>(k)], row.begin(), row.end());
+    if (!fresh) {
+      for (int64_t cc = 0; cc < dim; ++cc) {
+        it->second[static_cast<size_t>(cc)] += row[static_cast<size_t>(cc)];
+      }
+    }
+  }
+  ASSERT_EQ(static_cast<size_t>(c.nnz_rows()), oracle.size());
+  int64_t k = 0;
+  for (const auto& [i, expect] : oracle) {
+    EXPECT_EQ(c.indices()[static_cast<size_t>(k)], i);
+    for (int64_t cc = 0; cc < dim; ++cc) {
+      EXPECT_EQ(c.values().at({k, cc}), expect[static_cast<size_t>(cc)])
+          << "row " << i << " col " << cc;
+    }
+    ++k;
+  }
+}
+
+TEST(SparseRows, RadixCoalesceSingleRepeatedIndex) {
+  const int64_t nnz = 300;  // radix path, one output row
+  std::vector<int64_t> idx(static_cast<size_t>(nnz), 5);
+  Tensor vals = Tensor::full({nnz, 2}, 1.0f);
+  SparseRows c = SparseRows(10, std::move(idx), std::move(vals)).coalesced();
+  ASSERT_EQ(c.nnz_rows(), 1);
+  EXPECT_EQ(c.indices()[0], 5);
+  EXPECT_FLOAT_EQ(c.values().at({0, 0}), 300.0f);
+}
+
+TEST(SparseRows, SplitUnsortedInputMatchesMembershipOracle) {
+  // Unsorted indices take the binary-search fallback; order of surviving
+  // rows must match input order on both sides of the partition.
+  Rng rng(31);
+  const int64_t total = 40, dim = 3, nnz = 200;
+  std::vector<int64_t> idx;
+  for (int64_t i = 0; i < nnz; ++i) idx.push_back(rng.next_int(0, total - 1));
+  Rng vr = rng.split(1);
+  Tensor vals = Tensor::randn({nnz, dim}, vr);
+  SparseRows s(total, idx, vals);
+  std::vector<int64_t> keep;
+  for (int64_t i = 0; i < total; i += 3) keep.push_back(i);
+  auto [kept, rest] = s.split_by_membership(keep);
+  size_t kw = 0, rw = 0;
+  for (int64_t k = 0; k < nnz; ++k) {
+    const bool member = std::binary_search(keep.begin(), keep.end(),
+                                           idx[static_cast<size_t>(k)]);
+    const SparseRows& side = member ? kept : rest;
+    const size_t at = member ? kw++ : rw++;
+    ASSERT_EQ(side.indices()[at], idx[static_cast<size_t>(k)]);
+    for (int64_t cc = 0; cc < dim; ++cc) {
+      EXPECT_EQ(side.values().at({static_cast<int64_t>(at), cc}),
+                vals.at({k, cc}));
+    }
+  }
+  EXPECT_EQ(kw + rw, static_cast<size_t>(nnz));
+}
+
+TEST(SparseRows, RowDensityUnsortedMatchesSorted) {
+  // One-pass (sorted) and fallback (unsorted) paths agree.
+  SparseRows sorted = make(10, {1, 1, 3, 5}, std::vector<float>(8, 1.0f), 2);
+  SparseRows unsorted = make(10, {5, 1, 3, 1}, std::vector<float>(8, 1.0f), 2);
+  EXPECT_DOUBLE_EQ(sorted.row_density(), 0.3);
+  EXPECT_DOUBLE_EQ(unsorted.row_density(), 0.3);
+  EXPECT_DOUBLE_EQ(SparseRows::empty(10, 2).row_density(), 0.0);
 }
 
 // Property sweep: coalesce + split invariants over randomized tensors.
