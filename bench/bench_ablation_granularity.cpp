@@ -1,50 +1,195 @@
-// Ablation (paper §4.2.1's design argument): block-level scheduling vs
-// ByteScheduler-style tensor partitioning.
+// Ablation (paper §4.2.1's design argument): scheduling granularity for the
+// dense-gradient AllReduce, measured on the real chunked pipeline.
 //
-// Partitioning tensors into small slices gives the scheduler finer
-// preemption points but pays (a) a per-message launch overhead for every
-// slice and (b) lower bandwidth utilization on small messages. The paper
-// argues blocks (whole attention/LSTM layers) are the right granularity
-// for NLP models because their blocks are naturally uniform. We sweep the
-// partition size for a GNMT-8-sized dense gradient volume and report the
-// total communication time of one step's dense traffic.
-#include <cmath>
+// Sweeps ChunkedAllReduce's chunk_bytes over a multi-MB buffer on a 4-rank
+// in-process cluster and times it against the monolithic ring
+// (Communicator::allreduce). Finer chunks buy the scheduler earlier
+// preemption points and pipeline the wire, but pay per-message overhead;
+// the sweep shows where that trade lands. A second scenario drives a
+// chunked dense transfer through the NegotiatedScheduler and fires a
+// high-priority sparse-style op mid-flight, reporting how many chunk-
+// boundary preemptions occurred ("sched.preemptions").
+//
+// Emits every number as a gauge to BENCH_granularity.json; the CI
+// bench-smoke job gates on granularity.default_chunk_us (must not be
+// slower than ~1.25x the monolithic path) and granularity.preemptions
+// (must be > 0 in the mixed scenario).
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "comm/chunked_collectives.h"
+#include "comm/cluster.h"
+#include "comm/communicator.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
 #include "common/table.h"
-#include "common/units.h"
-#include "simnet/cost_model.h"
-#include "simnet/model_specs.h"
+#include "obs/metrics.h"
+#include "sched/negotiated_scheduler.h"
 
 using namespace embrace;
-using namespace embrace::simnet;
+using namespace embrace::comm;
+
+namespace {
+
+constexpr int kRanks = 4;
+constexpr int64_t kElems = int64_t{1} << 21;  // 8 MB of floats
+constexpr int64_t kDefaultChunk = 256 * 1024;  // the gated configuration
+
+obs::MetricsRegistry registry;
+
+// Times `iters` iterations of an SPMD body over a fresh 4-rank cluster;
+// returns rank 0's per-iteration wall clock after one warmup round (which
+// also primes the buffer pools).
+double time_collective(Fabric& fabric, int iters,
+                       const std::function<void(Communicator&)>& body) {
+  double us = 0.0;
+  run_cluster(fabric, [&](Communicator& c) {
+    body(c);  // warmup
+    c.barrier();
+    Stopwatch sw;
+    for (int i = 0; i < iters; ++i) body(c);
+    c.barrier();
+    if (c.rank() == 0) us = sw.micros() / iters;
+  });
+  return us;
+}
+
+std::vector<float> make_data(int rank) {
+  Rng rng(1234 + static_cast<uint64_t>(rank));
+  std::vector<float> data(static_cast<size_t>(kElems));
+  for (auto& v : data) v = static_cast<float>(rng.next_double()) - 0.5f;
+  return data;
+}
+
+// Chunked results must be bitwise-equal to the monolithic ring for every
+// chunk size (the invariant the trainer's reproducibility rests on).
+void check_equality(const std::vector<int64_t>& chunk_sizes) {
+  Fabric fabric(kRanks);
+  run_cluster(fabric, [&](Communicator& c) {
+    const std::vector<float> data = make_data(c.rank());
+    std::vector<float> mono = data;
+    c.allreduce(mono);
+    for (const int64_t chunk : chunk_sizes) {
+      std::vector<float> chunked = data;
+      allreduce_chunked(c, chunked, chunk);
+      EMBRACE_CHECK(std::memcmp(mono.data(), chunked.data(),
+                                mono.size() * sizeof(float)) == 0,
+                    << "chunked allreduce (chunk_bytes=" << chunk
+                    << ") diverged bitwise from the monolithic ring");
+    }
+  });
+}
+
+// Drives one chunked dense transfer through the NegotiatedScheduler and
+// submits a high-priority op from the training thread mid-flight. Each
+// quantum spins ~20us so the transfer reliably outlives the submission
+// race; returns the global preemption count delta.
+int64_t preemption_scenario() {
+  const int64_t before = obs::counter("sched.preemptions").value();
+  Fabric fabric(kRanks);
+  run_cluster(fabric, [&](Communicator& comm) {
+    Communicator data_ch = comm.channel(1);
+    sched::NegotiatedScheduler scheduler(comm.channel(0));
+    std::vector<float> dense(size_t{1} << 18, 1.0f);  // 1 MB
+    std::vector<float> hot(256, 2.0f);
+    const int64_t chunk = 16 * 1024;
+    const int64_t slices = ChunkedAllReduce::num_quanta(
+        static_cast<int64_t>(dense.size()), kRanks, chunk);
+    auto cursor = std::make_shared<std::optional<ChunkedAllReduce>>();
+    sched::OpDesc dense_desc;
+    dense_desc.name = "dense";
+    dense_desc.priority = 10.0;
+    dense_desc.bytes = static_cast<int64_t>(dense.size() * sizeof(float));
+    dense_desc.kind = sched::OpKind::kDense;
+    sched::Handle dense_h = scheduler.submit(
+        dense_desc, slices, [&, cursor](int64_t i) {
+          if (i == 0) cursor->emplace(data_ch, std::span<float>(dense), chunk);
+          (*cursor)->run_quantum(i);
+          Stopwatch spin;
+          while (spin.micros() < 20) {
+          }
+        });
+    // Let the dense transfer get going, then interrupt it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    sched::OpDesc hot_desc;
+    hot_desc.name = "hot";
+    hot_desc.priority = 0.0;
+    hot_desc.bytes = static_cast<int64_t>(hot.size() * sizeof(float));
+    hot_desc.kind = sched::OpKind::kSparsePrior;
+    sched::Handle hot_h =
+        scheduler.submit(hot_desc, [&] { data_ch.allreduce(hot); });
+    hot_h.wait();
+    dense_h.wait();
+    scheduler.shutdown();
+  });
+  return obs::counter("sched.preemptions").value() - before;
+}
+
+}  // namespace
 
 int main() {
-  std::puts("Ablation: scheduling granularity — time to communicate one "
-            "step of GNMT-8 dense gradients (486.6 MB) on 16 RTX3090 GPUs, "
-            "split into equal slices.\n");
-  const auto model = gnmt8_spec();
-  const ClusterConfig cfg = make_rtx3090_cluster(16);
-  const CollectiveCostModel cost(cfg);
-  const double total_bytes = mb_to_bytes(model.dense_mb());
-  // Per-slice launch overhead: the framework negotiation cost per tensor op.
-  const double per_op_overhead = 1.5e-3;
+  std::printf("Ablation: scheduling granularity — 4-rank ring AllReduce of "
+              "%lld floats (%.1f MB), chunked vs monolithic.\n\n",
+              static_cast<long long>(kElems),
+              static_cast<double>(kElems) * sizeof(float) / 1e6);
+  const std::vector<int64_t> chunk_sizes = {16 * 1024, 64 * 1024, 256 * 1024,
+                                            1024 * 1024};
+  check_equality(chunk_sizes);
+  std::puts("bitwise equality chunked vs monolithic: OK");
 
-  TextTable t({"Slice size (MB)", "Slices", "Comm time (ms)",
-               "Overhead share"});
-  for (double slice_mb : {486.6, 64.0, 30.4 /*=1 block*/, 8.0, 4.0, 1.0,
-                          0.25}) {
-    const double slices = std::ceil(model.dense_mb() / slice_mb);
-    const double t_data = cost.allreduce_dense(total_bytes / slices) * slices;
-    const double t_total = t_data + slices * per_op_overhead;
-    t.add_row({TextTable::num(slice_mb, 2), TextTable::num(slices, 0),
-               TextTable::num(1e3 * t_total, 1),
-               TextTable::num(100 * slices * per_op_overhead / t_total, 1) +
-                   "%"});
+  constexpr int kIters = 6;
+  TextTable t({"chunk", "us/allreduce", "quanta"});
+  double mono_us = 0.0;
+  {
+    Fabric fabric(kRanks);
+    std::vector<float> data = make_data(0);
+    mono_us = time_collective(fabric, kIters, [&](Communicator& c) {
+      std::vector<float> local = data;
+      c.allreduce(local);
+    });
+    registry.gauge("granularity.monolithic_us").set(mono_us);
+    t.add_row({"monolithic", TextTable::num(mono_us, 1), "1"});
+  }
+  for (const int64_t chunk : chunk_sizes) {
+    Fabric fabric(kRanks);
+    std::vector<float> data = make_data(0);
+    const double us = time_collective(fabric, kIters, [&](Communicator& c) {
+      std::vector<float> local = data;
+      allreduce_chunked(c, local, chunk);
+    });
+    const int64_t quanta =
+        ChunkedAllReduce::num_quanta(kElems, kRanks, chunk);
+    const std::string label = std::to_string(chunk / 1024) + "KB";
+    registry.gauge("granularity.allreduce_us{chunk=" + label + "}").set(us);
+    if (chunk == kDefaultChunk) {
+      registry.gauge("granularity.default_chunk_us").set(us);
+    }
+    t.add_row({label, TextTable::num(us, 1),
+               TextTable::num(static_cast<double>(quanta), 0)});
   }
   t.print();
-  std::puts("\nConclusion: below ~block size the per-slice latency and "
-            "launch overhead dominate — matching the paper's choice of "
-            "block-level granularity over tensor partitioning.");
+
+  const int64_t preemptions = preemption_scenario();
+  registry.gauge("granularity.preemptions")
+      .set(static_cast<double>(preemptions));
+  std::printf("\nmixed sparse/dense scenario: %lld chunk-boundary "
+              "preemption(s)\n",
+              static_cast<long long>(preemptions));
+
+  const std::string json = registry.json();
+  std::FILE* f = std::fopen("BENCH_granularity.json", "w");
+  EMBRACE_CHECK(f != nullptr, << "cannot open BENCH_granularity.json");
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::puts("wrote BENCH_granularity.json");
   return 0;
 }

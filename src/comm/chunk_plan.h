@@ -1,0 +1,51 @@
+// Chunk/bucket arithmetic for chunk-granular communication (DESIGN.md §10).
+//
+// ChunkPlan slices a contiguous element range into fixed-byte chunks (the
+// transfer quanta of the pipelined collectives); plan_buckets fuses a run
+// of small payloads into byte-bounded buckets (the inverse operation: many
+// tiny tensors -> one transfer). Both are pure arithmetic: every rank
+// computing a plan over the same inputs gets the same answer, which the
+// chunked collectives rely on for tag alignment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace embrace::comm {
+
+// Byte-bounded slicing of `elems` contiguous elements. Always yields at
+// least one chunk (a single empty chunk for elems == 0), so a chunked
+// protocol exchanges at least one message per block and sender/receiver
+// slice counts can never diverge.
+struct ChunkPlan {
+  int64_t elems = 0;
+  int64_t chunk_elems = 1;  // elements per chunk (the last may be shorter)
+
+  // chunk_bytes <= 0 means "unbounded": one chunk covers everything.
+  static ChunkPlan over(int64_t elems, int64_t chunk_bytes,
+                        int64_t elem_bytes = 4);
+
+  int64_t num_chunks() const {
+    if (elems <= 0) return 1;
+    return (elems + chunk_elems - 1) / chunk_elems;
+  }
+
+  // Element range [begin, end) of chunk i; [0, 0) for the empty plan.
+  std::pair<int64_t, int64_t> chunk(int64_t i) const {
+    const int64_t begin = i * chunk_elems;
+    const int64_t end = begin + chunk_elems;
+    return {begin < elems ? begin : elems, end < elems ? end : elems};
+  }
+};
+
+// Greedy bucketing of consecutive payloads: walks `item_bytes` in order and
+// closes a bucket when adding the next item would exceed `bucket_bytes`
+// (an item larger than the budget gets a bucket of its own). Returns
+// [begin, end) index ranges covering every item in order. bucket_bytes <= 0
+// puts each item in its own bucket.
+std::vector<std::pair<size_t, size_t>> plan_buckets(
+    std::span<const int64_t> item_bytes, int64_t bucket_bytes);
+
+}  // namespace embrace::comm

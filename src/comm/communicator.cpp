@@ -153,6 +153,14 @@ void Communicator::recv_reduce_block(int src, uint64_t tag,
   pool().release(std::move(buf));
 }
 
+uint64_t Communicator::reserve_tags(int64_t count) {
+  EMBRACE_CHECK_GE(count, 1);
+  const uint64_t first = next_tag();
+  // next_tag() is a simple increment; skip the remaining count-1 values.
+  seq_ += static_cast<uint64_t>(count - 1);
+  return first;
+}
+
 uint64_t Communicator::next_tag() {
   // Tag layout: [channel:8][sequence:40]. The SPMD contract guarantees the
   // per-channel sequence numbers line up across ranks.

@@ -117,6 +117,22 @@ class Communicator {
   // ring algorithms' contiguous partitioning.
   std::pair<int64_t, int64_t> chunk_range(int64_t total, int chunk_rank) const;
 
+  // --- building blocks for external collectives (chunked_collectives.h) ---
+  // Reserves `count` consecutive sequence tags and returns the first one.
+  // SPMD contract: every rank must reserve the same count at the same point
+  // in the per-channel collective order, exactly like calling a collective —
+  // the returned tags then line up across ranks.
+  uint64_t reserve_tags(int64_t count);
+  // Packs `data` into a wire buffer acquired from this rank's pool and
+  // sends it: one copy (host -> wire), no allocation in steady state.
+  void send_float_block(int dst, uint64_t tag, std::span<const float> data);
+  // Receives a float payload of exactly dst.size()/acc.size() elements,
+  // applies it in place (no intermediate std::vector<float>), and recycles
+  // the wire buffer into this rank's pool.
+  void recv_copy_block(int src, uint64_t tag, std::span<float> dst);
+  void recv_reduce_block(int src, uint64_t tag, std::span<float> acc,
+                         ReduceOp op);
+
  private:
   uint64_t next_tag();
   // Every collective receive funnels through here. When the fabric has a
@@ -127,16 +143,6 @@ class Communicator {
   Bytes checked_recv(int src, uint64_t tag);
   // Same deadline/recovery discipline, returning a shared (zero-copy) view.
   SharedBytes checked_recv_shared(int src, uint64_t tag);
-  // --- pooled float-block plumbing (the ring collectives' hot path) ---
-  // Packs `data` into a wire buffer acquired from this rank's pool and
-  // sends it: one copy (host -> wire), no allocation in steady state.
-  void send_float_block(int dst, uint64_t tag, std::span<const float> data);
-  // Receives a float payload of exactly dst.size()/acc.size() elements,
-  // applies it in place (no intermediate std::vector<float>), and recycles
-  // the wire buffer into this rank's pool.
-  void recv_copy_block(int src, uint64_t tag, std::span<float> dst);
-  void recv_reduce_block(int src, uint64_t tag, std::span<float> acc,
-                         ReduceOp op);
   // Uninstrumented bodies shared by the public entry points, so a collective
   // built on another (allreduce -> reduce_scatter, alltoall -> alltoallv)
   // traces one span and counts its payload bytes exactly once.

@@ -30,6 +30,25 @@ const char* strategy_kind_name(StrategyKind s);
 
 enum class OptimKind { kSgd, kAdagrad, kAdam };
 
+// One validation failure: the offending TrainConfig field and why it is
+// invalid. validate() collects every problem instead of stopping at the
+// first, so a bad config surfaces as one actionable report.
+struct ConfigError {
+  std::string field;
+  std::string message;
+};
+
+// Thrown by the trainer entry points when validate() finds problems; keeps
+// the full typed list alongside the formatted what().
+class ConfigValidationError : public Error {
+ public:
+  explicit ConfigValidationError(std::vector<ConfigError> errors);
+  const std::vector<ConfigError>& errors() const { return errors_; }
+
+ private:
+  std::vector<ConfigError> errors_;
+};
+
 struct TrainConfig {
   StrategyKind strategy = StrategyKind::kEmbRace;
 
@@ -59,9 +78,22 @@ struct TrainConfig {
 
   uint64_t seed = 42;
 
-  // Horovod-style tensor fusion for the dense gradients: when > 0, dense
-  // parameter gradients are packed into fusion buffers of at most this many
-  // bytes and one collective carries each buffer (0 = one op per tensor).
+  // Chunk granularity for dense-gradient AllReduce (DESIGN.md §10): when
+  // > 0, each dense transfer is split into <= chunk_bytes wire chunks and
+  // scheduled as ordered quanta, so a higher-priority op (embedding
+  // AlltoAll, prior sparse part) can preempt it at a chunk boundary.
+  // 0 = monolithic transfers. Results are bitwise-identical either way.
+  // When > 0, must be in [64, 1 GiB] (validate()).
+  int64_t chunk_bytes = 0;
+
+  // Tensor fusion (bucketing) for the dense gradients: when > 0, dense
+  // parameter gradients are packed in backward-pass order into buckets of
+  // at most this many bytes and one collective carries each bucket
+  // (0 = one op per tensor).
+  int64_t fusion_bytes = 0;
+
+  // DEPRECATED(one release): old name for fusion_bytes; honored only when
+  // fusion_bytes == 0.
   int64_t dense_fusion_bytes = 0;
 
   // Test/stress knob: per-message delivery jitter injected into the fabric
@@ -82,6 +114,16 @@ struct TrainConfig {
   uint64_t fault_delay_max_us = 0;
   bool fault_recoverable = true;
   uint64_t recv_timeout_ms = 0;
+
+  // The effective dense-fusion budget: fusion_bytes, falling back to the
+  // deprecated dense_fusion_bytes when unset.
+  int64_t effective_fusion_bytes() const {
+    return fusion_bytes > 0 ? fusion_bytes : dense_fusion_bytes;
+  }
+
+  // Checks every field against `workers` ranks and returns all problems
+  // (empty = valid). Replaces the trainer's former scattered ad-hoc checks.
+  std::vector<ConfigError> validate(int workers) const;
 };
 
 struct TrainStats {

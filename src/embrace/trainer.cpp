@@ -15,8 +15,13 @@
 #include <algorithm>
 #include <chrono>
 #include <mutex>
+#include <optional>
+#include <span>
 #include <string>
+#include <utility>
 
+#include "comm/chunk_plan.h"
+#include "comm/chunked_collectives.h"
 #include "comm/cluster.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -216,8 +221,20 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
   comm::Communicator comm_ch = comm.channel(kCommChannel);
   comm::Communicator main_ch = comm.channel(kMainChannel);
   sched::NegotiatedScheduler scheduler(comm.channel(kControlChannel));
+  // All submissions go through the shared Scheduler interface; only the
+  // lifecycle calls (shutdown/abort) are NegotiatedScheduler-specific.
+  sched::Scheduler& sch = scheduler;
   uint64_t fifo_seq = 0;
   auto fifo_priority = [&] { return Priorities::fifo(fifo_seq++); };
+  auto make_desc = [](std::string name, double priority, int64_t bytes,
+                      sched::OpKind kind) {
+    sched::OpDesc desc;
+    desc.name = std::move(name);
+    desc.priority = priority;
+    desc.bytes = bytes;
+    desc.kind = kind;
+    return desc;
+  };
 
   // --- model state (identical initialization on every rank) ---
   // The master RNG stream is consumed in a fixed order: embedding tables
@@ -290,11 +307,15 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
       // Each table's lookup AlltoAll runs as its own scheduled comm op
       // ("Emb Data"), ordered after the previous step's prior/delayed ops —
       // the dependency the paper's Figure 6(c) encodes.
-      std::vector<sched::NegotiatedScheduler::Handle> handles;
+      std::vector<sched::Handle> handles;
       for (int t = 0; t < tables; ++t) {
-        handles.push_back(scheduler.submit(
-            fifo ? fifo_priority() : Priorities::embdata(step, t),
-            emb_op("embdata", step, t), [&, t] {
+        handles.push_back(sch.submit(
+            make_desc(emb_op("embdata", step, t),
+                      fifo ? fifo_priority() : Priorities::embdata(step, t),
+                      static_cast<int64_t>(seg.ids[t].size()) * cfg.dim *
+                          static_cast<int64_t>(sizeof(float)),
+                      sched::OpKind::kEmbData),
+            [&, t] {
               Tensor rows = shards[t]->distributed_lookup(
                   comm_ch, all_cur[t], seg.ids[t]);
               scatter_rows(rows, seg.pos[t], emb_out);
@@ -325,50 +346,109 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
                        std::chrono::steady_clock::now(), "step", step);
 
     // --- dense gradient communication (wait-free: submitted in
-    // BP-emission order = reverse parameter order; optionally fused) ---
-    std::vector<sched::NegotiatedScheduler::Handle> dense_handles;
-    if (cfg.dense_fusion_bytes > 0) {
-      std::vector<Tensor*> grads;
+    // BP-emission order = reverse parameter order; optionally bucketed via
+    // fusion_bytes and chunk-granular via chunk_bytes) ---
+    const int64_t fusion_bytes = cfg.effective_fusion_bytes();
+    std::vector<sched::Handle> dense_handles;
+    // Submits one dense transfer over `flat` (filled lazily by `prepare`
+    // on the first quantum, finished by `finish` after the last). With
+    // chunk_bytes > 0 the transfer runs as ChunkedAllReduce quanta, so
+    // higher-priority sparse ops preempt it at chunk boundaries; the
+    // result is bitwise-identical to the monolithic path either way.
+    auto submit_dense = [&](std::string name, double priority, int64_t elems,
+                            std::function<std::span<float>()> prepare,
+                            std::function<void()> finish) {
+      const int64_t bytes = elems * static_cast<int64_t>(sizeof(float));
+      sched::OpDesc desc = make_desc(std::move(name), priority, bytes,
+                                     sched::OpKind::kDense);
+      if (cfg.chunk_bytes <= 0) {
+        return sch.submit(std::move(desc),
+                          [&comm_ch, prepare = std::move(prepare),
+                           finish = std::move(finish)] {
+                            comm_ch.allreduce(prepare());
+                            finish();
+                          });
+      }
+      const int64_t slices = comm::ChunkedAllReduce::num_quanta(
+          elems, workers, cfg.chunk_bytes);
+      struct Cursor {
+        std::optional<comm::ChunkedAllReduce> ar;
+      };
+      auto cursor = std::make_shared<Cursor>();
+      return sch.submit(
+          std::move(desc), slices,
+          [&comm_ch, cursor, slices, chunk_bytes = cfg.chunk_bytes,
+           prepare = std::move(prepare),
+           finish = std::move(finish)](int64_t i) {
+            if (i == 0) cursor->ar.emplace(comm_ch, prepare(), chunk_bytes);
+            cursor->ar->run_quantum(i);
+            if (i + 1 == slices) {
+              cursor->ar.reset();
+              finish();
+            }
+          });
+    };
+    if (fusion_bytes > 0) {
+      std::vector<Tensor*> grads;  // BP-emission (block) order
+      std::vector<int64_t> grad_bytes;
       for (size_t i = head_params.size(); i-- > 0;) {
         grads.push_back(&head_params[i]->grad);
+        grad_bytes.push_back(static_cast<int64_t>(
+            head_params[i]->grad.flat().size() * sizeof(float)));
       }
-      auto groups = std::make_shared<std::vector<FusionGroup>>(
-          plan_fusion_groups(grads, cfg.dense_fusion_bytes));
+      // Block ordering drives bucket assignment: buckets are contiguous
+      // runs of the BP-ordered gradients, so each bucket becomes ready as
+      // soon as its last (earliest-FP) member's gradient lands.
+      const auto ranges = comm::plan_buckets(grad_bytes, fusion_bytes);
+      auto groups = std::make_shared<std::vector<FusionGroup>>();
+      for (const auto& [b, e] : ranges) {
+        groups->emplace_back(std::vector<Tensor*>(
+            grads.begin() + static_cast<std::ptrdiff_t>(b),
+            grads.begin() + static_cast<std::ptrdiff_t>(e)));
+      }
       for (size_t g = 0; g < groups->size(); ++g) {
         // Groups are in BP order; the last group holds the first FP
         // parameters, so it gets the most urgent dense priority.
         const size_t fp_index = groups->size() - 1 - g;
-        dense_handles.push_back(scheduler.submit(
+        auto flat = std::make_shared<std::vector<float>>();
+        dense_handles.push_back(submit_dense(
+            dense_op(step, g),
             fifo ? fifo_priority() : Priorities::dense(step, fp_index),
-            dense_op(step, g), [groups, g, &comm_ch, inv_n] {
-              auto flat = (*groups)[g].flatten();
-              comm_ch.allreduce(flat);
-              for (float& v : flat) v *= inv_n;
-              (*groups)[g].unflatten(flat);
+            (*groups)[g].byte_size() / static_cast<int64_t>(sizeof(float)),
+            [groups, g, flat]() -> std::span<float> {
+              *flat = (*groups)[g].flatten();
+              return *flat;
+            },
+            [groups, g, flat, inv_n] {
+              for (float& v : *flat) v *= inv_n;
+              (*groups)[g].unflatten(*flat);
             }));
       }
     } else {
       for (size_t i = head_params.size(); i-- > 0;) {
         nn::Parameter* p = head_params[i];
-        dense_handles.push_back(scheduler.submit(
+        dense_handles.push_back(submit_dense(
+            dense_op(step, i),
             fifo ? fifo_priority() : Priorities::dense(step, i),
-            dense_op(step, i), [p, &comm_ch, inv_n] {
-              comm_ch.allreduce(p->grad.flat());
-              p->grad.scale_(inv_n);
-            }));
+            static_cast<int64_t>(p->grad.flat().size()),
+            [p]() -> std::span<float> { return p->grad.flat(); },
+            [p, inv_n] { p->grad.scale_(inv_n); }));
       }
     }
 
     // --- sparse gradient communication, one stream per table ---
-    std::vector<sched::NegotiatedScheduler::Handle> emb_handles;
+    std::vector<sched::Handle> emb_handles;
     for (int t = 0; t < tables; ++t) {
       SparseRows my_grad(cfg.vocab, seg.ids[t],
                          gather_rows(d_emb, seg.pos[t]));
       my_grad.scale_(inv_n);
+      const int64_t grad_bytes =
+          static_cast<int64_t>(my_grad.packed_byte_size());
       switch (cfg.strategy) {
         case StrategyKind::kHorovodAllReduce: {
-          emb_handles.push_back(scheduler.submit(
-              fifo_priority(), emb_op("embgrad", step, t),
+          emb_handles.push_back(sch.submit(
+              make_desc(emb_op("embgrad", step, t), fifo_priority(),
+                        my_grad.dense_byte_size(), sched::OpKind::kOther),
               [&, t, my_grad] {
                 // Dense-format aggregation of the (sparse) gradient.
                 Tensor dense = my_grad.to_dense();
@@ -383,8 +463,9 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
           break;
         }
         case StrategyKind::kHorovodAllGather: {
-          emb_handles.push_back(scheduler.submit(
-              fifo_priority(), emb_op("embgrad", step, t),
+          emb_handles.push_back(sch.submit(
+              make_desc(emb_op("embgrad", step, t), fifo_priority(),
+                        grad_bytes, sched::OpKind::kOther),
               [&, t, my_grad] {
                 SparseRows total = comm::sparse_allgather(comm_ch, my_grad);
                 sparse_opts[t]->apply(replicas[t]->table(), total.coalesced(),
@@ -393,24 +474,28 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
           break;
         }
         case StrategyKind::kParallaxPs: {
-          emb_handles.push_back(scheduler.submit(
-              fifo_priority(), emb_op("embgrad", step, t),
+          emb_handles.push_back(sch.submit(
+              make_desc(emb_op("embgrad", step, t), fifo_priority(),
+                        grad_bytes, sched::OpKind::kOther),
               [&, t, my_grad] { shared.ps[t]->push_sparse(my_grad); }));
           break;
         }
         case StrategyKind::kBytePsDense: {
           // ByteScheduler priority: the embedding is what the next FP needs
           // first, so its (dense-format) push jumps the dense-block queue.
-          emb_handles.push_back(scheduler.submit(
-              Priorities::prior(step, t), emb_op("embgrad", step, t),
+          emb_handles.push_back(sch.submit(
+              make_desc(emb_op("embgrad", step, t),
+                        Priorities::prior(step, t), my_grad.dense_byte_size(),
+                        sched::OpKind::kSparsePrior),
               [&, t, my_grad] {
                 shared.ps[t]->push_dense(my_grad.to_dense());
               }));
           break;
         }
         case StrategyKind::kEmbRaceNoVss: {
-          emb_handles.push_back(scheduler.submit(
-              fifo_priority(), emb_op("embgrad", step, t),
+          emb_handles.push_back(sch.submit(
+              make_desc(emb_op("embgrad", step, t), fifo_priority(),
+                        grad_bytes, sched::OpKind::kOther),
               [&, t, my_grad] {
                 // No VSS -> no coalescing pass: the uncoalesced gradient
                 // goes on the wire; the shard coalesces before applying.
@@ -424,8 +509,13 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
           // Algorithm 1 on the GPU-idle window after BP, per table.
           auto split = sched::vertical_sparse_schedule(
               my_grad, seg.ids[t], flatten(all_next[t]));
-          emb_handles.push_back(scheduler.submit(
-              Priorities::prior(step, t), emb_op("prior", step, t),
+          const int64_t prior_bytes =
+              static_cast<int64_t>(split.prior.packed_byte_size());
+          const int64_t delayed_bytes =
+              static_cast<int64_t>(split.delayed.packed_byte_size());
+          emb_handles.push_back(sch.submit(
+              make_desc(emb_op("prior", step, t), Priorities::prior(step, t),
+                        prior_bytes, sched::OpKind::kSparsePrior),
               [&, t, prior = std::move(split.prior)] {
                 SparseRows g = shards[t]->exchange_grad(comm_ch, prior);
                 sparse_opts[t]->apply(shards[t]->shard(), g,
@@ -434,8 +524,10 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
           // The delayed part fills the queue's tail; its step-scoped
           // priority keeps it ahead of the next step's ops (the modified
           // Adam requires delayed(s) to land before prior(s+1)).
-          scheduler.submit(
-              Priorities::delayed(step, t), emb_op("delayed", step, t),
+          sch.submit(
+              make_desc(emb_op("delayed", step, t),
+                        Priorities::delayed(step, t), delayed_bytes,
+                        sched::OpKind::kSparseDelayed),
               [&, t, delayed = std::move(split.delayed)] {
                 SparseRows g = shards[t]->exchange_grad(comm_ch, delayed);
                 sparse_opts[t]->apply(shards[t]->shard(), g,
@@ -499,13 +591,9 @@ const char* strategy_kind_name(StrategyKind s) {
 }
 
 TrainStats run_distributed(const TrainConfig& cfg, int workers) {
-  EMBRACE_CHECK_GE(workers, 1);
-  EMBRACE_CHECK_GE(cfg.dim, workers, << "column partition needs dim >= world");
-  EMBRACE_CHECK((cfg.strategy != StrategyKind::kParallaxPs &&
-                 cfg.strategy != StrategyKind::kBytePsDense) ||
-                    cfg.optim == OptimKind::kSgd,
-                << "the PS emulation applies SGD server-side; use kSgd");
-  EMBRACE_CHECK_GE(cfg.num_tables, 1);
+  if (auto errors = cfg.validate(workers); !errors.empty()) {
+    throw ConfigValidationError(std::move(errors));
+  }
   SharedState shared;
   if (cfg.strategy == StrategyKind::kParallaxPs ||
       cfg.strategy == StrategyKind::kBytePsDense) {
@@ -556,8 +644,9 @@ TrainStats run_distributed(const TrainConfig& cfg, int workers) {
 }
 
 TrainStats run_oracle(const TrainConfig& cfg, int workers) {
-  EMBRACE_CHECK_GE(workers, 1);
-  EMBRACE_CHECK_GE(cfg.num_tables, 1);
+  if (auto errors = cfg.validate(workers); !errors.empty()) {
+    throw ConfigValidationError(std::move(errors));
+  }
   const int tables = cfg.num_tables;
   const float inv_n = 1.0f / static_cast<float>(workers);
   Rng emb_rng(cfg.seed);

@@ -1,6 +1,8 @@
 #include "sched/comm_scheduler.h"
 
+#include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "common/error.h"
 #include "obs/metrics.h"
@@ -23,76 +25,87 @@ std::string describe(const std::exception_ptr& e) {
 
 }  // namespace
 
-struct CommScheduler::Handle::State {
-  std::mutex mutex;
-  std::condition_variable cv;
-  bool done = false;
-  std::exception_ptr error;  // set iff the op failed or was abandoned
-};
-
-void CommScheduler::Handle::wait() const {
-  EMBRACE_CHECK(state_ != nullptr, << "waiting on an invalid handle");
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  state_->cv.wait(lock, [&] { return state_->done; });
-  if (state_->error) std::rethrow_exception(state_->error);
-}
-
-bool CommScheduler::Handle::done() const {
-  EMBRACE_CHECK(state_ != nullptr, << "querying an invalid handle");
-  std::lock_guard<std::mutex> lock(state_->mutex);
-  return state_->done;
-}
-
-bool CommScheduler::Handle::failed() const {
-  EMBRACE_CHECK(state_ != nullptr, << "querying an invalid handle");
-  std::lock_guard<std::mutex> lock(state_->mutex);
-  return state_->done && state_->error != nullptr;
-}
-
 struct CommScheduler::Op {
-  std::string name;
-  std::function<void()> fn;  // empty until submitted
-  std::shared_ptr<Handle::State> state = std::make_shared<Handle::State>();
+  OpDesc desc;
+  uint64_t seq = 0;
+  int64_t slices = 1;
+  int64_t next_slice = 0;  // comm thread only (after submission)
+  SliceFn fn;              // empty until submitted (deprecated declared path)
+  std::shared_ptr<detail::OpState> state =
+      std::make_shared<detail::OpState>();
+  std::chrono::steady_clock::time_point first_start{};
 };
 
 void CommScheduler::fail_op(const std::shared_ptr<Op>& op,
                             std::exception_ptr error) {
-  {
-    std::lock_guard<std::mutex> lock(op->state->mutex);
-    if (op->state->done) return;
-    op->state->done = true;
-    op->state->error = std::move(error);
-  }
-  op->state->cv.notify_all();
+  detail::fail_op_state(op->state, std::move(error));
 }
 
 void CommScheduler::fail_backlog_locked(std::exception_ptr error) {
   for (const auto& op : plan_) {
     fail_op(op, error);
-    pending_.erase(op->name);
+    pending_.erase(op->desc.name);
   }
   plan_.clear();
+  active_.reset();
 }
 
 CommScheduler::CommScheduler()
     : epoch_(std::chrono::steady_clock::now()), thread_([this] { run(); }) {}
 
 CommScheduler::~CommScheduler() {
-  std::deque<std::shared_ptr<Op>> undone;
+  std::vector<std::shared_ptr<Op>> undone;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
     undone.swap(plan_);
-    for (const auto& op : undone) pending_.erase(op->name);
+    for (const auto& op : undone) pending_.erase(op->desc.name);
   }
   cv_.notify_all();
   // Anyone blocked in Handle::wait() on an undone op would hang forever
   // once the comm thread is gone — fail those handles instead.
   for (const auto& op : undone) {
     fail_op(op, std::make_exception_ptr(SchedulerError(
-                    "scheduler shut down before op executed: " + op->name)));
+                    "scheduler shut down before op executed: " +
+                    op->desc.name)));
   }
   thread_.join();
+}
+
+CommScheduler::Op* CommScheduler::min_op_locked() const {
+  Op* best = nullptr;
+  for (const auto& op : plan_) {
+    if (best == nullptr || op->desc.priority < best->desc.priority ||
+        (op->desc.priority == best->desc.priority && op->seq < best->seq)) {
+      best = op.get();
+    }
+  }
+  if (best == nullptr || !best->fn) return nullptr;
+  return best;
+}
+
+Handle CommScheduler::submit(OpDesc desc, int64_t slices, SliceFn body) {
+  EMBRACE_CHECK_GE(slices, 1, << "op '" << desc.name << "'");
+  EMBRACE_CHECK(static_cast<bool>(body), << "op '" << desc.name
+                                         << "' needs a body");
+  std::shared_ptr<Op> op = std::make_shared<Op>();
+  op->desc = std::move(desc);
+  op->slices = slices;
+  op->fn = std::move(body);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (failed_) {
+      throw SchedulerError("submit('" + op->desc.name +
+                           "') on a failed scheduler: " + describe(failed_));
+    }
+    EMBRACE_CHECK(pending_.find(op->desc.name) == pending_.end(),
+                  << "duplicate op in backlog: " << op->desc.name);
+    op->seq = next_seq_++;
+    plan_.push_back(op);
+    pending_.emplace(op->desc.name, op);
+  }
+  cv_.notify_all();
+  return Handle(op->state);
 }
 
 void CommScheduler::begin_step(const std::vector<std::string>& ordered_ops) {
@@ -105,15 +118,18 @@ void CommScheduler::begin_step(const std::vector<std::string>& ordered_ops) {
     EMBRACE_CHECK(pending_.find(name) == pending_.end(),
                   << "duplicate op in backlog: " << name);
     auto op = std::make_shared<Op>();
-    op->name = name;
+    op->desc.name = name;
+    op->seq = next_seq_++;
+    // Declared order is the execution order: priority = declaration index.
+    op->desc.priority = static_cast<double>(op->seq);
     plan_.push_back(op);
     pending_.emplace(name, op);
   }
   cv_.notify_all();
 }
 
-CommScheduler::Handle CommScheduler::submit(const std::string& name,
-                                            std::function<void()> fn) {
+Handle CommScheduler::submit(const std::string& name,
+                             std::function<void()> fn) {
   std::shared_ptr<Op> op;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -126,7 +142,7 @@ CommScheduler::Handle CommScheduler::submit(const std::string& name,
     EMBRACE_CHECK(it != pending_.end(), << "op not declared: " << name);
     op = it->second;
     EMBRACE_CHECK(!op->fn, << "op already submitted: " << name);
-    op->fn = std::move(fn);
+    op->fn = [body = std::move(fn)](int64_t) { body(); };
   }
   cv_.notify_all();
   return Handle(op->state);
@@ -140,6 +156,25 @@ void CommScheduler::drain() {
   if (failed_) std::rethrow_exception(failed_);
 }
 
+void CommScheduler::abort() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!failed_) {
+      failed_ = std::make_exception_ptr(SchedulerError("scheduler aborted"));
+    }
+    fail_backlog_locked(std::make_exception_ptr(
+        SchedulerError("op abandoned: scheduler aborted")));
+  }
+  cv_.notify_all();
+  static obs::Counter& aborts = obs::counter("sched.aborts");
+  aborts.increment();
+}
+
+bool CommScheduler::failed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failed_ != nullptr;
+}
+
 std::vector<ExecRecord> CommScheduler::records() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return records_;
@@ -150,25 +185,39 @@ void CommScheduler::run() {
     std::shared_ptr<Op> op;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      // Wait until the front of the plan is runnable (or shutdown).
-      cv_.wait(lock, [&] {
-        return stop_ || (!plan_.empty() && static_cast<bool>(plan_.front()->fn));
-      });
+      // Wait until the most urgent op is runnable (or shutdown). A declared
+      // op without a body blocks even if less urgent ops are ready: the
+      // priority order is the cross-rank execution order.
+      cv_.wait(lock, [&] { return stop_ || min_op_locked() != nullptr; });
       if (stop_) return;
-      op = plan_.front();
-      // Pop before executing so a destructor-time backlog sweep cannot fail
-      // the handle of an op that is actually running; drain() accounts for
-      // the gap via in_flight_.
-      plan_.pop_front();
+      Op* best = min_op_locked();
+      auto it = std::find_if(plan_.begin(), plan_.end(),
+                             [&](const auto& p) { return p.get() == best; });
+      op = *it;
+      // Remove from plan_ while executing so a destructor-time backlog
+      // sweep cannot fail the handle of an op that is actually running;
+      // drain() accounts for the gap via in_flight_.
+      plan_.erase(it);
       ++in_flight_;
+      // Switching away from a partially-executed op is a preemption: a
+      // more urgent op jumped in at a chunk boundary.
+      if (active_ && active_ != op) {
+        static obs::Counter& preemptions = obs::counter("sched.preemptions");
+        preemptions.increment();
+        obs::emit_instant("sched.preempt", "chunk", active_->next_slice,
+                          "slices", active_->slices);
+        active_.reset();
+      }
       static obs::Histogram& depth =
           obs::histogram("sched.queue_depth", kQueueDepthEdges);
       depth.observe(static_cast<double>(plan_.size() + 1));
     }
+    const int64_t slice = op->next_slice;
     const auto t0 = std::chrono::steady_clock::now();
+    if (slice == 0) op->first_start = t0;
     std::exception_ptr error;
     try {
-      op->fn();
+      op->fn(slice);
     } catch (...) {
       error = std::current_exception();
     }
@@ -176,41 +225,70 @@ void CommScheduler::run() {
     if (error) {
       static obs::Counter& failures = obs::counter("sched.ops_failed");
       failures.increment();
-      obs::emit_complete(op->name, t0, t1);
+      obs::emit_complete(op->desc.name, t0, t1, "chunk", slice);
+      fail_op(op, error);
       {
         std::lock_guard<std::mutex> lock(mutex_);
-        failed_ = error;
-        pending_.erase(op->name);
+        if (!failed_) failed_ = error;
+        pending_.erase(op->desc.name);
         --in_flight_;
         // Fail the whole backlog fast: ops after a failed one will never
         // run (SPMD order is broken), so waiting on them must not wedge.
         fail_backlog_locked(std::make_exception_ptr(SchedulerError(
-            "op abandoned: scheduler failed in '" + op->name +
+            "op abandoned: scheduler failed in '" + op->desc.name +
             "': " + describe(error))));
       }
       cv_.notify_all();
-      fail_op(op, error);
       continue;  // park until destruction; submit/begin_step now throw
     }
-    // The trace span and the test-visible ExecRecord share one pair of
-    // clock reads, so span timelines and records() agree exactly.
-    obs::emit_complete(op->name, t0, t1);
+    ++op->next_slice;
+    if (op->slices > 1) {
+      // Per-chunk span; a single-slice op traces one span below instead.
+      obs::emit_complete(op->desc.name, t0, t1, "chunk", slice, "slices",
+                         op->slices);
+    }
+    if (op->next_slice < op->slices) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_ || failed_) {
+        pending_.erase(op->desc.name);
+        --in_flight_;
+        fail_op(op, std::make_exception_ptr(SchedulerError(
+                        "scheduler shut down before op executed: " +
+                        op->desc.name)));
+        if (stop_) return;
+        continue;
+      }
+      plan_.push_back(op);
+      active_ = op;
+      --in_flight_;
+      continue;
+    }
+    // Final slice done: the op completed. The trace span and the
+    // test-visible ExecRecord share one pair of clock reads, so span
+    // timelines and records() agree exactly.
+    if (op->slices == 1) obs::emit_complete(op->desc.name, t0, t1);
     static obs::Counter& executed = obs::counter("sched.ops_executed");
     executed.increment();
+    // Ordering contract: record first, then complete the handle, then
+    // retire from pending_. Handle::wait() returning must imply the op's
+    // ExecRecord is visible, and drain() returning must imply every
+    // handle observes done().
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      records_.push_back(
-          {op->name, std::chrono::duration<double>(t0 - epoch_).count(),
-           std::chrono::duration<double>(t1 - epoch_).count()});
-      pending_.erase(op->name);
+      records_.push_back({op->desc.name,
+                          std::chrono::duration<double>(op->first_start -
+                                                        epoch_)
+                              .count(),
+                          std::chrono::duration<double>(t1 - epoch_).count()});
+    }
+    detail::complete_op_state(op->state);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pending_.erase(op->desc.name);
+      if (active_ == op) active_.reset();
       --in_flight_;
     }
     cv_.notify_all();
-    {
-      std::lock_guard<std::mutex> lock(op->state->mutex);
-      op->state->done = true;
-    }
-    op->state->cv.notify_all();
   }
 }
 

@@ -1,18 +1,23 @@
 // Communication scheduler: a dedicated comm thread executing communication
-// ops in a declared order (paper §4.2 / §5.1: "we hold a priority queue and
-// a communication thread. Communications are performed in the communication
+// ops by priority (paper §4.2 / §5.1: "we hold a priority queue and a
+// communication thread. Communications are performed in the communication
 // thread according to the priority queue").
 //
 // Determinism note. Collectives must be issued in the same order on every
 // rank or they deadlock (a property of NCCL that this repo's in-process
 // runtime shares — see Communicator's SPMD contract). EmbRace assigns all
 // priorities *before training starts* from the dependency graph, so the
-// executed order per step is a fixed function of those priorities. We make
-// that explicit: each step declares its ordered op list (the sorted
-// priority queue); the comm thread walks the list, blocking until each op's
-// body has been submitted by the training thread's hooks. Ops of
-// consecutive steps are processed back-to-back, so a low-priority op
-// (delayed gradients) naturally overlaps the next step's computation.
+// executed order per step is a fixed function of those priorities. The
+// typed path makes priorities explicit (OpDesc::priority, lowest value
+// first, ties by submission order); the deprecated begin_step() path
+// declares an ordered op list and assigns priorities from the declaration
+// order, so the comm thread walks the list, blocking until each op's body
+// has been submitted by the training thread's hooks.
+//
+// Chunk granularity (DESIGN.md §10). Ops submitted with `slices` > 1
+// execute one quantum at a time; the scheduler re-picks the most urgent op
+// between quanta, so a high-priority op preempts an in-flight chunked
+// transfer at a chunk boundary ("sched.preemptions" counts the switches).
 //
 // Failure propagation (DESIGN.md §8). An op body that throws does not kill
 // the comm thread: the exception is captured into the op's handle (rethrown
@@ -25,7 +30,7 @@
 #pragma once
 
 #include <condition_variable>
-#include <deque>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -36,74 +41,61 @@
 #include <vector>
 
 #include "common/error.h"
+#include "sched/scheduler.h"
 
 namespace embrace::sched {
 
-// Thrown for scheduler-lifecycle failures: an op abandoned because an
-// earlier op threw, a handle orphaned by scheduler destruction, or a
-// submission into a failed/stopped scheduler.
-class SchedulerError : public Error {
- public:
-  explicit SchedulerError(const std::string& what) : Error(what) {}
-};
-
-// Completion record for tests and timeline rendering (seconds since
-// scheduler construction).
-struct ExecRecord {
-  std::string name;
-  double start = 0.0;
-  double end = 0.0;
-};
-
-class CommScheduler {
+class CommScheduler : public Scheduler {
  public:
   CommScheduler();
-  ~CommScheduler();
+  ~CommScheduler() override;
 
   CommScheduler(const CommScheduler&) = delete;
   CommScheduler& operator=(const CommScheduler&) = delete;
 
-  // Waitable completion token for one op.
-  class Handle {
-   public:
-    Handle() = default;
-    // Blocks until the op has been executed by the comm thread. Rethrows
-    // the op's exception if its body threw (or a SchedulerError if the op
-    // was abandoned before running).
-    void wait() const;
-    bool valid() const { return state_ != nullptr; }
-    // True once the op finished (successfully or not). Never blocks.
-    bool done() const;
-    // True if the op failed; wait() would rethrow. Never blocks.
-    bool failed() const;
+  // Back-compat alias: the shared handle type lives in scheduler.h.
+  using Handle = sched::Handle;
 
-   private:
-    friend class CommScheduler;
-    struct State;
-    explicit Handle(std::shared_ptr<State> s) : state_(std::move(s)) {}
-    std::shared_ptr<State> state_;
-  };
+  using Scheduler::submit;
 
-  // Appends a step plan: op names in the exact order the comm thread must
-  // execute them (i.e. the priority queue already sorted). Names must be
-  // unique within the scheduler's unexecuted backlog.
+  // Typed submission (see Scheduler). The op is runnable immediately; no
+  // begin_step() declaration is needed.
+  Handle submit(OpDesc desc, int64_t slices, SliceFn body) override;
+
+  // DEPRECATED(one release): appends a step plan — op names in the exact
+  // order the comm thread must execute them (i.e. the priority queue
+  // already sorted; priorities are assigned from declaration order). Names
+  // must be unique within the scheduler's unexecuted backlog. Prefer the
+  // typed submit(OpDesc, ...) which carries the priority explicitly.
   void begin_step(const std::vector<std::string>& ordered_ops);
 
-  // Provides the body of a declared op; may be called before or after the
-  // comm thread reaches it. Returns a waitable handle.
+  // DEPRECATED(one release): provides the body of a declared op; may be
+  // called before or after the comm thread reaches it. Returns a waitable
+  // handle. Prefer the typed submit(OpDesc, ...).
   Handle submit(const std::string& name, std::function<void()> fn);
 
   // Blocks until every declared op so far has executed. Rethrows the first
-  // op failure if the scheduler failed (the backlog is failed fast, so this
-  // cannot wedge on ops that will never run).
-  void drain();
+  // op failure if the scheduler failed.
+  void drain() override;
+
+  // Fails every pending handle and enters the terminal failed state;
+  // submit()/begin_step() throw afterwards. Idempotent.
+  void abort() override;
+
+  // True once an op body threw or abort() was called.
+  bool failed() const override;
 
   // Execution log in completion order.
-  std::vector<ExecRecord> records() const;
+  std::vector<ExecRecord> records() const override;
 
  private:
   struct Op;
   void run();
+  // The most urgent runnable op, or nullptr if the comm thread must wait:
+  // the min-(priority, seq) op's body is authoritative — a declared op
+  // without a body blocks everything behind it (declared order is the
+  // cross-rank execution order; running a later op first would diverge).
+  Op* min_op_locked() const;
   // Fails `op`'s handle with `error`. Caller must not hold op->state->mutex.
   static void fail_op(const std::shared_ptr<Op>& op, std::exception_ptr error);
   // Fails everything in plan_/pending_ with `error`. Caller holds mutex_.
@@ -111,15 +103,23 @@ class CommScheduler {
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::shared_ptr<Op>> plan_;      // unexecuted, in order
+  // Schedulable ops: declared/submitted, with slices remaining, not
+  // currently executing (the running op is re-inserted between quanta).
+  std::vector<std::shared_ptr<Op>> plan_;
+  // Ops not yet fully executed, keyed by name (duplicate checks + the
+  // deprecated submit-by-name path). Includes the currently-executing op.
   std::unordered_map<std::string, std::shared_ptr<Op>> pending_;
   std::vector<ExecRecord> records_;
+  uint64_t next_seq_ = 0;
   bool stop_ = false;
-  // Set once an op body throws; terminal. Guarded by mutex_.
+  // Set once an op body throws or abort() is called; terminal.
   std::exception_ptr failed_;
-  // 1 while the comm thread is inside an op body (the op is no longer in
-  // plan_ then); drain() waits for plan_.empty() && in_flight_ == 0.
+  // 1 while the comm thread is inside an op body (the op is not in plan_
+  // then); drain() waits for plan_.empty() && in_flight_ == 0.
   int in_flight_ = 0;
+  // The partially-executed op whose slice ran last (null if it completed):
+  // picking a different op while this is set is a preemption.
+  std::shared_ptr<Op> active_;
   std::chrono::steady_clock::time_point epoch_;
   std::thread thread_;
 };

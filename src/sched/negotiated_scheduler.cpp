@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstring>
 #include <sstream>
+#include <utility>
 
 #include "common/error.h"
 #include "obs/metrics.h"
@@ -22,7 +23,8 @@ const char kStopToken[] = "\x01__stop__";
 constexpr std::chrono::microseconds kAnnouncePollSlice{10000};
 
 // Announcement payloads cycle through the rank's wire-buffer pool: the
-// comm thread sends one per peer per op, so steady state allocates nothing.
+// comm thread sends one per peer per quantum, so steady state allocates
+// nothing.
 comm::Bytes to_bytes(comm::BufferPool& pool, const std::string& s) {
   comm::Bytes b = pool.acquire(s.size());
   if (!b.empty()) std::memcpy(b.data(), s.data(), s.size());
@@ -45,49 +47,20 @@ std::string describe(const std::exception_ptr& e) {
 
 }  // namespace
 
-struct NegotiatedScheduler::Handle::State {
-  std::mutex mutex;
-  std::condition_variable cv;
-  bool done = false;
-  std::exception_ptr error;  // set iff the op failed or was abandoned
-};
-
-void NegotiatedScheduler::Handle::wait() const {
-  EMBRACE_CHECK(state_ != nullptr, << "waiting on an invalid handle");
-  std::unique_lock<std::mutex> lock(state_->mutex);
-  state_->cv.wait(lock, [&] { return state_->done; });
-  if (state_->error) std::rethrow_exception(state_->error);
-}
-
-bool NegotiatedScheduler::Handle::done() const {
-  EMBRACE_CHECK(state_ != nullptr, << "querying an invalid handle");
-  std::lock_guard<std::mutex> lock(state_->mutex);
-  return state_->done;
-}
-
-bool NegotiatedScheduler::Handle::failed() const {
-  EMBRACE_CHECK(state_ != nullptr, << "querying an invalid handle");
-  std::lock_guard<std::mutex> lock(state_->mutex);
-  return state_->done && state_->error != nullptr;
-}
-
 struct NegotiatedScheduler::Op {
-  std::string name;
-  double priority = 0.0;
+  OpDesc desc;
   uint64_t seq = 0;
-  std::function<void()> fn;
-  std::shared_ptr<Handle::State> state = std::make_shared<Handle::State>();
+  int64_t slices = 1;
+  int64_t next_slice = 0;  // comm thread only
+  SliceFn fn;
+  std::shared_ptr<detail::OpState> state =
+      std::make_shared<detail::OpState>();
+  std::chrono::steady_clock::time_point first_start{};
 };
 
 void NegotiatedScheduler::fail_op(const std::shared_ptr<Op>& op,
                                   std::exception_ptr error) {
-  {
-    std::lock_guard<std::mutex> lock(op->state->mutex);
-    if (op->state->done) return;
-    op->state->done = true;
-    op->state->error = std::move(error);
-  }
-  op->state->cv.notify_all();
+  detail::fail_op_state(op->state, std::move(error));
 }
 
 NegotiatedScheduler::NegotiatedScheduler(comm::Communicator control)
@@ -110,30 +83,54 @@ bool NegotiatedScheduler::failed() const {
   return failed_ != nullptr;
 }
 
-NegotiatedScheduler::Handle NegotiatedScheduler::submit(
-    double priority, const std::string& name, std::function<void()> fn) {
-  EMBRACE_CHECK(name != kStopToken, << "reserved op name");
+Handle NegotiatedScheduler::submit(OpDesc desc, int64_t slices,
+                                   SliceFn body) {
+  EMBRACE_CHECK(desc.name != kStopToken, << "reserved op name");
+  EMBRACE_CHECK_GE(slices, 1, << "op '" << desc.name << "'");
+  EMBRACE_CHECK(static_cast<bool>(body), << "op '" << desc.name
+                                         << "' needs a body");
   std::shared_ptr<Op> op = std::make_shared<Op>();
-  op->name = name;
-  op->priority = priority;
-  op->fn = std::move(fn);
+  op->desc = std::move(desc);
+  op->slices = slices;
+  op->fn = std::move(body);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (failed_ || abort_.load(std::memory_order_relaxed)) {
       // Fail fast: this op would never be announced or executed.
       throw SchedulerError(
-          "submit('" + name + "') on a " +
+          "submit('" + op->desc.name + "') on a " +
           (failed_ ? "failed scheduler: " + describe(failed_)
                    : std::string("scheduler that was aborted")));
     }
     EMBRACE_CHECK(!shutdown_requested_, << "submit after shutdown");
-    EMBRACE_CHECK(submitted_.find(name) == submitted_.end(),
-                  << "duplicate unexecuted op: " << name);
+    EMBRACE_CHECK(submitted_.find(op->desc.name) == submitted_.end(),
+                  << "duplicate unexecuted op: " << op->desc.name);
     op->seq = next_seq_++;
-    submitted_.emplace(name, op);
+    submitted_.emplace(op->desc.name, op);
   }
   cv_.notify_all();
   return Handle(op->state);
+}
+
+Handle NegotiatedScheduler::submit(double priority, const std::string& name,
+                                   std::function<void()> fn) {
+  OpDesc desc;
+  desc.name = name;
+  desc.priority = priority;
+  return submit(std::move(desc), 1,
+                [body = std::move(fn)](int64_t) { body(); });
+}
+
+void NegotiatedScheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] {
+    return submitted_.empty() || failed_ != nullptr ||
+           abort_.load(std::memory_order_relaxed);
+  });
+  if (failed_) std::rethrow_exception(failed_);
+  if (abort_.load(std::memory_order_relaxed)) {
+    throw SchedulerError("scheduler aborted");
+  }
 }
 
 void NegotiatedScheduler::shutdown() {
@@ -164,11 +161,12 @@ void NegotiatedScheduler::fail_all(std::exception_ptr cause) {
     victims.reserve(submitted_.size());
     for (auto& [name, op] : submitted_) victims.push_back(op);
     submitted_.clear();
+    active_.reset();
   }
   const std::string why = describe(cause);
   for (const auto& op : victims) {
     fail_op(op, std::make_exception_ptr(SchedulerError(
-                    "op abandoned: '" + op->name + "' never executed (" +
+                    "op abandoned: '" + op->desc.name + "' never executed (" +
                     why + ")")));
   }
   cv_.notify_all();
@@ -231,6 +229,79 @@ std::string NegotiatedScheduler::receive_announcement() {
   }
 }
 
+bool NegotiatedScheduler::run_slice(const std::shared_ptr<Op>& op) {
+  EMBRACE_CHECK_LT(op->next_slice, op->slices,
+                   << "op '" << op->desc.name
+                   << "' announced past its final slice: ranks must submit "
+                      "matching slice counts");
+  const int64_t slice = op->next_slice;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (slice == 0) op->first_start = t0;
+  std::exception_ptr error;
+  try {
+    op->fn(slice);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (error) {
+    static obs::Counter& failures = obs::counter("sched.ops_failed");
+    failures.increment();
+    obs::emit_complete(op->desc.name, t0, t1, "chunk", slice);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!failed_) failed_ = error;
+      submitted_.erase(op->desc.name);
+      active_.reset();
+    }
+    // The culprit's handle carries the original exception; everything
+    // else pending is abandoned fast so no waiter can wedge.
+    fail_op(op, error);
+    fail_all(std::make_exception_ptr(SchedulerError(
+        "op abandoned: scheduler failed in '" + op->desc.name +
+        "': " + describe(error))));
+    return false;  // comm thread retires; submit() now fails fast
+  }
+  ++op->next_slice;
+  if (op->slices > 1) {
+    // Per-chunk span; a single-slice op traces one span below instead.
+    obs::emit_complete(op->desc.name, t0, t1, "chunk", slice, "priority",
+                       static_cast<int64_t>(op->desc.priority));
+  }
+  if (op->next_slice < op->slices) return true;  // more quanta to negotiate
+  // Final slice done: the op completed. One pair of clock reads feeds both
+  // the trace span and the test-visible ExecRecord, so the two timelines
+  // agree exactly.
+  if (op->slices == 1) {
+    obs::emit_complete(op->desc.name, t0, t1, "priority",
+                       static_cast<int64_t>(op->desc.priority));
+  }
+  static obs::Counter& executed = obs::counter("sched.ops_executed");
+  executed.increment();
+  // Ordering contract: record first, then complete the handle, then
+  // retire from submitted_. Handle::wait() returning must imply the op's
+  // ExecRecord is visible, and drain() returning must imply every handle
+  // observes done().
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back(
+        {op->desc.name,
+         std::chrono::duration<double>(op->first_start - epoch_).count(),
+         std::chrono::duration<double>(t1 - epoch_).count()});
+  }
+  detail::complete_op_state(op->state);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    submitted_.erase(op->desc.name);
+    if (active_ == op) active_.reset();
+    static obs::Histogram& depth =
+        obs::histogram("sched.queue_depth", kQueueDepthEdges);
+    depth.observe(static_cast<double>(submitted_.size()));
+  }
+  cv_.notify_all();
+  return true;
+}
+
 void NegotiatedScheduler::run() {
   const bool leader = control_.rank() == 0;
   // The comm thread inherits its rank's identity so its trace events land
@@ -252,17 +323,31 @@ void NegotiatedScheduler::run() {
             // shutdown with a drained queue: stop everyone.
             chosen = kStopToken;
           } else {
-            // Highest priority = smallest (priority, seq).
+            // Highest priority = smallest (priority, seq). Re-picked every
+            // quantum: this is the chunk-boundary preemption point.
             const Op* best = nullptr;
             for (const auto& [name, candidate] : submitted_) {
-              if (best == nullptr || candidate->priority < best->priority ||
-                  (candidate->priority == best->priority &&
+              if (best == nullptr ||
+                  candidate->desc.priority < best->desc.priority ||
+                  (candidate->desc.priority == best->desc.priority &&
                    candidate->seq < best->seq)) {
                 best = candidate.get();
               }
             }
-            chosen = best->name;
+            chosen = best->desc.name;
             op = submitted_.at(chosen);
+            // Switching away from a partially-executed op is a preemption:
+            // a more urgent op jumped in at a chunk boundary. active_ is
+            // (re)assigned after the slice runs.
+            if (active_ && active_ != op) {
+              static obs::Counter& preemptions =
+                  obs::counter("sched.preemptions");
+              preemptions.increment();
+              obs::emit_instant("sched.preempt", "chunk",
+                                active_->next_slice, "slices",
+                                active_->slices);
+              active_.reset();
+            }
           }
         }
         if (control_.size() > 1) announce(chosen);
@@ -280,54 +365,13 @@ void NegotiatedScheduler::run() {
         op = submitted_.at(chosen);
       }
 
-      const auto t0 = std::chrono::steady_clock::now();
-      std::exception_ptr error;
-      try {
-        op->fn();
-      } catch (...) {
-        error = std::current_exception();
-      }
-      const auto t1 = std::chrono::steady_clock::now();
-      if (error) {
-        static obs::Counter& failures = obs::counter("sched.ops_failed");
-        failures.increment();
-        obs::emit_complete(op->name, t0, t1, "priority",
-                           static_cast<int64_t>(op->priority));
-        {
-          std::lock_guard<std::mutex> lock(mutex_);
-          if (!failed_) failed_ = error;
-          submitted_.erase(op->name);
-        }
-        // The culprit's handle carries the original exception; everything
-        // else pending is abandoned fast so no waiter can wedge.
-        fail_op(op, error);
-        fail_all(std::make_exception_ptr(SchedulerError(
-            "op abandoned: scheduler failed in '" + op->name +
-            "': " + describe(error))));
-        return;  // comm thread retires; submit() now fails fast
-      }
-      // One pair of clock reads feeds both the trace span and the
-      // test-visible ExecRecord, so the two timelines agree exactly.
-      obs::emit_complete(op->name, t0, t1, "priority",
-                         static_cast<int64_t>(op->priority));
-      static obs::Counter& executed = obs::counter("sched.ops_executed");
-      executed.increment();
-      {
+      if (!run_slice(op)) return;
+      if (leader) {
+        // Track the partially-executed op: if the next pick differs while
+        // this op still has slices left, that pick is a preemption.
         std::lock_guard<std::mutex> lock(mutex_);
-        records_.push_back(
-            {op->name, std::chrono::duration<double>(t0 - epoch_).count(),
-             std::chrono::duration<double>(t1 - epoch_).count()});
-        submitted_.erase(op->name);
-        static obs::Histogram& depth =
-            obs::histogram("sched.queue_depth", kQueueDepthEdges);
-        depth.observe(static_cast<double>(submitted_.size()));
+        active_ = op->next_slice < op->slices ? op : nullptr;
       }
-      cv_.notify_all();
-      {
-        std::lock_guard<std::mutex> lock(op->state->mutex);
-        op->state->done = true;
-      }
-      op->state->cv.notify_all();
     }
   } catch (...) {
     // announce()/receive_announcement() threw — dead peer or control-link

@@ -13,6 +13,16 @@
 // rank 0's readiness representative, and the announced order is identical
 // everywhere by construction.
 //
+// Chunk granularity (DESIGN.md §10). The negotiation unit is one slice:
+// the leader announces the chosen op once per quantum and re-picks the
+// most urgent op between quanta, so a high-priority op submitted while a
+// chunked transfer is in flight preempts it at the next chunk boundary —
+// on every rank, in the same place, because the announcement stream is the
+// execution order. All ranks must submit the same `slices` count for the
+// same op name. "sched.preemptions" counts switches away from a partially
+// executed op (leader only, so the process-global counter is not
+// multiplied by the world size).
+//
 // FIFO mode is the same machinery with priority = submission sequence.
 //
 // Failure propagation (DESIGN.md §8). An op body that throws (e.g. a
@@ -31,7 +41,6 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -40,11 +49,11 @@
 #include <vector>
 
 #include "comm/communicator.h"
-#include "sched/comm_scheduler.h"  // reuses ExecRecord + SchedulerError
+#include "sched/scheduler.h"
 
 namespace embrace::sched {
 
-class NegotiatedScheduler {
+class NegotiatedScheduler : public Scheduler {
  public:
   // `control` must be a dedicated channel of the cluster's fabric (no other
   // traffic may use its tag namespace). All ranks must construct their
@@ -53,37 +62,28 @@ class NegotiatedScheduler {
   // Joins the comm thread. All ranks must have called shutdown() (or have
   // joined every handle and then destroy simultaneously via shutdown());
   // a failed/aborted scheduler is torn down locally via abort().
-  ~NegotiatedScheduler();
+  ~NegotiatedScheduler() override;
 
   NegotiatedScheduler(const NegotiatedScheduler&) = delete;
   NegotiatedScheduler& operator=(const NegotiatedScheduler&) = delete;
 
-  class Handle {
-   public:
-    Handle() = default;
-    // Blocks until the op executed; rethrows the op's exception if its body
-    // threw, or SchedulerError if it was abandoned (peer op failure, abort,
-    // scheduler destruction).
-    void wait() const;
-    bool valid() const { return state_ != nullptr; }
-    // True once the op finished (successfully or not). Never blocks.
-    bool done() const;
-    // True if the op failed; wait() would rethrow. Never blocks.
-    bool failed() const;
+  // Back-compat alias: the shared handle type lives in scheduler.h.
+  using Handle = sched::Handle;
 
-   private:
-    friend class NegotiatedScheduler;
-    struct State;
-    explicit Handle(std::shared_ptr<State> s) : state_(std::move(s)) {}
-    std::shared_ptr<State> state_;
-  };
+  using Scheduler::submit;
 
-  // Enqueues a communication op. Lower priority value = more urgent; ties
-  // break by submission order. `name` must be unique among unexecuted ops
-  // and identical across ranks for the same logical op. Throws
-  // SchedulerError once the scheduler has failed or been aborted.
+  // Typed submission (see Scheduler). `desc.name` and `slices` must be
+  // identical across ranks for the same logical op.
+  Handle submit(OpDesc desc, int64_t slices, SliceFn body) override;
+
+  // DEPRECATED(one release): name/priority submission. Prefer the typed
+  // submit(OpDesc, ...) which carries priority, bytes, and kind.
   Handle submit(double priority, const std::string& name,
                 std::function<void()> fn);
+
+  // Blocks until every op submitted so far on this rank has executed.
+  // Non-collective (the comm thread keeps serving announcements).
+  void drain() override;
 
   // Collective shutdown: blocks until every submitted op has executed, then
   // stops the comm threads on all ranks. Must be called by all ranks.
@@ -92,12 +92,12 @@ class NegotiatedScheduler {
   // Local, non-collective teardown for error paths: stops this rank's comm
   // thread without announcing (peers may be dead), joins it, and fails all
   // pending handles with SchedulerError. Idempotent; safe after failure.
-  void abort();
+  void abort() override;
 
   // True once an op body threw or abort() was called; submit() will throw.
-  bool failed() const;
+  bool failed() const override;
 
-  std::vector<ExecRecord> records() const;
+  std::vector<ExecRecord> records() const override;
 
  private:
   struct Op;
@@ -108,6 +108,9 @@ class NegotiatedScheduler {
   // should be announcing then); an idle scheduler may wait forever.
   // Returns empty if aborted.
   std::string receive_announcement();
+  // Runs one quantum of `op` on the comm thread. Returns false if the
+  // scheduler failed (the comm thread must retire).
+  bool run_slice(const std::shared_ptr<Op>& op);
   // Fails every pending handle and marks the scheduler failed. Records the
   // first failure cause. Caller must not hold mutex_.
   void fail_all(std::exception_ptr cause);
@@ -118,7 +121,8 @@ class NegotiatedScheduler {
   comm::Communicator control_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  // Submitted, not yet executed; keyed by name.
+  // Submitted, not fully executed (partially-run chunked ops stay here
+  // until their final slice); keyed by name.
   std::unordered_map<std::string, std::shared_ptr<Op>> submitted_;
   uint64_t next_seq_ = 0;
   bool shutdown_requested_ = false;
@@ -126,6 +130,9 @@ class NegotiatedScheduler {
   std::exception_ptr failed_;  // guarded by mutex_; terminal once set
   // Announcement index; only touched by the comm thread.
   uint64_t announce_seq_ = 0;
+  // Leader only (comm thread): the partially-executed op whose slice ran
+  // last — announcing a different op while set is a preemption.
+  std::shared_ptr<Op> active_;
   std::vector<ExecRecord> records_;
   std::chrono::steady_clock::time_point epoch_;
   std::thread thread_;

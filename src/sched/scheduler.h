@@ -1,0 +1,149 @@
+// Unified scheduler surface shared by CommScheduler (declared-order comm
+// thread) and NegotiatedScheduler (leader-negotiated distributed order).
+//
+// Both schedulers execute communication ops on a dedicated comm thread; the
+// trainer and the conformance tests program either one through this
+// interface without branching on the concrete type. Ops are described by a
+// typed OpDesc (name, priority, payload bytes, kind) instead of encoding
+// priority and size into name strings.
+//
+// Chunk granularity (DESIGN.md §10). An op may be submitted as `slices`
+// ordered quanta: the scheduler calls body(0), body(1), ... body(slices-1)
+// in strictly increasing order, but between two quanta it is free to run
+// slices of other, more urgent ops — a late-arriving high-priority op
+// preempts an in-flight chunked transfer at a chunk boundary instead of
+// waiting behind the whole thing. Every preemption (switching away from a
+// partially-executed op) bumps the "sched.preemptions" counter. Handles
+// complete when the final slice finishes; if any slice throws, the op fails
+// with that exception and the remaining slices never run.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace embrace::sched {
+
+// Thrown for scheduler-lifecycle failures: an op abandoned because an
+// earlier op threw, a handle orphaned by scheduler destruction, or a
+// submission into a failed/stopped scheduler.
+class SchedulerError : public Error {
+ public:
+  explicit SchedulerError(const std::string& what) : Error(what) {}
+};
+
+// Completion record for tests and timeline rendering (seconds since
+// scheduler construction). For chunked ops, start is the first slice's
+// start and end the final slice's end.
+struct ExecRecord {
+  std::string name;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+// Coarse op class, for tracing and policy (e.g. bucket assignment).
+enum class OpKind {
+  kOther,
+  kDense,          // dense-gradient AllReduce
+  kSparsePrior,    // Algorithm 1's prior sparse part
+  kSparseDelayed,  // Algorithm 1's delayed sparse part
+  kEmbData,        // embedding-lookup AlltoAll
+};
+
+const char* op_kind_name(OpKind k);
+
+// Typed op descriptor. Lower priority value = more urgent; ties break by
+// submission order. `name` must be unique among unexecuted ops (and, for
+// NegotiatedScheduler, identical across ranks for the same logical op).
+// `bytes` is the op's payload size (informational: tracing + bucket
+// policy), not enforced.
+struct OpDesc {
+  std::string name;
+  double priority = 0.0;
+  int64_t bytes = 0;
+  OpKind kind = OpKind::kOther;
+};
+
+namespace detail {
+
+// Completion state shared between a Handle and its op. Schedulers complete
+// or fail it via the helpers below; Handle::wait() blocks on it.
+struct OpState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  std::exception_ptr error;  // set iff the op failed or was abandoned
+};
+
+// Marks the op successfully completed (no-op if already finished).
+void complete_op_state(const std::shared_ptr<OpState>& state);
+// Fails the op with `error` (no-op if already finished).
+void fail_op_state(const std::shared_ptr<OpState>& state,
+                   std::exception_ptr error);
+
+}  // namespace detail
+
+// Waitable completion token for one op; shared by every Scheduler
+// implementation.
+class Handle {
+ public:
+  Handle() = default;
+  // For scheduler implementations; user code receives handles from submit().
+  explicit Handle(std::shared_ptr<detail::OpState> s) : state_(std::move(s)) {}
+
+  // Blocks until the op has been executed by the comm thread. Rethrows the
+  // op's exception if its body threw (or a SchedulerError if the op was
+  // abandoned before running).
+  void wait() const;
+  bool valid() const { return state_ != nullptr; }
+  // True once the op finished (successfully or not). Never blocks.
+  bool done() const;
+  // True if the op failed; wait() would rethrow. Never blocks.
+  bool failed() const;
+
+ private:
+  std::shared_ptr<detail::OpState> state_;
+};
+
+// One chunk quantum of an op's body: called with the slice index, in
+// strictly increasing order from 0 to slices-1.
+using SliceFn = std::function<void(int64_t)>;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // Enqueues an op as `slices` >= 1 ordered quanta (see the header comment
+  // for the execution contract). Throws SchedulerError once the scheduler
+  // has failed or been aborted.
+  virtual Handle submit(OpDesc desc, int64_t slices, SliceFn body) = 0;
+
+  // Whole-op convenience: one slice, body takes no index.
+  Handle submit(OpDesc desc, std::function<void()> body);
+
+  // Blocks until every op submitted so far has executed. Rethrows the first
+  // op failure if the scheduler failed (the backlog is failed fast, so this
+  // cannot wedge on ops that will never run).
+  virtual void drain() = 0;
+
+  // Local, non-collective teardown for error paths: fails every pending
+  // handle with SchedulerError and puts the scheduler into the terminal
+  // failed state (submit() throws). Idempotent.
+  virtual void abort() = 0;
+
+  // True once an op body threw or abort() was called.
+  virtual bool failed() const = 0;
+
+  // Execution log in completion order.
+  virtual std::vector<ExecRecord> records() const = 0;
+};
+
+}  // namespace embrace::sched

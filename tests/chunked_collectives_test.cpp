@@ -1,0 +1,193 @@
+// ChunkedAllReduce correctness: the chunked pipelined ring must be
+// BITWISE-equal to the monolithic Communicator::allreduce for every world
+// size, payload size, chunk size, and reduce op — the invariant that lets
+// the trainer flip chunk_bytes without perturbing a single loss bit — and
+// its quantum count must be a rank-invariant pure function of the geometry
+// (what lets every rank submit identical slice counts to the negotiated
+// scheduler). Also exercises the chunked path under recoverable fault
+// injection and interleaved with other traffic on the same channel.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "comm/chunk_plan.h"
+#include "comm/chunked_collectives.h"
+#include "comm/cluster.h"
+#include "comm/communicator.h"
+#include "common/rng.h"
+
+namespace embrace::comm {
+namespace {
+
+std::vector<float> make_data(int rank, int64_t elems, uint64_t seed) {
+  Rng rng(seed + static_cast<uint64_t>(rank) * 101);
+  std::vector<float> data(static_cast<size_t>(elems));
+  for (auto& v : data) v = static_cast<float>(rng.next_double(-2.0, 2.0));
+  return data;
+}
+
+bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+// Monolithic result on one copy, chunked on another, same cluster: the two
+// must agree bit for bit (same block partition, same reduce order; only the
+// wire messages differ).
+void expect_chunked_matches_monolithic(int world, int64_t elems) {
+  Fabric fabric(world);
+  run_cluster(fabric, [&](Communicator& c) {
+    const std::vector<float> data = make_data(c.rank(), elems, 7);
+    for (const ReduceOp op : {ReduceOp::kSum, ReduceOp::kMax}) {
+      std::vector<float> mono = data;
+      c.allreduce(mono, op);
+      for (const int64_t chunk :
+           {int64_t{0}, int64_t{16}, int64_t{256}, int64_t{4096},
+            int64_t{1} << 24}) {
+        std::vector<float> chunked = data;
+        allreduce_chunked(c, chunked, chunk, op);
+        EXPECT_TRUE(bitwise_equal(mono, chunked))
+            << "world=" << world << " elems=" << elems << " chunk=" << chunk
+            << " op=" << static_cast<int>(op);
+      }
+    }
+  });
+}
+
+TEST(ChunkedAllReduce, BitwiseEqualToMonolithicRing) {
+  for (const int world : {1, 2, 3, 4}) {
+    for (const int64_t elems :
+         {int64_t{0}, int64_t{1}, int64_t{5}, int64_t{64}, int64_t{1000},
+          int64_t{4097}}) {
+      expect_chunked_matches_monolithic(world, elems);
+    }
+  }
+}
+
+TEST(ChunkedAllReduce, NumQuantaIsPureGeometryFunction) {
+  // world == 1: one trivial quantum regardless of size or chunking.
+  EXPECT_EQ(ChunkedAllReduce::num_quanta(0, 1, 16), 1);
+  EXPECT_EQ(ChunkedAllReduce::num_quanta(1 << 20, 1, 16), 1);
+  // 1000 elems over 4 ranks: max block 250 elems; 16-byte chunks hold 4
+  // floats -> ceil(250/4) = 63 slices per step, 2*(4-1) steps.
+  EXPECT_EQ(ChunkedAllReduce::num_quanta(1000, 4, 16), 2 * 3 * 63);
+  // chunk_bytes <= 0: one slice per ring step.
+  EXPECT_EQ(ChunkedAllReduce::num_quanta(1000, 4, 0), 2 * 3);
+  // Empty payload still has one (empty) slice per step.
+  EXPECT_EQ(ChunkedAllReduce::num_quanta(0, 3, 64), 2 * 2);
+  // The count never depends on a rank: cursors on every rank agree.
+  Fabric fabric(3);
+  run_cluster(fabric, [&](Communicator& c) {
+    std::vector<float> data(static_cast<size_t>(100), 1.0f);
+    ChunkedAllReduce cursor(c, data, 32);
+    EXPECT_EQ(cursor.num_quanta(), ChunkedAllReduce::num_quanta(100, 3, 32));
+    cursor.run_all();
+    EXPECT_TRUE(cursor.done());
+  });
+}
+
+TEST(ChunkedAllReduce, QuantaMustRunInOrder) {
+  Fabric fabric(1);
+  run_cluster(fabric, [&](Communicator& c) {
+    std::vector<float> data(8, 1.0f);
+    ChunkedAllReduce cursor(c, data, 16);
+    EXPECT_EQ(cursor.next_quantum(), 0);
+    EXPECT_THROW(cursor.run_quantum(1), Error);
+    cursor.run_quantum(0);
+    EXPECT_TRUE(cursor.done());
+    EXPECT_THROW(cursor.run_quantum(1), Error);
+  });
+}
+
+// Interleaving two cursors' quanta on the same channel (the preemption
+// pattern): tags were reserved at construction, so arbitrary interleaving
+// must still land every slice.
+TEST(ChunkedAllReduce, InterleavedCursorsOnOneChannel) {
+  constexpr int kWorld = 4;
+  constexpr int64_t kElems = 512;
+  Fabric fabric(kWorld);
+  run_cluster(fabric, [&](Communicator& c) {
+    const std::vector<float> a0 = make_data(c.rank(), kElems, 11);
+    const std::vector<float> b0 = make_data(c.rank(), kElems, 13);
+    std::vector<float> a_mono = a0, b_mono = b0;
+    c.allreduce(a_mono);
+    c.allreduce(b_mono);
+    std::vector<float> a = a0, b = b0;
+    ChunkedAllReduce ca(c, a, 64);
+    ChunkedAllReduce cb(c, b, 128);
+    // Alternate quanta: a, b, a, b, ... then drain whichever remains.
+    while (!ca.done() || !cb.done()) {
+      if (!ca.done()) ca.run_quantum(ca.next_quantum());
+      if (!cb.done()) cb.run_quantum(cb.next_quantum());
+    }
+    EXPECT_TRUE(bitwise_equal(a, a_mono));
+    EXPECT_TRUE(bitwise_equal(b, b_mono));
+  });
+}
+
+TEST(ChunkedAllReduce, SurvivesRecoverableFaultInjection) {
+  constexpr int kWorld = 3;
+  constexpr int64_t kElems = 1000;
+  // Clean-fabric reference first: fault recovery must not change a bit.
+  std::vector<std::vector<float>> expected(kWorld);
+  {
+    Fabric fabric(kWorld);
+    run_cluster(fabric, [&](Communicator& c) {
+      std::vector<float> data = make_data(c.rank(), kElems, 17);
+      c.allreduce(data);
+      expected[static_cast<size_t>(c.rank())] = std::move(data);
+    });
+  }
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    Fabric fabric(kWorld);
+    FaultConfig faults;
+    faults.drop_prob = 0.02;
+    faults.dup_prob = 0.02;
+    faults.reorder_prob = 0.05;
+    faults.recoverable = true;
+    fabric.set_fault_config(faults, seed);
+    run_cluster(fabric, [&](Communicator& c) {
+      std::vector<float> data = make_data(c.rank(), kElems, 17);
+      allreduce_chunked(c, data, 64);
+      EXPECT_TRUE(
+          bitwise_equal(data, expected[static_cast<size_t>(c.rank())]))
+          << "rank " << c.rank() << " seed " << seed;
+    });
+  }
+}
+
+TEST(ChunkPlan, CoversEveryElementInOrder) {
+  const ChunkPlan plan = ChunkPlan::over(1001, 64, sizeof(float));
+  // 64-byte chunks of floats: 16 elems each, ceil(1001/16) = 63 chunks.
+  EXPECT_EQ(plan.num_chunks(), 63);
+  int64_t cursor = 0;
+  for (int64_t i = 0; i < plan.num_chunks(); ++i) {
+    const auto [b, e] = plan.chunk(i);
+    EXPECT_EQ(b, cursor);
+    EXPECT_GT(e, b);
+    cursor = e;
+  }
+  EXPECT_EQ(cursor, 1001);
+  // Degenerate shapes still yield exactly one (possibly empty) chunk.
+  EXPECT_EQ(ChunkPlan::over(0, 64).num_chunks(), 1);
+  EXPECT_EQ(ChunkPlan::over(10, 0).num_chunks(), 1);
+}
+
+TEST(ChunkPlan, PlanBucketsGreedyInOrder) {
+  const std::vector<int64_t> bytes = {100, 100, 100, 500, 40, 40};
+  // Budget 240: [100,100] | [100] | [500 oversize alone] | [40,40].
+  const auto buckets = plan_buckets(bytes, 240);
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], (std::pair<size_t, size_t>{0, 2}));
+  EXPECT_EQ(buckets[1], (std::pair<size_t, size_t>{2, 3}));
+  EXPECT_EQ(buckets[2], (std::pair<size_t, size_t>{3, 4}));
+  EXPECT_EQ(buckets[3], (std::pair<size_t, size_t>{4, 6}));
+  // Budget <= 0: one item per bucket.
+  EXPECT_EQ(plan_buckets(bytes, 0).size(), bytes.size());
+  EXPECT_TRUE(plan_buckets(std::vector<int64_t>{}, 128).empty());
+}
+
+}  // namespace
+}  // namespace embrace::comm

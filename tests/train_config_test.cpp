@@ -1,0 +1,141 @@
+// TrainConfig::validate(): every constraint the trainer used to assert
+// ad-hoc is now a typed ConfigError, all problems are collected in one
+// pass, and the trainer entry points throw ConfigValidationError instead
+// of tripping the first EMBRACE_CHECK.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "embrace/strategy.h"
+
+namespace embrace::core {
+namespace {
+
+TrainConfig valid_config() {
+  TrainConfig cfg;
+  cfg.vocab = 100;
+  cfg.dim = 8;
+  cfg.hidden = 8;
+  cfg.classes = 10;
+  cfg.steps = 2;
+  return cfg;
+}
+
+bool has_error(const std::vector<ConfigError>& errors, const char* field) {
+  return std::any_of(errors.begin(), errors.end(), [&](const ConfigError& e) {
+    return e.field == field;
+  });
+}
+
+TEST(TrainConfigValidate, ValidConfigHasNoErrors) {
+  EXPECT_TRUE(valid_config().validate(4).empty());
+}
+
+TEST(TrainConfigValidate, FlagsEachBadField) {
+  struct Case {
+    const char* field;
+    std::function<void(TrainConfig&)> mutate;
+  };
+  const std::vector<Case> cases = {
+      {"vocab", [](TrainConfig& c) { c.vocab = 0; }},
+      {"dim", [](TrainConfig& c) { c.dim = -1; }},
+      {"hidden", [](TrainConfig& c) { c.hidden = 0; }},
+      {"classes", [](TrainConfig& c) { c.classes = 0; }},
+      {"num_tables", [](TrainConfig& c) { c.num_tables = 0; }},
+      {"num_tables",
+       [](TrainConfig& c) { c.num_tables = c.max_sentence_len + 1; }},
+      {"batch_per_worker", [](TrainConfig& c) { c.batch_per_worker = 0; }},
+      {"steps", [](TrainConfig& c) { c.steps = 0; }},
+      {"min_sentence_len", [](TrainConfig& c) { c.min_sentence_len = 0; }},
+      {"max_sentence_len",
+       [](TrainConfig& c) { c.max_sentence_len = c.min_sentence_len - 1; }},
+      {"chunk_bytes", [](TrainConfig& c) { c.chunk_bytes = 32; }},
+      {"chunk_bytes",
+       [](TrainConfig& c) { c.chunk_bytes = (int64_t{1} << 30) + 1; }},
+      {"fusion_bytes", [](TrainConfig& c) { c.fusion_bytes = -5; }},
+      {"dense_fusion_bytes",
+       [](TrainConfig& c) { c.dense_fusion_bytes = -1; }},
+  };
+  for (const auto& c : cases) {
+    TrainConfig cfg = valid_config();
+    c.mutate(cfg);
+    const auto errors = cfg.validate(4);
+    EXPECT_TRUE(has_error(errors, c.field)) << "expected error on " << c.field;
+  }
+}
+
+TEST(TrainConfigValidate, DimMustCoverWorkers) {
+  TrainConfig cfg = valid_config();
+  cfg.dim = 3;
+  EXPECT_TRUE(has_error(cfg.validate(4), "dim"));
+  EXPECT_TRUE(cfg.validate(3).empty());
+}
+
+TEST(TrainConfigValidate, WorkersMustBePositive) {
+  EXPECT_TRUE(has_error(valid_config().validate(0), "workers"));
+}
+
+TEST(TrainConfigValidate, PsStrategiesRequireSgd) {
+  for (const StrategyKind s :
+       {StrategyKind::kParallaxPs, StrategyKind::kBytePsDense}) {
+    TrainConfig cfg = valid_config();
+    cfg.strategy = s;
+    cfg.optim = OptimKind::kAdam;
+    EXPECT_TRUE(has_error(cfg.validate(2), "optim"));
+    cfg.optim = OptimKind::kSgd;
+    EXPECT_TRUE(cfg.validate(2).empty());
+  }
+}
+
+TEST(TrainConfigValidate, ChunkBytesBoundsAreInclusive) {
+  TrainConfig cfg = valid_config();
+  cfg.chunk_bytes = 0;  // monolithic: always valid
+  EXPECT_TRUE(cfg.validate(2).empty());
+  cfg.chunk_bytes = 64;
+  EXPECT_TRUE(cfg.validate(2).empty());
+  cfg.chunk_bytes = int64_t{1} << 30;
+  EXPECT_TRUE(cfg.validate(2).empty());
+}
+
+TEST(TrainConfigValidate, CollectsAllProblemsAtOnce) {
+  TrainConfig cfg = valid_config();
+  cfg.vocab = 0;
+  cfg.steps = 0;
+  cfg.chunk_bytes = 1;
+  const auto errors = cfg.validate(0);
+  EXPECT_GE(errors.size(), 4u);  // workers, vocab, steps, chunk_bytes
+  EXPECT_TRUE(has_error(errors, "workers"));
+  EXPECT_TRUE(has_error(errors, "vocab"));
+  EXPECT_TRUE(has_error(errors, "steps"));
+  EXPECT_TRUE(has_error(errors, "chunk_bytes"));
+}
+
+TEST(TrainConfigValidate, EffectiveFusionBytesPrefersNewKnob) {
+  TrainConfig cfg;
+  EXPECT_EQ(cfg.effective_fusion_bytes(), 0);
+  cfg.dense_fusion_bytes = 100;
+  EXPECT_EQ(cfg.effective_fusion_bytes(), 100);  // deprecated fallback
+  cfg.fusion_bytes = 200;
+  EXPECT_EQ(cfg.effective_fusion_bytes(), 200);  // new knob wins
+}
+
+TEST(TrainConfigValidate, TrainerEntryPointsThrowTypedError) {
+  TrainConfig cfg = valid_config();
+  cfg.chunk_bytes = 7;  // below the 64-byte floor
+  try {
+    run_distributed(cfg, 2);
+    FAIL() << "run_distributed accepted an invalid config";
+  } catch (const ConfigValidationError& e) {
+    ASSERT_EQ(e.errors().size(), 1u);
+    EXPECT_EQ(e.errors()[0].field, "chunk_bytes");
+    EXPECT_NE(std::string(e.what()).find("chunk_bytes"), std::string::npos);
+  }
+  EXPECT_THROW(run_oracle(cfg, 2), ConfigValidationError);
+  EXPECT_THROW(run_distributed(valid_config(), 0), ConfigValidationError);
+}
+
+}  // namespace
+}  // namespace embrace::core

@@ -145,6 +145,52 @@ TEST(Trainer, EmbRaceWithSgdAndAdagradAlsoMatch) {
   }
 }
 
+TEST(Trainer, ChunkedRunsAreBitwiseEqualToMonolithic) {
+  // chunk_bytes is a pure scheduling/wire knob: flipping it must not
+  // perturb a single loss bit (DESIGN.md §10 — the chunked dense path uses
+  // the same block partition and reduce order as the monolithic ring).
+  // Fusion, by contrast, changes the ring partition of the concatenated
+  // buffer, so chunked-vs-monolithic is pinned per fusion setting.
+  for (const int64_t fusion : {int64_t{0}, int64_t{4096}}) {
+    TrainConfig cfg = base_config();
+    cfg.strategy = StrategyKind::kEmbRace;
+    cfg.steps = 6;
+    cfg.fusion_bytes = fusion;
+    constexpr int kWorkers = 3;
+    const auto mono = run_distributed(cfg, kWorkers);
+
+    TrainConfig chunked = cfg;
+    chunked.chunk_bytes = 256;
+    const auto chunked_run = run_distributed(chunked, kWorkers);
+    ASSERT_EQ(mono.losses.size(), chunked_run.losses.size());
+    for (size_t i = 0; i < mono.losses.size(); ++i) {
+      EXPECT_EQ(mono.losses[i], chunked_run.losses[i])
+          << "step " << i << " fusion " << fusion;
+    }
+    // Chunking splits wire messages: more messages carry the same bytes.
+    EXPECT_GT(chunked_run.fabric_messages, mono.fabric_messages);
+    // And the chunked run still matches the synchronous oracle.
+    const auto oracle = run_oracle(cfg, kWorkers);
+    expect_losses_close(chunked_run.losses, oracle.losses, 2e-3f);
+  }
+}
+
+TEST(Trainer, DeprecatedDenseFusionBytesStillHonored) {
+  TrainConfig cfg = base_config();
+  cfg.strategy = StrategyKind::kEmbRace;
+  cfg.steps = 4;
+  cfg.fusion_bytes = 2048;
+  const auto with_new = run_distributed(cfg, 2);
+  TrainConfig old = cfg;
+  old.fusion_bytes = 0;
+  old.dense_fusion_bytes = 2048;  // deprecated spelling, same behaviour
+  const auto with_old = run_distributed(old, 2);
+  ASSERT_EQ(with_new.losses.size(), with_old.losses.size());
+  for (size_t i = 0; i < with_new.losses.size(); ++i) {
+    EXPECT_EQ(with_new.losses[i], with_old.losses[i]) << "step " << i;
+  }
+}
+
 TEST(Trainer, EmbRaceCommLogFollows2dOrder) {
   TrainConfig cfg = base_config();
   cfg.strategy = StrategyKind::kEmbRace;
