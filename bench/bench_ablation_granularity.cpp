@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "comm/chunked_collectives.h"
 #include "comm/cluster.h"
 #include "comm/communicator.h"
@@ -185,11 +186,5 @@ int main() {
               "preemption(s)\n",
               static_cast<long long>(preemptions));
 
-  const std::string json = registry.json();
-  std::FILE* f = std::fopen("BENCH_granularity.json", "w");
-  EMBRACE_CHECK(f != nullptr, << "cannot open BENCH_granularity.json");
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
-  std::puts("wrote BENCH_granularity.json");
-  return 0;
+  return bench::write_bench_json(registry, "granularity") ? 0 : 1;
 }

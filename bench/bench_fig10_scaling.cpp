@@ -5,15 +5,34 @@
 //
 // Paper: scaling 4 -> 16 GPUs, EmbRace achieves 3.14x (LM), 3.42x (GNMT-8),
 // 2.53x (Transformer), 3.94x (BERT-base); competitors 3.06/3.32/2.51/3.81.
+//
+// Every series point lands in a dedicated metrics registry —
+// fig10.tokens_per_sec{...} and fig10.scaling_x{...} (throughput relative
+// to the method's own 4-GPU run) — and the snapshot is dumped to
+// BENCH_fig10.json for the CI bench-smoke job.
 #include <cstdio>
+#include <string>
 
+#include "bench_json.h"
 #include "common/table.h"
+#include "obs/metrics.h"
 #include "simnet/train_sim.h"
 
 using namespace embrace;
 using namespace embrace::simnet;
 
+namespace {
+
+std::string cell_label(const char* metric, const std::string& model,
+                       int gpus, const char* strategy) {
+  return std::string(metric) + "{model=" + model +
+         ",gpus=" + std::to_string(gpus) + ",strategy=" + strategy + "}";
+}
+
+}  // namespace
+
 int main() {
+  obs::MetricsRegistry fig10;
   std::puts("Figure 10: scaling performance on RTX3090 GPUs (tokens/sec; "
             "x-factor relative to the method's own 4-GPU throughput).\n");
   for (const auto& model : all_model_specs()) {
@@ -33,6 +52,22 @@ int main() {
         embrace4 = er;
         comp4 = co;
       }
+      fig10
+          .gauge(cell_label("fig10.tokens_per_sec", model.name, gpus,
+                            strategy_name(Strategy::kEmbRace)))
+          .set(er);
+      fig10
+          .gauge(cell_label("fig10.tokens_per_sec", model.name, gpus,
+                            strategy_name(competitor)))
+          .set(co);
+      fig10
+          .gauge(cell_label("fig10.scaling_x", model.name, gpus,
+                            strategy_name(Strategy::kEmbRace)))
+          .set(er / embrace4);
+      fig10
+          .gauge(cell_label("fig10.scaling_x", model.name, gpus,
+                            strategy_name(competitor)))
+          .set(co / comp4);
       t.add_row({std::to_string(gpus), TextTable::num(er, 0),
                  TextTable::num(er / embrace4, 2) + "x",
                  TextTable::num(embrace4 * gpus / 4.0, 0),
@@ -44,5 +79,5 @@ int main() {
     t.print();
     std::puts("");
   }
-  return 0;
+  return bench::write_bench_json(fig10, "fig10") ? 0 : 1;
 }

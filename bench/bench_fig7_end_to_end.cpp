@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <string>
 
-#include "common/error.h"
+#include "bench_json.h"
 #include "common/table.h"
 #include "obs/metrics.h"
 #include "simnet/train_sim.h"
@@ -75,11 +75,5 @@ int main() {
       std::puts("");
     }
   }
-  const std::string json = fig7.json();
-  std::FILE* f = std::fopen("BENCH_fig7.json", "w");
-  EMBRACE_CHECK(f != nullptr, << "cannot open BENCH_fig7.json");
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
-  std::puts("wrote BENCH_fig7.json (metrics snapshot of every cell)");
-  return 0;
+  return bench::write_bench_json(fig7, "fig7") ? 0 : 1;
 }

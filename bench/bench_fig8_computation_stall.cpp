@@ -6,15 +6,33 @@
 // Paper bands: EmbRace reduces stall 1.45-2.56x (RTX3090) and 1.37-3.02x
 // (RTX2080) vs the best baseline; LM's Horovod-AllReduce stall is so large
 // the paper omits it from the plot.
+//
+// Every cell lands in a dedicated metrics registry — fig8.stall{...}
+// (seconds) and fig8.stall_norm{...} (relative to EmbRace) — and the
+// snapshot is dumped to BENCH_fig8.json for the CI bench-smoke job.
 #include <cstdio>
+#include <string>
 
+#include "bench_json.h"
 #include "common/table.h"
+#include "obs/metrics.h"
 #include "simnet/train_sim.h"
 
 using namespace embrace;
 using namespace embrace::simnet;
 
+namespace {
+
+std::string cell_label(const char* metric, const std::string& cluster,
+                       const std::string& model, const char* strategy) {
+  return std::string(metric) + "{cluster=" + cluster + ",model=" + model +
+         ",strategy=" + strategy + "}";
+}
+
+}  // namespace
+
 int main() {
+  obs::MetricsRegistry fig8;
   std::puts("Figure 8: Computation Stall on 16 GPUs, normalized by EmbRace "
             "(EmbRace = 1.00).\n");
   for (int cluster_kind = 0; cluster_kind < 2; ++cluster_kind) {
@@ -27,14 +45,26 @@ int main() {
       const double embrace_stall =
           simulate_training(model, cfg, Strategy::kEmbRace)
               .stats.computation_stall;
+      fig8.gauge(cell_label("fig8.stall", cfg.name, model.name,
+                            strategy_name(Strategy::kEmbRace)))
+          .set(embrace_stall);
       std::vector<std::string> row{model.name};
       double best = 1e100;
       for (Strategy s : baseline_strategies()) {
         const double stall =
             simulate_training(model, cfg, s).stats.computation_stall;
         best = std::min(best, stall);
+        fig8.gauge(cell_label("fig8.stall", cfg.name, model.name,
+                              strategy_name(s)))
+            .set(stall);
+        fig8.gauge(cell_label("fig8.stall_norm", cfg.name, model.name,
+                              strategy_name(s)))
+            .set(stall / embrace_stall);
         row.push_back(TextTable::num(stall / embrace_stall, 2));
       }
+      fig8.gauge(cell_label("fig8.best_baseline_norm", cfg.name, model.name,
+                            strategy_name(Strategy::kEmbRace)))
+          .set(best / embrace_stall);
       row.push_back("1.00");
       row.push_back(TextTable::num(best / embrace_stall, 2) + "x");
       t.add_row(std::move(row));
@@ -42,5 +72,5 @@ int main() {
     t.print();
     std::puts("");
   }
-  return 0;
+  return bench::write_bench_json(fig8, "fig8") ? 0 : 1;
 }

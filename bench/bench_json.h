@@ -1,0 +1,26 @@
+// Shared helper for the bench binaries' JSON emission: every bench that
+// prints a results table also dumps its numbers, as a metrics-registry
+// snapshot, to BENCH_<name>.json in the current directory — so the perf
+// trajectory of every figure/ablation is machine-diffable across PRs and
+// uploadable as a CI artifact.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace embrace::bench {
+
+// Writes `registry` as BENCH_<name>.json and announces it on stdout.
+// Returns false (with a message on stderr via the obs logger) on I/O
+// failure — benches treat that as a soft failure and still print tables.
+inline bool write_bench_json(const obs::MetricsRegistry& registry,
+                             const std::string& name) {
+  const std::string path = "BENCH_" + name + ".json";
+  if (!registry.write_json(path)) return false;
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace embrace::bench

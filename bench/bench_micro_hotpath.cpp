@@ -13,10 +13,10 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "comm/cluster.h"
 #include "comm/communicator.h"
 #include "comm/sparse_collectives.h"
-#include "common/error.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
@@ -178,11 +178,5 @@ int main() {
   }
 
   results.print();
-  const std::string json = registry.json();
-  std::FILE* f = std::fopen("BENCH_hotpath.json", "w");
-  EMBRACE_CHECK(f != nullptr, << "cannot open BENCH_hotpath.json");
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
-  std::puts("wrote BENCH_hotpath.json");
-  return 0;
+  return bench::write_bench_json(registry, "hotpath") ? 0 : 1;
 }

@@ -1,0 +1,149 @@
+// perf_report: runs a distributed training job through the performance
+// observatory (DESIGN.md §11) and writes PERF_report.json — the full
+// rank × step phase matrix, per-step straggler attribution, per-link α–β
+// fits, and per-OpKind bytes-on-wire.
+//
+// The fabric is given an emulated uniform link cost so the online profiler
+// has a real network profile to measure; compare the fitted alpha_us/gbps
+// in the report against the values passed on the command line.
+//
+// Usage:
+//   perf_report [workers] [steps] [strategy] [tables] [alpha_us] [gbps]
+//     workers:  rank count                          (default 4)
+//     steps:    training steps                      (default 6)
+//     strategy: allreduce|allgather|novss|embrace   (default embrace)
+//     tables:   embedding tables                    (default 2)
+//     alpha_us: emulated per-message link latency   (default 50)
+//     gbps:     emulated link bandwidth in Gbit/s   (default 10)
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "embrace/strategy.h"
+#include "obs/perf.h"
+#include "obs/report.h"
+
+using namespace embrace;
+using namespace embrace::core;
+
+namespace {
+
+StrategyKind pick_strategy(const std::string& name) {
+  if (name == "allreduce") return StrategyKind::kHorovodAllReduce;
+  if (name == "allgather") return StrategyKind::kHorovodAllGather;
+  if (name == "novss") return StrategyKind::kEmbRaceNoVss;
+  if (name == "embrace") return StrategyKind::kEmbRace;
+  std::fprintf(stderr,
+               "unknown strategy '%s' (want allreduce|allgather|novss|"
+               "embrace)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+int positive_arg(const char* text, const char* what) {
+  const int v = std::atoi(text);
+  if (v < 1) {
+    std::fprintf(stderr, "%s must be a positive integer, got '%s'\n", what,
+                 text);
+    std::exit(2);
+  }
+  return v;
+}
+
+// Step index from a scheduler op name ("prior/s3/t1" -> 3), or -1.
+int step_of(const std::string& name) {
+  const size_t pos = name.find("/s");
+  if (pos == std::string::npos) return -1;
+  return std::atoi(name.c_str() + pos + 2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int workers = argc > 1 ? positive_arg(argv[1], "workers") : 4;
+  const int steps = argc > 2 ? positive_arg(argv[2], "steps") : 6;
+  const std::string strategy = argc > 3 ? argv[3] : "embrace";
+  const int tables = argc > 4 ? positive_arg(argv[4], "tables") : 2;
+  const double alpha_us = argc > 5 ? std::atof(argv[5]) : 50.0;
+  const double gbps = argc > 6 ? std::atof(argv[6]) : 10.0;
+  if (alpha_us < 0.0 || gbps < 0.0) {
+    std::fprintf(stderr, "alpha_us and gbps must be >= 0\n");
+    return 2;
+  }
+
+  TrainConfig cfg;
+  cfg.strategy = pick_strategy(strategy);
+  cfg.steps = steps;
+  cfg.num_tables = tables;
+  cfg.batch_per_worker = 4;
+  cfg.perf_profile = true;
+  cfg.link_alpha_us = alpha_us;
+  cfg.link_bytes_per_us = gbps * 1e9 / 8.0 / 1e6;  // Gbit/s -> bytes/µs
+
+  obs::link_profiler().reset();
+  obs::link_profiler().set_enabled(true);
+  const TrainStats stats = run_distributed(cfg, workers);
+  obs::link_profiler().set_enabled(false);
+
+  // Per-OpKind bytes-on-wire and per-step comm busy time, both from rank
+  // 0's comm-thread execution log.
+  std::map<std::string, obs::KindBytes> by_kind;
+  std::map<int, double> comm_busy_ms;
+  for (const auto& rec : stats.comm_log) {
+    auto& k = by_kind[sched::op_kind_name(rec.kind)];
+    k.kind = sched::op_kind_name(rec.kind);
+    k.bytes += rec.bytes;
+    k.ops += 1;
+    if (const int s = step_of(rec.name); s >= 0) {
+      comm_busy_ms[s] += (rec.end - rec.start) * 1e3;
+    }
+  }
+  std::vector<obs::KindBytes> bytes_by_kind;
+  for (auto& [name, k] : by_kind) bytes_by_kind.push_back(std::move(k));
+
+  obs::RunInfo run;
+  run.strategy = strategy_kind_name(cfg.strategy);
+  run.workers = workers;
+  run.steps = steps;
+  run.tables = tables;
+  run.wall_seconds = stats.wall_seconds;
+  run.fabric_bytes = stats.fabric_bytes;
+  run.fabric_messages = stats.fabric_messages;
+
+  const obs::PerfReport report = obs::build_report(
+      run, stats.step_profiles, obs::link_profiler().fits(),
+      std::move(bytes_by_kind), std::move(comm_busy_ms));
+  if (!obs::write_report_json(report, "PERF_report.json")) {
+    std::fprintf(stderr, "failed to write PERF_report.json\n");
+    return 1;
+  }
+
+  std::printf("%d steps x %d workers (%s), final loss %.4f, wall %.2fs\n",
+              steps, workers, strategy_kind_name(cfg.strategy),
+              stats.losses.empty() ? 0.0f : stats.losses.back(),
+              stats.wall_seconds);
+  std::printf("\nper-step (ms):\n");
+  std::printf("  %4s %9s %9s %8s %7s %s\n", "step", "mean", "max", "skew",
+              "slowest", "bound");
+  for (const auto& a : report.steps) {
+    std::printf("  %4d %9.2f %9.2f %8.2f %7d %s\n", a.step, a.mean_wall_ms,
+                a.max_wall_ms, a.skew_ms, a.slowest_rank,
+                obs::bound_name(a.bound));
+  }
+  std::printf("\nlink fits (configured: alpha=%.1fus, %.1f Gbps):\n",
+              alpha_us, gbps);
+  for (const auto& f : report.links) {
+    std::printf("  %d->%d: n=%lld alpha=%.1fus bw=%.2f Gbps\n", f.src, f.dst,
+                static_cast<long long>(f.samples), f.alpha_us, f.gbps());
+  }
+  std::printf("\nbytes on wire by op kind:\n");
+  for (const auto& k : report.bytes_by_kind) {
+    std::printf("  %-16s %12lld bytes in %lld ops\n", k.kind.c_str(),
+                static_cast<long long>(k.bytes),
+                static_cast<long long>(k.ops));
+  }
+  std::puts("\nwrote PERF_report.json");
+  return 0;
+}

@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "obs/metrics.h"
+#include "obs/perf.h"
 #include "obs/trace.h"
 
 namespace embrace::comm {
@@ -14,6 +15,26 @@ namespace {
 // Bucket edges for recv-side blocking time (microseconds).
 constexpr double kWaitEdgesUs[] = {1.0,   10.0,   100.0,   1000.0,
                                    1e4,   1e5,    1e6};
+
+// Holds the calling thread for ~`us` microseconds with much better accuracy
+// than sleep_for alone: the OS sleep covers the bulk, a spin covers the
+// scheduler-granularity tail. Link-cost emulation needs this — a 50 µs α
+// would otherwise round up to a multi-hundred-µs timer tick and the fitted
+// latency would be noise, not the configured value.
+void precise_sleep_us(double us) {
+  if (us <= 0.0) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + std::chrono::duration_cast<
+                                 std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double, std::micro>(us));
+  constexpr auto kSpinWindow = std::chrono::microseconds(100);
+  if (deadline - t0 > kSpinWindow) {
+    std::this_thread::sleep_until(deadline - kSpinWindow);
+  }
+  while (std::chrono::steady_clock::now() < deadline) {
+    // spin the tail
+  }
+}
 
 uint64_t splitmix64(uint64_t z) {
   z += 0x9e3779b97f4a7c15ULL;
@@ -39,12 +60,15 @@ Fabric::Fabric(int num_ranks) : num_ranks_(num_ranks) {
   }
   const size_t links = static_cast<size_t>(num_ranks) * num_ranks;
   counters_.reserve(links);
+  recv_counters_.reserve(links);
   link_msg_counter_.reserve(links);
   for (size_t i = 0; i < links; ++i) {
     counters_.push_back(std::make_unique<PairCounters>());
+    recv_counters_.push_back(std::make_unique<PairCounters>());
     link_msg_counter_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
   }
   link_cfg_.resize(links);
+  link_cost_.resize(links);
 }
 
 uint64_t Fabric::key(int src, uint64_t tag) {
@@ -72,6 +96,20 @@ void Fabric::set_delivery_jitter(uint64_t max_micros, uint64_t seed) {
   FaultConfig cfg;
   cfg.delay_max_us = max_micros;
   set_fault_config(cfg, seed);
+}
+
+void Fabric::set_link_cost(int src, int dst, const LinkCost& cost) {
+  EMBRACE_CHECK(src >= 0 && src < num_ranks_, << "bad src rank " << src);
+  EMBRACE_CHECK(dst >= 0 && dst < num_ranks_, << "bad dst rank " << dst);
+  link_cost_[static_cast<size_t>(src) * num_ranks_ + dst] = cost;
+  bool any = false;
+  for (const auto& c : link_cost_) any = any || c.any();
+  link_costs_enabled_.store(any, std::memory_order_relaxed);
+}
+
+void Fabric::set_uniform_link_cost(const LinkCost& cost) {
+  for (auto& c : link_cost_) c = cost;
+  link_costs_enabled_.store(cost.any(), std::memory_order_relaxed);
 }
 
 void Fabric::set_recv_timeout(std::chrono::microseconds timeout) {
@@ -119,12 +157,28 @@ void Fabric::send_shared(int src, int dst, uint64_t tag, SharedBytes msg) {
 void Fabric::deliver(int src, int dst, uint64_t tag, Envelope env) {
   EMBRACE_CHECK(src >= 0 && src < num_ranks_, << "bad src rank " << src);
   EMBRACE_CHECK(dst >= 0 && dst < num_ranks_, << "bad dst rank " << dst);
+  const auto deliver_t0 = std::chrono::steady_clock::now();
   FaultDecision fault;
   if (faults_enabled()) {
     fault = roll_faults(src, dst);
     if (fault.delay_us > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(fault.delay_us));
     }
+  }
+  // α–β link emulation: occupy the sender for the modeled wire time. Self
+  // deliveries are a local memcpy, not a wire — never charged.
+  if (src != dst && link_costs_enabled()) {
+    const LinkCost& cost =
+        link_cost_[static_cast<size_t>(src) * num_ranks_ + dst];
+    if (cost.any()) precise_sleep_us(cost.cost_us(env.size()));
+  }
+  // The profiler samples the *measured* delivery time (emulated wire cost
+  // plus real overhead), which is exactly what a fit must recover.
+  if (src != dst && obs::link_profiler().enabled()) {
+    const auto t1 = std::chrono::steady_clock::now();
+    obs::link_profiler().record(
+        src, dst, static_cast<int64_t>(env.size()),
+        std::chrono::duration<double, std::micro>(t1 - deliver_t0).count());
   }
   auto& c = *counters_[static_cast<size_t>(src) * num_ranks_ + dst];
   c.messages.fetch_add(1, std::memory_order_relaxed);
@@ -199,9 +253,12 @@ Bytes Fabric::unwrap(Envelope&& env, int dst) {
   return out;
 }
 
-void Fabric::record_recv(size_t bytes,
+void Fabric::record_recv(int src, int dst, size_t bytes,
                          std::chrono::steady_clock::time_point t0) {
   const auto t1 = std::chrono::steady_clock::now();
+  auto& c = *recv_counters_[static_cast<size_t>(src) * num_ranks_ + dst];
+  c.messages.fetch_add(1, std::memory_order_relaxed);
+  c.bytes.fetch_add(static_cast<int64_t>(bytes), std::memory_order_relaxed);
   static obs::Counter& recv_messages = obs::counter("fabric.recv.messages");
   static obs::Counter& recv_bytes = obs::counter("fabric.recv.bytes");
   static obs::Histogram& wait_us =
@@ -225,7 +282,7 @@ Bytes Fabric::recv(int dst, int src, uint64_t tag) {
   });
   Envelope env = pop_locked(box, k);
   lock.unlock();
-  record_recv(env.size(), t0);
+  record_recv(src, dst, env.size(), t0);
   return unwrap(std::move(env), dst);
 }
 
@@ -242,7 +299,7 @@ SharedBytes Fabric::recv_shared(int dst, int src, uint64_t tag) {
   });
   Envelope env = pop_locked(box, k);
   lock.unlock();
-  record_recv(env.size(), t0);
+  record_recv(src, dst, env.size(), t0);
   if (env.shared) return std::move(env.shared);
   return std::make_shared<Bytes>(std::move(env.owned));
 }
@@ -262,7 +319,7 @@ std::optional<Bytes> Fabric::try_recv_for(int dst, int src, uint64_t tag,
   if (!got) return std::nullopt;
   Envelope env = pop_locked(box, k);
   lock.unlock();
-  record_recv(env.size(), t0);
+  record_recv(src, dst, env.size(), t0);
   return unwrap(std::move(env), dst);
 }
 
@@ -281,7 +338,7 @@ std::optional<SharedBytes> Fabric::try_recv_shared_for(
   if (!got) return std::nullopt;
   Envelope env = pop_locked(box, k);
   lock.unlock();
-  record_recv(env.size(), t0);
+  record_recv(src, dst, env.size(), t0);
   if (env.shared) return std::move(env.shared);
   return std::make_shared<Bytes>(std::move(env.owned));
 }
@@ -335,8 +392,30 @@ TrafficCounters Fabric::total_traffic() const {
   return out;
 }
 
+TrafficCounters Fabric::recv_traffic(int src, int dst) const {
+  const auto& c =
+      *recv_counters_[static_cast<size_t>(src) * num_ranks_ + dst];
+  return {c.messages.load(), c.bytes.load()};
+}
+
+TrafficCounters Fabric::total_recv_traffic() const {
+  TrafficCounters out;
+  for (int src = 0; src < num_ranks_; ++src) {
+    for (int dst = 0; dst < num_ranks_; ++dst) {
+      const auto t = recv_traffic(src, dst);
+      out.messages += t.messages;
+      out.bytes += t.bytes;
+    }
+  }
+  return out;
+}
+
 void Fabric::reset_traffic() {
   for (auto& c : counters_) {
+    c->messages.store(0);
+    c->bytes.store(0);
+  }
+  for (auto& c : recv_counters_) {
     c->messages.store(0);
     c->bytes.store(0);
   }

@@ -61,6 +61,24 @@ struct TrafficCounters {
   int64_t bytes = 0;
 };
 
+// Emulated per-link delivery cost under the α–β model: a message of n bytes
+// occupies the link for alpha_us + n / bytes_per_us microseconds (either
+// term may be zero). The fabric sleeps the sending thread for that long
+// before the message becomes visible — the in-process stand-in for wire
+// latency/bandwidth, and the ground truth the obs::LinkProfiler is
+// validated against.
+struct LinkCost {
+  double alpha_us = 0.0;      // fixed per-message latency
+  double bytes_per_us = 0.0;  // bandwidth; 0 = infinite
+
+  bool any() const { return alpha_us > 0.0 || bytes_per_us > 0.0; }
+  double cost_us(size_t bytes) const {
+    double us = alpha_us;
+    if (bytes_per_us > 0.0) us += static_cast<double>(bytes) / bytes_per_us;
+    return us;
+  }
+};
+
 // Thrown when a receive misses its deadline. Names the blocked edge so a
 // dead peer surfaces as a diagnosable error instead of a silent hang.
 class TimeoutError : public Error {
@@ -158,6 +176,20 @@ class Fabric {
   // (equivalent to set_fault_config with only delay_max_us set).
   void set_delivery_jitter(uint64_t max_micros, uint64_t seed = 1);
 
+  // --- link-cost emulation (α–β model) ---
+
+  // Applies `cost` to one directed link / every link. Call before traffic
+  // starts (not thread-safe vs in-flight sends). With a cost configured,
+  // deliver() holds the sending thread for cost_us(size) before the message
+  // lands; the obs::LinkProfiler (when enabled) samples the measured
+  // per-delivery time, which is how tests validate the α–β fit against a
+  // known configuration.
+  void set_link_cost(int src, int dst, const LinkCost& cost);
+  void set_uniform_link_cost(const LinkCost& cost);
+  bool link_costs_enabled() const {
+    return link_costs_enabled_.load(std::memory_order_relaxed);
+  }
+
   // Default receive budget for deadline-aware callers (the Communicator).
   // 0 = block forever. Stored here so every rank/channel sharing the
   // fabric inherits one policy.
@@ -172,6 +204,12 @@ class Fabric {
   // Aggregate traffic sent by `src` to all peers.
   TrafficCounters traffic_from(int src) const;
   TrafficCounters total_traffic() const;
+  // Traffic *received* over src -> dst (counted when the receiver pops the
+  // message, not when the sender enqueues it). Under fault injection
+  // send-side and recv-side counters differ by exactly the unrecovered
+  // drops and discarded duplicates — the balance the fault tests assert.
+  TrafficCounters recv_traffic(int src, int dst) const;
+  TrafficCounters total_recv_traffic() const;
   void reset_traffic();
 
   // Number of live (src,tag) keys in dst's mailbox (tests assert the
@@ -229,12 +267,16 @@ class Fabric {
   // Converts a popped envelope into an owned buffer: move for owned or
   // last-reference shared payloads, pooled copy otherwise.
   Bytes unwrap(Envelope&& env, int dst);
-  void record_recv(size_t bytes, std::chrono::steady_clock::time_point t0);
+  void record_recv(int src, int dst, size_t bytes,
+                   std::chrono::steady_clock::time_point t0);
 
   int num_ranks_;
   std::vector<std::unique_ptr<BufferPool>> pools_;  // one per rank
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<PairCounters>> counters_;  // n*n, row-major
+  std::vector<std::unique_ptr<PairCounters>> recv_counters_;  // n*n
+  std::vector<LinkCost> link_cost_;  // n*n, row-major
+  std::atomic<bool> link_costs_enabled_{false};
   // Fault state: per-link configs (n*n, row-major) + per-link message
   // counters feeding the deterministic fault stream.
   std::vector<FaultConfig> link_cfg_;

@@ -7,6 +7,7 @@
 
 #include "data/corpus.h"
 #include "nn/heads.h"
+#include "obs/perf.h"
 #include "sched/comm_scheduler.h"
 
 namespace embrace::core {
@@ -115,6 +116,24 @@ struct TrainConfig {
   bool fault_recoverable = true;
   uint64_t recv_timeout_ms = 0;
 
+  // Emulated uniform α–β link cost (DESIGN.md §11): when either field is
+  // > 0, every cross-rank fabric delivery occupies the link for
+  // link_alpha_us + bytes / link_bytes_per_us microseconds before landing.
+  // Gives the in-process fabric a real (configurable) network profile, so
+  // the online link profiler has something to measure.
+  double link_alpha_us = 0.0;
+  double link_bytes_per_us = 0.0;
+
+  // Performance observatory (DESIGN.md §11). Phase accounting itself is
+  // always on (it is a handful of clock reads per step); this knob controls
+  // the cross-rank StepProfile exchange: when true, ranks allgather their
+  // profile at the end of every step on a dedicated channel, every rank
+  // sees the full rank × step matrix, and rank 0 publishes it in
+  // TrainStats::step_profiles. Off by default: the exchange adds one small
+  // collective per step to the wire, which would perturb traffic-exactness
+  // tests.
+  bool perf_profile = false;
+
   // The effective dense-fusion budget: fusion_bytes, falling back to the
   // deprecated dense_fusion_bytes when unset.
   int64_t effective_fusion_bytes() const {
@@ -135,6 +154,9 @@ struct TrainStats {
   int64_t ps_bytes = 0;  // Parallax only: push+pull volume
   // Rank 0's comm-thread execution log (op name + timing).
   std::vector<sched::ExecRecord> comm_log;
+  // Full rank × step phase matrix, populated only when
+  // TrainConfig::perf_profile is set (ordered by step, then rank).
+  std::vector<obs::StepProfile> step_profiles;
   // Wall-clock seconds for the whole run and rank 0's comm-thread busy
   // time (sum of op durations) — a coarse overlap indicator.
   double wall_seconds = 0.0;

@@ -24,6 +24,7 @@
 #include "comm/chunked_collectives.h"
 #include "comm/cluster.h"
 #include "obs/metrics.h"
+#include "obs/perf.h"
 #include "obs/trace.h"
 #include "common/stopwatch.h"
 #include "comm/param_server.h"
@@ -46,6 +47,7 @@ constexpr int kControlChannel = 0;  // scheduler negotiation
 constexpr int kCommChannel = 1;     // collectives run by the comm thread
 constexpr int kMainChannel = 2;     // inline metadata from the main thread
 constexpr int kAbortChannel = 3;    // best-effort rendezvous on failure
+constexpr int kPerfChannel = 4;     // per-step StepProfile exchange
 
 std::unique_ptr<nn::SparseOptimizer> make_sparse_optim(const TrainConfig& c,
                                                        int64_t rows,
@@ -187,6 +189,8 @@ struct SharedState {
   std::mutex result_mutex;
   std::vector<float> losses;
   std::vector<sched::ExecRecord> comm_log;
+  // Full rank × step phase matrix (perf_profile runs only; rank 0 writes).
+  std::vector<obs::StepProfile> step_profiles;
 };
 
 bool is_hybrid(StrategyKind s) {
@@ -220,6 +224,7 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
 
   comm::Communicator comm_ch = comm.channel(kCommChannel);
   comm::Communicator main_ch = comm.channel(kMainChannel);
+  comm::Communicator perf_ch = comm.channel(kPerfChannel);
   sched::NegotiatedScheduler scheduler(comm.channel(kControlChannel));
   // All submissions go through the shared Scheduler interface; only the
   // lifecycle calls (shutdown/abort) are NegotiatedScheduler-specific.
@@ -275,15 +280,17 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
   try {
   for (int step = 0; step < cfg.steps; ++step) {
     obs::ScopedSpan step_span("step", "step", step);
-    // Accumulates this step's blocked-on-comm wall time across the three
-    // wait sites (embedding data, dense grads, sparse grads).
-    double stall_ms = 0.0;
+    // Step-aligned phase accounting (DESIGN.md §11): kCommWait collects the
+    // blocked-on-comm wall time across every wait site — the paper's
+    // "computation stall" — and the other phases decompose the rest.
+    obs::StepAccounting acc;
     auto timed_wait = [&](auto& handle_vec, const char* phase) {
       const auto w0 = std::chrono::steady_clock::now();
       for (auto& h : handle_vec) h.wait();
       const auto w1 = std::chrono::steady_clock::now();
       obs::emit_complete(phase, w0, w1, "step", step);
-      stall_ms += std::chrono::duration<double, std::milli>(w1 - w0).count();
+      acc.add(obs::Phase::kCommWait,
+              std::chrono::duration<double, std::milli>(w1 - w0).count());
     };
     const data::Batch& cur = loader.current();
     const data::Batch& nxt = loader.next();
@@ -299,35 +306,44 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
         static_cast<size_t>(tables)),
         all_next(static_cast<size_t>(tables));
     if (is_hybrid(cfg.strategy)) {
-      for (int t = 0; t < tables; ++t) {
-        all_cur[t] = PartitionedEmbedding::allgather_ids(main_ch, seg.ids[t]);
-        all_next[t] =
-            PartitionedEmbedding::allgather_ids(main_ch, seg_next.ids[t]);
-      }
-      // Each table's lookup AlltoAll runs as its own scheduled comm op
-      // ("Emb Data"), ordered after the previous step's prior/delayed ops —
-      // the dependency the paper's Figure 6(c) encodes.
       std::vector<sched::Handle> handles;
-      for (int t = 0; t < tables; ++t) {
-        handles.push_back(sch.submit(
-            make_desc(emb_op("embdata", step, t),
-                      fifo ? fifo_priority() : Priorities::embdata(step, t),
-                      static_cast<int64_t>(seg.ids[t].size()) * cfg.dim *
-                          static_cast<int64_t>(sizeof(float)),
-                      sched::OpKind::kEmbData),
-            [&, t] {
-              Tensor rows = shards[t]->distributed_lookup(
-                  comm_ch, all_cur[t], seg.ids[t]);
-              scatter_rows(rows, seg.pos[t], emb_out);
-            }));
+      {
+        // Metadata exchange + op submission are comm *issue* work: the
+        // lookup itself runs on the comm thread; this thread only blocks in
+        // the timed_wait below (kCommWait).
+        obs::PhaseScope issue(acc, obs::Phase::kCommIssue);
+        for (int t = 0; t < tables; ++t) {
+          all_cur[t] =
+              PartitionedEmbedding::allgather_ids(main_ch, seg.ids[t]);
+          all_next[t] =
+              PartitionedEmbedding::allgather_ids(main_ch, seg_next.ids[t]);
+        }
+        // Each table's lookup AlltoAll runs as its own scheduled comm op
+        // ("Emb Data"), ordered after the previous step's prior/delayed ops —
+        // the dependency the paper's Figure 6(c) encodes.
+        for (int t = 0; t < tables; ++t) {
+          handles.push_back(sch.submit(
+              make_desc(emb_op("embdata", step, t),
+                        fifo ? fifo_priority() : Priorities::embdata(step, t),
+                        static_cast<int64_t>(seg.ids[t].size()) * cfg.dim *
+                            static_cast<int64_t>(sizeof(float)),
+                        sched::OpKind::kEmbData),
+              [&, t] {
+                Tensor rows = shards[t]->distributed_lookup(
+                    comm_ch, all_cur[t], seg.ids[t]);
+                scatter_rows(rows, seg.pos[t], emb_out);
+              }));
+        }
       }
       timed_wait(handles, "stall.embdata");
     } else if (uses_ps(cfg.strategy)) {
+      obs::PhaseScope fwd(acc, obs::Phase::kForward);
       for (int t = 0; t < tables; ++t) {
         scatter_rows(shared.ps[t]->pull_rows(seg.ids[t]), seg.pos[t],
                      emb_out);
       }
     } else {
+      obs::PhaseScope fwd(acc, obs::Phase::kForward);
       for (int t = 0; t < tables; ++t) {
         scatter_rows(replicas[t]->forward(seg.ids[t]), seg.pos[t], emb_out);
       }
@@ -340,8 +356,15 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
     const auto fp_bp_start = std::chrono::steady_clock::now();
     head->zero_grad();
     Tensor d_emb;
-    const float local_loss = head->forward_backward(
-        emb_out, cur.batch_size(), cur.seq_len(), targets, &d_emb);
+    float local_loss;
+    {
+      // The head API fuses FP and BP into one call; the whole fused pass is
+      // attributed to kBackward (BP dominates, and the split is invisible
+      // from out here).
+      obs::PhaseScope bp(acc, obs::Phase::kBackward);
+      local_loss = head->forward_backward(
+          emb_out, cur.batch_size(), cur.seq_len(), targets, &d_emb);
+    }
     obs::emit_complete("fp_bp.dense", fp_bp_start,
                        std::chrono::steady_clock::now(), "step", step);
 
@@ -388,6 +411,12 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
             }
           });
     };
+    // Everything from here to the waits below is comm *issue* work:
+    // gathering/splitting gradients and enqueueing ops. The transfers
+    // themselves run on the comm thread.
+    std::vector<sched::Handle> emb_handles;
+    {
+    obs::PhaseScope issue(acc, obs::Phase::kCommIssue);
     if (fusion_bytes > 0) {
       std::vector<Tensor*> grads;  // BP-emission (block) order
       std::vector<int64_t> grad_bytes;
@@ -437,7 +466,6 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
     }
 
     // --- sparse gradient communication, one stream per table ---
-    std::vector<sched::Handle> emb_handles;
     for (int t = 0; t < tables; ++t) {
       SparseRows my_grad(cfg.vocab, seg.ids[t],
                          gather_rows(d_emb, seg.pos[t]));
@@ -538,14 +566,57 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
       }
     }
 
+    }  // end comm-issue scope
+
     // --- finish the step ---
     timed_wait(dense_handles, "stall.dense");
-    dense_opt->step();
+    {
+      obs::PhaseScope opt(acc, obs::Phase::kOptimizer);
+      dense_opt->step();
+    }
     timed_wait(emb_handles, "stall.sparse");
-    stall_hist.observe(stall_ms);
+    stall_hist.observe(acc.phase_ms(obs::Phase::kCommWait));
     steps_done.increment();
-    local_losses.push_back(global_mean_loss(main_ch, local_loss, workers));
+    {
+      // The loss allreduce blocks on every peer reaching the same point —
+      // comm wait, same as the handle waits.
+      obs::PhaseScope wait(acc, obs::Phase::kCommWait);
+      local_losses.push_back(global_mean_loss(main_ch, local_loss, workers));
+    }
     loader.advance();
+
+    if (cfg.perf_profile) {
+      // Cross-rank exchange (DESIGN.md §11): every rank contributes its
+      // finished profile to a fixed-size allgather on the perf channel, so
+      // every rank sees the full row for this step. Runs after finish() —
+      // the exchange itself is observatory overhead, charged to no phase.
+      const obs::StepProfile mine = acc.finish(rank, step);
+      float block[obs::StepProfile::kFloats];
+      mine.to_floats(block);
+      const std::vector<float> all = perf_ch.allgather(block);
+      std::vector<obs::StepProfile> row;
+      row.reserve(static_cast<size_t>(workers));
+      for (int r = 0; r < workers; ++r) {
+        row.push_back(obs::StepProfile::from_floats(
+            r, step,
+            std::span<const float>(all).subspan(
+                static_cast<size_t>(r) * obs::StepProfile::kFloats,
+                obs::StepProfile::kFloats)));
+      }
+      if (rank == 0) {
+        double min_wall = row[0].wall_ms, max_wall = row[0].wall_ms;
+        for (const auto& p : row) {
+          min_wall = std::min(min_wall, p.wall_ms);
+          max_wall = std::max(max_wall, p.wall_ms);
+        }
+        static obs::Histogram& skew_hist = obs::histogram(
+            "trainer.step_skew_ms", obs::default_latency_edges_ms());
+        skew_hist.observe(max_wall - min_wall);
+        std::lock_guard<std::mutex> lock(shared.result_mutex);
+        shared.step_profiles.insert(shared.step_profiles.end(), row.begin(),
+                                    row.end());
+      }
+    }
   }
   } catch (...) {
     // Failure path (DESIGN.md §8): a collective timed out or an op body
@@ -622,6 +693,12 @@ TrainStats run_distributed(const TrainConfig& cfg, int workers) {
     fabric.set_recv_timeout(
         std::chrono::milliseconds(static_cast<int64_t>(cfg.recv_timeout_ms)));
   }
+  if (cfg.link_alpha_us > 0.0 || cfg.link_bytes_per_us > 0.0) {
+    comm::LinkCost cost;
+    cost.alpha_us = cfg.link_alpha_us;
+    cost.bytes_per_us = cfg.link_bytes_per_us;
+    fabric.set_uniform_link_cost(cost);
+  }
   Stopwatch wall;
   comm::run_cluster(fabric, [&](comm::Communicator& comm) {
     worker_main(cfg, workers, shared, comm);
@@ -631,6 +708,7 @@ TrainStats run_distributed(const TrainConfig& cfg, int workers) {
   stats.wall_seconds = wall.seconds();
   stats.losses = std::move(shared.losses);
   stats.comm_log = std::move(shared.comm_log);
+  stats.step_profiles = std::move(shared.step_profiles);
   const auto total = fabric.total_traffic();
   stats.fabric_bytes = total.bytes;
   stats.fabric_messages = total.messages;

@@ -1,0 +1,53 @@
+#include "obs/json_util.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace embrace::obs {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (uc < 0x20 || uc == 0x7f) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", uc);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  append_json_escaped(out, s);
+  out += '"';
+}
+
+void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[48];
+  // %.17g round-trips; trim the noise for whole numbers.
+  if (v == static_cast<double>(static_cast<int64_t>(v)) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(v)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out += buf;
+}
+
+}  // namespace embrace::obs

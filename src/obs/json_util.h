@@ -1,0 +1,30 @@
+// Shared JSON serialization helpers for the obs exporters (metrics,
+// Chrome trace, perf report).
+//
+// Every name that reaches an exporter is attacker-ish input from the
+// serializer's point of view: metric labels like
+// `comm.bytes{collective="alltoallv"}` carry quotes, op names could carry
+// backslashes or control characters. One escaping routine, used by every
+// exporter, keeps the outputs parseable by strict readers (python json,
+// Perfetto) instead of each file growing its own almost-right copy.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace embrace::obs {
+
+// Appends `s` with JSON string escaping: quote, backslash, and control
+// characters (< 0x20, plus DEL) become escape sequences. Bytes >= 0x80 pass
+// through unchanged (payloads are assumed UTF-8).
+void append_json_escaped(std::string& out, std::string_view s);
+
+// append_json_escaped wrapped in double quotes.
+void append_json_string(std::string& out, std::string_view s);
+
+// Appends `v` as a JSON number. Whole numbers print without a fraction;
+// non-finite values (NaN, ±Inf), which JSON cannot represent, print as
+// `null` so the document stays loadable.
+void append_json_number(std::string& out, double v);
+
+}  // namespace embrace::obs

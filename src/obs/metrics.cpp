@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "common/error.h"
+#include "common/logging.h"
+#include "obs/json_util.h"
 
 namespace embrace::obs {
 namespace {
@@ -15,36 +17,6 @@ void atomic_add_double(std::atomic<uint64_t>& bits, double v) {
   while (!bits.compare_exchange_weak(
       old_bits, std::bit_cast<uint64_t>(std::bit_cast<double>(old_bits) + v),
       std::memory_order_relaxed)) {
-  }
-}
-
-void append_double_json(std::string& out, double v) {
-  char buf[48];
-  // %.17g round-trips; trim the noise for whole numbers.
-  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
-      std::abs(v) < 1e15) {
-    std::snprintf(buf, sizeof(buf), "%lld",
-                  static_cast<long long>(static_cast<int64_t>(v)));
-  } else {
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-  }
-  out += buf;
-}
-
-void append_json_escaped(std::string& out, std::string_view s) {
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char hex[8];
-          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
-          out += hex;
-        } else {
-          out += c;
-        }
-    }
   }
 }
 
@@ -64,7 +36,6 @@ void Histogram::observe(double v) {
   const size_t i = static_cast<size_t>(
       std::lower_bound(edges_.begin(), edges_.end(), v) - edges_.begin());
   buckets_[i].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
   atomic_add_double(sum_bits_, v);
 }
 
@@ -75,14 +46,38 @@ Histogram::Snapshot Histogram::snapshot() const {
   for (const auto& b : buckets_) {
     s.bucket_counts.push_back(b.load(std::memory_order_relaxed));
   }
-  s.count = count_.load(std::memory_order_relaxed);
+  for (int64_t c : s.bucket_counts) s.count += c;
   s.sum = std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
   return s;
 }
 
+double Histogram::Snapshot::quantile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, fractional).
+  const double target = q * static_cast<double>(count);
+  int64_t cum = 0;
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    const int64_t in_bucket = bucket_counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= target) {
+      if (i >= upper_edges.size()) {
+        // +Inf bucket: no upper bound to interpolate toward.
+        return upper_edges.back();
+      }
+      const double lo = (i == 0) ? 0.0 : upper_edges[i - 1];
+      const double hi = upper_edges[i];
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum += in_bucket;
+  }
+  return upper_edges.back();
+}
+
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
   sum_bits_.store(0, std::memory_order_relaxed);
 }
 
@@ -164,7 +159,7 @@ std::string MetricsRegistry::json() const {
     out += "\n\"";
     append_json_escaped(out, name);
     out += "\":";
-    append_double_json(out, v);
+    append_json_number(out, v);
   }
   out += "\n},\n\"histograms\":{";
   first = true;
@@ -174,13 +169,19 @@ std::string MetricsRegistry::json() const {
     out += "\n\"";
     append_json_escaped(out, name);
     out += "\":{\"count\":" + std::to_string(h.count) + ",\"sum\":";
-    append_double_json(out, h.sum);
+    append_json_number(out, h.sum);
+    out += ",\"p50\":";
+    append_json_number(out, h.quantile(0.50));
+    out += ",\"p95\":";
+    append_json_number(out, h.quantile(0.95));
+    out += ",\"p99\":";
+    append_json_number(out, h.quantile(0.99));
     out += ",\"buckets\":[";
     for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
       if (i > 0) out += ',';
       out += "{\"le\":";
       if (i < h.upper_edges.size()) {
-        append_double_json(out, h.upper_edges[i]);
+        append_json_number(out, h.upper_edges[i]);
       } else {
         out += "\"+Inf\"";
       }
@@ -190,6 +191,22 @@ std::string MetricsRegistry::json() const {
   }
   out += "\n}\n}\n";
   return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  const std::string json = this->json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    LOG_WARN << "cannot open metrics output " << path;
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed) {
+    LOG_WARN << "short write to metrics output " << path;
+    return false;
+  }
+  return true;
 }
 
 MetricsRegistry& metrics() {
@@ -213,12 +230,8 @@ std::span<const double> default_latency_edges_ms() {
 MetricsRegistry::Snapshot metrics_snapshot() { return metrics().snapshot(); }
 std::string metrics_json() { return metrics().json(); }
 
-void write_metrics_json(const std::string& path) {
-  const std::string json = metrics_json();
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  EMBRACE_CHECK(f != nullptr, << "cannot open metrics output " << path);
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
+bool write_metrics_json(const std::string& path) {
+  return metrics().write_json(path);
 }
 
 void reset_metrics() { metrics().reset(); }

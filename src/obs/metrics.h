@@ -66,8 +66,14 @@ class Histogram {
   struct Snapshot {
     std::vector<double> upper_edges;
     std::vector<int64_t> bucket_counts;  // upper_edges.size() + 1 (+Inf last)
-    int64_t count = 0;
+    int64_t count = 0;                   // always == sum(bucket_counts)
     double sum = 0.0;
+
+    // Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+    // bucket that contains the q-th observation. The first bucket
+    // interpolates from 0, the +Inf bucket clamps to the last finite edge.
+    // Returns 0 for an empty histogram.
+    double quantile(double q) const;
   };
   Snapshot snapshot() const;
 
@@ -77,8 +83,9 @@ class Histogram {
   void reset();
 
   std::vector<double> edges_;  // strictly increasing
+  // No separate count cell: snapshot() derives count from the bucket loads,
+  // so count == sum(buckets) holds by construction even while writers race.
   std::vector<std::atomic<int64_t>> buckets_;
-  std::atomic<int64_t> count_{0};
   std::atomic<uint64_t> sum_bits_{0};
 };
 
@@ -104,9 +111,14 @@ class MetricsRegistry {
   // The snapshot serialized as JSON:
   //   {"counters":{...},"gauges":{...},
   //    "histograms":{"name":{"count":N,"sum":S,
+  //                          "p50":...,"p95":...,"p99":...,
   //                          "buckets":[{"le":1,"count":3},...,
   //                                     {"le":"+Inf","count":7}]}}}
   std::string json() const;
+
+  // json() to a file. Returns false (after logging a warning) when the path
+  // cannot be opened or the write comes up short.
+  bool write_json(const std::string& path) const;
 
  private:
   mutable std::mutex mutex_;
@@ -127,7 +139,8 @@ std::span<const double> default_latency_edges_ms();
 
 MetricsRegistry::Snapshot metrics_snapshot();
 std::string metrics_json();
-void write_metrics_json(const std::string& path);
+// Returns false (after logging a warning) when the file cannot be written.
+bool write_metrics_json(const std::string& path);
 void reset_metrics();
 
 }  // namespace embrace::obs

@@ -1,0 +1,190 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "obs/json_util.h"
+
+namespace embrace::obs {
+namespace {
+
+void append_profile_json(std::string& out, const StepProfile& p) {
+  out += "{\"rank\":" + std::to_string(p.rank);
+  out += ",\"wall_ms\":";
+  append_json_number(out, p.wall_ms);
+  out += ",\"phases\":{";
+  for (int i = 0; i < kNumPhases; ++i) {
+    if (i > 0) out += ',';
+    append_json_string(out, phase_name(static_cast<Phase>(i)));
+    out += ':';
+    append_json_number(out, p.phase_ms[i]);
+  }
+  out += "},\"stall_ms\":";
+  append_json_number(out, p.stall_ms());
+  out += '}';
+}
+
+}  // namespace
+
+PerfReport build_report(RunInfo run, std::vector<StepProfile> profiles,
+                        std::vector<LinkFit> links,
+                        std::vector<KindBytes> bytes_by_kind,
+                        std::map<int, double> comm_busy_ms) {
+  PerfReport r;
+  r.run = std::move(run);
+  r.profiles = std::move(profiles);
+  r.steps = aggregate_steps(r.profiles);
+  r.links = std::move(links);
+  r.bytes_by_kind = std::move(bytes_by_kind);
+  r.comm_busy_ms = std::move(comm_busy_ms);
+  return r;
+}
+
+std::string report_json(const PerfReport& report) {
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\n\"schema_version\":" + std::to_string(report.schema_version);
+
+  out += ",\n\"run\":{\"strategy\":";
+  append_json_string(out, report.run.strategy);
+  out += ",\"workers\":" + std::to_string(report.run.workers);
+  out += ",\"steps\":" + std::to_string(report.run.steps);
+  out += ",\"tables\":" + std::to_string(report.run.tables);
+  out += ",\"wall_seconds\":";
+  append_json_number(out, report.run.wall_seconds);
+  out += ",\"fabric_bytes\":" + std::to_string(report.run.fabric_bytes);
+  out += ",\"fabric_messages\":" + std::to_string(report.run.fabric_messages);
+  out += "}";
+
+  out += ",\n\"phases\":[";
+  for (int i = 0; i < kNumPhases; ++i) {
+    if (i > 0) out += ',';
+    append_json_string(out, phase_name(static_cast<Phase>(i)));
+  }
+  out += "]";
+
+  // Group the profile matrix by step, ranks sorted within each step.
+  std::map<int, std::vector<const StepProfile*>> by_step;
+  for (const StepProfile& p : report.profiles) by_step[p.step].push_back(&p);
+  std::map<int, const StepAggregate*> agg_by_step;
+  for (const StepAggregate& a : report.steps) agg_by_step[a.step] = &a;
+
+  out += ",\n\"steps\":[";
+  bool first_step = true;
+  for (auto& [step, rows] : by_step) {
+    if (!first_step) out += ',';
+    first_step = false;
+    std::sort(rows.begin(), rows.end(),
+              [](const StepProfile* a, const StepProfile* b) {
+                return a->rank < b->rank;
+              });
+    out += "\n{\"step\":" + std::to_string(step) + ",\"ranks\":[";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0) out += ',';
+      append_profile_json(out, *rows[i]);
+    }
+    out += ']';
+    if (auto it = agg_by_step.find(step); it != agg_by_step.end()) {
+      const StepAggregate& a = *it->second;
+      out += ",\"slowest_rank\":" + std::to_string(a.slowest_rank);
+      out += ",\"skew_ms\":";
+      append_json_number(out, a.skew_ms);
+      out += ",\"mean_wall_ms\":";
+      append_json_number(out, a.mean_wall_ms);
+      out += ",\"comm_wait_frac\":";
+      append_json_number(out, a.comm_wait_frac);
+      out += ",\"bound\":";
+      append_json_string(out, bound_name(a.bound));
+    }
+    if (auto it = report.comm_busy_ms.find(step);
+        it != report.comm_busy_ms.end()) {
+      out += ",\"comm_busy_ms\":";
+      append_json_number(out, it->second);
+    }
+    out += '}';
+  }
+  out += "\n]";
+
+  // Straggler rollup across steps.
+  std::map<int, int> slowest_counts;
+  std::map<std::string, int> bound_counts;
+  double max_skew = 0.0, sum_skew = 0.0;
+  for (const StepAggregate& a : report.steps) {
+    slowest_counts[a.slowest_rank] += 1;
+    bound_counts[bound_name(a.bound)] += 1;
+    max_skew = std::max(max_skew, a.skew_ms);
+    sum_skew += a.skew_ms;
+  }
+  out += ",\n\"stragglers\":{\"slowest_rank_counts\":{";
+  bool first = true;
+  for (const auto& [rank, n] : slowest_counts) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + std::to_string(rank) + "\":" + std::to_string(n);
+  }
+  out += "},\"bound_counts\":{";
+  first = true;
+  for (const auto& [name, n] : bound_counts) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':' + std::to_string(n);
+  }
+  out += "},\"max_skew_ms\":";
+  append_json_number(out, max_skew);
+  out += ",\"mean_skew_ms\":";
+  append_json_number(
+      out, report.steps.empty()
+               ? 0.0
+               : sum_skew / static_cast<double>(report.steps.size()));
+  out += "}";
+
+  out += ",\n\"links\":[";
+  for (size_t i = 0; i < report.links.size(); ++i) {
+    const LinkFit& f = report.links[i];
+    if (i > 0) out += ',';
+    out += "\n{\"src\":" + std::to_string(f.src);
+    out += ",\"dst\":" + std::to_string(f.dst);
+    out += ",\"samples\":" + std::to_string(f.samples);
+    out += ",\"alpha_us\":";
+    append_json_number(out, f.alpha_us);
+    out += ",\"bytes_per_us\":";
+    append_json_number(out, f.bytes_per_us);
+    out += ",\"gbps\":";
+    append_json_number(out, f.gbps());
+    out += '}';
+  }
+  out += "\n]";
+
+  out += ",\n\"bytes_by_kind\":{";
+  first = true;
+  for (const KindBytes& k : report.bytes_by_kind) {
+    if (!first) out += ',';
+    first = false;
+    out += '\n';
+    append_json_string(out, k.kind);
+    out += ":{\"bytes\":" + std::to_string(k.bytes);
+    out += ",\"ops\":" + std::to_string(k.ops) + "}";
+  }
+  out += "\n}\n}\n";
+  return out;
+}
+
+bool write_report_json(const PerfReport& report, const std::string& path) {
+  const std::string json = report_json(report);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    LOG_WARN << "cannot open perf report output " << path;
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed) {
+    LOG_WARN << "short write to perf report output " << path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace embrace::obs

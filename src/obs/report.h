@@ -1,0 +1,81 @@
+// PERF_report.json: the observatory's serialized output.
+//
+// build_report() folds a run's raw inputs — the full rank × step StepProfile
+// matrix, the link profiler fits, per-OpKind wire bytes — into a PerfReport;
+// report_json() serializes it under a versioned schema (kPerfReportSchema)
+// so downstream tooling can check compatibility before parsing:
+//
+//   {"schema_version":1,
+//    "run":{"strategy":...,"workers":W,"steps":S,...},
+//    "phases":["forward",...],
+//    "steps":[{"step":0,"ranks":[{"rank":0,"wall_ms":..,"phases":{..},
+//              "stall_ms":..},...],
+//              "slowest_rank":..,"skew_ms":..,"bound":"comm",
+//              "comm_busy_ms":..},...],
+//    "stragglers":{"slowest_rank_counts":{"0":3,...},
+//                  "bound_counts":{"comm":4,...},
+//                  "max_skew_ms":..,"mean_skew_ms":..},
+//    "links":[{"src":0,"dst":1,"samples":..,"alpha_us":..,
+//              "bytes_per_us":..,"gbps":..},...],
+//    "bytes_by_kind":{"dense":{"bytes":..,"ops":..},...}}
+//
+// Inputs are neutral structs: this layer depends only on perf.h, never on
+// comm:: or sched:: types, so obs stays at the bottom of the dependency
+// stack. Callers (examples/perf_report, benches) translate their
+// ExecRecords and TrainStats into KindBytes/RunInfo first.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/perf.h"
+
+namespace embrace::obs {
+
+inline constexpr int kPerfReportSchema = 1;
+
+// Identity of the run the report describes.
+struct RunInfo {
+  std::string strategy;
+  int workers = 0;
+  int steps = 0;
+  int tables = 0;
+  double wall_seconds = 0.0;
+  int64_t fabric_bytes = 0;
+  int64_t fabric_messages = 0;
+};
+
+// Wire traffic attributed to one scheduler OpKind.
+struct KindBytes {
+  std::string kind;
+  int64_t bytes = 0;
+  int64_t ops = 0;
+};
+
+struct PerfReport {
+  int schema_version = kPerfReportSchema;
+  RunInfo run;
+  std::vector<StepProfile> profiles;   // full rank × step matrix
+  std::vector<StepAggregate> steps;    // derived per-step aggregates
+  std::vector<LinkFit> links;          // α–β fits per directed link
+  std::vector<KindBytes> bytes_by_kind;
+  // Scheduler busy time per step (rank 0's comm thread), if known.
+  std::map<int, double> comm_busy_ms;
+};
+
+// Assembles a report: stores the inputs and derives `steps` via
+// aggregate_steps(profiles).
+PerfReport build_report(RunInfo run, std::vector<StepProfile> profiles,
+                        std::vector<LinkFit> links,
+                        std::vector<KindBytes> bytes_by_kind = {},
+                        std::map<int, double> comm_busy_ms = {});
+
+std::string report_json(const PerfReport& report);
+
+// report_json() to a file. Returns false (after logging a warning) when the
+// path cannot be written.
+bool write_report_json(const PerfReport& report, const std::string& path);
+
+}  // namespace embrace::obs

@@ -10,6 +10,7 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "obs/json_util.h"
 
 namespace embrace::obs {
 namespace {
@@ -95,23 +96,6 @@ void push_event(std::string_view name, char phase, SteadyTime t0, int64_t dur_ns
   e.arg2 = arg2;
   e.rank = buf.rank;
   buf.head.store(head + 1, std::memory_order_release);
-}
-
-void append_json_escaped(std::string& out, std::string_view s) {
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char hex[8];
-          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
-          out += hex;
-        } else {
-          out += c;
-        }
-    }
-  }
 }
 
 void append_args_json(std::string& out, const char* arg1_name, int64_t arg1,
@@ -297,12 +281,20 @@ std::string chrome_trace_json() {
   return out;
 }
 
-void write_chrome_trace(const std::string& path) {
+bool write_chrome_trace(const std::string& path) {
   const std::string json = chrome_trace_json();
   std::FILE* f = std::fopen(path.c_str(), "w");
-  EMBRACE_CHECK(f != nullptr, << "cannot open trace output " << path);
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
+  if (f == nullptr) {
+    LOG_WARN << "cannot open trace output " << path;
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed) {
+    LOG_WARN << "short write to trace output " << path;
+    return false;
+  }
+  return true;
 }
 
 int64_t trace_event_count() {

@@ -84,7 +84,8 @@ class ScopedSpan {
 // chrome://tracing and ui.perfetto.dev. Includes process_name (rank N) and
 // thread_name metadata records.
 std::string chrome_trace_json();
-void write_chrome_trace(const std::string& path);
+// Returns false (after logging a warning) when the file cannot be written.
+bool write_chrome_trace(const std::string& path);
 
 // Structured view of the merged trace for tests and programmatic checks
 // (same data the JSON serializes, metadata records excluded).

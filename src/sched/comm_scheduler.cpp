@@ -279,7 +279,8 @@ void CommScheduler::run() {
                           std::chrono::duration<double>(op->first_start -
                                                         epoch_)
                               .count(),
-                          std::chrono::duration<double>(t1 - epoch_).count()});
+                          std::chrono::duration<double>(t1 - epoch_).count(),
+                          op->desc.kind, op->desc.bytes});
     }
     detail::complete_op_state(op->state);
     {

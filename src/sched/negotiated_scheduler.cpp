@@ -287,7 +287,8 @@ bool NegotiatedScheduler::run_slice(const std::shared_ptr<Op>& op) {
     records_.push_back(
         {op->desc.name,
          std::chrono::duration<double>(op->first_start - epoch_).count(),
-         std::chrono::duration<double>(t1 - epoch_).count()});
+         std::chrono::duration<double>(t1 - epoch_).count(),
+         op->desc.kind, op->desc.bytes});
   }
   detail::complete_op_state(op->state);
   {

@@ -40,15 +40,6 @@ class SchedulerError : public Error {
   explicit SchedulerError(const std::string& what) : Error(what) {}
 };
 
-// Completion record for tests and timeline rendering (seconds since
-// scheduler construction). For chunked ops, start is the first slice's
-// start and end the final slice's end.
-struct ExecRecord {
-  std::string name;
-  double start = 0.0;
-  double end = 0.0;
-};
-
 // Coarse op class, for tracing and policy (e.g. bucket assignment).
 enum class OpKind {
   kOther,
@@ -59,6 +50,19 @@ enum class OpKind {
 };
 
 const char* op_kind_name(OpKind k);
+
+// Completion record for tests, timeline rendering, and the perf
+// observatory (seconds since scheduler construction). For chunked ops,
+// start is the first slice's start and end the final slice's end. kind and
+// bytes are copied from the OpDesc so per-OpKind bytes-on-wire can be
+// aggregated from the log alone.
+struct ExecRecord {
+  std::string name;
+  double start = 0.0;
+  double end = 0.0;
+  OpKind kind = OpKind::kOther;
+  int64_t bytes = 0;
+};
 
 // Typed op descriptor. Lower priority value = more urgent; ties break by
 // submission order. `name` must be unique among unexecuted ops (and, for

@@ -4,8 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -230,6 +235,128 @@ TEST(Metrics, HistogramRejectsMismatchedEdges) {
   histogram("test.hist.mismatch", edges);
   const double other[] = {3.0};
   EXPECT_THROW(histogram("test.hist.mismatch", other), Error);
+}
+
+TEST(Metrics, QuantileInterpolatesWithinBuckets) {
+  MetricsRegistry reg;
+  const double edges[] = {10.0, 20.0, 40.0};
+  Histogram& h = reg.histogram("q", edges);
+  for (int i = 0; i < 4; ++i) h.observe(5.0);   // bucket le=10
+  for (int i = 0; i < 4; ++i) h.observe(15.0);  // bucket le=20
+  for (int i = 0; i < 2; ++i) h.observe(30.0);  // bucket le=40
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.count, 10);
+  // Rank 2 of 10 sits halfway through the first bucket, which spans [0, 10].
+  EXPECT_DOUBLE_EQ(s.quantile(0.2), 5.0);
+  // Rank 5 is one observation into the second bucket's four: [10, 20] at 1/4.
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 12.5);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 40.0);
+  // Monotone in q.
+  EXPECT_LE(s.quantile(0.5), s.quantile(0.95));
+  EXPECT_LE(s.quantile(0.95), s.quantile(0.99));
+}
+
+TEST(Metrics, QuantileEdgeCases) {
+  MetricsRegistry reg;
+  const double edges[] = {10.0};
+  Histogram& h = reg.histogram("q.edge", edges);
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 0.0);  // empty
+  h.observe(99.0);  // lands in +Inf: quantile clamps to the last finite edge
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(1.0), 10.0);
+}
+
+TEST(Metrics, JsonReportsQuantiles) {
+  MetricsRegistry reg;
+  const double edges[] = {10.0, 20.0};
+  reg.histogram("q.json", edges).observe(15.0);
+  const std::string json = reg.json();
+  EXPECT_TRUE(json_structurally_valid(json));
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(Metrics, JsonEscapesControlCharactersAndNonFinite) {
+  MetricsRegistry reg;
+  // A metric name exercising every escape class: quote, backslash, the
+  // named control escapes, an arbitrary control byte, and DEL.
+  std::string evil = "evil\"\\\n\r\t";
+  evil.push_back('\x01');
+  evil.push_back('\x7f');
+  reg.counter(evil).add(1);
+  reg.gauge("nan").set(std::nan(""));
+  reg.gauge("inf").set(std::numeric_limits<double>::infinity());
+  const std::string json = reg.json();
+  EXPECT_TRUE(json_structurally_valid(json));
+  EXPECT_NE(json.find("evil\\\"\\\\\\n\\r\\t\\u0001\\u007f"),
+            std::string::npos);
+  // Raw control bytes must never reach the output (the dump's own
+  // formatting newlines are structural, outside any string).
+  for (char c : json) {
+    if (c != '\n') {
+      EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+    }
+  }
+  // Non-finite doubles are not representable in JSON; they become null.
+  EXPECT_NE(json.find("\"nan\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"inf\":null"), std::string::npos);
+}
+
+TEST(Metrics, ConcurrentObserveVsSnapshotKeepsCountConsistent) {
+  // count is derived from the bucket loads inside snapshot(), so a snapshot
+  // racing with observers can never see count != sum(buckets). Hammer the
+  // histogram from several writers while a reader snapshots continuously.
+  MetricsRegistry reg;
+  const double edges[] = {1.0, 2.0, 3.0};
+  Histogram& h = reg.histogram("race", edges);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 50000;
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    int64_t last = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      const auto s = h.snapshot();
+      int64_t buckets = 0;
+      for (int64_t c : s.bucket_counts) buckets += c;
+      ASSERT_EQ(s.count, buckets);
+      ASSERT_GE(s.count, last);  // monotone under concurrent observes
+      last = s.count;
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) h.observe((w + i) % 4 + 0.5);
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(h.snapshot().count, int64_t{kWriters} * kPerWriter);
+}
+
+TEST(Metrics, ResetUnderCachedHistogramHandle) {
+  MetricsRegistry reg;
+  const double edges[] = {1.0, 2.0};
+  Histogram& h = reg.histogram("reset.cached", edges);
+  h.observe(0.5);
+  h.observe(1.5);
+  reg.reset();
+  // The cached handle stays valid and starts from a clean slate.
+  h.observe(1.5);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1);
+  EXPECT_EQ(s.bucket_counts, (std::vector<int64_t>{0, 1, 0}));
+  EXPECT_DOUBLE_EQ(s.sum, 1.5);
+}
+
+TEST(Metrics, WritersReportFailureInsteadOfAborting) {
+  EXPECT_FALSE(write_metrics_json("/nonexistent-dir-embrace/m.json"));
+  EXPECT_FALSE(write_chrome_trace("/nonexistent-dir-embrace/t.json"));
+  const std::string path = ::testing::TempDir() + "embrace_metrics_ok.json";
+  EXPECT_TRUE(write_metrics_json(path));
+  std::remove(path.c_str());
 }
 
 // --- scheduler integration ---
