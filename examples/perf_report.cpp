@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "embrace/strategy.h"
+#include "obs/metrics.h"
 #include "obs/perf.h"
 #include "obs/report.h"
 
@@ -143,6 +144,21 @@ int main(int argc, char** argv) {
     std::printf("  %-16s %12lld bytes in %lld ops\n", k.kind.c_str(),
                 static_cast<long long>(k.bytes),
                 static_cast<long long>(k.ops));
+  }
+  // Sparse-algorithm engine decisions (DESIGN.md §12) — populated by the
+  // allgather strategy's per-op AlgoPicker, zero elsewhere.
+  bool any_picks = false;
+  for (const char* algo : {"allgather", "recursive-doubling", "dense"}) {
+    const std::string label = std::string("{algo=") + algo + "}";
+    const int64_t picks =
+        obs::counter("sparse.algo.picks" + label).value();
+    if (picks == 0) continue;
+    if (!any_picks) std::printf("\nsparse algorithm picks:\n");
+    any_picks = true;
+    std::printf("  %-20s %6lld ops %12lld gradient bytes\n", algo,
+                static_cast<long long>(picks),
+                static_cast<long long>(
+                    obs::counter("sparse.algo.bytes" + label).value()));
   }
   std::puts("\nwrote PERF_report.json");
   return 0;

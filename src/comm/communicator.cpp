@@ -153,6 +153,14 @@ void Communicator::recv_reduce_block(int src, uint64_t tag,
   pool().release(std::move(buf));
 }
 
+void Communicator::send_bytes_block(int dst, uint64_t tag, Bytes msg) {
+  fabric_->send(rank_, dst, tag, std::move(msg));
+}
+
+Bytes Communicator::recv_bytes_block(int src, uint64_t tag) {
+  return checked_recv(src, tag);
+}
+
 uint64_t Communicator::reserve_tags(int64_t count) {
   EMBRACE_CHECK_GE(count, 1);
   const uint64_t first = next_tag();

@@ -126,6 +126,14 @@ class Communicator {
   // Packs `data` into a wire buffer acquired from this rank's pool and
   // sends it: one copy (host -> wire), no allocation in steady state.
   void send_float_block(int dst, uint64_t tag, std::span<const float> data);
+  // Owned byte payload at an explicitly reserved tag — the byte-level
+  // analogue of send_float_block for collectives whose per-round peers
+  // differ across ranks (e.g. recursive doubling), where the implicit
+  // per-channel sequence tags of send_bytes would diverge.
+  void send_bytes_block(int dst, uint64_t tag, Bytes msg);
+  // Receives the payload sent at a reserved tag. The caller owns the buffer
+  // and may recycle it into pool() once consumed.
+  Bytes recv_bytes_block(int src, uint64_t tag);
   // Receives a float payload of exactly dst.size()/acc.size() elements,
   // applies it in place (no intermediate std::vector<float>), and recycles
   // the wire buffer into this rank's pool.

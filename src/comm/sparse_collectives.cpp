@@ -1,24 +1,112 @@
 #include "comm/sparse_collectives.h"
 
+#include <bit>
+#include <utility>
+
+#include "comm/chunked_collectives.h"
 #include "common/error.h"
 
 namespace embrace::comm {
 namespace {
 
 // Packs `rows` into a wire buffer drawn from the communicator's pool: one
-// serialization copy, no allocation in steady state.
-Bytes pack_pooled(Communicator& comm, const SparseRows& rows) {
+// serialization copy, no allocation in steady state. An *empty* payload
+// (24-byte header, no rows) skips the pool entirely — pooling it would burn
+// a size-class slot and pool-stats churn on a round that moves no data.
+Bytes pack_wire(Communicator& comm, const SparseRows& rows) {
+  if (rows.empty()) {
+    Bytes buf(rows.packed_byte_size());
+    rows.pack_into(buf.data(), buf.size());
+    return buf;
+  }
   Bytes buf = comm.pool().acquire(rows.packed_byte_size());
   rows.pack_into(buf.data(), buf.size());
   return buf;
 }
 
+// One recursive-doubling merge: canonical lower-rank-payload-first concat,
+// coalesced. Both partners of an exchange compute exactly this, so their
+// accumulated values stay bitwise identical round after round — which is
+// what lets every rank finish with the same bits without a final broadcast.
+SparseRows merge_canonical(const SparseRows& lower, const SparseRows& higher) {
+  return SparseRows::concat(lower, higher).coalesced();
+}
+
+// Exchanges `mine` with `partner` at `tag` and returns the merged result.
+SparseRows exchange_merge(Communicator& comm, int partner, uint64_t tag,
+                          const SparseRows& mine) {
+  comm.send_bytes_block(partner, tag, pack_wire(comm, mine));
+  Bytes got = comm.recv_bytes_block(partner, tag);
+  SparseRows theirs = SparseRows::unpack(got);
+  comm.pool().release(std::move(got));
+  return comm.rank() < partner ? merge_canonical(mine, theirs)
+                               : merge_canonical(theirs, mine);
+}
+
+SparseRows sparse_allreduce_recursive_doubling(Communicator& comm,
+                                               const SparseRows& mine) {
+  const int n = comm.size();
+  const int rank = comm.rank();
+  // p = largest power of two <= n; ranks [p, n) are "extras" folded into
+  // [0, p) before the exchange rounds and served the result afterwards.
+  const int p = std::bit_floor(static_cast<unsigned>(n));
+  const int rounds = std::countr_zero(static_cast<unsigned>(p));
+  // Tag budget is a pure function of n (SPMD: every rank reserves the same
+  // count at the same point): fold leg + `rounds` exchanges + return leg.
+  const uint64_t base = comm.reserve_tags(rounds + 2);
+  const uint64_t fold_tag = base;
+  const uint64_t return_tag = base + static_cast<uint64_t>(rounds) + 1;
+
+  if (rank >= p) {
+    // Extra rank: contribute, then wait for the finished sum.
+    comm.send_bytes_block(rank - p, fold_tag, pack_wire(comm, mine));
+    Bytes got = comm.recv_bytes_block(rank - p, return_tag);
+    SparseRows total = SparseRows::unpack(got);
+    comm.pool().release(std::move(got));
+    return total;
+  }
+
+  SparseRows acc = mine.coalesced();
+  if (rank + p < n) {
+    Bytes got = comm.recv_bytes_block(rank + p, fold_tag);
+    // This rank is the lower one of the fold pair by construction.
+    acc = merge_canonical(acc, SparseRows::unpack(got));
+    comm.pool().release(std::move(got));
+  }
+  for (int r = 0; r < rounds; ++r) {
+    const int partner = rank ^ (1 << r);
+    acc = exchange_merge(comm, partner, base + 1 + static_cast<uint64_t>(r),
+                         acc);
+  }
+  if (rank + p < n) {
+    comm.send_bytes_block(rank + p, return_tag, pack_wire(comm, acc));
+  }
+  return acc;
+}
+
+SparseRows sparse_allreduce_dense_ring(Communicator& comm,
+                                       const SparseRows& mine,
+                                       int64_t chunk_bytes) {
+  Tensor dense = mine.to_dense();
+  allreduce_chunked(comm, dense.flat(), chunk_bytes);
+  return SparseRows::from_dense(dense);
+}
+
 }  // namespace
+
+const char* sparse_algo_name(SparseAlgoKind k) {
+  switch (k) {
+    case SparseAlgoKind::kSplitAllgather: return "allgather";
+    case SparseAlgoKind::kRecursiveDoubling: return "recursive-doubling";
+    case SparseAlgoKind::kDenseRing: return "dense";
+  }
+  return "?";
+}
 
 SparseRows sparse_allgather(Communicator& comm, const SparseRows& mine) {
   // Zero-copy exchange: peers read this rank's packed payload in place, and
   // the received views are parsed without materializing per-peer SparseRows.
-  auto buffers = comm.allgatherv_shared(pack_pooled(comm, mine));
+  auto buffers = comm.allgatherv_shared(pack_wire(comm, mine));
   std::vector<SparseRows::WireView> views;
   views.reserve(buffers.size());
   for (const auto& buf : buffers) {
@@ -36,12 +124,27 @@ SparseRows sparse_allgather(Communicator& comm, const SparseRows& mine) {
   return out;
 }
 
+SparseRows sparse_allreduce(Communicator& comm, const SparseRows& mine,
+                            SparseAlgoKind algo, int64_t chunk_bytes) {
+  if (comm.size() == 1) return mine;
+  switch (algo) {
+    case SparseAlgoKind::kSplitAllgather:
+      return sparse_allgather(comm, mine);
+    case SparseAlgoKind::kRecursiveDoubling:
+      return sparse_allreduce_recursive_doubling(comm, mine);
+    case SparseAlgoKind::kDenseRing:
+      return sparse_allreduce_dense_ring(comm, mine, chunk_bytes);
+  }
+  EMBRACE_CHECK(false, << "unknown SparseAlgoKind");
+  return mine;
+}
+
 std::vector<SparseRows> sparse_alltoall(Communicator& comm,
                                         std::vector<SparseRows> send) {
   EMBRACE_CHECK_EQ(static_cast<int>(send.size()), comm.size());
   std::vector<Bytes> payloads;
   payloads.reserve(send.size());
-  for (const auto& s : send) payloads.push_back(pack_pooled(comm, s));
+  for (const auto& s : send) payloads.push_back(pack_wire(comm, s));
   auto received = comm.alltoallv(std::move(payloads));
   std::vector<SparseRows> out;
   out.reserve(received.size());

@@ -21,6 +21,42 @@ namespace embrace::comm {
 // contributions over the shared row space.
 SparseRows sparse_allgather(Communicator& comm, const SparseRows& mine);
 
+// Algorithm variants for the sparse AllReduce (SparCML-style selection:
+// DESIGN.md §12). All three return a SparseRows whose dense meaning is the
+// elementwise sum of every rank's contribution; they differ in wire format
+// and message pattern, so their α–β costs cross over with density.
+enum class SparseAlgoKind {
+  // The allgather path above: each rank ships its whole payload to every
+  // peer, (N−1)·(α + S/B). Cheapest at low density; result is the
+  // uncoalesced rank-order concatenation (bitwise equal to sparse_allgather).
+  kSplitAllgather,
+  // Recursive doubling: log₂(N) pairwise exchange rounds, merging payloads
+  // pairwise (coalesced each round, canonical lower-rank-first order, so
+  // every rank holds a bitwise-identical coalesced result). Non-power-of-two
+  // worlds fold the extra ranks into [0, 2^⌊log₂N⌋) first and ship the
+  // result back after the exchange. Wins at mid densities on latency-bound
+  // fabrics: each payload crosses the wire O(log N) times, not N−1.
+  kRecursiveDoubling,
+  // Dense fallback: materialize to_dense(), ride the chunked ring AllReduce
+  // (bitwise equal to Communicator::allreduce), return the nonzero rows.
+  // Wins past the α–β crossover density where index overhead and the
+  // (N−1)·S allgather volume exceed the ring's 2(N−1)·M/N. Result is
+  // coalesced by construction.
+  kDenseRing,
+};
+
+// Stable lowercase name ("allgather" | "recursive-doubling" | "dense").
+const char* sparse_algo_name(SparseAlgoKind k);
+
+// AllReduce of `mine` over the shared row space with the chosen algorithm.
+// SPMD contract: every rank must pass the same `algo` and `chunk_bytes`
+// (the algorithms have different wire schedules — a split-brain choice
+// deadlocks, which is why the AlgoPicker decides from rank-agreed inputs).
+// `chunk_bytes` only affects kDenseRing (see allreduce_chunked; <= 0 means
+// one slice per ring step).
+SparseRows sparse_allreduce(Communicator& comm, const SparseRows& mine,
+                            SparseAlgoKind algo, int64_t chunk_bytes = 0);
+
 // Sends `send[i]` to rank i; returns the payload received from each rank,
 // indexed by source. All payloads must share row-space dimensions.
 std::vector<SparseRows> sparse_alltoall(Communicator& comm,

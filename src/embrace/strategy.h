@@ -87,6 +87,14 @@ struct TrainConfig {
   // When > 0, must be in [64, 1 GiB] (validate()).
   int64_t chunk_bytes = 0;
 
+  // Sparse AllReduce algorithm for kHorovodAllGather's embedding gradients
+  // (DESIGN.md §12): "auto" lets the AlgoPicker price the variants per op
+  // under the α–β model; "allgather" | "recursive-doubling" | "dense" force
+  // one. All spellings are validated by validate(); losses are within
+  // float tolerance of each other for every setting (the variants differ
+  // only in reduction order).
+  std::string sparse_algo = "auto";
+
   // Tensor fusion (bucketing) for the dense gradients: when > 0, dense
   // parameter gradients are packed in backward-pass order into buckets of
   // at most this many bytes and one collective carries each bucket

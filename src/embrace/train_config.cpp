@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "embrace/strategy.h"
+#include "sparse/algo_picker.h"
 
 namespace embrace::core {
 namespace {
@@ -81,6 +82,11 @@ std::vector<ConfigError> TrainConfig::validate(int workers) const {
   }
   if (dense_fusion_bytes < 0) {
     fail("dense_fusion_bytes", "must be >= 0, got " + str(dense_fusion_bytes));
+  }
+  if (!sparse::parse_sparse_algo(sparse_algo).has_value()) {
+    fail("sparse_algo",
+         "unknown algorithm '" + sparse_algo +
+             "'; expected auto | allgather | recursive-doubling | dense");
   }
   if ((strategy == StrategyKind::kParallaxPs ||
        strategy == StrategyKind::kBytePsDense) &&

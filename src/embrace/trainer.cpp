@@ -36,6 +36,7 @@
 #include "nn/optim.h"
 #include "sched/negotiated_scheduler.h"
 #include "sched/vertical.h"
+#include "sparse/algo_picker.h"
 #include "tensor/fusion.h"
 #include "tensor/index_ops.h"
 
@@ -229,6 +230,41 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
   // All submissions go through the shared Scheduler interface; only the
   // lifecycle calls (shutdown/abort) are NegotiatedScheduler-specific.
   sched::Scheduler& sch = scheduler;
+  // Sparse-algorithm picker for kHorovodAllGather's embedding gradients
+  // (DESIGN.md §12). Cost params are fixed for the whole run and must be
+  // identical on every rank (a split-brain algorithm choice deadlocks the
+  // collective): rank 0 resolves measured-profile-vs-simnet-defaults and
+  // broadcasts the α–β pair before the step loop.
+  std::optional<sparse::AlgoPicker> algo_picker;
+  if (cfg.strategy == StrategyKind::kHorovodAllGather) {
+    const sparse::AlgoMode mode =
+        sparse::parse_sparse_algo(cfg.sparse_algo).value();  // validated
+    // Rank 0's view of the link profile is authoritative: its {α, β,
+    // measured?} triple is broadcast so every rank prices ops from the
+    // exact same constants — a rank pair disagreeing on the efficiency set
+    // would split-brain the algorithm choice.
+    sparse::CostParams params = sparse::CostParams::from_simnet_defaults();
+    std::vector<float> ab(3);
+    if (rank == 0) {
+      if (auto measured =
+              sparse::CostParams::from_measured(obs::link_profiler())) {
+        params = *measured;
+        ab[2] = 1.0f;
+      }
+      ab[0] = static_cast<float>(params.link.alpha_us);
+      ab[1] = static_cast<float>(params.link.bytes_per_us);
+    }
+    main_ch.broadcast(ab, /*root=*/0);
+    params.link.alpha_us = static_cast<double>(ab[0]);
+    params.link.bytes_per_us = static_cast<double>(ab[1]);
+    if (ab[2] != 0.0f) {
+      // Measured constants carry no scheme derate (see from_measured).
+      params.allgather_eff = 1.0;
+      params.allreduce_eff = 1.0;
+      params.alltoall_eff = 1.0;
+    }
+    algo_picker.emplace(mode, params, cfg.chunk_bytes);
+  }
   uint64_t fifo_seq = 0;
   auto fifo_priority = [&] { return Priorities::fifo(fifo_seq++); };
   auto make_desc = [](std::string name, double priority, int64_t bytes,
@@ -495,7 +531,20 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
               make_desc(emb_op("embgrad", step, t), fifo_priority(),
                         grad_bytes, sched::OpKind::kOther),
               [&, t, my_grad] {
-                SparseRows total = comm::sparse_allgather(comm_ch, my_grad);
+                // Rank-agreed density: per-rank hot sets differ, so the
+                // picker's input is the allreduced mean — every rank then
+                // makes the same (format, algorithm) decision.
+                std::vector<float> density{
+                    static_cast<float>(my_grad.row_density())};
+                comm_ch.allreduce(density);
+                const sparse::AlgoChoice choice = algo_picker->choose(
+                    density[0] / static_cast<float>(workers), cfg.vocab,
+                    cfg.dim, workers);
+                SparseRows total = comm::sparse_allreduce(
+                    comm_ch, my_grad, choice.algo, choice.chunk_bytes);
+                sparse::AlgoPicker::record(
+                    choice,
+                    static_cast<int64_t>(my_grad.packed_byte_size()));
                 sparse_opts[t]->apply(replicas[t]->table(), total.coalesced(),
                                       nn::SparseStep::kFull);
               }));

@@ -178,6 +178,30 @@ std::vector<LinkFit> LinkProfiler::fits(int64_t min_samples) const {
   return out;
 }
 
+LinkFit LinkProfiler::aggregate_fit(int64_t min_samples) const {
+  const std::vector<LinkFit> per_link = fits(min_samples);
+  LinkFit agg;
+  agg.src = -1;
+  agg.dst = -1;
+  if (per_link.empty()) return agg;
+  double alpha_sum = 0.0;
+  double bw_sum = 0.0;
+  int64_t bw_links = 0;
+  for (const LinkFit& f : per_link) {
+    agg.samples += f.samples;
+    alpha_sum += f.alpha_us;
+    if (f.bytes_per_us > 0.0) {
+      bw_sum += f.bytes_per_us;
+      bw_links += 1;
+    }
+  }
+  agg.alpha_us = alpha_sum / static_cast<double>(per_link.size());
+  // Links where no slope was identifiable contribute latency only; if none
+  // identified a slope the aggregate stays bandwidth-free (0 = unmodeled).
+  if (bw_links > 0) agg.bytes_per_us = bw_sum / static_cast<double>(bw_links);
+  return agg;
+}
+
 void LinkProfiler::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   links_.clear();

@@ -172,6 +172,12 @@ class LinkProfiler {
   // All links with at least `min_samples` observations, ordered (src, dst).
   std::vector<LinkFit> fits(int64_t min_samples = 2) const;
 
+  // Whole-fabric summary for uniform-cost consumers (the AlgoPicker's
+  // CostParams): mean fitted α over qualifying links and mean bandwidth over
+  // links with an identifiable slope, src/dst = -1. samples == 0 when no
+  // link has `min_samples` observations.
+  LinkFit aggregate_fit(int64_t min_samples = 2) const;
+
   // Drops every sample (the enabled flag is untouched).
   void reset();
 

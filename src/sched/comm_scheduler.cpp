@@ -30,7 +30,7 @@ struct CommScheduler::Op {
   uint64_t seq = 0;
   int64_t slices = 1;
   int64_t next_slice = 0;  // comm thread only (after submission)
-  SliceFn fn;              // empty until submitted (deprecated declared path)
+  SliceFn fn;
   std::shared_ptr<detail::OpState> state =
       std::make_shared<detail::OpState>();
   std::chrono::steady_clock::time_point first_start{};
@@ -80,7 +80,6 @@ CommScheduler::Op* CommScheduler::min_op_locked() const {
       best = op.get();
     }
   }
-  if (best == nullptr || !best->fn) return nullptr;
   return best;
 }
 
@@ -103,46 +102,6 @@ Handle CommScheduler::submit(OpDesc desc, int64_t slices, SliceFn body) {
     op->seq = next_seq_++;
     plan_.push_back(op);
     pending_.emplace(op->desc.name, op);
-  }
-  cv_.notify_all();
-  return Handle(op->state);
-}
-
-void CommScheduler::begin_step(const std::vector<std::string>& ordered_ops) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (failed_) {
-    throw SchedulerError("begin_step on a failed scheduler: " +
-                         describe(failed_));
-  }
-  for (const auto& name : ordered_ops) {
-    EMBRACE_CHECK(pending_.find(name) == pending_.end(),
-                  << "duplicate op in backlog: " << name);
-    auto op = std::make_shared<Op>();
-    op->desc.name = name;
-    op->seq = next_seq_++;
-    // Declared order is the execution order: priority = declaration index.
-    op->desc.priority = static_cast<double>(op->seq);
-    plan_.push_back(op);
-    pending_.emplace(name, op);
-  }
-  cv_.notify_all();
-}
-
-Handle CommScheduler::submit(const std::string& name,
-                             std::function<void()> fn) {
-  std::shared_ptr<Op> op;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (failed_) {
-      // Fail fast: the backlog was abandoned, this body will never run.
-      throw SchedulerError("submit('" + name + "') on a failed scheduler: " +
-                           describe(failed_));
-    }
-    auto it = pending_.find(name);
-    EMBRACE_CHECK(it != pending_.end(), << "op not declared: " << name);
-    op = it->second;
-    EMBRACE_CHECK(!op->fn, << "op already submitted: " << name);
-    op->fn = [body = std::move(fn)](int64_t) { body(); };
   }
   cv_.notify_all();
   return Handle(op->state);
@@ -185,9 +144,7 @@ void CommScheduler::run() {
     std::shared_ptr<Op> op;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      // Wait until the most urgent op is runnable (or shutdown). A declared
-      // op without a body blocks even if less urgent ops are ready: the
-      // priority order is the cross-rank execution order.
+      // Wait until an op is schedulable (or shutdown).
       cv_.wait(lock, [&] { return stop_ || min_op_locked() != nullptr; });
       if (stop_) return;
       Op* best = min_op_locked();
@@ -239,7 +196,7 @@ void CommScheduler::run() {
             "': " + describe(error))));
       }
       cv_.notify_all();
-      continue;  // park until destruction; submit/begin_step now throw
+      continue;  // park until destruction; submit now throws
     }
     ++op->next_slice;
     if (op->slices > 1) {

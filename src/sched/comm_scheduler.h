@@ -7,12 +7,10 @@
 // rank or they deadlock (a property of NCCL that this repo's in-process
 // runtime shares — see Communicator's SPMD contract). EmbRace assigns all
 // priorities *before training starts* from the dependency graph, so the
-// executed order per step is a fixed function of those priorities. The
-// typed path makes priorities explicit (OpDesc::priority, lowest value
-// first, ties by submission order); the deprecated begin_step() path
-// declares an ordered op list and assigns priorities from the declaration
-// order, so the comm thread walks the list, blocking until each op's body
-// has been submitted by the training thread's hooks.
+// executed order per step is a fixed function of those priorities: the
+// OpDesc carries them explicitly (lowest value first, ties by submission
+// order), and identical priorities on every rank yield an identical
+// executed order.
 //
 // Chunk granularity (DESIGN.md §10). Ops submitted with `slices` > 1
 // execute one quantum at a time; the scheduler re-picks the most urgent op
@@ -23,7 +21,7 @@
 // the comm thread: the exception is captured into the op's handle (rethrown
 // from Handle::wait()), every not-yet-executed op is failed fast with a
 // SchedulerError naming the culprit, and the scheduler enters a terminal
-// failed state where submit()/begin_step() throw and drain() rethrows —
+// failed state where submit() throws and drain() rethrows —
 // nothing can wedge waiting on ops that will never run. Destroying a
 // scheduler with undone ops likewise fails their handles ("scheduler shut
 // down") instead of leaving waiters blocked forever.
@@ -58,28 +56,15 @@ class CommScheduler : public Scheduler {
 
   using Scheduler::submit;
 
-  // Typed submission (see Scheduler). The op is runnable immediately; no
-  // begin_step() declaration is needed.
+  // Typed submission (see Scheduler). The op is runnable immediately.
   Handle submit(OpDesc desc, int64_t slices, SliceFn body) override;
 
-  // DEPRECATED(one release): appends a step plan — op names in the exact
-  // order the comm thread must execute them (i.e. the priority queue
-  // already sorted; priorities are assigned from declaration order). Names
-  // must be unique within the scheduler's unexecuted backlog. Prefer the
-  // typed submit(OpDesc, ...) which carries the priority explicitly.
-  void begin_step(const std::vector<std::string>& ordered_ops);
-
-  // DEPRECATED(one release): provides the body of a declared op; may be
-  // called before or after the comm thread reaches it. Returns a waitable
-  // handle. Prefer the typed submit(OpDesc, ...).
-  Handle submit(const std::string& name, std::function<void()> fn);
-
-  // Blocks until every declared op so far has executed. Rethrows the first
+  // Blocks until every op submitted so far has executed. Rethrows the first
   // op failure if the scheduler failed.
   void drain() override;
 
   // Fails every pending handle and enters the terminal failed state;
-  // submit()/begin_step() throw afterwards. Idempotent.
+  // submit() throws afterwards. Idempotent.
   void abort() override;
 
   // True once an op body threw or abort() was called.
@@ -91,10 +76,7 @@ class CommScheduler : public Scheduler {
  private:
   struct Op;
   void run();
-  // The most urgent runnable op, or nullptr if the comm thread must wait:
-  // the min-(priority, seq) op's body is authoritative — a declared op
-  // without a body blocks everything behind it (declared order is the
-  // cross-rank execution order; running a later op first would diverge).
+  // The min-(priority, seq) op, or nullptr when the plan is empty.
   Op* min_op_locked() const;
   // Fails `op`'s handle with `error`. Caller must not hold op->state->mutex.
   static void fail_op(const std::shared_ptr<Op>& op, std::exception_ptr error);
@@ -103,11 +85,11 @@ class CommScheduler : public Scheduler {
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  // Schedulable ops: declared/submitted, with slices remaining, not
-  // currently executing (the running op is re-inserted between quanta).
+  // Schedulable ops: submitted, with slices remaining, not currently
+  // executing (the running op is re-inserted between quanta).
   std::vector<std::shared_ptr<Op>> plan_;
-  // Ops not yet fully executed, keyed by name (duplicate checks + the
-  // deprecated submit-by-name path). Includes the currently-executing op.
+  // Ops not yet fully executed, keyed by name (duplicate-name checks).
+  // Includes the currently-executing op.
   std::unordered_map<std::string, std::shared_ptr<Op>> pending_;
   std::vector<ExecRecord> records_;
   uint64_t next_seq_ = 0;

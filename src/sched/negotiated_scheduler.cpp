@@ -112,15 +112,6 @@ Handle NegotiatedScheduler::submit(OpDesc desc, int64_t slices,
   return Handle(op->state);
 }
 
-Handle NegotiatedScheduler::submit(double priority, const std::string& name,
-                                   std::function<void()> fn) {
-  OpDesc desc;
-  desc.name = name;
-  desc.priority = priority;
-  return submit(std::move(desc), 1,
-                [body = std::move(fn)](int64_t) { body(); });
-}
-
 void NegotiatedScheduler::drain() {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [&] {

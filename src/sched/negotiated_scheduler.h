@@ -76,11 +76,6 @@ class NegotiatedScheduler : public Scheduler {
   // identical across ranks for the same logical op.
   Handle submit(OpDesc desc, int64_t slices, SliceFn body) override;
 
-  // DEPRECATED(one release): name/priority submission. Prefer the typed
-  // submit(OpDesc, ...) which carries priority, bytes, and kind.
-  Handle submit(double priority, const std::string& name,
-                std::function<void()> fn);
-
   // Blocks until every op submitted so far on this rank has executed.
   // Non-collective (the comm thread keeps serving announcements).
   void drain() override;

@@ -1,0 +1,238 @@
+#include "sparse/algo_picker.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "simnet/topology.h"
+
+namespace embrace::sparse {
+namespace {
+
+// Wire size of a sparse payload over a (rows × dim) space at `density`:
+// header + indices (8B/row) + values (4B/element).
+double sparse_payload_bytes(double density, int64_t rows, int64_t dim) {
+  const double nnz = density * static_cast<double>(rows);
+  return 24.0 + nnz * (8.0 + 4.0 * static_cast<double>(dim));
+}
+
+double dense_payload_bytes(int64_t rows, int64_t dim) {
+  return 4.0 * static_cast<double>(rows) * static_cast<double>(dim);
+}
+
+// Transfer time of `bytes` at efficiency-derated bandwidth; 0 bandwidth
+// means an infinite (unmodeled) link, costing only latency.
+double wire_us(const comm::LinkCost& link, double bytes, double efficiency) {
+  if (link.bytes_per_us <= 0.0) return 0.0;
+  return bytes / (link.bytes_per_us * efficiency);
+}
+
+obs::Counter& picks_counter(comm::SparseAlgoKind k) {
+  switch (k) {
+    case comm::SparseAlgoKind::kSplitAllgather: {
+      static obs::Counter& c = obs::counter("sparse.algo.picks{algo=allgather}");
+      return c;
+    }
+    case comm::SparseAlgoKind::kRecursiveDoubling: {
+      static obs::Counter& c =
+          obs::counter("sparse.algo.picks{algo=recursive-doubling}");
+      return c;
+    }
+    case comm::SparseAlgoKind::kDenseRing:
+    default: {
+      static obs::Counter& c = obs::counter("sparse.algo.picks{algo=dense}");
+      return c;
+    }
+  }
+}
+
+obs::Counter& bytes_counter(comm::SparseAlgoKind k) {
+  switch (k) {
+    case comm::SparseAlgoKind::kSplitAllgather: {
+      static obs::Counter& c = obs::counter("sparse.algo.bytes{algo=allgather}");
+      return c;
+    }
+    case comm::SparseAlgoKind::kRecursiveDoubling: {
+      static obs::Counter& c =
+          obs::counter("sparse.algo.bytes{algo=recursive-doubling}");
+      return c;
+    }
+    case comm::SparseAlgoKind::kDenseRing:
+    default: {
+      static obs::Counter& c = obs::counter("sparse.algo.bytes{algo=dense}");
+      return c;
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<AlgoMode> parse_sparse_algo(std::string_view s) {
+  if (s == "auto") return AlgoMode::kAuto;
+  if (s == "allgather") return AlgoMode::kForceAllgather;
+  if (s == "recursive-doubling") return AlgoMode::kForceRecursiveDoubling;
+  if (s == "dense") return AlgoMode::kForceDense;
+  return std::nullopt;
+}
+
+const char* algo_mode_name(AlgoMode m) {
+  switch (m) {
+    case AlgoMode::kAuto: return "auto";
+    case AlgoMode::kForceAllgather: return "allgather";
+    case AlgoMode::kForceRecursiveDoubling: return "recursive-doubling";
+    case AlgoMode::kForceDense: return "dense";
+  }
+  return "?";
+}
+
+CostParams CostParams::from_simnet_defaults() {
+  const simnet::NetworkParams net;  // single source of truth with the sim
+  CostParams p;
+  p.link.alpha_us = net.latency * 1e6;
+  p.link.bytes_per_us = net.inter_node_bw / 1e6;
+  return p;
+}
+
+std::optional<CostParams> CostParams::from_measured(
+    const obs::LinkProfiler& profiler, int64_t min_samples) {
+  const obs::LinkFit agg = profiler.aggregate_fit(min_samples);
+  if (agg.samples == 0) return std::nullopt;
+  CostParams p;
+  p.link.alpha_us = agg.alpha_us;
+  p.link.bytes_per_us = agg.bytes_per_us;
+  // A measured fit is observed end-to-end delivery time, so every real
+  // derating (incast, pipelining, software overhead) is already folded into
+  // the fitted α–β; applying simnet's per-scheme efficiency factors on top
+  // would double-count it.
+  p.allgather_eff = 1.0;
+  p.allreduce_eff = 1.0;
+  p.alltoall_eff = 1.0;
+  return p;
+}
+
+AlgoPicker::AlgoPicker(AlgoMode mode, CostParams params, int64_t chunk_bytes)
+    : mode_(mode), params_(params), chunk_bytes_(chunk_bytes) {}
+
+double AlgoPicker::predict_us(comm::SparseAlgoKind algo, double density,
+                              int64_t rows, int64_t dim, int world) const {
+  EMBRACE_CHECK_GE(world, 1);
+  density = std::clamp(density, 0.0, 1.0);
+  if (world == 1) return 0.0;
+  const comm::LinkCost& link = params_.link;
+  const double n = static_cast<double>(world);
+  switch (algo) {
+    case comm::SparseAlgoKind::kSplitAllgather: {
+      // Each rank ships its whole payload to every peer: (N−1)(α + S/B).
+      const double s = sparse_payload_bytes(density, rows, dim);
+      return (n - 1.0) *
+             (link.alpha_us + wire_us(link, s, params_.allgather_eff));
+    }
+    case comm::SparseAlgoKind::kRecursiveDoubling: {
+      // Round r exchanges the merge of 2^r ranks' rows; its density is the
+      // union 1 − (1−d)^(2^r) (independent-row approximation — exact for
+      // uniform random hot sets, pessimistic for skewed ones, which only
+      // shrinks the payload further). Non-power-of-two worlds add a fold-in
+      // and a return leg on the critical path.
+      const int p = std::bit_floor(static_cast<unsigned>(world));
+      const int rounds = std::countr_zero(static_cast<unsigned>(p));
+      double t = 0.0;
+      for (int r = 0; r < rounds; ++r) {
+        const double merged = 1.0 - std::pow(1.0 - density, double(1 << r));
+        t += link.alpha_us +
+             wire_us(link, sparse_payload_bytes(merged, rows, dim),
+                     params_.alltoall_eff);
+      }
+      if (p < world) {
+        const double full = 1.0 - std::pow(1.0 - density, n);
+        t += 2.0 * link.alpha_us +
+             wire_us(link, sparse_payload_bytes(density, rows, dim),
+                     params_.alltoall_eff) +
+             wire_us(link, sparse_payload_bytes(full, rows, dim),
+                     params_.alltoall_eff);
+      }
+      return t;
+    }
+    case comm::SparseAlgoKind::kDenseRing: {
+      // 2(N−1) ring steps of M/N, each split into ceil(block/chunk)
+      // messages that pay α individually.
+      const double block = dense_payload_bytes(rows, dim) / n;
+      const double msgs =
+          chunk_bytes_ > 0
+              ? std::max(1.0,
+                         std::ceil(block / static_cast<double>(chunk_bytes_)))
+              : 1.0;
+      return 2.0 * (n - 1.0) *
+             (msgs * link.alpha_us +
+              wire_us(link, block, params_.allreduce_eff));
+    }
+  }
+  return 0.0;
+}
+
+double AlgoPicker::crossover_density(int64_t rows, int64_t dim,
+                                     int world) const {
+  // Equate (N−1)(α + dR(8+4D)/(β·ag)) with 2(N−1)(α + 4RD/(N·β·ar)),
+  // dropping the constant header. With no bandwidth model (β = 0) both
+  // sides are pure latency and the dense ring (2× the latency terms) never
+  // wins: the sparse format is free at any density.
+  if (world <= 1 || rows <= 0 || dim <= 0) return 1.0;
+  const double beta = params_.link.bytes_per_us;
+  if (beta <= 0.0) return 1.0;
+  const double r = static_cast<double>(rows);
+  const double d = static_cast<double>(dim);
+  const double n = static_cast<double>(world);
+  const double ag = params_.allgather_eff;
+  const double ar = params_.allreduce_eff;
+  const double crossover =
+      (params_.link.alpha_us * beta * ag + 8.0 * r * d * ag / (n * ar)) /
+      (r * (8.0 + 4.0 * d));
+  return std::clamp(crossover, 0.0, 1.0);
+}
+
+AlgoChoice AlgoPicker::choose(double density, int64_t rows, int64_t dim,
+                              int world) const {
+  AlgoChoice choice;
+  choice.chunk_bytes = chunk_bytes_;
+  switch (mode_) {
+    case AlgoMode::kForceAllgather:
+      choice.algo = comm::SparseAlgoKind::kSplitAllgather;
+      break;
+    case AlgoMode::kForceRecursiveDoubling:
+      choice.algo = comm::SparseAlgoKind::kRecursiveDoubling;
+      break;
+    case AlgoMode::kForceDense:
+      choice.algo = comm::SparseAlgoKind::kDenseRing;
+      break;
+    case AlgoMode::kAuto: {
+      // Fixed candidate order makes ties deterministic (and rank-agreed).
+      constexpr comm::SparseAlgoKind kCandidates[] = {
+          comm::SparseAlgoKind::kSplitAllgather,
+          comm::SparseAlgoKind::kRecursiveDoubling,
+          comm::SparseAlgoKind::kDenseRing,
+      };
+      double best = -1.0;
+      for (comm::SparseAlgoKind k : kCandidates) {
+        const double cost = predict_us(k, density, rows, dim, world);
+        if (best < 0.0 || cost < best) {
+          best = cost;
+          choice.algo = k;
+        }
+      }
+      break;
+    }
+  }
+  choice.predicted_us = predict_us(choice.algo, density, rows, dim, world);
+  return choice;
+}
+
+void AlgoPicker::record(const AlgoChoice& choice, int64_t wire_bytes) {
+  picks_counter(choice.algo).increment();
+  bytes_counter(choice.algo).add(wire_bytes);
+  obs::emit_instant("sparse.algo_pick", "algo",
+                    static_cast<int64_t>(choice.algo), "bytes", wire_bytes);
+}
+
+}  // namespace embrace::sparse

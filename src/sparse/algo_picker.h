@@ -1,0 +1,121 @@
+// Adaptive sparse-collective algorithm selection (DESIGN.md §12).
+//
+// SparCML's observation (PAPERS.md): no single representation/algorithm
+// wins at every density. At low gradient density the sparse allgather's
+// (N−1)·S(d) volume is tiny; past the α–β crossover the COO index overhead
+// and the full-payload fan-out lose to the ring AllReduce's bandwidth-
+// optimal 2(N−1)·M/N dense schedule, with recursive doubling's log₂(N)
+// rounds competitive in between on latency-bound fabrics. The AlgoPicker
+// prices all three variants of comm::sparse_allreduce under the α–β model
+// and picks the cheapest — or obeys a forced mode from
+// TrainConfig::sparse_algo.
+//
+// Inputs are deliberately rank-agreeable: density, row-space geometry, and
+// world size are scalars every rank can compute identically (the trainer
+// allreduces the nnz count first), and the CostParams are fixed per run —
+// so every rank makes the same pick and the SPMD collective contract holds
+// (a split-brain algorithm choice deadlocks the fabric).
+//
+// Cost constants come from, in priority order: the fabric's measured
+// LinkCost profile (obs::LinkProfiler α–β fits, aggregated), else the
+// simnet cost model's NetworkParams defaults — one source of truth with
+// the simulator, which is what makes the predicted crossover comparable to
+// simnet's measured one (bench_algo_picker gates on a factor of 2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "comm/fabric.h"
+#include "comm/sparse_collectives.h"
+#include "obs/perf.h"
+
+namespace embrace::sparse {
+
+// Picker mode: auto-select by predicted cost, or force one variant.
+// String forms (TrainConfig::sparse_algo): "auto", "allgather",
+// "recursive-doubling", "dense".
+enum class AlgoMode {
+  kAuto,
+  kForceAllgather,
+  kForceRecursiveDoubling,
+  kForceDense,
+};
+
+// Parses the TrainConfig::sparse_algo spelling; nullopt on unknown names.
+std::optional<AlgoMode> parse_sparse_algo(std::string_view s);
+const char* algo_mode_name(AlgoMode m);
+
+// α–β link cost plus per-scheme bandwidth-efficiency factors. The
+// efficiencies mirror simnet::SchemeEfficiency (ring AllReduce pipelines
+// near line rate; pairwise exchange and the variable-size gather do not) —
+// duplicated numerically here because the picker prices *this runtime's*
+// wire patterns, but kept equal so predicted and simulated crossovers
+// agree (checked by bench_algo_picker's factor-of-2 gate).
+struct CostParams {
+  comm::LinkCost link;           // alpha_us + bytes_per_us (0 = infinite bw)
+  double allgather_eff = 0.40;   // simnet SchemeEfficiency::allgather
+  double allreduce_eff = 0.90;   // simnet SchemeEfficiency::allreduce
+  double alltoall_eff = 0.62;    // simnet SchemeEfficiency::alltoall
+
+  // Fallback constants from simnet's NetworkParams{} (100 Gbps inter-node
+  // link, 30us launch latency) — used when no link profile exists.
+  static CostParams from_simnet_defaults();
+  // Aggregated measured α–β fit from the online link profiler; nullopt when
+  // fewer than `min_samples` observations exist on every link. Measured
+  // deliveries already include every real derating, so all scheme
+  // efficiencies are 1.0 here — the simnet factors only derate the
+  // *analytic* fallback constants above.
+  static std::optional<CostParams> from_measured(const obs::LinkProfiler& p,
+                                                 int64_t min_samples = 2);
+};
+
+// One decision: which wire variant, its chunking, and the predicted cost.
+struct AlgoChoice {
+  comm::SparseAlgoKind algo = comm::SparseAlgoKind::kSplitAllgather;
+  int64_t chunk_bytes = 0;   // forwarded to sparse_allreduce (dense ring)
+  double predicted_us = 0.0; // α–β prediction for the chosen variant
+};
+
+class AlgoPicker {
+ public:
+  // `chunk_bytes` is the dense ring's chunk granularity (<= 0 = one slice
+  // per ring step); it feeds both the dense cost prediction and the choice.
+  AlgoPicker(AlgoMode mode, CostParams params, int64_t chunk_bytes = 0);
+
+  AlgoMode mode() const { return mode_; }
+  const CostParams& params() const { return params_; }
+
+  // Predicted one-op wall cost in µs for a gradient over a (rows × dim)
+  // row space with `density` distinct-row fraction on a `world`-rank
+  // fabric. Pure functions of their arguments — identical on every rank.
+  double predict_us(comm::SparseAlgoKind algo, double density, int64_t rows,
+                    int64_t dim, int world) const;
+
+  // Closed-form density where split-allgather and the dense ring predict
+  // equal cost (monolithic transfers), clamped to [0, 1]:
+  //   d* = (α·β·ag_eff + 8·R·D·ag_eff / (N·ar_eff)) / (R·(8 + 4D))
+  // Densities below d* favor the sparse wire format, above it the dense
+  // fallback. 1.0 when the dense ring never wins (e.g. world == 1).
+  double crossover_density(int64_t rows, int64_t dim, int world) const;
+
+  // The decision: cheapest predicted variant in kAuto, the forced variant
+  // otherwise (its predicted cost still filled in). Deterministic ties
+  // break toward allgather, then recursive doubling.
+  AlgoChoice choose(double density, int64_t rows, int64_t dim,
+                    int world) const;
+
+  // Observability for a decision actually executed: bumps the per-algorithm
+  // pick/byte counters ("sparse.algo.picks{algo=...}",
+  // "sparse.algo.bytes{algo=...}") and emits a "sparse.algo_pick" trace
+  // instant, so perf_report attributes bytes per chosen path.
+  static void record(const AlgoChoice& choice, int64_t wire_bytes);
+
+ private:
+  AlgoMode mode_;
+  CostParams params_;
+  int64_t chunk_bytes_;
+};
+
+}  // namespace embrace::sparse

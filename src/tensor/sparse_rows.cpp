@@ -43,6 +43,29 @@ SparseRows SparseRows::gather(const Tensor& dense,
   return SparseRows(dense.rows(), indices, std::move(values));
 }
 
+SparseRows SparseRows::from_dense(const Tensor& dense) {
+  EMBRACE_CHECK_EQ(dense.dim(), 2);
+  const int64_t d = dense.cols();
+  // Two passes: count nonzero rows first so both outputs are sized exactly.
+  std::vector<int64_t> idx;
+  for (int64_t r = 0; r < dense.rows(); ++r) {
+    auto row = dense.row(r);
+    for (float v : row) {
+      if (v != 0.0f) {
+        idx.push_back(r);
+        break;
+      }
+    }
+  }
+  Tensor values({static_cast<int64_t>(idx.size()), d});
+  for (size_t k = 0; k < idx.size(); ++k) {
+    auto src = dense.row(idx[k]);
+    auto dst = values.row(static_cast<int64_t>(k));
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return SparseRows(dense.rows(), std::move(idx), std::move(values));
+}
+
 int64_t SparseRows::byte_size() const {
   return nnz_rows() * static_cast<int64_t>(sizeof(int64_t)) +
          values_.byte_size();

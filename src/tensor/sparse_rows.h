@@ -29,6 +29,14 @@ class SparseRows {
   // Gathers the given rows out of a dense (num_total_rows × dim) matrix.
   static SparseRows gather(const Tensor& dense,
                            const std::vector<int64_t>& indices);
+  // Extracts the nonzero rows of a dense matrix: the inverse of to_dense()
+  // up to all-zero rows (which cannot be distinguished from absent rows).
+  // Result is coalesced by construction (sorted, unique indices). This is
+  // the return leg of the dense-format wire fallback: after a dense
+  // AllReduce the summed tensor comes back as SparseRows so downstream
+  // sparse-optimizer code sees one representation regardless of how the
+  // bytes travelled.
+  static SparseRows from_dense(const Tensor& dense);
 
   int64_t num_total_rows() const { return num_total_rows_; }
   int64_t dim() const { return values_.dim() == 2 ? values_.cols() : 0; }

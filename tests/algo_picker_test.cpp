@@ -1,0 +1,357 @@
+// Differential-oracle suite for the sparse AllReduce algorithm variants and
+// unit tests for the AlgoPicker's cost model (DESIGN.md §12).
+//
+// Every variant of comm::sparse_allreduce must equal a single-process dense
+// reference (the rank-order sum of every contribution): bitwise for the
+// split-allgather — its reduce order IS the oracle's rank order — and
+// within 1e-6 for recursive doubling and the dense ring, whose reduction
+// trees reassociate the float sums.
+#include "sparse/algo_picker.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "comm/cluster.h"
+#include "comm/sparse_collectives.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+
+namespace embrace::sparse {
+namespace {
+
+using comm::Communicator;
+using comm::SparseAlgoKind;
+using comm::run_cluster;
+
+constexpr SparseAlgoKind kAllVariants[] = {
+    SparseAlgoKind::kSplitAllgather,
+    SparseAlgoKind::kRecursiveDoubling,
+    SparseAlgoKind::kDenseRing,
+};
+
+// Per-rank gradient at a target density: round(density * rows) random row
+// ids (duplicates allowed — inputs are uncoalesced COO), scaled-down randn
+// values so reassociated float sums stay well inside the 1e-6 tolerance.
+SparseRows make_grad(int64_t rows, int64_t dim, double density, Rng& rng) {
+  const int64_t nnz = std::llround(density * static_cast<double>(rows));
+  std::vector<int64_t> ids;
+  for (int64_t i = 0; i < nnz; ++i) ids.push_back(rng.next_int(0, rows - 1));
+  Tensor values = Tensor::randn({nnz, dim}, rng);
+  values.scale_(0.125f);
+  return SparseRows(rows, ids, values);
+}
+
+// --- differential oracle: density × world × dim grid ---
+
+class AlgoOracle
+    : public ::testing::TestWithParam<std::tuple<double, int, int>> {};
+
+TEST_P(AlgoOracle, EveryVariantMatchesDenseReference) {
+  const auto [density, world, dim] = GetParam();
+  const int64_t rows = 400;
+  Rng rng(static_cast<uint64_t>(world * 1000 + dim) * 7919 +
+          static_cast<uint64_t>(density * 1e5));
+  std::vector<SparseRows> grads;
+  Tensor oracle({rows, static_cast<int64_t>(dim)});
+  for (int r = 0; r < world; ++r) {
+    grads.push_back(make_grad(rows, dim, density, rng));
+    grads.back().add_to_dense(oracle);
+  }
+  for (SparseAlgoKind algo : kAllVariants) {
+    run_cluster(world, [&](Communicator& comm) {
+      SparseRows total = comm::sparse_allreduce(
+          comm, grads[static_cast<size_t>(comm.rank())], algo);
+      const float diff = total.to_dense().max_abs_diff(oracle);
+      if (algo == SparseAlgoKind::kSplitAllgather) {
+        // Rank-order concatenation: reduce order matches the oracle's.
+        ASSERT_EQ(diff, 0.0f) << sparse_algo_name(algo);
+      } else {
+        ASSERT_LE(diff, 1e-6f) << sparse_algo_name(algo);
+      }
+      ASSERT_EQ(total.num_total_rows(), rows);
+      ASSERT_EQ(total.dim(), dim);
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AlgoOracle,
+    ::testing::Combine(::testing::Values(0.001, 0.01, 0.1, 0.5, 1.0),
+                       ::testing::Values(1, 2, 3, 4, 8),
+                       ::testing::Values(1, 7, 64)));
+
+// --- edge cases ---
+
+TEST(AlgoOracleEdge, AllRanksEmpty) {
+  const int64_t rows = 32, dim = 5;
+  for (SparseAlgoKind algo : kAllVariants) {
+    run_cluster(3, [&](Communicator& comm) {
+      SparseRows mine = SparseRows::empty(rows, dim);
+      SparseRows total = comm::sparse_allreduce(comm, mine, algo);
+      ASSERT_EQ(total.nnz_rows(), 0) << sparse_algo_name(algo);
+      ASSERT_EQ(total.num_total_rows(), rows);
+      ASSERT_EQ(total.dim(), dim);
+    });
+  }
+}
+
+TEST(AlgoOracleEdge, SomeRanksEmpty) {
+  // Mixed empty/nonempty contributions on a non-power-of-two world: the
+  // recursive doubling fold legs and the allgather both see zero-payload
+  // messages.
+  const int64_t rows = 20, dim = 3;
+  Rng rng(11);
+  std::vector<SparseRows> grads;
+  Tensor oracle({rows, dim});
+  for (int r = 0; r < 3; ++r) {
+    grads.push_back(r == 1 ? SparseRows::empty(rows, dim)
+                           : make_grad(rows, dim, 0.4, rng));
+    grads.back().add_to_dense(oracle);
+  }
+  for (SparseAlgoKind algo : kAllVariants) {
+    run_cluster(3, [&](Communicator& comm) {
+      SparseRows total = comm::sparse_allreduce(
+          comm, grads[static_cast<size_t>(comm.rank())], algo);
+      ASSERT_LE(total.to_dense().max_abs_diff(oracle), 1e-6f)
+          << sparse_algo_name(algo);
+    });
+  }
+}
+
+TEST(AlgoOracleEdge, AllRowsHotOnEveryRank) {
+  // Worst case for the sparse formats: every rank touches every row (with
+  // duplicates), so every merge is a full-width coalesce.
+  const int64_t rows = 24, dim = 4;
+  Rng rng(23);
+  std::vector<SparseRows> grads;
+  Tensor oracle({rows, dim});
+  for (int r = 0; r < 4; ++r) {
+    std::vector<int64_t> ids;
+    for (int64_t i = 0; i < rows; ++i) ids.push_back(i);
+    ids.push_back(rows / 2);  // one duplicate: stays uncoalesced
+    Tensor values = Tensor::randn({rows + 1, dim}, rng);
+    values.scale_(0.125f);
+    grads.emplace_back(rows, ids, values);
+    grads.back().add_to_dense(oracle);
+  }
+  for (SparseAlgoKind algo : kAllVariants) {
+    run_cluster(4, [&](Communicator& comm) {
+      SparseRows total = comm::sparse_allreduce(
+          comm, grads[static_cast<size_t>(comm.rank())], algo);
+      ASSERT_LE(total.to_dense().max_abs_diff(oracle), 1e-6f)
+          << sparse_algo_name(algo);
+    });
+  }
+}
+
+TEST(AlgoOracleEdge, DenseRingChunkingIsBitwiseInvariant) {
+  // chunk_bytes is a wire-granularity knob, not a math knob: the chunked
+  // dense ring must produce exactly the monolithic result.
+  const int64_t rows = 64, dim = 8;
+  Rng rng(31);
+  std::vector<SparseRows> grads;
+  for (int r = 0; r < 3; ++r) grads.push_back(make_grad(rows, dim, 0.5, rng));
+  Tensor mono({rows, dim}), chunked({rows, dim});
+  run_cluster(3, [&](Communicator& comm) {
+    SparseRows total = comm::sparse_allreduce(
+        comm, grads[static_cast<size_t>(comm.rank())],
+        SparseAlgoKind::kDenseRing, /*chunk_bytes=*/0);
+    if (comm.rank() == 0) mono = total.to_dense();
+  });
+  run_cluster(3, [&](Communicator& comm) {
+    SparseRows total = comm::sparse_allreduce(
+        comm, grads[static_cast<size_t>(comm.rank())],
+        SparseAlgoKind::kDenseRing, /*chunk_bytes=*/256);
+    if (comm.rank() == 0) chunked = total.to_dense();
+  });
+  EXPECT_EQ(mono.max_abs_diff(chunked), 0.0f);
+}
+
+// --- picker unit tests ---
+
+TEST(ParseSparseAlgo, AcceptsAllSpellingsRejectsUnknown) {
+  EXPECT_EQ(parse_sparse_algo("auto"), AlgoMode::kAuto);
+  EXPECT_EQ(parse_sparse_algo("allgather"), AlgoMode::kForceAllgather);
+  EXPECT_EQ(parse_sparse_algo("recursive-doubling"),
+            AlgoMode::kForceRecursiveDoubling);
+  EXPECT_EQ(parse_sparse_algo("dense"), AlgoMode::kForceDense);
+  EXPECT_FALSE(parse_sparse_algo("ring").has_value());
+  EXPECT_FALSE(parse_sparse_algo("").has_value());
+  EXPECT_FALSE(parse_sparse_algo("Auto").has_value());
+  for (AlgoMode m : {AlgoMode::kAuto, AlgoMode::kForceAllgather,
+                     AlgoMode::kForceRecursiveDoubling, AlgoMode::kForceDense}) {
+    EXPECT_EQ(parse_sparse_algo(algo_mode_name(m)), m);  // round-trips
+  }
+}
+
+TEST(CostParams, SimnetDefaultsMirrorNetworkParams) {
+  const CostParams p = CostParams::from_simnet_defaults();
+  // simnet::NetworkParams{}: 30us latency, 100 Gbps = 12.5 GB/s links.
+  EXPECT_DOUBLE_EQ(p.link.alpha_us, 30.0);
+  EXPECT_DOUBLE_EQ(p.link.bytes_per_us, 12500.0);
+  EXPECT_DOUBLE_EQ(p.allgather_eff, 0.40);
+  EXPECT_DOUBLE_EQ(p.allreduce_eff, 0.90);
+  EXPECT_DOUBLE_EQ(p.alltoall_eff, 0.62);
+}
+
+TEST(CostParams, FromMeasuredIsEmptyWithoutSamples) {
+  obs::LinkProfiler profiler;
+  EXPECT_FALSE(CostParams::from_measured(profiler).has_value());
+}
+
+TEST(CostParams, FromMeasuredAveragesLinkFits) {
+  obs::LinkProfiler profiler;
+  profiler.set_enabled(true);
+  // Two links, exact α–β laws: t = 10 + n/100 and t = 20 + n/300.
+  for (int64_t n : {100, 1000, 10000}) {
+    profiler.record(0, 1, n, 10.0 + static_cast<double>(n) / 100.0);
+    profiler.record(1, 0, n, 20.0 + static_cast<double>(n) / 300.0);
+  }
+  const auto measured = CostParams::from_measured(profiler);
+  ASSERT_TRUE(measured.has_value());
+  EXPECT_NEAR(measured->link.alpha_us, 15.0, 1e-6);
+  EXPECT_NEAR(measured->link.bytes_per_us, 200.0, 1e-6);
+  // Measured fits include every real derating already: no scheme
+  // efficiency is applied on top.
+  EXPECT_DOUBLE_EQ(measured->allgather_eff, 1.0);
+  EXPECT_DOUBLE_EQ(measured->allreduce_eff, 1.0);
+  EXPECT_DOUBLE_EQ(measured->alltoall_eff, 1.0);
+}
+
+TEST(AlgoPicker, ForcedModesPickTheForcedVariant) {
+  const CostParams params = CostParams::from_simnet_defaults();
+  struct Case {
+    AlgoMode mode;
+    SparseAlgoKind want;
+  } cases[] = {
+      {AlgoMode::kForceAllgather, SparseAlgoKind::kSplitAllgather},
+      {AlgoMode::kForceRecursiveDoubling, SparseAlgoKind::kRecursiveDoubling},
+      {AlgoMode::kForceDense, SparseAlgoKind::kDenseRing},
+  };
+  for (const Case& c : cases) {
+    AlgoPicker picker(c.mode, params);
+    for (double d : {0.001, 0.5, 1.0}) {
+      const AlgoChoice choice = picker.choose(d, 4096, 32, 4);
+      EXPECT_EQ(choice.algo, c.want) << algo_mode_name(c.mode);
+      EXPECT_GT(choice.predicted_us, 0.0);
+    }
+  }
+}
+
+TEST(AlgoPicker, AutoPicksSparseWhenSparseDenseWhenDense) {
+  AlgoPicker picker(AlgoMode::kAuto, CostParams::from_simnet_defaults());
+  const int64_t rows = 4096, dim = 32;
+  const int world = 4;
+  const double d_star = picker.crossover_density(rows, dim, world);
+  ASSERT_GT(d_star, 0.0);
+  ASSERT_LT(d_star, 1.0);
+  // Well below the crossover the sparse wire format must win; above it the
+  // split-allgather must lose to the dense ring (recursive doubling may
+  // still beat both — it pays log₂N latencies to the ring's 2(N−1)).
+  EXPECT_NE(picker.choose(d_star / 4.0, rows, dim, world).algo,
+            SparseAlgoKind::kDenseRing);
+  EXPECT_NE(picker.choose(1.0, rows, dim, world).algo,
+            SparseAlgoKind::kSplitAllgather);
+  EXPECT_LT(
+      picker.predict_us(SparseAlgoKind::kDenseRing, 1.0, rows, dim, world),
+      picker.predict_us(SparseAlgoKind::kSplitAllgather, 1.0, rows, dim,
+                        world));
+  EXPECT_LT(
+      picker.predict_us(SparseAlgoKind::kSplitAllgather, d_star / 4.0, rows,
+                        dim, world),
+      picker.predict_us(SparseAlgoKind::kDenseRing, d_star / 4.0, rows, dim,
+                        world));
+}
+
+TEST(AlgoPicker, CrossoverEquatesAllgatherAndDenseCosts) {
+  // The closed form drops only the 24-byte header, so at d* the two
+  // predictions agree to well under a percent at this payload scale.
+  AlgoPicker picker(AlgoMode::kAuto, CostParams::from_simnet_defaults());
+  const int64_t rows = 8192, dim = 32;
+  const int world = 4;
+  const double d_star = picker.crossover_density(rows, dim, world);
+  const double ag =
+      picker.predict_us(SparseAlgoKind::kSplitAllgather, d_star, rows, dim,
+                        world);
+  const double dense =
+      picker.predict_us(SparseAlgoKind::kDenseRing, d_star, rows, dim, world);
+  EXPECT_NEAR(ag / dense, 1.0, 0.01);
+}
+
+TEST(AlgoPicker, SingleRankIsFreeAndNeverDense) {
+  AlgoPicker picker(AlgoMode::kAuto, CostParams::from_simnet_defaults());
+  for (SparseAlgoKind k : kAllVariants) {
+    EXPECT_EQ(picker.predict_us(k, 0.5, 1024, 16, 1), 0.0);
+  }
+  EXPECT_EQ(picker.crossover_density(1024, 16, 1), 1.0);
+}
+
+TEST(AlgoPicker, InfiniteBandwidthNeverPicksDense) {
+  // β = 0 models an unprofiled/infinite link: every message costs α only,
+  // and the dense ring's 2(N−1) latency terms always lose.
+  CostParams params;
+  params.link.alpha_us = 30.0;
+  params.link.bytes_per_us = 0.0;
+  AlgoPicker picker(AlgoMode::kAuto, params);
+  EXPECT_EQ(picker.crossover_density(4096, 32, 4), 1.0);
+  for (double d : {0.01, 0.5, 1.0}) {
+    EXPECT_NE(picker.choose(d, 4096, 32, 4).algo, SparseAlgoKind::kDenseRing);
+  }
+}
+
+TEST(AlgoPicker, PredictionIsMonotoneInDensityForSparseFormats) {
+  AlgoPicker picker(AlgoMode::kAuto, CostParams::from_simnet_defaults());
+  double prev_ag = -1.0, prev_rd = -1.0;
+  for (double d : {0.0, 0.1, 0.3, 0.6, 1.0}) {
+    const double ag =
+        picker.predict_us(SparseAlgoKind::kSplitAllgather, d, 2048, 16, 4);
+    const double rd =
+        picker.predict_us(SparseAlgoKind::kRecursiveDoubling, d, 2048, 16, 4);
+    EXPECT_GT(ag, prev_ag);
+    EXPECT_GT(rd, prev_rd);
+    prev_ag = ag;
+    prev_rd = rd;
+  }
+  // The dense ring does not depend on density at all.
+  EXPECT_DOUBLE_EQ(
+      picker.predict_us(SparseAlgoKind::kDenseRing, 0.0, 2048, 16, 4),
+      picker.predict_us(SparseAlgoKind::kDenseRing, 1.0, 2048, 16, 4));
+}
+
+TEST(AlgoPicker, ChoiceIsDeterministic) {
+  const CostParams params = CostParams::from_simnet_defaults();
+  AlgoPicker a(AlgoMode::kAuto, params, 4096);
+  AlgoPicker b(AlgoMode::kAuto, params, 4096);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double d = static_cast<double>(rng.next_below(1001)) / 1000.0;
+    const int64_t rows = rng.next_int(1, 1 << 16);
+    const int64_t dim = rng.next_int(1, 256);
+    const int world = static_cast<int>(rng.next_int(1, 16));
+    const AlgoChoice ca = a.choose(d, rows, dim, world);
+    const AlgoChoice cb = b.choose(d, rows, dim, world);
+    EXPECT_EQ(ca.algo, cb.algo);
+    EXPECT_DOUBLE_EQ(ca.predicted_us, cb.predicted_us);
+    EXPECT_EQ(ca.chunk_bytes, 4096);
+  }
+}
+
+TEST(AlgoPicker, RecordBumpsPerAlgorithmCounters) {
+  AlgoChoice choice;
+  choice.algo = SparseAlgoKind::kRecursiveDoubling;
+  obs::Counter& picks =
+      obs::counter("sparse.algo.picks{algo=recursive-doubling}");
+  obs::Counter& bytes =
+      obs::counter("sparse.algo.bytes{algo=recursive-doubling}");
+  const int64_t picks0 = picks.value();
+  const int64_t bytes0 = bytes.value();
+  AlgoPicker::record(choice, 1234);
+  EXPECT_EQ(picks.value(), picks0 + 1);
+  EXPECT_EQ(bytes.value(), bytes0 + 1234);
+}
+
+}  // namespace
+}  // namespace embrace::sparse

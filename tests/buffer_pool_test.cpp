@@ -6,6 +6,9 @@
 #include <thread>
 #include <vector>
 
+#include "comm/cluster.h"
+#include "comm/sparse_collectives.h"
+
 namespace embrace::comm {
 namespace {
 
@@ -84,6 +87,31 @@ TEST(BufferPool, TrimReleasesCachedMemory) {
   pool.trim();
   EXPECT_EQ(pool.stats().cached_bytes, 0u);
   EXPECT_EQ(pool.stats().cached_buffers, 0u);
+}
+
+TEST(BufferPool, EmptySparseAllgatherLeavesPoolUntouched) {
+  // A zero-payload round must not go through the pool at all: on a
+  // non-power-of-two world with empty local SparseRows, pack_wire skips
+  // the pooled wire buffer, so per-rank pool traffic (and the bytes_reused
+  // counter behind it) stays flat.
+  Fabric fabric(3);
+  std::vector<BufferPool::Stats> before(3), after(3);
+  run_cluster(fabric, [&](Communicator& comm) {
+    const int rank = comm.rank();
+    before[static_cast<size_t>(rank)] = comm.pool().stats();
+    SparseRows mine = SparseRows::empty(/*num_total_rows=*/16, /*dim=*/4);
+    SparseRows sum = sparse_allgather(comm, mine);
+    ASSERT_EQ(sum.nnz_rows(), 0);
+    after[static_cast<size_t>(rank)] = comm.pool().stats();
+  });
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(after[static_cast<size_t>(r)].hits,
+              before[static_cast<size_t>(r)].hits)
+        << "rank " << r;
+    EXPECT_EQ(after[static_cast<size_t>(r)].misses,
+              before[static_cast<size_t>(r)].misses)
+        << "rank " << r;
+  }
 }
 
 TEST(BufferPool, ConcurrentAcquireReleaseIsSafe) {

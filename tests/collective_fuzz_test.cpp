@@ -13,6 +13,7 @@
 #include "comm/cluster.h"
 #include "comm/sparse_collectives.h"
 #include "common/rng.h"
+#include "sparse/algo_picker.h"
 
 namespace embrace::comm {
 namespace {
@@ -303,6 +304,111 @@ TEST_P(CollectiveFuzz, SparseAllgatherCorrectUnderRecoverableFaults) {
     SparseRows sum =
         sparse_allgather(comm, grads[static_cast<size_t>(comm.rank())]);
     ASSERT_LT(sum.to_dense().max_abs_diff(oracle), 1e-4f);
+  });
+}
+
+// The sparse AllReduce variants (DESIGN.md §12) under drop/duplicate/
+// reorder chaos: each must still land bitwise-retransmitted payloads and
+// produce the oracle sum — a fault may cost time, never correctness.
+TEST_P(CollectiveFuzz, SparseAllreduceVariantsCorrectUnderRecoverableFaults) {
+  Rng rng(seed() + 9);
+  const int ranks = static_cast<int>(rng.next_int(2, 5));  // incl. non-pow2
+  const int64_t vocab = rng.next_int(5, 40);
+  const int64_t dim = rng.next_int(1, 6);
+  std::vector<SparseRows> grads;
+  Tensor oracle({vocab, dim});
+  for (int r = 0; r < ranks; ++r) {
+    const int64_t nnz = rng.next_int(0, 15);
+    std::vector<int64_t> ids;
+    for (int64_t i = 0; i < nnz; ++i) ids.push_back(rng.next_int(0, vocab - 1));
+    Rng vr = rng.split(static_cast<uint64_t>(r) + 31);
+    SparseRows g(vocab, ids, Tensor::randn({nnz, dim}, vr));
+    g.add_to_dense(oracle);
+    grads.push_back(std::move(g));
+  }
+  int algo_seed = 0;
+  for (SparseAlgoKind algo : {SparseAlgoKind::kRecursiveDoubling,
+                              SparseAlgoKind::kDenseRing}) {
+    Fabric fabric(ranks);
+    fabric.set_fault_config(chaos_config(), seed() + 3 +
+                                                static_cast<uint64_t>(algo_seed++));
+    fabric.set_recv_timeout(std::chrono::seconds(20));
+    run_cluster(fabric, [&](Communicator& comm) {
+      SparseRows sum = sparse_allreduce(
+          comm, grads[static_cast<size_t>(comm.rank())], algo,
+          /*chunk_bytes=*/algo == SparseAlgoKind::kDenseRing ? 64 : 0);
+      ASSERT_LT(sum.to_dense().max_abs_diff(oracle), 1e-4f)
+          << sparse_algo_name(algo);
+    });
+  }
+}
+
+// A dead link under the new variants must surface as the same typed
+// TimeoutError as the primitive collectives — typed error or correct
+// result, never silent corruption or a hang.
+TEST(CollectiveFaults, SparseAllreduceDeadLinkSurfacesAsTypedTimeout) {
+  for (SparseAlgoKind algo : {SparseAlgoKind::kRecursiveDoubling,
+                              SparseAlgoKind::kDenseRing}) {
+    Fabric fabric(2);
+    FaultConfig dead;
+    dead.drop_prob = 1.0;
+    dead.recoverable = false;
+    fabric.set_link_faults(0, 1, dead);
+    fabric.set_recv_timeout(std::chrono::milliseconds(200));
+    std::vector<std::string> errors(2);
+    std::vector<std::pair<int, int>> edges(2, {-1, -1});
+    const auto t0 = std::chrono::steady_clock::now();
+    run_cluster(fabric, [&](Communicator& comm) {
+      Rng vr(7);
+      SparseRows mine(8, {1, 4}, Tensor::randn({2, 3}, vr));
+      try {
+        sparse_allreduce(comm, mine, algo);
+      } catch (const TimeoutError& e) {
+        errors[static_cast<size_t>(comm.rank())] = e.what();
+        edges[static_cast<size_t>(comm.rank())] = {e.src(), e.dst()};
+      }
+    });
+    EXPECT_LT(std::chrono::steady_clock::now() - t0,
+              std::chrono::seconds(10));
+    ASSERT_FALSE(errors[1].empty())
+        << sparse_algo_name(algo) << ": rank 1 must time out";
+    EXPECT_EQ(edges[1], (std::pair<int, int>{0, 1})) << sparse_algo_name(algo);
+  }
+}
+
+// Split-brain guard: the picker's inputs are rank-agreeable by
+// construction (allreduced density, broadcast cost constants), so every
+// rank must arrive at the same (algo, chunk, cost) decision — a rank pair
+// disagreeing on the wire format would deadlock the collective.
+TEST_P(CollectiveFuzz, PickerDecisionIsIdenticalAcrossRanks) {
+  Rng rng(seed() + 10);
+  const int ranks = static_cast<int>(rng.next_int(2, 6));
+  const int64_t vocab = rng.next_int(64, 4096);
+  const int64_t dim = rng.next_int(1, 64);
+  // "Measured" costs: arbitrary but identical on every rank, as after the
+  // trainer's rank-0 broadcast.
+  sparse::CostParams params = sparse::CostParams::from_simnet_defaults();
+  params.link.alpha_us = rng.next_double(1.0, 500.0);
+  params.link.bytes_per_us = rng.next_double(100.0, 20000.0);
+  // Each rank sees a different local density; agreement comes from the
+  // allreduced mean, not from luck.
+  std::vector<float> local(static_cast<size_t>(ranks));
+  for (auto& d : local) d = static_cast<float>(rng.next_double());
+  run_cluster(ranks, [&](Communicator& comm) {
+    sparse::AlgoPicker picker(sparse::AlgoMode::kAuto, params);
+    std::vector<float> density{local[static_cast<size_t>(comm.rank())]};
+    comm.allreduce(density);
+    const sparse::AlgoChoice choice = picker.choose(
+        density[0] / static_cast<float>(ranks), vocab, dim, ranks);
+    std::vector<float> mine{static_cast<float>(static_cast<int>(choice.algo)),
+                            static_cast<float>(choice.chunk_bytes),
+                            static_cast<float>(choice.predicted_us)};
+    const std::vector<float> all = comm.allgather(mine);
+    for (int r = 0; r < ranks; ++r) {
+      ASSERT_EQ(all[static_cast<size_t>(3 * r)], mine[0]) << "algo split-brain";
+      ASSERT_EQ(all[static_cast<size_t>(3 * r + 1)], mine[1]);
+      ASSERT_EQ(all[static_cast<size_t>(3 * r + 2)], mine[2]);
+    }
   });
 }
 

@@ -18,6 +18,15 @@ namespace {
 using comm::Communicator;
 using comm::run_cluster;
 
+// Typed-submit shorthand: the tests only vary name and priority.
+Handle submit(NegotiatedScheduler& sched, double priority, std::string name,
+              std::function<void()> fn) {
+  OpDesc d;
+  d.name = std::move(name);
+  d.priority = priority;
+  return sched.submit(std::move(d), std::move(fn));
+}
+
 TEST(Negotiated, SingleRankExecutesByPriority) {
   comm::Fabric fabric(1);
   Communicator control(fabric, 0);
@@ -31,12 +40,12 @@ TEST(Negotiated, SingleRankExecutesByPriority) {
     };
   };
   // Park the comm thread on a slow op so all three are queued when it picks.
-  auto h0 = sched.submit(0.0, "warmup", [] {
+  auto h0 = submit(sched, 0.0, "warmup", [] {
     std::this_thread::sleep_for(std::chrono::milliseconds(30));
   });
-  sched.submit(5.0, "mid", body("mid"));
-  sched.submit(9.0, "low", body("low"));
-  sched.submit(1.0, "high", body("high"));
+  submit(sched, 5.0, "mid", body("mid"));
+  submit(sched, 9.0, "low", body("low"));
+  submit(sched, 1.0, "high", body("high"));
   sched.shutdown();
   EXPECT_EQ(order, (std::vector<std::string>{"high", "mid", "low"}));
 }
@@ -53,11 +62,11 @@ TEST(Negotiated, TiesBreakBySubmissionOrder) {
       order.emplace_back(n);
     };
   };
-  (void)sched.submit(0.0, "warmup", [] {
+  (void)submit(sched, 0.0, "warmup", [] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   });
-  sched.submit(3.0, "first", body("first"));
-  sched.submit(3.0, "second", body("second"));
+  submit(sched, 3.0, "first", body("first"));
+  submit(sched, 3.0, "second", body("second"));
   sched.shutdown();
   EXPECT_EQ(order, (std::vector<std::string>{"first", "second"}));
 }
@@ -73,7 +82,7 @@ TEST(Negotiated, AllRanksExecuteInSameOrder) {
       if (comm.rank() % 2 == 1) {
         std::this_thread::sleep_for(std::chrono::microseconds(200));
       }
-      sched.submit(prios[i], "op" + std::to_string(i), [] {});
+      submit(sched, prios[i], "op" + std::to_string(i), [] {});
     }
     sched.shutdown();
     for (const auto& r : sched.records()) {
@@ -91,8 +100,8 @@ TEST(Negotiated, RunsCollectiveBodiesWithoutDeadlock) {
     Communicator data = comm.channel(1);
     NegotiatedScheduler sched(comm.channel(0));
     std::vector<float> a(9, 1.0f), b(9, 2.0f);
-    auto ha = sched.submit(2.0, "allreduce-a", [&] { data.allreduce(a); });
-    auto hb = sched.submit(1.0, "allreduce-b", [&] { data.allreduce(b); });
+    auto ha = submit(sched, 2.0, "allreduce-a", [&] { data.allreduce(a); });
+    auto hb = submit(sched, 1.0, "allreduce-b", [&] { data.allreduce(b); });
     ha.wait();
     hb.wait();
     for (float v : a) ASSERT_FLOAT_EQ(v, 3.0f);
@@ -111,7 +120,7 @@ TEST(Negotiated, LaggardSubmissionIsWaitedFor) {
     if (comm.rank() == 1) {
       std::this_thread::sleep_for(std::chrono::milliseconds(30));
     }
-    auto h = sched.submit(1.0, "late", [&] {
+    auto h = submit(sched, 1.0, "late", [&] {
       std::vector<float> v(3, 1.0f);
       data.allreduce(v);
     });
@@ -125,7 +134,7 @@ TEST(Negotiated, HandleWaitAndRecords) {
   Communicator control(fabric, 0);
   NegotiatedScheduler sched(control);
   std::atomic<bool> ran{false};
-  auto h = sched.submit(0.0, "op", [&] {
+  auto h = submit(sched, 0.0, "op", [&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
     ran.store(true);
   });
@@ -144,7 +153,7 @@ TEST(Negotiated, ShutdownDrainsPendingOps) {
   NegotiatedScheduler sched(control);
   std::atomic<int> count{0};
   for (int i = 0; i < 20; ++i) {
-    sched.submit(static_cast<double>(i), "op" + std::to_string(i),
+    submit(sched, static_cast<double>(i), "op" + std::to_string(i),
                  [&] { count.fetch_add(1); });
   }
   sched.shutdown();
@@ -155,13 +164,13 @@ TEST(Negotiated, RejectsDuplicateAndPostShutdownSubmission) {
   comm::Fabric fabric(1);
   Communicator control(fabric, 0);
   NegotiatedScheduler sched(control);
-  (void)sched.submit(0.0, "warmup", [] {
+  (void)submit(sched, 0.0, "warmup", [] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   });
-  sched.submit(1.0, "x", [] {});
-  EXPECT_THROW(sched.submit(2.0, "x", [] {}), Error);
+  submit(sched, 1.0, "x", [] {});
+  EXPECT_THROW(submit(sched, 2.0, "x", [] {}), Error);
   sched.shutdown();
-  EXPECT_THROW(sched.submit(0.0, "y", [] {}), Error);
+  EXPECT_THROW(submit(sched, 0.0, "y", [] {}), Error);
 }
 
 TEST(Negotiated, StepScopedPrioritiesKeepCrossStepOrder) {
@@ -178,12 +187,12 @@ TEST(Negotiated, StepScopedPrioritiesKeepCrossStepOrder) {
       order.push_back(n);
     };
   };
-  (void)sched.submit(-1.0, "warmup", [] {
+  (void)submit(sched, -1.0, "warmup", [] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   });
-  sched.submit(1e6 * 0 + 1e5, "delayed/s0", body("delayed/s0"));
-  sched.submit(1e6 * 1 + 0, "prior/s1", body("prior/s1"));
-  sched.submit(1e6 * 1 + 1e5, "delayed/s1", body("delayed/s1"));
+  submit(sched, 1e6 * 0 + 1e5, "delayed/s0", body("delayed/s0"));
+  submit(sched, 1e6 * 1 + 0, "prior/s1", body("prior/s1"));
+  submit(sched, 1e6 * 1 + 1e5, "delayed/s1", body("delayed/s1"));
   sched.shutdown();
   EXPECT_EQ(order, (std::vector<std::string>{"delayed/s0", "prior/s1",
                                              "delayed/s1"}));
@@ -196,13 +205,13 @@ TEST(NegotiatedFailure, OpExceptionFailsPendingOpsOnAllRanks) {
   run_cluster(kRanks, [&](Communicator& comm) {
     NegotiatedScheduler sched(comm.channel(0));
     // Park the comm thread so boom/after are both queued when it picks.
-    (void)sched.submit(0.0, "warmup", [] {
+    (void)submit(sched, 0.0, "warmup", [] {
       std::this_thread::sleep_for(std::chrono::milliseconds(30));
     });
     auto h_boom =
-        sched.submit(1.0, "boom", [] { throw Error("kaput"); });
+        submit(sched, 1.0, "boom", [] { throw Error("kaput"); });
     auto h_after =
-        sched.submit(2.0, "after", [] { FAIL() << "must never run"; });
+        submit(sched, 2.0, "after", [] { FAIL() << "must never run"; });
     // The culprit's handle rethrows the original exception...
     EXPECT_THROW(
         {
@@ -228,7 +237,7 @@ TEST(NegotiatedFailure, OpExceptionFailsPendingOpsOnAllRanks) {
         },
         SchedulerError);
     EXPECT_TRUE(sched.failed());
-    EXPECT_THROW(sched.submit(3.0, "more", [] {}), SchedulerError);
+    EXPECT_THROW(submit(sched, 3.0, "more", [] {}), SchedulerError);
     // Destructor uses the local abort path (peers' schedulers are failed
     // too; no stop-token negotiation is possible).
   });
@@ -240,12 +249,12 @@ TEST(NegotiatedFailure, AbortFailsPendingOpsWithoutPeerNegotiation) {
   NegotiatedScheduler sched(control);
   std::atomic<bool> warmup_started{false};
   std::atomic<bool> warmup_ran{false};
-  (void)sched.submit(0.0, "warmup", [&] {
+  (void)submit(sched, 0.0, "warmup", [&] {
     warmup_started.store(true);
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     warmup_ran.store(true);
   });
-  auto h = sched.submit(100.0, "never", [] { FAIL() << "must never run"; });
+  auto h = submit(sched, 100.0, "never", [] { FAIL() << "must never run"; });
   // Abort only once the comm thread is provably inside the op body, so the
   // "abort joins mid-op" claim below is deterministic.
   while (!warmup_started.load()) {
@@ -255,7 +264,7 @@ TEST(NegotiatedFailure, AbortFailsPendingOpsWithoutPeerNegotiation) {
   EXPECT_TRUE(warmup_ran.load()) << "abort joins mid-op, it does not kill it";
   EXPECT_THROW(h.wait(), SchedulerError);
   EXPECT_TRUE(sched.failed());
-  EXPECT_THROW(sched.submit(0.0, "post", [] {}), SchedulerError);
+  EXPECT_THROW(submit(sched, 0.0, "post", [] {}), SchedulerError);
   // Idempotent.
   sched.abort();
 }
@@ -271,7 +280,7 @@ TEST(NegotiatedFailure, FollowerTimesOutWhenLeaderStopsAnnouncing) {
   run_cluster(fabric, [&](Communicator& comm) {
     NegotiatedScheduler sched(comm.channel(0));
     if (comm.rank() == 1) {
-      auto h = sched.submit(1.0, "orphan", [] { FAIL() << "never announced"; });
+      auto h = submit(sched, 1.0, "orphan", [] { FAIL() << "never announced"; });
       const auto t0 = std::chrono::steady_clock::now();
       EXPECT_THROW(
           {

@@ -365,14 +365,30 @@ TEST(SchedulerTrace, SpansMatchExecRecordTimeline) {
   set_tracing_enabled(true);
   reset_tracing();
   sched::CommScheduler sched;
-  sched.begin_step({"t/a", "t/b", "t/c"});
+  // Park the comm thread so a/b/c are all queued when it picks; their
+  // priorities then fix the execution (and span) order.
+  sched.submit(
+      [] {
+        sched::OpDesc d;
+        d.name = "warmup";  // no "t/" prefix: filtered out of the spans
+        d.priority = -1.0;
+        return d;
+      }(),
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(10)); });
+  double priority = 0.0;
   for (const char* name : {"t/a", "t/b", "t/c"}) {
-    sched.submit(name, [] {
+    sched::OpDesc d;
+    d.name = name;
+    d.priority = priority++;
+    sched.submit(std::move(d), [] {
       std::this_thread::sleep_for(std::chrono::milliseconds(3));
     });
   }
   sched.drain();
-  const auto records = sched.records();
+  std::vector<sched::ExecRecord> records;
+  for (const auto& r : sched.records()) {
+    if (r.name.rfind("t/", 0) == 0) records.push_back(r);
+  }
   ASSERT_EQ(records.size(), 3u);
 
   std::vector<ExportedEvent> spans;

@@ -15,9 +15,24 @@
 namespace embrace::sched {
 namespace {
 
-TEST(Scheduler, ExecutesInPlanOrderRegardlessOfSubmitOrder) {
+OpDesc desc(std::string name, double priority) {
+  OpDesc d;
+  d.name = std::move(name);
+  d.priority = priority;
+  return d;
+}
+
+// Parks the comm thread inside a sleeping op so everything submitted next
+// is queued when the scheduler picks again — priority order becomes
+// observable instead of racing the comm thread.
+Handle park(CommScheduler& sched, int ms = 30) {
+  return sched.submit(desc("warmup", -1.0), [ms] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  });
+}
+
+TEST(Scheduler, ExecutesByPriorityRegardlessOfSubmitOrder) {
   CommScheduler sched;
-  sched.begin_step({"a", "b", "c"});
   std::vector<std::string> executed;
   std::mutex m;
   auto body = [&](const char* n) {
@@ -26,33 +41,37 @@ TEST(Scheduler, ExecutesInPlanOrderRegardlessOfSubmitOrder) {
       executed.push_back(n);
     };
   };
-  // Submit out of order: c first.
-  sched.submit("c", body("c"));
-  sched.submit("a", body("a"));
-  sched.submit("b", body("b"));
+  (void)park(sched);
+  // Submit out of priority order: c first.
+  sched.submit(desc("c", 3.0), body("c"));
+  sched.submit(desc("a", 1.0), body("a"));
+  sched.submit(desc("b", 2.0), body("b"));
   sched.drain();
   EXPECT_EQ(executed, (std::vector<std::string>{"a", "b", "c"}));
 }
 
-TEST(Scheduler, BlocksUntilHeadIsSubmitted) {
+TEST(Scheduler, LateUrgentSubmissionOvertakesQueuedOp) {
   CommScheduler sched;
-  sched.begin_step({"first", "second"});
-  std::atomic<bool> second_ran{false};
-  sched.submit("second", [&] { second_ran.store(true); });
-  // Second cannot run before first even though it was submitted.
-  std::this_thread::sleep_for(std::chrono::milliseconds(30));
-  EXPECT_FALSE(second_ran.load());
-  auto h1 = sched.submit("first", [] {});
-  h1.wait();
+  std::vector<std::string> executed;
+  std::mutex m;
+  auto body = [&](const char* n) {
+    return [&, n] {
+      std::lock_guard<std::mutex> lock(m);
+      executed.push_back(n);
+    };
+  };
+  (void)park(sched);
+  sched.submit(desc("low", 9.0), body("low"));
+  // Submitted later but more urgent: must run first.
+  sched.submit(desc("high", 1.0), body("high"));
   sched.drain();
-  EXPECT_TRUE(second_ran.load());
+  EXPECT_EQ(executed, (std::vector<std::string>{"high", "low"}));
 }
 
 TEST(Scheduler, HandleWaitBlocksUntilDone) {
   CommScheduler sched;
-  sched.begin_step({"slow"});
   std::atomic<bool> finished{false};
-  auto h = sched.submit("slow", [&] {
+  auto h = sched.submit(desc("slow", 0.0), [&] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     finished.store(true);
   });
@@ -60,7 +79,7 @@ TEST(Scheduler, HandleWaitBlocksUntilDone) {
   EXPECT_TRUE(finished.load());
 }
 
-TEST(Scheduler, MultipleStepsRunBackToBack) {
+TEST(Scheduler, StepScopedPrioritiesRunBackToBack) {
   CommScheduler sched;
   std::vector<std::string> executed;
   std::mutex m;
@@ -70,11 +89,12 @@ TEST(Scheduler, MultipleStepsRunBackToBack) {
       executed.push_back(n);
     };
   };
-  sched.begin_step({"s0/x", "s0/y"});
-  sched.begin_step({"s1/x"});
-  sched.submit("s1/x", body("s1/x"));
-  sched.submit("s0/y", body("s0/y"));
-  sched.submit("s0/x", body("s0/x"));
+  (void)park(sched);
+  // Two steps' worth of ops, submitted out of order; step-scoped priorities
+  // (1e6 * step + index) keep the cross-step order.
+  sched.submit(desc("s1/x", 1e6 + 0.0), body("s1/x"));
+  sched.submit(desc("s0/y", 1.0), body("s0/y"));
+  sched.submit(desc("s0/x", 0.0), body("s0/x"));
   sched.drain();
   EXPECT_EQ(executed,
             (std::vector<std::string>{"s0/x", "s0/y", "s1/x"}));
@@ -82,8 +102,7 @@ TEST(Scheduler, MultipleStepsRunBackToBack) {
 
 TEST(Scheduler, RecordsExecutionTimes) {
   CommScheduler sched;
-  sched.begin_step({"op"});
-  sched.submit("op", [] {
+  sched.submit(desc("op", 0.0), [] {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   });
   sched.drain();
@@ -93,24 +112,14 @@ TEST(Scheduler, RecordsExecutionTimes) {
   EXPECT_GE(recs[0].end - recs[0].start, 0.004);
 }
 
-TEST(Scheduler, RejectsUndeclaredAndDuplicateOps) {
+TEST(Scheduler, RejectsDuplicateNameUntilExecuted) {
   CommScheduler sched;
-  sched.begin_step({"a"});
-  EXPECT_THROW(sched.submit("ghost", [] {}), Error);
-  sched.submit("a", [] {});
-  EXPECT_THROW(sched.submit("a", [] {}), Error);
+  (void)park(sched);
+  sched.submit(desc("a", 1.0), [] {});
+  EXPECT_THROW(sched.submit(desc("a", 2.0), [] {}), Error);
   sched.drain();
-  // Same name may be declared again once executed.
-  EXPECT_NO_THROW(sched.begin_step({"a"}));
-  sched.submit("a", [] {});
-  sched.drain();
-}
-
-TEST(Scheduler, RejectsDuplicateDeclarationInBacklog) {
-  CommScheduler sched;
-  sched.begin_step({"a"});
-  EXPECT_THROW(sched.begin_step({"a"}), Error);
-  sched.submit("a", [] {});
+  // Same name may be submitted again once executed.
+  EXPECT_NO_THROW(sched.submit(desc("a", 1.0), [] {}));
   sched.drain();
 }
 
@@ -118,9 +127,8 @@ TEST(Scheduler, OverlapsWithMainThread) {
   // The comm thread must run concurrently: total wall time for a 40ms comm
   // op + 40ms of main-thread work should be well under 80ms.
   CommScheduler sched;
-  sched.begin_step({"comm"});
   const auto t0 = std::chrono::steady_clock::now();
-  auto h = sched.submit("comm", [] {
+  auto h = sched.submit(desc("comm", 0.0), [] {
     std::this_thread::sleep_for(std::chrono::milliseconds(40));
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(40));  // "compute"
@@ -135,8 +143,8 @@ TEST(Scheduler, OverlapsWithMainThread) {
 
 TEST(SchedulerFailure, OpExceptionRethrownFromWait) {
   CommScheduler sched;
-  sched.begin_step({"boom"});
-  auto h = sched.submit("boom", [] { throw Error("op body failed"); });
+  auto h = sched.submit(desc("boom", 0.0),
+                        [] { throw Error("op body failed"); });
   EXPECT_THROW(
       {
         try {
@@ -154,15 +162,17 @@ TEST(SchedulerFailure, OpExceptionRethrownFromWait) {
 
 TEST(SchedulerFailure, BacklogFailsFastAfterOpThrows) {
   CommScheduler sched;
-  sched.begin_step({"boom", "after1", "after2"});
-  auto h_after1 = sched.submit("after1", [] { FAIL() << "must never run"; });
-  auto h_boom = sched.submit("boom", [] { throw Error("kaput"); });
+  (void)park(sched);
+  auto h_after = sched.submit(desc("after", 2.0),
+                              [] { FAIL() << "must never run"; });
+  auto h_boom =
+      sched.submit(desc("boom", 1.0), [] { throw Error("kaput"); });
   // The abandoned op's waiter must not hang: it gets a SchedulerError
   // naming the culprit, well before any watchdog.
   EXPECT_THROW(
       {
         try {
-          h_after1.wait();
+          h_after.wait();
         } catch (const SchedulerError& e) {
           EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
           throw;
@@ -170,12 +180,10 @@ TEST(SchedulerFailure, BacklogFailsFastAfterOpThrows) {
       },
       SchedulerError);
   EXPECT_THROW(h_boom.wait(), Error);
-  // drain() rethrows the original failure instead of wedging on "after2"
-  // (declared, never submitted, never runnable).
+  // drain() rethrows the original failure instead of wedging.
   EXPECT_THROW(sched.drain(), Error);
   // The scheduler is terminally failed: new work is refused.
-  EXPECT_THROW(sched.submit("after2", [] {}), SchedulerError);
-  EXPECT_THROW(sched.begin_step({"next"}), SchedulerError);
+  EXPECT_THROW(sched.submit(desc("more", 3.0), [] {}), SchedulerError);
 }
 
 // Regression: destroying a scheduler with ops still in the plan used to
@@ -187,10 +195,17 @@ TEST(SchedulerFailure, DestructorFailsUndoneHandlesInsteadOfHangingWaiters) {
   std::atomic<bool> waiter_threw{false};
   {
     CommScheduler sched;
-    // "tail" is runnable but blocked behind the never-submitted "head", so
-    // it is still in the plan at destruction time.
-    sched.begin_step({"head", "tail"});
-    h = sched.submit("tail", [] { FAIL() << "must never run"; });
+    std::atomic<bool> started{false};
+    // "tail" stays queued behind the long-running warmup, so it is still in
+    // the plan at destruction time.
+    sched.submit(desc("warmup", 0.0), [&] {
+      started.store(true);
+      std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    });
+    while (!started.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    h = sched.submit(desc("tail", 1.0), [] { FAIL() << "must never run"; });
     waiter = std::thread([&] {
       try {
         h.wait();
@@ -210,11 +225,11 @@ TEST(SchedulerFailure, DestructorFailsUndoneHandlesInsteadOfHangingWaiters) {
 
 TEST(SchedulerFailure, DrainDoesNotWedgeWhenOpFailsMidDrain) {
   CommScheduler sched;
-  sched.begin_step({"slow_boom", "abandoned"});
-  sched.submit("slow_boom", [] {
+  sched.submit(desc("slow_boom", 0.0), [] {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
     throw Error("late failure");
   });
+  sched.submit(desc("abandoned", 1.0), [] { FAIL() << "must never run"; });
   EXPECT_THROW(sched.drain(), Error);
 }
 

@@ -58,12 +58,23 @@ TEST(TrainConfigValidate, FlagsEachBadField) {
       {"fusion_bytes", [](TrainConfig& c) { c.fusion_bytes = -5; }},
       {"dense_fusion_bytes",
        [](TrainConfig& c) { c.dense_fusion_bytes = -1; }},
+      {"sparse_algo", [](TrainConfig& c) { c.sparse_algo = "ring"; }},
+      {"sparse_algo", [](TrainConfig& c) { c.sparse_algo = ""; }},
   };
   for (const auto& c : cases) {
     TrainConfig cfg = valid_config();
     c.mutate(cfg);
     const auto errors = cfg.validate(4);
     EXPECT_TRUE(has_error(errors, c.field)) << "expected error on " << c.field;
+  }
+}
+
+TEST(TrainConfigValidate, AcceptsEverySparseAlgoSpelling) {
+  for (const char* algo :
+       {"auto", "allgather", "recursive-doubling", "dense"}) {
+    TrainConfig cfg = valid_config();
+    cfg.sparse_algo = algo;
+    EXPECT_TRUE(cfg.validate(4).empty()) << algo;
   }
 }
 
