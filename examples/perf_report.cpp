@@ -9,12 +9,18 @@
 //
 // Usage:
 //   perf_report [workers] [steps] [strategy] [tables] [alpha_us] [gbps]
+//               [nodes]
 //     workers:  rank count                          (default 4)
 //     steps:    training steps                      (default 6)
 //     strategy: allreduce|allgather|novss|embrace   (default embrace)
 //     tables:   embedding tables                    (default 2)
-//     alpha_us: emulated per-message link latency   (default 50)
+//     alpha_us: emulated per-message inter-node α   (default 50)
 //     gbps:     emulated link bandwidth in Gbit/s   (default 10)
+//     nodes:    cluster nodes (must divide workers; 0 = flat fabric,
+//               default). With nodes > 1 the fabric gets a two-tier
+//               topology — intra-node links at α/10 and 4x bandwidth —
+//               the trainer routes collectives over the CommGroup tree,
+//               and the report prints per-tier bytes on wire.
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -69,8 +75,13 @@ int main(int argc, char** argv) {
   const int tables = argc > 4 ? positive_arg(argv[4], "tables") : 2;
   const double alpha_us = argc > 5 ? std::atof(argv[5]) : 50.0;
   const double gbps = argc > 6 ? std::atof(argv[6]) : 10.0;
+  const int nodes = argc > 7 ? std::atoi(argv[7]) : 0;
   if (alpha_us < 0.0 || gbps < 0.0) {
     std::fprintf(stderr, "alpha_us and gbps must be >= 0\n");
+    return 2;
+  }
+  if (nodes < 0 || (nodes > 0 && workers % nodes != 0)) {
+    std::fprintf(stderr, "nodes must be >= 0 and divide workers\n");
     return 2;
   }
 
@@ -82,6 +93,12 @@ int main(int argc, char** argv) {
   cfg.perf_profile = true;
   cfg.link_alpha_us = alpha_us;
   cfg.link_bytes_per_us = gbps * 1e9 / 8.0 / 1e6;  // Gbit/s -> bytes/µs
+  if (nodes > 0) {
+    cfg.topo_nodes = nodes;
+    cfg.topo_gpus_per_node = workers / nodes;
+    cfg.link_intra_alpha_us = alpha_us / 10.0;
+    cfg.link_intra_bytes_per_us = cfg.link_bytes_per_us * 4.0;
+  }
 
   obs::link_profiler().reset();
   obs::link_profiler().set_enabled(true);
@@ -148,7 +165,8 @@ int main(int argc, char** argv) {
   // Sparse-algorithm engine decisions (DESIGN.md §12) — populated by the
   // allgather strategy's per-op AlgoPicker, zero elsewhere.
   bool any_picks = false;
-  for (const char* algo : {"allgather", "recursive-doubling", "dense"}) {
+  for (const char* algo :
+       {"allgather", "recursive-doubling", "dense", "two-level"}) {
     const std::string label = std::string("{algo=") + algo + "}";
     const int64_t picks =
         obs::counter("sparse.algo.picks" + label).value();
@@ -159,6 +177,23 @@ int main(int argc, char** argv) {
                 static_cast<long long>(picks),
                 static_cast<long long>(
                     obs::counter("sparse.algo.bytes" + label).value()));
+  }
+  if (nodes > 0) {
+    // Per-tier wire accounting from the fabric's topology counters: the
+    // hierarchical schedule should keep most bytes on the intra tier.
+    const int64_t intra_bytes =
+        obs::counter("comm.bytes{tier=intra}").value();
+    const int64_t inter_bytes =
+        obs::counter("comm.bytes{tier=inter}").value();
+    const int64_t total = intra_bytes + inter_bytes;
+    std::printf("\nbytes on wire by tier (%d nodes x %d gpus/node):\n",
+                nodes, workers / nodes);
+    std::printf("  intra-node %12lld bytes (%.1f%%)\n",
+                static_cast<long long>(intra_bytes),
+                total > 0 ? 100.0 * intra_bytes / total : 0.0);
+    std::printf("  inter-node %12lld bytes (%.1f%%)\n",
+                static_cast<long long>(inter_bytes),
+                total > 0 ? 100.0 * inter_bytes / total : 0.0);
   }
   std::puts("\nwrote PERF_report.json");
   return 0;

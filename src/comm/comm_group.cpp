@@ -1,0 +1,32 @@
+#include "comm/comm_group.h"
+
+#include "common/error.h"
+
+namespace embrace::comm {
+
+CommGroup build_comm_group(Communicator& world) {
+  EMBRACE_CHECK_EQ(world.size(), world.fabric().num_ranks(),
+                   << "build_comm_group expects a fabric-spanning "
+                      "communicator");
+  CommGroup g;
+  g.world = &world;
+  Fabric& fabric = world.fabric();
+  if (fabric.has_topology()) {
+    g.nodes = fabric.nodes();
+    g.gpus_per_node = fabric.gpus_per_node();
+  } else {
+    g.nodes = 1;
+    g.gpus_per_node = world.size();
+  }
+  const int my_node = fabric.node_of(world.global_rank());
+  // Node group: color = node id, keyed by fabric rank so node rank 0 is the
+  // node's lowest fabric rank.
+  g.node = world.split(my_node, world.global_rank());
+  // Leader group: node-local rank 0 of every node, keyed by node id so the
+  // leader group is ordered node 0, node 1, ... (leaders rank k == node k).
+  const bool leader = g.node->rank() == 0;
+  g.leaders = world.split(leader ? 0 : -1, my_node);
+  return g;
+}
+
+}  // namespace embrace::comm

@@ -98,32 +98,55 @@ void reduce_into(std::span<float> acc, std::span<const float> in,
 }
 
 Communicator::Communicator(Fabric& fabric, int rank, int channel_id)
-    : fabric_(&fabric), rank_(rank), channel_id_(channel_id) {
+    : fabric_(&fabric), rank_(rank), global_rank_(rank),
+      channel_id_(channel_id) {
   EMBRACE_CHECK(rank >= 0 && rank < fabric.num_ranks());
   EMBRACE_CHECK(channel_id >= 0 && channel_id < (1 << 8),
                 << "channel id out of range");
 }
 
+Communicator::Communicator(Fabric& fabric,
+                           std::shared_ptr<const std::vector<int>> members,
+                           int group_rank, int channel_id, int tag_space)
+    : fabric_(&fabric), members_(std::move(members)), rank_(group_rank),
+      channel_id_(channel_id), tag_space_(tag_space) {
+  EMBRACE_CHECK(members_ != nullptr && !members_->empty());
+  EMBRACE_CHECK(group_rank >= 0 &&
+                group_rank < static_cast<int>(members_->size()));
+  EMBRACE_CHECK(channel_id >= 0 && channel_id < (1 << 8),
+                << "channel id out of range");
+  EMBRACE_CHECK(tag_space >= 0 && tag_space < (1 << 8),
+                << "tag-space id out of range");
+  global_rank_ = (*members_)[static_cast<size_t>(group_rank)];
+}
+
 Communicator Communicator::channel(int channel_id) const {
-  return Communicator(*fabric_, rank_, channel_id);
+  Communicator out = *this;
+  EMBRACE_CHECK(channel_id >= 0 && channel_id < (1 << 8),
+                << "channel id out of range");
+  out.channel_id_ = channel_id;
+  out.seq_ = 0;
+  return out;
 }
 
 Bytes Communicator::checked_recv(int src, uint64_t tag) {
+  const int gsrc = global(src);
   return checked_recv_loop(
-      *fabric_, rank_, channel_id_, src, tag,
+      *fabric_, global_rank_, channel_id_, gsrc, tag,
       [&](std::chrono::microseconds wait) {
-        return fabric_->try_recv_for(rank_, src, tag, wait);
+        return fabric_->try_recv_for(global_rank_, gsrc, tag, wait);
       },
-      [&] { return fabric_->recv(rank_, src, tag); });
+      [&] { return fabric_->recv(global_rank_, gsrc, tag); });
 }
 
 SharedBytes Communicator::checked_recv_shared(int src, uint64_t tag) {
+  const int gsrc = global(src);
   return checked_recv_loop(
-      *fabric_, rank_, channel_id_, src, tag,
+      *fabric_, global_rank_, channel_id_, gsrc, tag,
       [&](std::chrono::microseconds wait) {
-        return fabric_->try_recv_shared_for(rank_, src, tag, wait);
+        return fabric_->try_recv_shared_for(global_rank_, gsrc, tag, wait);
       },
-      [&] { return fabric_->recv_shared(rank_, src, tag); });
+      [&] { return fabric_->recv_shared(global_rank_, gsrc, tag); });
 }
 
 void Communicator::send_float_block(int dst, uint64_t tag,
@@ -132,7 +155,7 @@ void Communicator::send_float_block(int dst, uint64_t tag,
   // Empty spans may carry a null data(); memcpy's pointer args must be
   // non-null even for size 0.
   if (!buf.empty()) std::memcpy(buf.data(), data.data(), buf.size());
-  fabric_->send(rank_, dst, tag, std::move(buf));
+  fabric_->send(global_rank_, global(dst), tag, std::move(buf));
 }
 
 void Communicator::recv_copy_block(int src, uint64_t tag,
@@ -154,7 +177,7 @@ void Communicator::recv_reduce_block(int src, uint64_t tag,
 }
 
 void Communicator::send_bytes_block(int dst, uint64_t tag, Bytes msg) {
-  fabric_->send(rank_, dst, tag, std::move(msg));
+  fabric_->send(global_rank_, global(dst), tag, std::move(msg));
 }
 
 Bytes Communicator::recv_bytes_block(int src, uint64_t tag) {
@@ -169,17 +192,25 @@ uint64_t Communicator::reserve_tags(int64_t count) {
   return first;
 }
 
+uint64_t Communicator::tag_base() const {
+  // Tag layout: [tag_space:8][channel:8][space:32], staying under the
+  // fabric's 48-bit tag budget. tag_space 0 is the world namespace, so a
+  // world communicator's tags are independent of how many splits exist.
+  return (static_cast<uint64_t>(tag_space_) << 40) |
+         (static_cast<uint64_t>(channel_id_) << 32);
+}
+
 uint64_t Communicator::next_tag() {
-  // Tag layout: [channel:8][sequence:40]. The SPMD contract guarantees the
-  // per-channel sequence numbers line up across ranks.
-  const uint64_t tag =
-      (static_cast<uint64_t>(channel_id_) << 40) | (seq_ & ((uint64_t{1} << 40) - 1));
+  // The 32-bit space splits into [tagged:1][sequence:31] (see
+  // kTaggedSpaceBit below). The SPMD contract guarantees the per-channel,
+  // per-group sequence numbers line up across member ranks.
+  const uint64_t tag = tag_base() | (seq_ & ((uint64_t{1} << 31) - 1));
   ++seq_;
   return tag;
 }
 
 void Communicator::send_bytes(int dst, Bytes msg) {
-  fabric_->send(rank_, dst, next_tag(), std::move(msg));
+  fabric_->send(global_rank_, global(dst), next_tag(), std::move(msg));
 }
 
 Bytes Communicator::recv_bytes(int src) {
@@ -199,33 +230,33 @@ std::vector<float> Communicator::recv_floats(int src) {
 }
 
 namespace {
-constexpr uint64_t kTaggedSpaceBit = uint64_t{1} << 39;
+constexpr uint64_t kTaggedSpaceBit = uint64_t{1} << 31;
 }
 
 void Communicator::send_bytes_at(int dst, uint64_t user_tag, Bytes msg) {
   EMBRACE_CHECK_LT(user_tag, kTaggedSpaceBit, << "user tag out of range");
-  const uint64_t tag = (static_cast<uint64_t>(channel_id_) << 40) |
-                       kTaggedSpaceBit | user_tag;
-  fabric_->send(rank_, dst, tag, std::move(msg));
+  const uint64_t tag = tag_base() | kTaggedSpaceBit | user_tag;
+  fabric_->send(global_rank_, global(dst), tag, std::move(msg));
 }
 
 comm::Bytes Communicator::recv_bytes_at(int src, uint64_t user_tag) {
   EMBRACE_CHECK_LT(user_tag, kTaggedSpaceBit, << "user tag out of range");
-  const uint64_t tag = (static_cast<uint64_t>(channel_id_) << 40) |
-                       kTaggedSpaceBit | user_tag;
+  const uint64_t tag = tag_base() | kTaggedSpaceBit | user_tag;
   return checked_recv(src, tag);
 }
 
 std::optional<Bytes> Communicator::try_recv_bytes_at(
     int src, uint64_t user_tag, std::chrono::microseconds timeout) {
   EMBRACE_CHECK_LT(user_tag, kTaggedSpaceBit, << "user tag out of range");
-  const uint64_t tag = (static_cast<uint64_t>(channel_id_) << 40) |
-                       kTaggedSpaceBit | user_tag;
-  if (auto msg = fabric_->try_recv_for(rank_, src, tag, timeout)) return msg;
+  const uint64_t tag = tag_base() | kTaggedSpaceBit | user_tag;
+  const int gsrc = global(src);
+  if (auto msg = fabric_->try_recv_for(global_rank_, gsrc, tag, timeout)) {
+    return msg;
+  }
   // One recovery attempt per poll so recoverable drops cannot starve a
   // polling receiver that never exceeds a global deadline.
-  if (fabric_->recover(rank_, src, tag)) {
-    return fabric_->try_recv_for(rank_, src, tag, timeout);
+  if (fabric_->recover(global_rank_, gsrc, tag)) {
+    return fabric_->try_recv_for(global_rank_, gsrc, tag, timeout);
   }
   return std::nullopt;
 }
@@ -251,7 +282,7 @@ void Communicator::barrier() {
     const uint64_t tag = next_tag();
     const int to = (rank_ + k) % n;
     const int from = (rank_ - k + n) % n;
-    fabric_->send(rank_, to, tag, Bytes{});
+    fabric_->send(global_rank_, global(to), tag, Bytes{});
     (void)checked_recv(from, tag);
   }
 }
@@ -371,7 +402,7 @@ std::vector<Bytes> Communicator::gatherv(const Bytes& mine, int root) {
   const int n = size();
   const uint64_t tag = next_tag();
   if (rank_ != root) {
-    fabric_->send(rank_, root, tag, mine);
+    fabric_->send(global_rank_, global(root), tag, mine);
     return {};
   }
   std::vector<Bytes> out(static_cast<size_t>(n));
@@ -394,7 +425,8 @@ Bytes Communicator::scatterv(std::vector<Bytes> parts, int root) {
                      << "one payload per rank required at the root");
     for (int r = 0; r < n; ++r) {
       if (r == root) continue;
-      fabric_->send(rank_, r, tag, std::move(parts[static_cast<size_t>(r)]));
+      fabric_->send(global_rank_, global(r), tag,
+                    std::move(parts[static_cast<size_t>(r)]));
     }
     return std::move(parts[static_cast<size_t>(root)]);
   }
@@ -459,7 +491,7 @@ std::vector<SharedBytes> Communicator::allgatherv_shared_impl(Bytes mine) {
     const uint64_t tag = next_tag();
     const int to = (rank_ + s) % n;
     const int from = (rank_ - s + n) % n;
-    fabric_->send_shared(rank_, to, tag, shared);
+    fabric_->send_shared(global_rank_, global(to), tag, shared);
     out[static_cast<size_t>(from)] = checked_recv_shared(from, tag);
   }
   return out;
@@ -514,10 +546,62 @@ std::vector<Bytes> Communicator::alltoallv_impl(std::vector<Bytes> send) {
     const uint64_t tag = next_tag();
     const int to = (rank_ + s) % n;
     const int from = (rank_ - s + n) % n;
-    fabric_->send(rank_, to, tag, std::move(send[static_cast<size_t>(to)]));
+    fabric_->send(global_rank_, global(to), tag,
+                  std::move(send[static_cast<size_t>(to)]));
     out[static_cast<size_t>(from)] = checked_recv(from, tag);
   }
   return out;
+}
+
+std::optional<Communicator> Communicator::split(int color, int key) {
+  EMBRACE_COLLECTIVE_PROLOGUE("split", 0);
+  // (color, key) ride a float allgather; floats carry 24-bit integers
+  // exactly, which bounds the accepted magnitudes.
+  EMBRACE_CHECK_LT(color, 1 << 24, << "split color out of range");
+  EMBRACE_CHECK_GT(color, -(1 << 24), << "split color out of range");
+  EMBRACE_CHECK_LT(key, 1 << 24, << "split key out of range");
+  EMBRACE_CHECK_GT(key, -(1 << 24), << "split key out of range");
+  const int n = size();
+  const float mine[2] = {static_cast<float>(color), static_cast<float>(key)};
+  const std::vector<float> all = allgather(mine);
+  // One tag-space id per split call: group rank 0 allocates, everyone
+  // learns it. Sibling groups of this split share the id — their member
+  // sets are disjoint, so their (src, tag) mailbox keys cannot collide.
+  std::vector<float> ts{0.0f};
+  if (rank_ == 0) {
+    ts[0] = static_cast<float>(fabric_->allocate_tag_space());
+  }
+  broadcast(ts, 0);
+  const int tag_space = static_cast<int>(ts[0]);
+  if (color < 0) return std::nullopt;
+
+  // My sub-group: members with my color, ordered by (key, fabric rank).
+  struct Entry {
+    int key;
+    int fabric_rank;
+  };
+  std::vector<Entry> entries;
+  for (int r = 0; r < n; ++r) {
+    const int c = static_cast<int>(all[static_cast<size_t>(2 * r)]);
+    if (c != color) continue;
+    entries.push_back({static_cast<int>(all[static_cast<size_t>(2 * r + 1)]),
+                       global(r)});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.fabric_rank < b.fabric_rank;
+  });
+  auto members = std::make_shared<std::vector<int>>();
+  members->reserve(entries.size());
+  int my_index = -1;
+  for (const Entry& e : entries) {
+    if (e.fabric_rank == global_rank_) {
+      my_index = static_cast<int>(members->size());
+    }
+    members->push_back(e.fabric_rank);
+  }
+  EMBRACE_CHECK_GE(my_index, 0);
+  return Communicator(*fabric_, std::move(members), my_index, channel_id_,
+                      tag_space);
 }
 
 }  // namespace embrace::comm

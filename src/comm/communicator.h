@@ -5,16 +5,27 @@
 //   ring AllGather, AllGatherv (variable byte payloads), pairwise
 //   AlltoAll / AlltoAllv.
 //
-// SPMD contract: every rank calls the same collectives in the same order
-// *per channel*. Distinct channels (see channel()) have independent tag
-// namespaces, so e.g. the dense AllReduce stream and the sparse AlltoAll
-// stream of EmbRace can interleave differently on different ranks without
-// cross-talk — exactly the role of separate NCCL communicators in the
-// paper's implementation.
+// SPMD contract: every member rank calls the same collectives in the same
+// order *per channel, per group*. Distinct channels (see channel()) have
+// independent tag namespaces, so e.g. the dense AllReduce stream and the
+// sparse AlltoAll stream of EmbRace can interleave differently on different
+// ranks without cross-talk — exactly the role of separate NCCL
+// communicators in the paper's implementation.
+//
+// Sub-groups (the MPI_Comm_split / LBANN comm-tree analogue): split() forms
+// a communicator over a subset of this group's ranks, ordered by
+// (key, fabric rank). Every collective below runs unchanged on a sub-group —
+// rank()/size() are group-relative and peers are mapped to fabric ranks at
+// the transport boundary. Each split allocates a fresh tag-space id from
+// the fabric, so a parent and its sub-groups (and unrelated splits) can
+// interleave collectives on the same channel without tag collisions;
+// sibling groups of one split share the id safely because their member
+// sets — and hence their (src, tag) mailbox keys — are disjoint.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -29,20 +40,38 @@ enum class ReduceOp { kSum, kMax };
 class Communicator {
  public:
   // channel_id selects a disjoint tag namespace on the shared fabric.
+  // Constructs a *world* communicator spanning every fabric rank.
   Communicator(Fabric& fabric, int rank, int channel_id = 0);
 
+  // Group-relative rank/size (== fabric rank/num_ranks on world).
   int rank() const { return rank_; }
-  int size() const { return fabric_->num_ranks(); }
+  int size() const {
+    return members_ ? static_cast<int>(members_->size())
+                    : fabric_->num_ranks();
+  }
   int channel_id() const { return channel_id_; }
   Fabric& fabric() { return *fabric_; }
+  // Fabric-level rank of this member (== rank() on world).
+  int global_rank() const { return global_rank_; }
+  // Fabric-level rank of group rank r.
+  int global_of(int r) const { return global(r); }
   // This rank's wire-buffer pool. Collectives draw their send buffers from
   // here and recycle consumed receive buffers into it; callers that own a
   // received Bytes (alltoallv, recv_bytes) may do the same once done.
-  BufferPool& pool() { return fabric_->pool(rank_); }
+  BufferPool& pool() { return fabric_->pool(global_rank_); }
 
   // A communicator over the same ranks with an independent tag namespace.
   // All ranks must derive channels with matching ids.
   Communicator channel(int channel_id) const;
+
+  // Collectively splits this group (MPI_Comm_split semantics): members
+  // passing the same non-negative `color` form a sub-group ordered by
+  // (key, fabric rank); members passing color < 0 take part in the split
+  // exchange but receive std::nullopt. One fresh tag-space id is allocated
+  // per split() call (by group rank 0, broadcast to the group), giving the
+  // new groups a tag namespace disjoint from this one's. |color| and |key|
+  // must stay below 2^24 — they ride a float allgather.
+  std::optional<Communicator> split(int color, int key = 0);
 
   // --- point to point ---
   void send_bytes(int dst, Bytes msg);
@@ -52,8 +81,8 @@ class Communicator {
 
   // Explicitly-tagged point-to-point within this channel, for protocols
   // whose send/recv counts differ per rank (e.g. the negotiated scheduler's
-  // one-to-many announcements). user_tag < 2^39; the tagged space is
-  // disjoint from the sequence-numbered space above.
+  // one-to-many announcements). user_tag < 2^31; the tagged space is
+  // disjoint from the sequence-numbered space above. Peers are group ranks.
   void send_bytes_at(int dst, uint64_t user_tag, Bytes msg);
   Bytes recv_bytes_at(int src, uint64_t user_tag);
   // Bounded variant: std::nullopt on timeout (no TimeoutError, no retry) —
@@ -68,7 +97,7 @@ class Communicator {
   void broadcast(std::span<float> data, int root);
 
   // In-place ring AllReduce (reduce-scatter + allgather), the Horovod/NCCL
-  // algorithm whose cost the paper models as 2(N-1)(M/(N·B) + β).
+  // algorithm whose cost the paper models as 2(N-1)(M/(N·B) + α).
   void allreduce(std::span<float> data, ReduceOp op = ReduceOp::kSum);
 
   // Reduce-scatter: input `data` of equal size on all ranks; on return the
@@ -142,6 +171,17 @@ class Communicator {
                          ReduceOp op);
 
  private:
+  // Sub-group constructor: `members` maps group rank -> fabric rank,
+  // `tag_space` is the fabric-allocated namespace id (0 = world).
+  Communicator(Fabric& fabric, std::shared_ptr<const std::vector<int>> members,
+               int group_rank, int channel_id, int tag_space);
+  // Fabric-level rank of group rank r (identity on world).
+  int global(int r) const {
+    return members_ ? (*members_)[static_cast<size_t>(r)] : r;
+  }
+  // The [tag_space:8][channel:8] prefix shared by every tag of this
+  // communicator.
+  uint64_t tag_base() const;
   uint64_t next_tag();
   // Every collective receive funnels through here. When the fabric has a
   // recv deadline configured, the wait is sliced: each timeout slice first
@@ -159,8 +199,12 @@ class Communicator {
   std::vector<SharedBytes> allgatherv_shared_impl(Bytes mine);
 
   Fabric* fabric_;
-  int rank_;
+  // Group rank -> fabric rank; null on world communicators (identity map).
+  std::shared_ptr<const std::vector<int>> members_;
+  int rank_;         // group-relative rank
+  int global_rank_;  // fabric-level rank
   int channel_id_;
+  int tag_space_ = 0;  // fabric-allocated namespace id; 0 = world
   uint64_t seq_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "comm/fabric.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -23,13 +24,21 @@ constexpr double kWaitEdgesUs[] = {1.0,   10.0,   100.0,   1000.0,
 // latency would be noise, not the configured value.
 void precise_sleep_us(double us) {
   if (us <= 0.0) return;
+  // Clamp absurd requests: duration_cast of a huge double would overflow
+  // the clock's integral representation and wrap the deadline negative.
+  constexpr double kMaxSleepUs = 3.6e9;  // one hour
+  us = std::min(us, kMaxSleepUs);
   const auto t0 = std::chrono::steady_clock::now();
   const auto deadline = t0 + std::chrono::duration_cast<
                                  std::chrono::steady_clock::duration>(
                                  std::chrono::duration<double, std::micro>(us));
   constexpr auto kSpinWindow = std::chrono::microseconds(100);
-  if (deadline - t0 > kSpinWindow) {
-    std::this_thread::sleep_until(deadline - kSpinWindow);
+  // Requests shorter than the spin window skip the OS sleep entirely:
+  // deadline - kSpinWindow would be a time already in the past, and cheap
+  // intra-node tier costs are routinely a few µs.
+  const auto sleep_target = deadline - kSpinWindow;
+  if (sleep_target > t0) {
+    std::this_thread::sleep_until(sleep_target);
   }
   while (std::chrono::steady_clock::now() < deadline) {
     // spin the tail
@@ -50,7 +59,8 @@ double to_unit(uint64_t h) {
 
 }  // namespace
 
-Fabric::Fabric(int num_ranks) : num_ranks_(num_ranks) {
+Fabric::Fabric(int num_ranks)
+    : num_ranks_(num_ranks), gpus_per_node_(num_ranks) {
   EMBRACE_CHECK_GE(num_ranks, 1);
   mailboxes_.reserve(static_cast<size_t>(num_ranks));
   pools_.reserve(static_cast<size_t>(num_ranks));
@@ -110,6 +120,60 @@ void Fabric::set_link_cost(int src, int dst, const LinkCost& cost) {
 void Fabric::set_uniform_link_cost(const LinkCost& cost) {
   for (auto& c : link_cost_) c = cost;
   link_costs_enabled_.store(cost.any(), std::memory_order_relaxed);
+}
+
+LinkCost Fabric::link_cost(int src, int dst) const {
+  EMBRACE_CHECK(src >= 0 && src < num_ranks_, << "bad src rank " << src);
+  EMBRACE_CHECK(dst >= 0 && dst < num_ranks_, << "bad dst rank " << dst);
+  return link_cost_[static_cast<size_t>(src) * num_ranks_ + dst];
+}
+
+void Fabric::set_topology(const simnet::ClusterTopology& topo,
+                          const LinkCost& intra, const LinkCost& inter) {
+  EMBRACE_CHECK_GE(topo.nodes, 1);
+  EMBRACE_CHECK_GE(topo.gpus_per_node, 1);
+  EMBRACE_CHECK_EQ(topo.total_gpus(), num_ranks_,
+                   << "topology does not cover the fabric");
+  nodes_ = topo.nodes;
+  gpus_per_node_ = topo.gpus_per_node;
+  node_map_.resize(static_cast<size_t>(num_ranks_));
+  for (int r = 0; r < num_ranks_; ++r) {
+    node_map_[static_cast<size_t>(r)] = r / gpus_per_node_;
+  }
+  has_topology_ = true;
+  bool any = false;
+  for (int src = 0; src < num_ranks_; ++src) {
+    for (int dst = 0; dst < num_ranks_; ++dst) {
+      const LinkCost& cost = same_node(src, dst) ? intra : inter;
+      link_cost_[static_cast<size_t>(src) * num_ranks_ + dst] = cost;
+      any = any || cost.any();
+    }
+  }
+  link_costs_enabled_.store(any, std::memory_order_relaxed);
+}
+
+int Fabric::node_of(int rank) const {
+  EMBRACE_CHECK(rank >= 0 && rank < num_ranks_, << "bad rank " << rank);
+  if (node_map_.empty()) return 0;
+  return node_map_[static_cast<size_t>(rank)];
+}
+
+int Fabric::local_index(int rank) const {
+  EMBRACE_CHECK(rank >= 0 && rank < num_ranks_, << "bad rank " << rank);
+  if (!has_topology_) return rank;
+  return rank % gpus_per_node_;
+}
+
+TrafficCounters Fabric::tier_traffic(bool intra) const {
+  const PairCounters& c = tier_counters_[intra ? 0 : 1];
+  return {c.messages.load(), c.bytes.load()};
+}
+
+int Fabric::allocate_tag_space() {
+  const int id = next_tag_space_.fetch_add(1, std::memory_order_relaxed);
+  // The Communicator packs the tag-space id into 8 bits of the wire tag.
+  EMBRACE_CHECK_LT(id, 256, << "communicator tag-space ids exhausted");
+  return id;
 }
 
 void Fabric::set_recv_timeout(std::chrono::microseconds timeout) {
@@ -188,6 +252,19 @@ void Fabric::deliver(int src, int dst, uint64_t tag, Envelope env) {
   static obs::Counter& send_bytes = obs::counter("fabric.send.bytes");
   send_messages.increment();
   send_bytes.add(static_cast<int64_t>(env.size()));
+  // Per-tier accounting: which side of the node boundary did this delivery
+  // cross? Self-sends never touch a link and are not counted.
+  if (src != dst) {
+    const bool intra = same_node(src, dst);
+    PairCounters& tier = tier_counters_[intra ? 0 : 1];
+    tier.messages.fetch_add(1, std::memory_order_relaxed);
+    tier.bytes.fetch_add(static_cast<int64_t>(env.size()),
+                         std::memory_order_relaxed);
+    static obs::Counter& intra_bytes = obs::counter("comm.bytes{tier=intra}");
+    static obs::Counter& inter_bytes = obs::counter("comm.bytes{tier=inter}");
+    (intra ? intra_bytes : inter_bytes)
+        .add(static_cast<int64_t>(env.size()));
+  }
   Mailbox& box = *mailboxes_[static_cast<size_t>(dst)];
   const uint64_t k = key(src, tag);
   if (fault.drop) {
@@ -418,6 +495,10 @@ void Fabric::reset_traffic() {
   for (auto& c : recv_counters_) {
     c->messages.store(0);
     c->bytes.store(0);
+  }
+  for (auto& tier : tier_counters_) {
+    tier.messages.store(0);
+    tier.bytes.store(0);
   }
 }
 

@@ -53,6 +53,7 @@
 
 #include "comm/buffer_pool.h"
 #include "common/error.h"
+#include "simnet/topology.h"
 
 namespace embrace::comm {
 
@@ -61,15 +62,16 @@ struct TrafficCounters {
   int64_t bytes = 0;
 };
 
-// Emulated per-link delivery cost under the α–β model: a message of n bytes
+// Emulated per-link delivery cost under the α–β model (α = per-message
+// start latency, β = per-byte cost = 1 / bandwidth): a message of n bytes
 // occupies the link for alpha_us + n / bytes_per_us microseconds (either
 // term may be zero). The fabric sleeps the sending thread for that long
 // before the message becomes visible — the in-process stand-in for wire
 // latency/bandwidth, and the ground truth the obs::LinkProfiler is
 // validated against.
 struct LinkCost {
-  double alpha_us = 0.0;      // fixed per-message latency
-  double bytes_per_us = 0.0;  // bandwidth; 0 = infinite
+  double alpha_us = 0.0;      // α: fixed per-message start latency
+  double bytes_per_us = 0.0;  // bandwidth (1/β); 0 = infinite
 
   bool any() const { return alpha_us > 0.0 || bytes_per_us > 0.0; }
   double cost_us(size_t bytes) const {
@@ -189,6 +191,42 @@ class Fabric {
   bool link_costs_enabled() const {
     return link_costs_enabled_.load(std::memory_order_relaxed);
   }
+  // The effective α–β cost of one directed link (default-constructed when
+  // none was set). Exposed so tests can assert what set_topology derived.
+  LinkCost link_cost(int src, int dst) const;
+
+  // --- cluster topology (two-tier α–β model) ---
+
+  // Declares the rank → node map derived from `topo` (ranks packed into
+  // consecutive blocks of gpus_per_node, the simnet layout) and derives the
+  // full n×n link-cost table from two per-tier costs: same-node pairs get
+  // `intra`, cross-node pairs get `inter`. This replaces hand-set n×n
+  // tables for the common two-tier cluster (PCIe within a node, shared NIC
+  // across nodes). Requires topo.total_gpus() == num_ranks(). Call before
+  // traffic starts (not thread-safe vs in-flight sends).
+  void set_topology(const simnet::ClusterTopology& topo, const LinkCost& intra,
+                    const LinkCost& inter);
+  bool has_topology() const { return has_topology_; }
+  // Cluster shape; a fabric without a topology is one node of num_ranks().
+  int nodes() const { return nodes_; }
+  int gpus_per_node() const { return gpus_per_node_; }
+  // Node housing `rank` (0 for every rank until set_topology is called).
+  int node_of(int rank) const;
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+  // Rank's index within its node (== rank when there is no topology).
+  int local_index(int rank) const;
+
+  // Traffic split by tier: same-node vs cross-node deliveries, counted on
+  // the send side. Self-sends never touch a link and are not counted.
+  // Without a topology every cross-rank delivery counts as intra-node.
+  // Mirrored into the obs counters comm.bytes{tier=intra|inter}.
+  TrafficCounters tier_traffic(bool intra) const;
+
+  // Allocates a fresh communicator tag-space id. Communicator::split calls
+  // this (on one rank, then broadcasts) to give each sub-group a tag
+  // namespace disjoint from its parent's and from other splits'. Id 0 is
+  // reserved for world communicators.
+  int allocate_tag_space();
 
   // Default receive budget for deadline-aware callers (the Communicator).
   // 0 = block forever. Stored here so every rank/channel sharing the
@@ -277,6 +315,14 @@ class Fabric {
   std::vector<std::unique_ptr<PairCounters>> recv_counters_;  // n*n
   std::vector<LinkCost> link_cost_;  // n*n, row-major
   std::atomic<bool> link_costs_enabled_{false};
+  // Topology state: rank → node map (empty until set_topology) plus the
+  // cluster shape, and per-tier traffic counters ([0] = intra, [1] = inter).
+  std::vector<int> node_map_;
+  bool has_topology_ = false;
+  int nodes_ = 1;
+  int gpus_per_node_;
+  PairCounters tier_counters_[2];
+  std::atomic<int> next_tag_space_{1};
   // Fault state: per-link configs (n*n, row-major) + per-link message
   // counters feeding the deterministic fault stream.
   std::vector<FaultConfig> link_cfg_;

@@ -1,0 +1,45 @@
+// Two-level, topology-aware collectives over a CommGroup tree.
+//
+// The flat ring treats all N-1 hops alike, so at scale its 2(N-1) α terms
+// are all priced at the (expensive) inter-node start latency. The two-level
+// algorithms confine the inter-node tier to one participant per node:
+//
+//   hierarchical_allreduce — intra-node ring reduce-scatter, chunk gather
+//     to the node leader (reduce-scatter + gather = reduce at ring
+//     bandwidth), inter-node ring AllReduce across the leaders, intra-node
+//     binomial broadcast. Inter-node α cost drops from 2(N-1) to
+//     2(nodes-1) messages per rank.
+//
+//   hierarchical_alltoallv — intra-node payloads move directly over the
+//     node group; remote-destined payloads are gathered to the node leader,
+//     bundled per destination node, exchanged leader-to-leader, and
+//     scattered to their local destinations. Inter-node message count drops
+//     from g² per node pair to 1.
+//
+// Equivalence to the flat path: AlltoAllv moves opaque bytes, so the result
+// is bitwise-identical to Communicator::alltoallv for any input. AllReduce
+// changes the summation bracketing, so float results are bitwise-equal to
+// the flat ring only on exact-arithmetic data (e.g. small-integer-valued
+// floats — what the oracle tests use) and within float tolerance otherwise;
+// the final intra-node broadcast guarantees all ranks agree bitwise with
+// each other in every case. Both fall back to the flat world path when the
+// group is not two-level.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "comm/comm_group.h"
+
+namespace embrace::comm {
+
+// In-place two-level AllReduce. Collective over g.world's ranks.
+void hierarchical_allreduce(CommGroup& g, std::span<float> data,
+                            ReduceOp op = ReduceOp::kSum);
+
+// Two-level AlltoAllv: send[i] goes to world rank i; returns payloads
+// indexed by source world rank. Same contract as Communicator::alltoallv.
+std::vector<Bytes> hierarchical_alltoallv(CommGroup& g,
+                                          std::vector<Bytes> send);
+
+}  // namespace embrace::comm

@@ -5,7 +5,8 @@
 // need and push (sparse or dense) gradients. In-process, a shard is a
 // mutex-protected store shared by the worker threads; the traffic a real PS
 // would put on the wire is tallied explicitly so tests can check it against
-// the paper's 2N(αM/(S·B)+β) analysis and the simulator can price it.
+// the paper's 2N(d·M/(S·B)+α) analysis (d = gradient density, α = message
+// start latency) and the simulator can price it.
 //
 // Synchronous-training protocol: push_* accumulates into a pending buffer;
 // the update is applied once all `num_workers` pushes for a step arrive

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "comm/chunked_collectives.h"
+#include "comm/hierarchical_collectives.h"
 #include "common/error.h"
 
 namespace embrace::comm {
@@ -99,6 +100,7 @@ const char* sparse_algo_name(SparseAlgoKind k) {
     case SparseAlgoKind::kSplitAllgather: return "allgather";
     case SparseAlgoKind::kRecursiveDoubling: return "recursive-doubling";
     case SparseAlgoKind::kDenseRing: return "dense";
+    case SparseAlgoKind::kTwoLevelRing: return "two-level";
   }
   return "?";
 }
@@ -134,9 +136,43 @@ SparseRows sparse_allreduce(Communicator& comm, const SparseRows& mine,
       return sparse_allreduce_recursive_doubling(comm, mine);
     case SparseAlgoKind::kDenseRing:
       return sparse_allreduce_dense_ring(comm, mine, chunk_bytes);
+    case SparseAlgoKind::kTwoLevelRing:
+      // Without a CommGroup there is no tier structure to exploit; the
+      // dense ring is the same wire format on a flat world.
+      return sparse_allreduce_dense_ring(comm, mine, chunk_bytes);
   }
   EMBRACE_CHECK(false, << "unknown SparseAlgoKind");
   return mine;
+}
+
+SparseRows sparse_allreduce(CommGroup& group, const SparseRows& mine,
+                            SparseAlgoKind algo, int64_t chunk_bytes) {
+  EMBRACE_CHECK(group.world != nullptr);
+  if (algo == SparseAlgoKind::kTwoLevelRing && group.two_level()) {
+    Tensor dense = mine.to_dense();
+    hierarchical_allreduce(group, dense.flat(), ReduceOp::kSum);
+    return SparseRows::from_dense(dense);
+  }
+  return sparse_allreduce(*group.world, mine, algo, chunk_bytes);
+}
+
+std::vector<SparseRows> sparse_alltoall(CommGroup& group,
+                                        std::vector<SparseRows> send) {
+  EMBRACE_CHECK(group.world != nullptr);
+  Communicator& comm = *group.world;
+  if (!group.two_level()) return sparse_alltoall(comm, std::move(send));
+  EMBRACE_CHECK_EQ(static_cast<int>(send.size()), comm.size());
+  std::vector<Bytes> payloads;
+  payloads.reserve(send.size());
+  for (const auto& s : send) payloads.push_back(pack_wire(comm, s));
+  auto received = hierarchical_alltoallv(group, std::move(payloads));
+  std::vector<SparseRows> out;
+  out.reserve(received.size());
+  for (Bytes& buf : received) {
+    out.push_back(SparseRows::unpack(buf));
+    comm.pool().release(std::move(buf));
+  }
+  return out;
 }
 
 std::vector<SparseRows> sparse_alltoall(Communicator& comm,

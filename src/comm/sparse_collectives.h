@@ -43,9 +43,17 @@ enum class SparseAlgoKind {
   // (N−1)·S allgather volume exceed the ring's 2(N−1)·M/N. Result is
   // coalesced by construction.
   kDenseRing,
+  // Topology-aware dense path: materialize to_dense(), ride the two-level
+  // hierarchical AllReduce over a CommGroup tree (hierarchical_collectives.h)
+  // instead of the flat ring. Wins on two-tier clusters where the
+  // inter-node α dominates: 2(nodes−1) expensive-tier messages instead of
+  // 2(N−1). Requires the CommGroup overload of sparse_allreduce; without a
+  // group it degrades to kDenseRing.
+  kTwoLevelRing,
 };
 
-// Stable lowercase name ("allgather" | "recursive-doubling" | "dense").
+// Stable lowercase name
+// ("allgather" | "recursive-doubling" | "dense" | "two-level").
 const char* sparse_algo_name(SparseAlgoKind k);
 
 // AllReduce of `mine` over the shared row space with the chosen algorithm.
@@ -56,6 +64,18 @@ const char* sparse_algo_name(SparseAlgoKind k);
 // one slice per ring step).
 SparseRows sparse_allreduce(Communicator& comm, const SparseRows& mine,
                             SparseAlgoKind algo, int64_t chunk_bytes = 0);
+
+// Group-tree overload: kTwoLevelRing rides the hierarchical AllReduce over
+// `group`; every other algorithm runs on *group.world exactly as above.
+struct CommGroup;
+SparseRows sparse_allreduce(CommGroup& group, const SparseRows& mine,
+                            SparseAlgoKind algo, int64_t chunk_bytes = 0);
+
+// Hierarchical AlltoAll over the group tree: bitwise-identical payloads to
+// the flat sparse_alltoall (pure data movement), but remote payloads are
+// bundled through the node leaders.
+std::vector<SparseRows> sparse_alltoall(CommGroup& group,
+                                        std::vector<SparseRows> send);
 
 // Sends `send[i]` to rank i; returns the payload received from each rank,
 // indexed by source. All payloads must share row-space dimensions.

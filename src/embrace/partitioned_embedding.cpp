@@ -3,10 +3,25 @@
 #include <cmath>
 #include <cstring>
 
+#include "comm/hierarchical_collectives.h"
 #include "common/error.h"
 
 namespace embrace::core {
 namespace {
+
+// Routes the AlltoAll through the two-level CommGroup path when one is
+// supplied (payloads are bitwise-identical either way — the hierarchical
+// variant only rebundles the wire messages).
+std::vector<comm::Bytes> exchange(comm::Communicator& comm,
+                                  comm::CommGroup* group,
+                                  std::vector<comm::Bytes> payloads) {
+  if (group != nullptr && group->two_level()) {
+    EMBRACE_CHECK(group->world == &comm,
+                  << "CommGroup must be built over this communicator");
+    return comm::hierarchical_alltoallv(*group, std::move(payloads));
+  }
+  return comm.alltoallv(std::move(payloads));
+}
 
 // Empty id slices / tensors are normal (a rank may own no rows of a batch);
 // empty vectors may hand memcpy a null pointer, which is UB even at size 0.
@@ -93,7 +108,7 @@ Tensor PartitionedEmbedding::shard_lookup(
 
 Tensor PartitionedEmbedding::distributed_lookup(
     comm::Communicator& comm, const std::vector<std::vector<int64_t>>& all_ids,
-    const std::vector<int64_t>& my_ids) const {
+    const std::vector<int64_t>& my_ids, comm::CommGroup* group) const {
   EMBRACE_CHECK_EQ(static_cast<int>(all_ids.size()), world_);
   EMBRACE_CHECK(all_ids[static_cast<size_t>(rank_)] == my_ids,
                 << "gathered ids inconsistent with my ids");
@@ -103,7 +118,7 @@ Tensor PartitionedEmbedding::distributed_lookup(
     payloads[static_cast<size_t>(w)] =
         pack_tensor(comm, shard_lookup(all_ids[static_cast<size_t>(w)]));
   }
-  auto received = comm.alltoallv(std::move(payloads));
+  auto received = exchange(comm, group, std::move(payloads));
   // Assemble my batch's full-dim vectors from the column slices, reading the
   // wire buffers in place and recycling them once consumed.
   Tensor out({static_cast<int64_t>(my_ids.size()), dim_});
@@ -123,7 +138,8 @@ Tensor PartitionedEmbedding::distributed_lookup(
 }
 
 SparseRows PartitionedEmbedding::exchange_grad(comm::Communicator& comm,
-                                               const SparseRows& part) const {
+                                               const SparseRows& part,
+                                               comm::CommGroup* group) const {
   EMBRACE_CHECK_EQ(part.num_total_rows(), vocab_);
   EMBRACE_CHECK_EQ(part.dim(), dim_);
   // Ship each rank the column slice it owns, serialized straight into
@@ -136,7 +152,7 @@ SparseRows PartitionedEmbedding::exchange_grad(comm::Communicator& comm,
     slice.pack_into(buf.data(), buf.size());
     payloads[static_cast<size_t>(r)] = std::move(buf);
   }
-  auto received = comm.alltoallv(std::move(payloads));
+  auto received = exchange(comm, group, std::move(payloads));
   // Sum the contributions of all workers for my shard: parse every payload
   // in place, assemble in one pass, coalesce once.
   std::vector<SparseRows::WireView> views;

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "comm/comm_group.h"
 #include "comm/communicator.h"
 #include "common/rng.h"
 #include "tensor/sparse_rows.h"
@@ -50,18 +51,22 @@ class PartitionedEmbedding {
 
   // Hybrid-communication forward: returns the full-dim lookup result for
   // my_ids ((my_ids.size() × dim)). `all_ids` must be the gathered ids of
-  // this step (all_ids[comm.rank()] == my_ids).
+  // this step (all_ids[comm.rank()] == my_ids). When `group` is non-null
+  // and two-level (its world must be `comm`), the slice AlltoAll rides the
+  // hierarchical path — bitwise-identical payloads, fewer inter-node
+  // messages.
   Tensor distributed_lookup(comm::Communicator& comm,
                             const std::vector<std::vector<int64_t>>& all_ids,
-                            const std::vector<int64_t>& my_ids) const;
+                            const std::vector<int64_t>& my_ids,
+                            comm::CommGroup* group = nullptr) const;
 
   // Hybrid-communication backward for one gradient part: `part` holds
   // full-dim rows over the vocab (this rank's contribution, coalesced or
   // not). Exchanges column slices; returns the *coalesced* gradient for
   // this rank's shard (rows over vocab × shard_width), summed over all
-  // workers' contributions.
-  SparseRows exchange_grad(comm::Communicator& comm,
-                           const SparseRows& part) const;
+  // workers' contributions. `group` as in distributed_lookup.
+  SparseRows exchange_grad(comm::Communicator& comm, const SparseRows& part,
+                           comm::CommGroup* group = nullptr) const;
 
   // Local-only helpers (used by tests and by exchange/lookup internally).
   Tensor shard_lookup(const std::vector<int64_t>& ids) const;

@@ -89,8 +89,9 @@ struct TrainConfig {
 
   // Sparse AllReduce algorithm for kHorovodAllGather's embedding gradients
   // (DESIGN.md §12): "auto" lets the AlgoPicker price the variants per op
-  // under the α–β model; "allgather" | "recursive-doubling" | "dense" force
-  // one. All spellings are validated by validate(); losses are within
+  // under the α–β model; "allgather" | "recursive-doubling" | "dense" |
+  // "two-level" force one. All spellings are validated by validate();
+  // losses are within
   // float tolerance of each other for every setting (the variants differ
   // only in reduction order).
   std::string sparse_algo = "auto";
@@ -131,6 +132,25 @@ struct TrainConfig {
   // the online link profiler has something to measure.
   double link_alpha_us = 0.0;
   double link_bytes_per_us = 0.0;
+
+  // Cluster topology (DESIGN.md §13). When topo_nodes > 0 the fabric is
+  // given a block node map (rank r lives on node r / topo_gpus_per_node;
+  // topo_nodes × topo_gpus_per_node must equal `workers`) and per-tier link
+  // costs fall out of it: cross-node deliveries pay the link_* α–β above
+  // (the inter tier), same-node deliveries pay the link_intra_* cost below.
+  // 0 = no topology (flat fabric, all deliveries priced alike).
+  int topo_nodes = 0;
+  int topo_gpus_per_node = 0;
+  double link_intra_alpha_us = 0.0;
+  double link_intra_bytes_per_us = 0.0;
+
+  // Route dense AllReduce (and the "two-level" sparse variant) through the
+  // two-level hierarchical collectives over the CommGroup tree when a
+  // topology with >1 node and >1 GPU/node is configured. On by default —
+  // without a topology it has no effect. Results stay within float
+  // tolerance of the flat path (reduction bracketing changes); AlltoAll
+  // payloads are bitwise-identical.
+  bool hierarchical_collectives = true;
 
   // Performance observatory (DESIGN.md §11). Phase accounting itself is
   // always on (it is a handful of clock reads per step); this knob controls

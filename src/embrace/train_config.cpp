@@ -86,7 +86,32 @@ std::vector<ConfigError> TrainConfig::validate(int workers) const {
   if (!sparse::parse_sparse_algo(sparse_algo).has_value()) {
     fail("sparse_algo",
          "unknown algorithm '" + sparse_algo +
-             "'; expected auto | allgather | recursive-doubling | dense");
+             "'; expected auto | allgather | recursive-doubling | dense | "
+             "two-level");
+  }
+  if (topo_nodes < 0) {
+    fail("topo_nodes", "must be >= 0 (0 = no topology), got " +
+                           str(topo_nodes));
+  }
+  if (topo_gpus_per_node < 0) {
+    fail("topo_gpus_per_node", "must be >= 0 (0 = no topology), got " +
+                                   str(topo_gpus_per_node));
+  }
+  if ((topo_nodes > 0) != (topo_gpus_per_node > 0)) {
+    fail("topo_nodes",
+         "topo_nodes and topo_gpus_per_node must be set together (got " +
+             str(topo_nodes) + " x " + str(topo_gpus_per_node) + ")");
+  } else if (topo_nodes > 0 && workers >= 1 &&
+             topo_nodes * topo_gpus_per_node != workers) {
+    fail("topo_nodes", "topology must tile the world: " + str(topo_nodes) +
+                           " nodes x " + str(topo_gpus_per_node) +
+                           " gpus/node != " + str(workers) + " workers");
+  }
+  if (link_intra_alpha_us < 0.0) {
+    fail("link_intra_alpha_us", "must be >= 0");
+  }
+  if (link_intra_bytes_per_us < 0.0) {
+    fail("link_intra_bytes_per_us", "must be >= 0 (0 = infinite bandwidth)");
   }
   if ((strategy == StrategyKind::kParallaxPs ||
        strategy == StrategyKind::kBytePsDense) &&

@@ -23,6 +23,9 @@
 #include "comm/chunk_plan.h"
 #include "comm/chunked_collectives.h"
 #include "comm/cluster.h"
+#include "comm/comm_group.h"
+#include "comm/hierarchical_collectives.h"
+#include "simnet/topology.h"
 #include "obs/metrics.h"
 #include "obs/perf.h"
 #include "obs/trace.h"
@@ -226,6 +229,17 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
   comm::Communicator comm_ch = comm.channel(kCommChannel);
   comm::Communicator main_ch = comm.channel(kMainChannel);
   comm::Communicator perf_ch = comm.channel(kPerfChannel);
+  // CommGroup tree over the comm channel (DESIGN.md §13), built before any
+  // op is submitted: the splits are main-thread collectives on comm_ch, and
+  // the comm thread only touches comm_ch through ops submitted later. The
+  // node/leader sub-communicators are used exclusively from the comm
+  // thread afterwards.
+  std::optional<comm::CommGroup> comm_group;
+  if (cfg.hierarchical_collectives && workers > 1 &&
+      comm.fabric().has_topology()) {
+    comm_group.emplace(comm::build_comm_group(comm_ch));
+  }
+  comm::CommGroup* grp = comm_group.has_value() ? &*comm_group : nullptr;
   sched::NegotiatedScheduler scheduler(comm.channel(kControlChannel));
   // All submissions go through the shared Scheduler interface; only the
   // lifecycle calls (shutdown/abort) are NegotiatedScheduler-specific.
@@ -262,6 +276,22 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
       params.allgather_eff = 1.0;
       params.allreduce_eff = 1.0;
       params.alltoall_eff = 1.0;
+    }
+    // Topology terms are rank-agreed by construction (pure functions of the
+    // shared TrainConfig), so they need no broadcast. Only a real two-tier
+    // layout with the hierarchical path enabled admits kTwoLevelRing into
+    // the candidate set — the runtime could not honor the pick otherwise.
+    if (grp != nullptr && grp->two_level()) {
+      params.nodes = cfg.topo_nodes;
+      params.gpus_per_node = cfg.topo_gpus_per_node;
+      const sparse::CostParams defaults =
+          sparse::CostParams::from_simnet_defaults();
+      params.intra.alpha_us = cfg.link_intra_alpha_us > 0.0
+                                  ? cfg.link_intra_alpha_us
+                                  : defaults.intra.alpha_us;
+      params.intra.bytes_per_us = cfg.link_intra_bytes_per_us > 0.0
+                                      ? cfg.link_intra_bytes_per_us
+                                      : defaults.intra.bytes_per_us;
     }
     algo_picker.emplace(mode, params, cfg.chunk_bytes);
   }
@@ -366,7 +396,7 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
                         sched::OpKind::kEmbData),
               [&, t] {
                 Tensor rows = shards[t]->distributed_lookup(
-                    comm_ch, all_cur[t], seg.ids[t]);
+                    comm_ch, all_cur[t], seg.ids[t], grp);
                 scatter_rows(rows, seg.pos[t], emb_out);
               }));
         }
@@ -421,10 +451,19 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
       sched::OpDesc desc = make_desc(std::move(name), priority, bytes,
                                      sched::OpKind::kDense);
       if (cfg.chunk_bytes <= 0) {
+        // Monolithic transfers take the two-level path when a topology is
+        // configured. The chunked path below stays on the flat ring:
+        // chunk-granular preemption and two-level bracketing are orthogonal
+        // schedules and combining them is an open ROADMAP item.
         return sch.submit(std::move(desc),
-                          [&comm_ch, prepare = std::move(prepare),
+                          [&comm_ch, grp, prepare = std::move(prepare),
                            finish = std::move(finish)] {
-                            comm_ch.allreduce(prepare());
+                            std::span<float> flat = prepare();
+                            if (grp != nullptr && grp->two_level()) {
+                              comm::hierarchical_allreduce(*grp, flat);
+                            } else {
+                              comm_ch.allreduce(flat);
+                            }
                             finish();
                           });
       }
@@ -540,8 +579,13 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
                 const sparse::AlgoChoice choice = algo_picker->choose(
                     density[0] / static_cast<float>(workers), cfg.vocab,
                     cfg.dim, workers);
-                SparseRows total = comm::sparse_allreduce(
-                    comm_ch, my_grad, choice.algo, choice.chunk_bytes);
+                SparseRows total =
+                    grp != nullptr
+                        ? comm::sparse_allreduce(*grp, my_grad, choice.algo,
+                                                 choice.chunk_bytes)
+                        : comm::sparse_allreduce(comm_ch, my_grad,
+                                                 choice.algo,
+                                                 choice.chunk_bytes);
                 sparse::AlgoPicker::record(
                     choice,
                     static_cast<int64_t>(my_grad.packed_byte_size()));
@@ -576,7 +620,7 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
               [&, t, my_grad] {
                 // No VSS -> no coalescing pass: the uncoalesced gradient
                 // goes on the wire; the shard coalesces before applying.
-                SparseRows g = shards[t]->exchange_grad(comm_ch, my_grad);
+                SparseRows g = shards[t]->exchange_grad(comm_ch, my_grad, grp);
                 sparse_opts[t]->apply(shards[t]->shard(), g,
                                       nn::SparseStep::kFull);
               }));
@@ -594,7 +638,7 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
               make_desc(emb_op("prior", step, t), Priorities::prior(step, t),
                         prior_bytes, sched::OpKind::kSparsePrior),
               [&, t, prior = std::move(split.prior)] {
-                SparseRows g = shards[t]->exchange_grad(comm_ch, prior);
+                SparseRows g = shards[t]->exchange_grad(comm_ch, prior, grp);
                 sparse_opts[t]->apply(shards[t]->shard(), g,
                                       nn::SparseStep::kPrior);
               }));
@@ -606,7 +650,7 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
                         Priorities::delayed(step, t), delayed_bytes,
                         sched::OpKind::kSparseDelayed),
               [&, t, delayed = std::move(split.delayed)] {
-                SparseRows g = shards[t]->exchange_grad(comm_ch, delayed);
+                SparseRows g = shards[t]->exchange_grad(comm_ch, delayed, grp);
                 sparse_opts[t]->apply(shards[t]->shard(), g,
                                       nn::SparseStep::kDelayed);
               });
@@ -747,6 +791,22 @@ TrainStats run_distributed(const TrainConfig& cfg, int workers) {
     cost.alpha_us = cfg.link_alpha_us;
     cost.bytes_per_us = cfg.link_bytes_per_us;
     fabric.set_uniform_link_cost(cost);
+  }
+  if (cfg.topo_nodes > 0) {
+    // Cluster topology (DESIGN.md §13): block node map plus per-tier link
+    // costs. The link_* knobs above price the inter-node tier; same-node
+    // deliveries pay the (cheaper) link_intra_* cost. Overrides the uniform
+    // table, which is why it is applied last.
+    simnet::ClusterTopology topo;
+    topo.nodes = cfg.topo_nodes;
+    topo.gpus_per_node = cfg.topo_gpus_per_node;
+    comm::LinkCost inter;
+    inter.alpha_us = cfg.link_alpha_us;
+    inter.bytes_per_us = cfg.link_bytes_per_us;
+    comm::LinkCost intra;
+    intra.alpha_us = cfg.link_intra_alpha_us;
+    intra.bytes_per_us = cfg.link_intra_bytes_per_us;
+    fabric.set_topology(topo, intra, inter);
   }
   Stopwatch wall;
   comm::run_cluster(fabric, [&](comm::Communicator& comm) {

@@ -143,10 +143,17 @@ LinkFit LinkProfiler::solve(int src, int dst, const Stats& s) {
   if (s.n == 0) return f;
   const double n = static_cast<double>(s.n);
   const double det = n * s.sum_xx - s.sum_x * s.sum_x;
-  if (s.n < 2 || det <= 0.0) {
-    // One size class only: no slope is identifiable, report the mean cost
-    // as pure latency.
+  // The determinant is n² · Var(bytes); with zero byte-size variance (all
+  // samples one size class) it is exactly 0 in real arithmetic but can come
+  // out as a tiny positive float residue, whose division would then launder
+  // rounding noise into an arbitrary bytes_per_us. A relative threshold
+  // against n·Σx² (the determinant's own magnitude scale) catches both the
+  // exact and the residue case.
+  if (s.n < 2 || det <= 1e-9 * n * s.sum_xx) {
+    // No slope is identifiable: report the mean cost as pure latency and
+    // flag the fit so aggregation skips it.
     f.alpha_us = s.sum_y / n;
+    f.degenerate = true;
     return f;
   }
   const double slope = (n * s.sum_xy - s.sum_x * s.sum_y) / det;  // µs/byte
@@ -186,16 +193,22 @@ LinkFit LinkProfiler::aggregate_fit(int64_t min_samples) const {
   if (per_link.empty()) return agg;
   double alpha_sum = 0.0;
   double bw_sum = 0.0;
+  int64_t alpha_links = 0;
   int64_t bw_links = 0;
   for (const LinkFit& f : per_link) {
+    // A degenerate fit's α is the mean cost at one message size — folding
+    // it in would bias the fleet α upward by that size's transfer time.
+    if (f.degenerate) continue;
     agg.samples += f.samples;
     alpha_sum += f.alpha_us;
+    alpha_links += 1;
     if (f.bytes_per_us > 0.0) {
       bw_sum += f.bytes_per_us;
       bw_links += 1;
     }
   }
-  agg.alpha_us = alpha_sum / static_cast<double>(per_link.size());
+  if (alpha_links == 0) return agg;  // samples == 0: nothing usable
+  agg.alpha_us = alpha_sum / static_cast<double>(alpha_links);
   // Links where no slope was identifiable contribute latency only; if none
   // identified a slope the aggregate stays bandwidth-free (0 = unmodeled).
   if (bw_links > 0) agg.bytes_per_us = bw_sum / static_cast<double>(bw_links);

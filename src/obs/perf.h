@@ -149,8 +149,14 @@ struct LinkFit {
   int src = 0;
   int dst = 0;
   int64_t samples = 0;
-  double alpha_us = 0.0;      // fitted latency
+  double alpha_us = 0.0;      // fitted latency α (mean cost when degenerate)
   double bytes_per_us = 0.0;  // fitted bandwidth (0 if degenerate)
+  // True when the samples carry no identifiable slope — fewer than two
+  // observations, or zero byte-size variance (every sample the same size,
+  // which drives the least-squares determinant to ~0 and would otherwise
+  // amplify float noise into a garbage bandwidth). Degenerate fits report
+  // α = mean cost, bandwidth = 0, and are excluded from aggregate_fit.
+  bool degenerate = false;
 
   double gbps() const { return bytes_per_us * 8e6 / 1e9; }
 };
@@ -174,8 +180,10 @@ class LinkProfiler {
 
   // Whole-fabric summary for uniform-cost consumers (the AlgoPicker's
   // CostParams): mean fitted α over qualifying links and mean bandwidth over
-  // links with an identifiable slope, src/dst = -1. samples == 0 when no
-  // link has `min_samples` observations.
+  // links with an identifiable slope, src/dst = -1. Degenerate fits (see
+  // LinkFit::degenerate) are excluded entirely — their "α" is really a mean
+  // cost at one message size and would bias the latency estimate upward.
+  // samples == 0 when no link has `min_samples` non-degenerate observations.
   LinkFit aggregate_fit(int64_t min_samples = 2) const;
 
   // Drops every sample (the enabled flag is untouched).

@@ -153,6 +153,8 @@ std::string report_json(const PerfReport& report) {
     append_json_number(out, f.bytes_per_us);
     out += ",\"gbps\":";
     append_json_number(out, f.gbps());
+    out += ",\"degenerate\":";
+    out += f.degenerate ? "true" : "false";
     out += '}';
   }
   out += "\n]";

@@ -61,23 +61,46 @@ double CollectiveCostModel::alltoall_pairwise(double pair_bytes) const {
   return t;
 }
 
-double CollectiveCostModel::alltoall_sparse(double bytes, double alpha,
+double CollectiveCostModel::allreduce_two_level(double bytes) const {
+  const int nodes = cfg_.topo.nodes;
+  const int g = cfg_.topo.gpus_per_node;
+  if (nodes <= 1 || g <= 1) return allreduce_dense(bytes);
+  const double intra_bw = intra_flow_bw(eff_.allreduce);
+  const double inter_bw = remote_flow_bw(eff_.allreduce, 1);
+  const double a_intra = cfg_.net.intra_node_latency;
+  const double a_inter = cfg_.net.latency;
+  // Stage 1: intra-node ring reduce-scatter, (g-1) steps of bytes/g, then
+  // the (g-1) reduced chunks converge on the node leader.
+  const double chunk = bytes / g;
+  double t = (g - 1) * (chunk / intra_bw + a_intra);
+  t += (g - 1) * (chunk / intra_bw + a_intra);
+  // Stage 2: ring AllReduce of the full node sum across the `nodes`
+  // leaders; only one flow per NIC, every hop is inter-node.
+  t += 2.0 * (nodes - 1) * (bytes / nodes / inter_bw + a_inter);
+  // Stage 3: intra-node binomial broadcast of the finished vector,
+  // ceil(log2 g) rounds each moving the full payload over PCIe.
+  const double rounds = std::ceil(std::log2(static_cast<double>(g)));
+  t += rounds * (bytes / intra_bw + a_intra);
+  return t;
+}
+
+double CollectiveCostModel::alltoall_sparse(double bytes, double density,
                                             double sparse_overhead) const {
   const int n = gpus();
-  const double pair_bytes = alpha * bytes * sparse_overhead / n;
+  const double pair_bytes = density * bytes * sparse_overhead / n;
   return alltoall_pairwise(pair_bytes);
 }
 
-double CollectiveCostModel::allgather_sparse(double bytes, double alpha,
+double CollectiveCostModel::allgather_sparse(double bytes, double density,
                                              double sparse_overhead) const {
   const int n = gpus();
   if (n == 1) return 0.0;
   // NCCL-style ring allgather: N-1 steps, each forwarding the full payload
-  // to the ring neighbor — the paper's (N-1)(αM/B + β). Node-local GPUs are
-  // consecutive in the ring, so exactly one flow crosses each NIC per step
-  // (no NIC sharing); the variable-size gather achieves lower efficiency
-  // than AllReduce's fixed-chunk pipeline (eff_.allgather).
-  const double payload = alpha * bytes * sparse_overhead;
+  // to the ring neighbor — the paper's (N-1)(d·M/B + α). Node-local GPUs
+  // are consecutive in the ring, so exactly one flow crosses each NIC per
+  // step (no NIC sharing); the variable-size gather achieves lower
+  // efficiency than AllReduce's fixed-chunk pipeline (eff_.allgather).
+  const double payload = density * bytes * sparse_overhead;
   const double step_bw =
       cfg_.topo.nodes == 1
           ? intra_flow_bw(eff_.allgather)
@@ -86,22 +109,22 @@ double CollectiveCostModel::allgather_sparse(double bytes, double alpha,
   return (n - 1) * (payload / step_bw + cfg_.net.latency);
 }
 
-double CollectiveCostModel::ps_sparse_step(double bytes, double alpha,
+double CollectiveCostModel::ps_sparse_step(double bytes, double density,
                                            int servers,
                                            double sparse_overhead) const {
   const int n = gpus();
   EMBRACE_CHECK_GE(servers, 1);
   EMBRACE_CHECK_LE(servers, cfg_.topo.nodes, << "paper assumes S <= nodes");
-  // Paper: 2N(αM/(S·B)+β). The PS endpoints live on node NICs, so B is the
+  // Paper: 2N(d·M/(S·B)+α). The PS endpoints live on node NICs, so B is the
   // inter-node stream bandwidth (or PCIe when only one node exists).
   const double bw = cfg_.topo.nodes == 1 ? intra_flow_bw(eff_.ps)
                                          : remote_flow_bw(eff_.ps, 1);
-  const double msg = alpha * bytes * sparse_overhead / servers;
+  const double msg = density * bytes * sparse_overhead / servers;
   // PS servers are CPU processes: every pushed and pulled payload is staged
   // through host memory (the GPU↔CPU copies the paper blames for Parallax
   // and BytePS underperformance, §5.3).
   const double staging =
-      2.0 * alpha * bytes * sparse_overhead / cfg_.net.host_staging_bw;
+      2.0 * density * bytes * sparse_overhead / cfg_.net.host_staging_bw;
   // Server-side request handling, spread across the S shards.
   const double handling =
       2.0 * n * cfg_.net.ps_request_overhead / servers;
@@ -112,7 +135,7 @@ double CollectiveCostModel::ps_dense_step(double bytes, int servers) const {
   return ps_sparse_step(bytes, 1.0, servers, 1.0);
 }
 
-double CollectiveCostModel::omnireduce(double bytes, double alpha,
+double CollectiveCostModel::omnireduce(double bytes, double density,
                                        double block_bytes) const {
   EMBRACE_CHECK(supports_omnireduce(),
                 << "OmniReduce supports only 1 GPU per node (paper Fig. 4)");
@@ -120,11 +143,11 @@ double CollectiveCostModel::omnireduce(double bytes, double alpha,
   if (n == 1) return 0.0;
   EMBRACE_CHECK_GT(block_bytes, 0.0);
   // Block-sparse ring AllReduce: the data volume shrinks to the non-zero
-  // blocks (~alpha of the tensor), but each ring step now moves many small
-  // block messages, each paying the per-message software overhead — the
-  // "insufficient bandwidth usage with excessive divided messages" the
+  // blocks (~density of the tensor), but each ring step now moves many
+  // small block messages, each paying the per-message software overhead —
+  // the "insufficient bandwidth usage with excessive divided messages" the
   // paper observes.
-  const double effective = alpha * bytes;
+  const double effective = density * bytes;
   const double chunk = effective / n;
   const double msgs_per_step = std::ceil(chunk / block_bytes);
   const double step_bw = remote_flow_bw(eff_.allreduce, 1);

@@ -37,27 +37,40 @@ class CollectiveCostModel {
 
   // --- primitive costs, in seconds, for one collective invocation ---
 
+  // Cost comments below use the repo-wide α–β convention: α = per-message
+  // start latency (NetworkParams::latency / intra_node_latency), B = link
+  // bandwidth, d = gradient density (the paper writes density as α; we
+  // spell it `density` to keep α unambiguous).
+
   // Ring AllReduce of a dense tensor of `bytes`:
-  //   2(N-1) steps of (bytes/N); per paper, 2(N-1)(M/(N·B)+β).
+  //   2(N-1) steps of (bytes/N); per paper, 2(N-1)(M/(N·B)+α).
   double allreduce_dense(double bytes) const;
 
+  // Two-level (topology-aware) AllReduce of a dense tensor of `bytes`:
+  // intra-node reduce-scatter + chunk gather to the node leader, inter-node
+  // ring over the `nodes` leaders, intra-node binomial broadcast. Mirrors
+  // comm::hierarchical_allreduce stage for stage so the simnet sweep prices
+  // exactly what the thread-scale implementation executes. Falls back to
+  // allreduce_dense() when the cluster is single-node or single-GPU-per-node.
+  double allreduce_two_level(double bytes) const;
+
   // One AlltoAll pass over a table of dense size `bytes` with gradient
-  // density `alpha`: (N-1) exchanges of alpha·bytes/N (§4.1.2 counts the
-  // forward and backward passes separately — call this twice).
+  // density `density`: (N-1) exchanges of density·bytes/N (§4.1.2 counts
+  // the forward and backward passes separately — call this twice).
   // `sparse_overhead` multiplies the payload for COO index bytes.
-  double alltoall_sparse(double bytes, double alpha,
+  double alltoall_sparse(double bytes, double density,
                          double sparse_overhead = 1.0) const;
 
   // AlltoAll of already-sized payloads: per-pair payload of `pair_bytes`.
   double alltoall_pairwise(double pair_bytes) const;
 
-  // Sparse AllGather: (N-1) sends of the full alpha·bytes payload.
-  double allgather_sparse(double bytes, double alpha,
+  // Sparse AllGather: (N-1) sends of the full density·bytes payload.
+  double allgather_sparse(double bytes, double density,
                           double sparse_overhead = 1.0) const;
 
   // Parameter-server round trip (push grads + pull params) with `servers`
-  // shards: 2N(αM/(S·B)+β) per the paper (S ≤ nodes).
-  double ps_sparse_step(double bytes, double alpha, int servers,
+  // shards: 2N(d·M/(S·B)+α) per the paper (S ≤ nodes).
+  double ps_sparse_step(double bytes, double density, int servers,
                         double sparse_overhead = 1.0) const;
   double ps_dense_step(double bytes, int servers) const;
 
@@ -65,7 +78,7 @@ class CollectiveCostModel {
   // (block_bytes granularity) through a ring, paying a per-message software
   // overhead for the block fragmentation. Only defined for 1 GPU per node
   // (the restriction the paper notes); callers must check supports_omnireduce().
-  double omnireduce(double bytes, double alpha,
+  double omnireduce(double bytes, double density,
                     double block_bytes = 4096.0) const;
   bool supports_omnireduce() const { return cfg_.topo.gpus_per_node == 1; }
 

@@ -33,8 +33,14 @@ struct NetworkParams {
   double inter_node_bw = 100e9 / 8.0;
   // Intra-node GPU-to-GPU bandwidth (PCIe 3.0 x16-ish effective).
   double intra_node_bw = 11e9;
-  // Message start latency β (collective launch + rendezvous).
+  // Message start latency α (collective launch + rendezvous) on the
+  // inter-node tier. The repo-wide α–β convention (fabric LinkCost,
+  // obs::LinkProfiler, sparse::AlgoPicker): α = per-message start latency,
+  // β = per-byte cost = 1 / bandwidth.
   double latency = 30e-6;
+  // Message start latency α on the intra-node tier (PCIe peer copy launch);
+  // an order of magnitude below the inter-node α.
+  double intra_node_latency = 3e-6;
   // Per-message software overhead for fragmented transfers (used by the
   // OmniReduce model and the tensor-partitioning ablation).
   double per_message_overhead = 0.5e-6;

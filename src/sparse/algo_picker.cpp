@@ -41,6 +41,11 @@ obs::Counter& picks_counter(comm::SparseAlgoKind k) {
           obs::counter("sparse.algo.picks{algo=recursive-doubling}");
       return c;
     }
+    case comm::SparseAlgoKind::kTwoLevelRing: {
+      static obs::Counter& c =
+          obs::counter("sparse.algo.picks{algo=two-level}");
+      return c;
+    }
     case comm::SparseAlgoKind::kDenseRing:
     default: {
       static obs::Counter& c = obs::counter("sparse.algo.picks{algo=dense}");
@@ -60,12 +65,27 @@ obs::Counter& bytes_counter(comm::SparseAlgoKind k) {
           obs::counter("sparse.algo.bytes{algo=recursive-doubling}");
       return c;
     }
+    case comm::SparseAlgoKind::kTwoLevelRing: {
+      static obs::Counter& c =
+          obs::counter("sparse.algo.bytes{algo=two-level}");
+      return c;
+    }
     case comm::SparseAlgoKind::kDenseRing:
     default: {
       static obs::Counter& c = obs::counter("sparse.algo.bytes{algo=dense}");
       return c;
     }
   }
+}
+
+// Union density of k independent draws at density d: 1 − (1−d)^k.
+// Clamped because the float pow can land an ulp outside [0, 1] at the
+// extremes (d → 1⁻ or huge k), and a negative density would flow into
+// sparse_payload_bytes as a negative byte count. k is a double so callers
+// can pass 2^r for r up to the 1024-rank world's log₂ without relying on
+// `1 << r` integer widening.
+double merged_density(double d, double k) {
+  return std::clamp(1.0 - std::pow(1.0 - d, k), 0.0, 1.0);
 }
 
 }  // namespace
@@ -75,6 +95,7 @@ std::optional<AlgoMode> parse_sparse_algo(std::string_view s) {
   if (s == "allgather") return AlgoMode::kForceAllgather;
   if (s == "recursive-doubling") return AlgoMode::kForceRecursiveDoubling;
   if (s == "dense") return AlgoMode::kForceDense;
+  if (s == "two-level") return AlgoMode::kForceTwoLevel;
   return std::nullopt;
 }
 
@@ -84,6 +105,7 @@ const char* algo_mode_name(AlgoMode m) {
     case AlgoMode::kForceAllgather: return "allgather";
     case AlgoMode::kForceRecursiveDoubling: return "recursive-doubling";
     case AlgoMode::kForceDense: return "dense";
+    case AlgoMode::kForceTwoLevel: return "two-level";
   }
   return "?";
 }
@@ -93,6 +115,8 @@ CostParams CostParams::from_simnet_defaults() {
   CostParams p;
   p.link.alpha_us = net.latency * 1e6;
   p.link.bytes_per_us = net.inter_node_bw / 1e6;
+  p.intra.alpha_us = net.intra_node_latency * 1e6;
+  p.intra.bytes_per_us = net.intra_node_bw / 1e6;
   return p;
 }
 
@@ -140,13 +164,15 @@ double AlgoPicker::predict_us(comm::SparseAlgoKind algo, double density,
       const int rounds = std::countr_zero(static_cast<unsigned>(p));
       double t = 0.0;
       for (int r = 0; r < rounds; ++r) {
-        const double merged = 1.0 - std::pow(1.0 - density, double(1 << r));
+        // 2^r via ldexp: round counts reach 10 at 1024 ranks and the shift
+        // form `1 << r` is one refactor away from widening UB.
+        const double merged = merged_density(density, std::ldexp(1.0, r));
         t += link.alpha_us +
              wire_us(link, sparse_payload_bytes(merged, rows, dim),
                      params_.alltoall_eff);
       }
       if (p < world) {
-        const double full = 1.0 - std::pow(1.0 - density, n);
+        const double full = merged_density(density, n);
         t += 2.0 * link.alpha_us +
              wire_us(link, sparse_payload_bytes(density, rows, dim),
                      params_.alltoall_eff) +
@@ -167,6 +193,34 @@ double AlgoPicker::predict_us(comm::SparseAlgoKind algo, double density,
       return 2.0 * (n - 1.0) *
              (msgs * link.alpha_us +
               wire_us(link, block, params_.allreduce_eff));
+    }
+    case comm::SparseAlgoKind::kTwoLevelRing: {
+      // Two-tier pricing of comm::hierarchical_allreduce, stage for stage
+      // (mirrors simnet::CollectiveCostModel::allreduce_two_level). With no
+      // node structure the runtime falls back to the flat dense ring, so
+      // price it identically.
+      const int nodes = params_.nodes;
+      const int g = params_.gpus_per_node;
+      if (nodes <= 1 || g <= 1) {
+        return predict_us(comm::SparseAlgoKind::kDenseRing, density, rows,
+                          dim, world);
+      }
+      const comm::LinkCost& intra = params_.intra;
+      const double m = dense_payload_bytes(rows, dim);
+      const double chunk = m / static_cast<double>(g);
+      // Intra-node reduce-scatter + chunk gather to the leader.
+      double t = 2.0 * (g - 1) *
+                 (intra.alpha_us + wire_us(intra, chunk, params_.allreduce_eff));
+      // Inter-node ring AllReduce of the full vector across the leaders.
+      t += 2.0 * (nodes - 1) *
+           (link.alpha_us + wire_us(link, m / static_cast<double>(nodes),
+                                    params_.allreduce_eff));
+      // Intra-node binomial broadcast of the finished vector.
+      const double bcast_rounds =
+          std::ceil(std::log2(static_cast<double>(g)));
+      t += bcast_rounds *
+           (intra.alpha_us + wire_us(intra, m, params_.allreduce_eff));
+      return t;
     }
   }
   return 0.0;
@@ -206,15 +260,24 @@ AlgoChoice AlgoPicker::choose(double density, int64_t rows, int64_t dim,
     case AlgoMode::kForceDense:
       choice.algo = comm::SparseAlgoKind::kDenseRing;
       break;
+    case AlgoMode::kForceTwoLevel:
+      choice.algo = comm::SparseAlgoKind::kTwoLevelRing;
+      break;
     case AlgoMode::kAuto: {
       // Fixed candidate order makes ties deterministic (and rank-agreed).
+      // Two-level only competes when the params describe a real two-tier
+      // layout — every rank derives nodes/gpus_per_node from the shared
+      // fabric topology, so the candidate set itself is rank-agreed too.
       constexpr comm::SparseAlgoKind kCandidates[] = {
           comm::SparseAlgoKind::kSplitAllgather,
           comm::SparseAlgoKind::kRecursiveDoubling,
           comm::SparseAlgoKind::kDenseRing,
+          comm::SparseAlgoKind::kTwoLevelRing,
       };
+      const bool two_tier = params_.nodes > 1 && params_.gpus_per_node > 1;
       double best = -1.0;
       for (comm::SparseAlgoKind k : kCandidates) {
+        if (k == comm::SparseAlgoKind::kTwoLevelRing && !two_tier) continue;
         const double cost = predict_us(k, density, rows, dim, world);
         if (best < 0.0 || cost < best) {
           best = cost;

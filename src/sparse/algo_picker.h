@@ -35,12 +35,13 @@ namespace embrace::sparse {
 
 // Picker mode: auto-select by predicted cost, or force one variant.
 // String forms (TrainConfig::sparse_algo): "auto", "allgather",
-// "recursive-doubling", "dense".
+// "recursive-doubling", "dense", "two-level".
 enum class AlgoMode {
   kAuto,
   kForceAllgather,
   kForceRecursiveDoubling,
   kForceDense,
+  kForceTwoLevel,
 };
 
 // Parses the TrainConfig::sparse_algo spelling; nullopt on unknown names.
@@ -54,13 +55,23 @@ const char* algo_mode_name(AlgoMode m);
 // wire patterns, but kept equal so predicted and simulated crossovers
 // agree (checked by bench_algo_picker's factor-of-2 gate).
 struct CostParams {
-  comm::LinkCost link;           // alpha_us + bytes_per_us (0 = infinite bw)
+  comm::LinkCost link;           // inter-node tier: alpha_us + bytes_per_us
+                                 // (0 bytes_per_us = infinite bw)
+  // Intra-node tier α–β plus the node layout; only consulted by the
+  // kTwoLevelRing prediction. nodes == 1 (or gpus_per_node == 1) means "no
+  // two-tier structure", which removes two-level from the kAuto candidate
+  // set entirely (its prediction would collapse to the flat ring's anyway).
+  comm::LinkCost intra;
+  int nodes = 1;
+  int gpus_per_node = 1;
   double allgather_eff = 0.40;   // simnet SchemeEfficiency::allgather
   double allreduce_eff = 0.90;   // simnet SchemeEfficiency::allreduce
   double alltoall_eff = 0.62;    // simnet SchemeEfficiency::alltoall
 
   // Fallback constants from simnet's NetworkParams{} (100 Gbps inter-node
-  // link, 30us launch latency) — used when no link profile exists.
+  // link at α = 30µs, PCIe-class intra-node link at α = 3µs) — used when no
+  // link profile exists. The node layout stays 1×1; callers with a real
+  // topology (Fabric::has_topology) fill nodes/gpus_per_node themselves.
   static CostParams from_simnet_defaults();
   // Aggregated measured α–β fit from the online link profiler; nullopt when
   // fewer than `min_samples` observations exist on every link. Measured

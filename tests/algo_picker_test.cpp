@@ -178,11 +178,14 @@ TEST(ParseSparseAlgo, AcceptsAllSpellingsRejectsUnknown) {
   EXPECT_EQ(parse_sparse_algo("recursive-doubling"),
             AlgoMode::kForceRecursiveDoubling);
   EXPECT_EQ(parse_sparse_algo("dense"), AlgoMode::kForceDense);
+  EXPECT_EQ(parse_sparse_algo("two-level"), AlgoMode::kForceTwoLevel);
   EXPECT_FALSE(parse_sparse_algo("ring").has_value());
   EXPECT_FALSE(parse_sparse_algo("").has_value());
   EXPECT_FALSE(parse_sparse_algo("Auto").has_value());
-  for (AlgoMode m : {AlgoMode::kAuto, AlgoMode::kForceAllgather,
-                     AlgoMode::kForceRecursiveDoubling, AlgoMode::kForceDense}) {
+  for (AlgoMode m :
+       {AlgoMode::kAuto, AlgoMode::kForceAllgather,
+        AlgoMode::kForceRecursiveDoubling, AlgoMode::kForceDense,
+        AlgoMode::kForceTwoLevel}) {
     EXPECT_EQ(parse_sparse_algo(algo_mode_name(m)), m);  // round-trips
   }
 }
@@ -319,6 +322,95 @@ TEST(AlgoPicker, PredictionIsMonotoneInDensityForSparseFormats) {
   EXPECT_DOUBLE_EQ(
       picker.predict_us(SparseAlgoKind::kDenseRing, 0.0, 2048, 16, 4),
       picker.predict_us(SparseAlgoKind::kDenseRing, 1.0, 2048, 16, 4));
+}
+
+// Regression (merged-density clamp + shift widening): at extreme densities
+// and a 1024-rank world every prediction must stay finite and non-negative.
+// The recursive-doubling model folds density as 1 - (1-d)^k per round; the
+// old form could push the merged density outside [0, 1] at d = 1.0 and the
+// round counting used an int shift that widens past bit 30.
+TEST(AlgoPicker, PredictionsFiniteAtExtremeDensityAndScale) {
+  CostParams params = CostParams::from_simnet_defaults();
+  params.nodes = 128;
+  params.gpus_per_node = 8;
+  params.intra.alpha_us = 2.0;
+  params.intra.bytes_per_us = 50000.0;
+  AlgoPicker picker(AlgoMode::kAuto, params);
+  constexpr comm::SparseAlgoKind kEvery[] = {
+      SparseAlgoKind::kSplitAllgather,
+      SparseAlgoKind::kRecursiveDoubling,
+      SparseAlgoKind::kDenseRing,
+      SparseAlgoKind::kTwoLevelRing,
+  };
+  for (double d : {1e-6, 1.0}) {
+    for (comm::SparseAlgoKind k : kEvery) {
+      const double t = picker.predict_us(k, d, 1 << 20, 64, 1024);
+      EXPECT_TRUE(std::isfinite(t)) << sparse_algo_name(k) << " d=" << d;
+      EXPECT_GE(t, 0.0) << sparse_algo_name(k) << " d=" << d;
+    }
+    const AlgoChoice choice = picker.choose(d, 1 << 20, 64, 1024);
+    EXPECT_TRUE(std::isfinite(choice.predicted_us));
+  }
+  // Clamp check: at d = 1.0 the merged density of every round is exactly 1,
+  // so each of the ceil(log2(1024)) = 10 rounds ships the full sparse
+  // payload — the 1024-rank estimate must be exactly ten single-round
+  // (2-rank) estimates, not inflated by an unclamped (1-d)^k fold.
+  const double rd =
+      picker.predict_us(SparseAlgoKind::kRecursiveDoubling, 1.0, 1 << 20, 64,
+                        1024);
+  const double one_round =
+      picker.predict_us(SparseAlgoKind::kRecursiveDoubling, 1.0, 1 << 20, 64,
+                        2);
+  EXPECT_NEAR(rd, 10.0 * one_round, 1e-6 * rd);
+}
+
+TEST(AlgoPickerTwoLevel, FlatLayoutFallsBackToDenseRingAndIsNeverChosen) {
+  // nodes == 1 (or one GPU per node) means there is no second tier: the
+  // two-level prediction must equal the dense ring's, and kAuto must never
+  // emit a pick the runtime cannot honor.
+  CostParams params = CostParams::from_simnet_defaults();
+  params.intra.alpha_us = 1.0;
+  params.intra.bytes_per_us = 50000.0;
+  AlgoPicker picker(AlgoMode::kAuto, params);  // nodes = 1 default
+  EXPECT_DOUBLE_EQ(
+      picker.predict_us(SparseAlgoKind::kTwoLevelRing, 1.0, 4096, 32, 8),
+      picker.predict_us(SparseAlgoKind::kDenseRing, 1.0, 4096, 32, 8));
+  for (double d : {0.01, 0.5, 1.0}) {
+    EXPECT_NE(picker.choose(d, 4096, 32, 8).algo,
+              SparseAlgoKind::kTwoLevelRing);
+  }
+}
+
+TEST(AlgoPickerTwoLevel, ForceModePicksTwoLevel) {
+  CostParams params = CostParams::from_simnet_defaults();
+  params.nodes = 4;
+  params.gpus_per_node = 2;
+  params.intra.alpha_us = 1.0;
+  params.intra.bytes_per_us = 50000.0;
+  AlgoPicker picker(AlgoMode::kForceTwoLevel, params);
+  const AlgoChoice choice = picker.choose(0.9, 4096, 32, 8);
+  EXPECT_EQ(choice.algo, SparseAlgoKind::kTwoLevelRing);
+  EXPECT_GT(choice.predicted_us, 0.0);
+}
+
+TEST(AlgoPickerTwoLevel, AutoPrefersTwoLevelWhenInterAlphaDominates) {
+  // 8 nodes x 8 GPUs, inter-node α 30x the intra α: the flat ring pays
+  // 2·(N-1) = 126 inter-node latencies, the two-level schedule only
+  // 2·(nodes-1) = 14 plus cheap intra rounds.
+  CostParams params = CostParams::from_simnet_defaults();
+  params.nodes = 8;
+  params.gpus_per_node = 8;
+  params.intra.alpha_us = 1.0;
+  params.intra.bytes_per_us = params.link.bytes_per_us * 4.0;
+  AlgoPicker picker(AlgoMode::kAuto, params);
+  const int world = 64;
+  const double two =
+      picker.predict_us(SparseAlgoKind::kTwoLevelRing, 1.0, 4096, 32, world);
+  const double flat =
+      picker.predict_us(SparseAlgoKind::kDenseRing, 1.0, 4096, 32, world);
+  EXPECT_LT(two, flat);
+  EXPECT_EQ(picker.choose(1.0, 4096, 32, world).algo,
+            SparseAlgoKind::kTwoLevelRing);
 }
 
 TEST(AlgoPicker, ChoiceIsDeterministic) {

@@ -12,6 +12,7 @@
 
 #include "comm/fabric.h"
 #include "common/error.h"
+#include "simnet/topology.h"
 
 namespace embrace::comm {
 namespace {
@@ -291,6 +292,101 @@ TEST(Fabric, LinkCostEmulationChargesCrossRankDeliveries) {
   // complete (an upper-bound timing assert would flake on loaded machines).
   f.send(1, 1, 1, Bytes(1000));
   EXPECT_EQ(f.recv(1, 1, 1).size(), 1000u);
+}
+
+// --- cluster topology (node map + per-tier link costs) ---
+
+TEST(FabricTopology, DerivesNodeMapAndTierLinkCosts) {
+  simnet::ClusterTopology topo;
+  topo.nodes = 2;
+  topo.gpus_per_node = 3;
+  LinkCost intra;
+  intra.alpha_us = 1.0;
+  intra.bytes_per_us = 100.0;
+  LinkCost inter;
+  inter.alpha_us = 30.0;
+  inter.bytes_per_us = 10.0;
+  Fabric f(6);
+  EXPECT_FALSE(f.has_topology());
+  f.set_topology(topo, intra, inter);
+  EXPECT_TRUE(f.has_topology());
+  EXPECT_EQ(f.nodes(), 2);
+  EXPECT_EQ(f.gpus_per_node(), 3);
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_EQ(f.node_of(r), r / 3);
+    EXPECT_EQ(f.local_index(r), r % 3);
+  }
+  EXPECT_TRUE(f.same_node(0, 2));
+  EXPECT_FALSE(f.same_node(2, 3));
+  // Link costs must follow the node map tier by tier.
+  EXPECT_DOUBLE_EQ(f.link_cost(0, 2).alpha_us, 1.0);
+  EXPECT_DOUBLE_EQ(f.link_cost(0, 2).bytes_per_us, 100.0);
+  EXPECT_DOUBLE_EQ(f.link_cost(2, 3).alpha_us, 30.0);
+  EXPECT_DOUBLE_EQ(f.link_cost(5, 0).bytes_per_us, 10.0);
+}
+
+TEST(FabricTopology, RejectsTopologyNotCoveringTheFabric) {
+  simnet::ClusterTopology topo;
+  topo.nodes = 2;
+  topo.gpus_per_node = 2;
+  Fabric f(6);  // 2x2 != 6
+  EXPECT_THROW(f.set_topology(topo, LinkCost{}, LinkCost{}), Error);
+}
+
+TEST(FabricTopology, TierCountersSplitIntraAndInterTraffic) {
+  simnet::ClusterTopology topo;
+  topo.nodes = 2;
+  topo.gpus_per_node = 2;
+  Fabric f(4);
+  f.set_topology(topo, LinkCost{}, LinkCost{});
+  f.send(0, 1, 0, Bytes(100));  // intra (node 0)
+  f.send(0, 2, 1, Bytes(40));   // inter (node 0 -> node 1)
+  f.send(3, 2, 2, Bytes(7));    // intra (node 1)
+  f.send(1, 1, 3, Bytes(999));  // self-send: never a wire, never counted
+  const TrafficCounters intra_t = f.tier_traffic(true);
+  const TrafficCounters inter_t = f.tier_traffic(false);
+  EXPECT_EQ(intra_t.messages, 2);
+  EXPECT_EQ(intra_t.bytes, 107);
+  EXPECT_EQ(inter_t.messages, 1);
+  EXPECT_EQ(inter_t.bytes, 40);
+  // Regression: reset_traffic must clear the tier counters along with the
+  // per-pair matrix (it used to leave them stale).
+  f.reset_traffic();
+  EXPECT_EQ(f.tier_traffic(true).messages, 0);
+  EXPECT_EQ(f.tier_traffic(true).bytes, 0);
+  EXPECT_EQ(f.tier_traffic(false).messages, 0);
+  EXPECT_EQ(f.tier_traffic(false).bytes, 0);
+}
+
+TEST(FabricTopology, WithoutTopologyCrossTrafficCountsAsIntra) {
+  Fabric f(2);
+  f.send(0, 1, 0, Bytes(10));
+  EXPECT_EQ(f.tier_traffic(true).bytes, 10);
+  EXPECT_EQ(f.tier_traffic(false).bytes, 0);
+}
+
+// Regression for the short-duration path of the link-cost sleep: costs of a
+// few µs are below the spin window, where the old code computed a sleep
+// deadline in the past (negative duration) and could wedge or oversleep by
+// a scheduler tick per message. 200 cheap sends must take roughly
+// 200 × cost, not 200 × timer-tick.
+TEST(FabricTopology, FewMicrosecondLinkCostsStayInTheSpinWindow) {
+  LinkCost cheap;
+  cheap.alpha_us = 3.0;  // well under the 100 µs spin window
+  Fabric f(2);
+  f.set_uniform_link_cost(cheap);
+  constexpr int kSends = 200;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kSends; ++i) f.send(0, 1, static_cast<uint64_t>(i), Bytes(8));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // Lower bound: the modeled cost must actually be charged.
+  EXPECT_GE(elapsed, std::chrono::microseconds(3 * kSends));
+  // Upper bound: generous (loaded CI), but far below the ~2 ms/msg a
+  // sleep_until-past-deadline or tick-rounding bug would cost.
+  EXPECT_LE(elapsed, std::chrono::milliseconds(150));
+  for (int i = 0; i < kSends; ++i) {
+    EXPECT_EQ(f.recv(1, 0, static_cast<uint64_t>(i)).size(), 8u);
+  }
 }
 
 // --- zero-copy fan-out (send_shared / recv_shared) ---

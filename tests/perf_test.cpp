@@ -152,9 +152,50 @@ TEST(LinkProfiler, SingleSizeClassDegeneratesToPureLatency) {
   for (int i = 0; i < 4; ++i) prof.record(0, 1, 1024, 200.0);
   const LinkFit fit = prof.fit(0, 1);
   // One size class cannot constrain a slope: the fit falls back to the mean
-  // as pure latency and reports no bandwidth.
+  // as pure latency, reports no bandwidth, and flags itself degenerate.
   EXPECT_NEAR(fit.alpha_us, 200.0, 1e-9);
   EXPECT_DOUBLE_EQ(fit.bytes_per_us, 0.0);
+  EXPECT_TRUE(fit.degenerate);
+}
+
+TEST(LinkProfiler, ZeroByteVarianceFlagsDegenerateNotGarbageSlope) {
+  // Regression: identical byte sizes with float-noise timing residue used to
+  // sneak past an exact determinant-zero check and fit an enormous bogus
+  // bandwidth from the ~1e-10 residual determinant.
+  LinkProfiler prof;
+  prof.set_enabled(true);
+  prof.record(0, 1, 4096, 100.0);
+  prof.record(0, 1, 4096, 100.0 + 1e-7);
+  prof.record(0, 1, 4096, 100.0 - 1e-7);
+  const LinkFit fit = prof.fit(0, 1);
+  EXPECT_TRUE(fit.degenerate);
+  EXPECT_NEAR(fit.alpha_us, 100.0, 1e-6);
+  EXPECT_DOUBLE_EQ(fit.bytes_per_us, 0.0);
+  // A single sample is equally unidentifiable.
+  prof.record(2, 3, 512, 40.0);
+  EXPECT_TRUE(prof.fit(2, 3).degenerate);
+  EXPECT_NEAR(prof.fit(2, 3).alpha_us, 40.0, 1e-9);
+}
+
+TEST(LinkProfiler, AggregateFitExcludesDegenerateLinks) {
+  LinkProfiler prof;
+  prof.set_enabled(true);
+  // Link 0->1: clean α = 50, bandwidth = 10 bytes/µs.
+  for (int64_t bytes : {1000, 2000, 4000, 8000}) {
+    prof.record(0, 1, bytes, 50.0 + static_cast<double>(bytes) / 10.0);
+  }
+  // Link 2->3: degenerate, huge mean cost at one size. If it leaked into the
+  // aggregate its "α" would swamp the real latency.
+  for (int i = 0; i < 4; ++i) prof.record(2, 3, 1 << 20, 100000.0);
+  const LinkFit agg = prof.aggregate_fit();
+  EXPECT_FALSE(agg.degenerate);
+  EXPECT_NEAR(agg.alpha_us, 50.0, 1e-6);
+  EXPECT_NEAR(agg.bytes_per_us, 10.0, 1e-6);
+  // Only degenerate links observed -> empty aggregate, not a garbage one.
+  LinkProfiler only_flat;
+  only_flat.set_enabled(true);
+  for (int i = 0; i < 8; ++i) only_flat.record(0, 1, 256, 10.0);
+  EXPECT_EQ(only_flat.aggregate_fit().samples, 0);
 }
 
 TEST(LinkProfiler, RecoversEmulatedFabricCostWithinTenPercent) {
@@ -221,6 +262,11 @@ TEST(PerfReport, JsonCarriesSchemaMatrixStragglersAndLinks) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
   EXPECT_NE(json.find("\"dense\""), std::string::npos);
+  // α/β naming contract: links report "alpha_us" (start latency) and
+  // "bytes_per_us" plus the degeneracy flag — never a bare "beta".
+  EXPECT_NE(json.find("\"alpha_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"degenerate\":false"), std::string::npos);
+  EXPECT_EQ(json.find("\"beta\""), std::string::npos);
   // write failure is reported, not fatal.
   EXPECT_FALSE(write_report_json(report, "/nonexistent-dir-embrace/r.json"));
 }

@@ -60,6 +60,21 @@ TEST(TrainConfigValidate, FlagsEachBadField) {
        [](TrainConfig& c) { c.dense_fusion_bytes = -1; }},
       {"sparse_algo", [](TrainConfig& c) { c.sparse_algo = "ring"; }},
       {"sparse_algo", [](TrainConfig& c) { c.sparse_algo = ""; }},
+      {"topo_nodes", [](TrainConfig& c) { c.topo_nodes = -1; }},
+      // Lone topo_nodes (no gpus/node) is an incomplete topology.
+      {"topo_nodes", [](TrainConfig& c) { c.topo_nodes = 2; }},
+      {"topo_gpus_per_node",
+       [](TrainConfig& c) { c.topo_gpus_per_node = -2; }},
+      // 3 x 2 does not tile a 4-worker world.
+      {"topo_nodes",
+       [](TrainConfig& c) {
+         c.topo_nodes = 3;
+         c.topo_gpus_per_node = 2;
+       }},
+      {"link_intra_alpha_us",
+       [](TrainConfig& c) { c.link_intra_alpha_us = -1.0; }},
+      {"link_intra_bytes_per_us",
+       [](TrainConfig& c) { c.link_intra_bytes_per_us = -0.5; }},
   };
   for (const auto& c : cases) {
     TrainConfig cfg = valid_config();
@@ -71,11 +86,22 @@ TEST(TrainConfigValidate, FlagsEachBadField) {
 
 TEST(TrainConfigValidate, AcceptsEverySparseAlgoSpelling) {
   for (const char* algo :
-       {"auto", "allgather", "recursive-doubling", "dense"}) {
+       {"auto", "allgather", "recursive-doubling", "dense", "two-level"}) {
     TrainConfig cfg = valid_config();
     cfg.sparse_algo = algo;
     EXPECT_TRUE(cfg.validate(4).empty()) << algo;
   }
+}
+
+TEST(TrainConfigValidate, TopologyMustTileTheWorld) {
+  TrainConfig cfg = valid_config();
+  cfg.topo_nodes = 2;
+  cfg.topo_gpus_per_node = 2;
+  EXPECT_TRUE(cfg.validate(4).empty());
+  EXPECT_FALSE(cfg.validate(8).empty());  // 2x2 != 8 workers
+  cfg.topo_nodes = 0;
+  cfg.topo_gpus_per_node = 0;
+  EXPECT_TRUE(cfg.validate(8).empty());  // no topology: any world fits
 }
 
 TEST(TrainConfigValidate, DimMustCoverWorkers) {
