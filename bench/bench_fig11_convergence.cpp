@@ -63,6 +63,51 @@ void run_pair(const char* title, nn::HeadKind head, bool show_ppl) {
               cfg.steps, max_div);
 }
 
+// Same harness, third axis: gradient wire codecs (DESIGN.md §14). EmbRace
+// trains once uncompressed and once per codec; top-k leans on error
+// feedback for its parity, so its curve is the interesting one.
+void run_codec_curves() {
+  TrainConfig cfg;
+  cfg.vocab = 600;
+  cfg.dim = 16;
+  cfg.hidden = 24;
+  cfg.classes = 40;
+  cfg.head = nn::HeadKind::kPoolMlp;
+  cfg.optim = OptimKind::kAdam;
+  cfg.lr = 0.02f;
+  cfg.batch_per_worker = 6;
+  cfg.steps = 40;
+  cfg.max_sentence_len = 8;
+  cfg.seed = 2022;
+  cfg.strategy = StrategyKind::kEmbRace;
+  constexpr int kWorkers = 4;
+
+  const auto raw = run_distributed(cfg, kWorkers);
+  cfg.codec = "bf16";
+  const auto bf16 = run_distributed(cfg, kWorkers);
+  cfg.codec = "topk";
+  const auto topk = run_distributed(cfg, kWorkers);
+
+  std::printf("(c) EmbRace under gradient compression (4 workers, Adam, "
+              "%d steps):\n", cfg.steps);
+  TextTable t({"Step", "identity loss", "bf16 loss", "topk+EF loss"});
+  float bf16_div = 0.0f, topk_div = 0.0f;
+  for (size_t s = 0; s < raw.losses.size(); ++s) {
+    bf16_div = std::max(bf16_div, std::abs(raw.losses[s] - bf16.losses[s]));
+    topk_div = std::max(topk_div, std::abs(raw.losses[s] - topk.losses[s]));
+    if (s % 5 != 0) continue;
+    t.add_row({std::to_string(s), TextTable::num(raw.losses[s], 4),
+               TextTable::num(bf16.losses[s], 4),
+               TextTable::num(topk.losses[s], 4)});
+  }
+  t.print();
+  std::printf("max loss divergence vs identity: bf16 %.2e, topk+EF %.2e\n"
+              "training wire bytes: identity %lld, bf16 %lld, topk %lld\n\n",
+              bf16_div, topk_div, static_cast<long long>(raw.fabric_bytes),
+              static_cast<long long>(bf16.fabric_bytes),
+              static_cast<long long>(topk.fabric_bytes));
+}
+
 }  // namespace
 
 int main() {
@@ -72,5 +117,6 @@ int main() {
            nn::HeadKind::kPoolMlp, /*show_ppl=*/true);
   run_pair("(b) GNMT-flavoured model (LSTM head)", nn::HeadKind::kLstm,
            /*show_ppl=*/false);
+  run_codec_curves();
   return 0;
 }

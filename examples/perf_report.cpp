@@ -9,7 +9,7 @@
 //
 // Usage:
 //   perf_report [workers] [steps] [strategy] [tables] [alpha_us] [gbps]
-//               [nodes]
+//               [nodes] [codec]
 //     workers:  rank count                          (default 4)
 //     steps:    training steps                      (default 6)
 //     strategy: allreduce|allgather|novss|embrace   (default embrace)
@@ -21,12 +21,17 @@
 //               topology — intra-node links at α/10 and 4x bandwidth —
 //               the trainer routes collectives over the CommGroup tree,
 //               and the report prints per-tier bytes on wire.
+//     codec:    gradient wire codec (identity|fp16|bf16|topk|adaptive,
+//               default identity). Non-identity runs compress gradient
+//               payloads and the report prints the per-codec
+//               comm.codec.bytes_in/bytes_out compression ratios.
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "comm/codec.h"
 #include "embrace/strategy.h"
 #include "obs/metrics.h"
 #include "obs/perf.h"
@@ -76,6 +81,7 @@ int main(int argc, char** argv) {
   const double alpha_us = argc > 5 ? std::atof(argv[5]) : 50.0;
   const double gbps = argc > 6 ? std::atof(argv[6]) : 10.0;
   const int nodes = argc > 7 ? std::atoi(argv[7]) : 0;
+  const std::string codec = argc > 8 ? argv[8] : "identity";
   if (alpha_us < 0.0 || gbps < 0.0) {
     std::fprintf(stderr, "alpha_us and gbps must be >= 0\n");
     return 2;
@@ -93,6 +99,7 @@ int main(int argc, char** argv) {
   cfg.perf_profile = true;
   cfg.link_alpha_us = alpha_us;
   cfg.link_bytes_per_us = gbps * 1e9 / 8.0 / 1e6;  // Gbit/s -> bytes/µs
+  cfg.codec = codec;
   if (nodes > 0) {
     cfg.topo_nodes = nodes;
     cfg.topo_gpus_per_node = workers / nodes;
@@ -177,6 +184,24 @@ int main(int argc, char** argv) {
                 static_cast<long long>(picks),
                 static_cast<long long>(
                     obs::counter("sparse.algo.bytes" + label).value()));
+  }
+  // Codec compression accounting (DESIGN.md §14): bytes_in is raw value
+  // bytes offered to each codec, bytes_out what actually hit the wire.
+  bool any_codec = false;
+  for (int k = 0; k < comm::kNumCodecKinds; ++k) {
+    const auto kind = static_cast<comm::CodecKind>(k);
+    const std::string label =
+        std::string("{codec=") + comm::codec_kind_name(kind) + "}";
+    const int64_t in = obs::counter("comm.codec.bytes_in" + label).value();
+    if (in == 0) continue;
+    const int64_t out = obs::counter("comm.codec.bytes_out" + label).value();
+    if (!any_codec) std::printf("\ngradient codec compression:\n");
+    any_codec = true;
+    std::printf("  %-10s %12lld -> %12lld bytes (%.2fx)\n",
+                comm::codec_kind_name(kind), static_cast<long long>(in),
+                static_cast<long long>(out),
+                out > 0 ? static_cast<double>(in) / static_cast<double>(out)
+                        : 0.0);
   }
   if (nodes > 0) {
     // Per-tier wire accounting from the fabric's topology counters: the

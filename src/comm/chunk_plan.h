@@ -24,6 +24,10 @@ struct ChunkPlan {
   int64_t chunk_elems = 1;  // elements per chunk (the last may be shorter)
 
   // chunk_bytes <= 0 means "unbounded": one chunk covers everything.
+  // 0 < chunk_bytes < elem_bytes degrades to 1-element quanta (never zero:
+  // a zero-element chunk would make num_chunks unbounded and stall the
+  // pipelined ring), so chunks may exceed the byte budget by up to one
+  // element — the budget bounds slicing granularity, not message size.
   static ChunkPlan over(int64_t elems, int64_t chunk_bytes,
                         int64_t elem_bytes = 4);
 
@@ -45,6 +49,13 @@ struct ChunkPlan {
 // (an item larger than the budget gets a bucket of its own). Returns
 // [begin, end) index ranges covering every item in order. bucket_bytes <= 0
 // puts each item in its own bucket.
+//
+// Zero-byte items never close a bucket: they cannot push `filled` past the
+// budget, so they merge into the current bucket — in particular a run of
+// zero-byte trailing items rides the preceding bucket instead of spawning
+// empty transfers, and a bucket that sits exactly at its budget still
+// absorbs them. (Under bucket_bytes <= 0 the per-item rule wins and
+// zero-byte items get their own buckets like everything else.)
 std::vector<std::pair<size_t, size_t>> plan_buckets(
     std::span<const int64_t> item_bytes, int64_t bucket_bytes);
 

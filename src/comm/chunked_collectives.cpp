@@ -36,12 +36,14 @@ int64_t ChunkedAllReduce::num_quanta(int64_t elems, int world_size,
 }
 
 ChunkedAllReduce::ChunkedAllReduce(Communicator& comm, std::span<float> data,
-                                   int64_t chunk_bytes, ReduceOp op)
+                                   int64_t chunk_bytes, ReduceOp op,
+                                   const Codec* codec)
     : comm_(&comm),
       data_(data),
       op_(op),
       chunk_bytes_(chunk_bytes),
-      trivial_(comm.size() == 1) {
+      trivial_(comm.size() == 1),
+      codec_(codec) {
   static obs::Counter& bytes_counter =
       obs::counter("comm.bytes{collective=allreduce_chunked}");
   static obs::Counter& calls_counter =
@@ -84,6 +86,23 @@ void ChunkedAllReduce::run_quantum(int64_t q) {
   const auto tag = [&](int64_t slice) {
     return base_tag_ + static_cast<uint64_t>(step * kmax_ + slice);
   };
+  if (codec_ != nullptr && !reduce_phase && s == 0 && j == 0) {
+    // Reduce->gather transition: this rank now owns its fully-reduced block
+    // in raw form, but every peer will receive decode(encode(block)). Under
+    // a lossy codec the owner must project its own copy through the codec —
+    // per send slice, since top-k selects within a slice — or ranks end the
+    // collective with different bits.
+    const ChunkPlan sends = ChunkPlan::over(se - sb, chunk_bytes_);
+    for (int64_t k = 0; k < sends.num_chunks(); ++k) {
+      const auto [b, e] = sends.chunk(k);
+      std::span<float> slice = data_.subspan(static_cast<size_t>(sb + b),
+                                             static_cast<size_t>(e - b));
+      wire_scratch_.resize(static_cast<size_t>(
+          codec_->encoded_bytes(static_cast<int64_t>(slice.size()))));
+      codec_->encode_into(slice, wire_scratch_.data());
+      codec_->decode(wire_scratch_, slice);
+    }
+  }
   if (j == 0) {
     // First quantum of the step: eagerly enqueue every slice send (fabric
     // sends are async), so the peer's receives pipeline behind them while
@@ -91,10 +110,14 @@ void ChunkedAllReduce::run_quantum(int64_t q) {
     const ChunkPlan sends = ChunkPlan::over(se - sb, chunk_bytes_);
     for (int64_t k = 0; k < sends.num_chunks(); ++k) {
       const auto [b, e] = sends.chunk(k);
-      comm_->send_float_block(
-          to, tag(k),
-          data_.subspan(static_cast<size_t>(sb + b),
-                        static_cast<size_t>(e - b)));
+      const std::span<const float> slice = data_.subspan(
+          static_cast<size_t>(sb + b), static_cast<size_t>(e - b));
+      if (codec_ != nullptr) {
+        comm_->send_bytes_block(to, tag(k),
+                                codec_encode(*codec_, comm_->pool(), slice));
+      } else {
+        comm_->send_float_block(to, tag(k), slice);
+      }
     }
   }
   // Receive one slice of the step's recv block. Quanta past the block's
@@ -106,7 +129,17 @@ void ChunkedAllReduce::run_quantum(int64_t q) {
     const auto [b, e] = recvs.chunk(j);
     std::span<float> slice = data_.subspan(static_cast<size_t>(rb + b),
                                            static_cast<size_t>(e - b));
-    if (reduce_phase) {
+    if (codec_ != nullptr) {
+      Bytes wire = comm_->recv_bytes_block(from, tag(j));
+      if (reduce_phase) {
+        decode_scratch_.resize(slice.size());
+        codec_->decode(wire, decode_scratch_);
+        reduce_into(slice, decode_scratch_, op_);
+      } else {
+        codec_->decode(wire, slice);
+      }
+      comm_->pool().release(std::move(wire));
+    } else if (reduce_phase) {
       comm_->recv_reduce_block(from, tag(j), slice, op_);
     } else {
       comm_->recv_copy_block(from, tag(j), slice);
@@ -119,8 +152,8 @@ void ChunkedAllReduce::run_all() {
 }
 
 void allreduce_chunked(Communicator& comm, std::span<float> data,
-                       int64_t chunk_bytes, ReduceOp op) {
-  ChunkedAllReduce cursor(comm, data, chunk_bytes, op);
+                       int64_t chunk_bytes, ReduceOp op, const Codec* codec) {
+  ChunkedAllReduce cursor(comm, data, chunk_bytes, op, codec);
   cursor.run_all();
 }
 

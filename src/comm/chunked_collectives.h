@@ -35,8 +35,10 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "comm/chunk_plan.h"
+#include "comm/codec.h"
 #include "comm/communicator.h"
 
 namespace embrace::comm {
@@ -53,8 +55,16 @@ class ChunkedAllReduce {
   // `data` must outlive the cursor and have equal size on all ranks.
   // Reserves tags: all ranks must construct at the same point in the
   // channel's collective order.
+  //
+  // With a non-null `codec` every wire slice travels codec-encoded (and is
+  // decoded + reduced on arrival); all ranks must pass an equivalent codec
+  // (same kind and parameters), and `codec` must outlive the cursor. A
+  // null codec keeps the raw float-block fast path — byte-for-byte today's
+  // wire traffic. Lossy codecs quantize each hop's partial sums, so the
+  // result is approximate; pair them with error feedback (comm/codec.h).
   ChunkedAllReduce(Communicator& comm, std::span<float> data,
-                   int64_t chunk_bytes, ReduceOp op = ReduceOp::kSum);
+                   int64_t chunk_bytes, ReduceOp op = ReduceOp::kSum,
+                   const Codec* codec = nullptr);
 
   int64_t num_quanta() const { return total_quanta_; }
   int64_t next_quantum() const { return next_; }
@@ -78,11 +88,15 @@ class ChunkedAllReduce {
   int64_t next_ = 0;
   uint64_t base_tag_ = 0;    // tag(step, j) = base + step * kmax_ + j
   bool trivial_ = false;     // world == 1: nothing to exchange
+  const Codec* codec_ = nullptr;  // not owned; null = raw float blocks
+  std::vector<float> decode_scratch_;
+  std::vector<std::byte> wire_scratch_;
 };
 
 // Convenience: constructs a cursor and runs every quantum. Bitwise-equal
-// to Communicator::allreduce.
+// to Communicator::allreduce when codec is null (or lossless).
 void allreduce_chunked(Communicator& comm, std::span<float> data,
-                       int64_t chunk_bytes, ReduceOp op = ReduceOp::kSum);
+                       int64_t chunk_bytes, ReduceOp op = ReduceOp::kSum,
+                       const Codec* codec = nullptr);
 
 }  // namespace embrace::comm

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "comm/chunked_collectives.h"
 #include "common/error.h"
 
 namespace embrace::comm {
@@ -40,11 +41,16 @@ int64_t read_i64(const Bytes& b, size_t& off) {
 
 }  // namespace
 
-void hierarchical_allreduce(CommGroup& g, std::span<float> data, ReduceOp op) {
+void hierarchical_allreduce(CommGroup& g, std::span<float> data, ReduceOp op,
+                            const Codec* codec, int64_t chunk_bytes) {
   EMBRACE_CHECK(g.world != nullptr);
   Communicator& world = *g.world;
   if (!g.two_level() || data.empty()) {
-    world.allreduce(data, op);
+    if (codec != nullptr && !data.empty()) {
+      allreduce_chunked(world, data, chunk_bytes, op, codec);
+    } else {
+      world.allreduce(data, op);
+    }
     return;
   }
   Communicator& node = *g.node;
@@ -73,8 +79,13 @@ void hierarchical_allreduce(CommGroup& g, std::span<float> data, ReduceOp op) {
       node.pool().release(std::move(part));
     }
     // Stage 2: inter-node ring AllReduce of the full node sums across the
-    // leaders — the only stage that touches the expensive tier.
-    g.leaders->allreduce(data, op);
+    // leaders — the only stage that touches the expensive tier, and hence
+    // the only one a wire codec compresses.
+    if (codec != nullptr) {
+      allreduce_chunked(*g.leaders, data, chunk_bytes, op, codec);
+    } else {
+      g.leaders->allreduce(data, op);
+    }
   }
 
   // Stage 3: fan the finished vector back out within the node. This also

@@ -26,16 +26,29 @@
 // group is not two-level.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "comm/codec.h"
 #include "comm/comm_group.h"
 
 namespace embrace::comm {
 
 // In-place two-level AllReduce. Collective over g.world's ranks.
+//
+// A non-null `codec` compresses the wire of the *inter-node leader stage*
+// only (and of the flat fallback): that is the expensive tier the two-level
+// schedule exists to protect, while the intra-node reduce/broadcast stages
+// stay exact so a node's ranks agree bitwise by construction. Every rank
+// must pass an equivalent codec; lossy codecs make the result approximate
+// (pair with error feedback, comm/codec.h). `chunk_bytes` sizes the
+// compressed stage's wire slices (<= 0: one slice per ring step); it is
+// ignored without a codec, where the stages keep their monolithic wire.
 void hierarchical_allreduce(CommGroup& g, std::span<float> data,
-                            ReduceOp op = ReduceOp::kSum);
+                            ReduceOp op = ReduceOp::kSum,
+                            const Codec* codec = nullptr,
+                            int64_t chunk_bytes = 0);
 
 // Two-level AlltoAllv: send[i] goes to world rank i; returns payloads
 // indexed by source world rank. Same contract as Communicator::alltoallv.

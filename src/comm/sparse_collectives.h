@@ -11,15 +11,38 @@
 
 #include <vector>
 
+#include "comm/codec.h"
 #include "comm/communicator.h"
 #include "tensor/sparse_rows.h"
 
 namespace embrace::comm {
 
+// Wire codec contract shared by every collective below: a non-null `codec`
+// compresses each payload's *values section* (header and row indices stay
+// raw, so peers can size and validate payloads without negotiation); every
+// rank must pass an equivalent codec, and algorithms that re-ship merged
+// partial sums (recursive doubling, dense ring) re-encode per hop, so lossy
+// codecs quantize at every hop — pair them with error feedback
+// (comm/codec.h). A null codec keeps today's wire byte-for-byte.
+
+// Serializes `rows` into the wire format the collectives below ship —
+// SparseRows::pack_into when `codec` is null, else the encoded layout
+// (raw header + raw indices + codec-encoded values section) — and its
+// inverse. Exposed so other sparse exchanges (the hybrid path's
+// column-slice AlltoAll in PartitionedEmbedding::exchange_grad) speak the
+// same format. The returned buffer comes from comm's pool.
+Bytes sparse_pack_wire(Communicator& comm, const SparseRows& rows,
+                       const Codec* codec = nullptr);
+SparseRows sparse_unpack_wire(std::span<const std::byte> buf,
+                              const Codec* codec = nullptr);
+
 // Gathers every rank's sparse rows and returns their (uncoalesced)
 // concatenation in rank order. Logically equals the elementwise sum of all
-// contributions over the shared row space.
-SparseRows sparse_allgather(Communicator& comm, const SparseRows& mine);
+// contributions over the shared row space. With a lossy codec every rank
+// decodes all payloads — its own included — from wire form, so all ranks
+// still agree bitwise on the result.
+SparseRows sparse_allgather(Communicator& comm, const SparseRows& mine,
+                            const Codec* codec = nullptr);
 
 // Algorithm variants for the sparse AllReduce (SparCML-style selection:
 // DESIGN.md §12). All three return a SparseRows whose dense meaning is the
@@ -63,24 +86,28 @@ const char* sparse_algo_name(SparseAlgoKind k);
 // `chunk_bytes` only affects kDenseRing (see allreduce_chunked; <= 0 means
 // one slice per ring step).
 SparseRows sparse_allreduce(Communicator& comm, const SparseRows& mine,
-                            SparseAlgoKind algo, int64_t chunk_bytes = 0);
+                            SparseAlgoKind algo, int64_t chunk_bytes = 0,
+                            const Codec* codec = nullptr);
 
 // Group-tree overload: kTwoLevelRing rides the hierarchical AllReduce over
 // `group`; every other algorithm runs on *group.world exactly as above.
 struct CommGroup;
 SparseRows sparse_allreduce(CommGroup& group, const SparseRows& mine,
-                            SparseAlgoKind algo, int64_t chunk_bytes = 0);
+                            SparseAlgoKind algo, int64_t chunk_bytes = 0,
+                            const Codec* codec = nullptr);
 
 // Hierarchical AlltoAll over the group tree: bitwise-identical payloads to
 // the flat sparse_alltoall (pure data movement), but remote payloads are
 // bundled through the node leaders.
 std::vector<SparseRows> sparse_alltoall(CommGroup& group,
-                                        std::vector<SparseRows> send);
+                                        std::vector<SparseRows> send,
+                                        const Codec* codec = nullptr);
 
 // Sends `send[i]` to rank i; returns the payload received from each rank,
 // indexed by source. All payloads must share row-space dimensions.
 std::vector<SparseRows> sparse_alltoall(Communicator& comm,
-                                        std::vector<SparseRows> send);
+                                        std::vector<SparseRows> send,
+                                        const Codec* codec = nullptr);
 
 // Dense AllReduce of a Tensor in place (sum).
 void tensor_allreduce(Communicator& comm, Tensor& t);

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "comm/hierarchical_collectives.h"
+#include "comm/sparse_collectives.h"
 #include "common/error.h"
 
 namespace embrace::core {
@@ -139,20 +140,28 @@ Tensor PartitionedEmbedding::distributed_lookup(
 
 SparseRows PartitionedEmbedding::exchange_grad(comm::Communicator& comm,
                                                const SparseRows& part,
-                                               comm::CommGroup* group) const {
+                                               comm::CommGroup* group,
+                                               const comm::Codec* codec) const {
   EMBRACE_CHECK_EQ(part.num_total_rows(), vocab_);
   EMBRACE_CHECK_EQ(part.dim(), dim_);
   // Ship each rank the column slice it owns, serialized straight into
-  // pooled wire buffers.
+  // pooled wire buffers (values codec-encoded when a codec is active).
   std::vector<comm::Bytes> payloads(static_cast<size_t>(world_));
   for (int r = 0; r < world_; ++r) {
     const auto [c0, c1] = col_range(r);
-    const SparseRows slice = part.slice_columns(c0, c1);
-    comm::Bytes buf = comm.pool().acquire(slice.packed_byte_size());
-    slice.pack_into(buf.data(), buf.size());
-    payloads[static_cast<size_t>(r)] = std::move(buf);
+    payloads[static_cast<size_t>(r)] =
+        comm::sparse_pack_wire(comm, part.slice_columns(c0, c1), codec);
   }
   auto received = exchange(comm, group, std::move(payloads));
+  if (codec != nullptr) {
+    // Encoded payloads cannot be viewed in place: decode each, then sum.
+    SparseRows acc = SparseRows::empty(vocab_, shard_width());
+    for (comm::Bytes& buf : received) {
+      acc = SparseRows::concat(acc, comm::sparse_unpack_wire(buf, codec));
+      comm.pool().release(std::move(buf));
+    }
+    return acc.coalesced();
+  }
   // Sum the contributions of all workers for my shard: parse every payload
   // in place, assemble in one pass, coalesce once.
   std::vector<SparseRows::WireView> views;

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "comm/codec.h"
 #include "comm/comm_group.h"
 #include "comm/communicator.h"
 #include "common/rng.h"
@@ -64,9 +65,14 @@ class PartitionedEmbedding {
   // full-dim rows over the vocab (this rank's contribution, coalesced or
   // not). Exchanges column slices; returns the *coalesced* gradient for
   // this rank's shard (rows over vocab × shard_width), summed over all
-  // workers' contributions. `group` as in distributed_lookup.
+  // workers' contributions. `group` as in distributed_lookup. A non-null
+  // `codec` compresses each slice's values section on the wire
+  // (comm/sparse_collectives.h contract; gradients only — the forward
+  // lookup always ships exact parameters). Lossy codecs quantize once per
+  // slice here (a single hop), so pair them with error feedback upstream.
   SparseRows exchange_grad(comm::Communicator& comm, const SparseRows& part,
-                           comm::CommGroup* group = nullptr) const;
+                           comm::CommGroup* group = nullptr,
+                           const comm::Codec* codec = nullptr) const;
 
   // Local-only helpers (used by tests and by exchange/lookup internally).
   Tensor shard_lookup(const std::vector<int64_t>& ids) const;

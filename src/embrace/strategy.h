@@ -96,6 +96,23 @@ struct TrainConfig {
   // only in reduction order).
   std::string sparse_algo = "auto";
 
+  // Gradient wire codec (DESIGN.md §14): "identity" (no compression, wire
+  // byte-for-byte as before), "fp16" | "bf16" (half-width casts), "topk"
+  // (keep the codec_topk largest-|v| fraction per payload, error feedback
+  // re-injects the rest next step), or "adaptive" (per-table pick between
+  // bf16 and topk from the rank-agreed mean |grad|). Applies to the
+  // embedding-gradient collectives and — for lossy codecs with error
+  // feedback — the dense AllReduce; the PS emulations (kParallaxPs,
+  // kBytePsDense) ignore it. Validated by validate().
+  std::string codec = "identity";
+  // Kept fraction for the top-k codec, in (0, 1].
+  double codec_topk = 0.2;
+  // Rank-local error-feedback residuals for lossy codecs: the quantization
+  // error of step t is added back into the gradient of step t+1, which is
+  // what keeps top-k training convergent. Only consulted when the codec
+  // can be lossy.
+  bool codec_error_feedback = true;
+
   // Tensor fusion (bucketing) for the dense gradients: when > 0, dense
   // parameter gradients are packed in backward-pass order into buckets of
   // at most this many bytes and one collective carries each bucket

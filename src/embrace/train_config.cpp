@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "comm/codec.h"
 #include "embrace/strategy.h"
 #include "sparse/algo_picker.h"
 
@@ -88,6 +89,13 @@ std::vector<ConfigError> TrainConfig::validate(int workers) const {
          "unknown algorithm '" + sparse_algo +
              "'; expected auto | allgather | recursive-doubling | dense | "
              "two-level");
+  }
+  if (codec != "adaptive" && !comm::parse_codec(codec).has_value()) {
+    fail("codec", "unknown codec '" + codec +
+                      "'; expected identity | fp16 | bf16 | topk | adaptive");
+  }
+  if (!(codec_topk > 0.0 && codec_topk <= 1.0)) {
+    fail("codec_topk", "must be in (0, 1], got " + std::to_string(codec_topk));
   }
   if (topo_nodes < 0) {
     fail("topo_nodes", "must be >= 0 (0 = no topology), got " +

@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -34,12 +35,14 @@
 #include "comm/sparse_collectives.h"
 #include "common/error.h"
 #include "data/loader.h"
+#include "embrace/error_feedback.h"
 #include "embrace/partitioned_embedding.h"
 #include "nn/embedding.h"
 #include "nn/optim.h"
 #include "sched/negotiated_scheduler.h"
 #include "sched/vertical.h"
 #include "sparse/algo_picker.h"
+#include "sparse/codec_policy.h"
 #include "tensor/fusion.h"
 #include "tensor/index_ops.h"
 
@@ -295,6 +298,61 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
     }
     algo_picker.emplace(mode, params, cfg.chunk_bytes);
   }
+  // Wire-codec policy (DESIGN.md §14). Identity — the default — builds no
+  // policy at all: every collective below gets a null codec and the wire
+  // stays byte-for-byte what it was before codecs existed. The PS
+  // emulations ignore the knob (their push/pull wire is emulated, not the
+  // fabric's). Adaptive mode keeps the dense head on bf16 (one stream, no
+  // per-table magnitude to adapt on) and picks per embedding table.
+  const bool adaptive_codec = cfg.codec == "adaptive";
+  sparse::CodecPolicyConfig codec_cfg;
+  codec_cfg.adaptive = adaptive_codec;
+  if (!adaptive_codec) {
+    codec_cfg.base = comm::parse_codec(cfg.codec).value();  // validated
+  }
+  codec_cfg.topk_fraction = cfg.codec_topk;
+  const bool use_codec =
+      !uses_ps(cfg.strategy) &&
+      (adaptive_codec || codec_cfg.base != comm::CodecKind::kIdentity);
+  std::optional<sparse::CodecPolicy> codec_policy;
+  std::unique_ptr<comm::Codec> dense_codec_storage;
+  const comm::Codec* dense_codec = nullptr;
+  if (use_codec) {
+    codec_policy.emplace(codec_cfg);
+    dense_codec_storage = comm::make_codec(
+        adaptive_codec ? comm::CodecKind::kBf16 : codec_cfg.base,
+        cfg.codec_topk);
+    dense_codec = dense_codec_storage.get();
+  }
+  const bool use_ef = use_codec && cfg.codec_error_feedback &&
+                      codec_policy->may_be_lossy();
+  DenseErrorFeedback dense_ef;
+  std::vector<SparseErrorFeedback> sparse_ef;  // per table, rank-local
+  if (use_ef) {
+    for (int t = 0; t < cfg.num_tables; ++t) {
+      sparse_ef.emplace_back(cfg.vocab, cfg.dim);
+    }
+  }
+  // The per-op codec for one table's sparse gradient. Adaptive mode needs
+  // the table's rank-agreed mean |grad|, so it costs one tiny allreduce on
+  // `ch` (the channel the caller is allowed to block on: main_ch from the
+  // issue scope, comm_ch from an op body); fixed modes are pure local.
+  auto choose_table_codec = [&](comm::Communicator& ch, int t,
+                                const SparseRows& g) -> const comm::Codec* {
+    if (!codec_policy.has_value()) return nullptr;
+    double mean_abs = 0.0;
+    if (adaptive_codec) {
+      float sum_abs = 0.0f;
+      for (float v : g.values().flat()) sum_abs += std::fabs(v);
+      std::vector<float> m{sum_abs,
+                           static_cast<float>(g.values().flat().size())};
+      ch.allreduce(m);
+      mean_abs = m[1] > 0.0f ? static_cast<double>(m[0]) /
+                                   static_cast<double>(m[1])
+                             : 0.0;
+    }
+    return codec_policy->choose(t, mean_abs);
+  };
   uint64_t fifo_seq = 0;
   auto fifo_priority = [&] { return Priorities::fifo(fifo_seq++); };
   auto make_desc = [](std::string name, double priority, int64_t bytes,
@@ -444,23 +502,49 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
     // chunk_bytes > 0 the transfer runs as ChunkedAllReduce quanta, so
     // higher-priority sparse ops preempt it at chunk boundaries; the
     // result is bitwise-identical to the monolithic path either way.
-    auto submit_dense = [&](std::string name, double priority, int64_t elems,
+    // `ef_key` is the stable per-transfer id for error-feedback residuals
+    // (parameter index or fusion-bucket index — the same buffer must meet
+    // the same gradient next step, so it cannot be step-scoped).
+    auto submit_dense = [&](std::string name, double priority, int64_t ef_key,
+                            int64_t elems,
                             std::function<std::span<float>()> prepare,
                             std::function<void()> finish) {
       const int64_t bytes = elems * static_cast<int64_t>(sizeof(float));
       sched::OpDesc desc = make_desc(std::move(name), priority, bytes,
                                      sched::OpKind::kDense);
+      // Fold error feedback into prepare: runs on the comm thread right
+      // before the first wire quantum, after the gradient is final.
+      if (dense_codec != nullptr && cfg.codec_error_feedback) {
+        prepare = [&dense_ef, dense_codec, ef_key,
+                   inner = std::move(prepare)]() {
+          std::span<float> flat = inner();
+          dense_ef.apply(ef_key, flat, *dense_codec);
+          return flat;
+        };
+      }
       if (cfg.chunk_bytes <= 0) {
         // Monolithic transfers take the two-level path when a topology is
         // configured. The chunked path below stays on the flat ring:
         // chunk-granular preemption and two-level bracketing are orthogonal
-        // schedules and combining them is an open ROADMAP item.
+        // schedules and combining them is an open ROADMAP item. With a
+        // codec active the flat path rides the chunked ring at chunk 0
+        // (one slice per step, encoded wire); without one it keeps the
+        // legacy monolithic collective byte-for-byte.
         return sch.submit(std::move(desc),
-                          [&comm_ch, grp, prepare = std::move(prepare),
+                          [&comm_ch, grp, dense_codec,
+                           chunk_bytes = cfg.chunk_bytes,
+                           prepare = std::move(prepare),
                            finish = std::move(finish)] {
                             std::span<float> flat = prepare();
                             if (grp != nullptr && grp->two_level()) {
-                              comm::hierarchical_allreduce(*grp, flat);
+                              comm::hierarchical_allreduce(
+                                  *grp, flat, comm::ReduceOp::kSum,
+                                  dense_codec, chunk_bytes);
+                            } else if (dense_codec != nullptr) {
+                              comm::allreduce_chunked(comm_ch, flat,
+                                                      chunk_bytes,
+                                                      comm::ReduceOp::kSum,
+                                                      dense_codec);
                             } else {
                               comm_ch.allreduce(flat);
                             }
@@ -476,9 +560,12 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
       return sch.submit(
           std::move(desc), slices,
           [&comm_ch, cursor, slices, chunk_bytes = cfg.chunk_bytes,
-           prepare = std::move(prepare),
+           dense_codec, prepare = std::move(prepare),
            finish = std::move(finish)](int64_t i) {
-            if (i == 0) cursor->ar.emplace(comm_ch, prepare(), chunk_bytes);
+            if (i == 0) {
+              cursor->ar.emplace(comm_ch, prepare(), chunk_bytes,
+                                 comm::ReduceOp::kSum, dense_codec);
+            }
             cursor->ar->run_quantum(i);
             if (i + 1 == slices) {
               cursor->ar.reset();
@@ -518,6 +605,7 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
         dense_handles.push_back(submit_dense(
             dense_op(step, g),
             fifo ? fifo_priority() : Priorities::dense(step, fp_index),
+            static_cast<int64_t>(g),
             (*groups)[g].byte_size() / static_cast<int64_t>(sizeof(float)),
             [groups, g, flat]() -> std::span<float> {
               *flat = (*groups)[g].flatten();
@@ -534,6 +622,7 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
         dense_handles.push_back(submit_dense(
             dense_op(step, i),
             fifo ? fifo_priority() : Priorities::dense(step, i),
+            static_cast<int64_t>(i),
             static_cast<int64_t>(p->grad.flat().size()),
             [p]() -> std::span<float> { return p->grad.flat(); },
             [p, inv_n] { p->grad.scale_(inv_n); }));
@@ -553,9 +642,25 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
               make_desc(emb_op("embgrad", step, t), fifo_priority(),
                         my_grad.dense_byte_size(), sched::OpKind::kOther),
               [&, t, my_grad] {
-                // Dense-format aggregation of the (sparse) gradient.
-                Tensor dense = my_grad.to_dense();
-                comm_ch.allreduce(dense.flat());
+                // Dense-format aggregation of the (sparse) gradient, with
+                // the wire codec on the ring when one is configured (error
+                // feedback first, on the coalesced sparse form, so the
+                // residual stays row-aligned).
+                const comm::Codec* codec =
+                    choose_table_codec(comm_ch, t, my_grad);
+                SparseRows g = my_grad;
+                if (use_ef && codec != nullptr && !codec->lossless()) {
+                  g = g.coalesced();
+                  sparse_ef[static_cast<size_t>(t)].apply(g, *codec);
+                }
+                Tensor dense = g.to_dense();
+                if (codec != nullptr) {
+                  comm::allreduce_chunked(comm_ch, dense.flat(),
+                                          cfg.chunk_bytes,
+                                          comm::ReduceOp::kSum, codec);
+                } else {
+                  comm_ch.allreduce(dense.flat());
+                }
                 const auto rows = unique_sorted(flatten(
                     PartitionedEmbedding::allgather_ids(comm_ch,
                                                         seg.ids[t])));
@@ -570,25 +675,55 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
               make_desc(emb_op("embgrad", step, t), fifo_priority(),
                         grad_bytes, sched::OpKind::kOther),
               [&, t, my_grad] {
-                // Rank-agreed density: per-rank hot sets differ, so the
-                // picker's input is the allreduced mean — every rank then
-                // makes the same (format, algorithm) decision.
-                std::vector<float> density{
-                    static_cast<float>(my_grad.row_density())};
-                comm_ch.allreduce(density);
+                // Rank-agreed decision inputs in ONE allreduce: per-rank
+                // distinct-row density d_r (their mean prices per-rank
+                // payloads), Σ log1p(−d_r) (the union density the merged
+                // result actually occupies — feeding the mean alone
+                // mispriced the dense-ring crossover by up to workers× for
+                // disjoint hot sets), and the |grad| mass for the codec
+                // policy. Every rank then makes the same (codec, format,
+                // algorithm) decision.
+                const double d = my_grad.row_density();
+                float sum_abs = 0.0f;
+                for (float v : my_grad.values().flat()) {
+                  sum_abs += std::fabs(v);
+                }
+                std::vector<float> stats{
+                    static_cast<float>(d),
+                    static_cast<float>(std::log1p(-d)), sum_abs,
+                    static_cast<float>(my_grad.values().flat().size())};
+                comm_ch.allreduce(stats);
+                const sparse::DensityEstimate est =
+                    sparse::DensityEstimate::from_allreduced(
+                        static_cast<double>(stats[0]),
+                        static_cast<double>(stats[1]), workers);
+                const comm::Codec* codec = nullptr;
+                if (codec_policy.has_value()) {
+                  const double mean_abs =
+                      stats[3] > 0.0f ? static_cast<double>(stats[2]) /
+                                            static_cast<double>(stats[3])
+                                      : 0.0;
+                  codec = codec_policy->choose(t, mean_abs);
+                  algo_picker->set_codec_cost(
+                      codec != nullptr
+                          ? comm::codec_wire_bytes_per_value(*codec)
+                          : 4.0);
+                }
                 const sparse::AlgoChoice choice = algo_picker->choose(
-                    density[0] / static_cast<float>(workers), cfg.vocab,
-                    cfg.dim, workers);
+                    est, cfg.vocab, cfg.dim, workers);
+                SparseRows g = my_grad;
+                if (use_ef && codec != nullptr && !codec->lossless()) {
+                  g = g.coalesced();
+                  sparse_ef[static_cast<size_t>(t)].apply(g, *codec);
+                }
                 SparseRows total =
                     grp != nullptr
-                        ? comm::sparse_allreduce(*grp, my_grad, choice.algo,
-                                                 choice.chunk_bytes)
-                        : comm::sparse_allreduce(comm_ch, my_grad,
-                                                 choice.algo,
-                                                 choice.chunk_bytes);
+                        ? comm::sparse_allreduce(*grp, g, choice.algo,
+                                                 choice.chunk_bytes, codec)
+                        : comm::sparse_allreduce(comm_ch, g, choice.algo,
+                                                 choice.chunk_bytes, codec);
                 sparse::AlgoPicker::record(
-                    choice,
-                    static_cast<int64_t>(my_grad.packed_byte_size()));
+                    choice, static_cast<int64_t>(g.packed_byte_size()));
                 sparse_opts[t]->apply(replicas[t]->table(), total.coalesced(),
                                       nn::SparseStep::kFull);
               }));
@@ -614,19 +749,39 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
           break;
         }
         case StrategyKind::kEmbRaceNoVss: {
+          // Codec choice + error feedback happen here on the main thread
+          // (adaptive mode allreduces the |grad| mass on main_ch, like the
+          // id exchange above); the wire work runs on the comm thread.
+          const comm::Codec* codec = choose_table_codec(main_ch, t, my_grad);
+          if (use_ef && codec != nullptr && !codec->lossless()) {
+            my_grad = my_grad.coalesced();
+            sparse_ef[static_cast<size_t>(t)].apply(my_grad, *codec);
+          }
           emb_handles.push_back(sch.submit(
               make_desc(emb_op("embgrad", step, t), fifo_priority(),
                         grad_bytes, sched::OpKind::kOther),
-              [&, t, my_grad] {
+              [&, t, my_grad, codec] {
                 // No VSS -> no coalescing pass: the uncoalesced gradient
                 // goes on the wire; the shard coalesces before applying.
-                SparseRows g = shards[t]->exchange_grad(comm_ch, my_grad, grp);
+                SparseRows g =
+                    shards[t]->exchange_grad(comm_ch, my_grad, grp, codec);
                 sparse_opts[t]->apply(shards[t]->shard(), g,
                                       nn::SparseStep::kFull);
               }));
           break;
         }
         case StrategyKind::kEmbRace: {
+          // Error feedback is applied to the WHOLE gradient before
+          // Algorithm 1's vertical split: the residual row-aligns with the
+          // coalesced gradient, and both the prior and delayed parts then
+          // carry already-projected values (re-encoding a projected payload
+          // on the wire is idempotent, so the split adds no extra error and
+          // the modified-Adam prior/delayed sequencing is untouched).
+          const comm::Codec* codec = choose_table_codec(main_ch, t, my_grad);
+          if (use_ef && codec != nullptr && !codec->lossless()) {
+            my_grad = my_grad.coalesced();
+            sparse_ef[static_cast<size_t>(t)].apply(my_grad, *codec);
+          }
           // Algorithm 1 on the GPU-idle window after BP, per table.
           auto split = sched::vertical_sparse_schedule(
               my_grad, seg.ids[t], flatten(all_next[t]));
@@ -637,8 +792,9 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
           emb_handles.push_back(sch.submit(
               make_desc(emb_op("prior", step, t), Priorities::prior(step, t),
                         prior_bytes, sched::OpKind::kSparsePrior),
-              [&, t, prior = std::move(split.prior)] {
-                SparseRows g = shards[t]->exchange_grad(comm_ch, prior, grp);
+              [&, t, codec, prior = std::move(split.prior)] {
+                SparseRows g =
+                    shards[t]->exchange_grad(comm_ch, prior, grp, codec);
                 sparse_opts[t]->apply(shards[t]->shard(), g,
                                       nn::SparseStep::kPrior);
               }));
@@ -649,8 +805,9 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
               make_desc(emb_op("delayed", step, t),
                         Priorities::delayed(step, t), delayed_bytes,
                         sched::OpKind::kSparseDelayed),
-              [&, t, delayed = std::move(split.delayed)] {
-                SparseRows g = shards[t]->exchange_grad(comm_ch, delayed, grp);
+              [&, t, codec, delayed = std::move(split.delayed)] {
+                SparseRows g =
+                    shards[t]->exchange_grad(comm_ch, delayed, grp, codec);
                 sparse_opts[t]->apply(shards[t]->shard(), g,
                                       nn::SparseStep::kDelayed);
               });

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 
 #include "common/error.h"
 #include "common/logging.h"
@@ -20,10 +21,24 @@ void atomic_add_double(std::atomic<uint64_t>& bits, double v) {
   }
 }
 
+// Same bit-packing trick for a running max; only advances the cell.
+void atomic_max_double(std::atomic<uint64_t>& bits, double v) {
+  uint64_t old_bits = bits.load(std::memory_order_relaxed);
+  while (std::bit_cast<double>(old_bits) < v &&
+         !bits.compare_exchange_weak(old_bits, std::bit_cast<uint64_t>(v),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+constexpr uint64_t kNegInfBits =
+    std::bit_cast<uint64_t>(-std::numeric_limits<double>::infinity());
+
 }  // namespace
 
 Histogram::Histogram(std::vector<double> upper_edges)
-    : edges_(std::move(upper_edges)), buckets_(edges_.size() + 1) {
+    : edges_(std::move(upper_edges)),
+      buckets_(edges_.size() + 1),
+      max_bits_(kNegInfBits) {
   EMBRACE_CHECK(!edges_.empty(), << "histogram needs at least one edge");
   EMBRACE_CHECK(std::is_sorted(edges_.begin(), edges_.end()) &&
                     std::adjacent_find(edges_.begin(), edges_.end()) ==
@@ -37,6 +52,7 @@ void Histogram::observe(double v) {
       std::lower_bound(edges_.begin(), edges_.end(), v) - edges_.begin());
   buckets_[i].fetch_add(1, std::memory_order_relaxed);
   atomic_add_double(sum_bits_, v);
+  atomic_max_double(max_bits_, v);
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
@@ -48,6 +64,9 @@ Histogram::Snapshot Histogram::snapshot() const {
   }
   for (int64_t c : s.bucket_counts) s.count += c;
   s.sum = std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  const double max =
+      std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+  s.max = s.count > 0 ? max : 0.0;
   return s;
 }
 
@@ -62,8 +81,10 @@ double Histogram::Snapshot::quantile(double q) const {
     if (in_bucket == 0) continue;
     if (static_cast<double>(cum + in_bucket) >= target) {
       if (i >= upper_edges.size()) {
-        // +Inf bucket: no upper bound to interpolate toward.
-        return upper_edges.back();
+        // +Inf bucket: no upper bound to interpolate toward. Report the
+        // observed max — every observation here exceeds the last finite
+        // edge, so clamping to that edge would underreport the tail.
+        return std::max(max, upper_edges.back());
       }
       const double lo = (i == 0) ? 0.0 : upper_edges[i - 1];
       const double hi = upper_edges[i];
@@ -79,6 +100,7 @@ double Histogram::Snapshot::quantile(double q) const {
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   sum_bits_.store(0, std::memory_order_relaxed);
+  max_bits_.store(kNegInfBits, std::memory_order_relaxed);
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
@@ -170,6 +192,8 @@ std::string MetricsRegistry::json() const {
     append_json_escaped(out, name);
     out += "\":{\"count\":" + std::to_string(h.count) + ",\"sum\":";
     append_json_number(out, h.sum);
+    out += ",\"max\":";
+    append_json_number(out, h.max);
     out += ",\"p50\":";
     append_json_number(out, h.quantile(0.50));
     out += ",\"p95\":";

@@ -68,11 +68,15 @@ class Histogram {
     std::vector<int64_t> bucket_counts;  // upper_edges.size() + 1 (+Inf last)
     int64_t count = 0;                   // always == sum(bucket_counts)
     double sum = 0.0;
+    double max = 0.0;  // largest observation so far (0 when count == 0)
 
     // Estimated q-quantile (q in [0,1]) by linear interpolation inside the
     // bucket that contains the q-th observation. The first bucket
-    // interpolates from 0, the +Inf bucket clamps to the last finite edge.
-    // Returns 0 for an empty histogram.
+    // interpolates from 0; when the target rank lands in the +Inf overflow
+    // bucket there is no upper edge to interpolate toward, so the observed
+    // max is returned (clamping to the last finite edge would silently
+    // underreport p95/p99 for out-of-range tails). Returns 0 for an empty
+    // histogram.
     double quantile(double q) const;
   };
   Snapshot snapshot() const;
@@ -87,6 +91,9 @@ class Histogram {
   // so count == sum(buckets) holds by construction even while writers race.
   std::vector<std::atomic<int64_t>> buckets_;
   std::atomic<uint64_t> sum_bits_{0};
+  // Running max as double bits, seeded with -inf so any observation
+  // (including negative ones) replaces it.
+  std::atomic<uint64_t> max_bits_;
 };
 
 class MetricsRegistry {
@@ -110,7 +117,7 @@ class MetricsRegistry {
 
   // The snapshot serialized as JSON:
   //   {"counters":{...},"gauges":{...},
-  //    "histograms":{"name":{"count":N,"sum":S,
+  //    "histograms":{"name":{"count":N,"sum":S,"max":M,
   //                          "p50":...,"p95":...,"p99":...,
   //                          "buckets":[{"le":1,"count":3},...,
   //                                     {"le":"+Inf","count":7}]}}}

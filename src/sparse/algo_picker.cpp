@@ -13,10 +13,13 @@ namespace embrace::sparse {
 namespace {
 
 // Wire size of a sparse payload over a (rows × dim) space at `density`:
-// header + indices (8B/row) + values (4B/element).
-double sparse_payload_bytes(double density, int64_t rows, int64_t dim) {
+// header + indices (8B/row) + values (value_bytes per element — 4 raw,
+// less under a wire codec; sparse_collectives.h keeps header and indices
+// uncompressed).
+double sparse_payload_bytes(double density, int64_t rows, int64_t dim,
+                            double value_bytes) {
   const double nnz = density * static_cast<double>(rows);
-  return 24.0 + nnz * (8.0 + 4.0 * static_cast<double>(dim));
+  return 24.0 + nnz * (8.0 + value_bytes * static_cast<double>(dim));
 }
 
 double dense_payload_bytes(int64_t rows, int64_t dim) {
@@ -137,54 +140,120 @@ std::optional<CostParams> CostParams::from_measured(
   return p;
 }
 
+DensityEstimate DensityEstimate::independent(double per_rank, int world) {
+  DensityEstimate est;
+  est.per_rank = std::clamp(per_rank, 0.0, 1.0);
+  est.merged = merged_density(est.per_rank, static_cast<double>(world));
+  return est;
+}
+
+DensityEstimate DensityEstimate::from_allreduced(double sum_density,
+                                                 double sum_log1m,
+                                                 int world) {
+  EMBRACE_CHECK_GE(world, 1);
+  DensityEstimate est;
+  est.per_rank =
+      std::clamp(sum_density / static_cast<double>(world), 0.0, 1.0);
+  // exp(Σ log(1−d_r)) is the exact miss probability when rows are drawn
+  // independently *per the actual density distribution* — unlike raising
+  // the mean to the world'th power, it is not fooled by skew (one d_r = 0.9
+  // rank among near-zero ranks yields a union ≥ 0.9, where the mean-based
+  // form predicts far less). A d_r = 1 rank contributes −inf and exp gives
+  // a union of exactly 1. The clamp enforces the overlap-free bounds that
+  // hold for ANY correlation structure: union ∈ [max d_r ≥ d̄, min(1, Σd_r)].
+  const double independent_union = 1.0 - std::exp(sum_log1m);
+  est.merged = std::clamp(independent_union, est.per_rank,
+                          std::min(1.0, std::max(sum_density, 0.0)));
+  return est;
+}
+
 AlgoPicker::AlgoPicker(AlgoMode mode, CostParams params, int64_t chunk_bytes)
     : mode_(mode), params_(params), chunk_bytes_(chunk_bytes) {}
 
+void AlgoPicker::set_codec_cost(double wire_bytes_per_value) {
+  EMBRACE_CHECK_GT(wire_bytes_per_value, 0.0);
+  analytic_value_bytes_ = wire_bytes_per_value;
+}
+
+void AlgoPicker::observe_compression(double bytes_out_per_in) {
+  if (!(bytes_out_per_in > 0.0)) return;  // also rejects NaN
+  measured_ratio_ewma_ = measured_ratio_ewma_ == 0.0
+                             ? bytes_out_per_in
+                             : 0.8 * measured_ratio_ewma_ +
+                                   0.2 * bytes_out_per_in;
+}
+
+double AlgoPicker::value_bytes() const {
+  return measured_ratio_ewma_ > 0.0 ? 4.0 * measured_ratio_ewma_
+                                    : analytic_value_bytes_;
+}
+
 double AlgoPicker::predict_us(comm::SparseAlgoKind algo, double density,
                               int64_t rows, int64_t dim, int world) const {
+  return predict_us(algo, DensityEstimate::independent(density, world), rows,
+                    dim, world);
+}
+
+double AlgoPicker::predict_us(comm::SparseAlgoKind algo,
+                              const DensityEstimate& est, int64_t rows,
+                              int64_t dim, int world) const {
   EMBRACE_CHECK_GE(world, 1);
-  density = std::clamp(density, 0.0, 1.0);
+  const double density = std::clamp(est.per_rank, 0.0, 1.0);
+  const double merged_full = std::clamp(est.merged, density, 1.0);
   if (world == 1) return 0.0;
   const comm::LinkCost& link = params_.link;
   const double n = static_cast<double>(world);
+  const double vb = value_bytes();
   switch (algo) {
     case comm::SparseAlgoKind::kSplitAllgather: {
       // Each rank ships its whole payload to every peer: (N−1)(α + S/B).
-      const double s = sparse_payload_bytes(density, rows, dim);
+      // Per-rank payload sizes add linearly, so the *mean* per-rank density
+      // prices the total volume exactly regardless of overlap structure.
+      const double s = sparse_payload_bytes(density, rows, dim, vb);
       return (n - 1.0) *
              (link.alpha_us + wire_us(link, s, params_.allgather_eff));
     }
     case comm::SparseAlgoKind::kRecursiveDoubling: {
-      // Round r exchanges the merge of 2^r ranks' rows; its density is the
-      // union 1 − (1−d)^(2^r) (independent-row approximation — exact for
-      // uniform random hot sets, pessimistic for skewed ones, which only
-      // shrinks the payload further). Non-power-of-two worlds add a fold-in
-      // and a return leg on the critical path.
+      // Round r exchanges the merge of 2^r ranks' rows. Its density is
+      // bracketed by the independent-rows union of the per-rank mean from
+      // below and the measured final union from above, with the in-between
+      // rounds ramped as 1 − (1−merged)^(2^r/p) — calibrated to land on
+      // the measured union at the last round, and reducing exactly to the
+      // old 1 − (1−d)^(2^r) form when the estimate itself is the
+      // independence one. Non-power-of-two worlds add a fold-in leg (one
+      // per-rank payload) and a return leg (the full merged result) on the
+      // critical path.
       const int p = std::bit_floor(static_cast<unsigned>(world));
       const int rounds = std::countr_zero(static_cast<unsigned>(p));
       double t = 0.0;
       for (int r = 0; r < rounds; ++r) {
         // 2^r via ldexp: round counts reach 10 at 1024 ranks and the shift
         // form `1 << r` is one refactor away from widening UB.
-        const double merged = merged_density(density, std::ldexp(1.0, r));
+        const double k = std::ldexp(1.0, r);
+        const double ramp =
+            1.0 - std::pow(1.0 - merged_full, k / static_cast<double>(p));
+        const double round_density = std::min(
+            merged_full, std::max(merged_density(density, k), ramp));
         t += link.alpha_us +
-             wire_us(link, sparse_payload_bytes(merged, rows, dim),
+             wire_us(link, sparse_payload_bytes(round_density, rows, dim, vb),
                      params_.alltoall_eff);
       }
       if (p < world) {
-        const double full = merged_density(density, n);
         t += 2.0 * link.alpha_us +
-             wire_us(link, sparse_payload_bytes(density, rows, dim),
+             wire_us(link, sparse_payload_bytes(density, rows, dim, vb),
                      params_.alltoall_eff) +
-             wire_us(link, sparse_payload_bytes(full, rows, dim),
+             wire_us(link, sparse_payload_bytes(merged_full, rows, dim, vb),
                      params_.alltoall_eff);
       }
       return t;
     }
     case comm::SparseAlgoKind::kDenseRing: {
       // 2(N−1) ring steps of M/N, each split into ceil(block/chunk)
-      // messages that pay α individually.
-      const double block = dense_payload_bytes(rows, dim) / n;
+      // messages that pay α individually. The runtime encodes every ring
+      // slice under the active codec, so the block size scales with the
+      // codec's bytes/value.
+      const double block =
+          dense_payload_bytes(rows, dim) * (vb / 4.0) / n;
       const double msgs =
           chunk_bytes_ > 0
               ? std::max(1.0,
@@ -198,12 +267,14 @@ double AlgoPicker::predict_us(comm::SparseAlgoKind algo, double density,
       // Two-tier pricing of comm::hierarchical_allreduce, stage for stage
       // (mirrors simnet::CollectiveCostModel::allreduce_two_level). With no
       // node structure the runtime falls back to the flat dense ring, so
-      // price it identically.
+      // price it identically. Only the inter-node leader stage is encoded
+      // (hierarchical_collectives.h keeps the intra stages exact), so only
+      // its term scales with the codec's bytes/value.
       const int nodes = params_.nodes;
       const int g = params_.gpus_per_node;
       if (nodes <= 1 || g <= 1) {
-        return predict_us(comm::SparseAlgoKind::kDenseRing, density, rows,
-                          dim, world);
+        return predict_us(comm::SparseAlgoKind::kDenseRing, est, rows, dim,
+                          world);
       }
       const comm::LinkCost& intra = params_.intra;
       const double m = dense_payload_bytes(rows, dim);
@@ -211,10 +282,12 @@ double AlgoPicker::predict_us(comm::SparseAlgoKind algo, double density,
       // Intra-node reduce-scatter + chunk gather to the leader.
       double t = 2.0 * (g - 1) *
                  (intra.alpha_us + wire_us(intra, chunk, params_.allreduce_eff));
-      // Inter-node ring AllReduce of the full vector across the leaders.
+      // Inter-node ring AllReduce of the full vector across the leaders
+      // (the codec-compressed stage).
       t += 2.0 * (nodes - 1) *
-           (link.alpha_us + wire_us(link, m / static_cast<double>(nodes),
-                                    params_.allreduce_eff));
+           (link.alpha_us +
+            wire_us(link, m * (vb / 4.0) / static_cast<double>(nodes),
+                    params_.allreduce_eff));
       // Intra-node binomial broadcast of the finished vector.
       const double bcast_rounds =
           std::ceil(std::log2(static_cast<double>(g)));
@@ -228,10 +301,11 @@ double AlgoPicker::predict_us(comm::SparseAlgoKind algo, double density,
 
 double AlgoPicker::crossover_density(int64_t rows, int64_t dim,
                                      int world) const {
-  // Equate (N−1)(α + dR(8+4D)/(β·ag)) with 2(N−1)(α + 4RD/(N·β·ar)),
-  // dropping the constant header. With no bandwidth model (β = 0) both
-  // sides are pure latency and the dense ring (2× the latency terms) never
-  // wins: the sparse format is free at any density.
+  // Equate (N−1)(α + dR(8+vD)/(β·ag)) with 2(N−1)(α + vRD/(N·β·ar)),
+  // dropping the constant header (v = value_bytes; both paths encode their
+  // value sections, so v appears on both sides). With no bandwidth model
+  // (β = 0) both sides are pure latency and the dense ring (2× the latency
+  // terms) never wins: the sparse format is free at any density.
   if (world <= 1 || rows <= 0 || dim <= 0) return 1.0;
   const double beta = params_.link.bytes_per_us;
   if (beta <= 0.0) return 1.0;
@@ -240,14 +314,22 @@ double AlgoPicker::crossover_density(int64_t rows, int64_t dim,
   const double n = static_cast<double>(world);
   const double ag = params_.allgather_eff;
   const double ar = params_.allreduce_eff;
+  const double vb = value_bytes();
   const double crossover =
-      (params_.link.alpha_us * beta * ag + 8.0 * r * d * ag / (n * ar)) /
-      (r * (8.0 + 4.0 * d));
+      (params_.link.alpha_us * beta * ag +
+       2.0 * vb * r * d * ag / (n * ar)) /
+      (r * (8.0 + vb * d));
   return std::clamp(crossover, 0.0, 1.0);
 }
 
 AlgoChoice AlgoPicker::choose(double density, int64_t rows, int64_t dim,
                               int world) const {
+  return choose(DensityEstimate::independent(density, world), rows, dim,
+                world);
+}
+
+AlgoChoice AlgoPicker::choose(const DensityEstimate& est, int64_t rows,
+                              int64_t dim, int world) const {
   AlgoChoice choice;
   choice.chunk_bytes = chunk_bytes_;
   switch (mode_) {
@@ -278,7 +360,7 @@ AlgoChoice AlgoPicker::choose(double density, int64_t rows, int64_t dim,
       double best = -1.0;
       for (comm::SparseAlgoKind k : kCandidates) {
         if (k == comm::SparseAlgoKind::kTwoLevelRing && !two_tier) continue;
-        const double cost = predict_us(k, density, rows, dim, world);
+        const double cost = predict_us(k, est, rows, dim, world);
         if (best < 0.0 || cost < best) {
           best = cost;
           choice.algo = k;
@@ -287,7 +369,7 @@ AlgoChoice AlgoPicker::choose(double density, int64_t rows, int64_t dim,
       break;
     }
   }
-  choice.predicted_us = predict_us(choice.algo, density, rows, dim, world);
+  choice.predicted_us = predict_us(choice.algo, est, rows, dim, world);
   return choice;
 }
 

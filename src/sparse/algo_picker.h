@@ -82,6 +82,42 @@ struct CostParams {
                                                  int64_t min_samples = 2);
 };
 
+// Two-moment density estimate for one sparse op: the mean per-rank
+// distinct-row density (what each rank's own payload costs on the wire)
+// and the union density of the post-reduce result (what the merged
+// payloads of recursive doubling's later rounds — and the allgather's
+// coalesced output — actually occupy).
+//
+// The old single-density interface conflated the two: it fed the mean
+// per-rank density everywhere and re-derived the union under an
+// independent-rows assumption, 1 − (1−d̄)^k. That is exact for uniform
+// random hot sets but wrong in both tails — for N disjoint hot sets the
+// true union approaches min(1, N·d̄) (up to workers× denser than the
+// independence estimate), and for fully overlapping hot sets it stays at
+// d̄ (the independence estimate overshoots) — so the dense-ring/two-level
+// crossover was mispredicted by up to workers×. Carrying the measured
+// union fixes the estimator without changing the wire protocols.
+//
+// Both moments are rank-agreeable from one float AllReduce: each rank
+// contributes (d_r, log1p(−d_r)) and every rank derives the same estimate
+// via from_allreduced (Σ log(1−d_r) is the exact union under independence
+// *of the actual per-rank densities*, not of their mean, and the result
+// is clamped into the [max d̄, min(1, Σd_r)] envelope that holds for any
+// overlap structure).
+struct DensityEstimate {
+  double per_rank = 0.0;  // mean per-rank distinct-row density
+  double merged = 0.0;    // union density of the post-reduce result
+  // Legacy independence assumption: merged = 1 − (1−per_rank)^world.
+  // The single-density predict_us/choose overloads delegate through this,
+  // so their behavior is unchanged.
+  static DensityEstimate independent(double per_rank, int world);
+  // From the rank-summed moments: `sum_density` = Σ d_r and `sum_log1m` =
+  // Σ log1p(−d_r) over all `world` ranks (a rank with d_r = 1 contributes
+  // −inf, which flows through exp() to a union of exactly 1).
+  static DensityEstimate from_allreduced(double sum_density,
+                                         double sum_log1m, int world);
+};
+
 // One decision: which wire variant, its chunking, and the predicted cost.
 struct AlgoChoice {
   comm::SparseAlgoKind algo = comm::SparseAlgoKind::kSplitAllgather;
@@ -99,14 +135,23 @@ class AlgoPicker {
   const CostParams& params() const { return params_; }
 
   // Predicted one-op wall cost in µs for a gradient over a (rows × dim)
-  // row space with `density` distinct-row fraction on a `world`-rank
-  // fabric. Pure functions of their arguments — identical on every rank.
+  // row space on a `world`-rank fabric. Pure functions of their arguments
+  // plus the picker's codec-cost state — identical on every rank as long
+  // as set_codec_cost/observe_compression are fed rank-agreed values.
+  // Per-rank payloads (allgather legs, recursive doubling's first round)
+  // are priced at est.per_rank; merged payloads ramp from per_rank toward
+  // est.merged round by round.
+  double predict_us(comm::SparseAlgoKind algo, const DensityEstimate& est,
+                    int64_t rows, int64_t dim, int world) const;
+  // Single-density convenience: delegates through
+  // DensityEstimate::independent (the legacy behavior, bit for bit).
   double predict_us(comm::SparseAlgoKind algo, double density, int64_t rows,
                     int64_t dim, int world) const;
 
   // Closed-form density where split-allgather and the dense ring predict
-  // equal cost (monolithic transfers), clamped to [0, 1]:
-  //   d* = (α·β·ag_eff + 8·R·D·ag_eff / (N·ar_eff)) / (R·(8 + 4D))
+  // equal cost (monolithic transfers), clamped to [0, 1]. With v =
+  // value_bytes() (4 when no codec is active):
+  //   d* = (α·β·ag_eff + 2v·R·D·ag_eff / (N·ar_eff)) / (R·(8 + v·D))
   // Densities below d* favor the sparse wire format, above it the dense
   // fallback. 1.0 when the dense ring never wins (e.g. world == 1).
   double crossover_density(int64_t rows, int64_t dim, int world) const;
@@ -114,8 +159,26 @@ class AlgoPicker {
   // The decision: cheapest predicted variant in kAuto, the forced variant
   // otherwise (its predicted cost still filled in). Deterministic ties
   // break toward allgather, then recursive doubling.
+  AlgoChoice choose(const DensityEstimate& est, int64_t rows, int64_t dim,
+                    int world) const;
+  // Single-density convenience: delegates through
+  // DensityEstimate::independent (the legacy behavior, bit for bit).
   AlgoChoice choose(double density, int64_t rows, int64_t dim,
                     int world) const;
+
+  // Wire cost of one gradient value under the active codec (bytes/value;
+  // 4.0 = uncompressed floats). Scales the value sections of the sparse
+  // payload model and the compressed stages of the dense models (the whole
+  // ring for kDenseRing, the inter-node stage only for kTwoLevelRing —
+  // mirroring which stages the runtime actually encodes). Seed it with
+  // comm::codec_wire_bytes_per_value(codec); feed observe_compression with
+  // the measured rank-agreed bytes_out/bytes_in ratio to refine the
+  // analytic seed online (EWMA; measured wins once any sample exists).
+  // SPMD contract: both must be fed identical values on every rank, or the
+  // predicted costs — and hence the picks — split-brain.
+  void set_codec_cost(double wire_bytes_per_value);
+  void observe_compression(double bytes_out_per_in);
+  double value_bytes() const;  // effective bytes/value used by the model
 
   // Observability for a decision actually executed: bumps the per-algorithm
   // pick/byte counters ("sparse.algo.picks{algo=...}",
@@ -127,6 +190,10 @@ class AlgoPicker {
   AlgoMode mode_;
   CostParams params_;
   int64_t chunk_bytes_;
+  // Codec wire cost: analytic seed (4.0 = raw floats) and the EWMA of
+  // measured compression ratios (0 = no samples yet; see value_bytes()).
+  double analytic_value_bytes_ = 4.0;
+  double measured_ratio_ewma_ = 0.0;
 };
 
 }  // namespace embrace::sparse

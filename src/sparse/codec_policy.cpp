@@ -1,0 +1,50 @@
+#include "sparse/codec_policy.h"
+
+#include <string>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace embrace::sparse {
+namespace {
+
+void record_pick(comm::CodecKind kind) {
+  obs::counter(std::string("codec.policy.picks{codec=") +
+               comm::codec_kind_name(kind) + "}")
+      .increment();
+}
+
+}  // namespace
+
+CodecPolicy::CodecPolicy(CodecPolicyConfig cfg) : cfg_(cfg) {
+  EMBRACE_CHECK(cfg_.topk_fraction > 0.0 && cfg_.topk_fraction <= 1.0,
+                << "topk_fraction must be in (0,1], got "
+                << cfg_.topk_fraction);
+  if (cfg_.adaptive) {
+    cast_ = comm::make_codec(comm::CodecKind::kBf16);
+    topk_ = comm::make_codec(comm::CodecKind::kTopK, cfg_.topk_fraction);
+  } else if (cfg_.base != comm::CodecKind::kIdentity) {
+    base_ = comm::make_codec(cfg_.base, cfg_.topk_fraction);
+  }
+}
+
+const comm::Codec* CodecPolicy::choose(int table,
+                                       double mean_abs_grad) const {
+  obs::gauge("codec.policy.grad_abs{table=" + std::to_string(table) + "}")
+      .set(mean_abs_grad);
+  if (!cfg_.adaptive) {
+    record_pick(cfg_.base);
+    return base_.get();  // nullptr for identity: raw fast path
+  }
+  const comm::Codec* pick =
+      mean_abs_grad >= cfg_.cast_floor ? cast_.get() : topk_.get();
+  record_pick(pick->kind());
+  return pick;
+}
+
+bool CodecPolicy::may_be_lossy() const {
+  if (cfg_.adaptive) return true;
+  return base_ != nullptr && !base_->lossless();
+}
+
+}  // namespace embrace::sparse

@@ -1,0 +1,60 @@
+// Per-table wire-codec selection (DESIGN.md §14).
+//
+// The dual-level adaptive compression literature observes that embedding
+// tables tolerate very different compression: tables whose gradients carry
+// large magnitudes (hot, information-dense) want high-fidelity casts, while
+// small-magnitude tails tolerate aggressive top-k sparsification once error
+// feedback re-injects the dropped mass. CodecPolicy encodes that decision:
+// a fixed base codec straight from TrainConfig, or — in adaptive mode — a
+// per-op choice driven by the table's rank-agreed mean |gradient|.
+//
+// SPMD contract: choose() must be fed the *same* magnitude on every rank
+// (the trainer allreduces it first). The decision is a pure function of its
+// arguments plus the immutable config, so rank agreement of the inputs
+// implies rank agreement of the codec — a split-brain codec would desync
+// the byte streams exactly like a split-brain AlgoPicker choice.
+#pragma once
+
+#include "comm/codec.h"
+
+namespace embrace::sparse {
+
+struct CodecPolicyConfig {
+  // Base codec applied when not adaptive (kIdentity disables compression).
+  comm::CodecKind base = comm::CodecKind::kIdentity;
+  // Adaptive mode: pick per table from observed gradient magnitude.
+  bool adaptive = false;
+  // Kept fraction for top-k, in (0, 1].
+  double topk_fraction = 0.2;
+  // Adaptive threshold on the rank-agreed mean |grad|: at or above it the
+  // table gets a bf16 cast (keep resolution on high-signal gradients),
+  // below it top-k (sparsify the low-magnitude tail under error feedback).
+  double cast_floor = 1e-3;
+};
+
+class CodecPolicy {
+ public:
+  explicit CodecPolicy(CodecPolicyConfig cfg);
+
+  // The codec for one sparse op of `table`, given the table's rank-agreed
+  // mean absolute gradient. Returns nullptr when the pick is identity (no
+  // compression stage at all — the collectives keep their raw fast path).
+  // Also publishes codec.policy.grad_abs{table=…} gauges and bumps
+  // codec.policy.picks{codec=…} counters in the metrics registry.
+  const comm::Codec* choose(int table, double mean_abs_grad) const;
+
+  const CodecPolicyConfig& config() const { return cfg_; }
+  // True when choose() may return a lossy codec — the trainer keys its
+  // error-feedback state on this.
+  bool may_be_lossy() const;
+
+ private:
+  CodecPolicyConfig cfg_;
+  // One instance per kind, built up front; choose() hands out non-owning
+  // pointers, valid for the policy's lifetime.
+  std::unique_ptr<comm::Codec> cast_;
+  std::unique_ptr<comm::Codec> topk_;
+  std::unique_ptr<comm::Codec> base_;
+};
+
+}  // namespace embrace::sparse

@@ -431,6 +431,195 @@ TEST(AlgoPicker, ChoiceIsDeterministic) {
   }
 }
 
+// --- two-moment density estimate (the allgather-path estimator fix) ---
+
+TEST(DensityEstimate, IndependentMatchesLegacyForm) {
+  const DensityEstimate est = DensityEstimate::independent(0.25, 4);
+  EXPECT_DOUBLE_EQ(est.per_rank, 0.25);
+  EXPECT_DOUBLE_EQ(est.merged, 1.0 - std::pow(0.75, 4));
+  const DensityEstimate solo = DensityEstimate::independent(0.25, 1);
+  EXPECT_DOUBLE_EQ(solo.merged, 0.25);
+  EXPECT_DOUBLE_EQ(DensityEstimate::independent(0.0, 8).merged, 0.0);
+  EXPECT_DOUBLE_EQ(DensityEstimate::independent(1.0, 8).merged, 1.0);
+}
+
+TEST(DensityEstimate, FromAllreducedSeesThroughSkew) {
+  // One d = 0.9 rank among three near-zero ranks. The mean-based legacy
+  // form predicts a union of 1-(1-0.225)^4 ~ 0.64 — but the union can
+  // never be below the densest single rank. The log-moment form reports
+  // ~0.9 exactly.
+  const double sum_density = 0.9 + 3 * 1e-6;
+  const double sum_log1m = std::log1p(-0.9) + 3 * std::log1p(-1e-6);
+  const DensityEstimate est =
+      DensityEstimate::from_allreduced(sum_density, sum_log1m, 4);
+  EXPECT_NEAR(est.per_rank, 0.225, 1e-6);
+  EXPECT_NEAR(est.merged, 0.9, 1e-4);
+  EXPECT_GT(est.merged,
+            DensityEstimate::independent(est.per_rank, 4).merged + 0.2);
+}
+
+TEST(DensityEstimate, FromAllreducedClampsToOverlapFreeBounds) {
+  // Four ranks at d = 0.2: whatever the overlap structure, the union lies
+  // in [0.2, 0.8]; the independence point estimate is 1 - 0.8^4 = 0.5904.
+  const DensityEstimate est = DensityEstimate::from_allreduced(
+      0.8, 4 * std::log1p(-0.2), 4);
+  EXPECT_DOUBLE_EQ(est.per_rank, 0.2);
+  EXPECT_NEAR(est.merged, 1.0 - std::pow(0.8, 4), 1e-12);
+  EXPECT_GE(est.merged, est.per_rank);
+  EXPECT_LE(est.merged, 0.8);
+  // A saturated rank (d_r = 1 contributes -inf) forces the union to 1.
+  const double neg_inf = std::log1p(-1.0);
+  const DensityEstimate sat =
+      DensityEstimate::from_allreduced(1.0 + 0.1, neg_inf + std::log1p(-0.1),
+                                       2);
+  EXPECT_DOUBLE_EQ(sat.merged, 1.0);
+}
+
+TEST(AlgoPicker, SingleDensityOverloadsDelegateThroughIndependent) {
+  AlgoPicker picker(AlgoMode::kAuto, CostParams::from_simnet_defaults());
+  for (const double d : {0.01, 0.3, 0.9}) {
+    for (const int world : {2, 4, 8}) {
+      const DensityEstimate est = DensityEstimate::independent(d, world);
+      for (SparseAlgoKind k : kAllVariants) {
+        EXPECT_DOUBLE_EQ(picker.predict_us(k, d, 2048, 16, world),
+                         picker.predict_us(k, est, 2048, 16, world));
+      }
+      const AlgoChoice a = picker.choose(d, 2048, 16, world);
+      const AlgoChoice b = picker.choose(est, 2048, 16, world);
+      EXPECT_EQ(a.algo, b.algo);
+      EXPECT_DOUBLE_EQ(a.predicted_us, b.predicted_us);
+    }
+  }
+}
+
+// --- codec wire-cost model ---
+
+TEST(AlgoPicker, CodecCostScalesValueBytes) {
+  AlgoPicker picker(AlgoMode::kAuto, CostParams::from_simnet_defaults());
+  EXPECT_DOUBLE_EQ(picker.value_bytes(), 4.0);
+  picker.set_codec_cost(1.6);  // topk at fraction 0.2
+  EXPECT_DOUBLE_EQ(picker.value_bytes(), 1.6);
+  // A measured ratio overrides the analytic seed once any sample exists.
+  picker.observe_compression(0.5);
+  EXPECT_DOUBLE_EQ(picker.value_bytes(), 2.0);
+  picker.observe_compression(0.25);  // EWMA 0.8/0.2
+  EXPECT_DOUBLE_EQ(picker.value_bytes(), 4.0 * (0.8 * 0.5 + 0.2 * 0.25));
+  // Garbage samples are ignored.
+  const double before = picker.value_bytes();
+  picker.observe_compression(0.0);
+  picker.observe_compression(-1.0);
+  picker.observe_compression(std::nan(""));
+  EXPECT_DOUBLE_EQ(picker.value_bytes(), before);
+}
+
+TEST(AlgoPicker, CheaperValuesRaiseCrossoverWhenLatencyBound) {
+  // Compression scales the dense ring's volume by v/4 but cannot shrink its
+  // 2(N-1) per-step α floor, while the sparse payload's per-row wire cost
+  // drops with v — so at geometries where that floor carries real weight
+  // (d(d*)/dv < 0 iff 16R/(N·ar) > αβ·D... here R = 8192 « αβN·ar/16) the
+  // sparse format stays competitive to HIGHER densities under a codec:
+  //   d* = (αβ·ag + 2vRD·ag/(N·ar)) / (R(8 + vD)) rises as v falls.
+  AlgoPicker raw(AlgoMode::kAuto, CostParams::from_simnet_defaults());
+  AlgoPicker coded(AlgoMode::kAuto, CostParams::from_simnet_defaults());
+  coded.set_codec_cost(1.6);
+  const double d_raw = raw.crossover_density(8192, 32, 4);
+  const double d_coded = coded.crossover_density(8192, 32, 4);
+  EXPECT_GT(d_coded, d_raw);
+  // The closed form still equates the two predictions under the codec.
+  const double ag = coded.predict_us(SparseAlgoKind::kSplitAllgather, d_coded,
+                                     8192, 32, 4);
+  const double dense =
+      coded.predict_us(SparseAlgoKind::kDenseRing, d_coded, 8192, 32, 4);
+  EXPECT_NEAR(ag / dense, 1.0, 0.01);
+}
+
+// --- differential pick vs measured (the allgather-path misprediction) ---
+
+// Fully-overlapping hot sets: every rank touches the SAME k rows, so the
+// post-merge union stays at k/rows. The legacy single-density interface
+// re-derives the union under independence, 1-(1-d)^2^r per round — an
+// overestimate that inflates recursive doubling's later rounds until the
+// picker wrongly flips to the dense ring. Fed the true two-moment estimate
+// it keeps recursive doubling, which measurement confirms is the argmin.
+class PickVsMeasured : public ::testing::TestWithParam<int> {};
+
+TEST_P(PickVsMeasured, TwoMomentPickMatchesMeasuredArgmin) {
+  const int world = GetParam();
+  const int64_t rows = 256, dim = 8;
+  const int64_t hot = world == 4 ? 141 : 128;
+  const double d = static_cast<double>(hot) / static_cast<double>(rows);
+
+  // Per-message α dominates enough that round count matters; β = 1 byte/µs
+  // and unit efficiencies make predicted per-rank cost exactly 1/N of the
+  // α–β cost of the total measured traffic for these symmetric schedules.
+  CostParams params;
+  params.link.alpha_us = 300.0;
+  params.link.bytes_per_us = 1.0;
+  params.allgather_eff = 1.0;
+  params.allreduce_eff = 1.0;
+  params.alltoall_eff = 1.0;  // prices recursive doubling's exchanges
+  AlgoPicker picker(AlgoMode::kAuto, params, /*chunk_bytes=*/0);
+
+  const DensityEstimate est{d, d};  // identical hot sets: union == per-rank
+  const AlgoChoice fixed = picker.choose(est, rows, dim, world);
+  EXPECT_EQ(fixed.algo, SparseAlgoKind::kRecursiveDoubling)
+      << "world=" << world;
+  // The legacy single-density path mispredicts: the independence-inflated
+  // merge densities price recursive doubling above the dense ring.
+  const AlgoChoice legacy = picker.choose(d, rows, dim, world);
+  EXPECT_EQ(legacy.algo, SparseAlgoKind::kDenseRing) << "world=" << world;
+
+  // Measure each variant's real traffic on a fresh fabric and α–β-price it.
+  std::vector<SparseRows> grads;
+  Rng rng(43);
+  for (int r = 0; r < world; ++r) {
+    std::vector<int64_t> ids;
+    for (int64_t i = 0; i < hot; ++i) ids.push_back(i);
+    Rng vr = rng.split(static_cast<uint64_t>(r) + 1);
+    Tensor values = Tensor::randn({hot, dim}, vr);
+    values.scale_(0.125f);
+    grads.emplace_back(rows, ids, std::move(values));
+  }
+  // Baseline: harness traffic a no-op cluster generates (barriers etc.),
+  // identical across variants, subtracted so only collective bytes count.
+  comm::TrafficCounters base;
+  {
+    comm::Fabric fabric(world);
+    run_cluster(fabric, [](Communicator&) {});
+    base = fabric.total_traffic();
+  }
+  double best_cost = 0.0;
+  SparseAlgoKind best = SparseAlgoKind::kSplitAllgather;
+  bool first = true;
+  for (SparseAlgoKind algo : kAllVariants) {
+    comm::Fabric fabric(world);
+    run_cluster(fabric, [&](Communicator& comm) {
+      comm::sparse_allreduce(comm, grads[static_cast<size_t>(comm.rank())],
+                             algo, 0);
+    });
+    const comm::TrafficCounters t = fabric.total_traffic();
+    const double cost =
+        static_cast<double>(t.messages - base.messages) *
+            params.link.alpha_us +
+        static_cast<double>(t.bytes - base.bytes) / params.link.bytes_per_us;
+    if (first || cost < best_cost) {
+      best_cost = cost;
+      best = algo;
+      first = false;
+    }
+  }
+  EXPECT_EQ(best, SparseAlgoKind::kRecursiveDoubling) << "world=" << world;
+  EXPECT_EQ(best, fixed.algo) << "world=" << world;
+  // And the prediction is quantitatively right, not just ordinally: total
+  // measured cost is N x the per-rank wall estimate for this symmetric
+  // schedule (the sparse payload model drops only sub-percent rounding).
+  EXPECT_NEAR(best_cost,
+              static_cast<double>(world) * fixed.predicted_us,
+              0.02 * best_cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, PickVsMeasured, ::testing::Values(4, 8));
+
 TEST(AlgoPicker, RecordBumpsPerAlgorithmCounters) {
   AlgoChoice choice;
   choice.algo = SparseAlgoKind::kRecursiveDoubling;

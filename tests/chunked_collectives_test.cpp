@@ -13,6 +13,7 @@
 
 #include "comm/chunk_plan.h"
 #include "comm/chunked_collectives.h"
+#include "comm/codec.h"
 #include "comm/cluster.h"
 #include "comm/communicator.h"
 #include "common/rng.h"
@@ -127,6 +128,24 @@ TEST(ChunkedAllReduce, InterleavedCursorsOnOneChannel) {
   });
 }
 
+// A non-null identity codec must be wire-transparent: same bits as the
+// codec-less path (it round-trips every chunk through encode/decode buffers
+// but never alters a value).
+TEST(ChunkedAllReduce, IdentityCodecIsBitwiseTransparent) {
+  constexpr int kWorld = 4;
+  constexpr int64_t kElems = 777;
+  Fabric fabric(kWorld);
+  run_cluster(fabric, [&](Communicator& c) {
+    const std::vector<float> data = make_data(c.rank(), kElems, 23);
+    std::vector<float> plain = data;
+    allreduce_chunked(c, plain, 64);
+    const auto codec = make_codec(CodecKind::kIdentity);
+    std::vector<float> coded = data;
+    allreduce_chunked(c, coded, 64, ReduceOp::kSum, codec.get());
+    EXPECT_TRUE(bitwise_equal(plain, coded));
+  });
+}
+
 TEST(ChunkedAllReduce, SurvivesRecoverableFaultInjection) {
   constexpr int kWorld = 3;
   constexpr int64_t kElems = 1000;
@@ -173,6 +192,54 @@ TEST(ChunkPlan, CoversEveryElementInOrder) {
   // Degenerate shapes still yield exactly one (possibly empty) chunk.
   EXPECT_EQ(ChunkPlan::over(0, 64).num_chunks(), 1);
   EXPECT_EQ(ChunkPlan::over(10, 0).num_chunks(), 1);
+}
+
+// Sub-element chunk budgets degrade to 1-element quanta, never zero: a
+// zero-element chunk would make num_chunks unbounded and stall the ring.
+// The budget bounds granularity, not message size, so the chunks overshoot
+// the byte budget by up to one element and still cover every element.
+TEST(ChunkPlan, SubElementChunkBytesYieldsOneElemQuanta) {
+  for (const int64_t chunk_bytes : {int64_t{1}, int64_t{2}, int64_t{3}}) {
+    const ChunkPlan plan = ChunkPlan::over(7, chunk_bytes, sizeof(float));
+    EXPECT_EQ(plan.chunk_elems, 1) << "chunk_bytes=" << chunk_bytes;
+    EXPECT_EQ(plan.num_chunks(), 7);
+    for (int64_t i = 0; i < 7; ++i) {
+      EXPECT_EQ(plan.chunk(i), (std::pair<int64_t, int64_t>{i, i + 1}));
+    }
+  }
+  // Wider elements hit the same floor.
+  EXPECT_EQ(ChunkPlan::over(5, 7, 8).chunk_elems, 1);
+  // And the degenerate combination still yields the single empty chunk.
+  EXPECT_EQ(ChunkPlan::over(0, 1, 8).num_chunks(), 1);
+}
+
+// Zero-byte items can never push `filled` past the budget, so they merge
+// into the current bucket instead of spawning empty transfers — even when
+// the bucket already sits exactly at its budget, and even when they trail
+// the last real payload.
+TEST(ChunkPlan, ZeroByteItemsMergeIntoCurrentBucket) {
+  // Zero-byte trailing items ride the previous bucket.
+  const std::vector<int64_t> trailing = {100, 100, 0, 0, 0};
+  const auto t = plan_buckets(trailing, 200);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0], (std::pair<size_t, size_t>{0, 5}));
+  // A bucket exactly at budget still absorbs a zero-byte item; the next
+  // real payload is what closes it.
+  const std::vector<int64_t> exact = {200, 0, 1};
+  const auto e = plan_buckets(exact, 200);
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e[0], (std::pair<size_t, size_t>{0, 2}));
+  EXPECT_EQ(e[1], (std::pair<size_t, size_t>{2, 3}));
+  // Zero-byte items between payloads join the open bucket, not the next.
+  const std::vector<int64_t> interior = {150, 0, 100, 50};
+  const auto m = plan_buckets(interior, 200);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0], (std::pair<size_t, size_t>{0, 2}));
+  EXPECT_EQ(m[1], (std::pair<size_t, size_t>{2, 4}));
+  // All-zero runs collapse into one bucket...
+  EXPECT_EQ(plan_buckets(std::vector<int64_t>{0, 0, 0}, 64).size(), 1u);
+  // ...except under the per-item rule, which wins for zero bytes too.
+  EXPECT_EQ(plan_buckets(std::vector<int64_t>{0, 0, 0}, 0).size(), 3u);
 }
 
 TEST(ChunkPlan, PlanBucketsGreedyInOrder) {

@@ -10,7 +10,9 @@
 #include <numeric>
 #include <string>
 
+#include "comm/chunked_collectives.h"
 #include "comm/cluster.h"
+#include "comm/codec.h"
 #include "comm/sparse_collectives.h"
 #include "common/rng.h"
 #include "sparse/algo_picker.h"
@@ -441,6 +443,195 @@ TEST(CollectiveFaults, DeadLinkSurfacesAsTypedTimeout) {
   EXPECT_EQ(edges[1], (std::pair<int, int>{0, 1}));
   EXPECT_NE(errors[1].find("src=0"), std::string::npos) << errors[1];
   EXPECT_NE(errors[1].find("dst=1"), std::string::npos) << errors[1];
+}
+
+// --- codec roundtrips under fault injection (DESIGN.md §14) ---
+//
+// Fault recovery must be invisible through a codec stage: lossless paths
+// stay bitwise, lossy paths stay bitwise-DETERMINISTIC (the quantization is
+// a pure function of the payload, so drops/dups/reorders may reshuffle
+// wire traffic but never change a decoded bit). Codec instances are built
+// inside the rank body — top-k selection scratch is per-instance state and
+// not thread-safe across ranks.
+
+TEST_P(CollectiveFuzz, CodecIdentityChunkedBitwiseUnderChaos) {
+  Rng rng(seed() + 20);
+  const int ranks = static_cast<int>(rng.next_int(2, 5));
+  const int64_t elems = rng.next_int(1, 400);
+  std::vector<std::vector<float>> inputs(static_cast<size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    Rng vr = rng.split(static_cast<uint64_t>(r) + 51);
+    auto& v = inputs[static_cast<size_t>(r)];
+    v.resize(static_cast<size_t>(elems));
+    for (auto& x : v) x = static_cast<float>(vr.next_double(-2.0, 2.0));
+  }
+  std::vector<std::vector<float>> expected(static_cast<size_t>(ranks));
+  run_cluster(ranks, [&](Communicator& comm) {
+    auto data = inputs[static_cast<size_t>(comm.rank())];
+    comm.allreduce(data);
+    expected[static_cast<size_t>(comm.rank())] = std::move(data);
+  });
+  Fabric fabric(ranks);
+  fabric.set_fault_config(chaos_config(), seed() + 21);
+  fabric.set_recv_timeout(std::chrono::seconds(20));
+  run_cluster(fabric, [&](Communicator& comm) {
+    const auto codec = make_codec(CodecKind::kIdentity);
+    auto data = inputs[static_cast<size_t>(comm.rank())];
+    allreduce_chunked(comm, data, 64, ReduceOp::kSum, codec.get());
+    const auto& want = expected[static_cast<size_t>(comm.rank())];
+    ASSERT_EQ(std::memcmp(data.data(), want.data(),
+                          data.size() * sizeof(float)),
+              0);
+  });
+}
+
+TEST_P(CollectiveFuzz, CodecCastExactOnSmallIntsUnderChaos) {
+  // Integers well inside the casts' exact range (fp16: |v| <= 2048, bf16:
+  // |v| <= 256 — per-rank values bounded so every partial sum stays exact)
+  // survive per-hop quantization untouched, so even the LOSSY casts must
+  // reproduce the raw monolithic AllReduce bitwise.
+  Rng rng(seed() + 22);
+  const int ranks = static_cast<int>(rng.next_int(2, 5));
+  const int64_t elems = rng.next_int(1, 200);
+  std::vector<std::vector<float>> inputs(static_cast<size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    Rng vr = rng.split(static_cast<uint64_t>(r) + 61);
+    auto& v = inputs[static_cast<size_t>(r)];
+    v.resize(static_cast<size_t>(elems));
+    for (auto& x : v) x = static_cast<float>(vr.next_int(-31, 31));
+  }
+  std::vector<std::vector<float>> expected(static_cast<size_t>(ranks));
+  run_cluster(ranks, [&](Communicator& comm) {
+    auto data = inputs[static_cast<size_t>(comm.rank())];
+    comm.allreduce(data);
+    expected[static_cast<size_t>(comm.rank())] = std::move(data);
+  });
+  for (const CodecKind kind : {CodecKind::kFp16, CodecKind::kBf16}) {
+    Fabric fabric(ranks);
+    fabric.set_fault_config(chaos_config(), seed() + 23);
+    fabric.set_recv_timeout(std::chrono::seconds(20));
+    run_cluster(fabric, [&](Communicator& comm) {
+      const auto codec = make_codec(kind);
+      auto data = inputs[static_cast<size_t>(comm.rank())];
+      allreduce_chunked(comm, data, 32, ReduceOp::kSum, codec.get());
+      const auto& want = expected[static_cast<size_t>(comm.rank())];
+      ASSERT_EQ(std::memcmp(data.data(), want.data(),
+                            data.size() * sizeof(float)),
+                0)
+          << codec_kind_name(kind);
+    });
+  }
+}
+
+TEST_P(CollectiveFuzz, CodecTopKSparseAllreduceDeterministicUnderChaos) {
+  Rng rng(seed() + 24);
+  const int ranks = static_cast<int>(rng.next_int(2, 5));  // incl. non-pow2
+  const int64_t vocab = rng.next_int(8, 40);
+  const int64_t dim = rng.next_int(1, 6);
+  std::vector<SparseRows> grads;
+  for (int r = 0; r < ranks; ++r) {
+    const int64_t nnz = rng.next_int(0, 15);
+    std::vector<int64_t> ids;
+    for (int64_t i = 0; i < nnz; ++i) ids.push_back(rng.next_int(0, vocab - 1));
+    Rng vr = rng.split(static_cast<uint64_t>(r) + 71);
+    grads.emplace_back(vocab, ids, Tensor::randn({nnz, dim}, vr));
+  }
+  for (SparseAlgoKind algo : {SparseAlgoKind::kSplitAllgather,
+                              SparseAlgoKind::kRecursiveDoubling,
+                              SparseAlgoKind::kDenseRing}) {
+    // Clean-fabric reference: the bits every faulted run must reproduce.
+    std::vector<std::vector<float>> expected(static_cast<size_t>(ranks));
+    run_cluster(ranks, [&](Communicator& comm) {
+      const auto codec = make_codec(CodecKind::kTopK, 0.4);
+      SparseRows sum = sparse_allreduce(
+          comm, grads[static_cast<size_t>(comm.rank())], algo, 32,
+          codec.get());
+      const Tensor dense = sum.to_dense();
+      const auto flat = dense.flat();
+      expected[static_cast<size_t>(comm.rank())]
+          .assign(flat.begin(), flat.end());
+    });
+    for (uint64_t fs = 0; fs < 2; ++fs) {
+      Fabric fabric(ranks);
+      fabric.set_fault_config(chaos_config(), seed() + 25 + fs);
+      fabric.set_recv_timeout(std::chrono::seconds(20));
+      run_cluster(fabric, [&](Communicator& comm) {
+        const auto codec = make_codec(CodecKind::kTopK, 0.4);
+        SparseRows sum = sparse_allreduce(
+            comm, grads[static_cast<size_t>(comm.rank())], algo, 32,
+            codec.get());
+        const Tensor dense = sum.to_dense();
+        const auto flat = dense.flat();
+        const auto& want = expected[static_cast<size_t>(comm.rank())];
+        ASSERT_EQ(flat.size(), want.size()) << sparse_algo_name(algo);
+        ASSERT_EQ(std::memcmp(flat.data(), want.data(),
+                              want.size() * sizeof(float)),
+                  0)
+            << sparse_algo_name(algo) << " fault seed " << fs;
+      });
+    }
+  }
+}
+
+TEST_P(CollectiveFuzz, CodecErrorFeedbackResidualsDeterministicUnderChaos) {
+  // A multi-step EF + compressed-allreduce loop: the rank-local residuals
+  // and the reduced data must be bitwise identical on a clean fabric and
+  // under every recoverable-fault seed — EF state depends only on the
+  // gradient stream, never on wire scheduling.
+  Rng rng(seed() + 26);
+  const int ranks = static_cast<int>(rng.next_int(2, 5));
+  const int64_t elems = rng.next_int(8, 128);
+  constexpr int kSteps = 3;
+  auto step_data = [&](int rank, int step) {
+    Rng vr(seed() * 977 + static_cast<uint64_t>(rank) * 131 +
+           static_cast<uint64_t>(step));
+    std::vector<float> v(static_cast<size_t>(elems));
+    for (auto& x : v) x = static_cast<float>(vr.next_double(-1.0, 1.0));
+    return v;
+  };
+  auto run_loop = [&](Fabric& fabric, std::vector<std::vector<float>>& resid,
+                      std::vector<std::vector<float>>& out) {
+    run_cluster(fabric, [&](Communicator& comm) {
+      const auto codec = make_codec(CodecKind::kTopK, 0.3);
+      std::vector<float> residual(static_cast<size_t>(elems), 0.0f);
+      std::vector<float> data;
+      for (int step = 0; step < kSteps; ++step) {
+        data = step_data(comm.rank(), step);
+        codec_error_feedback(*codec, data, residual);
+        allreduce_chunked(comm, data, 32, ReduceOp::kSum, codec.get());
+      }
+      resid[static_cast<size_t>(comm.rank())] = std::move(residual);
+      out[static_cast<size_t>(comm.rank())] = std::move(data);
+    });
+  };
+  std::vector<std::vector<float>> resid0(static_cast<size_t>(ranks));
+  std::vector<std::vector<float>> out0(static_cast<size_t>(ranks));
+  {
+    Fabric fabric(ranks);
+    run_loop(fabric, resid0, out0);
+  }
+  for (uint64_t fs = 0; fs < 2; ++fs) {
+    Fabric fabric(ranks);
+    fabric.set_fault_config(chaos_config(), seed() + 27 + fs);
+    fabric.set_recv_timeout(std::chrono::seconds(20));
+    std::vector<std::vector<float>> resid(static_cast<size_t>(ranks));
+    std::vector<std::vector<float>> out(static_cast<size_t>(ranks));
+    run_loop(fabric, resid, out);
+    for (int r = 0; r < ranks; ++r) {
+      ASSERT_EQ(std::memcmp(resid[static_cast<size_t>(r)].data(),
+                            resid0[static_cast<size_t>(r)].data(),
+                            resid0[static_cast<size_t>(r)].size() *
+                                sizeof(float)),
+                0)
+          << "residual rank " << r << " fault seed " << fs;
+      ASSERT_EQ(std::memcmp(out[static_cast<size_t>(r)].data(),
+                            out0[static_cast<size_t>(r)].data(),
+                            out0[static_cast<size_t>(r)].size() *
+                                sizeof(float)),
+                0)
+          << "data rank " << r << " fault seed " << fs;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CollectiveFuzz, ::testing::Range(0, 10));

@@ -261,9 +261,41 @@ TEST(Metrics, QuantileEdgeCases) {
   const double edges[] = {10.0};
   Histogram& h = reg.histogram("q.edge", edges);
   EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 0.0);  // empty
-  h.observe(99.0);  // lands in +Inf: quantile clamps to the last finite edge
-  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 10.0);
-  EXPECT_DOUBLE_EQ(h.snapshot().quantile(1.0), 10.0);
+  h.observe(99.0);  // lands in +Inf: quantile reports the observed max
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.5), 99.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(1.0), 99.0);
+}
+
+// Regression (overflow-bucket quantile underreporting): when every sample
+// exceeds the top finite edge, the target rank of ANY quantile lands in the
+// +Inf overflow bucket. The old code returned the last finite edge — here
+// 10ms for samples that all took 250–900ms, underreporting p95/p99 by 25×
+// or more and hiding exactly the tail stalls the histogram exists to
+// surface. The fix tracks the largest observation and reports that instead
+// (the tightest upper bound the histogram can still honestly claim).
+TEST(Metrics, QuantileOverflowBucketReportsObservedMaxNotTopEdge) {
+  MetricsRegistry reg;
+  const double edges[] = {1.0, 5.0, 10.0};
+  Histogram& h = reg.histogram("q.overflow", edges);
+  for (double v : {250.0, 400.0, 900.0, 317.5}) h.observe(v);
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.count, 4);
+  EXPECT_DOUBLE_EQ(s.max, 900.0);
+  for (double q : {0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.quantile(q), 900.0) << "q=" << q;
+  }
+  // Mixed case: ranks that resolve inside finite buckets are untouched by
+  // the fix; only overflow-bucket ranks report the max.
+  for (int i = 0; i < 12; ++i) h.observe(0.5);  // 12 of 16 in bucket le=1
+  const auto s2 = h.snapshot();
+  EXPECT_LE(s2.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(s2.quantile(0.99), 900.0);
+  // A registry reset clears the tracked max along with the buckets: a new
+  // overflow sample reports its own magnitude, not the stale 900.
+  reg.reset();
+  h.observe(20.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().max, 20.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().quantile(0.99), 20.0);
 }
 
 TEST(Metrics, JsonReportsQuantiles) {

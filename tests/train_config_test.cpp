@@ -150,6 +150,40 @@ TEST(TrainConfigValidate, CollectsAllProblemsAtOnce) {
   EXPECT_TRUE(has_error(errors, "chunk_bytes"));
 }
 
+TEST(TrainConfigValidate, CodecKnobAcceptsEveryNamedCodecAndAdaptive) {
+  for (const char* name : {"identity", "fp16", "bf16", "topk", "adaptive"}) {
+    TrainConfig cfg = valid_config();
+    cfg.codec = name;
+    EXPECT_TRUE(cfg.validate(4).empty()) << name;
+  }
+}
+
+TEST(TrainConfigValidate, CodecKnobRejectsUnknownName) {
+  TrainConfig cfg = valid_config();
+  cfg.codec = "zstd";
+  const auto errors = cfg.validate(4);
+  ASSERT_TRUE(has_error(errors, "codec"));
+  // The message should name the valid spellings so a typo is self-serve.
+  const auto it =
+      std::find_if(errors.begin(), errors.end(),
+                   [](const ConfigError& e) { return e.field == "codec"; });
+  EXPECT_NE(it->message.find("zstd"), std::string::npos);
+}
+
+TEST(TrainConfigValidate, CodecTopKMustBeAKeepableFraction) {
+  for (double bad : {0.0, -0.25, 1.5}) {
+    TrainConfig cfg = valid_config();
+    cfg.codec_topk = bad;
+    EXPECT_TRUE(has_error(cfg.validate(4), "codec_topk")) << bad;
+  }
+  for (double good : {0.01, 0.2, 1.0}) {
+    TrainConfig cfg = valid_config();
+    cfg.codec = "topk";
+    cfg.codec_topk = good;
+    EXPECT_TRUE(cfg.validate(4).empty()) << good;
+  }
+}
+
 TEST(TrainConfigValidate, EffectiveFusionBytesPrefersNewKnob) {
   TrainConfig cfg;
   EXPECT_EQ(cfg.effective_fusion_bytes(), 0);
