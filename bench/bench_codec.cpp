@@ -126,10 +126,11 @@ int main() {
                   std::to_string(run.fabric_bytes), TextTable::num(ratio, 3)});
   };
   report("identity", identity_run);
-  for (const char* codec : {"fp16", "bf16", "topk", "adaptive"}) {
+  for (const CodecKind codec : {CodecKind::kFp16, CodecKind::kBf16,
+                                CodecKind::kTopK, CodecKind::kAdaptive}) {
     TrainConfig cfg = base;
     cfg.codec = codec;
-    report(codec, run_distributed(cfg, kRanks));
+    report(codec_kind_name(codec), run_distributed(cfg, kRanks));
   }
   conv.print();
   std::printf("identity final loss: %.4f\n\n", identity_final);

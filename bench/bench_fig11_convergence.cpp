@@ -83,9 +83,9 @@ void run_codec_curves() {
   constexpr int kWorkers = 4;
 
   const auto raw = run_distributed(cfg, kWorkers);
-  cfg.codec = "bf16";
+  cfg.codec = CodecKind::kBf16;
   const auto bf16 = run_distributed(cfg, kWorkers);
-  cfg.codec = "topk";
+  cfg.codec = CodecKind::kTopK;
   const auto topk = run_distributed(cfg, kWorkers);
 
   std::printf("(c) EmbRace under gradient compression (4 workers, Adam, "

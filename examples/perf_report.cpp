@@ -99,7 +99,13 @@ int main(int argc, char** argv) {
   cfg.perf_profile = true;
   cfg.link_alpha_us = alpha_us;
   cfg.link_bytes_per_us = gbps * 1e9 / 8.0 / 1e6;  // Gbit/s -> bytes/µs
-  cfg.codec = codec;
+  // CLI boundary: parse the spelling here, carry the enum from now on.
+  if (const auto kind = core::parse_codec_kind(codec)) {
+    cfg.codec = *kind;
+  } else {
+    std::fprintf(stderr, "unknown codec '%s'\n", codec.c_str());
+    return 2;
+  }
   if (nodes > 0) {
     cfg.topo_nodes = nodes;
     cfg.topo_gpus_per_node = workers / nodes;

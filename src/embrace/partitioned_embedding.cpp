@@ -6,6 +6,8 @@
 #include "comm/hierarchical_collectives.h"
 #include "comm/sparse_collectives.h"
 #include "common/error.h"
+#include "embrace/hot_row_cache.h"
+#include "obs/metrics.h"
 
 namespace embrace::core {
 namespace {
@@ -22,6 +24,19 @@ std::vector<comm::Bytes> exchange(comm::Communicator& comm,
     return comm::hierarchical_alltoallv(*group, std::move(payloads));
   }
   return comm.alltoallv(std::move(payloads));
+}
+
+// Per-rank logical payload bytes entering the embedding AlltoAlls, split by
+// leg. bench_cache compares these between cached and uncached runs — the
+// cache's whole value proposition is shrinking exactly these counters.
+obs::Counter& lookup_bytes_counter() {
+  static obs::Counter& c = obs::counter("embed.exchange.bytes{path=lookup}");
+  return c;
+}
+
+obs::Counter& grad_bytes_counter() {
+  static obs::Counter& c = obs::counter("embed.exchange.bytes{path=grad}");
+  return c;
 }
 
 // Empty id slices / tensors are normal (a rank may own no rows of a batch);
@@ -109,55 +124,118 @@ Tensor PartitionedEmbedding::shard_lookup(
 
 Tensor PartitionedEmbedding::distributed_lookup(
     comm::Communicator& comm, const std::vector<std::vector<int64_t>>& all_ids,
-    const std::vector<int64_t>& my_ids, comm::CommGroup* group) const {
+    const std::vector<int64_t>& my_ids, const EmbedExchange& ex) const {
   EMBRACE_CHECK_EQ(static_cast<int>(all_ids.size()), world_);
   EMBRACE_CHECK(all_ids[static_cast<size_t>(rank_)] == my_ids,
                 << "gathered ids inconsistent with my ids");
-  // Look up every worker's ids in my column shard, send each its slice.
-  std::vector<comm::Bytes> payloads(static_cast<size_t>(world_));
-  for (int w = 0; w < world_; ++w) {
-    payloads[static_cast<size_t>(w)] =
-        pack_tensor(comm, shard_lookup(all_ids[static_cast<size_t>(w)]));
+  HotRowCache* cache = ex.cache;
+  const bool cached = cache != nullptr && cache->enabled();
+  // Feed the refresh vote even while the hot set is still empty — the
+  // counters are what bootstrap the first promotion epoch.
+  if (cached) cache->record_access(my_ids);
+  const bool split = cached && cache->hot_count() > 0;
+  // With a live hot set, every rank filters every worker's id list against
+  // the same rank-agreed membership: the shrunken AlltoAll carries cold ids
+  // only and stays SPMD-consistent by construction.
+  std::vector<std::vector<int64_t>> cold_ids;
+  const std::vector<std::vector<int64_t>>* lookup_ids = &all_ids;
+  if (split) {
+    cold_ids.resize(all_ids.size());
+    for (size_t w = 0; w < all_ids.size(); ++w) {
+      cold_ids[w].reserve(all_ids[w].size());
+      for (int64_t id : all_ids[w]) {
+        if (!cache->is_hot(id)) cold_ids[w].push_back(id);
+      }
+    }
+    lookup_ids = &cold_ids;
   }
-  auto received = exchange(comm, group, std::move(payloads));
+  // Look up every worker's (cold) ids in my column shard, send each its
+  // slice.
+  std::vector<comm::Bytes> payloads(static_cast<size_t>(world_));
+  int64_t wire_bytes = 0;
+  for (int w = 0; w < world_; ++w) {
+    payloads[static_cast<size_t>(w)] = pack_tensor(
+        comm, shard_lookup((*lookup_ids)[static_cast<size_t>(w)]));
+    wire_bytes += static_cast<int64_t>(payloads[static_cast<size_t>(w)].size());
+  }
+  lookup_bytes_counter().add(wire_bytes);
+  auto received = exchange(comm, ex.group, std::move(payloads));
+  // Positions of my batch served by the wire (all of them when uncached).
+  std::vector<int64_t> cold_pos;
+  cold_pos.reserve(my_ids.size());
+  for (size_t k = 0; k < my_ids.size(); ++k) {
+    if (!split || !cache->is_hot(my_ids[k])) {
+      cold_pos.push_back(static_cast<int64_t>(k));
+    }
+  }
   // Assemble my batch's full-dim vectors from the column slices, reading the
   // wire buffers in place and recycling them once consumed.
   Tensor out({static_cast<int64_t>(my_ids.size()), dim_});
   for (int r = 0; r < world_; ++r) {
     const auto [c0, c1] = col_range(r);
     comm::Bytes& buf = received[static_cast<size_t>(r)];
-    Tensor slice = unpack_tensor(buf, static_cast<int64_t>(my_ids.size()),
-                                 c1 - c0);
+    Tensor slice = unpack_tensor(
+        buf, static_cast<int64_t>(cold_pos.size()), c1 - c0);
     comm.pool().release(std::move(buf));
-    for (int64_t k = 0; k < out.rows(); ++k) {
-      auto src = slice.row(k);
-      auto dst = out.row(k);
+    for (size_t k = 0; k < cold_pos.size(); ++k) {
+      auto src = slice.row(static_cast<int64_t>(k));
+      auto dst = out.row(cold_pos[k]);
       for (int64_t c = c0; c < c1; ++c) dst[c] = src[c - c0];
     }
+  }
+  if (split) {
+    // Hot positions come straight out of the local replica, full-dim.
+    for (size_t k = 0; k < my_ids.size(); ++k) {
+      if (!cache->is_hot(my_ids[k])) continue;
+      auto src = cache->row(my_ids[k]);
+      auto dst = out.row(static_cast<int64_t>(k));
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  if (cached) {
+    static obs::Counter& hits = obs::counter("embed.cache.hits");
+    static obs::Counter& misses = obs::counter("embed.cache.misses");
+    hits.add(static_cast<int64_t>(my_ids.size()) -
+             static_cast<int64_t>(cold_pos.size()));
+    misses.add(static_cast<int64_t>(cold_pos.size()));
   }
   return out;
 }
 
 SparseRows PartitionedEmbedding::exchange_grad(comm::Communicator& comm,
                                                const SparseRows& part,
-                                               comm::CommGroup* group,
-                                               const comm::Codec* codec) const {
+                                               const EmbedExchange& ex) const {
   EMBRACE_CHECK_EQ(part.num_total_rows(), vocab_);
   EMBRACE_CHECK_EQ(part.dim(), dim_);
+  // Hot rows never touch the AlltoAll: their gradients park in the cache's
+  // pending buffer until the next hotsync AllReduce. The membership is
+  // rank-agreed, so every rank ships the same cold row set.
+  HotRowCache* cache = ex.cache;
+  const SparseRows* cold = &part;
+  SparseRows cold_storage;
+  if (cache != nullptr && cache->enabled() && cache->hot_count() > 0) {
+    auto [hot, rest] = part.split_by_membership(cache->hot_rows());
+    cache->accumulate(std::move(hot));
+    cold_storage = std::move(rest);
+    cold = &cold_storage;
+  }
   // Ship each rank the column slice it owns, serialized straight into
   // pooled wire buffers (values codec-encoded when a codec is active).
   std::vector<comm::Bytes> payloads(static_cast<size_t>(world_));
+  int64_t wire_bytes = 0;
   for (int r = 0; r < world_; ++r) {
     const auto [c0, c1] = col_range(r);
     payloads[static_cast<size_t>(r)] =
-        comm::sparse_pack_wire(comm, part.slice_columns(c0, c1), codec);
+        comm::sparse_pack_wire(comm, cold->slice_columns(c0, c1), ex.codec);
+    wire_bytes += static_cast<int64_t>(payloads[static_cast<size_t>(r)].size());
   }
-  auto received = exchange(comm, group, std::move(payloads));
-  if (codec != nullptr) {
+  grad_bytes_counter().add(wire_bytes);
+  auto received = exchange(comm, ex.group, std::move(payloads));
+  if (ex.codec != nullptr) {
     // Encoded payloads cannot be viewed in place: decode each, then sum.
     SparseRows acc = SparseRows::empty(vocab_, shard_width());
     for (comm::Bytes& buf : received) {
-      acc = SparseRows::concat(acc, comm::sparse_unpack_wire(buf, codec));
+      acc = SparseRows::concat(acc, comm::sparse_unpack_wire(buf, ex.codec));
       comm.pool().release(std::move(buf));
     }
     return acc.coalesced();

@@ -28,6 +28,30 @@
 
 namespace embrace::core {
 
+class HotRowCache;
+
+// Options for one embedding exchange (lookup or gradient leg). The old
+// surface grew one trailing default parameter per release (CommGroup, then
+// Codec, now the cache); callers pass this struct by const ref instead, so
+// adding a knob never touches call sites that don't care.
+//
+//   pe.distributed_lookup(comm, all_ids, my_ids, {.group = grp});
+//   pe.exchange_grad(comm, part, {.group = grp, .codec = codec});
+//
+// `group`: non-null and two-level routes the AlltoAll through the
+// hierarchical CommGroup path (bitwise-identical payloads, fewer
+// inter-node messages). `codec`: compresses gradient value bytes on the
+// wire (gradient leg only — lookups always ship exact parameters).
+// `cache`: a hot-row cache (DESIGN.md §15) splits the exchange — hot rows
+// are served/accumulated locally, only cold rows travel. The cache is
+// mutated (access counters, pending gradients), so exchanges carrying one
+// must run on the comm thread like every other cache touch.
+struct EmbedExchange {
+  comm::CommGroup* group = nullptr;
+  const comm::Codec* codec = nullptr;
+  HotRowCache* cache = nullptr;
+};
+
 class PartitionedEmbedding {
  public:
   // Builds the shard for `rank` of `world`. `master_rng` must be identical
@@ -52,27 +76,29 @@ class PartitionedEmbedding {
 
   // Hybrid-communication forward: returns the full-dim lookup result for
   // my_ids ((my_ids.size() × dim)). `all_ids` must be the gathered ids of
-  // this step (all_ids[comm.rank()] == my_ids). When `group` is non-null
-  // and two-level (its world must be `comm`), the slice AlltoAll rides the
-  // hierarchical path — bitwise-identical payloads, fewer inter-node
-  // messages.
+  // this step (all_ids[comm.rank()] == my_ids). With a cache in `ex`, hot
+  // ids are served from the local replica (counted as embed.cache.hits)
+  // and only cold ids enter the AlltoAll — every rank filters every
+  // worker's id list against the same rank-agreed membership, so the
+  // shrunken exchange stays SPMD-consistent.
   Tensor distributed_lookup(comm::Communicator& comm,
                             const std::vector<std::vector<int64_t>>& all_ids,
                             const std::vector<int64_t>& my_ids,
-                            comm::CommGroup* group = nullptr) const;
+                            const EmbedExchange& ex = {}) const;
 
   // Hybrid-communication backward for one gradient part: `part` holds
   // full-dim rows over the vocab (this rank's contribution, coalesced or
   // not). Exchanges column slices; returns the *coalesced* gradient for
   // this rank's shard (rows over vocab × shard_width), summed over all
-  // workers' contributions. `group` as in distributed_lookup. A non-null
-  // `codec` compresses each slice's values section on the wire
-  // (comm/sparse_collectives.h contract; gradients only — the forward
-  // lookup always ships exact parameters). Lossy codecs quantize once per
-  // slice here (a single hop), so pair them with error feedback upstream.
+  // workers' contributions. `ex.codec` compresses each slice's values
+  // section on the wire (comm/sparse_collectives.h contract; gradients
+  // only — the forward lookup always ships exact parameters). Lossy codecs
+  // quantize once per slice here (a single hop), so pair them with error
+  // feedback upstream. With a cache, the hot-row part of `part` is
+  // accumulated into the cache's pending sync buffer instead of
+  // travelling; the returned shard gradient covers cold rows only.
   SparseRows exchange_grad(comm::Communicator& comm, const SparseRows& part,
-                           comm::CommGroup* group = nullptr,
-                           const comm::Codec* codec = nullptr) const;
+                           const EmbedExchange& ex = {}) const;
 
   // Local-only helpers (used by tests and by exchange/lookup internally).
   Tensor shard_lookup(const std::vector<int64_t>& ids) const;

@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "data/corpus.h"
@@ -30,6 +32,40 @@ enum class StrategyKind {
 const char* strategy_kind_name(StrategyKind s);
 
 enum class OptimKind { kSgd, kAdagrad, kAdam };
+
+// Typed config-surface enums. Strings exist only at the config boundary
+// (CLI flags, JSON): parse them once with the parse_* helpers below and
+// carry the enum everywhere else — validate() and the trainer switch on
+// these, never on spellings.
+
+// Sparse AllReduce algorithm for kHorovodAllGather's embedding gradients
+// (DESIGN.md §12). kAuto lets the AlgoPicker price the variants per op
+// under the α–β model; the rest force one variant.
+enum class SparseAlgo {
+  kAuto,
+  kAllgather,
+  kRecursiveDoubling,
+  kDense,
+  kTwoLevel,
+};
+
+// Gradient wire codec (DESIGN.md §14). kAdaptive is a policy, not a wire
+// format: it picks between bf16 and top-k per table from the rank-agreed
+// mean |grad| (which is why it exists here and not in comm::CodecKind).
+enum class CodecKind {
+  kIdentity,
+  kFp16,
+  kBf16,
+  kTopK,
+  kAdaptive,
+};
+
+// Boundary helpers: spelling -> enum (nullopt on unknown names) and the
+// canonical spelling back. Round-trip: parse_*(..._name(x)) == x.
+std::optional<SparseAlgo> parse_sparse_algo(std::string_view s);
+const char* sparse_algo_name(SparseAlgo a);
+std::optional<CodecKind> parse_codec_kind(std::string_view s);
+const char* codec_kind_name(CodecKind c);
 
 // One validation failure: the offending TrainConfig field and why it is
 // invalid. validate() collects every problem instead of stopping at the
@@ -88,23 +124,24 @@ struct TrainConfig {
   int64_t chunk_bytes = 0;
 
   // Sparse AllReduce algorithm for kHorovodAllGather's embedding gradients
-  // (DESIGN.md §12): "auto" lets the AlgoPicker price the variants per op
-  // under the α–β model; "allgather" | "recursive-doubling" | "dense" |
-  // "two-level" force one. All spellings are validated by validate();
-  // losses are within
-  // float tolerance of each other for every setting (the variants differ
-  // only in reduction order).
-  std::string sparse_algo = "auto";
+  // (DESIGN.md §12): kAuto lets the AlgoPicker price the variants per op
+  // under the α–β model; the rest force one. Losses are within float
+  // tolerance of each other for every setting (the variants differ only in
+  // reduction order). String spellings ("auto" | "allgather" |
+  // "recursive-doubling" | "dense" | "two-level") live at the config
+  // boundary only — parse_sparse_algo / sparse_algo_name.
+  SparseAlgo sparse_algo = SparseAlgo::kAuto;
 
-  // Gradient wire codec (DESIGN.md §14): "identity" (no compression, wire
-  // byte-for-byte as before), "fp16" | "bf16" (half-width casts), "topk"
+  // Gradient wire codec (DESIGN.md §14): kIdentity (no compression, wire
+  // byte-for-byte as before), kFp16 | kBf16 (half-width casts), kTopK
   // (keep the codec_topk largest-|v| fraction per payload, error feedback
-  // re-injects the rest next step), or "adaptive" (per-table pick between
+  // re-injects the rest next step), or kAdaptive (per-table pick between
   // bf16 and topk from the rank-agreed mean |grad|). Applies to the
   // embedding-gradient collectives and — for lossy codecs with error
   // feedback — the dense AllReduce; the PS emulations (kParallaxPs,
-  // kBytePsDense) ignore it. Validated by validate().
-  std::string codec = "identity";
+  // kBytePsDense) ignore it. Spellings ("identity" | "fp16" | "bf16" |
+  // "topk" | "adaptive") parse via parse_codec_kind at the boundary.
+  CodecKind codec = CodecKind::kIdentity;
   // Kept fraction for the top-k codec, in (0, 1].
   double codec_topk = 0.2;
   // Rank-local error-feedback residuals for lossy codecs: the quantization
@@ -119,9 +156,27 @@ struct TrainConfig {
   // (0 = one op per tensor).
   int64_t fusion_bytes = 0;
 
-  // DEPRECATED(one release): old name for fusion_bytes; honored only when
-  // fusion_bytes == 0.
+  // REMOVED: the deprecated dense_fusion_bytes spelling is gone;
+  // fusion_bytes is the only knob. The tombstone stays one more release so
+  // stale configs fail validate() with a pointer to the rename instead of
+  // silently losing their fusion budget.
   int64_t dense_fusion_bytes = 0;
+
+  // Hot-row embedding cache (DESIGN.md §15), hybrid strategies only
+  // (kEmbRace / kEmbRaceNoVss). cache_frac > 0 layers a per-rank replica
+  // of the hottest rows over the column-partitioned tables: hot rows stop
+  // travelling through the AlltoAll (served locally, gradients synced via
+  // a chunked codec-aware AllReduce), cold rows keep the hybrid path.
+  // cache_frac caps the hot set at floor(cache_frac * vocab) rows (the
+  // AlgoPicker prices the actual cut); membership refreshes from
+  // allreduced access counters every cache_refresh_steps steps (an
+  // epoch-style rank-agreed switch); cache_staleness bounds how many steps
+  // a replica may lag before a forced gradient sync — 0 syncs every step
+  // and preserves the modified-Adam oracle equivalence, larger bounds
+  // trade exactness for fewer sync AllReduces.
+  double cache_frac = 0.0;
+  int cache_refresh_steps = 8;
+  int cache_staleness = 1;
 
   // Test/stress knob: per-message delivery jitter injected into the fabric
   // (microseconds). Correctness must be timing-independent; the stress
@@ -178,12 +233,6 @@ struct TrainConfig {
   // collective per step to the wire, which would perturb traffic-exactness
   // tests.
   bool perf_profile = false;
-
-  // The effective dense-fusion budget: fusion_bytes, falling back to the
-  // deprecated dense_fusion_bytes when unset.
-  int64_t effective_fusion_bytes() const {
-    return fusion_bytes > 0 ? fusion_bytes : dense_fusion_bytes;
-  }
 
   // Checks every field against `workers` ranks and returns all problems
   // (empty = valid). Replaces the trainer's former scattered ad-hoc checks.

@@ -1,13 +1,12 @@
 // TrainConfig validation: every constraint the trainer used to assert
-// ad-hoc, collected into one typed report (ConfigError per field).
+// ad-hoc, collected into one typed report (ConfigError per field). Also
+// hosts the config-boundary string<->enum helpers for the typed knobs.
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "comm/codec.h"
 #include "embrace/strategy.h"
-#include "sparse/algo_picker.h"
 
 namespace embrace::core {
 namespace {
@@ -29,6 +28,46 @@ std::string format_errors(const std::vector<ConfigError>& errors) {
 
 ConfigValidationError::ConfigValidationError(std::vector<ConfigError> errors)
     : Error(format_errors(errors)), errors_(std::move(errors)) {}
+
+std::optional<SparseAlgo> parse_sparse_algo(std::string_view s) {
+  if (s == "auto") return SparseAlgo::kAuto;
+  if (s == "allgather") return SparseAlgo::kAllgather;
+  if (s == "recursive-doubling") return SparseAlgo::kRecursiveDoubling;
+  if (s == "dense") return SparseAlgo::kDense;
+  if (s == "two-level") return SparseAlgo::kTwoLevel;
+  return std::nullopt;
+}
+
+const char* sparse_algo_name(SparseAlgo a) {
+  switch (a) {
+    case SparseAlgo::kAuto: return "auto";
+    case SparseAlgo::kAllgather: return "allgather";
+    case SparseAlgo::kRecursiveDoubling: return "recursive-doubling";
+    case SparseAlgo::kDense: return "dense";
+    case SparseAlgo::kTwoLevel: return "two-level";
+  }
+  return "?";
+}
+
+std::optional<CodecKind> parse_codec_kind(std::string_view s) {
+  if (s == "identity") return CodecKind::kIdentity;
+  if (s == "fp16") return CodecKind::kFp16;
+  if (s == "bf16") return CodecKind::kBf16;
+  if (s == "topk") return CodecKind::kTopK;
+  if (s == "adaptive") return CodecKind::kAdaptive;
+  return std::nullopt;
+}
+
+const char* codec_kind_name(CodecKind c) {
+  switch (c) {
+    case CodecKind::kIdentity: return "identity";
+    case CodecKind::kFp16: return "fp16";
+    case CodecKind::kBf16: return "bf16";
+    case CodecKind::kTopK: return "topk";
+    case CodecKind::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
 
 std::vector<ConfigError> TrainConfig::validate(int workers) const {
   std::vector<ConfigError> errors;
@@ -81,21 +120,31 @@ std::vector<ConfigError> TrainConfig::validate(int workers) const {
   if (fusion_bytes < 0) {
     fail("fusion_bytes", "must be >= 0, got " + str(fusion_bytes));
   }
-  if (dense_fusion_bytes < 0) {
-    fail("dense_fusion_bytes", "must be >= 0, got " + str(dense_fusion_bytes));
-  }
-  if (!sparse::parse_sparse_algo(sparse_algo).has_value()) {
-    fail("sparse_algo",
-         "unknown algorithm '" + sparse_algo +
-             "'; expected auto | allgather | recursive-doubling | dense | "
-             "two-level");
-  }
-  if (codec != "adaptive" && !comm::parse_codec(codec).has_value()) {
-    fail("codec", "unknown codec '" + codec +
-                      "'; expected identity | fp16 | bf16 | topk | adaptive");
+  if (dense_fusion_bytes != 0) {
+    fail("dense_fusion_bytes",
+         "removed; the deprecated spelling is gone — set fusion_bytes "
+         "instead (got " + str(dense_fusion_bytes) + ")");
   }
   if (!(codec_topk > 0.0 && codec_topk <= 1.0)) {
     fail("codec_topk", "must be in (0, 1], got " + std::to_string(codec_topk));
+  }
+  if (!(cache_frac >= 0.0 && cache_frac <= 1.0)) {
+    fail("cache_frac", "must be in [0, 1] (0 = cache off), got " +
+                           std::to_string(cache_frac));
+  } else if (cache_frac > 0.0 && strategy != StrategyKind::kEmbRace &&
+             strategy != StrategyKind::kEmbRaceNoVss) {
+    fail("cache_frac",
+         "the hot-row cache layers over the hybrid embedding exchange; use "
+         "kEmbRace or kEmbRaceNoVss, not " +
+             std::string(strategy_kind_name(strategy)));
+  }
+  if (cache_refresh_steps < 1) {
+    fail("cache_refresh_steps", "need >= 1 step between membership "
+                                "refreshes, got " + str(cache_refresh_steps));
+  }
+  if (cache_staleness < 0) {
+    fail("cache_staleness", "must be >= 0 (0 = sync every step), got " +
+                                str(cache_staleness));
   }
   if (topo_nodes < 0) {
     fail("topo_nodes", "must be >= 0 (0 = no topology), got " +

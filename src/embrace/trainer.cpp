@@ -36,6 +36,7 @@
 #include "common/error.h"
 #include "data/loader.h"
 #include "embrace/error_feedback.h"
+#include "embrace/hot_row_cache.h"
 #include "embrace/partitioned_embedding.h"
 #include "nn/embedding.h"
 #include "nn/optim.h"
@@ -81,6 +82,36 @@ std::unique_ptr<nn::DenseOptimizer> make_dense_optim(
       return std::make_unique<nn::Adam>(std::move(params), c.lr);
   }
   return nullptr;
+}
+
+// Boundary mappings from the typed TrainConfig knobs to the subsystem
+// enums. TrainConfig owns the user-facing vocabulary (parse_*/name() in
+// train_config.cpp); the comm/sparse layers keep their own enums so they
+// stay usable without the trainer.
+sparse::AlgoMode to_algo_mode(SparseAlgo a) {
+  switch (a) {
+    case SparseAlgo::kAuto: return sparse::AlgoMode::kAuto;
+    case SparseAlgo::kAllgather: return sparse::AlgoMode::kForceAllgather;
+    case SparseAlgo::kRecursiveDoubling:
+      return sparse::AlgoMode::kForceRecursiveDoubling;
+    case SparseAlgo::kDense: return sparse::AlgoMode::kForceDense;
+    case SparseAlgo::kTwoLevel: return sparse::AlgoMode::kForceTwoLevel;
+  }
+  return sparse::AlgoMode::kAuto;
+}
+
+// kAdaptive never reaches this mapping: the adaptive policy is a trainer
+// concern (CodecPolicy) with no single comm::Codec equivalent.
+comm::CodecKind to_comm_codec(CodecKind c) {
+  switch (c) {
+    case CodecKind::kIdentity: return comm::CodecKind::kIdentity;
+    case CodecKind::kFp16: return comm::CodecKind::kFp16;
+    case CodecKind::kBf16: return comm::CodecKind::kBf16;
+    case CodecKind::kTopK: return comm::CodecKind::kTopK;
+    case CodecKind::kAdaptive: break;
+  }
+  EMBRACE_CHECK(false, << "adaptive codec has no fixed comm::CodecKind");
+  return comm::CodecKind::kIdentity;
 }
 
 data::CorpusConfig corpus_config(const TrainConfig& c) {
@@ -186,6 +217,12 @@ struct Priorities {
   static double delayed(int step, int table) {
     return base(step) + 1e5 + table;
   }
+  // Hot-row cache sync/refresh: strictly after every gradient op of step s
+  // (the pending buffer must hold the full step's hot gradients) and before
+  // every op of step s+1 (the next lookups read the synced replica).
+  static double hotsync(int step, int table) {
+    return base(step) + 2e5 + table;
+  }
   // FIFO strategies: priority == submission order.
   static double fifo(uint64_t seq) { return static_cast<double>(seq); }
 };
@@ -254,8 +291,7 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
   // broadcasts the α–β pair before the step loop.
   std::optional<sparse::AlgoPicker> algo_picker;
   if (cfg.strategy == StrategyKind::kHorovodAllGather) {
-    const sparse::AlgoMode mode =
-        sparse::parse_sparse_algo(cfg.sparse_algo).value();  // validated
+    const sparse::AlgoMode mode = to_algo_mode(cfg.sparse_algo);
     // Rank 0's view of the link profile is authoritative: its {α, β,
     // measured?} triple is broadcast so every rank prices ops from the
     // exact same constants — a rank pair disagreeing on the efficiency set
@@ -304,11 +340,11 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
   // emulations ignore the knob (their push/pull wire is emulated, not the
   // fabric's). Adaptive mode keeps the dense head on bf16 (one stream, no
   // per-table magnitude to adapt on) and picks per embedding table.
-  const bool adaptive_codec = cfg.codec == "adaptive";
+  const bool adaptive_codec = cfg.codec == CodecKind::kAdaptive;
   sparse::CodecPolicyConfig codec_cfg;
   codec_cfg.adaptive = adaptive_codec;
   if (!adaptive_codec) {
-    codec_cfg.base = comm::parse_codec(cfg.codec).value();  // validated
+    codec_cfg.base = to_comm_codec(cfg.codec);
   }
   codec_cfg.topk_fraction = cfg.codec_topk;
   const bool use_codec =
@@ -392,6 +428,46 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
       sparse_opts.push_back(make_sparse_optim(cfg, cfg.vocab, cfg.dim));
     }
   }
+  // Hot-row caches (DESIGN.md §15), one per table, hybrid strategies only
+  // (validated). Every ctor argument is a pure function of the shared
+  // TrainConfig, so membership state starts rank-agreed and the epoch
+  // protocol keeps it that way.
+  std::vector<std::unique_ptr<HotRowCache>> caches(
+      static_cast<size_t>(tables));
+  std::optional<sparse::AlgoPicker> cache_picker;
+  const int64_t cache_budget = static_cast<int64_t>(
+      cfg.cache_frac * static_cast<double>(cfg.vocab));
+  if (is_hybrid(cfg.strategy) && cache_budget > 0) {
+    HotRowCache::Config cache_cfg;
+    cache_cfg.budget_rows = cache_budget;
+    cache_cfg.refresh_steps = cfg.cache_refresh_steps;
+    cache_cfg.staleness = cfg.cache_staleness;
+    cache_cfg.chunk_bytes = cfg.chunk_bytes;
+    for (int t = 0; t < tables; ++t) {
+      // The replica optimizer spans the full dim (hot rows live full-width
+      // on every rank) with the same kind/hyperparameters as the shard's —
+      // the staleness-0 equivalence depends on that match.
+      caches[static_cast<size_t>(t)] = std::make_unique<HotRowCache>(
+          shards[static_cast<size_t>(t)].get(),
+          sparse_opts[static_cast<size_t>(t)].get(),
+          make_sparse_optim(cfg, cfg.vocab, cfg.dim), cache_cfg);
+    }
+    // The refresh-time cut pricing needs CostParams identical on every rank
+    // WITHOUT a broadcast (refresh runs deep inside a comm op): use the
+    // simnet defaults overridden by the explicit link knobs — a pure
+    // function of cfg, unlike the measured-profile path the allgather
+    // picker takes above.
+    sparse::CostParams params = sparse::CostParams::from_simnet_defaults();
+    if (cfg.link_alpha_us > 0.0) params.link.alpha_us = cfg.link_alpha_us;
+    if (cfg.link_bytes_per_us > 0.0) {
+      params.link.bytes_per_us = cfg.link_bytes_per_us;
+    }
+    cache_picker.emplace(sparse::AlgoMode::kAuto, params, cfg.chunk_bytes);
+    if (dense_codec != nullptr) {
+      cache_picker->set_codec_cost(
+          comm::codec_wire_bytes_per_value(*dense_codec));
+    }
+  }
   auto head = nn::make_head(cfg.head, cfg.dim, cfg.hidden, cfg.classes,
                             head_rng);
   auto head_params = head->parameters();
@@ -453,8 +529,10 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
                             static_cast<int64_t>(sizeof(float)),
                         sched::OpKind::kEmbData),
               [&, t] {
+                const EmbedExchange ex{.group = grp,
+                                       .cache = caches[t].get()};
                 Tensor rows = shards[t]->distributed_lookup(
-                    comm_ch, all_cur[t], seg.ids[t], grp);
+                    comm_ch, all_cur[t], seg.ids[t], ex);
                 scatter_rows(rows, seg.pos[t], emb_out);
               }));
         }
@@ -495,7 +573,7 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
     // --- dense gradient communication (wait-free: submitted in
     // BP-emission order = reverse parameter order; optionally bucketed via
     // fusion_bytes and chunk-granular via chunk_bytes) ---
-    const int64_t fusion_bytes = cfg.effective_fusion_bytes();
+    const int64_t fusion_bytes = cfg.fusion_bytes;
     std::vector<sched::Handle> dense_handles;
     // Submits one dense transfer over `flat` (filled lazily by `prepare`
     // on the first quantum, finished by `finish` after the last). With
@@ -763,8 +841,9 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
               [&, t, my_grad, codec] {
                 // No VSS -> no coalescing pass: the uncoalesced gradient
                 // goes on the wire; the shard coalesces before applying.
-                SparseRows g =
-                    shards[t]->exchange_grad(comm_ch, my_grad, grp, codec);
+                const EmbedExchange ex{.group = grp, .codec = codec,
+                                       .cache = caches[t].get()};
+                SparseRows g = shards[t]->exchange_grad(comm_ch, my_grad, ex);
                 sparse_opts[t]->apply(shards[t]->shard(), g,
                                       nn::SparseStep::kFull);
               }));
@@ -793,8 +872,9 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
               make_desc(emb_op("prior", step, t), Priorities::prior(step, t),
                         prior_bytes, sched::OpKind::kSparsePrior),
               [&, t, codec, prior = std::move(split.prior)] {
-                SparseRows g =
-                    shards[t]->exchange_grad(comm_ch, prior, grp, codec);
+                const EmbedExchange ex{.group = grp, .codec = codec,
+                                       .cache = caches[t].get()};
+                SparseRows g = shards[t]->exchange_grad(comm_ch, prior, ex);
                 sparse_opts[t]->apply(shards[t]->shard(), g,
                                       nn::SparseStep::kPrior);
               }));
@@ -806,14 +886,39 @@ void worker_main(const TrainConfig& cfg, int workers, SharedState& shared,
                         Priorities::delayed(step, t), delayed_bytes,
                         sched::OpKind::kSparseDelayed),
               [&, t, codec, delayed = std::move(split.delayed)] {
-                SparseRows g =
-                    shards[t]->exchange_grad(comm_ch, delayed, grp, codec);
+                const EmbedExchange ex{.group = grp, .codec = codec,
+                                       .cache = caches[t].get()};
+                SparseRows g = shards[t]->exchange_grad(comm_ch, delayed, ex);
                 sparse_opts[t]->apply(shards[t]->shard(), g,
                                       nn::SparseStep::kDelayed);
               });
           break;
         }
       }
+    }
+
+    // --- hot-row cache sync/refresh, one op per cached table ---
+    // Submitted last so FIFO strategies run it after the step's gradient
+    // exchanges; the priority strategies get the same guarantee from
+    // Priorities::hotsync. The handle is deliberately dropped, like the
+    // delayed op's: the scheduler's rank-agreed order already places
+    // hotsync(s) before every op of step s+1, and shutdown drains the tail.
+    for (int t = 0; t < tables; ++t) {
+      if (caches[static_cast<size_t>(t)] == nullptr) continue;
+      // Bytes are the budget-rows ceiling, not hot_count(): cache state
+      // belongs to the comm thread, and the previous step's hotsync may
+      // still be mutating it while this thread submits.
+      sch.submit(
+          make_desc(emb_op("hotsync", step, t),
+                    fifo ? fifo_priority() : Priorities::hotsync(step, t),
+                    cache_budget * cfg.dim *
+                        static_cast<int64_t>(sizeof(float)),
+                    sched::OpKind::kOther),
+          [&, t] {
+            caches[t]->step_end(
+                comm_ch, dense_codec,
+                cache_picker.has_value() ? &*cache_picker : nullptr);
+          });
     }
 
     }  // end comm-issue scope

@@ -74,7 +74,38 @@ void check_coalesced(const SparseRows& grad) {
                 << "sparse optimizers require coalesced gradients");
 }
 
+std::span<float> state_row(Tensor& state, int64_t row) {
+  EMBRACE_CHECK(row >= 0 && row < state.rows(), << "state row out of range");
+  return state.row(row);
+}
+
+void copy_out(const Tensor& state, int64_t row, std::span<float> dst) {
+  EMBRACE_CHECK(row >= 0 && row < state.rows(), << "state row out of range");
+  auto src = state.row(row);
+  EMBRACE_CHECK_EQ(dst.size(), src.size());
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+
+void copy_in(Tensor& state, int64_t row, int64_t col_begin,
+             std::span<const float> src) {
+  auto dst = state_row(state, row);
+  EMBRACE_CHECK(col_begin >= 0 &&
+                    static_cast<size_t>(col_begin) + src.size() <= dst.size(),
+                << "state column span out of range");
+  std::copy(src.begin(), src.end(),
+            dst.begin() + static_cast<ptrdiff_t>(col_begin));
+}
+
 }  // namespace
+
+void SparseOptimizer::export_state(int, int64_t, std::span<float>) const {
+  EMBRACE_CHECK(false, << "optimizer has no per-row state slots");
+}
+
+void SparseOptimizer::import_state(int, int64_t, int64_t,
+                                   std::span<const float>) {
+  EMBRACE_CHECK(false, << "optimizer has no per-row state slots");
+}
 
 void SparseSgd::apply(Tensor& table, const SparseRows& grad, SparseStep mode) {
   (void)mode;  // SGD is element-wise; split application is trivially exact.
@@ -104,6 +135,18 @@ void SparseAdagrad::apply(Tensor& table, const SparseRows& grad,
       w[c] -= lr_ * lr_scale_ * g[c] / (std::sqrt(a[c]) + eps_);
     }
   }
+}
+
+void SparseAdagrad::export_state(int slot, int64_t row,
+                                 std::span<float> dst) const {
+  EMBRACE_CHECK_EQ(slot, 0);
+  copy_out(accum_, row, dst);
+}
+
+void SparseAdagrad::import_state(int slot, int64_t row, int64_t col_begin,
+                                 std::span<const float> src) {
+  EMBRACE_CHECK_EQ(slot, 0);
+  copy_in(accum_, row, col_begin, src);
 }
 
 SparseAdam::SparseAdam(int64_t rows, int64_t dim, float lr, bool modified,
@@ -142,6 +185,18 @@ void SparseAdam::apply(Tensor& table, const SparseRows& grad,
       w[c] -= lr_ * lr_scale_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+}
+
+void SparseAdam::export_state(int slot, int64_t row,
+                              std::span<float> dst) const {
+  EMBRACE_CHECK(slot == 0 || slot == 1);
+  copy_out(slot == 0 ? m_ : v_, row, dst);
+}
+
+void SparseAdam::import_state(int slot, int64_t row, int64_t col_begin,
+                              std::span<const float> src) {
+  EMBRACE_CHECK(slot == 0 || slot == 1);
+  copy_in(slot == 0 ? m_ : v_, row, col_begin, src);
 }
 
 }  // namespace embrace::nn

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "nn/module.h"
@@ -100,6 +101,23 @@ class SparseOptimizer {
   virtual void apply(Tensor& table, const SparseRows& grad,
                      SparseStep mode = SparseStep::kFull) = 0;
 
+  // --- per-row state transfer (hot-row cache promotion/demotion) ---
+  // Row-wise optimizer state moves between a column-sharded optimizer and
+  // a full-dim one when a row changes owner: export hands out one state
+  // row per slot, import writes a column span of it back. Slots: SGD none,
+  // Adagrad {accum}, Adam {m, v}. Adam's global step counter is NOT part
+  // of a row's state — both sides advance theirs once per training step,
+  // which is what keeps the bias corrections aligned.
+  virtual int state_slots() const { return 0; }
+  // Copies state slot `slot` of `row` (the optimizer's full row width)
+  // into `dst` (dst.size() must equal that width).
+  virtual void export_state(int slot, int64_t row,
+                            std::span<float> dst) const;
+  // Overwrites columns [col_begin, col_begin + src.size()) of state slot
+  // `slot` of `row`.
+  virtual void import_state(int slot, int64_t row, int64_t col_begin,
+                            std::span<const float> src);
+
  protected:
   float lr_scale_ = 1.0f;
 };
@@ -117,6 +135,11 @@ class SparseAdagrad : public SparseOptimizer {
  public:
   SparseAdagrad(int64_t rows, int64_t dim, float lr, float eps = 1e-10f);
   void apply(Tensor& table, const SparseRows& grad, SparseStep mode) override;
+  int state_slots() const override { return 1; }  // {accum}
+  void export_state(int slot, int64_t row,
+                    std::span<float> dst) const override;
+  void import_state(int slot, int64_t row, int64_t col_begin,
+                    std::span<const float> src) override;
 
  private:
   float lr_, eps_;
@@ -132,6 +155,11 @@ class SparseAdam : public SparseOptimizer {
              float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
   void apply(Tensor& table, const SparseRows& grad, SparseStep mode) override;
   int64_t steps() const { return step_; }
+  int state_slots() const override { return 2; }  // {m, v}
+  void export_state(int slot, int64_t row,
+                    std::span<float> dst) const override;
+  void import_state(int slot, int64_t row, int64_t col_begin,
+                    std::span<const float> src) override;
 
  private:
   float lr_, beta1_, beta2_, eps_;

@@ -299,6 +299,42 @@ double AlgoPicker::predict_us(comm::SparseAlgoKind algo,
   return 0.0;
 }
 
+double AlgoPicker::predict_hot_split_us(int64_t hot_rows,
+                                        double hot_access_frac,
+                                        double tokens_per_step, int64_t dim,
+                                        int world, int sync_every) const {
+  // Single rank: every path is local, all cuts price alike (the caller's
+  // ascending-grid tie-break then keeps the cache off, which is right —
+  // there is no wire to save).
+  if (world <= 1) return 0.0;
+  const double vb = value_bytes();
+  const double beta = params_.link.bytes_per_us;  // 0 = infinite bandwidth
+  const double peer_frac = static_cast<double>(world - 1) / world;
+  // Cold AlltoAll, both legs per step: the lookup ships exact fp32 row
+  // slices, the gradient leg ships codec-priced values plus 8-byte
+  // indices; a rank's own slice never leaves the box.
+  const double cold_tokens =
+      tokens_per_step * (1.0 - hot_access_frac) / world;  // per rank
+  const double a2a_bytes =
+      cold_tokens * peer_frac *
+      (static_cast<double>(dim) * 4.0 + static_cast<double>(dim) * vb + 8.0);
+  double t = 2.0 * params_.link.alpha_us * (world - 1);
+  if (beta > 0.0) t += a2a_bytes / (beta * params_.alltoall_eff);
+  // Hot sync: a dense ring AllReduce over (hot_rows × dim) codec-priced
+  // values plus exact presence floats, amortized over the staleness
+  // window. Its α term is what makes small cuts lose on latency-bound
+  // links — an extra collective must earn its startup cost.
+  if (hot_rows > 0) {
+    const double ar_bytes =
+        2.0 * peer_frac * static_cast<double>(hot_rows) *
+        (static_cast<double>(dim) * vb + 4.0);
+    double sync_us = 2.0 * params_.link.alpha_us * (world - 1);
+    if (beta > 0.0) sync_us += ar_bytes / (beta * params_.allreduce_eff);
+    t += sync_us / static_cast<double>(sync_every < 1 ? 1 : sync_every);
+  }
+  return t;
+}
+
 double AlgoPicker::crossover_density(int64_t rows, int64_t dim,
                                      int world) const {
   // Equate (N−1)(α + dR(8+vD)/(β·ag)) with 2(N−1)(α + vRD/(N·β·ar)),

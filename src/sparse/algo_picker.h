@@ -166,6 +166,20 @@ class AlgoPicker {
   AlgoChoice choose(double density, int64_t rows, int64_t dim,
                     int world) const;
 
+  // Prices one training step of a table's embedding traffic under a
+  // hot/cold cache split (DESIGN.md §15), per rank in µs: the cold rows'
+  // AlltoAll legs shrink by the cached access fraction, while the hot
+  // replicas pay a dense (hot_rows × dim) AllReduce (values codec-priced,
+  // presence exact) amortized over `sync_every` steps. `tokens_per_step`
+  // and `hot_access_frac` come from the allreduced access counters, so
+  // every rank prices every candidate cut identically and the cache's
+  // epoch switch cannot split-brain. hot_rows == 0 prices the uncached
+  // hybrid path, which is how "auto" can decide the cache off entirely
+  // (e.g. on latency-bound links where an extra collective never pays).
+  double predict_hot_split_us(int64_t hot_rows, double hot_access_frac,
+                              double tokens_per_step, int64_t dim, int world,
+                              int sync_every) const;
+
   // Wire cost of one gradient value under the active codec (bytes/value;
   // 4.0 = uncompressed floats). Scales the value sections of the sparse
   // payload model and the compressed stages of the dense models (the whole

@@ -76,7 +76,7 @@ TEST(FusionTrainer, FusedTrainingMatchesUnfused) {
   cfg.batch_per_worker = 3;
   cfg.seed = 13;
   const auto unfused = core::run_distributed(cfg, 2);
-  cfg.dense_fusion_bytes = 4096;
+  cfg.fusion_bytes = 4096;
   const auto fused = core::run_distributed(cfg, 2);
   ASSERT_EQ(unfused.losses.size(), fused.losses.size());
   for (size_t i = 0; i < fused.losses.size(); ++i) {
@@ -100,7 +100,7 @@ TEST(FusionTrainer, FusedFifoBaselineAlsoMatches) {
   cfg.steps = 4;
   cfg.seed = 17;
   const auto unfused = core::run_distributed(cfg, 3);
-  cfg.dense_fusion_bytes = 1 << 20;  // everything in one buffer
+  cfg.fusion_bytes = 1 << 20;  // everything in one buffer
   const auto fused = core::run_distributed(cfg, 3);
   for (size_t i = 0; i < fused.losses.size(); ++i) {
     EXPECT_NEAR(fused.losses[i], unfused.losses[i], 1e-4f) << "step " << i;

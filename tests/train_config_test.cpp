@@ -56,10 +56,22 @@ TEST(TrainConfigValidate, FlagsEachBadField) {
       {"chunk_bytes",
        [](TrainConfig& c) { c.chunk_bytes = (int64_t{1} << 30) + 1; }},
       {"fusion_bytes", [](TrainConfig& c) { c.fusion_bytes = -5; }},
+      // Tombstone: ANY nonzero value of the removed knob is an error now.
       {"dense_fusion_bytes",
        [](TrainConfig& c) { c.dense_fusion_bytes = -1; }},
-      {"sparse_algo", [](TrainConfig& c) { c.sparse_algo = "ring"; }},
-      {"sparse_algo", [](TrainConfig& c) { c.sparse_algo = ""; }},
+      {"dense_fusion_bytes",
+       [](TrainConfig& c) { c.dense_fusion_bytes = 2048; }},
+      {"cache_frac", [](TrainConfig& c) { c.cache_frac = -0.1; }},
+      {"cache_frac", [](TrainConfig& c) { c.cache_frac = 1.5; }},
+      // Cache over a non-hybrid strategy: there is no AlltoAll to shrink.
+      {"cache_frac",
+       [](TrainConfig& c) {
+         c.strategy = StrategyKind::kHorovodAllReduce;
+         c.cache_frac = 0.25;
+       }},
+      {"cache_refresh_steps",
+       [](TrainConfig& c) { c.cache_refresh_steps = 0; }},
+      {"cache_staleness", [](TrainConfig& c) { c.cache_staleness = -1; }},
       {"topo_nodes", [](TrainConfig& c) { c.topo_nodes = -1; }},
       // Lone topo_nodes (no gpus/node) is an incomplete topology.
       {"topo_nodes", [](TrainConfig& c) { c.topo_nodes = 2; }},
@@ -84,13 +96,22 @@ TEST(TrainConfigValidate, FlagsEachBadField) {
   }
 }
 
-TEST(TrainConfigValidate, AcceptsEverySparseAlgoSpelling) {
-  for (const char* algo :
-       {"auto", "allgather", "recursive-doubling", "dense", "two-level"}) {
+TEST(TrainConfigValidate, SparseAlgoSpellingsRoundTrip) {
+  // Strings live only at the config boundary: every enum value must
+  // round-trip through its canonical spelling, and every value validates.
+  for (const SparseAlgo algo :
+       {SparseAlgo::kAuto, SparseAlgo::kAllgather,
+        SparseAlgo::kRecursiveDoubling, SparseAlgo::kDense,
+        SparseAlgo::kTwoLevel}) {
+    const auto parsed = parse_sparse_algo(sparse_algo_name(algo));
+    ASSERT_TRUE(parsed.has_value()) << sparse_algo_name(algo);
+    EXPECT_EQ(*parsed, algo);
     TrainConfig cfg = valid_config();
     cfg.sparse_algo = algo;
-    EXPECT_TRUE(cfg.validate(4).empty()) << algo;
+    EXPECT_TRUE(cfg.validate(4).empty()) << sparse_algo_name(algo);
   }
+  EXPECT_FALSE(parse_sparse_algo("ring").has_value());
+  EXPECT_FALSE(parse_sparse_algo("").has_value());
 }
 
 TEST(TrainConfigValidate, TopologyMustTileTheWorld) {
@@ -150,24 +171,25 @@ TEST(TrainConfigValidate, CollectsAllProblemsAtOnce) {
   EXPECT_TRUE(has_error(errors, "chunk_bytes"));
 }
 
-TEST(TrainConfigValidate, CodecKnobAcceptsEveryNamedCodecAndAdaptive) {
-  for (const char* name : {"identity", "fp16", "bf16", "topk", "adaptive"}) {
+TEST(TrainConfigValidate, CodecKindSpellingsRoundTrip) {
+  for (const CodecKind kind :
+       {CodecKind::kIdentity, CodecKind::kFp16, CodecKind::kBf16,
+        CodecKind::kTopK, CodecKind::kAdaptive}) {
+    const auto parsed = parse_codec_kind(codec_kind_name(kind));
+    ASSERT_TRUE(parsed.has_value()) << codec_kind_name(kind);
+    EXPECT_EQ(*parsed, kind);
     TrainConfig cfg = valid_config();
-    cfg.codec = name;
-    EXPECT_TRUE(cfg.validate(4).empty()) << name;
+    cfg.codec = kind;
+    EXPECT_TRUE(cfg.validate(4).empty()) << codec_kind_name(kind);
   }
 }
 
-TEST(TrainConfigValidate, CodecKnobRejectsUnknownName) {
-  TrainConfig cfg = valid_config();
-  cfg.codec = "zstd";
-  const auto errors = cfg.validate(4);
-  ASSERT_TRUE(has_error(errors, "codec"));
-  // The message should name the valid spellings so a typo is self-serve.
-  const auto it =
-      std::find_if(errors.begin(), errors.end(),
-                   [](const ConfigError& e) { return e.field == "codec"; });
-  EXPECT_NE(it->message.find("zstd"), std::string::npos);
+TEST(TrainConfigValidate, CodecKindParserRejectsUnknownName) {
+  // A typo'd spelling now dies at the parse boundary (nullopt), not inside
+  // validate(): the config struct itself can no longer hold a bad codec.
+  EXPECT_FALSE(parse_codec_kind("zstd").has_value());
+  EXPECT_FALSE(parse_codec_kind("").has_value());
+  EXPECT_FALSE(parse_codec_kind("FP16").has_value());  // case-sensitive
 }
 
 TEST(TrainConfigValidate, CodecTopKMustBeAKeepableFraction) {
@@ -178,19 +200,45 @@ TEST(TrainConfigValidate, CodecTopKMustBeAKeepableFraction) {
   }
   for (double good : {0.01, 0.2, 1.0}) {
     TrainConfig cfg = valid_config();
-    cfg.codec = "topk";
+    cfg.codec = CodecKind::kTopK;
     cfg.codec_topk = good;
     EXPECT_TRUE(cfg.validate(4).empty()) << good;
   }
 }
 
-TEST(TrainConfigValidate, EffectiveFusionBytesPrefersNewKnob) {
-  TrainConfig cfg;
-  EXPECT_EQ(cfg.effective_fusion_bytes(), 0);
-  cfg.dense_fusion_bytes = 100;
-  EXPECT_EQ(cfg.effective_fusion_bytes(), 100);  // deprecated fallback
-  cfg.fusion_bytes = 200;
-  EXPECT_EQ(cfg.effective_fusion_bytes(), 200);  // new knob wins
+TEST(TrainConfigValidate, DenseFusionBytesTombstoneNamesTheRename) {
+  // The deprecated shim (effective_fusion_bytes + silent fallback) is gone;
+  // a stale config that still sets the old knob must fail loudly with a
+  // pointer to fusion_bytes instead of silently losing its budget.
+  TrainConfig cfg = valid_config();
+  cfg.dense_fusion_bytes = 2048;
+  const auto errors = cfg.validate(4);
+  ASSERT_TRUE(has_error(errors, "dense_fusion_bytes"));
+  const auto it = std::find_if(
+      errors.begin(), errors.end(),
+      [](const ConfigError& e) { return e.field == "dense_fusion_bytes"; });
+  EXPECT_NE(it->message.find("fusion_bytes"), std::string::npos);
+  EXPECT_NE(it->message.find("2048"), std::string::npos);
+}
+
+TEST(TrainConfigValidate, CacheKnobsValidateOnHybridStrategies) {
+  for (const StrategyKind s :
+       {StrategyKind::kEmbRace, StrategyKind::kEmbRaceNoVss}) {
+    TrainConfig cfg = valid_config();
+    cfg.strategy = s;
+    cfg.cache_frac = 0.25;
+    cfg.cache_refresh_steps = 4;
+    cfg.cache_staleness = 0;  // sync every step: the oracle-equal setting
+    EXPECT_TRUE(cfg.validate(4).empty()) << strategy_kind_name(s);
+  }
+  // cache_frac == 0 (cache off) is valid everywhere, hybrid or not.
+  for (const StrategyKind s :
+       {StrategyKind::kHorovodAllReduce, StrategyKind::kHorovodAllGather}) {
+    TrainConfig cfg = valid_config();
+    cfg.strategy = s;
+    cfg.cache_frac = 0.0;
+    EXPECT_TRUE(cfg.validate(4).empty()) << strategy_kind_name(s);
+  }
 }
 
 TEST(TrainConfigValidate, TrainerEntryPointsThrowTypedError) {

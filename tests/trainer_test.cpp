@@ -175,19 +175,20 @@ TEST(Trainer, ChunkedRunsAreBitwiseEqualToMonolithic) {
   }
 }
 
-TEST(Trainer, DeprecatedDenseFusionBytesStillHonored) {
+TEST(Trainer, RemovedDenseFusionBytesIsRejectedAtEntry) {
+  // The deprecated spelling used to be honored as a fallback; now the shim
+  // is gone and the trainer entry points refuse the stale knob outright.
   TrainConfig cfg = base_config();
   cfg.strategy = StrategyKind::kEmbRace;
   cfg.steps = 4;
-  cfg.fusion_bytes = 2048;
-  const auto with_new = run_distributed(cfg, 2);
-  TrainConfig old = cfg;
-  old.fusion_bytes = 0;
-  old.dense_fusion_bytes = 2048;  // deprecated spelling, same behaviour
-  const auto with_old = run_distributed(old, 2);
-  ASSERT_EQ(with_new.losses.size(), with_old.losses.size());
-  for (size_t i = 0; i < with_new.losses.size(); ++i) {
-    EXPECT_EQ(with_new.losses[i], with_old.losses[i]) << "step " << i;
+  cfg.dense_fusion_bytes = 2048;
+  try {
+    run_distributed(cfg, 2);
+    FAIL() << "run_distributed accepted the removed dense_fusion_bytes knob";
+  } catch (const ConfigValidationError& e) {
+    ASSERT_EQ(e.errors().size(), 1u);
+    EXPECT_EQ(e.errors()[0].field, "dense_fusion_bytes");
+    EXPECT_NE(e.errors()[0].message.find("fusion_bytes"), std::string::npos);
   }
 }
 
